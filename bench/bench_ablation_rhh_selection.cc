@@ -1,0 +1,64 @@
+// Ablation (Section 2.4): RHH's next-edge selection strategy. Jin et al.
+// [20] found depth-first expansion experimentally optimal, and the paper
+// adopts it ("we also find that this strategy works well in our
+// experiments"). This bench compares DFS against breadth-first and uniform
+// random selection on variance and running time at fixed K.
+
+#include "bench_util.h"
+#include "reliability/recursive_sampling.h"
+
+namespace relcomp {
+namespace {
+
+const char* StrategyName(EdgeSelectionStrategy strategy) {
+  switch (strategy) {
+    case EdgeSelectionStrategy::kDfs:
+      return "DFS (paper)";
+    case EdgeSelectionStrategy::kBfs:
+      return "BFS";
+    case EdgeSelectionStrategy::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+int Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  bench::PrintHeader(
+      "Ablation: RHH next-edge selection strategy (K=1000)",
+      "DFS expansion reaches s-t path / cut terminations soonest, giving the "
+      "fastest and lowest-variance recursion ([20]'s finding the paper "
+      "adopts)",
+      config);
+  ExperimentContext context(config);
+
+  TextTable table({"Dataset", "Strategy", "Reliability", "Variance (x1e-4)",
+                   "Time (s)"});
+  for (const DatasetId id :
+       {DatasetId::kLastFm, DatasetId::kDblp02, DatasetId::kBioMine}) {
+    const Dataset* dataset = bench::Unwrap(context.GetDataset(id), "dataset");
+    const auto* queries = bench::Unwrap(context.GetQueries(id), "queries");
+    for (const EdgeSelectionStrategy strategy :
+         {EdgeSelectionStrategy::kDfs, EdgeSelectionStrategy::kBfs,
+          EdgeSelectionStrategy::kRandom}) {
+      RecursiveSamplingOptions options;
+      options.selection = strategy;
+      RecursiveEstimator rhh(dataset->graph, options);
+      const KPoint point = bench::Unwrap(
+          MeasureAtK(rhh, *queries, 1000, config.repeats,
+                     config.seed ^ static_cast<uint64_t>(strategy)),
+          "measure");
+      table.AddRow({DatasetDisplayName(id), StrategyName(strategy),
+                    bench::Fmt(point.avg_reliability),
+                    bench::Fmt(point.avg_variance * 1e4, "%.3f"),
+                    bench::Fmt(point.avg_query_seconds, "%.6f")});
+    }
+  }
+  bench::PrintTable(table, "ablation_rhh_selection");
+  return 0;
+}
+
+}  // namespace
+}  // namespace relcomp
+
+int main() { return relcomp::Run(); }

@@ -1,0 +1,56 @@
+// Figures 9, 10, 11: the trade-off among relative error, running time, and
+// memory usage vs the sample size K, on the LastFM, AS Topology, and BioMine
+// analogues. Findings: relative error flattens at convergence; running time
+// grows ~linearly in K for every estimator; memory is mostly K-insensitive
+// (BFS Sharing and the recursive methods grow mildly).
+
+#include "bench_util.h"
+#include "eval/metrics.h"
+
+namespace relcomp {
+namespace {
+
+int Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  bench::PrintHeader(
+      "Figures 9-11: relative error / running time / memory vs K",
+      "error converges while time keeps growing linearly in K, so sampling "
+      "past convergence only burns time",
+      config);
+  ExperimentContext context(config);
+
+  TextTable table({"Dataset", "Estimator", "K", "RelErr (%)", "Query time (s)",
+                   "Memory (MB)", "converged"});
+  for (const DatasetId id :
+       {DatasetId::kLastFm, DatasetId::kAsTopology, DatasetId::kBioMine}) {
+    const std::vector<double>* ground =
+        bench::Unwrap(context.GetGroundTruth(id), "ground truth");
+    const Dataset* dataset = bench::Unwrap(context.GetDataset(id), "dataset");
+    for (const EstimatorKind kind : TheSixEstimators()) {
+      const ConvergenceReport* report =
+          bench::Unwrap(context.GetConvergence(id, kind), "convergence");
+      Estimator* estimator =
+          bench::Unwrap(context.GetEstimator(id, kind), "estimator");
+      for (const KPoint& point : report->points) {
+        const double re = RelativeError(point.per_pair_reliability, *ground);
+        const double memory_mb =
+            static_cast<double>(point.peak_memory_bytes +
+                                estimator->IndexMemoryBytes() +
+                                dataset->graph.MemoryBytes()) /
+            (1024.0 * 1024.0);
+        const bool conv = report->converged() && point.k == report->converged_k;
+        table.AddRow({DatasetDisplayName(id), EstimatorKindName(kind),
+                      StrFormat("%u", point.k), bench::Fmt(re * 100.0, "%.2f"),
+                      bench::Fmt(point.avg_query_seconds, "%.6f"),
+                      bench::Fmt(memory_mb, "%.2f"), conv ? "<== conv" : ""});
+      }
+    }
+  }
+  bench::PrintTable(table, "fig09_11_tradeoff");
+  return 0;
+}
+
+}  // namespace
+}  // namespace relcomp
+
+int main() { return relcomp::Run(); }

@@ -1,0 +1,46 @@
+// Figure 12: online memory usage per estimator per dataset at convergence.
+// Paper's ordering: MC < LP+ < ProbTree < BFS Sharing < RHH ~= RSS.
+
+#include "bench_util.h"
+
+namespace relcomp {
+namespace {
+
+int Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  bench::PrintHeader(
+      "Figure 12: online memory usage at convergence",
+      "increasing memory order: MC < LP+ < ProbTree < BFSSharing < RHH ~ RSS",
+      config);
+  ExperimentContext context(config);
+
+  TextTable table({"Dataset", "Estimator", "Graph (MB)", "Index (MB)",
+                   "Working peak (MB)", "Total (MB)"});
+  for (const DatasetId id : AllDatasetIds()) {
+    const Dataset* dataset = bench::Unwrap(context.GetDataset(id), "dataset");
+    const double graph_mb =
+        static_cast<double>(dataset->graph.MemoryBytes()) / (1024.0 * 1024.0);
+    for (const EstimatorKind kind : TheSixEstimators()) {
+      const ConvergenceReport* report =
+          bench::Unwrap(context.GetConvergence(id, kind), "convergence");
+      Estimator* estimator =
+          bench::Unwrap(context.GetEstimator(id, kind), "estimator");
+      const KPoint& conv = report->FinalPoint();
+      const double index_mb =
+          static_cast<double>(estimator->IndexMemoryBytes()) / (1024.0 * 1024.0);
+      const double work_mb =
+          static_cast<double>(conv.peak_memory_bytes) / (1024.0 * 1024.0);
+      table.AddRow({DatasetDisplayName(id), EstimatorKindName(kind),
+                    bench::Fmt(graph_mb, "%.2f"), bench::Fmt(index_mb, "%.2f"),
+                    bench::Fmt(work_mb, "%.2f"),
+                    bench::Fmt(graph_mb + index_mb + work_mb, "%.2f")});
+    }
+  }
+  bench::PrintTable(table, "fig12_memory");
+  return 0;
+}
+
+}  // namespace
+}  // namespace relcomp
+
+int main() { return relcomp::Run(); }

@@ -1,0 +1,76 @@
+// Figure 13 (a-c): offline index cost for BFS Sharing (L=1500 bit-vectors)
+// vs ProbTree (FWD, w=2): build time, index size, load time. Findings: BFS
+// Sharing builds faster but its index grows with L and loads slower;
+// ProbTree's index is K-independent and cheaper to load.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "reliability/bfs_sharing.h"
+#include "reliability/prob_tree.h"
+
+namespace relcomp {
+namespace {
+
+int Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  bench::PrintHeader(
+      "Figure 13: index building time / size / loading time",
+      "BFS Sharing index is ~linear in L and bigger/slower to load; "
+      "ProbTree's is K-independent and comparable to the graph size",
+      config);
+
+  const auto tmp = std::filesystem::temp_directory_path();
+  TextTable table({"Dataset", "Index", "Build (s)", "Size (MB)", "Load (s)"});
+  for (const DatasetId id : AllDatasetIds()) {
+    const Dataset dataset =
+        bench::Unwrap(MakeDataset(id, config.scale, config.seed), "dataset");
+
+    // BFS Sharing with the paper's L=1500 safe bound.
+    BfsSharingOptions bfs_options;
+    bfs_options.index_samples = 1500;
+    auto bfs = bench::Unwrap(
+        BfsSharingEstimator::Create(dataset.graph, bfs_options, config.seed),
+        "bfs sharing build");
+    const std::string bfs_path = (tmp / "relcomp_bench_bfs.idx").string();
+    bench::Check(bfs->SaveToFile(bfs_path), "bfs index save");
+    Timer bfs_load_timer;
+    auto bfs_loaded = bench::Unwrap(
+        BfsSharingEstimator::LoadFromFile(dataset.graph, bfs_path), "bfs load");
+    const double bfs_load = bfs_load_timer.ElapsedSeconds();
+    table.AddRow({DatasetDisplayName(id), "BFSSharing (L=1500)",
+                  bench::Fmt(bfs->index_build_seconds(), "%.4f"),
+                  bench::Fmt(static_cast<double>(bfs->IndexMemoryBytes()) / 1048576.0,
+                             "%.2f"),
+                  bench::Fmt(bfs_load, "%.4f")});
+
+    // ProbTree FWD (w=2).
+    auto index = bench::Unwrap(ProbTreeIndex::Build(dataset.graph, {}),
+                               "probtree build");
+    const std::string pt_path = (tmp / "relcomp_bench_pt.idx").string();
+    bench::Check(index.SaveToFile(pt_path), "probtree save");
+    Timer pt_load_timer;
+    auto pt_loaded = bench::Unwrap(ProbTreeIndex::LoadFromFile(pt_path),
+                                   "probtree load");
+    const double pt_load = pt_load_timer.ElapsedSeconds();
+    table.AddRow({DatasetDisplayName(id), "ProbTree (w=2)",
+                  bench::Fmt(index.stats().build_seconds, "%.4f"),
+                  bench::Fmt(static_cast<double>(index.MemoryBytes()) / 1048576.0,
+                             "%.2f"),
+                  bench::Fmt(pt_load, "%.4f")});
+
+    std::filesystem::remove(bfs_path);
+    std::filesystem::remove(pt_path);
+    (void)bfs_loaded;
+    (void)pt_loaded;
+  }
+  bench::PrintTable(table, "fig13_index_cost");
+  return 0;
+}
+
+}  // namespace
+}  // namespace relcomp
+
+int main() { return relcomp::Run(); }

@@ -1,0 +1,72 @@
+// Figure 16: sensitivity of RHH and RSS to the sample-size threshold that
+// triggers the non-recursive base case, at fixed K=1000 on the BioMine
+// analogue. Findings: large thresholds (~100) degenerate both methods into
+// plain MC (variance rises to MC's); below ~5 the gains flatten. The paper
+// adopts threshold = 5.
+
+#include "bench_util.h"
+#include "reliability/mc_sampling.h"
+
+namespace relcomp {
+namespace {
+
+int Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  bench::PrintHeader(
+      "Figure 16: sensitivity to the recursion threshold (K=1000)",
+      "variance rises toward MC's as the threshold grows; threshold=5 is the "
+      "sweet spot for both RHH and RSS",
+      config);
+  ExperimentContext context(config);
+  const DatasetId id = DatasetId::kBioMine;
+  const auto* queries = bench::Unwrap(context.GetQueries(id), "queries");
+  const Dataset* dataset = bench::Unwrap(context.GetDataset(id), "dataset");
+  const uint32_t k = 1000;
+
+  // MC reference lines (variance and time at the same K).
+  MonteCarloEstimator mc(dataset->graph);
+  const KPoint mc_point = bench::Unwrap(
+      MeasureAtK(mc, *queries, k, config.repeats, config.seed), "mc reference");
+  std::printf("MC reference at K=%u: variance=%.3e, time=%.6f s\n\n", k,
+              mc_point.avg_variance, mc_point.avg_query_seconds);
+
+  TextTable table({"Threshold", "Method", "Variance (x1e-4)", "Time (s)",
+                   "Variance / MC"});
+  for (const uint32_t threshold : {2u, 5u, 10u, 20u, 50u, 100u}) {
+    {
+      RecursiveSamplingOptions options;
+      options.threshold = threshold;
+      RecursiveEstimator rhh(dataset->graph, options);
+      const KPoint point = bench::Unwrap(
+          MeasureAtK(rhh, *queries, k, config.repeats, config.seed ^ threshold),
+          "rhh");
+      table.AddRow({StrFormat("%u", threshold), "RHH",
+                    bench::Fmt(point.avg_variance * 1e4, "%.3f"),
+                    bench::Fmt(point.avg_query_seconds, "%.6f"),
+                    bench::Fmt(point.avg_variance /
+                                   std::max(mc_point.avg_variance, 1e-300),
+                               "%.2f")});
+    }
+    {
+      RssOptions options;
+      options.threshold = threshold;
+      RecursiveStratifiedEstimator rss(dataset->graph, options);
+      const KPoint point = bench::Unwrap(
+          MeasureAtK(rss, *queries, k, config.repeats, config.seed ^ (threshold * 3)),
+          "rss");
+      table.AddRow({StrFormat("%u", threshold), "RSS",
+                    bench::Fmt(point.avg_variance * 1e4, "%.3f"),
+                    bench::Fmt(point.avg_query_seconds, "%.6f"),
+                    bench::Fmt(point.avg_variance /
+                                   std::max(mc_point.avg_variance, 1e-300),
+                               "%.2f")});
+    }
+  }
+  bench::PrintTable(table, "fig16_threshold");
+  return 0;
+}
+
+}  // namespace
+}  // namespace relcomp
+
+int main() { return relcomp::Run(); }

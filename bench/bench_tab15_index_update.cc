@@ -1,0 +1,65 @@
+// Table 15: additional per-query cost of re-sampling the BFS Sharing index
+// between successive queries (required to keep answers independent). The
+// paper runs 1000 successive queries; the count scales with RELCOMP_PAIRS.
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "eval/query_gen.h"
+#include "reliability/bfs_sharing.h"
+
+namespace relcomp {
+namespace {
+
+int Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  bench::PrintHeader(
+      "Table 15: BFS Sharing index update cost per successive query",
+      "unlike ProbTree, the BFS Sharing index must be re-sampled before every "
+      "query; on large graphs this adds seconds per query",
+      config);
+  const uint32_t num_queries = std::max<uint32_t>(20, config.num_pairs * 2);
+
+  TextTable table({"Dataset", "#Queries", "Update cost per query (s)",
+                   "Query time per query (s)"});
+  for (const DatasetId id : AllDatasetIds()) {
+    const Dataset dataset =
+        bench::Unwrap(MakeDataset(id, config.scale, config.seed), "dataset");
+    QueryGenOptions qopts;
+    qopts.num_pairs = num_queries;
+    qopts.seed = config.seed;
+    const std::vector<ReliabilityQuery> queries =
+        bench::Unwrap(GenerateQueries(dataset.graph, qopts), "queries");
+
+    BfsSharingOptions options;
+    options.index_samples = 1500;
+    auto estimator = bench::Unwrap(
+        BfsSharingEstimator::Create(dataset.graph, options, config.seed),
+        "bfs sharing");
+
+    double update_seconds = 0.0;
+    double query_seconds = 0.0;
+    size_t runs = 0;
+    for (const ReliabilityQuery& q : queries) {
+      Timer update_timer;
+      bench::Check(estimator->PrepareForNextQuery(config.seed + runs), "update");
+      update_seconds += update_timer.ElapsedSeconds();
+      EstimateOptions opts;
+      opts.num_samples = 1000;
+      opts.seed = config.seed * 13 + runs;
+      const EstimateResult result =
+          bench::Unwrap(estimator->Estimate(q, opts), "estimate");
+      query_seconds += result.seconds;
+      ++runs;
+    }
+    table.AddRow({DatasetDisplayName(id), StrFormat("%zu", runs),
+                  bench::Fmt(update_seconds / runs, "%.5f"),
+                  bench::Fmt(query_seconds / runs, "%.5f")});
+  }
+  bench::PrintTable(table, "tab15_index_update");
+  return 0;
+}
+
+}  // namespace
+}  // namespace relcomp
+
+int main() { return relcomp::Run(); }

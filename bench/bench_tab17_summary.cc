@@ -1,0 +1,76 @@
+// Table 17 + Figure 18: the recommendation summary. Prints the paper's star
+// ratings, walks the decision tree for the four scenario corners, and backs
+// the ratings with a quick measured ranking on the LastFM analogue.
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "eval/metrics.h"
+#include "eval/recommendation.h"
+
+namespace relcomp {
+namespace {
+
+int Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  bench::PrintHeader(
+      "Table 17 / Figure 18: summary and recommendation",
+      "no single winner; ProbTree offers the best overall trade-off and is "
+      "the paper's recommendation",
+      config);
+
+  std::printf("Paper's Table 17 ratings:\n%s\n", RatingsTable().c_str());
+
+  std::printf("Figure 18 decision-tree walks:\n");
+  for (const bool memory_constrained : {true, false}) {
+    for (const bool need_low_variance : {false, true}) {
+      ScenarioConstraints constraints;
+      constraints.memory_constrained = memory_constrained;
+      constraints.need_low_variance = need_low_variance;
+      constraints.need_fast_queries = true;
+      const Recommendation rec = RecommendEstimator(constraints);
+      std::string names;
+      for (EstimatorKind kind : rec.estimators) {
+        if (!names.empty()) names += ", ";
+        names += EstimatorKindName(kind);
+      }
+      std::printf("  memory %-7s variance %-8s => [%s]\n      %s\n",
+                  memory_constrained ? "tight," : "ample,",
+                  need_low_variance ? "critical" : "relaxed", names.c_str(),
+                  rec.explanation.c_str());
+    }
+  }
+
+  // Measured backing: rank the six on LastFM by time/variance/memory.
+  ExperimentContext context(config);
+  const DatasetId id = DatasetId::kLastFm;
+  TextTable table({"Estimator", "K@conv", "Time@conv (s)", "Variance (x1e-4)",
+                   "Memory total (MB)"});
+  const Dataset* dataset = bench::Unwrap(context.GetDataset(id), "dataset");
+  for (const EstimatorKind kind : TheSixEstimators()) {
+    const ConvergenceReport* report =
+        bench::Unwrap(context.GetConvergence(id, kind), "convergence");
+    Estimator* estimator =
+        bench::Unwrap(context.GetEstimator(id, kind), "estimator");
+    const KPoint& conv = report->FinalPoint();
+    const double total_mb =
+        static_cast<double>(conv.peak_memory_bytes +
+                            estimator->IndexMemoryBytes() +
+                            dataset->graph.MemoryBytes()) /
+        1048576.0;
+    table.AddRow({EstimatorKindName(kind),
+                  report->converged() ? StrFormat("%u", report->converged_k)
+                                      : StrFormat(">%u", config.max_k),
+                  bench::Fmt(conv.avg_query_seconds, "%.6f"),
+                  bench::Fmt(conv.avg_variance * 1e4, "%.3f"),
+                  bench::Fmt(total_mb, "%.2f")});
+  }
+  std::printf("\nMeasured backing (LastFM analogue):\n");
+  bench::PrintTable(table, "tab17_summary");
+  return 0;
+}
+
+}  // namespace
+}  // namespace relcomp
+
+int main() { return relcomp::Run(); }

@@ -1,0 +1,56 @@
+// Social influence evaluation (the paper's social-network motivation [23]):
+// on a LastFM-style musical social network where edge probabilities model
+// influence strength, estimate how reliably a campaign seeded at one user
+// reaches specific target users, and how that decays with social distance.
+
+#include <cstdio>
+#include <vector>
+
+#include "graph/datasets.h"
+#include "graph/possible_world.h"
+#include "reliability/estimator_factory.h"
+
+using namespace relcomp;
+
+int main() {
+  const Dataset dataset =
+      MakeDataset(DatasetId::kLastFm, Scale::kTiny, /*seed=*/77).MoveValue();
+  const UncertainGraph& network = dataset.graph;
+  std::printf("Social network (LastFM analogue): %s\n\n",
+              network.Describe().c_str());
+
+  // Seed user: the highest-degree hub (a typical campaign choice).
+  NodeId seed_user = 0;
+  for (NodeId v = 0; v < network.num_nodes(); ++v) {
+    if (network.OutDegree(v) > network.OutDegree(seed_user)) seed_user = v;
+  }
+  std::printf("Campaign seed: user %u (degree %zu)\n\n", seed_user,
+              network.OutDegree(seed_user));
+
+  // LP+ is a good fit: low-probability influence edges are exactly where
+  // lazy geometric probing saves work (Section 2.6).
+  auto estimator =
+      MakeEstimator(EstimatorKind::kLazyPropagationPlus, network).MoveValue();
+  EstimateOptions options;
+  options.num_samples = 3000;
+  options.seed = 3;
+
+  const std::vector<uint32_t> dist = HopDistances(network, seed_user);
+  std::printf("%-10s %-10s %-22s\n", "Distance", "Targets",
+              "Avg influence probability");
+  for (uint32_t h = 1; h <= 5; ++h) {
+    double sum = 0.0;
+    uint32_t count = 0;
+    for (NodeId v = 0; v < network.num_nodes() && count < 20; ++v) {
+      if (dist[v] != h) continue;
+      sum += estimator->Estimate({seed_user, v}, options)->reliability;
+      ++count;
+    }
+    if (count == 0) continue;
+    std::printf("%-10u %-10u %.4f\n", h, count, sum / count);
+  }
+  std::printf(
+      "\nInfluence reliability decays with social distance — the same shape\n"
+      "the paper measures when varying s-t distance (Figures 14-15).\n");
+  return 0;
+}

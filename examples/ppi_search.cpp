@@ -1,0 +1,65 @@
+// Protein-interaction search (the paper's PPI motivation, Section 1): given
+// a protein in an uncertain interaction network, rank the proteins in its
+// neighbourhood by the probability of being connected to it.
+//
+// Uses the BioMine-style analogue dataset and the RSS estimator (lowest
+// variance at a fixed budget), exactly how a biologist would shortlist
+// interaction candidates for wet-lab validation.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "graph/datasets.h"
+#include "graph/possible_world.h"
+#include "reliability/estimator_factory.h"
+
+using namespace relcomp;
+
+int main() {
+  const Dataset dataset =
+      MakeDataset(DatasetId::kBioMine, Scale::kTiny, /*seed=*/2024).MoveValue();
+  const UncertainGraph& graph = dataset.graph;
+  std::printf("Protein network (BioMine analogue): %s\n\n",
+              graph.Describe().c_str());
+
+  // Pick a well-connected "protein of interest".
+  NodeId protein = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (graph.OutDegree(v) > graph.OutDegree(protein)) protein = v;
+  }
+  std::printf("Protein of interest: node %u (out-degree %zu)\n", protein,
+              graph.OutDegree(protein));
+
+  // Candidates: everything within 2 hops (the paper's workload distance).
+  const std::vector<uint32_t> dist = HopDistances(graph, protein);
+  std::vector<NodeId> candidates;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (v != protein && dist[v] == 2) candidates.push_back(v);
+  }
+  if (candidates.size() > 25) candidates.resize(25);
+  std::printf("Scoring %zu candidate proteins at 2 hops...\n\n",
+              candidates.size());
+
+  auto estimator =
+      MakeEstimator(EstimatorKind::kRecursiveStratified, graph).MoveValue();
+  EstimateOptions options;
+  options.num_samples = 1000;
+  options.seed = 7;
+
+  std::vector<std::pair<double, NodeId>> scored;
+  for (const NodeId candidate : candidates) {
+    const EstimateResult result =
+        estimator->Estimate({protein, candidate}, options).MoveValue();
+    scored.emplace_back(result.reliability, candidate);
+  }
+  std::sort(scored.rbegin(), scored.rend());
+
+  std::printf("%-6s %-10s %s\n", "Rank", "Protein", "Connection probability");
+  for (size_t i = 0; i < std::min<size_t>(scored.size(), 10); ++i) {
+    std::printf("%-6zu %-10u %.4f\n", i + 1, scored[i].second, scored[i].first);
+  }
+  std::printf("\nTop candidates are the most promising interaction partners "
+              "to validate experimentally.\n");
+  return 0;
+}

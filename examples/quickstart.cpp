@@ -1,0 +1,62 @@
+// Quickstart: build a small uncertain graph, ask for an s-t reliability
+// estimate with two different estimators, and compare with the exact value.
+//
+//   cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "graph/graph_builder.h"
+#include "reliability/estimator_factory.h"
+#include "reliability/exact.h"
+
+using namespace relcomp;
+
+int main() {
+  // A 6-node uncertain graph: two braided paths from 0 to 5.
+  //
+  //      0 --0.8--> 1 --0.6--> 3
+  //      0 --0.5--> 2 --0.7--> 3 --0.9--> 5
+  //      1 --0.4--> 4 --0.8--> 5
+  GraphBuilder builder(6);
+  builder.AddEdge(0, 1, 0.8).CheckOK();
+  builder.AddEdge(1, 3, 0.6).CheckOK();
+  builder.AddEdge(0, 2, 0.5).CheckOK();
+  builder.AddEdge(2, 3, 0.7).CheckOK();
+  builder.AddEdge(3, 5, 0.9).CheckOK();
+  builder.AddEdge(1, 4, 0.4).CheckOK();
+  builder.AddEdge(4, 5, 0.8).CheckOK();
+  const UncertainGraph graph = builder.Build().MoveValue();
+  std::printf("Graph: %s\n\n", graph.Describe().c_str());
+
+  const ReliabilityQuery query{0, 5};
+
+  // Ground truth via exhaustive possible-world enumeration (tiny graph only).
+  const double exact = ExactReliabilityEnumeration(graph, 0, 5).MoveValue();
+  std::printf("Exact R(0, 5)                : %.6f\n", exact);
+
+  // Monte Carlo sampling (Algorithm 1 of the paper).
+  EstimateOptions options;
+  options.num_samples = 20000;
+  options.seed = 42;
+  auto mc = MakeEstimator(EstimatorKind::kMonteCarlo, graph).MoveValue();
+  const EstimateResult mc_result = mc->Estimate(query, options).MoveValue();
+  std::printf("MC estimate   (K=%u)     : %.6f  (%.2f ms, %zu B working set)\n",
+              mc_result.num_samples, mc_result.reliability,
+              mc_result.seconds * 1e3, mc_result.peak_memory_bytes);
+
+  // Recursive stratified sampling — the study's lowest-variance estimator.
+  auto rss =
+      MakeEstimator(EstimatorKind::kRecursiveStratified, graph).MoveValue();
+  const EstimateResult rss_result = rss->Estimate(query, options).MoveValue();
+  std::printf("RSS estimate  (K=%u)     : %.6f  (%.2f ms)\n",
+              rss_result.num_samples, rss_result.reliability,
+              rss_result.seconds * 1e3);
+
+  // ProbTree: index once, query fast — the paper's overall recommendation.
+  auto prob_tree = MakeEstimator(EstimatorKind::kProbTree, graph).MoveValue();
+  const EstimateResult pt_result = prob_tree->Estimate(query, options).MoveValue();
+  std::printf("ProbTree estimate (K=%u) : %.6f  (%.2f ms, index %zu B)\n",
+              pt_result.num_samples, pt_result.reliability,
+              pt_result.seconds * 1e3, prob_tree->IndexMemoryBytes());
+  return 0;
+}

@@ -1,0 +1,277 @@
+// relcomp_cli: command-line front end for the library. Loads an uncertain
+// graph from a text edge list (or generates one of the six paper-analogue
+// datasets), then answers s-t reliability queries, top-k reliability
+// searches, or prints polynomial-time bounds.
+//
+// Examples:
+//   relcomp_cli --dataset lastfm --scale tiny --query 3 17
+//   relcomp_cli --graph my.edges --estimator rss --query 0 42 --samples 2000
+//   relcomp_cli --dataset biomine --topk 10 --source 5
+//   relcomp_cli --dataset as_topology --bounds 1 99
+//   relcomp_cli --dataset dblp02 --workload 20 --estimator probtree
+//   relcomp_cli --graph my.edges --info
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "common/format.h"
+#include "eval/query_gen.h"
+#include "graph/datasets.h"
+#include "graph/graph_io.h"
+#include "reliability/bounds.h"
+#include "reliability/estimator_factory.h"
+#include "reliability/top_k.h"
+
+using namespace relcomp;
+
+namespace {
+
+struct CliOptions {
+  std::string graph_path;
+  std::string dataset;
+  std::string scale = "tiny";
+  std::string estimator = "probtree";
+  uint64_t seed = 42;
+  uint32_t samples = 1000;
+  std::optional<std::pair<NodeId, NodeId>> query;
+  std::optional<std::pair<NodeId, NodeId>> bounds;
+  std::optional<uint32_t> topk;
+  NodeId source = 0;
+  std::optional<uint32_t> workload;
+  bool info = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: relcomp_cli (--graph FILE | --dataset NAME) [options] ACTION\n"
+      "\n"
+      "input:\n"
+      "  --graph FILE         text edge list: 'tail head prob' per line\n"
+      "  --dataset NAME       lastfm|nethept|as_topology|dblp02|dblp005|biomine\n"
+      "  --scale S            tiny|small|medium|large (default tiny)\n"
+      "  --seed N             generation / sampling seed (default 42)\n"
+      "options:\n"
+      "  --estimator NAME     mc|bfs|probtree|lp+|lp|rhh|rss|probtree+lp+|\n"
+      "                       probtree+rhh|probtree+rss (default probtree)\n"
+      "  --samples K          samples per query (default 1000)\n"
+      "actions:\n"
+      "  --query S T          estimate R(S, T)\n"
+      "  --bounds S T         polynomial-time lower/upper bounds + best path\n"
+      "  --topk K --source S  the K most reliable targets from S\n"
+      "  --workload N         generate N 2-hop pairs and estimate each\n"
+      "  --info               print graph statistics\n");
+}
+
+Result<EstimatorKind> ParseEstimator(const std::string& name) {
+  if (name == "mc") return EstimatorKind::kMonteCarlo;
+  if (name == "bfs") return EstimatorKind::kBfsSharing;
+  if (name == "probtree") return EstimatorKind::kProbTree;
+  if (name == "lp+") return EstimatorKind::kLazyPropagationPlus;
+  if (name == "lp") return EstimatorKind::kLazyPropagation;
+  if (name == "rhh") return EstimatorKind::kRecursive;
+  if (name == "rss") return EstimatorKind::kRecursiveStratified;
+  if (name == "probtree+lp+") return EstimatorKind::kProbTreeLpPlus;
+  if (name == "probtree+rhh") return EstimatorKind::kProbTreeRhh;
+  if (name == "probtree+rss") return EstimatorKind::kProbTreeRss;
+  return Status::InvalidArgument("unknown estimator: " + name);
+}
+
+Result<CliOptions> ParseArgs(int argc, char** argv) {
+  CliOptions options;
+  auto need_value = [&](int& i) -> Result<std::string> {
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument(std::string(argv[i]) + " needs a value");
+    }
+    return std::string(argv[++i]);
+  };
+  auto need_u64 = [&](int& i) -> Result<uint64_t> {
+    RELCOMP_ASSIGN_OR_RETURN(const std::string text, need_value(i));
+    uint64_t value = 0;
+    if (!ParseUint64(text, &value)) {
+      return Status::InvalidArgument("not a number: " + text);
+    }
+    return value;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--graph") {
+      RELCOMP_ASSIGN_OR_RETURN(options.graph_path, need_value(i));
+    } else if (arg == "--dataset") {
+      RELCOMP_ASSIGN_OR_RETURN(options.dataset, need_value(i));
+    } else if (arg == "--scale") {
+      RELCOMP_ASSIGN_OR_RETURN(options.scale, need_value(i));
+    } else if (arg == "--estimator") {
+      RELCOMP_ASSIGN_OR_RETURN(options.estimator, need_value(i));
+    } else if (arg == "--seed") {
+      RELCOMP_ASSIGN_OR_RETURN(options.seed, need_u64(i));
+    } else if (arg == "--samples") {
+      RELCOMP_ASSIGN_OR_RETURN(const uint64_t k, need_u64(i));
+      options.samples = static_cast<uint32_t>(k);
+    } else if (arg == "--query" || arg == "--bounds") {
+      RELCOMP_ASSIGN_OR_RETURN(const uint64_t s, need_u64(i));
+      RELCOMP_ASSIGN_OR_RETURN(const uint64_t t, need_u64(i));
+      const auto pair = std::make_pair(static_cast<NodeId>(s),
+                                       static_cast<NodeId>(t));
+      if (arg == "--query") {
+        options.query = pair;
+      } else {
+        options.bounds = pair;
+      }
+    } else if (arg == "--topk") {
+      RELCOMP_ASSIGN_OR_RETURN(const uint64_t k, need_u64(i));
+      options.topk = static_cast<uint32_t>(k);
+    } else if (arg == "--source") {
+      RELCOMP_ASSIGN_OR_RETURN(const uint64_t s, need_u64(i));
+      options.source = static_cast<NodeId>(s);
+    } else if (arg == "--workload") {
+      RELCOMP_ASSIGN_OR_RETURN(const uint64_t n, need_u64(i));
+      options.workload = static_cast<uint32_t>(n);
+    } else if (arg == "--info") {
+      options.info = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      std::exit(0);
+    } else {
+      return Status::InvalidArgument("unknown argument: " + arg);
+    }
+  }
+  if (options.graph_path.empty() == options.dataset.empty()) {
+    return Status::InvalidArgument("provide exactly one of --graph / --dataset");
+  }
+  return options;
+}
+
+Result<UncertainGraph> LoadInput(const CliOptions& options) {
+  if (!options.graph_path.empty()) {
+    return LoadEdgeListText(options.graph_path);
+  }
+  RELCOMP_ASSIGN_OR_RETURN(const Scale scale, ParseScale(options.scale));
+  for (DatasetId id : AllDatasetIds()) {
+    if (options.dataset == DatasetName(id)) {
+      RELCOMP_ASSIGN_OR_RETURN(Dataset dataset,
+                               MakeDataset(id, scale, options.seed));
+      return std::move(dataset.graph);
+    }
+  }
+  return Status::InvalidArgument("unknown dataset: " + options.dataset);
+}
+
+Status RunCli(const CliOptions& options) {
+  RELCOMP_ASSIGN_OR_RETURN(const UncertainGraph graph, LoadInput(options));
+  std::printf("graph: %s\n", graph.Describe().c_str());
+
+  if (options.info) {
+    size_t max_out = 0;
+    NodeId hub = 0;
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      if (graph.OutDegree(v) > max_out) {
+        max_out = graph.OutDegree(v);
+        hub = v;
+      }
+    }
+    std::printf("memory: %s; max out-degree: %zu (node %u)\n",
+                HumanBytes(graph.MemoryBytes()).c_str(), max_out, hub);
+  }
+
+  if (options.bounds.has_value()) {
+    const auto [s, t] = *options.bounds;
+    RELCOMP_ASSIGN_OR_RETURN(const ReliabilityBounds bounds,
+                             ComputeReliabilityBounds(graph, s, t));
+    RELCOMP_ASSIGN_OR_RETURN(const ReliablePath path,
+                             MostReliablePath(graph, s, t));
+    std::printf("bounds R(%u, %u): [%.6f, %.6f]\n", s, t, bounds.lower,
+                bounds.upper);
+    if (path.exists()) {
+      std::string nodes;
+      for (NodeId v : path.nodes) {
+        if (!nodes.empty()) nodes += " -> ";
+        nodes += StrFormat("%u", v);
+      }
+      std::printf("most reliable path (p=%.6f): %s\n", path.probability,
+                  nodes.c_str());
+    } else {
+      std::printf("no s-t path exists\n");
+    }
+  }
+
+  const bool needs_estimator =
+      options.query.has_value() || options.workload.has_value();
+  std::unique_ptr<Estimator> estimator;
+  if (needs_estimator) {
+    RELCOMP_ASSIGN_OR_RETURN(const EstimatorKind kind,
+                             ParseEstimator(options.estimator));
+    FactoryOptions factory;
+    factory.bfs_sharing.index_samples = std::max(options.samples, 1500u);
+    factory.index_seed = options.seed;
+    RELCOMP_ASSIGN_OR_RETURN(estimator, MakeEstimator(kind, graph, factory));
+    std::printf("estimator: %s (K=%u)\n", std::string(estimator->name()).c_str(),
+                options.samples);
+  }
+
+  EstimateOptions opts;
+  opts.num_samples = options.samples;
+  opts.seed = options.seed;
+
+  if (options.query.has_value()) {
+    const auto [s, t] = *options.query;
+    RELCOMP_ASSIGN_OR_RETURN(const EstimateResult result,
+                             estimator->Estimate({s, t}, opts));
+    std::printf("R(%u, %u) ~= %.6f   (%s, %s working memory)\n", s, t,
+                result.reliability, HumanSeconds(result.seconds).c_str(),
+                HumanBytes(result.peak_memory_bytes).c_str());
+  }
+
+  if (options.workload.has_value()) {
+    QueryGenOptions qopts;
+    qopts.num_pairs = *options.workload;
+    qopts.seed = options.seed;
+    RELCOMP_ASSIGN_OR_RETURN(const std::vector<ReliabilityQuery> queries,
+                             GenerateQueries(graph, qopts));
+    double sum = 0.0;
+    for (const ReliabilityQuery& q : queries) {
+      RELCOMP_RETURN_NOT_OK(estimator->PrepareForNextQuery(opts.seed ^ q.source));
+      RELCOMP_ASSIGN_OR_RETURN(const EstimateResult result,
+                               estimator->Estimate(q, opts));
+      std::printf("R(%u, %u) ~= %.6f\n", q.source, q.target, result.reliability);
+      sum += result.reliability;
+    }
+    std::printf("average over %zu pairs: %.6f\n", queries.size(),
+                sum / static_cast<double>(queries.size()));
+  }
+
+  if (options.topk.has_value()) {
+    RELCOMP_ASSIGN_OR_RETURN(
+        const std::vector<ReliableTarget> top,
+        TopKReliableTargetsMonteCarlo(graph, options.source, *options.topk,
+                                      options.samples, options.seed));
+    std::printf("top-%u reliable targets from node %u:\n", *options.topk,
+                options.source);
+    for (size_t i = 0; i < top.size(); ++i) {
+      std::printf("  %2zu. node %-8u R ~= %.4f\n", i + 1, top[i].node,
+                  top[i].reliability);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc <= 1) {
+    PrintUsage();
+    return 1;
+  }
+  const Result<CliOptions> options = ParseArgs(argc, argv);
+  if (!options.ok()) {
+    std::fprintf(stderr, "error: %s\n", options.status().ToString().c_str());
+    return 1;
+  }
+  const Status status = RunCli(*options);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Probabilistic road-network reachability (the paper's road-network
+// motivation [19]): on a grid of intersections whose road segments fail
+// independently (congestion/closure), estimate the probability that a
+// destination is reachable from a source, and show how ProbTree's index
+// accelerates repeated queries against the same network.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "graph/generators.h"
+#include "reliability/estimator_factory.h"
+
+using namespace relcomp;
+
+int main() {
+  // 30 x 30 grid city; each segment is open with probability 0.75-0.95.
+  const uint32_t rows = 30;
+  const uint32_t cols = 30;
+  const Topology topo = MakeGrid(rows, cols);
+  Rng rng(99);
+  std::vector<double> probs;
+  probs.reserve(topo.num_edges());
+  for (size_t i = 0; i < topo.num_edges(); ++i) {
+    // Paired edges (two directions of one segment) share reliability.
+    if (i % 2 == 1) {
+      probs.push_back(probs.back());
+    } else {
+      probs.push_back(0.75 + 0.20 * rng.NextDouble());
+    }
+  }
+  const UncertainGraph city = BuildFromTopology(topo, probs).MoveValue();
+  std::printf("Road network: %u x %u grid, %s\n\n", rows, cols,
+              city.Describe().c_str());
+
+  auto at = [cols](uint32_t r, uint32_t c) { return r * cols + c; };
+  const ReliabilityQuery commutes[] = {
+      {at(0, 0), at(4, 4)},        // short diagonal hop
+      {at(0, 0), at(15, 15)},      // mid-city
+      {at(0, 0), at(29, 29)},      // full diagonal
+      {at(29, 0), at(0, 29)},      // anti-diagonal
+  };
+
+  // Index the city once; answer many route queries fast (Algorithm 8).
+  Timer build_timer;
+  auto prob_tree = MakeEstimator(EstimatorKind::kProbTree, city).MoveValue();
+  std::printf("ProbTree index built in %.1f ms (%zu B)\n\n",
+              build_timer.ElapsedMillis(), prob_tree->IndexMemoryBytes());
+
+  auto mc = MakeEstimator(EstimatorKind::kMonteCarlo, city).MoveValue();
+  EstimateOptions options;
+  options.num_samples = 2000;
+  options.seed = 5;
+
+  std::printf("%-22s %-12s %-12s %-10s %-10s\n", "Route", "ProbTree R",
+              "MC R", "PT ms", "MC ms");
+  for (const ReliabilityQuery& q : commutes) {
+    const EstimateResult pt = prob_tree->Estimate(q, options).MoveValue();
+    const EstimateResult plain = mc->Estimate(q, options).MoveValue();
+    std::printf("(%4u) -> (%4u)        %-12.4f %-12.4f %-10.2f %-10.2f\n",
+                q.source, q.target, pt.reliability, plain.reliability,
+                pt.seconds * 1e3, plain.seconds * 1e3);
+  }
+  std::printf(
+      "\nLong routes compound segment failures: reliability decays with\n"
+      "distance, matching the paper's distance sensitivity study (Sec 3.9).\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "common/bitvector.h"
+
+#include <bit>
+
+#include "common/rng.h"
+
+namespace relcomp {
+
+namespace {
+constexpr size_t kWordBits = 64;
+inline size_t WordsFor(size_t bits) { return (bits + kWordBits - 1) / kWordBits; }
+}  // namespace
+
+BitVector::BitVector(size_t num_bits)
+    : num_bits_(num_bits), words_(WordsFor(num_bits), 0) {}
+
+void BitVector::Resize(size_t num_bits) {
+  num_bits_ = num_bits;
+  words_.resize(WordsFor(num_bits), 0);
+  MaskTail();
+}
+
+void BitVector::Set(size_t i) { words_[i / kWordBits] |= (1ULL << (i % kWordBits)); }
+
+void BitVector::Clear(size_t i) {
+  words_[i / kWordBits] &= ~(1ULL << (i % kWordBits));
+}
+
+bool BitVector::Get(size_t i) const {
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1ULL;
+}
+
+void BitVector::SetAll() {
+  for (auto& w : words_) w = ~0ULL;
+  MaskTail();
+}
+
+void BitVector::ClearAll() {
+  for (auto& w : words_) w = 0;
+}
+
+size_t BitVector::Count() const {
+  size_t count = 0;
+  for (uint64_t w : words_) count += static_cast<size_t>(std::popcount(w));
+  return count;
+}
+
+bool BitVector::OrWith(const BitVector& other) {
+  bool changed = false;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    const uint64_t next = words_[i] | other.words_[i];
+    changed |= (next != words_[i]);
+    words_[i] = next;
+  }
+  return changed;
+}
+
+bool BitVector::OrWithAnd(const BitVector& a, const BitVector& b) {
+  bool changed = false;
+  const size_t n = words_.size();
+  const size_t rem = num_bits_ % kWordBits;
+  const uint64_t tail_mask = rem == 0 ? ~0ULL : (1ULL << rem) - 1;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t add = a.words_[i] & b.words_[i];
+    if (i + 1 == n) add &= tail_mask;
+    const uint64_t next = words_[i] | add;
+    changed |= (next != words_[i]);
+    words_[i] = next;
+  }
+  return changed;
+}
+
+bool BitVector::WouldGainFromAnd(const BitVector& a, const BitVector& b) const {
+  const size_t n = words_.size();
+  const size_t rem = num_bits_ % kWordBits;
+  const uint64_t tail_mask = rem == 0 ? ~0ULL : (1ULL << rem) - 1;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t add = a.words_[i] & b.words_[i];
+    if (i + 1 == n) add &= tail_mask;
+    if (add & ~words_[i]) return true;
+  }
+  return false;
+}
+
+void BitVector::FillBernoulli(double p, Rng& rng) {
+  ClearAll();
+  if (p <= 0.0) return;
+  if (p >= 1.0) {
+    SetAll();
+    return;
+  }
+  // Geometric skipping: expected work O(p * num_bits) instead of O(num_bits),
+  // matching how sparse most uncertain-graph edges are.
+  if (p < 0.25) {
+    size_t i = rng.Geometric(p);
+    while (i < num_bits_) {
+      Set(i);
+      i += 1 + rng.Geometric(p);
+    }
+    return;
+  }
+  for (size_t i = 0; i < num_bits_; ++i) {
+    if (rng.Bernoulli(p)) Set(i);
+  }
+}
+
+bool BitVector::operator==(const BitVector& other) const {
+  return num_bits_ == other.num_bits_ && words_ == other.words_;
+}
+
+void BitVector::MaskTail() {
+  const size_t rem = num_bits_ % kWordBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << rem) - 1;
+  }
+}
+
+}  // namespace relcomp

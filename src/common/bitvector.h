@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace relcomp {
+
+class Rng;
+
+/// \brief Fixed-size bit vector with the word-parallel operations needed by
+/// the BFS Sharing estimator [45].
+///
+/// Each edge of the BFS Sharing index carries one BitVector of K bits (bit i
+/// = "edge exists in pre-sampled possible world i"); each node carries one
+/// BitVector Iv (bit i = "node reachable from s in world i"). The hot
+/// operation is Iv |= (Iu & Ie), 64 worlds per machine word.
+class BitVector {
+ public:
+  BitVector() = default;
+  /// Creates a vector of `num_bits` bits, all zero.
+  explicit BitVector(size_t num_bits);
+
+  /// Number of addressable bits.
+  size_t size() const { return num_bits_; }
+  bool empty() const { return num_bits_ == 0; }
+
+  /// Resizes to `num_bits`; newly added bits are zero.
+  void Resize(size_t num_bits);
+
+  void Set(size_t i);
+  void Clear(size_t i);
+  bool Get(size_t i) const;
+
+  /// Sets every bit to one / zero.
+  void SetAll();
+  void ClearAll();
+
+  /// Population count (number of set bits).
+  size_t Count() const;
+
+  /// this |= other. Returns true iff any bit of *this changed.
+  bool OrWith(const BitVector& other);
+
+  /// this |= (a & b) — the BFS Sharing propagation step (Alg. 2 line 18 /
+  /// Alg. 3 line 8). Returns true iff any bit of *this changed.
+  ///
+  /// `a` and `b` may be longer than *this (BFS Sharing ANDs K-bit node
+  /// vectors against L-bit edge vectors, K <= L); only the first size() bits
+  /// participate and the tail stays masked.
+  bool OrWithAnd(const BitVector& a, const BitVector& b);
+
+  /// True iff (a & b) would add at least one new bit to *this, without
+  /// mutating anything. Same length contract as OrWithAnd.
+  bool WouldGainFromAnd(const BitVector& a, const BitVector& b) const;
+
+  /// Fills each bit with an independent Bernoulli(p) draw (index sampling).
+  void FillBernoulli(double p, Rng& rng);
+
+  bool operator==(const BitVector& other) const;
+  bool operator!=(const BitVector& other) const { return !(*this == other); }
+
+  /// Logical memory footprint in bytes (used by MemoryTracker accounting).
+  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  /// Raw word access (read-only), for serialization.
+  const std::vector<uint64_t>& words() const { return words_; }
+  /// Mutable word access, for deserialization. Caller keeps num_bits valid.
+  std::vector<uint64_t>& mutable_words() { return words_; }
+
+ private:
+  /// Zeroes the unused high bits of the last word so Count()/== stay exact.
+  void MaskTail();
+
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace relcomp

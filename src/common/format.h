@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace relcomp {
+
+/// \brief printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// \brief "1.5 KB" / "3.2 MB" style rendering of a byte count.
+std::string HumanBytes(size_t bytes);
+
+/// \brief Seconds rendered with a unit that keeps 3-4 significant digits
+/// ("12.3 ms", "4.07 s").
+std::string HumanSeconds(double seconds);
+
+/// \brief Splits `s` on any of the characters in `delims`, dropping empty
+/// tokens.
+std::vector<std::string> SplitString(const std::string& s, const char* delims);
+
+/// \brief Parses a double, returning false on malformed input.
+bool ParseDouble(const std::string& s, double* out);
+
+/// \brief Parses an unsigned 64-bit integer, returning false on malformed
+/// input.
+bool ParseUint64(const std::string& s, uint64_t* out);
+
+}  // namespace relcomp

@@ -1,0 +1,21 @@
+#include "common/memory_tracker.h"
+
+#include <cstdio>
+
+#include <unistd.h>
+
+namespace relcomp {
+
+size_t CurrentRssBytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long total_pages = 0;
+  long rss_pages = 0;
+  const int parsed = std::fscanf(f, "%ld %ld", &total_pages, &rss_pages);
+  std::fclose(f);
+  if (parsed != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<size_t>(rss_pages) * static_cast<size_t>(page);
+}
+
+}  // namespace relcomp

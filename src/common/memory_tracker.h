@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace relcomp {
+
+/// \brief Logical memory accounting for the paper's "online memory usage"
+/// metric (Section 3.6 / Figure 12).
+///
+/// Estimators report the sizes of their dominant data structures (node bit
+/// vectors, per-node geometric heaps, recursion frames, simplified-graph
+/// copies, index structures loaded for a query). This reproduces the paper's
+/// memory *ordering* (MC < LP+ < ProbTree < BFS Sharing < RHH ~= RSS)
+/// deterministically, independent of allocator behaviour. A process-level RSS
+/// probe is also provided for sanity checks.
+class MemoryTracker {
+ public:
+  /// Records an allocation of `bytes` logical bytes.
+  void Add(size_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+
+  /// Records a release of `bytes` logical bytes (clamped at zero).
+  void Release(size_t bytes) {
+    current_ = bytes > current_ ? 0 : current_ - bytes;
+  }
+
+  /// Currently live logical bytes.
+  size_t current_bytes() const { return current_; }
+  /// High-water mark since construction / last Reset().
+  size_t peak_bytes() const { return peak_; }
+
+  /// Clears both counters.
+  void Reset() { current_ = 0, peak_ = 0; }
+  /// Clears the peak down to the current level.
+  void ResetPeak() { peak_ = current_; }
+
+ private:
+  size_t current_ = 0;
+  size_t peak_ = 0;
+};
+
+/// \brief RAII helper: Add(bytes) on construction, Release(bytes) on scope
+/// exit. `bytes` may be grown while in scope via Grow().
+class ScopedAllocation {
+ public:
+  ScopedAllocation(MemoryTracker* tracker, size_t bytes)
+      : tracker_(tracker), bytes_(bytes) {
+    if (tracker_ != nullptr) tracker_->Add(bytes_);
+  }
+  ~ScopedAllocation() {
+    if (tracker_ != nullptr) tracker_->Release(bytes_);
+  }
+  ScopedAllocation(const ScopedAllocation&) = delete;
+  ScopedAllocation& operator=(const ScopedAllocation&) = delete;
+
+  /// Registers `extra` additional bytes owned by this scope.
+  void Grow(size_t extra) {
+    bytes_ += extra;
+    if (tracker_ != nullptr) tracker_->Add(extra);
+  }
+
+  size_t bytes() const { return bytes_; }
+
+ private:
+  MemoryTracker* tracker_;
+  size_t bytes_;
+};
+
+/// \brief Resident-set size of the current process in bytes (Linux
+/// /proc/self/statm), or 0 if unavailable.
+size_t CurrentRssBytes();
+
+}  // namespace relcomp

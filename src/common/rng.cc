@@ -1,0 +1,102 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace relcomp {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+void Rng::Reseed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(sm);
+  has_cached_normal_ = false;
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  // Lemire's nearly-divisionless bounded integers with rejection.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < n) {
+    uint64_t threshold = (0 - n) % n;
+    while (l < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+uint64_t Rng::Geometric(double p) {
+  if (p >= 1.0) return 0;
+  // Inversion: X = floor(log(U) / log(1 - p)), U in (0, 1).
+  double u = NextDouble();
+  while (u <= 0.0) u = NextDouble();
+  double x = std::floor(std::log(u) / std::log1p(-p));
+  if (x < 0.0) x = 0.0;
+  constexpr double kMax = 9.0e18;
+  if (x > kMax) x = kMax;
+  return static_cast<uint64_t>(x);
+}
+
+double Rng::Exponential(double lambda) {
+  double u = NextDouble();
+  while (u <= 0.0) u = NextDouble();
+  return -std::log(u) / lambda;
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+Rng Rng::Split() { return Rng(NextU64() ^ 0xD6E8FEB86659FD93ULL); }
+
+}  // namespace relcomp

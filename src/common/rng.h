@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace relcomp {
+
+/// \brief SplitMix64 step; used to expand a single 64-bit seed into the
+/// xoshiro256** state. Also usable as a cheap hash.
+uint64_t SplitMix64(uint64_t& state);
+
+/// \brief Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// All stochastic components of the library draw from this class so that
+/// every experiment is exactly reproducible from a 64-bit seed. The library
+/// never touches std::random_device.
+class Rng {
+ public:
+  /// Seeds the generator; two Rng instances with the same seed produce
+  /// identical streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Reseed(seed); }
+
+  /// Re-initializes the state from `seed` (SplitMix64 expansion).
+  void Reseed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double NextDouble();
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Uniform integer in [lo, hi]. Precondition: lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Bernoulli trial: true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Number of failures before the first success of a Bernoulli(p) process
+  /// (support {0, 1, 2, ...}). Precondition: 0 < p <= 1.
+  ///
+  /// This is the geometric variate used by Lazy Propagation sampling [30]:
+  /// the value X means the edge stays absent for X probes and exists on
+  /// probe X+1.
+  uint64_t Geometric(double p);
+
+  /// Exponential variate with rate lambda. Precondition: lambda > 0.
+  double Exponential(double lambda);
+
+  /// Standard normal variate (Box–Muller; one fresh pair per two calls).
+  double Normal();
+
+  /// Derives an independent child generator; stream-splitting helper for
+  /// per-query / per-repeat seeding.
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace relcomp

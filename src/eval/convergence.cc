@@ -1,0 +1,166 @@
+#include "eval/convergence.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "common/rng.h"
+
+namespace relcomp {
+
+const KPoint* ConvergenceReport::FindK(uint32_t k) const {
+  for (const KPoint& p : points) {
+    if (p.k == k) return &p;
+  }
+  return nullptr;
+}
+
+Result<KPoint> MeasureAtK(Estimator& estimator,
+                          const std::vector<ReliabilityQuery>& queries,
+                          uint32_t k, uint32_t repeats, uint64_t seed,
+                          bool prepare_between_runs) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("MeasureAtK: empty workload");
+  }
+  if (repeats == 0) {
+    return Status::InvalidArgument("MeasureAtK: repeats must be positive");
+  }
+  Rng seeder(seed ^ (static_cast<uint64_t>(k) * 0x9E3779B97F4A7C15ULL));
+  KPoint point;
+  point.k = k;
+  std::vector<RunningStats> per_pair(queries.size());
+  double seconds_sum = 0.0;
+  size_t runs = 0;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    for (uint32_t rep = 0; rep < repeats; ++rep) {
+      const uint64_t run_seed = seeder.NextU64();
+      if (prepare_between_runs) {
+        RELCOMP_RETURN_NOT_OK(estimator.PrepareForNextQuery(run_seed ^ 0xA11CE));
+      }
+      EstimateOptions opts;
+      opts.num_samples = k;
+      opts.seed = run_seed;
+      RELCOMP_ASSIGN_OR_RETURN(EstimateResult result,
+                               estimator.Estimate(queries[qi], opts));
+      per_pair[qi].Add(result.reliability);
+      seconds_sum += result.seconds;
+      point.peak_memory_bytes =
+          std::max(point.peak_memory_bytes, result.peak_memory_bytes);
+      ++runs;
+    }
+  }
+  const DispersionPoint d = CombineDispersion(per_pair);
+  point.avg_variance = d.avg_variance;
+  point.avg_reliability = d.avg_reliability;
+  point.dispersion = d.dispersion;
+  point.avg_query_seconds = seconds_sum / static_cast<double>(runs);
+  point.per_pair_reliability.reserve(per_pair.size());
+  for (const RunningStats& stats : per_pair) {
+    point.per_pair_reliability.push_back(stats.mean());
+  }
+  return point;
+}
+
+Result<ConvergenceReport> RunConvergence(
+    Estimator& estimator, const std::vector<ReliabilityQuery>& queries,
+    const ConvergenceOptions& options) {
+  if (options.initial_k == 0 || options.step_k == 0) {
+    return Status::InvalidArgument("RunConvergence: K parameters must be positive");
+  }
+  ConvergenceReport report;
+  report.estimator_name = std::string(estimator.name());
+  for (uint32_t k = options.initial_k; k <= options.max_k; k += options.step_k) {
+    RELCOMP_ASSIGN_OR_RETURN(
+        KPoint point, MeasureAtK(estimator, queries, k, options.repeats,
+                                 options.seed, options.prepare_between_runs));
+    report.points.push_back(std::move(point));
+    if (report.converged_k == 0 &&
+        report.points.back().dispersion < options.dispersion_threshold) {
+      report.converged_k = k;
+      if (options.stop_at_convergence) break;
+    }
+  }
+  if (report.points.empty()) {
+    return Status::InvalidArgument("RunConvergence: empty K range");
+  }
+  return report;
+}
+
+namespace {
+constexpr char kReportMagic[8] = {'R', 'E', 'L', 'C', 'O', 'N', 'V', '1'};
+}  // namespace
+
+Status SaveConvergenceReport(const ConvergenceReport& report,
+                             const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::IOError("cannot open for writing: " + path);
+  auto write_u64 = [&out](uint64_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  auto write_f64 = [&out](double v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  out.write(kReportMagic, sizeof(kReportMagic));
+  write_u64(report.estimator_name.size());
+  out.write(report.estimator_name.data(),
+            static_cast<std::streamsize>(report.estimator_name.size()));
+  write_u64(report.converged_k);
+  write_u64(report.points.size());
+  for (const KPoint& p : report.points) {
+    write_u64(p.k);
+    write_f64(p.avg_variance);
+    write_f64(p.avg_reliability);
+    write_f64(p.dispersion);
+    write_f64(p.avg_query_seconds);
+    write_u64(p.peak_memory_bytes);
+    write_u64(p.per_pair_reliability.size());
+    for (double r : p.per_pair_reliability) write_f64(r);
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<ConvergenceReport> LoadConvergenceReport(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound("no cached report: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kReportMagic, sizeof(magic)) != 0) {
+    return Status::IOError("not a convergence report: " + path);
+  }
+  auto read_u64 = [&in]() {
+    uint64_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  };
+  auto read_f64 = [&in]() {
+    double v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  };
+  ConvergenceReport report;
+  const uint64_t name_len = read_u64();
+  if (name_len > 256) return Status::IOError("corrupt report: " + path);
+  report.estimator_name.resize(name_len);
+  in.read(report.estimator_name.data(), static_cast<std::streamsize>(name_len));
+  report.converged_k = static_cast<uint32_t>(read_u64());
+  const uint64_t num_points = read_u64();
+  if (num_points > 100000) return Status::IOError("corrupt report: " + path);
+  report.points.resize(num_points);
+  for (KPoint& p : report.points) {
+    p.k = static_cast<uint32_t>(read_u64());
+    p.avg_variance = read_f64();
+    p.avg_reliability = read_f64();
+    p.dispersion = read_f64();
+    p.avg_query_seconds = read_f64();
+    p.peak_memory_bytes = read_u64();
+    const uint64_t pairs = read_u64();
+    if (pairs > 1000000) return Status::IOError("corrupt report: " + path);
+    p.per_pair_reliability.resize(pairs);
+    for (double& r : p.per_pair_reliability) r = read_f64();
+  }
+  if (!in.good()) return Status::IOError("truncated report: " + path);
+  return report;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "eval/metrics.h"
+#include "reliability/estimator.h"
+
+namespace relcomp {
+
+/// \brief Convergence protocol of Section 3.1.4: starting from K = 250 and
+/// stepping by 250, repeat every query T times, and declare convergence once
+/// the index of dispersion rho_K = V_K / R_K drops below 0.001.
+struct ConvergenceOptions {
+  uint32_t initial_k = 250;
+  uint32_t step_k = 250;
+  /// Give up past this K (the paper's plots go to ~2000).
+  uint32_t max_k = 3000;
+  /// T repeats per (pair, K). The paper uses 100; benchmark defaults scale
+  /// this down (see BenchConfig).
+  uint32_t repeats = 20;
+  double dispersion_threshold = 1e-3;
+  uint64_t seed = 99;
+  /// Resample index-based estimators between runs (BFS Sharing must, to keep
+  /// repeats independent; no-op for the others).
+  bool prepare_between_runs = true;
+  /// Stop scanning K once converged (set false to trace full curves for the
+  /// Figure 7 style plots).
+  bool stop_at_convergence = true;
+};
+
+/// \brief One K on the convergence curve.
+struct KPoint {
+  uint32_t k = 0;
+  double avg_variance = 0.0;     ///< V_K (Eq. 12)
+  double avg_reliability = 0.0;  ///< R_K (Eq. 13)
+  double dispersion = 0.0;       ///< rho_K
+  /// Mean wall-clock seconds of one query at this K (averaged over pairs and
+  /// repeats; excludes PrepareForNextQuery, reported separately).
+  double avg_query_seconds = 0.0;
+  /// Max online working memory over all runs (excludes graph and index).
+  size_t peak_memory_bytes = 0;
+  /// Per-pair mean estimate over the T repeats (input to Eq. 14).
+  std::vector<double> per_pair_reliability;
+};
+
+/// \brief Full convergence record for one estimator on one workload.
+struct ConvergenceReport {
+  std::string estimator_name;
+  std::vector<KPoint> points;
+  /// K at convergence; 0 if the threshold was never reached within max_k.
+  uint32_t converged_k = 0;
+
+  bool converged() const { return converged_k != 0; }
+  /// Point with the given K (nullptr if that K was not measured).
+  const KPoint* FindK(uint32_t k) const;
+  /// The convergence point if converged, else the last measured point.
+  const KPoint& FinalPoint() const { return points.back(); }
+};
+
+/// Runs the protocol for `estimator` over `queries`.
+Result<ConvergenceReport> RunConvergence(Estimator& estimator,
+                                         const std::vector<ReliabilityQuery>& queries,
+                                         const ConvergenceOptions& options);
+
+/// Measures a single (estimator, K) point without scanning (used for the
+/// fixed-K=1000 protocol of Tables 3-14).
+Result<KPoint> MeasureAtK(Estimator& estimator,
+                          const std::vector<ReliabilityQuery>& queries,
+                          uint32_t k, uint32_t repeats, uint64_t seed,
+                          bool prepare_between_runs = true);
+
+/// \name Convergence-report persistence
+///
+/// Convergence scans are the dominant cost of the bench suite and several
+/// binaries need the same (dataset, estimator) scans; ExperimentContext uses
+/// these to share results across processes via a small binary cache file per
+/// scan (see BenchConfig / RELCOMP_CACHE_DIR).
+/// @{
+Status SaveConvergenceReport(const ConvergenceReport& report,
+                             const std::string& path);
+Result<ConvergenceReport> LoadConvergenceReport(const std::string& path);
+/// @}
+
+}  // namespace relcomp

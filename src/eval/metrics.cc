@@ -1,0 +1,65 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+namespace relcomp {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::SampleVariance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(SampleVariance()); }
+
+DispersionPoint CombineDispersion(const std::vector<RunningStats>& per_pair) {
+  DispersionPoint point;
+  if (per_pair.empty()) return point;
+  double var_sum = 0.0;
+  double rel_sum = 0.0;
+  for (const RunningStats& stats : per_pair) {
+    var_sum += stats.SampleVariance();
+    rel_sum += stats.mean();
+  }
+  point.avg_variance = var_sum / static_cast<double>(per_pair.size());
+  point.avg_reliability = rel_sum / static_cast<double>(per_pair.size());
+  if (point.avg_reliability > 0.0) {
+    point.dispersion = point.avg_variance / point.avg_reliability;
+  } else {
+    point.dispersion = 0.0;  // all-zero workload: nothing left to resolve
+  }
+  return point;
+}
+
+double RelativeError(const std::vector<double>& estimates,
+                     const std::vector<double>& ground) {
+  double sum = 0.0;
+  size_t used = 0;
+  const size_t n = std::min(estimates.size(), ground.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (ground[i] <= 0.0) continue;
+    sum += std::fabs(estimates[i] - ground[i]) / ground[i];
+    ++used;
+  }
+  return used > 0 ? sum / static_cast<double>(used) : 0.0;
+}
+
+double PairwiseDeviation(const std::vector<double>& relative_errors) {
+  const size_t n = relative_errors.size();
+  if (n < 2) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      sum += std::fabs(relative_errors[i] - relative_errors[j]);
+    }
+  }
+  return sum / static_cast<double>(n * (n - 1));
+}
+
+}  // namespace relcomp

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace relcomp {
+
+/// \brief Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance (the 1/(T-1) form of Eq. 11).
+  double SampleVariance() const;
+  double StdDev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// \brief Average variance V_K, average reliability R_K, and the index of
+/// dispersion rho_K = V_K / R_K over a query workload (Eq. 11-13 +
+/// Section 3.1.4).
+struct DispersionPoint {
+  double avg_variance = 0.0;     ///< V_K
+  double avg_reliability = 0.0;  ///< R_K
+  /// rho_K; 0 when both V_K and R_K are 0 (degenerate all-zero workloads
+  /// count as converged).
+  double dispersion = 0.0;
+};
+
+/// Combines per-pair repeat statistics into a DispersionPoint.
+/// `per_pair` holds one RunningStats per s-t pair, each fed T repeats.
+DispersionPoint CombineDispersion(const std::vector<RunningStats>& per_pair);
+
+/// \brief Relative error of `estimates` against `ground` (Eq. 14), averaged
+/// over pairs. Pairs whose ground truth is 0 are skipped (the paper's
+/// workloads have strictly positive MC-at-convergence reliabilities).
+double RelativeError(const std::vector<double>& estimates,
+                     const std::vector<double>& ground);
+
+/// \brief Pairwise deviation D of relative errors across estimators
+/// (Eq. 15): mean absolute difference over all ordered pairs.
+double PairwiseDeviation(const std::vector<double>& relative_errors);
+
+}  // namespace relcomp

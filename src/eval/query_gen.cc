@@ -1,0 +1,79 @@
+#include "eval/query_gen.h"
+
+#include <unordered_set>
+
+#include "common/format.h"
+#include "common/rng.h"
+
+namespace relcomp {
+
+namespace {
+
+/// Nodes at exactly `hops` BFS hops from `s` (bounded-depth BFS).
+std::vector<NodeId> NodesAtDistance(const UncertainGraph& graph, NodeId s,
+                                    uint32_t hops, std::vector<uint32_t>& dist,
+                                    uint32_t epoch,
+                                    std::vector<NodeId>& queue) {
+  queue.clear();
+  queue.push_back(s);
+  dist[s] = epoch;  // dist stores epoch * (max_h+2) + d, encoded below
+  std::vector<NodeId> at_target;
+  std::vector<uint32_t> depth;
+  depth.assign(1, 0);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const NodeId v = queue[head];
+    const uint32_t d = depth[head];
+    if (d == hops) {
+      at_target.push_back(v);
+      continue;  // no need to expand past the target ring
+    }
+    for (const AdjEntry& a : graph.OutEdges(v)) {
+      if (dist[a.neighbor] == epoch) continue;
+      dist[a.neighbor] = epoch;
+      queue.push_back(a.neighbor);
+      depth.push_back(d + 1);
+    }
+  }
+  return at_target;
+}
+
+}  // namespace
+
+Result<std::vector<ReliabilityQuery>> GenerateQueries(
+    const UncertainGraph& graph, const QueryGenOptions& options) {
+  if (graph.num_nodes() < 2) {
+    return Status::InvalidArgument("query generation needs >= 2 nodes");
+  }
+  if (options.hop_distance == 0) {
+    return Status::InvalidArgument("hop_distance must be >= 1");
+  }
+  Rng rng(options.seed);
+  std::vector<uint32_t> visited_epoch(graph.num_nodes(), 0);
+  std::vector<NodeId> queue;
+  queue.reserve(graph.num_nodes());
+
+  std::vector<ReliabilityQuery> queries;
+  std::unordered_set<uint64_t> used;
+  uint32_t epoch = 0;
+  for (uint32_t attempt = 0;
+       attempt < options.max_attempts && queries.size() < options.num_pairs;
+       ++attempt) {
+    const NodeId s = static_cast<NodeId>(rng.UniformInt(graph.num_nodes()));
+    ++epoch;
+    const std::vector<NodeId> ring =
+        NodesAtDistance(graph, s, options.hop_distance, visited_epoch, epoch,
+                        queue);
+    if (ring.empty()) continue;
+    const NodeId t = ring[rng.UniformInt(ring.size())];
+    const uint64_t key = (static_cast<uint64_t>(s) << 32) | t;
+    if (!used.insert(key).second) continue;
+    queries.push_back(ReliabilityQuery{s, t});
+  }
+  if (queries.empty()) {
+    return Status::NotFound(
+        StrFormat("no s-t pair at hop distance %u", options.hop_distance));
+  }
+  return queries;
+}
+
+}  // namespace relcomp

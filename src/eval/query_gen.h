@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+#include "reliability/estimator.h"
+
+namespace relcomp {
+
+/// \brief Workload generation knobs (Section 3.1.3).
+struct QueryGenOptions {
+  /// Number of distinct s-t pairs (the paper uses 100).
+  uint32_t num_pairs = 100;
+  /// Required shortest-path hop distance between s and t (2 by default; the
+  /// sensitivity study of Section 3.9 varies this in {2, 4, 6, 8}).
+  uint32_t hop_distance = 2;
+  uint64_t seed = 7;
+  /// Source re-draws before giving up on filling the workload.
+  uint32_t max_attempts = 100000;
+};
+
+/// \brief Generates distinct s-t pairs by the paper's procedure: draw a
+/// source uniformly at random, BFS `hop_distance` hops, pick a target
+/// uniformly among the nodes at exactly that distance; re-draw the source if
+/// none exists.
+///
+/// Returns NotFound if not a single valid pair exists; otherwise returns up
+/// to num_pairs pairs (possibly fewer on very sparse graphs).
+Result<std::vector<ReliabilityQuery>> GenerateQueries(
+    const UncertainGraph& graph, const QueryGenOptions& options);
+
+}  // namespace relcomp

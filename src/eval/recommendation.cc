@@ -1,0 +1,79 @@
+#include "eval/recommendation.h"
+
+#include "common/format.h"
+#include "eval/table.h"
+
+namespace relcomp {
+
+StarRatings PaperRatings(EstimatorKind kind) {
+  // Table 17 of the paper, verbatim.
+  switch (kind) {
+    case EstimatorKind::kMonteCarlo:
+      return {1, 3, 2, 4};
+    case EstimatorKind::kBfsSharing:
+      return {1, 3, 1, 2};
+    case EstimatorKind::kProbTree:
+      return {1, 3, 3, 3};
+    case EstimatorKind::kLazyPropagationPlus:
+      return {1, 3, 3, 4};
+    case EstimatorKind::kRecursive:
+      return {4, 4, 4, 1};
+    case EstimatorKind::kRecursiveStratified:
+      return {4, 4, 4, 1};
+    default:
+      return {};
+  }
+}
+
+namespace {
+std::string Stars(int n) { return std::string(static_cast<size_t>(n), '*'); }
+}  // namespace
+
+std::string RatingsTable() {
+  TextTable table({"Method", "Variance", "Accuracy", "Running Time", "Memory"});
+  for (EstimatorKind kind : TheSixEstimators()) {
+    const StarRatings r = PaperRatings(kind);
+    table.AddRow({EstimatorKindName(kind), Stars(r.variance), Stars(r.accuracy),
+                  Stars(r.running_time), Stars(r.memory)});
+  }
+  return table.ToString();
+}
+
+Recommendation RecommendEstimator(const ScenarioConstraints& constraints) {
+  Recommendation rec;
+  std::string path = "decision tree (Figure 18): ";
+  if (constraints.memory_constrained) {
+    path += "memory=smaller -> {MC, LP+, ProbTree}";
+    if (constraints.need_fast_queries) {
+      path += "; time=faster -> {LP+, ProbTree}";
+      rec.estimators = {EstimatorKind::kProbTree,
+                        EstimatorKind::kLazyPropagationPlus};
+    } else {
+      path += "; time=slower acceptable -> MC";
+      rec.estimators = {EstimatorKind::kMonteCarlo,
+                        EstimatorKind::kLazyPropagationPlus,
+                        EstimatorKind::kProbTree};
+    }
+    if (constraints.need_low_variance) {
+      path += "; variance: ProbTree slightly lower than other MC-based";
+      rec.estimators = {EstimatorKind::kProbTree};
+    }
+  } else {
+    path += "memory=larger ok -> {BFSSharing, RSS, RHH}";
+    if (constraints.need_low_variance) {
+      path += "; variance=lower -> {RSS, RHH}";
+      if (constraints.need_fast_queries) {
+        path += "; time=faster -> {RSS, RHH} (fastest at convergence)";
+      }
+      rec.estimators = {EstimatorKind::kRecursiveStratified,
+                        EstimatorKind::kRecursive};
+    } else {
+      path += "; variance=higher ok -> BFSSharing (but 4x slower than MC)";
+      rec.estimators = {EstimatorKind::kBfsSharing};
+    }
+  }
+  rec.explanation = path;
+  return rec;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "reliability/estimator_factory.h"
+
+namespace relcomp {
+
+/// \brief Star ratings (1-4) of Table 17, per metric.
+struct StarRatings {
+  int variance = 0;
+  int accuracy = 0;
+  int running_time = 0;
+  int memory = 0;
+};
+
+/// The paper's Table 17 ratings for the six headline estimators.
+StarRatings PaperRatings(EstimatorKind kind);
+
+/// Renders the Table 17 style summary for the six estimators.
+std::string RatingsTable();
+
+/// \brief Inputs to the Figure 18 decision tree.
+struct ScenarioConstraints {
+  /// Is online memory tight? (left branch of the tree)
+  bool memory_constrained = false;
+  /// Is estimator variance critical (need RHH/RSS-grade variance)?
+  bool need_low_variance = false;
+  /// Is per-query latency critical?
+  bool need_fast_queries = true;
+};
+
+/// \brief Figure 18: walks the decision tree and returns the recommended
+/// estimator(s) in preference order, with a textual explanation of the path.
+struct Recommendation {
+  std::vector<EstimatorKind> estimators;
+  std::string explanation;
+};
+Recommendation RecommendEstimator(const ScenarioConstraints& constraints);
+
+}  // namespace relcomp

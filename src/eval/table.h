@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace relcomp {
+
+/// \brief Minimal column-aligned ASCII table + CSV writer used by the bench
+/// binaries to print the paper's tables and figure series.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Column-aligned rendering with a header separator.
+  std::string ToString() const;
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes `table` as `<name>.csv` under $RELCOMP_CSV_DIR if that variable is
+/// set; silently succeeds (no-op) otherwise.
+Status MaybeWriteCsv(const TextTable& table, const std::string& name);
+
+}  // namespace relcomp

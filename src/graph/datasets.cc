@@ -1,0 +1,214 @@
+#include "graph/datasets.h"
+
+#include <cstdlib>
+
+#include "common/format.h"
+#include "common/rng.h"
+#include "graph/edge_prob.h"
+#include "graph/generators.h"
+
+namespace relcomp {
+
+namespace {
+
+/// Per-(dataset, scale) node budget.
+uint32_t NodeBudget(DatasetId id, Scale scale) {
+  // Rows: kTiny, kSmall, kMedium, kLarge.
+  static constexpr uint32_t kBudget[kNumDatasets][4] = {
+      /* lastfm   */ {300, 2500, 6899, 6899},
+      /* nethept  */ {350, 4000, 15233, 15233},
+      /* as       */ {400, 5000, 15000, 45535},
+      /* dblp02   */ {400, 6000, 30000, 120000},
+      /* dblp005  */ {400, 6000, 30000, 120000},
+      /* biomine  */ {400, 5000, 25000, 100000},
+  };
+  return kBudget[static_cast<int>(id)][static_cast<int>(scale)];
+}
+
+uint64_t DeriveSeed(uint64_t base, uint64_t salt) {
+  uint64_t state = base ^ (salt * 0x9E3779B97F4A7C15ULL);
+  return SplitMix64(state);
+}
+
+/// Both DBLP variants must share one topology + collaboration counts
+/// (the paper derives both graphs from the same DBLP crawl, varying only mu).
+struct DblpParts {
+  Topology topo;
+  std::vector<uint32_t> counts;
+};
+
+DblpParts MakeDblpParts(Scale scale, uint64_t seed) {
+  Rng topo_rng(DeriveSeed(seed, /*salt=*/0xD8'1F));
+  const uint32_t n = NodeBudget(DatasetId::kDblp02, scale);
+  DblpParts parts;
+  parts.topo = MakeCommunityGraph(n, /*community_size=*/8, /*intra_degree=*/3,
+                                  /*inter_prob=*/0.25, topo_rng);
+  Rng count_rng(DeriveSeed(seed, /*salt=*/0xC0'07));
+  parts.counts = CollaborationCounts(parts.topo, /*mean_extra=*/1.2, count_rng);
+  return parts;
+}
+
+}  // namespace
+
+const char* DatasetName(DatasetId id) {
+  switch (id) {
+    case DatasetId::kLastFm:
+      return "lastfm";
+    case DatasetId::kNetHept:
+      return "nethept";
+    case DatasetId::kAsTopology:
+      return "as_topology";
+    case DatasetId::kDblp02:
+      return "dblp02";
+    case DatasetId::kDblp005:
+      return "dblp005";
+    case DatasetId::kBioMine:
+      return "biomine";
+  }
+  return "unknown";
+}
+
+const char* DatasetDisplayName(DatasetId id) {
+  switch (id) {
+    case DatasetId::kLastFm:
+      return "LastFM";
+    case DatasetId::kNetHept:
+      return "NetHEPT";
+    case DatasetId::kAsTopology:
+      return "AS Topology";
+    case DatasetId::kDblp02:
+      return "DBLP 0.2";
+    case DatasetId::kDblp005:
+      return "DBLP 0.05";
+    case DatasetId::kBioMine:
+      return "BioMine";
+  }
+  return "Unknown";
+}
+
+std::vector<DatasetId> AllDatasetIds() {
+  return {DatasetId::kLastFm,  DatasetId::kNetHept, DatasetId::kAsTopology,
+          DatasetId::kDblp02,  DatasetId::kDblp005, DatasetId::kBioMine};
+}
+
+Result<Scale> ParseScale(const std::string& name) {
+  if (name == "tiny") return Scale::kTiny;
+  if (name == "small") return Scale::kSmall;
+  if (name == "medium") return Scale::kMedium;
+  if (name == "large") return Scale::kLarge;
+  return Status::InvalidArgument("unknown scale: " + name +
+                                 " (expected tiny|small|medium|large)");
+}
+
+Scale ScaleFromEnv() {
+  const char* env = std::getenv("RELCOMP_SCALE");
+  if (env == nullptr) return Scale::kSmall;
+  const Result<Scale> parsed = ParseScale(env);
+  return parsed.ok() ? *parsed : Scale::kSmall;
+}
+
+const char* ScaleName(Scale scale) {
+  switch (scale) {
+    case Scale::kTiny:
+      return "tiny";
+    case Scale::kSmall:
+      return "small";
+    case Scale::kMedium:
+      return "medium";
+    case Scale::kLarge:
+      return "large";
+  }
+  return "unknown";
+}
+
+Result<Dataset> MakeDataset(DatasetId id, Scale scale, uint64_t seed) {
+  Dataset dataset;
+  dataset.id = id;
+  dataset.scale = scale;
+  dataset.name = DatasetName(id);
+  const uint32_t n = NodeBudget(id, scale);
+
+  switch (id) {
+    case DatasetId::kLastFm: {
+      Rng rng(DeriveSeed(seed, 0x1A'5F));
+      const Topology topo = MakeBarabasiAlbert(n, /*edges_per_node=*/2,
+                                               /*bidirected=*/true, rng);
+      RELCOMP_ASSIGN_OR_RETURN(dataset.graph,
+                               BuildFromTopology(topo, InverseOutDegreeProbs(topo)));
+      break;
+    }
+    case DatasetId::kNetHept: {
+      Rng rng(DeriveSeed(seed, 0x2B'47));
+      const Topology topo = MakeBarabasiAlbert(n, /*edges_per_node=*/2,
+                                               /*bidirected=*/true, rng);
+      Rng prob_rng(DeriveSeed(seed, 0x2B'48));
+      RELCOMP_ASSIGN_OR_RETURN(
+          dataset.graph,
+          BuildFromTopology(topo,
+                            CategoricalProbs(topo, {0.1, 0.01, 0.001}, prob_rng)));
+      break;
+    }
+    case DatasetId::kAsTopology: {
+      Rng rng(DeriveSeed(seed, 0x3C'99));
+      const Topology topo = MakeBarabasiAlbert(n, /*edges_per_node=*/2,
+                                               /*bidirected=*/true, rng);
+      Rng prob_rng(DeriveSeed(seed, 0x3C'9A));
+      RELCOMP_ASSIGN_OR_RETURN(
+          dataset.graph,
+          BuildFromTopology(topo, SnapshotRatioProbs(topo, SnapshotModelOptions{},
+                                                     prob_rng)));
+      break;
+    }
+    case DatasetId::kDblp02:
+    case DatasetId::kDblp005: {
+      const DblpParts parts = MakeDblpParts(scale, seed);
+      const double mu = id == DatasetId::kDblp02 ? 5.0 : 20.0;
+      RELCOMP_ASSIGN_OR_RETURN(
+          dataset.graph,
+          BuildFromTopology(parts.topo,
+                            CollaborationExpCdfProbs(parts.counts, mu)));
+      break;
+    }
+    case DatasetId::kBioMine: {
+      Rng rng(DeriveSeed(seed, 0x6E'11));
+      // Dense biological core plus a degree-1/2 fringe of annotation
+      // concepts (terms, publications) — the real BioMine graph has exactly
+      // this shape, and the fringe is what FWD tree decomposition absorbs.
+      const uint32_t core = (n * 7) / 10;
+      Topology topo = MakeBarabasiAlbert(core, /*edges_per_node=*/3,
+                                         /*bidirected=*/false, rng);
+      for (NodeId leaf = core; leaf < n; ++leaf) {
+        ++topo.num_nodes;
+        const uint32_t attachments = 1 + static_cast<uint32_t>(rng.UniformInt(2));
+        for (uint32_t j = 0; j < attachments; ++j) {
+          const NodeId anchor = static_cast<NodeId>(rng.UniformInt(core));
+          if (rng.Bernoulli(0.5)) {
+            topo.edges.emplace_back(leaf, anchor);
+          } else {
+            topo.edges.emplace_back(anchor, leaf);
+          }
+        }
+      }
+      Rng prob_rng(DeriveSeed(seed, 0x6E'12));
+      RELCOMP_ASSIGN_OR_RETURN(
+          dataset.graph, BuildFromTopology(topo, ThreeCriteriaProbs(topo, prob_rng)));
+      break;
+    }
+  }
+  return dataset;
+}
+
+std::string DatasetTable(const std::vector<Dataset>& datasets) {
+  std::string out;
+  out += StrFormat("%-12s %10s %10s   %s\n", "Dataset", "#Nodes", "#Edges",
+                   "Edge Prob: Mean, SD, Quartiles");
+  for (const Dataset& d : datasets) {
+    const EdgeProbStats s = d.graph.ProbStats();
+    out += StrFormat("%-12s %10zu %10zu   %.2f +/- %.2f, {%.3f, %.3f, %.3f}\n",
+                     DatasetDisplayName(d.id), d.graph.num_nodes(),
+                     d.graph.num_edges(), s.mean, s.stddev, s.q25, s.q50, s.q75);
+  }
+  return out;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,112 @@
+#include "graph/edge_prob.h"
+
+#include <cmath>
+
+namespace relcomp {
+
+namespace {
+
+/// Runs `gen(i)` once per undirected relation and mirrors the value onto the
+/// paired reverse edge when the topology is paired.
+template <typename Gen>
+std::vector<double> GenerateSymmetric(const Topology& topo, Gen gen) {
+  std::vector<double> probs(topo.edges.size(), 0.0);
+  if (topo.paired) {
+    for (size_t i = 0; i + 1 < probs.size(); i += 2) {
+      const double p = gen();
+      probs[i] = p;
+      probs[i + 1] = p;
+    }
+    if (probs.size() % 2 == 1) probs.back() = gen();
+  } else {
+    for (auto& p : probs) p = gen();
+  }
+  return probs;
+}
+
+}  // namespace
+
+std::vector<double> InverseOutDegreeProbs(const Topology& topo) {
+  std::vector<uint32_t> outdeg(topo.num_nodes, 0);
+  for (const auto& [tail, head] : topo.edges) {
+    (void)head;
+    ++outdeg[tail];
+  }
+  std::vector<double> probs;
+  probs.reserve(topo.edges.size());
+  for (const auto& [tail, head] : topo.edges) {
+    (void)head;
+    probs.push_back(1.0 / static_cast<double>(outdeg[tail]));
+  }
+  return probs;
+}
+
+std::vector<double> CategoricalProbs(const Topology& topo,
+                                     const std::vector<double>& choices,
+                                     Rng& rng) {
+  return GenerateSymmetric(
+      topo, [&]() { return choices[rng.UniformInt(choices.size())]; });
+}
+
+std::vector<double> SnapshotRatioProbs(const Topology& topo,
+                                       const SnapshotModelOptions& options,
+                                       Rng& rng) {
+  const int snapshots = options.num_snapshots;
+  return GenerateSymmetric(topo, [&]() {
+    const double u = rng.NextDouble();
+    const double stability = options.stability_floor + options.stability_scale * u * u;
+    // First observation is uniform over all but the last snapshot, so every
+    // link has at least one follow-up month.
+    const int first = static_cast<int>(rng.UniformInt(
+        static_cast<uint64_t>(std::max(1, snapshots - 1))));
+    int present = 1;  // the first-observation snapshot itself
+    const int window = snapshots - first;
+    for (int i = 1; i < window; ++i) {
+      if (rng.Bernoulli(stability)) ++present;
+    }
+    return static_cast<double>(present) / static_cast<double>(window);
+  });
+}
+
+std::vector<uint32_t> CollaborationCounts(const Topology& topo, double mean_extra,
+                                          Rng& rng) {
+  const double p = 1.0 / (1.0 + mean_extra);
+  std::vector<uint32_t> counts(topo.edges.size(), 0);
+  if (topo.paired) {
+    for (size_t i = 0; i + 1 < counts.size(); i += 2) {
+      const uint32_t c = 1 + static_cast<uint32_t>(rng.Geometric(p));
+      counts[i] = c;
+      counts[i + 1] = c;
+    }
+    if (counts.size() % 2 == 1) {
+      counts.back() = 1 + static_cast<uint32_t>(rng.Geometric(p));
+    }
+  } else {
+    for (auto& c : counts) c = 1 + static_cast<uint32_t>(rng.Geometric(p));
+  }
+  return counts;
+}
+
+std::vector<double> CollaborationExpCdfProbs(const std::vector<uint32_t>& counts,
+                                             double mu) {
+  std::vector<double> probs;
+  probs.reserve(counts.size());
+  for (uint32_t c : counts) {
+    probs.push_back(1.0 - std::exp(-static_cast<double>(c) / mu));
+  }
+  return probs;
+}
+
+std::vector<double> ThreeCriteriaProbs(const Topology& topo, Rng& rng) {
+  std::vector<double> probs;
+  probs.reserve(topo.edges.size());
+  for (size_t i = 0; i < topo.edges.size(); ++i) {
+    const double relevance = 0.30 + 0.70 * rng.NextDouble();
+    const double informativeness = 0.20 + 0.80 * rng.NextDouble();
+    const double confidence = 0.30 + 0.70 * rng.NextDouble();
+    probs.push_back(relevance * informativeness * confidence);
+  }
+  return probs;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace relcomp {
+
+/// Edge-probability models from Section 3.1.2 of the paper. Each returns one
+/// probability per topology edge (respecting Topology::paired symmetry where
+/// the underlying relation is symmetric).
+
+/// LastFM model: P(e) = 1 / outdegree(tail(e)).
+std::vector<double> InverseOutDegreeProbs(const Topology& topo);
+
+/// NetHEPT model: P(e) drawn uniformly from `choices`
+/// (the paper uses {0.1, 0.01, 0.001}). Symmetric across paired edges.
+std::vector<double> CategoricalProbs(const Topology& topo,
+                                     const std::vector<double>& choices, Rng& rng);
+
+/// \brief Parameters of the simulated AS-topology snapshot process.
+///
+/// The paper derives P(e) as the ratio of monthly CAIDA snapshots containing
+/// the link among all snapshots after its first observation. We simulate the
+/// same pipeline: each link gets a first-seen snapshot and a latent per-month
+/// stability q, is re-observed with probability q each later month, and
+/// P(e) = observed count / months since first seen.
+struct SnapshotModelOptions {
+  int num_snapshots = 120;       ///< Jan 2008 .. Dec 2017 monthly snapshots
+  double stability_floor = 0.01; ///< q = floor + scale * u^2, u ~ U(0,1)
+  double stability_scale = 0.66; ///< yields mean ~0.23, sd ~0.20 (Table 2)
+};
+std::vector<double> SnapshotRatioProbs(const Topology& topo,
+                                       const SnapshotModelOptions& options,
+                                       Rng& rng);
+
+/// DBLP model, step 1: per-pair collaboration counts c >= 1 with
+/// c = 1 + Geometric(1 / (1 + mean_extra)). Symmetric across paired edges.
+std::vector<uint32_t> CollaborationCounts(const Topology& topo, double mean_extra,
+                                          Rng& rng);
+
+/// DBLP model, step 2: P(e) = 1 - exp(-c / mu) (mu = 5 -> "DBLP 0.2",
+/// mu = 20 -> "DBLP 0.05").
+std::vector<double> CollaborationExpCdfProbs(const std::vector<uint32_t>& counts,
+                                             double mu);
+
+/// BioMine model: P(e) = relevance * informativeness * confidence, each
+/// criterion drawn independently per edge (Section 3.1.2, [11]).
+std::vector<double> ThreeCriteriaProbs(const Topology& topo, Rng& rng);
+
+}  // namespace relcomp

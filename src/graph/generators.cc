@@ -1,0 +1,211 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/graph_builder.h"
+
+namespace relcomp {
+
+namespace {
+
+inline uint64_t PairKey(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+void EmitPair(Topology& topo, NodeId a, NodeId b, bool bidirected, Rng& rng) {
+  if (bidirected) {
+    topo.edges.emplace_back(a, b);
+    topo.edges.emplace_back(b, a);
+  } else if (rng.Bernoulli(0.5)) {
+    topo.edges.emplace_back(a, b);
+  } else {
+    topo.edges.emplace_back(b, a);
+  }
+}
+
+}  // namespace
+
+Topology MakeErdosRenyi(uint32_t n, double avg_degree, bool bidirected, Rng& rng) {
+  Topology topo;
+  topo.num_nodes = n;
+  topo.paired = bidirected;
+  if (n < 2) return topo;
+  const size_t target_pairs =
+      static_cast<size_t>(static_cast<double>(n) * avg_degree / 2.0);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(target_pairs * 2);
+  size_t attempts = 0;
+  const size_t max_attempts = target_pairs * 20 + 100;
+  while (seen.size() < target_pairs && attempts < max_attempts) {
+    ++attempts;
+    const NodeId a = static_cast<NodeId>(rng.UniformInt(n));
+    const NodeId b = static_cast<NodeId>(rng.UniformInt(n));
+    if (a == b) continue;
+    if (!seen.insert(PairKey(a, b)).second) continue;
+    EmitPair(topo, a, b, bidirected, rng);
+  }
+  return topo;
+}
+
+Topology MakeBarabasiAlbert(uint32_t n, uint32_t edges_per_node, bool bidirected,
+                            Rng& rng) {
+  Topology topo;
+  topo.num_nodes = n;
+  topo.paired = bidirected;
+  const uint32_t m = std::max<uint32_t>(1, edges_per_node);
+  if (n < 2) return topo;
+
+  // Endpoint multiset: every attachment records both endpoints, so sampling
+  // an entry uniformly is degree-proportional sampling.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(static_cast<size_t>(n) * (m + 1) * 2);
+
+  const uint32_t seed_nodes = std::min(n, m + 1);
+  for (NodeId a = 0; a < seed_nodes; ++a) {
+    for (NodeId b = a + 1; b < seed_nodes; ++b) {
+      EmitPair(topo, a, b, bidirected, rng);
+      endpoints.push_back(a);
+      endpoints.push_back(b);
+    }
+  }
+  std::unordered_set<NodeId> chosen;
+  for (NodeId v = seed_nodes; v < n; ++v) {
+    chosen.clear();
+    const uint32_t want = std::min<uint32_t>(m, v);
+    size_t guard = 0;
+    while (chosen.size() < want && guard < 64u * want + 64u) {
+      ++guard;
+      const NodeId u = endpoints[rng.UniformInt(endpoints.size())];
+      if (u == v) continue;
+      chosen.insert(u);
+    }
+    // Fallback to uniform sampling if the preferential draw stalls.
+    while (chosen.size() < want) {
+      const NodeId u = static_cast<NodeId>(rng.UniformInt(v));
+      chosen.insert(u);
+    }
+    for (NodeId u : chosen) {
+      EmitPair(topo, v, u, bidirected, rng);
+      endpoints.push_back(v);
+      endpoints.push_back(u);
+    }
+  }
+  return topo;
+}
+
+Topology MakeWattsStrogatz(uint32_t n, uint32_t k, double beta, Rng& rng) {
+  Topology topo;
+  topo.num_nodes = n;
+  topo.paired = true;
+  if (n < 3 || k == 0) return topo;
+  std::unordered_set<uint64_t> seen;
+  // Ring lattice; rewire the far endpoint with probability beta.
+  for (NodeId v = 0; v < n; ++v) {
+    for (uint32_t j = 1; j <= k; ++j) {
+      NodeId u = (v + j) % n;
+      if (rng.Bernoulli(beta)) {
+        NodeId candidate = static_cast<NodeId>(rng.UniformInt(n));
+        size_t guard = 0;
+        while ((candidate == v || seen.count(PairKey(v, candidate)) > 0) &&
+               guard < 32) {
+          candidate = static_cast<NodeId>(rng.UniformInt(n));
+          ++guard;
+        }
+        if (candidate != v) u = candidate;
+      }
+      if (u == v) continue;
+      if (!seen.insert(PairKey(v, u)).second) continue;
+      topo.edges.emplace_back(v, u);
+      topo.edges.emplace_back(u, v);
+    }
+  }
+  return topo;
+}
+
+Topology MakeGrid(uint32_t rows, uint32_t cols) {
+  Topology topo;
+  topo.num_nodes = rows * cols;
+  topo.paired = true;
+  auto id = [cols](uint32_t r, uint32_t c) { return r * cols + c; };
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        topo.edges.emplace_back(id(r, c), id(r, c + 1));
+        topo.edges.emplace_back(id(r, c + 1), id(r, c));
+      }
+      if (r + 1 < rows) {
+        topo.edges.emplace_back(id(r, c), id(r + 1, c));
+        topo.edges.emplace_back(id(r + 1, c), id(r, c));
+      }
+    }
+  }
+  return topo;
+}
+
+Topology MakeCommunityGraph(uint32_t n, uint32_t community_size,
+                            uint32_t intra_degree, double inter_prob, Rng& rng) {
+  Topology topo;
+  topo.num_nodes = n;
+  topo.paired = true;
+  if (n < 2) return topo;
+  const uint32_t csize = std::max<uint32_t>(2, community_size);
+  const uint32_t num_communities = (n + csize - 1) / csize;
+  std::unordered_set<uint64_t> seen;
+  auto community_of = [csize](NodeId v) { return v / csize; };
+  auto community_begin = [csize](uint32_t c) { return c * csize; };
+  auto community_end = [csize, n](uint32_t c) {
+    return std::min<uint32_t>(n, (c + 1) * csize);
+  };
+
+  for (NodeId v = 0; v < n; ++v) {
+    const uint32_t c = community_of(v);
+    const uint32_t lo = community_begin(c);
+    const uint32_t hi = community_end(c);
+    const uint32_t span = hi - lo;
+    const uint32_t want = std::min<uint32_t>(intra_degree, span - 1);
+    for (uint32_t j = 0; j < want; ++j) {
+      NodeId u = lo + static_cast<NodeId>(rng.UniformInt(span));
+      size_t guard = 0;
+      while (u == v && guard < 16) {
+        u = lo + static_cast<NodeId>(rng.UniformInt(span));
+        ++guard;
+      }
+      if (u == v) continue;
+      if (!seen.insert(PairKey(v, u)).second) continue;
+      topo.edges.emplace_back(v, u);
+      topo.edges.emplace_back(u, v);
+    }
+    if (rng.Bernoulli(inter_prob) && num_communities > 1) {
+      uint32_t other = static_cast<uint32_t>(rng.UniformInt(num_communities));
+      if (other == c) other = (other + 1) % num_communities;
+      const uint32_t olo = community_begin(other);
+      const uint32_t ospan = community_end(other) - olo;
+      if (ospan > 0) {
+        const NodeId u = olo + static_cast<NodeId>(rng.UniformInt(ospan));
+        if (u != v && seen.insert(PairKey(v, u)).second) {
+          topo.edges.emplace_back(v, u);
+          topo.edges.emplace_back(u, v);
+        }
+      }
+    }
+  }
+  return topo;
+}
+
+Result<UncertainGraph> BuildFromTopology(const Topology& topo,
+                                         const std::vector<double>& probs) {
+  if (probs.size() != topo.edges.size()) {
+    return Status::InvalidArgument("BuildFromTopology: probs/edges size mismatch");
+  }
+  GraphBuilder builder(topo.num_nodes);
+  builder.ReserveEdges(topo.edges.size());
+  for (size_t i = 0; i < topo.edges.size(); ++i) {
+    RELCOMP_RETURN_NOT_OK(
+        builder.AddEdge(topo.edges[i].first, topo.edges[i].second, probs[i]));
+  }
+  return builder.Build();
+}
+
+}  // namespace relcomp

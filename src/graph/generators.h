@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/uncertain_graph.h"
+
+namespace relcomp {
+
+/// \brief Bare graph topology produced by the synthetic generators; edge
+/// probabilities are attached separately by the models in edge_prob.h.
+struct Topology {
+  uint32_t num_nodes = 0;
+  /// If true, edges come in adjacent (forward, reverse) pairs: edges[2i+1]
+  /// is the reverse of edges[2i]. Probability models use this to assign
+  /// symmetric probabilities to bidirected relations (co-authorship etc.).
+  bool paired = false;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+
+  size_t num_edges() const { return edges.size(); }
+};
+
+/// Erdős–Rényi G(n, m)-style topology with `n * avg_degree / 2` undirected
+/// pairs (each emitted in both directions when `bidirected`).
+Topology MakeErdosRenyi(uint32_t n, double avg_degree, bool bidirected, Rng& rng);
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `edges_per_node` distinct existing nodes. Heavy-tailed degrees; the
+/// social / collaboration / internet analogue used by the dataset registry.
+/// When `bidirected` both directions are emitted (paired); otherwise each
+/// attachment becomes a single directed edge with random orientation.
+Topology MakeBarabasiAlbert(uint32_t n, uint32_t edges_per_node, bool bidirected,
+                            Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with `k` neighbors per side,
+/// rewired with probability `beta`. Always bidirected/paired.
+Topology MakeWattsStrogatz(uint32_t n, uint32_t k, double beta, Rng& rng);
+
+/// rows x cols 4-neighbor grid (road-network analogue). Bidirected/paired.
+Topology MakeGrid(uint32_t rows, uint32_t cols);
+
+/// Community-structured collaboration graph (DBLP analogue): nodes are
+/// grouped into communities of ~`community_size`; each node draws
+/// `intra_degree` in-community partners and crosses communities with
+/// probability `inter_prob`. Bidirected/paired.
+Topology MakeCommunityGraph(uint32_t n, uint32_t community_size,
+                            uint32_t intra_degree, double inter_prob, Rng& rng);
+
+/// Converts a topology plus per-edge probabilities into an UncertainGraph.
+/// Requires probs.size() == topo.num_edges().
+Result<UncertainGraph> BuildFromTopology(const Topology& topo,
+                                         const std::vector<double>& probs);
+
+}  // namespace relcomp

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+
+namespace relcomp {
+
+/// \brief Incremental constructor for UncertainGraph.
+///
+/// Usage:
+/// \code
+///   GraphBuilder b(4);
+///   RELCOMP_RETURN_NOT_OK(b.AddEdge(0, 1, 0.5));
+///   RELCOMP_ASSIGN_OR_RETURN(UncertainGraph g, b.Build());
+/// \endcode
+///
+/// Node ids are auto-grown: AddEdge(7, 9, p) extends the node range to 10.
+/// Parallel edges are allowed (callers that need simple graphs can
+/// deduplicate with CombineParallelEdges()).
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(size_t num_nodes = 0) : num_nodes_(num_nodes) {}
+
+  /// Pre-allocates space for `n` edges.
+  void ReserveEdges(size_t n) { edges_.reserve(n); }
+
+  /// Appends an isolated node; returns its id.
+  NodeId AddNode() { return static_cast<NodeId>(num_nodes_++); }
+
+  /// Ensures ids [0, n) exist.
+  void EnsureNodes(size_t n) {
+    if (n > num_nodes_) num_nodes_ = n;
+  }
+
+  /// Adds a directed probabilistic edge. Fails if p is not in (0, 1] or is
+  /// not finite, or if an id equals kInvalidNode.
+  Status AddEdge(NodeId tail, NodeId head, double p);
+
+  /// Adds both directions with the same probability.
+  Status AddBidirectedEdge(NodeId a, NodeId b, double p);
+
+  /// Replaces groups of parallel edges (same tail and head) by a single edge
+  /// with the union probability 1 - prod(1 - p_i). Self-loops are dropped
+  /// (they never affect s-t reliability).
+  void CombineParallelEdges();
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Finalizes the CSR structure. The builder stays reusable afterwards
+  /// (Build copies the edge set).
+  Result<UncertainGraph> Build() const;
+
+ private:
+  size_t num_nodes_ = 0;
+  std::vector<EdgeRecord> edges_;
+};
+
+}  // namespace relcomp

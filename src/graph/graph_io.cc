@@ -1,0 +1,147 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/format.h"
+#include "graph/graph_builder.h"
+
+namespace relcomp {
+
+namespace {
+
+constexpr char kBinaryMagic[8] = {'R', 'E', 'L', 'C', 'O', 'M', 'P', 'G'};
+constexpr uint32_t kBinaryVersion = 1;
+
+Result<UncertainGraph> ParseEdgeListStream(std::istream& in) {
+  GraphBuilder builder;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    const std::vector<std::string> tokens = SplitString(line, " \t\r");
+    if (tokens.empty()) continue;
+    if (tokens.size() != 3) {
+      return Status::IOError(
+          StrFormat("line %zu: expected 'tail head prob', got %zu tokens",
+                    line_no, tokens.size()));
+    }
+    uint64_t tail = 0;
+    uint64_t head = 0;
+    double prob = 0.0;
+    if (!ParseUint64(tokens[0], &tail) || !ParseUint64(tokens[1], &head) ||
+        !ParseDouble(tokens[2], &prob)) {
+      return Status::IOError(StrFormat("line %zu: malformed edge", line_no));
+    }
+    if (tail > kInvalidNode - 1 || head > kInvalidNode - 1) {
+      return Status::IOError(StrFormat("line %zu: node id out of range", line_no));
+    }
+    const Status st = builder.AddEdge(static_cast<NodeId>(tail),
+                                      static_cast<NodeId>(head), prob);
+    if (!st.ok()) {
+      return Status::IOError(StrFormat("line %zu: %s", line_no,
+                                       st.message().c_str()));
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+Result<UncertainGraph> ParseEdgeListString(const std::string& content) {
+  std::istringstream in(content);
+  return ParseEdgeListStream(in);
+}
+
+std::string WriteEdgeListString(const UncertainGraph& graph) {
+  std::string out;
+  out += StrFormat("# relcomp uncertain graph: n=%zu m=%zu\n", graph.num_nodes(),
+                   graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const EdgeRecord& rec = graph.edge(e);
+    out += StrFormat("%u %u %.17g\n", rec.tail, rec.head, rec.prob);
+  }
+  return out;
+}
+
+Result<UncertainGraph> LoadEdgeListText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  return ParseEdgeListStream(in);
+}
+
+Status SaveEdgeListText(const UncertainGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  out << WriteEdgeListString(graph);
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<UncertainGraph> LoadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  char magic[8];
+  uint32_t version = 0;
+  uint64_t n = 0;
+  uint64_t m = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&m), sizeof(m));
+  if (!in.good() || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+    return Status::IOError("not a relcomp binary graph: " + path);
+  }
+  if (version != kBinaryVersion) {
+    return Status::IOError(StrFormat("unsupported binary version %u", version));
+  }
+  GraphBuilder builder(n);
+  builder.ReserveEdges(m);
+  for (uint64_t i = 0; i < m; ++i) {
+    uint32_t tail = 0;
+    uint32_t head = 0;
+    double prob = 0.0;
+    in.read(reinterpret_cast<char*>(&tail), sizeof(tail));
+    in.read(reinterpret_cast<char*>(&head), sizeof(head));
+    in.read(reinterpret_cast<char*>(&prob), sizeof(prob));
+    if (!in.good()) {
+      return Status::IOError(StrFormat("truncated binary graph at edge %llu",
+                                       static_cast<unsigned long long>(i)));
+    }
+    RELCOMP_RETURN_NOT_OK(builder.AddEdge(tail, head, prob));
+  }
+  return builder.Build();
+}
+
+Status SaveBinary(const UncertainGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  out.write(kBinaryMagic, sizeof(kBinaryMagic));
+  const uint32_t version = kBinaryVersion;
+  const uint64_t n = graph.num_nodes();
+  const uint64_t m = graph.num_edges();
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const EdgeRecord& rec = graph.edge(e);
+    out.write(reinterpret_cast<const char*>(&rec.tail), sizeof(rec.tail));
+    out.write(reinterpret_cast<const char*>(&rec.head), sizeof(rec.head));
+    out.write(reinterpret_cast<const char*>(&rec.prob), sizeof(rec.prob));
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace relcomp

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+
+namespace relcomp {
+
+/// \name Text edge-list format
+///
+/// One edge per line: `tail head prob`, whitespace separated. Lines starting
+/// with '#' or '%' are comments. Node ids are dense non-negative integers.
+/// @{
+
+/// Parses an edge list from an in-memory string (useful for tests).
+Result<UncertainGraph> ParseEdgeListString(const std::string& content);
+
+/// Renders the graph in the text edge-list format.
+std::string WriteEdgeListString(const UncertainGraph& graph);
+
+/// Loads a text edge list from `path`.
+Result<UncertainGraph> LoadEdgeListText(const std::string& path);
+
+/// Writes a text edge list to `path` (overwrites).
+Status SaveEdgeListText(const UncertainGraph& graph, const std::string& path);
+/// @}
+
+/// \name Binary format
+///
+/// Compact snapshot: magic "RELCOMPG", version, n, m, then m EdgeRecord
+/// triples (tail:u32, head:u32, prob:f64), little-endian. Used to persist
+/// generated datasets and index artifacts.
+/// @{
+Result<UncertainGraph> LoadBinary(const std::string& path);
+Status SaveBinary(const UncertainGraph& graph, const std::string& path);
+/// @}
+
+}  // namespace relcomp

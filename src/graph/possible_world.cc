@@ -1,0 +1,101 @@
+#include "graph/possible_world.h"
+
+#include <deque>
+
+namespace relcomp {
+
+WorldMask SampleWorld(const UncertainGraph& graph, Rng& rng) {
+  WorldMask mask(graph.num_edges(), 0);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    mask[e] = rng.Bernoulli(graph.prob(e)) ? 1 : 0;
+  }
+  return mask;
+}
+
+double WorldProbability(const UncertainGraph& graph, const WorldMask& mask) {
+  double p = 1.0;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const double pe = graph.prob(e);
+    p *= mask[e] ? pe : (1.0 - pe);
+  }
+  return p;
+}
+
+bool Reachable(const UncertainGraph& graph, const WorldMask& mask, NodeId s,
+               NodeId t) {
+  if (s == t) return true;
+  std::vector<uint8_t> visited(graph.num_nodes(), 0);
+  std::deque<NodeId> queue;
+  queue.push_back(s);
+  visited[s] = 1;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (const AdjEntry& a : graph.OutEdges(v)) {
+      if (!mask[a.edge] || visited[a.neighbor]) continue;
+      if (a.neighbor == t) return true;
+      visited[a.neighbor] = 1;
+      queue.push_back(a.neighbor);
+    }
+  }
+  return false;
+}
+
+std::vector<NodeId> ReachableSet(const UncertainGraph& graph,
+                                 const WorldMask& mask, NodeId s) {
+  std::vector<uint8_t> visited(graph.num_nodes(), 0);
+  std::vector<NodeId> out;
+  std::deque<NodeId> queue;
+  queue.push_back(s);
+  visited[s] = 1;
+  out.push_back(s);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (const AdjEntry& a : graph.OutEdges(v)) {
+      if (!mask[a.edge] || visited[a.neighbor]) continue;
+      visited[a.neighbor] = 1;
+      out.push_back(a.neighbor);
+      queue.push_back(a.neighbor);
+    }
+  }
+  return out;
+}
+
+bool ReachableIgnoringProbs(const UncertainGraph& graph, NodeId s, NodeId t) {
+  if (s == t) return true;
+  std::vector<uint8_t> visited(graph.num_nodes(), 0);
+  std::deque<NodeId> queue;
+  queue.push_back(s);
+  visited[s] = 1;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (const AdjEntry& a : graph.OutEdges(v)) {
+      if (visited[a.neighbor]) continue;
+      if (a.neighbor == t) return true;
+      visited[a.neighbor] = 1;
+      queue.push_back(a.neighbor);
+    }
+  }
+  return false;
+}
+
+std::vector<uint32_t> HopDistances(const UncertainGraph& graph, NodeId s) {
+  std::vector<uint32_t> dist(graph.num_nodes(), kInvalidDistance);
+  std::deque<NodeId> queue;
+  dist[s] = 0;
+  queue.push_back(s);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (const AdjEntry& a : graph.OutEdges(v)) {
+      if (dist[a.neighbor] != kInvalidDistance) continue;
+      dist[a.neighbor] = dist[v] + 1;
+      queue.push_back(a.neighbor);
+    }
+  }
+  return dist;
+}
+
+}  // namespace relcomp

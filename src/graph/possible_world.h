@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/uncertain_graph.h"
+
+namespace relcomp {
+
+/// \brief One fully-materialized possible world of an uncertain graph:
+/// mask[e] == 1 iff edge e exists in this world.
+using WorldMask = std::vector<uint8_t>;
+
+/// Samples a complete possible world (every edge tossed independently).
+/// Used by the offline BFS Sharing index and by exact/oracle tests; the
+/// online estimators sample lazily instead.
+WorldMask SampleWorld(const UncertainGraph& graph, Rng& rng);
+
+/// Sampling probability Pr(G) of the world (Eq. 1). Underflows to 0 for
+/// large graphs; intended for small test graphs.
+double WorldProbability(const UncertainGraph& graph, const WorldMask& mask);
+
+/// BFS s -> t over the existing edges of `mask`.
+bool Reachable(const UncertainGraph& graph, const WorldMask& mask, NodeId s,
+               NodeId t);
+
+/// All nodes reachable from `s` over the existing edges of `mask`.
+std::vector<NodeId> ReachableSet(const UncertainGraph& graph,
+                                 const WorldMask& mask, NodeId s);
+
+/// BFS s -> t ignoring probabilities (treats every edge as present). Used by
+/// workload generation and simplification pre-checks.
+bool ReachableIgnoringProbs(const UncertainGraph& graph, NodeId s, NodeId t);
+
+/// Unweighted shortest-path (hop) distances from `s` over all edges,
+/// kInvalidDistance where unreachable.
+inline constexpr uint32_t kInvalidDistance = static_cast<uint32_t>(-1);
+std::vector<uint32_t> HopDistances(const UncertainGraph& graph, NodeId s);
+
+}  // namespace relcomp

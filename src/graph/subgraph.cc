@@ -1,0 +1,122 @@
+#include "graph/subgraph.h"
+
+#include <deque>
+
+#include "common/format.h"
+#include "graph/graph_builder.h"
+
+namespace relcomp {
+
+namespace {
+
+/// BFS over out-edges whose state passes `keep`.
+template <typename KeepFn>
+std::vector<uint8_t> ForwardClosure(const UncertainGraph& g, NodeId s,
+                                    const std::vector<EdgeState>& states,
+                                    KeepFn keep) {
+  std::vector<uint8_t> visited(g.num_nodes(), 0);
+  std::deque<NodeId> queue;
+  visited[s] = 1;
+  queue.push_back(s);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (const AdjEntry& a : g.OutEdges(v)) {
+      if (!keep(states[a.edge]) || visited[a.neighbor]) continue;
+      visited[a.neighbor] = 1;
+      queue.push_back(a.neighbor);
+    }
+  }
+  return visited;
+}
+
+/// Reverse BFS over in-edges whose state passes `keep`.
+template <typename KeepFn>
+std::vector<uint8_t> BackwardClosure(const UncertainGraph& g, NodeId t,
+                                     const std::vector<EdgeState>& states,
+                                     KeepFn keep) {
+  std::vector<uint8_t> visited(g.num_nodes(), 0);
+  std::deque<NodeId> queue;
+  visited[t] = 1;
+  queue.push_back(t);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (const AdjEntry& a : g.InEdges(v)) {
+      if (!keep(states[a.edge]) || visited[a.neighbor]) continue;
+      visited[a.neighbor] = 1;
+      queue.push_back(a.neighbor);
+    }
+  }
+  return visited;
+}
+
+}  // namespace
+
+Result<SimplifyResult> SimplifyGraph(const UncertainGraph& g, NodeId s, NodeId t,
+                                     const std::vector<EdgeState>& states) {
+  if (!g.HasNode(s) || !g.HasNode(t)) {
+    return Status::InvalidArgument("SimplifyGraph: query node out of range");
+  }
+  if (states.size() != g.num_edges()) {
+    return Status::InvalidArgument(
+        StrFormat("SimplifyGraph: %zu states for %zu edges", states.size(),
+                  g.num_edges()));
+  }
+
+  SimplifyResult result;
+  if (s == t) {
+    result.outcome = SimplifyOutcome::kCertainOne;
+    return result;
+  }
+
+  // 1. Component certainly reachable via included (conditioned-present) edges.
+  const std::vector<uint8_t> certain = ForwardClosure(
+      g, s, states, [](EdgeState st) { return st == EdgeState::kIncluded; });
+  if (certain[t]) {
+    result.outcome = SimplifyOutcome::kCertainOne;
+    return result;
+  }
+
+  // 2. Reachability over non-excluded edges; failure means E2 is an s-t cut.
+  const auto not_excluded = [](EdgeState st) { return st != EdgeState::kExcluded; };
+  const std::vector<uint8_t> reach = ForwardClosure(g, s, states, not_excluded);
+  if (!reach[t]) {
+    result.outcome = SimplifyOutcome::kCertainZero;
+    return result;
+  }
+
+  // 3. Nodes that can still reach t.
+  const std::vector<uint8_t> coreach = BackwardClosure(g, t, states, not_excluded);
+
+  // 4. Relabel: super-source 0 = contracted certain component; keep only
+  //    nodes on some residual s-t path.
+  std::vector<NodeId> remap(g.num_nodes(), kInvalidNode);
+  GraphBuilder builder(1);  // node 0 = super-source
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (certain[v]) {
+      remap[v] = 0;
+    } else if (reach[v] && coreach[v]) {
+      remap[v] = builder.AddNode();
+    }
+  }
+
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (states[e] == EdgeState::kExcluded) continue;
+    const EdgeRecord& rec = g.edge(e);
+    if (certain[rec.head]) continue;  // edges into the certain component are moot
+    const NodeId u = remap[rec.tail];
+    const NodeId v = remap[rec.head];
+    if (u == kInvalidNode || v == kInvalidNode || u == v) continue;
+    const double p = states[e] == EdgeState::kIncluded ? 1.0 : rec.prob;
+    RELCOMP_RETURN_NOT_OK(builder.AddEdge(u, v, p));
+  }
+
+  result.outcome = SimplifyOutcome::kReduced;
+  RELCOMP_ASSIGN_OR_RETURN(result.rooted.graph, builder.Build());
+  result.rooted.source = 0;
+  result.rooted.target = remap[t];
+  return result;
+}
+
+}  // namespace relcomp

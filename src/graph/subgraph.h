@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+
+namespace relcomp {
+
+/// \brief Tri-state edge assignment used by the conditioning-based methods
+/// (RHH's inclusion/exclusion lists E1/E2, RSS's stratum status vectors, the
+/// exact factoring oracle).
+enum class EdgeState : uint8_t {
+  kUndetermined = 0,  ///< '*' in the paper's Table 1
+  kIncluded = 1,      ///< edge conditioned to exist (E1 / status 1)
+  kExcluded = 2,      ///< edge conditioned to not exist (E2 / status 0)
+};
+
+/// \brief A graph together with the (remapped) query endpoints. Produced by
+/// RSS stratum simplification and by ProbTree query-graph extraction.
+struct RootedGraph {
+  UncertainGraph graph;
+  NodeId source = kInvalidNode;
+  NodeId target = kInvalidNode;
+};
+
+/// Outcome of conditioning a graph on an EdgeState assignment.
+enum class SimplifyOutcome {
+  kCertainOne,   ///< included edges already contain an s-t path: R = 1
+  kCertainZero,  ///< excluded edges contain an s-t cut: R = 0
+  kReduced,      ///< a strictly smaller residual graph remains
+};
+
+/// \brief Result of SimplifyGraph: either a certain value or a reduced
+/// rooted residual graph.
+struct SimplifyResult {
+  SimplifyOutcome outcome = SimplifyOutcome::kReduced;
+  RootedGraph rooted;  // populated iff outcome == kReduced
+};
+
+/// \brief Conditions `g` on `states` and simplifies (Alg. 5 line 12).
+///
+/// Steps:
+///  1. contract the component certainly reachable from `s` via included
+///     edges into a single super-source (if it contains `t`: kCertainOne);
+///  2. drop excluded edges; if `t` becomes unreachable: kCertainZero;
+///  3. prune nodes that are unreachable from `s` or cannot reach `t`, and
+///     edges pointing back into the super-source;
+///  4. included edges in the residual keep probability 1.
+///
+/// Requires states.size() == g.num_edges() and valid s, t.
+Result<SimplifyResult> SimplifyGraph(const UncertainGraph& g, NodeId s, NodeId t,
+                                     const std::vector<EdgeState>& states);
+
+}  // namespace relcomp

@@ -1,0 +1,52 @@
+#include "graph/uncertain_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/format.h"
+
+namespace relcomp {
+
+size_t UncertainGraph::MemoryBytes() const {
+  return edges_.size() * sizeof(EdgeRecord) +
+         out_offsets_.size() * sizeof(uint32_t) +
+         in_offsets_.size() * sizeof(uint32_t) +
+         out_adj_.size() * sizeof(AdjEntry) + in_adj_.size() * sizeof(AdjEntry);
+}
+
+EdgeProbStats UncertainGraph::ProbStats() const {
+  EdgeProbStats stats;
+  if (edges_.empty()) return stats;
+  std::vector<double> probs;
+  probs.reserve(edges_.size());
+  double sum = 0.0;
+  for (const auto& e : edges_) {
+    probs.push_back(e.prob);
+    sum += e.prob;
+  }
+  stats.mean = sum / static_cast<double>(probs.size());
+  double sq = 0.0;
+  for (double p : probs) sq += (p - stats.mean) * (p - stats.mean);
+  stats.stddev = std::sqrt(sq / static_cast<double>(probs.size()));
+  std::sort(probs.begin(), probs.end());
+  auto quantile = [&probs](double q) {
+    const double pos = q * static_cast<double>(probs.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, probs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return probs[lo] * (1.0 - frac) + probs[hi] * frac;
+  };
+  stats.q25 = quantile(0.25);
+  stats.q50 = quantile(0.50);
+  stats.q75 = quantile(0.75);
+  return stats;
+}
+
+std::string UncertainGraph::Describe() const {
+  const EdgeProbStats s = ProbStats();
+  return StrFormat("n=%zu, m=%zu, edge prob: %.3f +/- %.3f, quartiles {%.3f, %.3f, %.3f}",
+                   num_nodes(), num_edges(), s.mean, s.stddev, s.q25, s.q50,
+                   s.q75);
+}
+
+}  // namespace relcomp

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace relcomp {
+
+/// Node identifier; nodes are dense integers [0, num_nodes).
+using NodeId = uint32_t;
+/// Edge identifier; edges are dense integers [0, num_edges) in insertion
+/// order (the canonical order used by index structures and world masks).
+using EdgeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+/// \brief One directed probabilistic edge tail -> head with existence
+/// probability prob in (0, 1].
+struct EdgeRecord {
+  NodeId tail = kInvalidNode;
+  NodeId head = kInvalidNode;
+  double prob = 0.0;
+};
+
+/// \brief Adjacency-list entry: the neighbor, the canonical edge id, and the
+/// edge probability (duplicated here for cache locality of the BFS loops).
+struct AdjEntry {
+  NodeId neighbor = kInvalidNode;
+  EdgeId edge = kInvalidEdge;
+  double prob = 0.0;
+};
+
+/// \brief Summary statistics of the edge-probability distribution, matching
+/// the columns of the paper's Table 2.
+struct EdgeProbStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double q25 = 0.0;
+  double q50 = 0.0;
+  double q75 = 0.0;
+};
+
+/// \brief Immutable directed uncertain graph G = (V, E, P) in CSR form.
+///
+/// Possible-world semantics: every edge e exists independently with
+/// probability P(e) (Section 2.1 of the paper). Build instances with
+/// GraphBuilder; the structure is immutable afterwards, so estimators can
+/// share one graph across threads/queries.
+class UncertainGraph {
+ public:
+  UncertainGraph() = default;
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Canonical record for edge id `e`.
+  const EdgeRecord& edge(EdgeId e) const { return edges_[e]; }
+  /// Existence probability of edge id `e`.
+  double prob(EdgeId e) const { return edges_[e].prob; }
+
+  /// Outgoing adjacency of `v` (entries sorted by insertion order).
+  std::span<const AdjEntry> OutEdges(NodeId v) const {
+    return {out_adj_.data() + out_offsets_[v],
+            out_adj_.data() + out_offsets_[v + 1]};
+  }
+  /// Incoming adjacency of `v` (AdjEntry::neighbor is the edge tail).
+  std::span<const AdjEntry> InEdges(NodeId v) const {
+    return {in_adj_.data() + in_offsets_[v], in_adj_.data() + in_offsets_[v + 1]};
+  }
+
+  size_t OutDegree(NodeId v) const {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+  size_t InDegree(NodeId v) const { return in_offsets_[v + 1] - in_offsets_[v]; }
+
+  /// True iff `v` is a valid node id of this graph.
+  bool HasNode(NodeId v) const { return v < num_nodes_; }
+
+  /// Logical resident size of the CSR structure in bytes.
+  size_t MemoryBytes() const;
+
+  /// Edge-probability summary (Table 2 columns).
+  EdgeProbStats ProbStats() const;
+
+  /// One-line description: "n=..., m=..., mean prob=...".
+  std::string Describe() const;
+
+ private:
+  friend class GraphBuilder;
+
+  size_t num_nodes_ = 0;
+  std::vector<EdgeRecord> edges_;
+  std::vector<uint32_t> out_offsets_;  // size num_nodes_+1
+  std::vector<uint32_t> in_offsets_;   // size num_nodes_+1
+  std::vector<AdjEntry> out_adj_;      // size num_edges
+  std::vector<AdjEntry> in_adj_;       // size num_edges
+};
+
+}  // namespace relcomp

@@ -1,0 +1,213 @@
+#include "reliability/bfs_sharing.h"
+
+#include <cstring>
+#include <deque>
+#include <fstream>
+
+#include "common/format.h"
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace relcomp {
+
+namespace {
+constexpr char kIndexMagic[8] = {'R', 'E', 'L', 'B', 'F', 'S', 'I', 'X'};
+}
+
+BfsSharingEstimator::BfsSharingEstimator(const UncertainGraph& graph,
+                                         const BfsSharingOptions& options)
+    : graph_(graph),
+      options_(options),
+      node_bits_(graph.num_nodes()),
+      visit_epoch_(graph.num_nodes(), 0),
+      in_queue_epoch_(graph.num_nodes(), 0) {}
+
+Result<std::unique_ptr<BfsSharingEstimator>> BfsSharingEstimator::Create(
+    const UncertainGraph& graph, const BfsSharingOptions& options,
+    uint64_t index_seed) {
+  if (options.index_samples == 0) {
+    return Status::InvalidArgument("BFS Sharing: index_samples must be positive");
+  }
+  std::unique_ptr<BfsSharingEstimator> estimator(
+      new BfsSharingEstimator(graph, options));
+  Timer timer;
+  estimator->ResampleIndex(index_seed);
+  estimator->index_build_seconds_ = timer.ElapsedSeconds();
+  return estimator;
+}
+
+void BfsSharingEstimator::ResampleIndex(uint64_t seed) {
+  Rng rng(seed);
+  edge_bits_.resize(graph_.num_edges());
+  for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    edge_bits_[e].Resize(options_.index_samples);
+    edge_bits_[e].FillBernoulli(graph_.prob(e), rng);
+  }
+}
+
+Status BfsSharingEstimator::PrepareForNextQuery(uint64_t seed) {
+  ResampleIndex(seed);
+  return Status::OK();
+}
+
+size_t BfsSharingEstimator::IndexMemoryBytes() const {
+  size_t total = edge_bits_.size() * sizeof(BitVector);
+  for (const BitVector& bv : edge_bits_) total += bv.MemoryBytes();
+  return total;
+}
+
+Result<double> BfsSharingEstimator::DoEstimate(const ReliabilityQuery& query,
+                                               const EstimateOptions& options,
+                                               MemoryTracker* memory) {
+  const NodeId s = query.source;
+  const NodeId t = query.target;
+  const uint32_t k = options.num_samples;
+  if (s == t) return 1.0;
+
+  // Working state: K-bit I_v per visited node plus bookkeeping arrays.
+  ScopedAllocation working(memory, graph_.num_nodes() * 2 * sizeof(uint32_t));
+  RELCOMP_RETURN_NOT_OK(RunSharedBfs(s, k, &working));
+
+  if (visit_epoch_[t] != epoch_) return 0.0;
+  return static_cast<double>(node_bits_[t].Count()) / static_cast<double>(k);
+}
+
+Result<std::vector<double>> BfsSharingEstimator::ReliabilityFromSource(
+    NodeId source, uint32_t num_samples) {
+  if (!graph_.HasNode(source)) {
+    return Status::InvalidArgument("BFS Sharing: source out of range");
+  }
+  RELCOMP_RETURN_NOT_OK(RunSharedBfs(source, num_samples, nullptr));
+  std::vector<double> reliability(graph_.num_nodes(), 0.0);
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    if (visit_epoch_[v] == epoch_) {
+      reliability[v] = static_cast<double>(node_bits_[v].Count()) /
+                       static_cast<double>(num_samples);
+    }
+  }
+  return reliability;
+}
+
+Status BfsSharingEstimator::RunSharedBfs(NodeId s, uint32_t k,
+                                         ScopedAllocation* working) {
+  if (k == 0 || k > options_.index_samples) {
+    return Status::InvalidArgument(
+        StrFormat("BFS Sharing: K=%u exceeds indexed worlds L=%u", k,
+                  options_.index_samples));
+  }
+  ++epoch_;
+  auto visit = [&](NodeId v) {
+    visit_epoch_[v] = epoch_;
+    BitVector& bv = node_bits_[v];
+    bv.Resize(k);
+    bv.ClearAll();
+    if (working != nullptr) working->Grow(bv.MemoryBytes());
+  };
+  auto visited = [&](NodeId v) { return visit_epoch_[v] == epoch_; };
+
+  visit(s);
+  node_bits_[s].SetAll();  // I_s = [1 1 ... 1]
+
+  // Cascading update (Algorithm 3): fix-point propagation of new worlds
+  // through already-visited nodes.
+  std::deque<NodeId> cascade;
+  auto CascadeFrom = [&](NodeId from) {
+    cascade.clear();
+    cascade.push_back(from);
+    while (!cascade.empty()) {
+      const NodeId w = cascade.front();
+      cascade.pop_front();
+      for (const AdjEntry& a : graph_.OutEdges(w)) {
+        if (!visited(a.neighbor)) continue;
+        if (node_bits_[a.neighbor].OrWithAnd(node_bits_[w], edge_bits_[a.edge])) {
+          cascade.push_back(a.neighbor);
+        }
+      }
+    }
+  };
+
+  // Main worklist BFS (Algorithm 2). No early termination even if t gains
+  // worlds early: cascading updates must run to completion.
+  std::deque<NodeId> worklist;
+  for (const AdjEntry& a : graph_.OutEdges(s)) {
+    if (in_queue_epoch_[a.neighbor] != epoch_) {
+      in_queue_epoch_[a.neighbor] = epoch_;
+      worklist.push_back(a.neighbor);
+    }
+  }
+  while (!worklist.empty()) {
+    const NodeId v = worklist.front();
+    worklist.pop_front();
+    if (visited(v)) continue;
+    visit(v);
+    BitVector& iv = node_bits_[v];
+    for (const AdjEntry& a : graph_.InEdges(v)) {
+      if (visited(a.neighbor)) {
+        iv.OrWithAnd(node_bits_[a.neighbor], edge_bits_[a.edge]);
+      }
+    }
+    for (const AdjEntry& a : graph_.OutEdges(v)) {
+      if (!visited(a.neighbor)) {
+        if (in_queue_epoch_[a.neighbor] != epoch_) {
+          in_queue_epoch_[a.neighbor] = epoch_;
+          worklist.push_back(a.neighbor);
+        }
+      } else if (node_bits_[a.neighbor].OrWithAnd(iv, edge_bits_[a.edge])) {
+        CascadeFrom(a.neighbor);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status BfsSharingEstimator::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::IOError("cannot open for writing: " + path);
+  out.write(kIndexMagic, sizeof(kIndexMagic));
+  const uint64_t m = edge_bits_.size();
+  const uint32_t l = options_.index_samples;
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  out.write(reinterpret_cast<const char*>(&l), sizeof(l));
+  for (const BitVector& bv : edge_bits_) {
+    out.write(reinterpret_cast<const char*>(bv.words().data()),
+              static_cast<std::streamsize>(bv.words().size() * sizeof(uint64_t)));
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<BfsSharingEstimator>> BfsSharingEstimator::LoadFromFile(
+    const UncertainGraph& graph, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open for reading: " + path);
+  char magic[8];
+  uint64_t m = 0;
+  uint32_t l = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&m), sizeof(m));
+  in.read(reinterpret_cast<char*>(&l), sizeof(l));
+  if (!in.good() || std::memcmp(magic, kIndexMagic, sizeof(magic)) != 0) {
+    return Status::IOError("not a BFS Sharing index: " + path);
+  }
+  if (m != graph.num_edges()) {
+    return Status::InvalidArgument(
+        StrFormat("index has %llu edges, graph has %zu",
+                  static_cast<unsigned long long>(m), graph.num_edges()));
+  }
+  BfsSharingOptions options;
+  options.index_samples = l;
+  std::unique_ptr<BfsSharingEstimator> estimator(
+      new BfsSharingEstimator(graph, options));
+  Timer timer;
+  estimator->edge_bits_.resize(m);
+  for (auto& bv : estimator->edge_bits_) {
+    bv.Resize(l);
+    in.read(reinterpret_cast<char*>(bv.mutable_words().data()),
+            static_cast<std::streamsize>(bv.words().size() * sizeof(uint64_t)));
+    if (!in.good()) return Status::IOError("truncated BFS Sharing index: " + path);
+  }
+  estimator->index_build_seconds_ = timer.ElapsedSeconds();
+  return estimator;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "reliability/estimator.h"
+
+namespace relcomp {
+
+/// \brief Options for the BFS Sharing index [45].
+struct BfsSharingOptions {
+  /// L: number of pre-sampled possible worlds stored per edge. The paper
+  /// uses L = 1500 as a "safe bound" since K at convergence is not known
+  /// apriori (Section 3.7). Queries may use any K <= L.
+  uint32_t index_samples = 1500;
+};
+
+/// \brief Indexing via BFS Sharing (Algorithms 2 + 3; Zhu et al. [45],
+/// adapted from top-k reliability search to single s-t queries).
+///
+/// Offline, K possible worlds are materialized as one bit-vector of L bits
+/// per edge (bit i = edge exists in world i). Online, a single BFS carries a
+/// bit-vector I_v per node (worlds where v is reachable from s), propagating
+/// I_v |= I_u & I_e word-parallel across all worlds at once, with cascading
+/// fix-point updates when a visited node gains new worlds. No early
+/// termination is possible (the paper's key observation: this makes BFS
+/// Sharing ~4x slower than plain MC despite the shared index).
+///
+/// This implementation follows the paper's *corrected* complexity analysis:
+/// online time is O(K(m+n)) — it grows with K — not independent of K as
+/// claimed in [45].
+class BfsSharingEstimator : public Estimator {
+ public:
+  /// Builds the offline index (O(L m) time, O(n + L m) space).
+  static Result<std::unique_ptr<BfsSharingEstimator>> Create(
+      const UncertainGraph& graph, const BfsSharingOptions& options,
+      uint64_t index_seed);
+
+  /// Loads a previously saved index from `path` (Figure 13c measures this).
+  static Result<std::unique_ptr<BfsSharingEstimator>> LoadFromFile(
+      const UncertainGraph& graph, const std::string& path);
+
+  /// Persists the edge bit-vectors to `path`.
+  Status SaveToFile(const std::string& path) const;
+
+  std::string_view name() const override { return "BFSSharing"; }
+  const UncertainGraph& graph() const override { return graph_; }
+
+  /// Edge bit-vector bytes resident in memory.
+  size_t IndexMemoryBytes() const override;
+
+  /// Re-samples all edge bit-vectors. Required between successive queries to
+  /// keep their answers independent (Table 15 measures this per-query cost).
+  Status PrepareForNextQuery(uint64_t seed) override;
+
+  /// Seconds spent building (or loading) the index.
+  double index_build_seconds() const { return index_build_seconds_; }
+  /// L, the number of worlds stored per edge.
+  uint32_t index_samples() const { return options_.index_samples; }
+
+  /// One shared BFS, all targets at once: the reliability of every node from
+  /// `source` over the first `num_samples` indexed worlds (0 for nodes the
+  /// BFS never reaches). This is the primitive behind the original top-k
+  /// reliability search of [45] (see top_k.h).
+  Result<std::vector<double>> ReliabilityFromSource(NodeId source,
+                                                    uint32_t num_samples);
+
+ protected:
+  Result<double> DoEstimate(const ReliabilityQuery& query,
+                            const EstimateOptions& options,
+                            MemoryTracker* memory) override;
+
+ private:
+  BfsSharingEstimator(const UncertainGraph& graph,
+                      const BfsSharingOptions& options);
+
+  void ResampleIndex(uint64_t seed);
+
+  /// Core of Algorithms 2+3: fills node_bits_ / visit_epoch_ for all nodes
+  /// reached from `source`, with cascading fix-point updates.
+  Status RunSharedBfs(NodeId source, uint32_t num_samples,
+                      ScopedAllocation* working);
+
+  const UncertainGraph& graph_;
+  BfsSharingOptions options_;
+  double index_build_seconds_ = 0.0;
+  /// One L-bit vector per edge: the compact structure of Figure 3.
+  std::vector<BitVector> edge_bits_;
+
+  /// Per-query scratch, epoch-reused: node bit-vectors I_v and visited marks.
+  std::vector<BitVector> node_bits_;
+  std::vector<uint32_t> visit_epoch_;
+  std::vector<uint32_t> in_queue_epoch_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace relcomp

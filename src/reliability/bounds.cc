@@ -1,0 +1,184 @@
+#include "reliability/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace relcomp {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+constexpr double kFlowEpsilon = 1e-12;
+/// Capacity standing in for -log(1 - p) when p == 1 (uncuttable edge).
+constexpr double kCertainEdgeCapacity = 1e18;
+
+/// Dijkstra on -log P(e), skipping edges marked in `removed` (may be null).
+ReliablePath MostReliablePathImpl(const UncertainGraph& graph, NodeId s, NodeId t,
+                                  const std::vector<uint8_t>* removed) {
+  ReliablePath path;
+  if (s == t) {
+    path.nodes = {s};
+    path.probability = 1.0;
+    return path;
+  }
+  const size_t n = graph.num_nodes();
+  std::vector<double> cost(n, kInfinity);  // -log of best path probability
+  std::vector<EdgeId> via(n, kInvalidEdge);
+  using HeapEntry = std::pair<double, NodeId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  cost[s] = 0.0;
+  heap.emplace(0.0, s);
+  while (!heap.empty()) {
+    const auto [c, v] = heap.top();
+    heap.pop();
+    if (c > cost[v]) continue;
+    if (v == t) break;
+    for (const AdjEntry& a : graph.OutEdges(v)) {
+      if (removed != nullptr && (*removed)[a.edge]) continue;
+      const double next = c - std::log(a.prob);
+      if (next < cost[a.neighbor]) {
+        cost[a.neighbor] = next;
+        via[a.neighbor] = a.edge;
+        heap.emplace(next, a.neighbor);
+      }
+    }
+  }
+  if (cost[t] == kInfinity) return path;  // unreachable
+  // Reconstruct backwards through the predecessor edges.
+  std::vector<NodeId> reverse_nodes;
+  NodeId v = t;
+  while (v != s) {
+    reverse_nodes.push_back(v);
+    v = graph.edge(via[v]).tail;
+  }
+  reverse_nodes.push_back(s);
+  path.nodes.assign(reverse_nodes.rbegin(), reverse_nodes.rend());
+  path.probability = std::exp(-cost[t]);
+  return path;
+}
+
+Status ValidatePair(const UncertainGraph& graph, NodeId s, NodeId t) {
+  if (!graph.HasNode(s) || !graph.HasNode(t)) {
+    return Status::InvalidArgument("bounds: query node out of range");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ReliablePath> MostReliablePath(const UncertainGraph& graph, NodeId s,
+                                      NodeId t) {
+  RELCOMP_RETURN_NOT_OK(ValidatePair(graph, s, t));
+  return MostReliablePathImpl(graph, s, t, nullptr);
+}
+
+Result<double> ReliabilityLowerBound(const UncertainGraph& graph, NodeId s,
+                                     NodeId t, uint32_t max_paths) {
+  RELCOMP_RETURN_NOT_OK(ValidatePair(graph, s, t));
+  if (s == t) return 1.0;
+  std::vector<uint8_t> removed(graph.num_edges(), 0);
+  double miss_all = 1.0;  // prod_i (1 - P(path_i))
+  for (uint32_t i = 0; i < max_paths; ++i) {
+    const ReliablePath path = MostReliablePathImpl(graph, s, t, &removed);
+    if (!path.exists() || path.probability <= 0.0) break;
+    miss_all *= (1.0 - path.probability);
+    // Drop the path's edges so the next path is edge-disjoint (independent).
+    for (size_t j = 0; j + 1 < path.nodes.size(); ++j) {
+      const NodeId u = path.nodes[j];
+      const NodeId w = path.nodes[j + 1];
+      // Remove the best edge used between u and w (any u->w edge works: we
+      // remove the most probable remaining one, matching the Dijkstra pick).
+      EdgeId best = kInvalidEdge;
+      for (const AdjEntry& a : graph.OutEdges(u)) {
+        if (a.neighbor != w || removed[a.edge]) continue;
+        if (best == kInvalidEdge || a.prob > graph.prob(best)) best = a.edge;
+      }
+      if (best != kInvalidEdge) removed[best] = 1;
+    }
+  }
+  return 1.0 - miss_all;
+}
+
+Result<double> ReliabilityUpperBound(const UncertainGraph& graph, NodeId s,
+                                     NodeId t) {
+  RELCOMP_RETURN_NOT_OK(ValidatePair(graph, s, t));
+  if (s == t) return 1.0;
+
+  // Max-flow (Edmonds-Karp) with capacities -log(1 - P(e)). The min cut C
+  // minimizes sum -log(1 - p_e), i.e. maximizes prod (1 - p_e), giving the
+  // tightest single-cut bound R <= 1 - prod_{e in C} (1 - p_e)
+  //                             = 1 - exp(-maxflow).
+  struct Arc {
+    NodeId to;
+    double cap;
+    size_t rev;  // index of the reverse arc in arcs[to]
+  };
+  const size_t n = graph.num_nodes();
+  std::vector<std::vector<Arc>> arcs(n);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const EdgeRecord& rec = graph.edge(e);
+    if (rec.tail == rec.head) continue;
+    const double cap =
+        rec.prob >= 1.0 ? kCertainEdgeCapacity : -std::log1p(-rec.prob);
+    arcs[rec.tail].push_back(Arc{rec.head, cap, arcs[rec.head].size()});
+    arcs[rec.head].push_back(Arc{rec.tail, 0.0, arcs[rec.tail].size() - 1});
+  }
+
+  double total_flow = 0.0;
+  std::vector<std::pair<NodeId, size_t>> parent(n);  // (node, arc index)
+  std::vector<uint8_t> visited(n);
+  while (true) {
+    std::fill(visited.begin(), visited.end(), 0);
+    std::queue<NodeId> queue;
+    queue.push(s);
+    visited[s] = 1;
+    bool found = false;
+    while (!queue.empty() && !found) {
+      const NodeId v = queue.front();
+      queue.pop();
+      for (size_t i = 0; i < arcs[v].size(); ++i) {
+        const Arc& arc = arcs[v][i];
+        if (visited[arc.to] || arc.cap <= kFlowEpsilon) continue;
+        visited[arc.to] = 1;
+        parent[arc.to] = {v, i};
+        if (arc.to == t) {
+          found = true;
+          break;
+        }
+        queue.push(arc.to);
+      }
+    }
+    if (!found) break;
+    // Bottleneck along the augmenting path.
+    double bottleneck = kInfinity;
+    for (NodeId v = t; v != s;) {
+      const auto [u, i] = parent[v];
+      bottleneck = std::min(bottleneck, arcs[u][i].cap);
+      v = u;
+    }
+    for (NodeId v = t; v != s;) {
+      const auto [u, i] = parent[v];
+      arcs[u][i].cap -= bottleneck;
+      arcs[v][arcs[u][i].rev].cap += bottleneck;
+      v = u;
+    }
+    total_flow += bottleneck;
+    if (total_flow >= kCertainEdgeCapacity) break;  // cut requires certain edge
+  }
+  if (total_flow >= kCertainEdgeCapacity) return 1.0;
+  return std::clamp(1.0 - std::exp(-total_flow), 0.0, 1.0);
+}
+
+Result<ReliabilityBounds> ComputeReliabilityBounds(const UncertainGraph& graph,
+                                                   NodeId s, NodeId t,
+                                                   uint32_t max_paths) {
+  ReliabilityBounds bounds;
+  RELCOMP_ASSIGN_OR_RETURN(bounds.lower,
+                           ReliabilityLowerBound(graph, s, t, max_paths));
+  RELCOMP_ASSIGN_OR_RETURN(bounds.upper, ReliabilityUpperBound(graph, s, t));
+  return bounds;
+}
+
+}  // namespace relcomp

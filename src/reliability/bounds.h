@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+
+namespace relcomp {
+
+/// Polynomial-time reliability bounds and the most-reliable-path heuristic —
+/// the "Theory: polynomial-time upper/lower bounds" and "most reliable path"
+/// branches of the paper's Figure 2 taxonomy [5, 7, 8, 9, 26]. Useful as
+/// sanity brackets around sampled estimates and as cheap pre-filters before
+/// running a full estimator.
+
+/// \brief A most-reliable s-t path: the single path maximizing the product
+/// of its edge probabilities.
+struct ReliablePath {
+  /// Node sequence s = nodes.front() ... t = nodes.back(); empty if t is
+  /// unreachable.
+  std::vector<NodeId> nodes;
+  /// Product of edge probabilities along the path (0 if unreachable).
+  double probability = 0.0;
+
+  bool exists() const { return !nodes.empty(); }
+};
+
+/// Dijkstra on -log P(e): the exact most reliable path in O(m log n).
+/// Its probability is a lower bound on R(s, t) (the path alone already
+/// realizes the connection).
+Result<ReliablePath> MostReliablePath(const UncertainGraph& graph, NodeId s,
+                                      NodeId t);
+
+/// \brief Lower bound on R(s, t): the union probability of a greedy set of
+/// edge-disjoint s-t paths (repeatedly extract the most reliable path, drop
+/// its edges, retry). Edge-disjoint paths exist independently, so
+/// R >= 1 - prod_i (1 - P(path_i)). `max_paths` caps the extraction.
+Result<double> ReliabilityLowerBound(const UncertainGraph& graph, NodeId s,
+                                     NodeId t, uint32_t max_paths = 8);
+
+/// \brief Upper bound on R(s, t): for any s-t edge cut C, connection
+/// requires at least one cut edge, so R <= 1 - prod_{e in C}(1 - P(e)).
+/// The cut is chosen by max-flow/min-cut (Edmonds-Karp) with capacities
+/// -log(1 - P(e)), which minimizes the bound over all cuts.
+Result<double> ReliabilityUpperBound(const UncertainGraph& graph, NodeId s,
+                                     NodeId t);
+
+/// Convenience: both bounds at once.
+struct ReliabilityBounds {
+  double lower = 0.0;
+  double upper = 1.0;
+};
+Result<ReliabilityBounds> ComputeReliabilityBounds(const UncertainGraph& graph,
+                                                   NodeId s, NodeId t,
+                                                   uint32_t max_paths = 8);
+
+}  // namespace relcomp

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/subgraph.h"
+#include "reliability/estimator.h"
+
+namespace relcomp {
+
+/// \brief Conditional s-t reliability (paper Section 2.9, Khan et al. [23]):
+/// R(s, t | C) where the condition C forces a set of edges to be present
+/// (e.g. links just observed up) and another set to be absent (links known
+/// down). With independent edges, conditioning simply fixes those edges'
+/// states — exactly the machinery the recursive estimators use internally.
+struct ReliabilityCondition {
+  std::vector<EdgeId> present;  ///< edges known to exist
+  std::vector<EdgeId> absent;   ///< edges known to have failed
+};
+
+/// Estimates R(s, t | condition) by conditioned Monte Carlo: present edges
+/// always traversable, absent edges never, the rest tossed per P(e).
+/// Fails if the same edge is listed both present and absent or any id is out
+/// of range.
+Result<double> ConditionalReliabilityMonteCarlo(const UncertainGraph& graph,
+                                                NodeId s, NodeId t,
+                                                const ReliabilityCondition&
+                                                    condition,
+                                                uint32_t num_samples,
+                                                uint64_t seed);
+
+/// Exact R(s, t | condition) by enumerating the free edges only (test
+/// oracle; feasible when the number of *unconditioned* edges is <= 24).
+Result<double> ExactConditionalReliability(const UncertainGraph& graph, NodeId s,
+                                           NodeId t,
+                                           const ReliabilityCondition& condition,
+                                           uint32_t max_free_edges = 24);
+
+}  // namespace relcomp

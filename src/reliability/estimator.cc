@@ -1,0 +1,32 @@
+#include "reliability/estimator.h"
+
+#include "common/format.h"
+#include "common/timer.h"
+
+namespace relcomp {
+
+Result<EstimateResult> Estimator::Estimate(const ReliabilityQuery& query,
+                                           const EstimateOptions& options) {
+  const UncertainGraph& g = graph();
+  if (!g.HasNode(query.source) || !g.HasNode(query.target)) {
+    return Status::InvalidArgument(
+        StrFormat("query (%u, %u) out of range for graph with %zu nodes",
+                  query.source, query.target, g.num_nodes()));
+  }
+  if (options.num_samples == 0) {
+    return Status::InvalidArgument("num_samples must be positive");
+  }
+
+  MemoryTracker tracker;
+  Timer timer;
+  RELCOMP_ASSIGN_OR_RETURN(double reliability,
+                           DoEstimate(query, options, &tracker));
+  EstimateResult result;
+  result.reliability = reliability;
+  result.num_samples = options.num_samples;
+  result.seconds = timer.ElapsedSeconds();
+  result.peak_memory_bytes = tracker.peak_bytes();
+  return result;
+}
+
+}  // namespace relcomp

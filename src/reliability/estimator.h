@@ -1,0 +1,86 @@
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "common/memory_tracker.h"
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+
+namespace relcomp {
+
+/// \brief An s-t reliability query: the probability R(s, t) that `target` is
+/// reachable from `source` under possible-world semantics (Eq. 2).
+struct ReliabilityQuery {
+  NodeId source = kInvalidNode;
+  NodeId target = kInvalidNode;
+};
+
+/// \brief Per-call knobs shared by all estimators.
+struct EstimateOptions {
+  /// Number of samples K. Recursive estimators interpret this as the total
+  /// sample budget they split across branches/strata.
+  uint32_t num_samples = 1000;
+  /// Seed for this call; equal seeds give bit-identical results.
+  uint64_t seed = 0;
+};
+
+/// \brief Outcome of one estimation call.
+struct EstimateResult {
+  /// The reliability estimate in [0, 1].
+  double reliability = 0.0;
+  /// Samples actually consumed (== EstimateOptions::num_samples except for
+  /// degenerate early exits).
+  uint32_t num_samples = 0;
+  /// Wall-clock seconds spent inside the call.
+  double seconds = 0.0;
+  /// Peak logical bytes of the estimator's online working structures for
+  /// this call (excludes the input graph and any prebuilt index; see
+  /// Estimator::IndexMemoryBytes).
+  size_t peak_memory_bytes = 0;
+};
+
+/// \brief Common interface of the six s-t reliability estimators.
+///
+/// An estimator binds to one UncertainGraph at construction and answers many
+/// queries. Implementations are deterministic in EstimateOptions::seed and
+/// reusable (scratch is reset per call); they are not thread-safe per
+/// instance — use one instance per thread.
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  /// Short display name ("MC", "BFSSharing", "ProbTree", "LP+", "RHH",
+  /// "RSS").
+  virtual std::string_view name() const = 0;
+
+  /// The graph this estimator answers queries over.
+  virtual const UncertainGraph& graph() const = 0;
+
+  /// Estimates R(s, t). Validates the query, times the call, and accounts
+  /// the working memory; the algorithm itself is in DoEstimate.
+  Result<EstimateResult> Estimate(const ReliabilityQuery& query,
+                                  const EstimateOptions& options);
+
+  /// Logical bytes of any prebuilt index kept resident for queries
+  /// (BFS Sharing edge bit-vectors, ProbTree bags); 0 for index-free
+  /// estimators.
+  virtual size_t IndexMemoryBytes() const { return 0; }
+
+  /// Inter-query maintenance hook. BFS Sharing must resample its possible
+  /// worlds between successive queries to keep answers independent
+  /// (Table 15); all other estimators are no-ops.
+  virtual Status PrepareForNextQuery(uint64_t seed) {
+    (void)seed;
+    return Status::OK();
+  }
+
+ protected:
+  /// Algorithm body: returns the reliability estimate, reporting working
+  /// structures to `memory`.
+  virtual Result<double> DoEstimate(const ReliabilityQuery& query,
+                                    const EstimateOptions& options,
+                                    MemoryTracker* memory) = 0;
+};
+
+}  // namespace relcomp

@@ -1,0 +1,89 @@
+#include "reliability/estimator_factory.h"
+
+#include "reliability/mc_sampling.h"
+
+namespace relcomp {
+
+const char* EstimatorKindName(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kMonteCarlo:
+      return "MC";
+    case EstimatorKind::kBfsSharing:
+      return "BFSSharing";
+    case EstimatorKind::kProbTree:
+      return "ProbTree";
+    case EstimatorKind::kLazyPropagationPlus:
+      return "LP+";
+    case EstimatorKind::kRecursive:
+      return "RHH";
+    case EstimatorKind::kRecursiveStratified:
+      return "RSS";
+    case EstimatorKind::kLazyPropagation:
+      return "LP";
+    case EstimatorKind::kProbTreeLpPlus:
+      return "ProbTree+LP+";
+    case EstimatorKind::kProbTreeRhh:
+      return "ProbTree+RHH";
+    case EstimatorKind::kProbTreeRss:
+      return "ProbTree+RSS";
+  }
+  return "Unknown";
+}
+
+std::vector<EstimatorKind> TheSixEstimators() {
+  return {EstimatorKind::kMonteCarlo,          EstimatorKind::kBfsSharing,
+          EstimatorKind::kProbTree,            EstimatorKind::kLazyPropagationPlus,
+          EstimatorKind::kRecursive,           EstimatorKind::kRecursiveStratified};
+}
+
+Result<std::unique_ptr<Estimator>> MakeEstimator(EstimatorKind kind,
+                                                 const UncertainGraph& graph,
+                                                 const FactoryOptions& options) {
+  switch (kind) {
+    case EstimatorKind::kMonteCarlo:
+      return std::unique_ptr<Estimator>(new MonteCarloEstimator(graph));
+    case EstimatorKind::kBfsSharing: {
+      RELCOMP_ASSIGN_OR_RETURN(
+          std::unique_ptr<BfsSharingEstimator> estimator,
+          BfsSharingEstimator::Create(graph, options.bfs_sharing,
+                                      options.index_seed));
+      return std::unique_ptr<Estimator>(std::move(estimator));
+    }
+    case EstimatorKind::kProbTree:
+    case EstimatorKind::kProbTreeLpPlus:
+    case EstimatorKind::kProbTreeRhh:
+    case EstimatorKind::kProbTreeRss: {
+      ProbTreeInner inner = ProbTreeInner::kMonteCarlo;
+      if (kind == EstimatorKind::kProbTreeLpPlus) {
+        inner = ProbTreeInner::kLazyPropagationPlus;
+      } else if (kind == EstimatorKind::kProbTreeRhh) {
+        inner = ProbTreeInner::kRecursive;
+      } else if (kind == EstimatorKind::kProbTreeRss) {
+        inner = ProbTreeInner::kRecursiveStratified;
+      }
+      RELCOMP_ASSIGN_OR_RETURN(
+          std::unique_ptr<ProbTreeEstimator> estimator,
+          ProbTreeEstimator::Create(graph, options.prob_tree, inner));
+      return std::unique_ptr<Estimator>(std::move(estimator));
+    }
+    case EstimatorKind::kLazyPropagationPlus: {
+      LazyPropagationOptions lp;
+      lp.corrected = true;
+      return std::unique_ptr<Estimator>(new LazyPropagationEstimator(graph, lp));
+    }
+    case EstimatorKind::kLazyPropagation: {
+      LazyPropagationOptions lp;
+      lp.corrected = false;
+      return std::unique_ptr<Estimator>(new LazyPropagationEstimator(graph, lp));
+    }
+    case EstimatorKind::kRecursive:
+      return std::unique_ptr<Estimator>(
+          new RecursiveEstimator(graph, options.recursive));
+    case EstimatorKind::kRecursiveStratified:
+      return std::unique_ptr<Estimator>(
+          new RecursiveStratifiedEstimator(graph, options.rss));
+  }
+  return Status::InvalidArgument("unknown estimator kind");
+}
+
+}  // namespace relcomp

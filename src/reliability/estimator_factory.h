@@ -1,0 +1,52 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "reliability/bfs_sharing.h"
+#include "reliability/estimator.h"
+#include "reliability/lazy_propagation.h"
+#include "reliability/prob_tree.h"
+#include "reliability/recursive_sampling.h"
+#include "reliability/recursive_stratified.h"
+
+namespace relcomp {
+
+/// \brief The estimators of the study, plus the coupled variants of
+/// Section 3.8 and the uncorrected LP of Figure 5.
+enum class EstimatorKind {
+  kMonteCarlo = 0,        ///< MC (Alg. 1)
+  kBfsSharing,            ///< BFS Sharing index (Alg. 2+3)
+  kProbTree,              ///< FWD ProbTree + MC (Alg. 7+8)
+  kLazyPropagationPlus,   ///< LP+ (Alg. 6, corrected)
+  kRecursive,             ///< RHH (Alg. 4)
+  kRecursiveStratified,   ///< RSS (Alg. 5)
+  kLazyPropagation,       ///< LP, the original buggy re-arm (Figure 5)
+  kProbTreeLpPlus,        ///< ProbTree + LP+ (Table 16)
+  kProbTreeRhh,           ///< ProbTree + RHH (Table 16)
+  kProbTreeRss,           ///< ProbTree + RSS (Table 16)
+};
+
+/// Display name matching Estimator::name().
+const char* EstimatorKindName(EstimatorKind kind);
+
+/// The six estimators of the paper's headline comparison, in the row order
+/// of Tables 3-14: MC, BFS Sharing, ProbTree, LP+, RHH, RSS.
+std::vector<EstimatorKind> TheSixEstimators();
+
+/// \brief Construction knobs for MakeEstimator.
+struct FactoryOptions {
+  BfsSharingOptions bfs_sharing;       ///< L = 1500 by default (Section 3.7)
+  RecursiveSamplingOptions recursive;  ///< threshold = 5 [20]
+  RssOptions rss;                      ///< r = 50, threshold = 5 [28]
+  ProbTreeOptions prob_tree;           ///< w = 2 (lossless) [32]
+  /// Seed for offline index sampling (BFS Sharing worlds).
+  uint64_t index_seed = 0x5EED;
+};
+
+/// Builds an estimator of `kind` over `graph` (building any index it needs).
+Result<std::unique_ptr<Estimator>> MakeEstimator(EstimatorKind kind,
+                                                 const UncertainGraph& graph,
+                                                 const FactoryOptions& options = {});
+
+}  // namespace relcomp

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+
+namespace relcomp {
+
+/// \brief Exact R(s, t) by enumerating all 2^m possible worlds (Eq. 2).
+///
+/// Only feasible for tiny graphs; fails with OutOfRange when
+/// m > max_edges (default 26 => 64M worlds). Test oracle #1.
+Result<double> ExactReliabilityEnumeration(const UncertainGraph& graph, NodeId s,
+                                           NodeId t, uint32_t max_edges = 26);
+
+/// \brief Exact R(s, t) by the factoring (recursive conditioning) method:
+/// R = P(e) R(G | e) + (1 - P(e)) R(G - e), terminating on an included s-t
+/// path (1) or an excluded s-t cut (0).
+///
+/// Handles graphs with up to a few dozen relevant edges thanks to pruning;
+/// fails with OutOfRange once `max_steps` recursion nodes are expanded.
+/// Test oracle #2 (cross-validates oracle #1 and the estimators).
+Result<double> ExactReliabilityFactoring(const UncertainGraph& graph, NodeId s,
+                                         NodeId t,
+                                         uint64_t max_steps = 50'000'000);
+
+}  // namespace relcomp

@@ -1,0 +1,121 @@
+#include "reliability/lazy_propagation.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace relcomp {
+
+void LazyPropagationEstimator::NodeHeap::Push(Armed a) {
+  entries.push_back(a);
+  std::push_heap(entries.begin(), entries.end(), std::greater<>());
+}
+
+LazyPropagationEstimator::Armed LazyPropagationEstimator::NodeHeap::Pop() {
+  std::pop_heap(entries.begin(), entries.end(), std::greater<>());
+  Armed a = entries.back();
+  entries.pop_back();
+  return a;
+}
+
+LazyPropagationEstimator::LazyPropagationEstimator(
+    const UncertainGraph& graph, const LazyPropagationOptions& options)
+    : graph_(graph), options_(options) {}
+
+Result<double> LazyPropagationEstimator::DoEstimate(
+    const ReliabilityQuery& query, const EstimateOptions& options,
+    MemoryTracker* memory) {
+  const NodeId s = query.source;
+  const NodeId t = query.target;
+  const uint32_t k = options.num_samples;
+  Rng rng(options.seed);
+  const size_t n = graph_.num_nodes();
+
+  if (s == t) return 1.0;
+
+  // Per-query lazy state: expansion counters c_v and per-node heaps h_v,
+  // both created on first visit (Alg. 6 lines 12-18).
+  std::vector<uint64_t> counter(n, 0);
+  std::vector<uint8_t> initialized(n, 0);
+  std::vector<NodeHeap> heaps(n);
+  // Per-sample visited marks (epoch-stamped) + BFS worklist.
+  std::vector<uint32_t> visit_epoch(n, 0);
+  std::vector<NodeId> worklist;
+  worklist.reserve(n);
+
+  ScopedAllocation working(
+      memory, n * (sizeof(uint64_t) + sizeof(uint8_t) + sizeof(uint32_t)) +
+                  n * sizeof(NodeHeap) + n * sizeof(NodeId));
+
+  uint32_t hits = 0;
+  uint32_t epoch = 0;
+  for (uint32_t i = 0; i < k; ++i) {
+    ++epoch;
+    worklist.clear();
+    worklist.push_back(s);
+    visit_epoch[s] = epoch;
+    bool reached = false;
+    for (size_t head = 0; head < worklist.size() && !reached; ++head) {
+      const NodeId v = worklist[head];
+      if (!initialized[v]) {
+        initialized[v] = 1;
+        counter[v] = 0;
+        auto& heap = heaps[v];
+        heap.entries.reserve(graph_.OutDegree(v));
+        for (const AdjEntry& a : graph_.OutEdges(v)) {
+          heap.Push(Armed{rng.Geometric(a.prob) /* + c_v == 0 */, a.edge});
+        }
+        working.Grow(graph_.OutDegree(v) * sizeof(Armed));
+      }
+      auto& heap = heaps[v];
+      // Drain every edge armed for this expansion round. When t is hit we
+      // still finish the ties so the lazy state stays consistent across
+      // samples, then stop the sample (early termination).
+      //
+      // LP+ (corrected): re-arm at c_v + 1 + X' — the edge skips exactly X'
+      // future expansions, reproducing independent Bernoulli(p) probes.
+      //
+      // LP (original bug, Section 2.6 / Example 1): re-arm at c_v + X', one
+      // round too early. Deferring re-armed entries past the current drain
+      // and catching up on anything armed for a past round (round <= c_v)
+      // realizes the paper's described behaviour — "node 2 will be probed
+      // again [in the next world]" — without the infinite re-fire a literal
+      // same-round replay would cause. Net effect: inter-fire gaps shrink
+      // from X'+1 to max(X', 1), inflating the per-round edge presence rate
+      // to p / (1 - p + p^2) > p, i.e. the over-estimation of Figure 5.
+      pending_.clear();
+      auto armed_now = [&]() {
+        if (heap.Empty()) return false;
+        return options_.corrected ? heap.Top().round == counter[v]
+                                  : heap.Top().round <= counter[v];
+      };
+      while (armed_now()) {
+        const Armed fired = heap.Pop();
+        const EdgeRecord& rec = graph_.edge(fired.edge);
+        const NodeId nbr = rec.head;
+        const uint64_t base = counter[v] + (options_.corrected ? 1 : 0);
+        const Armed rearmed{base + rng.Geometric(rec.prob), fired.edge};
+        if (options_.corrected) {
+          heap.Push(rearmed);  // always a future round; safe to re-insert now
+        } else {
+          pending_.push_back(rearmed);  // defer so this round fires each edge once
+        }
+        if (visit_epoch[nbr] != epoch) {
+          visit_epoch[nbr] = epoch;
+          if (nbr == t) {
+            reached = true;
+            // keep draining ties; do not expand further nodes
+          } else {
+            worklist.push_back(nbr);
+          }
+        }
+      }
+      for (const Armed& a : pending_) heap.Push(a);
+      counter[v] += 1;
+    }
+    if (reached) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+}  // namespace relcomp

@@ -1,0 +1,52 @@
+#include "reliability/mc_sampling.h"
+
+#include "common/rng.h"
+
+namespace relcomp {
+
+MonteCarloEstimator::MonteCarloEstimator(const UncertainGraph& graph)
+    : graph_(graph), visit_epoch_(graph.num_nodes(), 0) {
+  queue_.reserve(graph.num_nodes());
+}
+
+Result<double> MonteCarloEstimator::DoEstimate(const ReliabilityQuery& query,
+                                               const EstimateOptions& options,
+                                               MemoryTracker* memory) {
+  const NodeId s = query.source;
+  const NodeId t = query.target;
+  const uint32_t k = options.num_samples;
+  Rng rng(options.seed);
+
+  // Online structures: the epoch array and the BFS queue.
+  ScopedAllocation working(
+      memory, visit_epoch_.size() * sizeof(uint32_t) +
+                  graph_.num_nodes() * sizeof(NodeId));
+
+  if (s == t) return 1.0;
+
+  uint32_t hits = 0;
+  for (uint32_t i = 0; i < k; ++i) {
+    ++epoch_;
+    queue_.clear();
+    queue_.push_back(s);
+    visit_epoch_[s] = epoch_;
+    bool reached = false;
+    for (size_t head = 0; head < queue_.size() && !reached; ++head) {
+      const NodeId v = queue_[head];
+      for (const AdjEntry& a : graph_.OutEdges(v)) {
+        if (visit_epoch_[a.neighbor] == epoch_) continue;
+        if (!rng.Bernoulli(a.prob)) continue;  // lazy sampling on request
+        if (a.neighbor == t) {                 // early stop at current round
+          reached = true;
+          break;
+        }
+        visit_epoch_[a.neighbor] = epoch_;
+        queue_.push_back(a.neighbor);
+      }
+    }
+    if (reached) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+}  // namespace relcomp

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "reliability/estimator.h"
+
+namespace relcomp {
+
+/// \brief Basic Monte Carlo sampling with BFS and lazy edge sampling
+/// (Algorithm 1 of the paper; hit-and-miss Monte Carlo [12]).
+///
+/// Per sample: BFS from s; each edge is tossed with probability P(e) the
+/// first time the BFS reaches its tail; the sample terminates early as soon
+/// as t is visited. Unbiased; variance R(1-R)/K (Eq. 4); time O(K(m+n)).
+class MonteCarloEstimator : public Estimator {
+ public:
+  explicit MonteCarloEstimator(const UncertainGraph& graph);
+
+  std::string_view name() const override { return "MC"; }
+  const UncertainGraph& graph() const override { return graph_; }
+
+ protected:
+  Result<double> DoEstimate(const ReliabilityQuery& query,
+                            const EstimateOptions& options,
+                            MemoryTracker* memory) override;
+
+ private:
+  const UncertainGraph& graph_;
+  // Epoch-marked visited array: reused across samples without clearing.
+  std::vector<uint32_t> visit_epoch_;
+  std::vector<NodeId> queue_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace relcomp

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "reliability/top_k.h"
+
+namespace relcomp {
+
+/// \brief Reliable-set query [22] (paper Section 2.9): all nodes whose
+/// reliability from `source` is at least `threshold` eta.
+///
+/// Like top-k search, this amortizes one source-side sweep across every
+/// candidate target instead of running per-pair estimators.
+struct ReliableSetResult {
+  /// Qualifying nodes in decreasing reliability (source excluded).
+  std::vector<ReliableTarget> members;
+  /// Samples used by the sweep.
+  uint32_t num_samples = 0;
+};
+
+/// Monte Carlo sweep: K sampled worlds, per-node hit counts, filter by eta.
+Result<ReliableSetResult> ReliableSetMonteCarlo(const UncertainGraph& graph,
+                                                NodeId source, double threshold,
+                                                uint32_t num_samples,
+                                                uint64_t seed);
+
+/// BFS Sharing sweep over the pre-built index (one word-parallel BFS).
+Result<ReliableSetResult> ReliableSetBfsSharing(BfsSharingEstimator& estimator,
+                                                NodeId source, double threshold,
+                                                uint32_t num_samples);
+
+}  // namespace relcomp

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "reliability/bfs_sharing.h"
+
+namespace relcomp {
+
+/// \brief One ranked answer of a top-k reliability search.
+struct ReliableTarget {
+  NodeId node = kInvalidNode;
+  double reliability = 0.0;
+};
+
+/// \brief Top-k reliability search: the k nodes with the highest reliability
+/// from a given source (excluding the source itself).
+///
+/// This is the query BFS Sharing [45] was originally designed for (the
+/// benchmark study adapts it to single s-t pairs; this module keeps the
+/// original available). Ties are broken toward smaller node ids so results
+/// are deterministic.
+///
+/// \name Estimation strategies
+/// @{
+
+/// Plain Monte Carlo: K sampled worlds, one reachability set each; per-node
+/// hit counting. O(K (m + n)) total, no index.
+Result<std::vector<ReliableTarget>> TopKReliableTargetsMonteCarlo(
+    const UncertainGraph& graph, NodeId source, uint32_t k,
+    uint32_t num_samples, uint64_t seed);
+
+/// BFS Sharing: a single shared word-parallel BFS yields every node's
+/// world-membership bit-vector at once; the top-k drop out of the popcounts.
+/// Reuses the estimator's pre-built index (call PrepareForNextQuery between
+/// successive searches, as for s-t queries).
+Result<std::vector<ReliableTarget>> TopKReliableTargetsBfsSharing(
+    BfsSharingEstimator& estimator, NodeId source, uint32_t k,
+    uint32_t num_samples);
+/// @}
+
+}  // namespace relcomp

@@ -1,0 +1,178 @@
+#include "reliability/bfs_sharing.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "reliability/exact.h"
+#include "reliability/mc_sampling.h"
+#include "test_util.h"
+
+namespace relcomp {
+namespace {
+
+using testing::DiamondGraph;
+using testing::GraphFromString;
+using testing::LineGraph3;
+using testing::RandomSmallGraph;
+using testing::SamplingTolerance;
+
+std::unique_ptr<BfsSharingEstimator> Make(const UncertainGraph& g, uint32_t l,
+                                          uint64_t seed = 1) {
+  BfsSharingOptions options;
+  options.index_samples = l;
+  Result<std::unique_ptr<BfsSharingEstimator>> r =
+      BfsSharingEstimator::Create(g, options, seed);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.MoveValue();
+}
+
+TEST(BfsSharing, MatchesClosedFormOnLine) {
+  const UncertainGraph g = LineGraph3(0.5, 0.5);
+  auto est = Make(g, 20000);
+  EstimateOptions opts;
+  opts.num_samples = 20000;
+  EXPECT_NEAR(est->Estimate({0, 2}, opts)->reliability, 0.25,
+              SamplingTolerance(0.25, 20000));
+}
+
+TEST(BfsSharing, HandlesCyclesViaCascadingUpdates) {
+  // 0 -> 1 -> 2 -> 1 cycle plus 2 -> 3: cascading updates must converge and
+  // agree with the exact value.
+  const UncertainGraph g =
+      GraphFromString("0 1 0.8\n1 2 0.8\n2 1 0.8\n2 3 0.8\n");
+  const double exact = *ExactReliabilityEnumeration(g, 0, 3);
+  auto est = Make(g, 30000);
+  EstimateOptions opts;
+  opts.num_samples = 30000;
+  EXPECT_NEAR(est->Estimate({0, 3}, opts)->reliability, exact,
+              SamplingTolerance(exact, 30000));
+}
+
+TEST(BfsSharing, BidirectedDenseGraphAgreesWithExact) {
+  // Bidirected graphs maximize cascading-update pressure.
+  GraphBuilder b(5);
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = u + 1; v < 5; ++v) {
+      if ((u + v) % 2 == 0) b.AddBidirectedEdge(u, v, 0.3).CheckOK();
+    }
+  }
+  const UncertainGraph g = b.Build().MoveValue();
+  const double exact = *ExactReliabilityEnumeration(g, 0, 4);
+  auto est = Make(g, 30000);
+  EstimateOptions opts;
+  opts.num_samples = 30000;
+  EXPECT_NEAR(est->Estimate({0, 4}, opts)->reliability, exact,
+              SamplingTolerance(exact, 30000));
+}
+
+TEST(BfsSharing, DeterministicForFixedIndex) {
+  const UncertainGraph g = RandomSmallGraph(20, 60, 0.2, 0.8, 31);
+  auto est = Make(g, 1000);
+  EstimateOptions opts;
+  opts.num_samples = 1000;
+  const double r1 = est->Estimate({0, 10}, opts)->reliability;
+  const double r2 = est->Estimate({0, 10}, opts)->reliability;
+  // Same pre-sampled worlds => bit-identical estimates.
+  EXPECT_DOUBLE_EQ(r1, r2);
+}
+
+TEST(BfsSharing, PrepareForNextQueryResamplesWorlds) {
+  const UncertainGraph g = RandomSmallGraph(20, 60, 0.2, 0.8, 32);
+  auto est = Make(g, 400);
+  EstimateOptions opts;
+  opts.num_samples = 400;
+  const double r1 = est->Estimate({0, 10}, opts)->reliability;
+  ASSERT_TRUE(est->PrepareForNextQuery(999).ok());
+  const double r2 = est->Estimate({0, 10}, opts)->reliability;
+  // With K=400 worlds a resample virtually never reproduces the estimate.
+  EXPECT_NE(r1, r2);
+}
+
+TEST(BfsSharing, UsesPrefixOfIndexWhenKSmaller) {
+  const UncertainGraph g = DiamondGraph(0.5);
+  auto est = Make(g, 10000);
+  EstimateOptions opts;
+  opts.num_samples = 5000;  // K < L
+  const double expected = 1.0 - 0.75 * 0.75;
+  EXPECT_NEAR(est->Estimate({0, 3}, opts)->reliability, expected,
+              SamplingTolerance(expected, 5000));
+}
+
+TEST(BfsSharing, RejectsKAboveIndexSize) {
+  const UncertainGraph g = LineGraph3();
+  auto est = Make(g, 100);
+  EstimateOptions opts;
+  opts.num_samples = 101;
+  const auto r = est->Estimate({0, 2}, opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BfsSharing, IndexMemoryScalesWithL) {
+  const UncertainGraph g = RandomSmallGraph(50, 200, 0.2, 0.8, 33);
+  auto small = Make(g, 256);
+  auto large = Make(g, 2048);
+  EXPECT_GT(large->IndexMemoryBytes(), small->IndexMemoryBytes());
+  // L=2048 stores 8x the bits of L=256; the per-edge BitVector header
+  // dilutes the ratio, but the growth must clearly track L.
+  const double ratio = static_cast<double>(large->IndexMemoryBytes()) /
+                       static_cast<double>(small->IndexMemoryBytes());
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 8.5);
+}
+
+TEST(BfsSharing, SaveLoadRoundTripPreservesAnswers) {
+  const UncertainGraph g = RandomSmallGraph(15, 45, 0.2, 0.8, 34);
+  auto est = Make(g, 500);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "relcomp_bfs_index.bin").string();
+  ASSERT_TRUE(est->SaveToFile(path).ok());
+
+  Result<std::unique_ptr<BfsSharingEstimator>> loaded =
+      BfsSharingEstimator::LoadFromFile(g, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EstimateOptions opts;
+  opts.num_samples = 500;
+  EXPECT_DOUBLE_EQ(est->Estimate({0, 9}, opts)->reliability,
+                   (*loaded)->Estimate({0, 9}, opts)->reliability);
+  std::filesystem::remove(path);
+}
+
+TEST(BfsSharing, LoadRejectsMismatchedGraph) {
+  const UncertainGraph g = RandomSmallGraph(15, 45, 0.2, 0.8, 35);
+  auto est = Make(g, 100);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "relcomp_bfs_mismatch.bin")
+          .string();
+  ASSERT_TRUE(est->SaveToFile(path).ok());
+  const UncertainGraph other = RandomSmallGraph(15, 44, 0.2, 0.8, 36);
+  EXPECT_FALSE(BfsSharingEstimator::LoadFromFile(other, path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(BfsSharing, RejectsZeroIndexSamples) {
+  const UncertainGraph g = LineGraph3();
+  BfsSharingOptions options;
+  options.index_samples = 0;
+  EXPECT_FALSE(BfsSharingEstimator::Create(g, options, 1).ok());
+}
+
+TEST(BfsSharing, StatisticallyMatchesMonteCarlo) {
+  // Same estimator variance as MC (Section 2.3): compare across resamples.
+  const UncertainGraph g = RandomSmallGraph(12, 36, 0.2, 0.7, 37);
+  const double exact = *ExactReliabilityFactoring(g, 0, 11);
+  auto est = Make(g, 2000);
+  double sum = 0.0;
+  constexpr int kRuns = 10;
+  for (int i = 0; i < kRuns; ++i) {
+    ASSERT_TRUE(est->PrepareForNextQuery(5000 + i).ok());
+    EstimateOptions opts;
+    opts.num_samples = 2000;
+    sum += est->Estimate({0, 11}, opts)->reliability;
+  }
+  EXPECT_NEAR(sum / kRuns, exact, SamplingTolerance(exact, 2000 * kRuns, 4.5));
+}
+
+}  // namespace
+}  // namespace relcomp

@@ -1,0 +1,163 @@
+#include "common/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace relcomp {
+namespace {
+
+TEST(BitVector, StartsAllZero) {
+  BitVector bv(130);
+  EXPECT_EQ(bv.size(), 130u);
+  EXPECT_EQ(bv.Count(), 0u);
+  for (size_t i = 0; i < bv.size(); ++i) EXPECT_FALSE(bv.Get(i));
+}
+
+TEST(BitVector, SetGetClear) {
+  BitVector bv(100);
+  bv.Set(0);
+  bv.Set(63);
+  bv.Set(64);
+  bv.Set(99);
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_TRUE(bv.Get(63));
+  EXPECT_TRUE(bv.Get(64));
+  EXPECT_TRUE(bv.Get(99));
+  EXPECT_FALSE(bv.Get(1));
+  EXPECT_EQ(bv.Count(), 4u);
+  bv.Clear(63);
+  EXPECT_FALSE(bv.Get(63));
+  EXPECT_EQ(bv.Count(), 3u);
+}
+
+TEST(BitVector, SetAllRespectsTail) {
+  BitVector bv(70);
+  bv.SetAll();
+  EXPECT_EQ(bv.Count(), 70u);  // bits beyond 70 must stay clear
+  bv.ClearAll();
+  EXPECT_EQ(bv.Count(), 0u);
+}
+
+TEST(BitVector, ExactWordBoundary) {
+  BitVector bv(128);
+  bv.SetAll();
+  EXPECT_EQ(bv.Count(), 128u);
+}
+
+TEST(BitVector, OrWithDetectsChange) {
+  BitVector a(80);
+  BitVector b(80);
+  b.Set(5);
+  b.Set(77);
+  EXPECT_TRUE(a.OrWith(b));
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_FALSE(a.OrWith(b));  // idempotent
+}
+
+TEST(BitVector, OrWithAndComputesMaskedUnion) {
+  BitVector target(64);
+  BitVector a(64);
+  BitVector b(64);
+  a.Set(1);
+  a.Set(2);
+  a.Set(3);
+  b.Set(2);
+  b.Set(3);
+  b.Set(4);
+  EXPECT_TRUE(target.OrWithAnd(a, b));
+  EXPECT_FALSE(target.Get(1));
+  EXPECT_TRUE(target.Get(2));
+  EXPECT_TRUE(target.Get(3));
+  EXPECT_FALSE(target.Get(4));
+  EXPECT_FALSE(target.OrWithAnd(a, b));
+}
+
+TEST(BitVector, OrWithAndAllowsLongerOperands) {
+  // BFS Sharing: K-bit node vector AND-ed against an L-bit edge vector.
+  BitVector node(50);
+  BitVector other(50);
+  BitVector edge(1500);
+  other.SetAll();
+  edge.SetAll();
+  EXPECT_TRUE(node.OrWithAnd(other, edge));
+  EXPECT_EQ(node.Count(), 50u);  // no tail leakage past bit 50
+}
+
+TEST(BitVector, WouldGainFromAnd) {
+  BitVector target(64);
+  BitVector a(64);
+  BitVector b(64);
+  a.Set(7);
+  b.Set(7);
+  EXPECT_TRUE(target.WouldGainFromAnd(a, b));
+  target.Set(7);
+  EXPECT_FALSE(target.WouldGainFromAnd(a, b));
+  EXPECT_EQ(target.Count(), 1u);  // non-mutating
+}
+
+TEST(BitVector, FillBernoulliExtremes) {
+  Rng rng(3);
+  BitVector bv(200);
+  bv.FillBernoulli(0.0, rng);
+  EXPECT_EQ(bv.Count(), 0u);
+  bv.FillBernoulli(1.0, rng);
+  EXPECT_EQ(bv.Count(), 200u);
+}
+
+TEST(BitVector, FillBernoulliDensityMatchesP) {
+  Rng rng(4);
+  // Covers both the geometric-skip path (p < 0.25) and the dense path.
+  for (const double p : {0.02, 0.1, 0.5, 0.9}) {
+    BitVector bv(20000);
+    bv.FillBernoulli(p, rng);
+    const double density = static_cast<double>(bv.Count()) / 20000.0;
+    EXPECT_NEAR(density, p, 0.02) << p;
+  }
+}
+
+TEST(BitVector, FillBernoulliOverwritesPreviousContent) {
+  Rng rng(5);
+  BitVector bv(100);
+  bv.SetAll();
+  bv.FillBernoulli(0.01, rng);
+  EXPECT_LT(bv.Count(), 20u);
+}
+
+TEST(BitVector, EqualityComparesSizeAndBits) {
+  BitVector a(10);
+  BitVector b(10);
+  EXPECT_EQ(a, b);
+  a.Set(3);
+  EXPECT_NE(a, b);
+  b.Set(3);
+  EXPECT_EQ(a, b);
+  BitVector c(11);
+  c.Set(3);
+  EXPECT_NE(a, c);
+}
+
+TEST(BitVector, ResizeGrowsWithZeros) {
+  BitVector bv(10);
+  bv.SetAll();
+  bv.Resize(100);
+  EXPECT_EQ(bv.Count(), 10u);
+  EXPECT_FALSE(bv.Get(50));
+}
+
+TEST(BitVector, ResizeShrinkMasksTail) {
+  BitVector bv(100);
+  bv.SetAll();
+  bv.Resize(10);
+  EXPECT_EQ(bv.Count(), 10u);
+}
+
+TEST(BitVector, MemoryBytesTracksWords) {
+  EXPECT_EQ(BitVector(64).MemoryBytes(), 8u);
+  EXPECT_EQ(BitVector(65).MemoryBytes(), 16u);
+  EXPECT_EQ(BitVector(0).MemoryBytes(), 0u);
+  EXPECT_EQ(BitVector(1500).MemoryBytes(), 192u);  // 24 words
+}
+
+}  // namespace
+}  // namespace relcomp

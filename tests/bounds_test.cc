@@ -1,0 +1,117 @@
+#include "reliability/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "reliability/exact.h"
+#include "test_util.h"
+
+namespace relcomp {
+namespace {
+
+using testing::DiamondGraph;
+using testing::GraphFromString;
+using testing::LineGraph3;
+using testing::RandomSmallGraph;
+
+TEST(MostReliablePath, FollowsBestProduct) {
+  // Direct edge 0.3 vs two-hop 0.8 * 0.8 = 0.64: the path wins.
+  const UncertainGraph g = GraphFromString("0 2 0.3\n0 1 0.8\n1 2 0.8\n");
+  const ReliablePath path = MostReliablePath(g, 0, 2).MoveValue();
+  ASSERT_TRUE(path.exists());
+  EXPECT_NEAR(path.probability, 0.64, 1e-12);
+  ASSERT_EQ(path.nodes.size(), 3u);
+  EXPECT_EQ(path.nodes[0], 0u);
+  EXPECT_EQ(path.nodes[1], 1u);
+  EXPECT_EQ(path.nodes[2], 2u);
+}
+
+TEST(MostReliablePath, DirectEdgeWinsWhenStronger) {
+  const UncertainGraph g = GraphFromString("0 2 0.9\n0 1 0.8\n1 2 0.8\n");
+  const ReliablePath path = MostReliablePath(g, 0, 2).MoveValue();
+  EXPECT_NEAR(path.probability, 0.9, 1e-12);
+  EXPECT_EQ(path.nodes.size(), 2u);
+}
+
+TEST(MostReliablePath, UnreachableAndDegenerate) {
+  const UncertainGraph g = GraphFromString("1 0 0.9\n");
+  EXPECT_FALSE(MostReliablePath(g, 0, 1)->exists());
+  const ReliablePath self = MostReliablePath(g, 0, 0).MoveValue();
+  EXPECT_TRUE(self.exists());
+  EXPECT_DOUBLE_EQ(self.probability, 1.0);
+  EXPECT_FALSE(MostReliablePath(g, 0, 99).ok());
+}
+
+TEST(MostReliablePath, ProbabilityIsLowerBoundOnReliability) {
+  for (uint64_t seed = 900; seed < 912; ++seed) {
+    const UncertainGraph g = RandomSmallGraph(7, 14, 0.2, 0.9, seed);
+    const double exact = *ExactReliabilityEnumeration(g, 0, 6);
+    const ReliablePath path = MostReliablePath(g, 0, 6).MoveValue();
+    EXPECT_LE(path.probability, exact + 1e-12) << seed;
+  }
+}
+
+TEST(LowerBound, DiamondIsExact) {
+  // Two edge-disjoint paths are the whole reliability of the diamond.
+  const UncertainGraph g = DiamondGraph(0.5);
+  const double exact = 1.0 - 0.75 * 0.75;
+  EXPECT_NEAR(*ReliabilityLowerBound(g, 0, 3), exact, 1e-12);
+}
+
+TEST(LowerBound, SeriesLineIsExact) {
+  const UncertainGraph g = LineGraph3(0.5, 0.25);
+  EXPECT_NEAR(*ReliabilityLowerBound(g, 0, 2), 0.125, 1e-12);
+}
+
+TEST(LowerBound, MaxPathsCapsWork) {
+  const UncertainGraph g = DiamondGraph(0.5);
+  // One path only: bound drops to that path's probability.
+  EXPECT_NEAR(*ReliabilityLowerBound(g, 0, 3, /*max_paths=*/1), 0.25, 1e-12);
+}
+
+TEST(UpperBound, SingleEdgeIsExact) {
+  const UncertainGraph g = GraphFromString("0 1 0.37\n");
+  EXPECT_NEAR(*ReliabilityUpperBound(g, 0, 1), 0.37, 1e-12);
+}
+
+TEST(UpperBound, SeriesTakesWeakestLink) {
+  const UncertainGraph g = LineGraph3(0.5, 0.25);
+  EXPECT_NEAR(*ReliabilityUpperBound(g, 0, 2), 0.25, 1e-12);
+}
+
+TEST(UpperBound, DiamondSourceCut) {
+  const UncertainGraph g = DiamondGraph(0.5);
+  // Best cut: the two source (or sink) edges: 1 - 0.5^2 = 0.75.
+  EXPECT_NEAR(*ReliabilityUpperBound(g, 0, 3), 0.75, 1e-12);
+}
+
+TEST(UpperBound, CertainEdgesForceTrivialBound) {
+  const UncertainGraph g = GraphFromString("0 1 1\n1 2 1\n");
+  EXPECT_DOUBLE_EQ(*ReliabilityUpperBound(g, 0, 2), 1.0);
+}
+
+TEST(UpperBound, UnreachableIsZero) {
+  const UncertainGraph g = GraphFromString("1 0 0.9\n");
+  EXPECT_DOUBLE_EQ(*ReliabilityUpperBound(g, 0, 1), 0.0);
+}
+
+TEST(Bounds, BracketExactReliabilityOnRandomGraphs) {
+  for (uint64_t seed = 920; seed < 940; ++seed) {
+    const UncertainGraph g = RandomSmallGraph(7, 15, 0.1, 0.9, seed);
+    const double exact = *ExactReliabilityEnumeration(g, 0, 6);
+    const ReliabilityBounds bounds = *ComputeReliabilityBounds(g, 0, 6);
+    EXPECT_LE(bounds.lower, exact + 1e-9) << seed;
+    EXPECT_GE(bounds.upper, exact - 1e-9) << seed;
+    EXPECT_LE(bounds.lower, bounds.upper + 1e-9) << seed;
+  }
+}
+
+TEST(Bounds, TightOnTreelikeGraphs) {
+  // With a unique path, lower == upper == exact.
+  const UncertainGraph g = GraphFromString("0 1 0.6\n1 2 0.7\n2 3 0.8\n");
+  const ReliabilityBounds bounds = *ComputeReliabilityBounds(g, 0, 3);
+  EXPECT_NEAR(bounds.lower, 0.336, 1e-12);
+  EXPECT_NEAR(bounds.upper, 0.6, 1e-12);  // weakest-link cut
+}
+
+}  // namespace
+}  // namespace relcomp

@@ -1,0 +1,104 @@
+#include "reliability/conditional.h"
+
+#include <gtest/gtest.h>
+
+#include "reliability/exact.h"
+#include "test_util.h"
+
+namespace relcomp {
+namespace {
+
+using testing::DiamondGraph;
+using testing::LineGraph3;
+using testing::RandomSmallGraph;
+using testing::SamplingTolerance;
+
+TEST(ConditionalExact, EmptyConditionEqualsPlainReliability) {
+  for (uint64_t seed = 950; seed < 958; ++seed) {
+    const UncertainGraph g = RandomSmallGraph(6, 12, 0.2, 0.8, seed);
+    EXPECT_NEAR(*ExactConditionalReliability(g, 0, 5, {}),
+                *ExactReliabilityEnumeration(g, 0, 5), 1e-12)
+        << seed;
+  }
+}
+
+TEST(ConditionalExact, ForcedPresentPathGivesCertainty) {
+  const UncertainGraph g = LineGraph3(0.5, 0.25);
+  ReliabilityCondition condition;
+  condition.present = {0, 1};
+  EXPECT_DOUBLE_EQ(*ExactConditionalReliability(g, 0, 2, condition), 1.0);
+}
+
+TEST(ConditionalExact, ForcedAbsentCutGivesZero) {
+  const UncertainGraph g = LineGraph3(0.5, 0.25);
+  ReliabilityCondition condition;
+  condition.absent = {1};
+  EXPECT_DOUBLE_EQ(*ExactConditionalReliability(g, 0, 2, condition), 0.0);
+}
+
+TEST(ConditionalExact, PartialConditionOnDiamond) {
+  // Knock out one branch of the diamond: R collapses to the other path.
+  const UncertainGraph g = DiamondGraph(0.5);  // edges: 0-1, 1-3, 0-2, 2-3
+  ReliabilityCondition condition;
+  condition.absent = {0};  // edge 0 -> 1 down
+  EXPECT_NEAR(*ExactConditionalReliability(g, 0, 3, condition), 0.25, 1e-12);
+  condition.absent.clear();
+  condition.present = {0, 1};  // left path observed up
+  EXPECT_DOUBLE_EQ(*ExactConditionalReliability(g, 0, 3, condition), 1.0);
+}
+
+TEST(ConditionalExact, LawOfTotalProbability) {
+  // R = p * R(e present) + (1-p) * R(e absent) for any edge e.
+  for (uint64_t seed = 960; seed < 968; ++seed) {
+    const UncertainGraph g = RandomSmallGraph(6, 12, 0.2, 0.8, seed);
+    const double plain = *ExactReliabilityEnumeration(g, 0, 5);
+    ReliabilityCondition present;
+    present.present = {0};
+    ReliabilityCondition absent;
+    absent.absent = {0};
+    const double p = g.prob(0);
+    EXPECT_NEAR(p * *ExactConditionalReliability(g, 0, 5, present) +
+                    (1.0 - p) * *ExactConditionalReliability(g, 0, 5, absent),
+                plain, 1e-10)
+        << seed;
+  }
+}
+
+TEST(ConditionalMc, MatchesExactOracle) {
+  for (uint64_t seed = 970; seed < 976; ++seed) {
+    const UncertainGraph g = RandomSmallGraph(7, 14, 0.2, 0.8, seed);
+    ReliabilityCondition condition;
+    condition.present = {0};
+    condition.absent = {1};
+    const double exact = *ExactConditionalReliability(g, 0, 6, condition);
+    const double estimate =
+        *ConditionalReliabilityMonteCarlo(g, 0, 6, condition, 12000, seed);
+    EXPECT_NEAR(estimate, exact, SamplingTolerance(exact, 12000, 4.5)) << seed;
+  }
+}
+
+TEST(ConditionalMc, ValidatesArguments) {
+  const UncertainGraph g = LineGraph3();
+  EXPECT_FALSE(ConditionalReliabilityMonteCarlo(g, 0, 99, {}, 10, 1).ok());
+  EXPECT_FALSE(ConditionalReliabilityMonteCarlo(g, 0, 2, {}, 0, 1).ok());
+  ReliabilityCondition contradictory;
+  contradictory.present = {0};
+  contradictory.absent = {0};
+  EXPECT_FALSE(
+      ConditionalReliabilityMonteCarlo(g, 0, 2, contradictory, 10, 1).ok());
+  ReliabilityCondition out_of_range;
+  out_of_range.present = {99};
+  EXPECT_FALSE(
+      ConditionalReliabilityMonteCarlo(g, 0, 2, out_of_range, 10, 1).ok());
+  EXPECT_FALSE(ExactConditionalReliability(g, 0, 2, out_of_range).ok());
+}
+
+TEST(ConditionalExact, FreeEdgeBudgetEnforced) {
+  const UncertainGraph g = RandomSmallGraph(10, 30, 0.2, 0.8, 980);
+  const auto result = ExactConditionalReliability(g, 0, 9, {}, /*max_free=*/10);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace relcomp

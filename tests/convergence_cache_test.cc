@@ -1,0 +1,154 @@
+// Persistence of convergence reports (the cross-binary cache used by the
+// bench suite) and ExperimentContext's cache behaviour.
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "eval/convergence.h"
+#include "eval/experiment.h"
+#include "graph/datasets.h"
+#include "reliability/mc_sampling.h"
+
+namespace relcomp {
+namespace {
+
+class ConvergenceCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("relcomp_cache_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+ConvergenceReport SampleReport() {
+  ConvergenceReport report;
+  report.estimator_name = "MC";
+  report.converged_k = 500;
+  for (uint32_t k : {250u, 500u}) {
+    KPoint point;
+    point.k = k;
+    point.avg_variance = 1.0 / k;
+    point.avg_reliability = 0.4;
+    point.dispersion = point.avg_variance / point.avg_reliability;
+    point.avg_query_seconds = 0.001 * k;
+    point.peak_memory_bytes = 4096 + k;
+    point.per_pair_reliability = {0.39, 0.41, 0.40};
+    report.points.push_back(std::move(point));
+  }
+  return report;
+}
+
+TEST_F(ConvergenceCacheTest, SaveLoadRoundTrip) {
+  const ConvergenceReport original = SampleReport();
+  ASSERT_TRUE(SaveConvergenceReport(original, Path("r.bin")).ok());
+  const ConvergenceReport loaded =
+      LoadConvergenceReport(Path("r.bin")).MoveValue();
+  EXPECT_EQ(loaded.estimator_name, original.estimator_name);
+  EXPECT_EQ(loaded.converged_k, original.converged_k);
+  ASSERT_EQ(loaded.points.size(), original.points.size());
+  for (size_t i = 0; i < loaded.points.size(); ++i) {
+    EXPECT_EQ(loaded.points[i].k, original.points[i].k);
+    EXPECT_DOUBLE_EQ(loaded.points[i].avg_variance,
+                     original.points[i].avg_variance);
+    EXPECT_DOUBLE_EQ(loaded.points[i].avg_reliability,
+                     original.points[i].avg_reliability);
+    EXPECT_EQ(loaded.points[i].peak_memory_bytes,
+              original.points[i].peak_memory_bytes);
+    EXPECT_EQ(loaded.points[i].per_pair_reliability,
+              original.points[i].per_pair_reliability);
+  }
+}
+
+TEST_F(ConvergenceCacheTest, MissingFileIsNotFound) {
+  const auto result = LoadConvergenceReport(Path("missing.bin"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ConvergenceCacheTest, RejectsForeignFiles) {
+  {
+    std::ofstream out(Path("junk.bin"), std::ios::binary);
+    out << "definitely not a convergence report";
+  }
+  EXPECT_FALSE(LoadConvergenceReport(Path("junk.bin")).ok());
+}
+
+TEST_F(ConvergenceCacheTest, DetectsTruncation) {
+  ASSERT_TRUE(SaveConvergenceReport(SampleReport(), Path("t.bin")).ok());
+  const auto size = std::filesystem::file_size(Path("t.bin"));
+  std::filesystem::resize_file(Path("t.bin"), size / 2);
+  EXPECT_FALSE(LoadConvergenceReport(Path("t.bin")).ok());
+}
+
+TEST_F(ConvergenceCacheTest, ExperimentContextWritesAndReusesCache) {
+  BenchConfig config;
+  config.scale = Scale::kTiny;
+  config.num_pairs = 4;
+  config.repeats = 3;
+  config.initial_k = 100;
+  config.step_k = 100;
+  config.max_k = 300;
+  config.dispersion_threshold = 1.0;  // converge immediately
+  config.cache_dir = Path("ctx");
+  config.verbose = false;
+
+  ExperimentContext first(config);
+  const auto a =
+      first.GetConvergence(DatasetId::kLastFm, EstimatorKind::kMonteCarlo);
+  ASSERT_TRUE(a.ok()) << a.status();
+  // A cache file must now exist.
+  size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(Path("ctx"))) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+
+  // A second context with identical config must reproduce the exact result
+  // from the cache (bit-identical doubles).
+  ExperimentContext second(config);
+  const auto b =
+      second.GetConvergence(DatasetId::kLastFm, EstimatorKind::kMonteCarlo);
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ((*a)->points.size(), (*b)->points.size());
+  EXPECT_DOUBLE_EQ((*a)->points[0].avg_reliability,
+                   (*b)->points[0].avg_reliability);
+  EXPECT_DOUBLE_EQ((*a)->points[0].avg_variance, (*b)->points[0].avg_variance);
+}
+
+TEST_F(ConvergenceCacheTest, DifferentConfigsUseDifferentCacheKeys) {
+  BenchConfig config;
+  config.scale = Scale::kTiny;
+  config.num_pairs = 4;
+  config.repeats = 3;
+  config.initial_k = 100;
+  config.step_k = 100;
+  config.max_k = 200;
+  config.dispersion_threshold = 1.0;
+  config.cache_dir = Path("keys");
+  config.verbose = false;
+
+  ExperimentContext a(config);
+  ASSERT_TRUE(
+      a.GetConvergence(DatasetId::kLastFm, EstimatorKind::kMonteCarlo).ok());
+  config.num_pairs = 5;  // any knob change must miss the cache
+  ExperimentContext b(config);
+  ASSERT_TRUE(
+      b.GetConvergence(DatasetId::kLastFm, EstimatorKind::kMonteCarlo).ok());
+  size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(Path("keys"))) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 2u);
+}
+
+}  // namespace
+}  // namespace relcomp

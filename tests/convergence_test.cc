@@ -1,0 +1,145 @@
+#include "eval/convergence.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/query_gen.h"
+#include "graph/datasets.h"
+#include "reliability/mc_sampling.h"
+#include "reliability/recursive_stratified.h"
+#include "test_util.h"
+
+namespace relcomp {
+namespace {
+
+std::vector<ReliabilityQuery> TinyWorkload(const UncertainGraph& g) {
+  QueryGenOptions options;
+  options.num_pairs = 6;
+  options.seed = 5;
+  return GenerateQueries(g, options).MoveValue();
+}
+
+TEST(MeasureAtK, ReturnsConsistentPoint) {
+  const Dataset d = MakeDataset(DatasetId::kLastFm, Scale::kTiny, 1).MoveValue();
+  MonteCarloEstimator mc(d.graph);
+  const std::vector<ReliabilityQuery> queries = TinyWorkload(d.graph);
+  const Result<KPoint> point = MeasureAtK(mc, queries, 100, 8, 3);
+  ASSERT_TRUE(point.ok());
+  EXPECT_EQ(point->k, 100u);
+  EXPECT_GE(point->avg_reliability, 0.0);
+  EXPECT_LE(point->avg_reliability, 1.0);
+  EXPECT_GE(point->avg_variance, 0.0);
+  EXPECT_GT(point->avg_query_seconds, 0.0);
+  EXPECT_EQ(point->per_pair_reliability.size(), queries.size());
+}
+
+TEST(MeasureAtK, DeterministicPerSeed) {
+  const Dataset d = MakeDataset(DatasetId::kLastFm, Scale::kTiny, 1).MoveValue();
+  MonteCarloEstimator mc(d.graph);
+  const std::vector<ReliabilityQuery> queries = TinyWorkload(d.graph);
+  const KPoint a = MeasureAtK(mc, queries, 100, 5, 42).MoveValue();
+  const KPoint b = MeasureAtK(mc, queries, 100, 5, 42).MoveValue();
+  EXPECT_DOUBLE_EQ(a.avg_reliability, b.avg_reliability);
+  EXPECT_DOUBLE_EQ(a.avg_variance, b.avg_variance);
+}
+
+TEST(MeasureAtK, ValidatesArguments) {
+  const Dataset d = MakeDataset(DatasetId::kLastFm, Scale::kTiny, 1).MoveValue();
+  MonteCarloEstimator mc(d.graph);
+  EXPECT_FALSE(MeasureAtK(mc, {}, 100, 5, 1).ok());
+  const std::vector<ReliabilityQuery> queries = TinyWorkload(d.graph);
+  EXPECT_FALSE(MeasureAtK(mc, queries, 100, 0, 1).ok());
+}
+
+TEST(RunConvergence, VarianceDecreasesWithK) {
+  const Dataset d = MakeDataset(DatasetId::kLastFm, Scale::kTiny, 2).MoveValue();
+  MonteCarloEstimator mc(d.graph);
+  ConvergenceOptions options;
+  options.initial_k = 50;
+  options.step_k = 200;
+  options.max_k = 450;
+  options.repeats = 12;
+  options.dispersion_threshold = 0.0;  // never converge: trace the full curve
+  options.stop_at_convergence = false;
+  const ConvergenceReport report =
+      RunConvergence(mc, TinyWorkload(d.graph), options).MoveValue();
+  ASSERT_EQ(report.points.size(), 3u);
+  // Binomial variance shrinks ~1/K; allow slack for noise.
+  EXPECT_LT(report.points.back().avg_variance,
+            report.points.front().avg_variance);
+}
+
+TEST(RunConvergence, StopsAtThreshold) {
+  const Dataset d = MakeDataset(DatasetId::kLastFm, Scale::kTiny, 3).MoveValue();
+  MonteCarloEstimator mc(d.graph);
+  ConvergenceOptions options;
+  options.initial_k = 100;
+  options.step_k = 100;
+  options.max_k = 5000;
+  options.repeats = 8;
+  options.dispersion_threshold = 1.0;  // trivially satisfied at once
+  const ConvergenceReport report =
+      RunConvergence(mc, TinyWorkload(d.graph), options).MoveValue();
+  EXPECT_TRUE(report.converged());
+  EXPECT_EQ(report.converged_k, 100u);
+  EXPECT_EQ(report.points.size(), 1u);
+}
+
+TEST(RunConvergence, ReportsNonConvergenceWithinBudget) {
+  const Dataset d = MakeDataset(DatasetId::kLastFm, Scale::kTiny, 4).MoveValue();
+  MonteCarloEstimator mc(d.graph);
+  ConvergenceOptions options;
+  options.initial_k = 50;
+  options.step_k = 50;
+  options.max_k = 150;
+  options.repeats = 6;
+  options.dispersion_threshold = 0.0;  // unreachable
+  const ConvergenceReport report =
+      RunConvergence(mc, TinyWorkload(d.graph), options).MoveValue();
+  EXPECT_FALSE(report.converged());
+  EXPECT_EQ(report.points.size(), 3u);
+}
+
+TEST(RunConvergence, FindKLocatesPoints) {
+  const Dataset d = MakeDataset(DatasetId::kLastFm, Scale::kTiny, 5).MoveValue();
+  MonteCarloEstimator mc(d.graph);
+  ConvergenceOptions options;
+  options.initial_k = 50;
+  options.step_k = 50;
+  options.max_k = 100;
+  options.repeats = 4;
+  options.dispersion_threshold = 0.0;
+  options.stop_at_convergence = false;
+  const ConvergenceReport report =
+      RunConvergence(mc, TinyWorkload(d.graph), options).MoveValue();
+  ASSERT_NE(report.FindK(50), nullptr);
+  ASSERT_NE(report.FindK(100), nullptr);
+  EXPECT_EQ(report.FindK(75), nullptr);
+  EXPECT_EQ(report.FindK(50)->k, 50u);
+}
+
+TEST(RunConvergence, RecursiveConvergesNoSlowerThanMc) {
+  // The paper's headline: recursive estimators converge with fewer samples.
+  const Dataset d = MakeDataset(DatasetId::kLastFm, Scale::kTiny, 6).MoveValue();
+  const std::vector<ReliabilityQuery> queries = TinyWorkload(d.graph);
+  ConvergenceOptions options;
+  options.initial_k = 100;
+  options.step_k = 100;
+  options.max_k = 3000;
+  options.repeats = 15;
+  options.dispersion_threshold = 2e-3;
+
+  MonteCarloEstimator mc(d.graph);
+  RssOptions rss_options;
+  rss_options.num_strata = 20;
+  RecursiveStratifiedEstimator rss(d.graph, rss_options);
+  const ConvergenceReport mc_report =
+      RunConvergence(mc, queries, options).MoveValue();
+  const ConvergenceReport rss_report =
+      RunConvergence(rss, queries, options).MoveValue();
+  ASSERT_TRUE(mc_report.converged());
+  ASSERT_TRUE(rss_report.converged());
+  EXPECT_LE(rss_report.converged_k, mc_report.converged_k);
+}
+
+}  // namespace
+}  // namespace relcomp

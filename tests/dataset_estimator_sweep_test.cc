@@ -1,0 +1,127 @@
+// Property sweep: every headline estimator on every dataset analogue (all
+// six probability models), checking the invariants that hold regardless of
+// topology or probability regime.
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "eval/query_gen.h"
+#include "graph/datasets.h"
+#include "reliability/bounds.h"
+#include "reliability/estimator_factory.h"
+
+namespace relcomp {
+namespace {
+
+struct SweepCase {
+  DatasetId dataset;
+  EstimatorKind estimator;
+};
+
+std::string SweepName(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string name = std::string(DatasetName(info.param.dataset)) + "_" +
+                     EstimatorKindName(info.param.estimator);
+  for (char& c : name) {
+    if (c == '+') c = 'P';
+  }
+  return name;
+}
+
+class DatasetEstimatorSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  static const Dataset& GetDataset(DatasetId id) {
+    static std::map<int, Dataset>* cache = new std::map<int, Dataset>();
+    auto it = cache->find(static_cast<int>(id));
+    if (it == cache->end()) {
+      it = cache
+               ->emplace(static_cast<int>(id),
+                         MakeDataset(id, Scale::kTiny, 3).MoveValue())
+               .first;
+    }
+    return it->second;
+  }
+
+  static const std::vector<ReliabilityQuery>& GetQueries(DatasetId id) {
+    static std::map<int, std::vector<ReliabilityQuery>>* cache =
+        new std::map<int, std::vector<ReliabilityQuery>>();
+    auto it = cache->find(static_cast<int>(id));
+    if (it == cache->end()) {
+      QueryGenOptions options;
+      options.num_pairs = 5;
+      options.seed = 17;
+      it = cache
+               ->emplace(static_cast<int>(id),
+                         GenerateQueries(GetDataset(id).graph, options)
+                             .MoveValue())
+               .first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(DatasetEstimatorSweep, EstimatesAreValidAndBracketedByBounds) {
+  const SweepCase& c = GetParam();
+  const Dataset& dataset = GetDataset(c.dataset);
+  const auto& queries = GetQueries(c.dataset);
+  FactoryOptions factory;
+  factory.bfs_sharing.index_samples = 1200;
+  auto estimator =
+      MakeEstimator(c.estimator, dataset.graph, factory).MoveValue();
+
+  for (const ReliabilityQuery& q : queries) {
+    EstimateOptions opts;
+    opts.num_samples = 1200;
+    opts.seed = 7;
+    const Result<EstimateResult> result = estimator->Estimate(q, opts);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_GE(result->reliability, 0.0);
+    EXPECT_LE(result->reliability, 1.0);
+    EXPECT_GE(result->seconds, 0.0);
+
+    // Polynomial-time bounds must bracket any sane estimate (with a noise
+    // allowance of ~4 binomial standard errors at K=1200, plus the w=2
+    // ProbTree aggregation slack).
+    const ReliabilityBounds bounds =
+        *ComputeReliabilityBounds(dataset.graph, q.source, q.target);
+    const double slack =
+        4.0 * std::sqrt(0.25 / 1200.0) + 0.01;  // worst-case binomial SE
+    EXPECT_GE(result->reliability, bounds.lower - slack)
+        << q.source << "->" << q.target;
+    EXPECT_LE(result->reliability, bounds.upper + slack)
+        << q.source << "->" << q.target;
+  }
+}
+
+TEST_P(DatasetEstimatorSweep, RepeatedQueriesAreDeterministic) {
+  const SweepCase& c = GetParam();
+  const Dataset& dataset = GetDataset(c.dataset);
+  const ReliabilityQuery q = GetQueries(c.dataset).front();
+  FactoryOptions factory;
+  factory.bfs_sharing.index_samples = 600;
+  auto estimator =
+      MakeEstimator(c.estimator, dataset.graph, factory).MoveValue();
+  EstimateOptions opts;
+  opts.num_samples = 600;
+  opts.seed = 99;
+  const double r1 = estimator->Estimate(q, opts)->reliability;
+  const double r2 = estimator->Estimate(q, opts)->reliability;
+  EXPECT_DOUBLE_EQ(r1, r2);
+}
+
+std::vector<SweepCase> AllSweepCases() {
+  std::vector<SweepCase> cases;
+  for (DatasetId dataset : AllDatasetIds()) {
+    for (EstimatorKind estimator : TheSixEstimators()) {
+      cases.push_back({dataset, estimator});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetEstimatorSweep,
+                         ::testing::ValuesIn(AllSweepCases()), SweepName);
+
+}  // namespace
+}  // namespace relcomp

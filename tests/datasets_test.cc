@@ -1,0 +1,153 @@
+#include "graph/datasets.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "graph/possible_world.h"
+
+namespace relcomp {
+namespace {
+
+TEST(Datasets, AllSixBuildAtTinyScale) {
+  for (DatasetId id : AllDatasetIds()) {
+    const Result<Dataset> dataset = MakeDataset(id, Scale::kTiny, 1);
+    ASSERT_TRUE(dataset.ok()) << DatasetName(id);
+    EXPECT_GT(dataset->graph.num_nodes(), 100u) << DatasetName(id);
+    EXPECT_GT(dataset->graph.num_edges(), 100u) << DatasetName(id);
+    const EdgeProbStats stats = dataset->graph.ProbStats();
+    EXPECT_GT(stats.mean, 0.0);
+    EXPECT_LE(stats.mean, 1.0);
+  }
+}
+
+TEST(Datasets, DeterministicInSeed) {
+  const Dataset a = MakeDataset(DatasetId::kLastFm, Scale::kTiny, 42).MoveValue();
+  const Dataset b = MakeDataset(DatasetId::kLastFm, Scale::kTiny, 42).MoveValue();
+  ASSERT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  for (EdgeId e = 0; e < a.graph.num_edges(); ++e) {
+    EXPECT_EQ(a.graph.edge(e).tail, b.graph.edge(e).tail);
+    EXPECT_DOUBLE_EQ(a.graph.edge(e).prob, b.graph.edge(e).prob);
+  }
+}
+
+TEST(Datasets, SeedsChangeTheGraph) {
+  const Dataset a = MakeDataset(DatasetId::kLastFm, Scale::kTiny, 1).MoveValue();
+  const Dataset b = MakeDataset(DatasetId::kLastFm, Scale::kTiny, 2).MoveValue();
+  bool any_difference = a.graph.num_edges() != b.graph.num_edges();
+  for (EdgeId e = 0; !any_difference && e < a.graph.num_edges(); ++e) {
+    any_difference = a.graph.edge(e).tail != b.graph.edge(e).tail ||
+                     a.graph.edge(e).prob != b.graph.edge(e).prob;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Datasets, DblpVariantsShareTopologyDifferOnlyInProbs) {
+  // The paper derives DBLP 0.2 and DBLP 0.05 from one crawl, varying mu.
+  const Dataset d02 = MakeDataset(DatasetId::kDblp02, Scale::kTiny, 9).MoveValue();
+  const Dataset d005 = MakeDataset(DatasetId::kDblp005, Scale::kTiny, 9).MoveValue();
+  ASSERT_EQ(d02.graph.num_edges(), d005.graph.num_edges());
+  for (EdgeId e = 0; e < d02.graph.num_edges(); ++e) {
+    EXPECT_EQ(d02.graph.edge(e).tail, d005.graph.edge(e).tail);
+    EXPECT_EQ(d02.graph.edge(e).head, d005.graph.edge(e).head);
+    EXPECT_GT(d02.graph.edge(e).prob, d005.graph.edge(e).prob);
+  }
+}
+
+TEST(Datasets, ScalesAreMonotone) {
+  const Dataset tiny = MakeDataset(DatasetId::kNetHept, Scale::kTiny, 3).MoveValue();
+  const Dataset small =
+      MakeDataset(DatasetId::kNetHept, Scale::kSmall, 3).MoveValue();
+  EXPECT_LT(tiny.graph.num_nodes(), small.graph.num_nodes());
+}
+
+TEST(Datasets, ProbabilityProfilesTrackTable2) {
+  struct Expectation {
+    DatasetId id;
+    double mean;
+    double tolerance;
+  };
+  const Expectation expectations[] = {
+      {DatasetId::kLastFm, 0.29, 0.15},  // inverse out-degree; BA m=2 => ~0.3
+      {DatasetId::kNetHept, 0.04, 0.02},
+      {DatasetId::kAsTopology, 0.23, 0.06},
+      {DatasetId::kDblp02, 0.33, 0.06},
+      {DatasetId::kDblp005, 0.11, 0.04},
+      {DatasetId::kBioMine, 0.27, 0.06},
+  };
+  for (const auto& e : expectations) {
+    const Dataset d = MakeDataset(e.id, Scale::kSmall, 5).MoveValue();
+    EXPECT_NEAR(d.graph.ProbStats().mean, e.mean, e.tolerance)
+        << DatasetName(e.id);
+  }
+}
+
+TEST(Datasets, BioMineIsDirected) {
+  const Dataset d = MakeDataset(DatasetId::kBioMine, Scale::kTiny, 6).MoveValue();
+  // A directed generator should produce asymmetric reachability somewhere.
+  size_t mutual = 0;
+  size_t checked = 0;
+  for (EdgeId e = 0; e < std::min<size_t>(d.graph.num_edges(), 200); ++e) {
+    const EdgeRecord& rec = d.graph.edge(e);
+    bool reverse = false;
+    for (const AdjEntry& a : d.graph.OutEdges(rec.head)) {
+      reverse |= (a.neighbor == rec.tail);
+    }
+    mutual += reverse;
+    ++checked;
+  }
+  EXPECT_LT(mutual, checked);  // not fully bidirected
+}
+
+TEST(Datasets, NamesAreStable) {
+  EXPECT_STREQ(DatasetName(DatasetId::kLastFm), "lastfm");
+  EXPECT_STREQ(DatasetDisplayName(DatasetId::kDblp005), "DBLP 0.05");
+  EXPECT_EQ(AllDatasetIds().size(), static_cast<size_t>(kNumDatasets));
+}
+
+TEST(Scale, ParseRoundTrip) {
+  for (Scale s : {Scale::kTiny, Scale::kSmall, Scale::kMedium, Scale::kLarge}) {
+    const Result<Scale> parsed = ParseScale(ScaleName(s));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_FALSE(ParseScale("gigantic").ok());
+}
+
+TEST(Scale, FromEnvHonorsVariable) {
+  ::setenv("RELCOMP_SCALE", "tiny", 1);
+  EXPECT_EQ(ScaleFromEnv(), Scale::kTiny);
+  ::setenv("RELCOMP_SCALE", "bogus", 1);
+  EXPECT_EQ(ScaleFromEnv(), Scale::kSmall);  // fallback
+  ::unsetenv("RELCOMP_SCALE");
+  EXPECT_EQ(ScaleFromEnv(), Scale::kSmall);
+}
+
+TEST(Datasets, TableRendersAllRows) {
+  std::vector<Dataset> all;
+  for (DatasetId id : AllDatasetIds()) {
+    all.push_back(MakeDataset(id, Scale::kTiny, 2).MoveValue());
+  }
+  const std::string table = DatasetTable(all);
+  for (DatasetId id : AllDatasetIds()) {
+    EXPECT_NE(table.find(DatasetDisplayName(id)), std::string::npos);
+  }
+}
+
+TEST(Datasets, GraphsAreWellConnectedEnoughForQueries) {
+  // 2-hop workloads must exist: check some node has a 2-hop neighborhood.
+  for (DatasetId id : AllDatasetIds()) {
+    const Dataset d = MakeDataset(id, Scale::kTiny, 8).MoveValue();
+    bool found = false;
+    for (NodeId s = 0; s < d.graph.num_nodes() && !found; ++s) {
+      const std::vector<uint32_t> dist = HopDistances(d.graph, s);
+      for (NodeId v = 0; v < d.graph.num_nodes() && !found; ++v) {
+        found = (dist[v] == 2);
+      }
+    }
+    EXPECT_TRUE(found) << DatasetName(id);
+  }
+}
+
+}  // namespace
+}  // namespace relcomp

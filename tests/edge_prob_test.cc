@@ -1,0 +1,156 @@
+#include "graph/edge_prob.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace relcomp {
+namespace {
+
+Topology SmallPairedTopology(uint32_t n, Rng& rng) {
+  return MakeErdosRenyi(n, 6.0, /*bidirected=*/true, rng);
+}
+
+double Mean(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+}
+
+TEST(InverseOutDegree, ProbIsOneOverOutDegree) {
+  Topology topo;
+  topo.num_nodes = 4;
+  topo.edges = {{0, 1}, {0, 2}, {0, 3}, {1, 0}};
+  const std::vector<double> probs = InverseOutDegreeProbs(topo);
+  EXPECT_DOUBLE_EQ(probs[0], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(probs[1], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(probs[2], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(probs[3], 1.0);
+}
+
+TEST(InverseOutDegree, AllInUnitInterval) {
+  Rng rng(1);
+  const Topology topo = MakeBarabasiAlbert(500, 2, true, rng);
+  for (double p : InverseOutDegreeProbs(topo)) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(Categorical, OnlyDrawsFromChoices) {
+  Rng topo_rng(2);
+  const Topology topo = SmallPairedTopology(300, topo_rng);
+  Rng rng(3);
+  const std::vector<double> probs = CategoricalProbs(topo, {0.1, 0.01, 0.001}, rng);
+  for (double p : probs) {
+    EXPECT_TRUE(p == 0.1 || p == 0.01 || p == 0.001) << p;
+  }
+}
+
+TEST(Categorical, PairedEdgesShareValue) {
+  Rng topo_rng(4);
+  const Topology topo = SmallPairedTopology(300, topo_rng);
+  Rng rng(5);
+  const std::vector<double> probs = CategoricalProbs(topo, {0.1, 0.01, 0.001}, rng);
+  for (size_t i = 0; i + 1 < probs.size(); i += 2) {
+    EXPECT_DOUBLE_EQ(probs[i], probs[i + 1]);
+  }
+}
+
+TEST(Categorical, MeanNearNetHeptProfile) {
+  // Paper Table 2: NetHEPT mean 0.04 (uniform over {0.1, 0.01, 0.001}).
+  Rng topo_rng(6);
+  const Topology topo = SmallPairedTopology(3000, topo_rng);
+  Rng rng(7);
+  const std::vector<double> probs = CategoricalProbs(topo, {0.1, 0.01, 0.001}, rng);
+  EXPECT_NEAR(Mean(probs), 0.037, 0.006);
+}
+
+TEST(SnapshotRatio, InUnitIntervalAndPositive) {
+  Rng topo_rng(8);
+  const Topology topo = SmallPairedTopology(500, topo_rng);
+  Rng rng(9);
+  const std::vector<double> probs =
+      SnapshotRatioProbs(topo, SnapshotModelOptions{}, rng);
+  for (double p : probs) {
+    EXPECT_GT(p, 0.0);  // first observation always counts
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(SnapshotRatio, MatchesAsTopologyProfile) {
+  // Paper Table 2: AS Topology 0.23 +/- 0.20.
+  Rng topo_rng(10);
+  const Topology topo = SmallPairedTopology(4000, topo_rng);
+  Rng rng(11);
+  const std::vector<double> probs =
+      SnapshotRatioProbs(topo, SnapshotModelOptions{}, rng);
+  const double mean = Mean(probs);
+  double sq = 0.0;
+  for (double p : probs) sq += (p - mean) * (p - mean);
+  const double sd = std::sqrt(sq / static_cast<double>(probs.size()));
+  EXPECT_NEAR(mean, 0.23, 0.05);
+  EXPECT_NEAR(sd, 0.20, 0.05);
+}
+
+TEST(CollaborationCounts, AtLeastOneAndPaired) {
+  Rng topo_rng(12);
+  const Topology topo = SmallPairedTopology(500, topo_rng);
+  Rng rng(13);
+  const std::vector<uint32_t> counts = CollaborationCounts(topo, 1.2, rng);
+  ASSERT_EQ(counts.size(), topo.num_edges());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_GE(counts[i], 1u);
+    if (i % 2 == 1) {
+      EXPECT_EQ(counts[i], counts[i - 1]);
+    }
+  }
+}
+
+TEST(CollaborationCounts, MeanMatchesParameter) {
+  Rng topo_rng(14);
+  const Topology topo = SmallPairedTopology(4000, topo_rng);
+  Rng rng(15);
+  const std::vector<uint32_t> counts = CollaborationCounts(topo, 1.2, rng);
+  double sum = 0.0;
+  for (uint32_t c : counts) sum += c;
+  EXPECT_NEAR(sum / static_cast<double>(counts.size()), 2.2, 0.1);
+}
+
+TEST(CollaborationExpCdf, FormulaAndMuKnob) {
+  const std::vector<uint32_t> counts = {1, 5, 20};
+  const std::vector<double> probs5 = CollaborationExpCdfProbs(counts, 5.0);
+  EXPECT_NEAR(probs5[0], 1.0 - std::exp(-0.2), 1e-12);
+  EXPECT_NEAR(probs5[1], 1.0 - std::exp(-1.0), 1e-12);
+  const std::vector<double> probs20 = CollaborationExpCdfProbs(counts, 20.0);
+  // Larger mu => smaller probabilities (DBLP 0.05 vs DBLP 0.2).
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_LT(probs20[i], probs5[i]);
+  }
+}
+
+TEST(CollaborationExpCdf, MatchesDblpProfiles) {
+  // Paper Table 2: DBLP 0.2 mean 0.33, DBLP 0.05 mean 0.11.
+  Rng topo_rng(16);
+  const Topology topo = SmallPairedTopology(4000, topo_rng);
+  Rng rng(17);
+  const std::vector<uint32_t> counts = CollaborationCounts(topo, 1.2, rng);
+  EXPECT_NEAR(Mean(CollaborationExpCdfProbs(counts, 5.0)), 0.33, 0.05);
+  EXPECT_NEAR(Mean(CollaborationExpCdfProbs(counts, 20.0)), 0.11, 0.03);
+}
+
+TEST(ThreeCriteria, InUnitIntervalWithBioMineMean) {
+  // Paper Table 2: BioMine 0.27 +/- 0.21.
+  Rng topo_rng(18);
+  Topology topo = MakeBarabasiAlbert(3000, 3, /*bidirected=*/false, topo_rng);
+  Rng rng(19);
+  const std::vector<double> probs = ThreeCriteriaProbs(topo, rng);
+  for (double p : probs) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  EXPECT_NEAR(Mean(probs), 0.25, 0.06);
+}
+
+}  // namespace
+}  // namespace relcomp

@@ -1,0 +1,193 @@
+// Oracle accuracy sweep: every estimator vs exact reliability on a grid of
+// small random graphs (topology x probability regime x estimator), the
+// core correctness property of the whole library.
+
+#include <gtest/gtest.h>
+
+#include "reliability/estimator_factory.h"
+#include "reliability/exact.h"
+#include "test_util.h"
+
+namespace relcomp {
+namespace {
+
+using testing::DiamondGraph;
+using testing::LineGraph3;
+using testing::RandomSmallGraph;
+using testing::SamplingTolerance;
+
+struct AccuracyCase {
+  EstimatorKind kind;
+  double p_lo;
+  double p_hi;
+  uint64_t seed;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<AccuracyCase>& info) {
+  std::string name = EstimatorKindName(info.param.kind);
+  for (char& c : name) {
+    if (c == '+') c = 'P';
+  }
+  return name + "_p" + std::to_string(static_cast<int>(info.param.p_lo * 100)) +
+         "_" + std::to_string(static_cast<int>(info.param.p_hi * 100)) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+class EstimatorAccuracyTest : public ::testing::TestWithParam<AccuracyCase> {};
+
+TEST_P(EstimatorAccuracyTest, MatchesExactWithinSamplingError) {
+  const AccuracyCase& c = GetParam();
+  const UncertainGraph g = RandomSmallGraph(7, 14, c.p_lo, c.p_hi, c.seed);
+  const Result<double> exact = ExactReliabilityEnumeration(g, 0, 6);
+  ASSERT_TRUE(exact.ok());
+
+  FactoryOptions factory;
+  factory.bfs_sharing.index_samples = 4000;  // cover the K used below
+  Result<std::unique_ptr<Estimator>> estimator = MakeEstimator(c.kind, g, factory);
+  ASSERT_TRUE(estimator.ok()) << estimator.status();
+
+  // Average a few independent runs so the tolerance can be tight.
+  constexpr uint32_t kSamples = 4000;
+  constexpr uint32_t kRuns = 4;
+  double sum = 0.0;
+  for (uint32_t run = 0; run < kRuns; ++run) {
+    (*estimator)->PrepareForNextQuery(c.seed * 1000 + run).CheckOK();
+    EstimateOptions opts;
+    opts.num_samples = kSamples;
+    opts.seed = c.seed * 7919 + run;
+    const Result<EstimateResult> result =
+        (*estimator)->Estimate(ReliabilityQuery{0, 6}, opts);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_GE(result->reliability, 0.0);
+    EXPECT_LE(result->reliability, 1.0);
+    sum += result->reliability;
+  }
+  const double mean = sum / kRuns;
+  const double tol = SamplingTolerance(*exact, kSamples * kRuns, /*z=*/4.5) +
+                     0.004;  // small allowance for ProbTree w=2 aggregation
+  EXPECT_NEAR(mean, *exact, tol)
+      << "estimator=" << EstimatorKindName(c.kind) << " exact=" << *exact;
+}
+
+std::vector<AccuracyCase> MakeCases() {
+  std::vector<AccuracyCase> cases;
+  const std::vector<EstimatorKind> kinds = {
+      EstimatorKind::kMonteCarlo,        EstimatorKind::kBfsSharing,
+      EstimatorKind::kProbTree,          EstimatorKind::kLazyPropagationPlus,
+      EstimatorKind::kRecursive,         EstimatorKind::kRecursiveStratified,
+      EstimatorKind::kProbTreeLpPlus,    EstimatorKind::kProbTreeRhh,
+      EstimatorKind::kProbTreeRss};
+  const std::vector<std::pair<double, double>> regimes = {
+      {0.05, 0.3},  // sparse/low-prob (NetHEPT-like)
+      {0.3, 0.7},   // mid
+      {0.6, 0.95},  // dense/high-prob (DBLP 0.2-like)
+  };
+  for (EstimatorKind kind : kinds) {
+    for (const auto& [lo, hi] : regimes) {
+      for (uint64_t seed : {11ull, 23ull}) {
+        cases.push_back({kind, lo, hi, seed});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(OracleSweep, EstimatorAccuracyTest,
+                         ::testing::ValuesIn(MakeCases()), CaseName);
+
+// --- Cross-estimator properties on fixed graphs -----------------------------
+
+class AllSixTest : public ::testing::TestWithParam<EstimatorKind> {
+ protected:
+  static FactoryOptions BigIndexOptions() {
+    FactoryOptions factory;
+    factory.bfs_sharing.index_samples = 8000;
+    return factory;
+  }
+};
+
+TEST_P(AllSixTest, LineGraphProduct) {
+  const UncertainGraph g = LineGraph3(0.6, 0.7);
+  Result<std::unique_ptr<Estimator>> est =
+      MakeEstimator(GetParam(), g, BigIndexOptions());
+  ASSERT_TRUE(est.ok());
+  EstimateOptions opts;
+  opts.num_samples = 8000;
+  opts.seed = 5;
+  const double r = (*est)->Estimate({0, 2}, opts)->reliability;
+  EXPECT_NEAR(r, 0.42, SamplingTolerance(0.42, 8000, 4.5));
+}
+
+TEST_P(AllSixTest, DiamondClosedForm) {
+  const UncertainGraph g = DiamondGraph(0.5);
+  Result<std::unique_ptr<Estimator>> est =
+      MakeEstimator(GetParam(), g, BigIndexOptions());
+  ASSERT_TRUE(est.ok());
+  EstimateOptions opts;
+  opts.num_samples = 8000;
+  opts.seed = 17;
+  const double expected = 1.0 - (1.0 - 0.25) * (1.0 - 0.25);
+  const double r = (*est)->Estimate({0, 3}, opts)->reliability;
+  EXPECT_NEAR(r, expected, SamplingTolerance(expected, 8000, 4.5));
+}
+
+TEST_P(AllSixTest, SourceEqualsTargetIsOne) {
+  const UncertainGraph g = DiamondGraph(0.2);
+  Result<std::unique_ptr<Estimator>> est = MakeEstimator(GetParam(), g);
+  ASSERT_TRUE(est.ok());
+  EstimateOptions opts;
+  opts.num_samples = 50;
+  EXPECT_DOUBLE_EQ((*est)->Estimate({2, 2}, opts)->reliability, 1.0);
+}
+
+TEST_P(AllSixTest, UnreachableTargetIsZero) {
+  // Node 4 has no incoming edges.
+  GraphBuilder b(5);
+  b.AddEdge(0, 1, 0.9).CheckOK();
+  b.AddEdge(1, 2, 0.9).CheckOK();
+  b.AddEdge(4, 3, 0.9).CheckOK();
+  const UncertainGraph g = b.Build().MoveValue();
+  Result<std::unique_ptr<Estimator>> est = MakeEstimator(GetParam(), g);
+  ASSERT_TRUE(est.ok());
+  EstimateOptions opts;
+  opts.num_samples = 300;
+  opts.seed = 3;
+  EXPECT_DOUBLE_EQ((*est)->Estimate({0, 4}, opts)->reliability, 0.0);
+}
+
+TEST_P(AllSixTest, DeterministicForEqualSeeds) {
+  const UncertainGraph g = RandomSmallGraph(10, 25, 0.2, 0.8, 77);
+  Result<std::unique_ptr<Estimator>> est = MakeEstimator(GetParam(), g);
+  ASSERT_TRUE(est.ok());
+  EstimateOptions opts;
+  opts.num_samples = 500;
+  opts.seed = 1234;
+  const double r1 = (*est)->Estimate({0, 9}, opts)->reliability;
+  const double r2 = (*est)->Estimate({0, 9}, opts)->reliability;
+  EXPECT_DOUBLE_EQ(r1, r2);
+}
+
+TEST_P(AllSixTest, RejectsInvalidQueries) {
+  const UncertainGraph g = DiamondGraph(0.5);
+  Result<std::unique_ptr<Estimator>> est = MakeEstimator(GetParam(), g);
+  ASSERT_TRUE(est.ok());
+  EstimateOptions opts;
+  opts.num_samples = 10;
+  EXPECT_FALSE((*est)->Estimate({0, 99}, opts).ok());
+  EXPECT_FALSE((*est)->Estimate({99, 0}, opts).ok());
+  opts.num_samples = 0;
+  EXPECT_FALSE((*est)->Estimate({0, 3}, opts).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSix, AllSixTest, ::testing::ValuesIn(TheSixEstimators()),
+    [](const ::testing::TestParamInfo<EstimatorKind>& info) {
+      std::string name = EstimatorKindName(info.param);
+      for (char& c : name) {
+        if (c == '+') c = 'P';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace relcomp

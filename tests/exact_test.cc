@@ -1,0 +1,123 @@
+#include "reliability/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace relcomp {
+namespace {
+
+using testing::DiamondGraph;
+using testing::GraphFromString;
+using testing::LineGraph3;
+using testing::RandomSmallGraph;
+
+TEST(ExactEnumeration, LineGraphIsProductOfProbs) {
+  const UncertainGraph g = LineGraph3(0.5, 0.25);
+  const Result<double> r = ExactReliabilityEnumeration(g, 0, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, 0.5 * 0.25, 1e-12);
+}
+
+TEST(ExactEnumeration, SingleEdge) {
+  const UncertainGraph g = GraphFromString("0 1 0.37\n");
+  EXPECT_NEAR(*ExactReliabilityEnumeration(g, 0, 1), 0.37, 1e-12);
+}
+
+TEST(ExactEnumeration, SourceEqualsTarget) {
+  const UncertainGraph g = LineGraph3();
+  EXPECT_DOUBLE_EQ(*ExactReliabilityEnumeration(g, 1, 1), 1.0);
+}
+
+TEST(ExactEnumeration, UnreachableTargetIsZero) {
+  // Edges point away from t.
+  const UncertainGraph g = GraphFromString("1 0 0.9\n2 1 0.9\n");
+  EXPECT_DOUBLE_EQ(*ExactReliabilityEnumeration(g, 0, 2), 0.0);
+}
+
+TEST(ExactEnumeration, DiamondClosedForm) {
+  for (const double p : {0.1, 0.3, 0.5, 0.9}) {
+    const UncertainGraph g = DiamondGraph(p);
+    const double expected = 1.0 - (1.0 - p * p) * (1.0 - p * p);
+    EXPECT_NEAR(*ExactReliabilityEnumeration(g, 0, 3), expected, 1e-12)
+        << "p=" << p;
+  }
+}
+
+TEST(ExactEnumeration, ParallelEdgesUnion) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 0.5).CheckOK();
+  b.AddEdge(0, 1, 0.5).CheckOK();
+  const UncertainGraph g = b.Build().MoveValue();
+  EXPECT_NEAR(*ExactReliabilityEnumeration(g, 0, 1), 0.75, 1e-12);
+}
+
+TEST(ExactEnumeration, DirectionMatters) {
+  const UncertainGraph g = GraphFromString("0 1 0.8\n");
+  EXPECT_NEAR(*ExactReliabilityEnumeration(g, 0, 1), 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(*ExactReliabilityEnumeration(g, 1, 0), 0.0);
+}
+
+TEST(ExactEnumeration, RejectsLargeGraphs) {
+  const UncertainGraph g = RandomSmallGraph(20, 40, 0.2, 0.9, 1);
+  const Result<double> r = ExactReliabilityEnumeration(g, 0, 1, /*max_edges=*/30);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ExactEnumeration, RejectsInvalidNodes) {
+  const UncertainGraph g = LineGraph3();
+  EXPECT_FALSE(ExactReliabilityEnumeration(g, 0, 99).ok());
+  EXPECT_FALSE(ExactReliabilityEnumeration(g, 99, 0).ok());
+}
+
+TEST(ExactFactoring, MatchesClosedForms) {
+  EXPECT_NEAR(*ExactReliabilityFactoring(LineGraph3(0.5, 0.25), 0, 2), 0.125,
+              1e-12);
+  EXPECT_NEAR(*ExactReliabilityFactoring(DiamondGraph(0.4), 0, 3),
+              1.0 - (1.0 - 0.16) * (1.0 - 0.16), 1e-12);
+}
+
+TEST(ExactFactoring, SourceEqualsTarget) {
+  EXPECT_DOUBLE_EQ(*ExactReliabilityFactoring(LineGraph3(), 2, 2), 1.0);
+}
+
+TEST(ExactFactoring, AgreesWithEnumerationOnRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    const UncertainGraph g = RandomSmallGraph(6, 12, 0.05, 0.95, seed);
+    const Result<double> by_enum = ExactReliabilityEnumeration(g, 0, 5);
+    const Result<double> by_factoring = ExactReliabilityFactoring(g, 0, 5);
+    ASSERT_TRUE(by_enum.ok());
+    ASSERT_TRUE(by_factoring.ok());
+    EXPECT_NEAR(*by_enum, *by_factoring, 1e-10) << "seed=" << seed;
+  }
+}
+
+TEST(ExactFactoring, AgreesOnDenserGraphs) {
+  for (uint64_t seed = 100; seed < 110; ++seed) {
+    const UncertainGraph g = RandomSmallGraph(5, 18, 0.1, 0.9, seed);
+    ASSERT_TRUE(g.num_edges() <= 26);
+    EXPECT_NEAR(*ExactReliabilityEnumeration(g, 0, 4),
+                *ExactReliabilityFactoring(g, 0, 4), 1e-10)
+        << "seed=" << seed;
+  }
+}
+
+TEST(ExactFactoring, StepBudgetIsEnforced) {
+  const UncertainGraph g = RandomSmallGraph(8, 24, 0.4, 0.6, 7);
+  const Result<double> r = ExactReliabilityFactoring(g, 0, 7, /*max_steps=*/3);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ExactFactoring, HandlesCyclesExactly) {
+  // 0 <-> 1 -> 2 with a back-edge 2 -> 0; the cycle must not trap the
+  // recursion.
+  const UncertainGraph g =
+      GraphFromString("0 1 0.5\n1 0 0.5\n1 2 0.5\n2 0 0.5\n");
+  EXPECT_NEAR(*ExactReliabilityEnumeration(g, 0, 2),
+              *ExactReliabilityFactoring(g, 0, 2), 1e-12);
+}
+
+}  // namespace
+}  // namespace relcomp

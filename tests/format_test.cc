@@ -1,0 +1,91 @@
+#include "common/format.h"
+
+#include <gtest/gtest.h>
+
+namespace relcomp {
+namespace {
+
+TEST(StrFormat, BasicSubstitution) {
+  EXPECT_EQ(StrFormat("x=%d y=%.2f z=%s", 3, 1.5, "abc"), "x=3 y=1.50 z=abc");
+}
+
+TEST(StrFormat, EmptyAndNoArgs) {
+  EXPECT_EQ(StrFormat("plain"), "plain");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StrFormat, LongOutput) {
+  const std::string s = StrFormat("%0512d", 7);
+  EXPECT_EQ(s.size(), 512u);
+  EXPECT_EQ(s.back(), '7');
+}
+
+TEST(HumanBytes, UnitsScale) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(1536), "1.50 KB");
+  EXPECT_EQ(HumanBytes(3u << 20), "3.00 MB");
+  EXPECT_EQ(HumanBytes(5ull << 30), "5.00 GB");
+}
+
+TEST(HumanSeconds, UnitsScale) {
+  EXPECT_EQ(HumanSeconds(2e-9), "2.0 ns");
+  EXPECT_EQ(HumanSeconds(3.5e-6), "3.50 us");
+  EXPECT_EQ(HumanSeconds(0.0123), "12.30 ms");
+  EXPECT_EQ(HumanSeconds(1.5), "1.500 s");
+  EXPECT_EQ(HumanSeconds(600), "10.0 min");
+}
+
+TEST(SplitString, BasicTokens) {
+  const auto tokens = SplitString("a b\tc", " \t");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "a");
+  EXPECT_EQ(tokens[1], "b");
+  EXPECT_EQ(tokens[2], "c");
+}
+
+TEST(SplitString, DropsEmptyTokens) {
+  const auto tokens = SplitString("  a   b  ", " ");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "a");
+  EXPECT_EQ(tokens[1], "b");
+}
+
+TEST(SplitString, EmptyInput) {
+  EXPECT_TRUE(SplitString("", " ").empty());
+  EXPECT_TRUE(SplitString("   ", " ").empty());
+}
+
+TEST(ParseDouble, ValidValues) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("0.25", &v));
+  EXPECT_DOUBLE_EQ(v, 0.25);
+  EXPECT_TRUE(ParseDouble("-1e-3", &v));
+  EXPECT_DOUBLE_EQ(v, -1e-3);
+  EXPECT_TRUE(ParseDouble("1", &v));
+  EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(ParseDouble, RejectsGarbage) {
+  double v = 0;
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+}
+
+TEST(ParseUint64, ValidValues) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));
+  EXPECT_EQ(v, UINT64_MAX);
+}
+
+TEST(ParseUint64, RejectsGarbage) {
+  uint64_t v = 0;
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("12ab", &v));
+  EXPECT_FALSE(ParseUint64("99999999999999999999999", &v));  // overflow
+}
+
+}  // namespace
+}  // namespace relcomp

@@ -1,0 +1,161 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/possible_world.h"
+
+namespace relcomp {
+namespace {
+
+TEST(ErdosRenyi, ApproximatesRequestedDensity) {
+  Rng rng(1);
+  const Topology topo = MakeErdosRenyi(1000, 6.0, /*bidirected=*/true, rng);
+  EXPECT_EQ(topo.num_nodes, 1000u);
+  EXPECT_TRUE(topo.paired);
+  // ~3000 undirected pairs -> ~6000 directed edges.
+  EXPECT_NEAR(static_cast<double>(topo.num_edges()), 6000.0, 600.0);
+}
+
+TEST(ErdosRenyi, NoSelfLoopsNoDuplicatePairs) {
+  Rng rng(2);
+  const Topology topo = MakeErdosRenyi(200, 4.0, /*bidirected=*/true, rng);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const auto& [u, v] : topo.edges) {
+    EXPECT_NE(u, v);
+    EXPECT_TRUE(seen.insert({u, v}).second) << u << "->" << v;
+  }
+}
+
+TEST(ErdosRenyi, PairedEdgesAreMutualReverses) {
+  Rng rng(3);
+  const Topology topo = MakeErdosRenyi(100, 4.0, /*bidirected=*/true, rng);
+  ASSERT_EQ(topo.num_edges() % 2, 0u);
+  for (size_t i = 0; i + 1 < topo.num_edges(); i += 2) {
+    EXPECT_EQ(topo.edges[i].first, topo.edges[i + 1].second);
+    EXPECT_EQ(topo.edges[i].second, topo.edges[i + 1].first);
+  }
+}
+
+TEST(BarabasiAlbert, SizeAndPairing) {
+  Rng rng(4);
+  const Topology topo = MakeBarabasiAlbert(500, 2, /*bidirected=*/true, rng);
+  EXPECT_EQ(topo.num_nodes, 500u);
+  EXPECT_TRUE(topo.paired);
+  // ~2 attachments per node (plus the seed clique) -> ~4n directed edges.
+  EXPECT_NEAR(static_cast<double>(topo.num_edges()), 2000.0, 200.0);
+}
+
+TEST(BarabasiAlbert, HeavyTailDegrees) {
+  Rng rng(5);
+  const Topology topo = MakeBarabasiAlbert(2000, 2, /*bidirected=*/true, rng);
+  std::vector<size_t> degree(topo.num_nodes, 0);
+  for (const auto& [u, v] : topo.edges) {
+    (void)v;
+    ++degree[u];
+  }
+  const size_t max_degree = *std::max_element(degree.begin(), degree.end());
+  // Preferential attachment must produce hubs far above the mean (~4).
+  EXPECT_GT(max_degree, 40u);
+}
+
+TEST(BarabasiAlbert, DirectedModeEmitsSingleDirections) {
+  Rng rng(6);
+  const Topology topo = MakeBarabasiAlbert(300, 3, /*bidirected=*/false, rng);
+  EXPECT_FALSE(topo.paired);
+  EXPECT_NEAR(static_cast<double>(topo.num_edges()), 900.0, 120.0);
+}
+
+TEST(BarabasiAlbert, DeterministicPerSeed) {
+  Rng rng1(7);
+  Rng rng2(7);
+  const Topology a = MakeBarabasiAlbert(100, 2, true, rng1);
+  const Topology b = MakeBarabasiAlbert(100, 2, true, rng2);
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(WattsStrogatz, RingDegreeWithoutRewiring) {
+  Rng rng(8);
+  const Topology topo = MakeWattsStrogatz(100, 2, 0.0, rng);
+  // Each node links to 2 clockwise neighbors; 200 undirected pairs = 400 edges.
+  EXPECT_EQ(topo.num_edges(), 400u);
+}
+
+TEST(WattsStrogatz, RewiringKeepsGraphSimple) {
+  Rng rng(9);
+  const Topology topo = MakeWattsStrogatz(300, 3, 0.3, rng);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const auto& [u, v] : topo.edges) {
+    EXPECT_NE(u, v);
+    EXPECT_TRUE(seen.insert({u, v}).second);
+  }
+}
+
+TEST(Grid, StructureAndCounts) {
+  const Topology topo = MakeGrid(4, 5);
+  EXPECT_EQ(topo.num_nodes, 20u);
+  // Horizontal pairs 4*4=16, vertical 3*5=15 -> 31 pairs, 62 directed edges.
+  EXPECT_EQ(topo.num_edges(), 62u);
+}
+
+TEST(Grid, IsConnected) {
+  const Topology topo = MakeGrid(6, 7);
+  std::vector<double> probs(topo.num_edges(), 1.0);
+  const UncertainGraph g = BuildFromTopology(topo, probs).MoveValue();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_TRUE(ReachableIgnoringProbs(g, 0, v)) << v;
+  }
+}
+
+TEST(CommunityGraph, RespectsNodeBudget) {
+  Rng rng(10);
+  const Topology topo = MakeCommunityGraph(500, 10, 3, 0.25, rng);
+  EXPECT_EQ(topo.num_nodes, 500u);
+  for (const auto& [u, v] : topo.edges) {
+    EXPECT_LT(u, 500u);
+    EXPECT_LT(v, 500u);
+    EXPECT_NE(u, v);
+  }
+}
+
+TEST(CommunityGraph, MostEdgesStayIntraCommunity) {
+  Rng rng(11);
+  const uint32_t csize = 10;
+  const Topology topo = MakeCommunityGraph(1000, csize, 3, 0.25, rng);
+  size_t intra = 0;
+  for (const auto& [u, v] : topo.edges) {
+    intra += (u / csize == v / csize);
+  }
+  EXPECT_GT(static_cast<double>(intra) / static_cast<double>(topo.num_edges()),
+            0.7);
+}
+
+TEST(BuildFromTopology, TransfersEdgesAndProbs) {
+  Topology topo;
+  topo.num_nodes = 3;
+  topo.edges = {{0, 1}, {1, 2}};
+  const Result<UncertainGraph> g = BuildFromTopology(topo, {0.5, 0.25});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(g->edge(1).prob, 0.25);
+}
+
+TEST(BuildFromTopology, RejectsSizeMismatch) {
+  Topology topo;
+  topo.num_nodes = 2;
+  topo.edges = {{0, 1}};
+  EXPECT_FALSE(BuildFromTopology(topo, {}).ok());
+}
+
+TEST(Generators, DegenerateSizes) {
+  Rng rng(12);
+  EXPECT_EQ(MakeErdosRenyi(1, 4.0, true, rng).num_edges(), 0u);
+  EXPECT_EQ(MakeBarabasiAlbert(1, 2, true, rng).num_edges(), 0u);
+  EXPECT_EQ(MakeWattsStrogatz(2, 1, 0.5, rng).num_edges(), 0u);
+  EXPECT_EQ(MakeGrid(1, 1).num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace relcomp

@@ -1,0 +1,154 @@
+#include "graph/uncertain_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "test_util.h"
+
+namespace relcomp {
+namespace {
+
+using testing::GraphFromString;
+
+TEST(GraphBuilder, EmptyGraph) {
+  GraphBuilder b;
+  const UncertainGraph g = b.Build().MoveValue();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphBuilder, AddNodeGrowsIds) {
+  GraphBuilder b;
+  EXPECT_EQ(b.AddNode(), 0u);
+  EXPECT_EQ(b.AddNode(), 1u);
+  EXPECT_EQ(b.num_nodes(), 2u);
+}
+
+TEST(GraphBuilder, AddEdgeAutoGrowsNodes) {
+  GraphBuilder b;
+  b.AddEdge(5, 9, 0.5).CheckOK();
+  EXPECT_EQ(b.num_nodes(), 10u);
+}
+
+TEST(GraphBuilder, RejectsInvalidProbabilities) {
+  GraphBuilder b(2);
+  EXPECT_FALSE(b.AddEdge(0, 1, 0.0).ok());
+  EXPECT_FALSE(b.AddEdge(0, 1, -0.5).ok());
+  EXPECT_FALSE(b.AddEdge(0, 1, 1.5).ok());
+  EXPECT_FALSE(b.AddEdge(0, 1, std::nan("")).ok());
+  EXPECT_TRUE(b.AddEdge(0, 1, 1.0).ok());
+  EXPECT_TRUE(b.AddEdge(0, 1, 1e-9).ok());
+}
+
+TEST(GraphBuilder, RejectsReservedIds) {
+  GraphBuilder b;
+  EXPECT_FALSE(b.AddEdge(kInvalidNode, 0, 0.5).ok());
+  EXPECT_FALSE(b.AddEdge(0, kInvalidNode, 0.5).ok());
+}
+
+TEST(GraphBuilder, BidirectedAddsBothDirections) {
+  GraphBuilder b(2);
+  b.AddBidirectedEdge(0, 1, 0.3).CheckOK();
+  const UncertainGraph g = b.Build().MoveValue();
+  ASSERT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edge(0).tail, 0u);
+  EXPECT_EQ(g.edge(1).tail, 1u);
+  EXPECT_DOUBLE_EQ(g.edge(0).prob, 0.3);
+  EXPECT_DOUBLE_EQ(g.edge(1).prob, 0.3);
+}
+
+TEST(GraphBuilder, CombineParallelEdgesUnionsProbabilities) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 0.5).CheckOK();
+  b.AddEdge(0, 1, 0.5).CheckOK();
+  b.AddEdge(0, 0, 0.9).CheckOK();  // self-loop dropped
+  b.CombineParallelEdges();
+  const UncertainGraph g = b.Build().MoveValue();
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge(0).prob, 0.75);
+}
+
+TEST(GraphBuilder, BuildIsRepeatable) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 0.5).CheckOK();
+  const UncertainGraph g1 = b.Build().MoveValue();
+  b.AddEdge(1, 2, 0.5).CheckOK();
+  const UncertainGraph g2 = b.Build().MoveValue();
+  EXPECT_EQ(g1.num_edges(), 1u);
+  EXPECT_EQ(g2.num_edges(), 2u);
+}
+
+TEST(UncertainGraph, CsrAdjacencyIsConsistent) {
+  const UncertainGraph g = GraphFromString(
+      "0 1 0.5\n0 2 0.6\n1 2 0.7\n2 0 0.8\n2 1 0.9\n");
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.OutDegree(1), 1u);
+  EXPECT_EQ(g.OutDegree(2), 2u);
+  EXPECT_EQ(g.InDegree(0), 1u);
+  EXPECT_EQ(g.InDegree(1), 2u);
+  EXPECT_EQ(g.InDegree(2), 2u);
+
+  // Every out entry must be mirrored by an in entry carrying the same edge id.
+  size_t checked = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const AdjEntry& a : g.OutEdges(v)) {
+      const EdgeRecord& rec = g.edge(a.edge);
+      EXPECT_EQ(rec.tail, v);
+      EXPECT_EQ(rec.head, a.neighbor);
+      EXPECT_DOUBLE_EQ(rec.prob, a.prob);
+      bool mirrored = false;
+      for (const AdjEntry& in : g.InEdges(a.neighbor)) {
+        mirrored |= (in.edge == a.edge && in.neighbor == v);
+      }
+      EXPECT_TRUE(mirrored);
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, g.num_edges());
+}
+
+TEST(UncertainGraph, HasNode) {
+  const UncertainGraph g = GraphFromString("0 1 0.5\n");
+  EXPECT_TRUE(g.HasNode(0));
+  EXPECT_TRUE(g.HasNode(1));
+  EXPECT_FALSE(g.HasNode(2));
+  EXPECT_FALSE(g.HasNode(kInvalidNode));
+}
+
+TEST(UncertainGraph, IsolatedNodesHaveEmptyAdjacency) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1, 0.5).CheckOK();
+  const UncertainGraph g = b.Build().MoveValue();
+  EXPECT_EQ(g.OutDegree(3), 0u);
+  EXPECT_EQ(g.InDegree(3), 0u);
+  EXPECT_TRUE(g.OutEdges(3).empty());
+}
+
+TEST(UncertainGraph, ProbStatsMatchHandComputation) {
+  const UncertainGraph g = GraphFromString("0 1 0.2\n1 2 0.4\n2 3 0.6\n3 0 0.8\n");
+  const EdgeProbStats s = g.ProbStats();
+  EXPECT_NEAR(s.mean, 0.5, 1e-12);
+  EXPECT_NEAR(s.stddev, std::sqrt(0.05), 1e-12);
+  EXPECT_NEAR(s.q50, 0.5, 1e-12);
+  EXPECT_NEAR(s.q25, 0.35, 1e-12);
+  EXPECT_NEAR(s.q75, 0.65, 1e-12);
+}
+
+TEST(UncertainGraph, MemoryBytesGrowsWithSize) {
+  const UncertainGraph small = GraphFromString("0 1 0.5\n");
+  const UncertainGraph big = testing::RandomSmallGraph(100, 500, 0.1, 0.9, 3);
+  EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
+  EXPECT_GT(small.MemoryBytes(), 0u);
+}
+
+TEST(UncertainGraph, DescribeMentionsCounts) {
+  const UncertainGraph g = GraphFromString("0 1 0.5\n1 2 0.5\n");
+  const std::string desc = g.Describe();
+  EXPECT_NE(desc.find("n=3"), std::string::npos);
+  EXPECT_NE(desc.find("m=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace relcomp

@@ -1,0 +1,171 @@
+// End-to-end pipeline tests at tiny scale: dataset registry -> workload ->
+// all six estimators -> convergence protocol -> accuracy metrics, i.e. one
+// miniature run of the paper's whole methodology.
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/recommendation.h"
+#include "eval/table.h"
+
+namespace relcomp {
+namespace {
+
+BenchConfig TinyConfig() {
+  BenchConfig config;
+  config.scale = Scale::kTiny;
+  config.num_pairs = 6;
+  config.repeats = 6;
+  config.initial_k = 100;
+  config.step_k = 150;
+  config.max_k = 700;
+  config.dispersion_threshold = 5e-3;  // loose: tiny T makes rho noisy
+  config.seed = 424242;
+  return config;
+}
+
+TEST(Integration, FullPipelineOnLastFmAnalogue) {
+  ExperimentContext context(TinyConfig());
+  const auto ground = context.GetGroundTruth(DatasetId::kLastFm);
+  ASSERT_TRUE(ground.ok()) << ground.status();
+
+  std::vector<double> relative_errors;
+  for (EstimatorKind kind : TheSixEstimators()) {
+    const auto report = context.GetConvergence(DatasetId::kLastFm, kind);
+    ASSERT_TRUE(report.ok()) << EstimatorKindName(kind) << ": "
+                             << report.status();
+    const KPoint& final_point = (*report)->FinalPoint();
+    EXPECT_GT(final_point.avg_reliability, 0.0) << EstimatorKindName(kind);
+    const double re =
+        RelativeError(final_point.per_pair_reliability, **ground);
+    relative_errors.push_back(re);
+    // Section 3.4: at/near convergence every estimator lands close to the
+    // MC ground truth (paper: < 2%; generous band for tiny T and pairs).
+    EXPECT_LT(re, 0.25) << EstimatorKindName(kind);
+  }
+  EXPECT_EQ(relative_errors.size(), 6u);
+  EXPECT_LT(PairwiseDeviation(relative_errors), 0.25);
+}
+
+TEST(Integration, EstimatorsAgreeWithEachOtherOnEveryDataset) {
+  ExperimentContext context(TinyConfig());
+  for (DatasetId id : AllDatasetIds()) {
+    const auto queries = context.GetQueries(id);
+    ASSERT_TRUE(queries.ok()) << DatasetName(id);
+    // Single representative query, generous K: all estimators must agree.
+    const ReliabilityQuery q = (*queries)->front();
+    double reference = -1.0;
+    for (EstimatorKind kind : TheSixEstimators()) {
+      const auto estimator = context.GetEstimator(id, kind);
+      ASSERT_TRUE(estimator.ok());
+      EstimateOptions opts;
+      opts.num_samples = 1500;
+      opts.seed = 7;
+      const auto result = (*estimator)->Estimate(q, opts);
+      ASSERT_TRUE(result.ok()) << EstimatorKindName(kind);
+      if (reference < 0.0) {
+        reference = result->reliability;
+      } else {
+        EXPECT_NEAR(result->reliability, reference, 0.12)
+            << DatasetName(id) << " / " << EstimatorKindName(kind);
+      }
+    }
+  }
+}
+
+TEST(Integration, RecursiveVarianceBeatsMcBasedOnRealWorkload) {
+  // Figure 7's core claim at miniature scale: RHH/RSS dispersion at fixed K
+  // is at most MC's (with slack for measurement noise).
+  ExperimentContext context(TinyConfig());
+  const auto queries = context.GetQueries(DatasetId::kLastFm);
+  ASSERT_TRUE(queries.ok());
+  auto measure = [&](EstimatorKind kind) {
+    const auto estimator = context.GetEstimator(DatasetId::kLastFm, kind);
+    EXPECT_TRUE(estimator.ok());
+    return MeasureAtK(**estimator, **queries, 250, 20, 5).MoveValue();
+  };
+  const KPoint mc = measure(EstimatorKind::kMonteCarlo);
+  const KPoint rss = measure(EstimatorKind::kRecursiveStratified);
+  const KPoint rhh = measure(EstimatorKind::kRecursive);
+  EXPECT_LT(rss.avg_variance, mc.avg_variance * 1.05);
+  EXPECT_LT(rhh.avg_variance, mc.avg_variance * 1.05);
+}
+
+TEST(Integration, MemoryOrderingMatchesSection36) {
+  // MC < LP+ and MC < RHH/RSS on working memory; index methods add index
+  // bytes on top (Figure 12's ordering, checked pairwise where robust).
+  ExperimentContext context(TinyConfig());
+  const auto queries = context.GetQueries(DatasetId::kAsTopology);
+  ASSERT_TRUE(queries.ok());
+  const ReliabilityQuery q = (*queries)->front();
+  auto peak = [&](EstimatorKind kind) {
+    const auto estimator = context.GetEstimator(DatasetId::kAsTopology, kind);
+    EXPECT_TRUE(estimator.ok());
+    EstimateOptions opts;
+    opts.num_samples = 400;
+    opts.seed = 11;
+    const auto result = (*estimator)->Estimate(q, opts);
+    EXPECT_TRUE(result.ok());
+    return result->peak_memory_bytes +
+           (*estimator)->IndexMemoryBytes();
+  };
+  const size_t mc = peak(EstimatorKind::kMonteCarlo);
+  const size_t lp = peak(EstimatorKind::kLazyPropagationPlus);
+  const size_t bfs = peak(EstimatorKind::kBfsSharing);
+  const size_t rss = peak(EstimatorKind::kRecursiveStratified);
+  EXPECT_LT(mc, lp);
+  EXPECT_LT(lp, bfs);
+  EXPECT_LT(mc, rss);
+}
+
+TEST(Integration, ContextCachesAreStable) {
+  ExperimentContext context(TinyConfig());
+  const auto d1 = context.GetDataset(DatasetId::kLastFm);
+  const auto d2 = context.GetDataset(DatasetId::kLastFm);
+  ASSERT_TRUE(d1.ok());
+  EXPECT_EQ(*d1, *d2);  // same cached object
+  const auto q1 = context.GetQueries(DatasetId::kLastFm);
+  const auto q2 = context.GetQueries(DatasetId::kLastFm);
+  EXPECT_EQ(*q1, *q2);
+  const auto e1 = context.GetEstimator(DatasetId::kLastFm, EstimatorKind::kProbTree);
+  const auto e2 = context.GetEstimator(DatasetId::kLastFm, EstimatorKind::kProbTree);
+  EXPECT_EQ(*e1, *e2);
+}
+
+TEST(Integration, BenchConfigEnvOverrides) {
+  ::setenv("RELCOMP_PAIRS", "9", 1);
+  ::setenv("RELCOMP_REPEATS", "4", 1);
+  ::setenv("RELCOMP_MAX_K", "1234", 1);
+  const BenchConfig config = BenchConfig::FromEnv();
+  EXPECT_EQ(config.num_pairs, 9u);
+  EXPECT_EQ(config.repeats, 4u);
+  EXPECT_EQ(config.max_k, 1234u);
+  ::unsetenv("RELCOMP_PAIRS");
+  ::unsetenv("RELCOMP_REPEATS");
+  ::unsetenv("RELCOMP_MAX_K");
+  EXPECT_NE(config.Describe().find("pairs=9"), std::string::npos);
+}
+
+TEST(Integration, ProbTreeCouplingKeepsAccuracy) {
+  // Table 16: ProbTree+X must agree with plain X.
+  ExperimentContext context(TinyConfig());
+  const auto queries = context.GetQueries(DatasetId::kLastFm);
+  ASSERT_TRUE(queries.ok());
+  const ReliabilityQuery q = (*queries)->front();
+  EstimateOptions opts;
+  opts.num_samples = 3000;
+  opts.seed = 13;
+  const double plain =
+      (*context.GetEstimator(DatasetId::kLastFm, EstimatorKind::kRecursive))
+          ->Estimate(q, opts)
+          ->reliability;
+  const double coupled =
+      (*context.GetEstimator(DatasetId::kLastFm, EstimatorKind::kProbTreeRhh))
+          ->Estimate(q, opts)
+          ->reliability;
+  EXPECT_NEAR(coupled, plain, 0.08);
+}
+
+}  // namespace
+}  // namespace relcomp

@@ -1,0 +1,163 @@
+#include "reliability/lazy_propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "reliability/exact.h"
+#include "reliability/mc_sampling.h"
+#include "test_util.h"
+
+namespace relcomp {
+namespace {
+
+using testing::DiamondGraph;
+using testing::GraphFromString;
+using testing::LineGraph3;
+using testing::RandomSmallGraph;
+using testing::SamplingTolerance;
+
+TEST(LazyPropagationPlus, MatchesClosedFormOnLine) {
+  const UncertainGraph g = LineGraph3(0.5, 0.5);
+  LazyPropagationEstimator lp(g);
+  EstimateOptions opts;
+  opts.num_samples = 20000;
+  opts.seed = 2;
+  EXPECT_NEAR(lp.Estimate({0, 2}, opts)->reliability, 0.25,
+              SamplingTolerance(0.25, 20000));
+}
+
+TEST(LazyPropagationPlus, NameReflectsCorrection) {
+  const UncertainGraph g = LineGraph3();
+  LazyPropagationOptions corrected;
+  corrected.corrected = true;
+  LazyPropagationOptions original;
+  original.corrected = false;
+  EXPECT_EQ(std::string(LazyPropagationEstimator(g, corrected).name()), "LP+");
+  EXPECT_EQ(std::string(LazyPropagationEstimator(g, original).name()), "LP");
+}
+
+TEST(LazyPropagationPlus, LowProbabilityEdgesStayRare) {
+  const UncertainGraph g = GraphFromString("0 1 0.01\n");
+  LazyPropagationEstimator lp(g);
+  EstimateOptions opts;
+  opts.num_samples = 50000;
+  opts.seed = 3;
+  EXPECT_NEAR(lp.Estimate({0, 1}, opts)->reliability, 0.01,
+              SamplingTolerance(0.01, 50000, 5.0));
+}
+
+TEST(LazyPropagationPlus, ProbabilityOneEdgesAlwaysFire) {
+  const UncertainGraph g = GraphFromString("0 1 1\n1 2 1\n");
+  LazyPropagationEstimator lp(g);
+  EstimateOptions opts;
+  opts.num_samples = 200;
+  EXPECT_DOUBLE_EQ(lp.Estimate({0, 2}, opts)->reliability, 1.0);
+}
+
+TEST(LazyPropagation, BuggyVariantSurvivesProbabilityOneEdges) {
+  // Regression: the uncorrected re-arm with Geometric(1.0) == 0 must not
+  // re-fire within the same round forever.
+  const UncertainGraph g = GraphFromString("0 1 1\n1 2 0.5\n");
+  LazyPropagationOptions original;
+  original.corrected = false;
+  LazyPropagationEstimator lp(g, original);
+  EstimateOptions opts;
+  opts.num_samples = 2000;
+  opts.seed = 5;
+  const double r = lp.Estimate({0, 2}, opts)->reliability;
+  EXPECT_GT(r, 0.3);
+  EXPECT_LE(r, 1.0);
+}
+
+TEST(LazyPropagation, OriginalOverestimatesOnMultiHopPaths) {
+  // Figure 5 / Example 1: the original re-arm double-probes edges, inflating
+  // reliability well above the exact value; LP+ does not.
+  const UncertainGraph g = RandomSmallGraph(9, 22, 0.15, 0.5, 71);
+  const double exact = *ExactReliabilityEnumeration(g, 0, 8);
+  if (exact <= 0.02 || exact >= 0.9) GTEST_SKIP() << "degenerate instance";
+
+  LazyPropagationOptions original;
+  original.corrected = false;
+  LazyPropagationEstimator lp(g, original);
+  LazyPropagationEstimator lp_plus(g);
+  double lp_sum = 0.0;
+  double lp_plus_sum = 0.0;
+  constexpr int kRuns = 6;
+  constexpr uint32_t kK = 4000;
+  for (int i = 0; i < kRuns; ++i) {
+    EstimateOptions opts;
+    opts.num_samples = kK;
+    opts.seed = 100 + i;
+    lp_sum += lp.Estimate({0, 8}, opts)->reliability;
+    lp_plus_sum += lp_plus.Estimate({0, 8}, opts)->reliability;
+  }
+  const double lp_mean = lp_sum / kRuns;
+  const double lp_plus_mean = lp_plus_sum / kRuns;
+  EXPECT_NEAR(lp_plus_mean, exact, SamplingTolerance(exact, kK * kRuns, 5.0));
+  EXPECT_GT(lp_mean, exact + 0.02);  // clear over-estimation
+  EXPECT_GT(lp_mean, lp_plus_mean);
+}
+
+TEST(LazyPropagationPlus, StateStaysConsistentAcrossEarlyTerminations) {
+  // t adjacent to s: every sample terminates early; the lazy heaps must keep
+  // producing correct marginals for thousands of rounds.
+  const UncertainGraph g = GraphFromString("0 1 0.3\n0 2 0.9\n2 1 0.5\n");
+  const double exact = *ExactReliabilityEnumeration(g, 0, 1);
+  LazyPropagationEstimator lp(g);
+  EstimateOptions opts;
+  opts.num_samples = 40000;
+  opts.seed = 8;
+  EXPECT_NEAR(lp.Estimate({0, 1}, opts)->reliability, exact,
+              SamplingTolerance(exact, 40000, 5.0));
+}
+
+TEST(LazyPropagationPlus, VarianceMatchesMonteCarlo) {
+  // Statistically equivalent to MC [30]: same variance up to noise.
+  const UncertainGraph g = DiamondGraph(0.5);
+  MonteCarloEstimator mc(g);
+  LazyPropagationEstimator lp(g);
+  RunningStats mc_stats;
+  RunningStats lp_stats;
+  constexpr uint32_t kK = 150;
+  constexpr int kRepeats = 400;
+  for (int i = 0; i < kRepeats; ++i) {
+    EstimateOptions opts;
+    opts.num_samples = kK;
+    opts.seed = 5000 + i;
+    mc_stats.Add(mc.Estimate({0, 3}, opts)->reliability);
+    lp_stats.Add(lp.Estimate({0, 3}, opts)->reliability);
+  }
+  EXPECT_NEAR(lp_stats.mean(), mc_stats.mean(), 0.012);
+  EXPECT_NEAR(lp_stats.SampleVariance(), mc_stats.SampleVariance(),
+              mc_stats.SampleVariance() * 0.5);
+}
+
+TEST(LazyPropagationPlus, AgreesWithExactAcrossGraphs) {
+  for (uint64_t seed = 300; seed < 310; ++seed) {
+    const UncertainGraph g = RandomSmallGraph(8, 18, 0.1, 0.9, seed);
+    const double exact = *ExactReliabilityEnumeration(g, 0, 7);
+    LazyPropagationEstimator lp(g);
+    EstimateOptions opts;
+    opts.num_samples = 12000;
+    opts.seed = seed;
+    EXPECT_NEAR(lp.Estimate({0, 7}, opts)->reliability, exact,
+                SamplingTolerance(exact, 12000, 4.5))
+        << seed;
+  }
+}
+
+TEST(LazyPropagationPlus, MemoryExceedsMonteCarlo) {
+  // Section 3.6: LP+ adds per-node counters and heaps on top of MC's state.
+  const UncertainGraph g = RandomSmallGraph(100, 500, 0.3, 0.9, 90);
+  MonteCarloEstimator mc(g);
+  LazyPropagationEstimator lp(g);
+  EstimateOptions opts;
+  opts.num_samples = 200;
+  opts.seed = 4;
+  const size_t mc_mem = mc.Estimate({0, 50}, opts)->peak_memory_bytes;
+  const size_t lp_mem = lp.Estimate({0, 50}, opts)->peak_memory_bytes;
+  EXPECT_GT(lp_mem, mc_mem);
+}
+
+}  // namespace
+}  // namespace relcomp

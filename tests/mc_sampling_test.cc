@@ -1,0 +1,102 @@
+#include "reliability/mc_sampling.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "reliability/exact.h"
+#include "test_util.h"
+
+namespace relcomp {
+namespace {
+
+using testing::DiamondGraph;
+using testing::LineGraph3;
+using testing::RandomSmallGraph;
+using testing::SamplingTolerance;
+
+TEST(MonteCarlo, UnbiasedOnLineGraph) {
+  const UncertainGraph g = LineGraph3(0.5, 0.5);
+  MonteCarloEstimator mc(g);
+  EstimateOptions opts;
+  opts.num_samples = 20000;
+  opts.seed = 1;
+  const double r = mc.Estimate({0, 2}, opts)->reliability;
+  EXPECT_NEAR(r, 0.25, SamplingTolerance(0.25, 20000));
+}
+
+TEST(MonteCarlo, VarianceMatchesBinomialTheory) {
+  // Var = R(1-R)/K (Eq. 4). Measure empirical variance over repeats.
+  const UncertainGraph g = DiamondGraph(0.5);
+  MonteCarloEstimator mc(g);
+  const double truth = 1.0 - 0.75 * 0.75;  // 0.4375
+  constexpr uint32_t kK = 200;
+  constexpr int kRepeats = 400;
+  RunningStats stats;
+  for (int i = 0; i < kRepeats; ++i) {
+    EstimateOptions opts;
+    opts.num_samples = kK;
+    opts.seed = 1000 + i;
+    stats.Add(mc.Estimate({0, 3}, opts)->reliability);
+  }
+  const double theory = truth * (1.0 - truth) / kK;
+  EXPECT_NEAR(stats.mean(), truth, 0.01);
+  EXPECT_NEAR(stats.SampleVariance(), theory, theory * 0.35);
+}
+
+TEST(MonteCarlo, ReusableAcrossQueries) {
+  const UncertainGraph g = DiamondGraph(0.7);
+  MonteCarloEstimator mc(g);
+  EstimateOptions opts;
+  opts.num_samples = 5000;
+  opts.seed = 9;
+  const double r03 = mc.Estimate({0, 3}, opts)->reliability;
+  const double r01 = mc.Estimate({0, 1}, opts)->reliability;
+  const double r03_again = mc.Estimate({0, 3}, opts)->reliability;
+  EXPECT_NEAR(r01, 0.7, SamplingTolerance(0.7, 5000));
+  EXPECT_DOUBLE_EQ(r03, r03_again);  // scratch reuse must not corrupt state
+}
+
+TEST(MonteCarlo, ResultMetadataIsFilled) {
+  const UncertainGraph g = LineGraph3();
+  MonteCarloEstimator mc(g);
+  EstimateOptions opts;
+  opts.num_samples = 100;
+  const Result<EstimateResult> r = mc.Estimate({0, 2}, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_samples, 100u);
+  EXPECT_GE(r->seconds, 0.0);
+  EXPECT_GT(r->peak_memory_bytes, 0u);
+  EXPECT_EQ(std::string(mc.name()), "MC");
+  EXPECT_EQ(mc.IndexMemoryBytes(), 0u);  // index-free
+}
+
+TEST(MonteCarlo, AgreesWithExactAcrossManyGraphs) {
+  for (uint64_t seed = 200; seed < 212; ++seed) {
+    const UncertainGraph g = RandomSmallGraph(8, 16, 0.1, 0.9, seed);
+    const double exact = *ExactReliabilityEnumeration(g, 0, 7);
+    MonteCarloEstimator mc(g);
+    EstimateOptions opts;
+    opts.num_samples = 12000;
+    opts.seed = seed;
+    EXPECT_NEAR(mc.Estimate({0, 7}, opts)->reliability, exact,
+                SamplingTolerance(exact, 12000, 4.5))
+        << seed;
+  }
+}
+
+TEST(MonteCarlo, HandlesProbabilityOneChains) {
+  const UncertainGraph g = testing::GraphFromString("0 1 1\n1 2 1\n2 3 1\n");
+  MonteCarloEstimator mc(g);
+  EstimateOptions opts;
+  opts.num_samples = 50;
+  EXPECT_DOUBLE_EQ(mc.Estimate({0, 3}, opts)->reliability, 1.0);
+}
+
+TEST(MonteCarlo, PrepareForNextQueryIsNoOp) {
+  const UncertainGraph g = LineGraph3();
+  MonteCarloEstimator mc(g);
+  EXPECT_TRUE(mc.PrepareForNextQuery(1).ok());
+}
+
+}  // namespace
+}  // namespace relcomp

@@ -1,0 +1,92 @@
+#include "common/memory_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace relcomp {
+namespace {
+
+TEST(MemoryTracker, StartsEmpty) {
+  MemoryTracker tracker;
+  EXPECT_EQ(tracker.current_bytes(), 0u);
+  EXPECT_EQ(tracker.peak_bytes(), 0u);
+}
+
+TEST(MemoryTracker, AddAndReleaseTrackCurrent) {
+  MemoryTracker tracker;
+  tracker.Add(100);
+  tracker.Add(50);
+  EXPECT_EQ(tracker.current_bytes(), 150u);
+  tracker.Release(60);
+  EXPECT_EQ(tracker.current_bytes(), 90u);
+}
+
+TEST(MemoryTracker, PeakIsHighWaterMark) {
+  MemoryTracker tracker;
+  tracker.Add(100);
+  tracker.Release(100);
+  tracker.Add(40);
+  EXPECT_EQ(tracker.peak_bytes(), 100u);
+  tracker.Add(80);
+  EXPECT_EQ(tracker.peak_bytes(), 120u);
+}
+
+TEST(MemoryTracker, ReleaseClampsAtZero) {
+  MemoryTracker tracker;
+  tracker.Add(10);
+  tracker.Release(100);
+  EXPECT_EQ(tracker.current_bytes(), 0u);
+}
+
+TEST(MemoryTracker, ResetClearsEverything) {
+  MemoryTracker tracker;
+  tracker.Add(10);
+  tracker.Reset();
+  EXPECT_EQ(tracker.current_bytes(), 0u);
+  EXPECT_EQ(tracker.peak_bytes(), 0u);
+}
+
+TEST(MemoryTracker, ResetPeakKeepsCurrent) {
+  MemoryTracker tracker;
+  tracker.Add(100);
+  tracker.Release(70);
+  tracker.ResetPeak();
+  EXPECT_EQ(tracker.peak_bytes(), 30u);
+  EXPECT_EQ(tracker.current_bytes(), 30u);
+}
+
+TEST(ScopedAllocation, ReleasesOnScopeExit) {
+  MemoryTracker tracker;
+  {
+    ScopedAllocation scope(&tracker, 64);
+    EXPECT_EQ(tracker.current_bytes(), 64u);
+  }
+  EXPECT_EQ(tracker.current_bytes(), 0u);
+  EXPECT_EQ(tracker.peak_bytes(), 64u);
+}
+
+TEST(ScopedAllocation, GrowExtendsTheScope) {
+  MemoryTracker tracker;
+  {
+    ScopedAllocation scope(&tracker, 10);
+    scope.Grow(20);
+    EXPECT_EQ(tracker.current_bytes(), 30u);
+    EXPECT_EQ(scope.bytes(), 30u);
+  }
+  EXPECT_EQ(tracker.current_bytes(), 0u);
+}
+
+TEST(ScopedAllocation, NullTrackerIsSafe) {
+  ScopedAllocation scope(nullptr, 10);
+  scope.Grow(5);
+  EXPECT_EQ(scope.bytes(), 15u);
+}
+
+TEST(CurrentRss, ReturnsPlausibleValue) {
+  const size_t rss = CurrentRssBytes();
+  // The test process certainly uses between 1 MB and 100 GB.
+  EXPECT_GT(rss, 1u << 20);
+  EXPECT_LT(rss, 100ull << 30);
+}
+
+}  // namespace
+}  // namespace relcomp

@@ -1,0 +1,108 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace relcomp {
+namespace {
+
+TEST(RunningStats, MeanAndVarianceMatchTwoPass) {
+  RunningStats stats;
+  const double xs[] = {1.0, 2.0, 3.0, 4.0, 10.0};
+  for (double x : xs) stats.Add(x);
+  EXPECT_EQ(stats.count(), 5u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.0);
+  // Two-pass sample variance: sum (x - 4)^2 / 4 = (9+4+1+0+36)/4 = 12.5.
+  EXPECT_NEAR(stats.SampleVariance(), 12.5, 1e-12);
+  EXPECT_NEAR(stats.StdDev(), std::sqrt(12.5), 1e-12);
+}
+
+TEST(RunningStats, DegenerateCases) {
+  RunningStats empty;
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.SampleVariance(), 0.0);
+  RunningStats one;
+  one.Add(7.0);
+  EXPECT_DOUBLE_EQ(one.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(one.SampleVariance(), 0.0);
+}
+
+TEST(RunningStats, ConstantSeriesHasZeroVariance) {
+  RunningStats stats;
+  for (int i = 0; i < 100; ++i) stats.Add(0.25);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.25);
+  EXPECT_NEAR(stats.SampleVariance(), 0.0, 1e-18);
+}
+
+TEST(CombineDispersion, AveragesPairs) {
+  std::vector<RunningStats> per_pair(2);
+  per_pair[0].Add(0.4);
+  per_pair[0].Add(0.6);  // mean .5, var .02
+  per_pair[1].Add(0.1);
+  per_pair[1].Add(0.1);  // mean .1, var 0
+  const DispersionPoint point = CombineDispersion(per_pair);
+  EXPECT_NEAR(point.avg_reliability, 0.3, 1e-12);
+  EXPECT_NEAR(point.avg_variance, 0.01, 1e-12);
+  EXPECT_NEAR(point.dispersion, 0.01 / 0.3, 1e-12);
+}
+
+TEST(CombineDispersion, ZeroReliabilityCountsAsResolved) {
+  std::vector<RunningStats> per_pair(1);
+  per_pair[0].Add(0.0);
+  per_pair[0].Add(0.0);
+  const DispersionPoint point = CombineDispersion(per_pair);
+  EXPECT_DOUBLE_EQ(point.dispersion, 0.0);
+}
+
+TEST(CombineDispersion, EmptyInput) {
+  const DispersionPoint point = CombineDispersion({});
+  EXPECT_DOUBLE_EQ(point.avg_reliability, 0.0);
+  EXPECT_DOUBLE_EQ(point.dispersion, 0.0);
+}
+
+TEST(RelativeError, MatchesEquationFourteen) {
+  // RE = mean |est - ground| / ground.
+  const double re = RelativeError({0.11, 0.18}, {0.10, 0.20});
+  EXPECT_NEAR(re, (0.1 + 0.1) / 2.0, 1e-12);
+}
+
+TEST(RelativeError, PerfectEstimatesGiveZero) {
+  EXPECT_DOUBLE_EQ(RelativeError({0.3, 0.7}, {0.3, 0.7}), 0.0);
+}
+
+TEST(RelativeError, SkipsZeroGroundTruth) {
+  const double re = RelativeError({0.5, 0.11}, {0.0, 0.10});
+  EXPECT_NEAR(re, 0.1, 1e-12);
+}
+
+TEST(RelativeError, EmptyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(RelativeError({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeError({0.5}, {}), 0.0);
+}
+
+TEST(PairwiseDeviation, MatchesEquationFifteen) {
+  // For {1, 2, 4}: sum over ordered pairs |ri - rj| = 2*(1+3+2) = 12;
+  // divide by n(n-1) = 6 -> 2.
+  EXPECT_NEAR(PairwiseDeviation({1.0, 2.0, 4.0}), 2.0, 1e-12);
+}
+
+TEST(PairwiseDeviation, IdenticalErrorsGiveZero) {
+  EXPECT_DOUBLE_EQ(PairwiseDeviation({0.5, 0.5, 0.5, 0.5}), 0.0);
+}
+
+TEST(PairwiseDeviation, DegenerateSizes) {
+  EXPECT_DOUBLE_EQ(PairwiseDeviation({}), 0.0);
+  EXPECT_DOUBLE_EQ(PairwiseDeviation({3.0}), 0.0);
+}
+
+TEST(PairwiseDeviation, SixEstimatorNormalization) {
+  // The paper's D uses 1/(5*6) for six estimators; our n(n-1) matches.
+  std::vector<double> re(6, 0.0);
+  re[0] = 0.6;  // one outlier
+  // sum |ri - rj| over ordered pairs = 2 * 5 * 0.6 = 6; / 30 = 0.2.
+  EXPECT_NEAR(PairwiseDeviation(re), 0.2, 1e-12);
+}
+
+}  // namespace
+}  // namespace relcomp

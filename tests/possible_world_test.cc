@@ -1,0 +1,109 @@
+#include "graph/possible_world.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace relcomp {
+namespace {
+
+using testing::DiamondGraph;
+using testing::GraphFromString;
+using testing::LineGraph3;
+
+TEST(SampleWorld, ExtremeProbabilitiesAreDeterministic) {
+  const UncertainGraph g = GraphFromString("0 1 1\n1 2 1\n");
+  Rng rng(1);
+  const WorldMask mask = SampleWorld(g, rng);
+  EXPECT_EQ(mask[0], 1);
+  EXPECT_EQ(mask[1], 1);
+}
+
+TEST(SampleWorld, FrequencyMatchesProbability) {
+  const UncertainGraph g = GraphFromString("0 1 0.25\n");
+  Rng rng(2);
+  int present = 0;
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) present += SampleWorld(g, rng)[0];
+  EXPECT_NEAR(static_cast<double>(present) / kN, 0.25, 0.01);
+}
+
+TEST(WorldProbability, MatchesEquationOne) {
+  const UncertainGraph g = GraphFromString("0 1 0.5\n1 2 0.25\n");
+  EXPECT_NEAR(WorldProbability(g, {1, 1}), 0.125, 1e-12);
+  EXPECT_NEAR(WorldProbability(g, {1, 0}), 0.375, 1e-12);
+  EXPECT_NEAR(WorldProbability(g, {0, 0}), 0.375, 1e-12);
+}
+
+TEST(WorldProbability, SumsToOneOverAllWorlds) {
+  const UncertainGraph g = LineGraph3(0.3, 0.8);
+  double total = 0.0;
+  for (int w = 0; w < 4; ++w) {
+    total += WorldProbability(
+        g, {static_cast<uint8_t>(w & 1), static_cast<uint8_t>((w >> 1) & 1)});
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Reachable, RespectsMask) {
+  const UncertainGraph g = LineGraph3();
+  EXPECT_TRUE(Reachable(g, {1, 1}, 0, 2));
+  EXPECT_FALSE(Reachable(g, {1, 0}, 0, 2));
+  EXPECT_FALSE(Reachable(g, {0, 1}, 0, 2));
+  EXPECT_TRUE(Reachable(g, {0, 0}, 1, 1));  // s == t
+}
+
+TEST(Reachable, FollowsDirection) {
+  const UncertainGraph g = GraphFromString("0 1 0.5\n");
+  EXPECT_TRUE(Reachable(g, {1}, 0, 1));
+  EXPECT_FALSE(Reachable(g, {1}, 1, 0));
+}
+
+TEST(ReachableSet, CollectsComponent) {
+  const UncertainGraph g = DiamondGraph(0.5);
+  const std::vector<NodeId> all = ReachableSet(g, {1, 1, 1, 1}, 0);
+  EXPECT_EQ(all.size(), 4u);
+  const std::vector<NodeId> partial = ReachableSet(g, {1, 0, 0, 0}, 0);
+  EXPECT_EQ(partial.size(), 2u);  // 0 and 1
+}
+
+TEST(ReachableIgnoringProbs, TreatsEveryEdgeAsPresent) {
+  const UncertainGraph g = GraphFromString("0 1 0.001\n1 2 0.001\n");
+  EXPECT_TRUE(ReachableIgnoringProbs(g, 0, 2));
+  EXPECT_FALSE(ReachableIgnoringProbs(g, 2, 0));
+}
+
+TEST(HopDistances, BfsLevels) {
+  const UncertainGraph g = DiamondGraph(0.5);
+  const std::vector<uint32_t> dist = HopDistances(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 1u);
+  EXPECT_EQ(dist[3], 2u);
+}
+
+TEST(HopDistances, UnreachableIsInvalid) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 0.5).CheckOK();
+  const UncertainGraph g = b.Build().MoveValue();
+  const std::vector<uint32_t> dist = HopDistances(g, 0);
+  EXPECT_EQ(dist[2], kInvalidDistance);
+}
+
+TEST(SampleWorld, EstimatedReliabilityMatchesExactOnDiamond) {
+  // Full-world sampling + Reachable is itself an MC estimator; sanity-check
+  // it against the closed form (independent of the estimator classes).
+  const UncertainGraph g = DiamondGraph(0.6);
+  Rng rng(5);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    hits += Reachable(g, SampleWorld(g, rng), 0, 3);
+  }
+  const double expected = 1.0 - (1.0 - 0.36) * (1.0 - 0.36);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, expected,
+              testing::SamplingTolerance(expected, kN));
+}
+
+}  // namespace
+}  // namespace relcomp

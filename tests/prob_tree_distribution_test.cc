@@ -1,0 +1,148 @@
+// Tests for the ProbTree distance-distribution mode (the [32] original that
+// the paper's Section 2.7 adaptation replaces).
+
+#include <gtest/gtest.h>
+
+#include "reliability/prob_tree.h"
+#include "test_util.h"
+
+namespace relcomp {
+namespace {
+
+using testing::GraphFromString;
+using testing::RandomSmallGraph;
+
+ProbTreeOptions DistributionOptions() {
+  ProbTreeOptions options;
+  options.precompute_distance_distributions = true;
+  return options;
+}
+
+// Anchors nodes 0 and 2 in a degree-3 core (with helpers 3 and 4) so the
+// min-degree elimination covers the middle node 1 first and produces a
+// virtual 0 -> 2 edge.
+void AddCoreScaffolding(GraphBuilder& b) {
+  b.AddBidirectedEdge(0, 3, 0.5).CheckOK();
+  b.AddBidirectedEdge(0, 4, 0.5).CheckOK();
+  b.AddBidirectedEdge(2, 3, 0.5).CheckOK();
+  b.AddBidirectedEdge(2, 4, 0.5).CheckOK();
+  b.AddBidirectedEdge(3, 4, 0.5).CheckOK();
+}
+
+TEST(ProbTreeDistributions, SingleCoveredPathHasLengthTwoMass) {
+  // 0 -> 1 -> 2 with middle node 1 covered: the virtual 0 -> 2 edge must
+  // carry P(dist = 2) = p1 * p2 and nothing at dist = 1.
+  GraphBuilder b(5);
+  b.AddEdge(0, 1, 0.5).CheckOK();
+  b.AddEdge(1, 2, 0.4).CheckOK();
+  AddCoreScaffolding(b);
+  const UncertainGraph g = b.Build().MoveValue();
+  const ProbTreeIndex index =
+      ProbTreeIndex::Build(g, DistributionOptions()).MoveValue();
+  bool found = false;
+  auto scan = [&](const std::vector<ProbTreeEdge>& edges) {
+    for (const ProbTreeEdge& e : edges) {
+      if (e.origin >= 0 && e.tail == 0 && e.head == 2) {
+        found = true;
+        EXPECT_NEAR(e.DistanceProbability(1), 0.0, 1e-12);
+        EXPECT_NEAR(e.DistanceProbability(2), 0.2, 1e-12);
+        EXPECT_NEAR(e.prob, 0.2, 1e-12);
+      }
+    }
+  };
+  scan(index.root_edges());
+  for (size_t b = 0; b < index.num_bags(); ++b) scan(index.bag(b).edges);
+  EXPECT_TRUE(found);
+}
+
+TEST(ProbTreeDistributions, DirectPlusPathSplitsMassByLength) {
+  // Figure 6 bag (D) shape: direct 6 -> 1 (0.75) in parallel with
+  // 6 -> 2 -> 1 (0.25). P(dist=1) = 0.75; P(dist=2) = 0.25 * 0.25
+  // (path exists AND direct absent); total 0.8125.
+  GraphBuilder b(5);
+  b.AddEdge(0, 2, 0.75).CheckOK();
+  b.AddEdge(0, 1, 0.5).CheckOK();
+  b.AddEdge(1, 2, 0.5).CheckOK();
+  AddCoreScaffolding(b);
+  const UncertainGraph g = b.Build().MoveValue();
+  const ProbTreeIndex index =
+      ProbTreeIndex::Build(g, DistributionOptions()).MoveValue();
+  bool found = false;
+  auto scan = [&](const std::vector<ProbTreeEdge>& edges) {
+    for (const ProbTreeEdge& e : edges) {
+      if (e.origin >= 0 && e.tail == 0 && e.head == 2) {
+        found = true;
+        EXPECT_NEAR(e.DistanceProbability(1), 0.75, 1e-12);
+        EXPECT_NEAR(e.DistanceProbability(2), 0.25 * 0.25, 1e-12);
+        EXPECT_NEAR(e.prob, 0.8125, 1e-12);
+      }
+    }
+  };
+  scan(index.root_edges());
+  for (size_t s = 0; s < index.num_bags(); ++s) scan(index.bag(s).edges);
+  EXPECT_TRUE(found);
+}
+
+TEST(ProbTreeDistributions, MassNeverExceedsOne) {
+  const UncertainGraph g = RandomSmallGraph(30, 80, 0.2, 0.9, 81);
+  const ProbTreeIndex index =
+      ProbTreeIndex::Build(g, DistributionOptions()).MoveValue();
+  auto check = [&](const std::vector<ProbTreeEdge>& edges) {
+    for (const ProbTreeEdge& e : edges) {
+      if (e.survival.empty()) continue;
+      double total = 0.0;
+      double prev = 1.0;
+      for (size_t l = 0; l < e.survival.size(); ++l) {
+        EXPECT_LE(e.survival[l], prev + 1e-12);  // survival is non-increasing
+        prev = e.survival[l];
+        total += e.DistanceProbability(static_cast<uint32_t>(l + 1));
+      }
+      EXPECT_LE(total, 1.0 + 1e-9);
+      EXPECT_GE(total, 0.0);
+    }
+  };
+  check(index.root_edges());
+  for (size_t b = 0; b < index.num_bags(); ++b) check(index.bag(b).edges);
+}
+
+TEST(ProbTreeDistributions, QueriesIdenticalToReliabilityOnlyMode) {
+  // The distributions are extra payload: extracted query graphs and scalar
+  // probabilities must match the reliability-only build bit for bit.
+  const UncertainGraph g = RandomSmallGraph(25, 70, 0.2, 0.8, 82);
+  const ProbTreeIndex lean = ProbTreeIndex::Build(g, {}).MoveValue();
+  const ProbTreeIndex full =
+      ProbTreeIndex::Build(g, DistributionOptions()).MoveValue();
+  ASSERT_EQ(lean.num_bags(), full.num_bags());
+  for (const auto& [s, t] :
+       std::vector<std::pair<NodeId, NodeId>>{{0, 24}, {3, 17}, {10, 11}}) {
+    const RootedGraph a = lean.ExtractQueryGraph(s, t).MoveValue();
+    const RootedGraph b = full.ExtractQueryGraph(s, t).MoveValue();
+    ASSERT_EQ(a.graph.num_edges(), b.graph.num_edges());
+    for (EdgeId e = 0; e < a.graph.num_edges(); ++e) {
+      EXPECT_DOUBLE_EQ(a.graph.edge(e).prob, b.graph.edge(e).prob);
+    }
+  }
+}
+
+TEST(ProbTreeDistributions, IndexIsLargerAndSlowerToBuild) {
+  // The whole point of the paper's adaptation: distributions cost real build
+  // time and space.
+  const UncertainGraph g = RandomSmallGraph(400, 1200, 0.2, 0.9, 83);
+  const ProbTreeIndex lean = ProbTreeIndex::Build(g, {}).MoveValue();
+  const ProbTreeIndex full =
+      ProbTreeIndex::Build(g, DistributionOptions()).MoveValue();
+  EXPECT_GT(full.MemoryBytes(), lean.MemoryBytes());
+}
+
+TEST(ProbTreeDistributions, DistanceProbabilityEdgeCases) {
+  ProbTreeEdge edge;
+  EXPECT_DOUBLE_EQ(edge.DistanceProbability(1), 0.0);  // no distributions
+  edge.survival = {0.4, 0.3};
+  EXPECT_DOUBLE_EQ(edge.DistanceProbability(0), 0.0);
+  EXPECT_NEAR(edge.DistanceProbability(1), 0.6, 1e-12);
+  EXPECT_NEAR(edge.DistanceProbability(2), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(edge.DistanceProbability(3), 0.0);  // beyond cap
+}
+
+}  // namespace
+}  // namespace relcomp

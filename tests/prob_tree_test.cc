@@ -1,0 +1,223 @@
+#include "reliability/prob_tree.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "reliability/exact.h"
+#include "test_util.h"
+
+namespace relcomp {
+namespace {
+
+using testing::Figure6Graph;
+using testing::GraphFromString;
+using testing::LineGraph3;
+using testing::RandomSmallGraph;
+using testing::SamplingTolerance;
+
+ProbTreeIndex BuildIndex(const UncertainGraph& g, uint32_t width = 2) {
+  ProbTreeOptions options;
+  options.width = width;
+  Result<ProbTreeIndex> index = ProbTreeIndex::Build(g, options);
+  EXPECT_TRUE(index.ok()) << index.status();
+  return index.MoveValue();
+}
+
+TEST(ProbTreeIndex, LineGraphDecomposesFully) {
+  const UncertainGraph g = LineGraph3(0.5, 0.25);
+  const ProbTreeIndex index = BuildIndex(g);
+  // A 3-node path has two low-degree endpoints; everything gets covered or
+  // lands in a small root.
+  EXPECT_GE(index.num_bags(), 1u);
+  EXPECT_LE(index.stats().root_nodes, 3u);
+}
+
+TEST(ProbTreeIndex, Figure6AggregationValue) {
+  // The paper's worked example: reliability 6 -> 1 combines the direct edge
+  // (0.75) with the path 6 -> 2 -> 1 (0.5 * 0.5):
+  // 1 - (1 - 0.75)(1 - 0.25) = 0.8125.
+  const UncertainGraph g = Figure6Graph();
+  const ProbTreeIndex index = BuildIndex(g);
+  // Find a virtual edge 6 -> 1 carrying exactly that probability, in any
+  // bag or the root.
+  bool found = false;
+  auto scan = [&](const std::vector<ProbTreeEdge>& edges) {
+    for (const ProbTreeEdge& e : edges) {
+      if (e.tail == 6 && e.head == 1 && e.origin >= 0 &&
+          std::abs(e.prob - 0.8125) < 1e-12) {
+        found = true;
+      }
+    }
+  };
+  scan(index.root_edges());
+  for (size_t b = 0; b < index.num_bags(); ++b) scan(index.bag(b).edges);
+  EXPECT_TRUE(found);
+}
+
+TEST(ProbTreeIndex, EveryBagRespectsWidth) {
+  const UncertainGraph g = RandomSmallGraph(40, 100, 0.2, 0.8, 21);
+  const ProbTreeIndex index = BuildIndex(g, 2);
+  for (size_t b = 0; b < index.num_bags(); ++b) {
+    EXPECT_LE(index.bag(b).boundary.size(), 2u);
+    EXPECT_EQ(index.bag(b).nodes.size(), index.bag(b).boundary.size() + 1);
+  }
+}
+
+TEST(ProbTreeIndex, ParentsAreCreatedLaterOrRoot) {
+  const UncertainGraph g = RandomSmallGraph(40, 100, 0.2, 0.8, 22);
+  const ProbTreeIndex index = BuildIndex(g);
+  for (size_t b = 0; b < index.num_bags(); ++b) {
+    const int32_t parent = index.bag(b).parent;
+    if (parent >= 0) {
+      EXPECT_GT(parent, static_cast<int32_t>(b));
+      // The parent must contain the child's entire boundary.
+      const auto& pnodes = index.bag(parent).nodes;
+      for (NodeId u : index.bag(b).boundary) {
+        EXPECT_NE(std::find(pnodes.begin(), pnodes.end(), u), pnodes.end());
+      }
+    }
+  }
+}
+
+TEST(ProbTreeIndex, CoveredNodesPartitionTheGraph) {
+  const UncertainGraph g = RandomSmallGraph(40, 100, 0.2, 0.8, 23);
+  const ProbTreeIndex index = BuildIndex(g);
+  size_t covered = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const int32_t bag = index.CoveredIn(v);
+    if (bag >= 0) {
+      EXPECT_EQ(index.bag(bag).covered, v);
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, index.num_bags());
+  EXPECT_EQ(index.stats().root_nodes, g.num_nodes() - covered);
+}
+
+TEST(ProbTreeIndex, QueryGraphIsSmallerOnSparseGraphs) {
+  // Tree-like graphs collapse almost entirely.
+  GraphBuilder b(64);
+  for (NodeId v = 1; v < 64; ++v) {
+    b.AddBidirectedEdge(v, v / 2, 0.5).CheckOK();  // binary tree
+  }
+  const UncertainGraph g = b.Build().MoveValue();
+  const ProbTreeIndex index = BuildIndex(g);
+  const RootedGraph rooted = index.ExtractQueryGraph(40, 41).MoveValue();
+  EXPECT_LT(rooted.graph.num_edges(), g.num_edges());
+  EXPECT_LT(rooted.graph.num_nodes(), g.num_nodes());
+}
+
+TEST(ProbTreeIndex, QueryGraphPreservesReliabilityOnTrees) {
+  // On trees there is a single path, so w=2 aggregation is exactly lossless.
+  GraphBuilder b(16);
+  for (NodeId v = 1; v < 16; ++v) {
+    const double p = 0.3 + 0.04 * v;
+    b.AddBidirectedEdge(v, v / 2, p).CheckOK();
+  }
+  const UncertainGraph g = b.Build().MoveValue();
+  const ProbTreeIndex index = BuildIndex(g);
+  for (const auto& [s, t] : std::vector<std::pair<NodeId, NodeId>>{
+           {8, 9}, {1, 15}, {10, 3}, {0, 7}}) {
+    const double exact = *ExactReliabilityFactoring(g, s, t);
+    const RootedGraph rooted = index.ExtractQueryGraph(s, t).MoveValue();
+    const double reduced = *ExactReliabilityFactoring(
+        rooted.graph, rooted.source, rooted.target);
+    EXPECT_NEAR(reduced, exact, 1e-9) << s << "->" << t;
+  }
+}
+
+TEST(ProbTreeIndex, QueryGraphNearLosslessOnGeneralGraphs) {
+  // With cycles, the w=2 direction-independence approximation may introduce
+  // tiny error; it must stay far below sampling noise.
+  for (uint64_t seed = 600; seed < 610; ++seed) {
+    const UncertainGraph g = RandomSmallGraph(9, 18, 0.2, 0.8, seed);
+    const double exact = *ExactReliabilityEnumeration(g, 0, 8);
+    const ProbTreeIndex index = BuildIndex(g);
+    const RootedGraph rooted = index.ExtractQueryGraph(0, 8).MoveValue();
+    const double reduced = *ExactReliabilityFactoring(
+        rooted.graph, rooted.source, rooted.target);
+    EXPECT_NEAR(reduced, exact, 0.02) << seed;
+  }
+}
+
+TEST(ProbTreeIndex, SaveLoadRoundTrip) {
+  const UncertainGraph g = RandomSmallGraph(30, 80, 0.2, 0.8, 24);
+  const ProbTreeIndex index = BuildIndex(g);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "relcomp_probtree.bin").string();
+  ASSERT_TRUE(index.SaveToFile(path).ok());
+  const Result<ProbTreeIndex> loaded = ProbTreeIndex::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_bags(), index.num_bags());
+  EXPECT_EQ(loaded->root_edges().size(), index.root_edges().size());
+  // Query graphs extracted from the loaded index match the original.
+  const RootedGraph a = index.ExtractQueryGraph(0, 20).MoveValue();
+  const RootedGraph b = loaded->ExtractQueryGraph(0, 20).MoveValue();
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_EQ(a.graph.num_nodes(), b.graph.num_nodes());
+  std::filesystem::remove(path);
+}
+
+TEST(ProbTreeIndex, MemoryBytesPositiveAndBounded) {
+  const UncertainGraph g = RandomSmallGraph(50, 150, 0.2, 0.8, 25);
+  const ProbTreeIndex index = BuildIndex(g);
+  EXPECT_GT(index.MemoryBytes(), 0u);
+  // O(|E|) space: within an order of magnitude of the raw edge data.
+  EXPECT_LT(index.MemoryBytes(), g.MemoryBytes() * 10);
+}
+
+TEST(ProbTreeIndex, RejectsWidthZero) {
+  ProbTreeOptions options;
+  options.width = 0;
+  EXPECT_FALSE(ProbTreeIndex::Build(LineGraph3(), options).ok());
+}
+
+TEST(ProbTreeIndex, ExtractValidatesNodes) {
+  const ProbTreeIndex index = BuildIndex(LineGraph3());
+  EXPECT_FALSE(index.ExtractQueryGraph(0, 99).ok());
+}
+
+TEST(ProbTreeEstimator, MatchesExactThroughFullPipeline) {
+  for (uint64_t seed = 620; seed < 626; ++seed) {
+    const UncertainGraph g = RandomSmallGraph(9, 18, 0.2, 0.8, seed);
+    const double exact = *ExactReliabilityEnumeration(g, 0, 8);
+    Result<std::unique_ptr<ProbTreeEstimator>> est =
+        ProbTreeEstimator::Create(g, ProbTreeOptions{});
+    ASSERT_TRUE(est.ok());
+    EstimateOptions opts;
+    opts.num_samples = 12000;
+    opts.seed = seed;
+    EXPECT_NEAR((*est)->Estimate({0, 8}, opts)->reliability, exact,
+                SamplingTolerance(exact, 12000, 4.5) + 0.01)
+        << seed;
+  }
+}
+
+TEST(ProbTreeEstimator, InnerEstimatorNames) {
+  const UncertainGraph g = LineGraph3();
+  EXPECT_EQ(std::string(ProbTreeEstimator::Create(g, {}, ProbTreeInner::kMonteCarlo)
+                            .MoveValue()
+                            ->name()),
+            "ProbTree");
+  EXPECT_EQ(std::string(ProbTreeEstimator::Create(
+                            g, {}, ProbTreeInner::kRecursiveStratified)
+                            .MoveValue()
+                            ->name()),
+            "ProbTree+RSS");
+}
+
+TEST(ProbTreeEstimator, IndexIsReusedAcrossQueries) {
+  const UncertainGraph g = RandomSmallGraph(30, 80, 0.2, 0.8, 26);
+  auto est = ProbTreeEstimator::Create(g, ProbTreeOptions{}).MoveValue();
+  const size_t index_bytes = est->IndexMemoryBytes();
+  EstimateOptions opts;
+  opts.num_samples = 200;
+  opts.seed = 1;
+  est->Estimate({0, 10}, opts)->reliability;
+  est->Estimate({5, 20}, opts)->reliability;
+  EXPECT_EQ(est->IndexMemoryBytes(), index_bytes);  // no index churn
+}
+
+}  // namespace
+}  // namespace relcomp

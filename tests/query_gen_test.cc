@@ -1,0 +1,104 @@
+#include "eval/query_gen.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "graph/possible_world.h"
+#include "test_util.h"
+
+namespace relcomp {
+namespace {
+
+TEST(QueryGen, PairsAreAtRequestedHopDistance) {
+  const Dataset d = MakeDataset(DatasetId::kLastFm, Scale::kTiny, 1).MoveValue();
+  QueryGenOptions options;
+  options.num_pairs = 30;
+  options.hop_distance = 2;
+  const auto queries = GenerateQueries(d.graph, options);
+  ASSERT_TRUE(queries.ok());
+  EXPECT_GT(queries->size(), 10u);
+  for (const ReliabilityQuery& q : *queries) {
+    const std::vector<uint32_t> dist = HopDistances(d.graph, q.source);
+    EXPECT_EQ(dist[q.target], 2u) << q.source << "->" << q.target;
+  }
+}
+
+TEST(QueryGen, SupportsLargerDistances) {
+  const Dataset d = MakeDataset(DatasetId::kNetHept, Scale::kTiny, 2).MoveValue();
+  for (const uint32_t h : {3u, 4u}) {
+    QueryGenOptions options;
+    options.num_pairs = 10;
+    options.hop_distance = h;
+    const auto queries = GenerateQueries(d.graph, options);
+    if (!queries.ok()) continue;  // very tight tiny graphs may lack far pairs
+    for (const ReliabilityQuery& q : *queries) {
+      EXPECT_EQ(HopDistances(d.graph, q.source)[q.target], h);
+    }
+  }
+}
+
+TEST(QueryGen, PairsAreDistinct) {
+  const Dataset d = MakeDataset(DatasetId::kAsTopology, Scale::kTiny, 3).MoveValue();
+  QueryGenOptions options;
+  options.num_pairs = 50;
+  const auto queries = GenerateQueries(d.graph, options);
+  ASSERT_TRUE(queries.ok());
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const ReliabilityQuery& q : *queries) {
+    EXPECT_TRUE(seen.insert({q.source, q.target}).second);
+    EXPECT_NE(q.source, q.target);
+  }
+}
+
+TEST(QueryGen, DeterministicPerSeed) {
+  const Dataset d = MakeDataset(DatasetId::kLastFm, Scale::kTiny, 4).MoveValue();
+  QueryGenOptions options;
+  options.num_pairs = 20;
+  options.seed = 77;
+  const auto a = GenerateQueries(d.graph, options);
+  const auto b = GenerateQueries(d.graph, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].source, (*b)[i].source);
+    EXPECT_EQ((*a)[i].target, (*b)[i].target);
+  }
+}
+
+TEST(QueryGen, FailsWhenNoPairExists) {
+  // Two isolated nodes: no 2-hop pair anywhere.
+  GraphBuilder b(2);
+  const UncertainGraph g = b.Build().MoveValue();
+  QueryGenOptions options;
+  options.num_pairs = 5;
+  options.max_attempts = 200;
+  EXPECT_FALSE(GenerateQueries(g, options).ok());
+}
+
+TEST(QueryGen, ValidatesArguments) {
+  const UncertainGraph tiny = testing::LineGraph3();
+  QueryGenOptions options;
+  options.hop_distance = 0;
+  EXPECT_FALSE(GenerateQueries(tiny, options).ok());
+  GraphBuilder b(1);
+  const UncertainGraph one = b.Build().MoveValue();
+  QueryGenOptions ok_options;
+  EXPECT_FALSE(GenerateQueries(one, ok_options).ok());
+}
+
+TEST(QueryGen, WorksOnEveryDataset) {
+  for (DatasetId id : AllDatasetIds()) {
+    const Dataset d = MakeDataset(id, Scale::kTiny, 5).MoveValue();
+    QueryGenOptions options;
+    options.num_pairs = 15;
+    const auto queries = GenerateQueries(d.graph, options);
+    ASSERT_TRUE(queries.ok()) << DatasetName(id);
+    EXPECT_GE(queries->size(), 5u) << DatasetName(id);
+  }
+}
+
+}  // namespace
+}  // namespace relcomp

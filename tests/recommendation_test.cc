@@ -1,0 +1,83 @@
+#include "eval/recommendation.h"
+
+#include <gtest/gtest.h>
+
+namespace relcomp {
+namespace {
+
+TEST(PaperRatings, RecursiveMethodsLeadVarianceTrailMemory) {
+  // Table 17's key shape: RHH/RSS 4-star variance but 1-star memory.
+  for (EstimatorKind kind :
+       {EstimatorKind::kRecursive, EstimatorKind::kRecursiveStratified}) {
+    const StarRatings r = PaperRatings(kind);
+    EXPECT_EQ(r.variance, 4);
+    EXPECT_EQ(r.running_time, 4);
+    EXPECT_EQ(r.memory, 1);
+  }
+}
+
+TEST(PaperRatings, McBestMemoryWorstVariance) {
+  const StarRatings r = PaperRatings(EstimatorKind::kMonteCarlo);
+  EXPECT_EQ(r.memory, 4);
+  EXPECT_EQ(r.variance, 1);
+}
+
+TEST(PaperRatings, BfsSharingIsSlowest) {
+  EXPECT_EQ(PaperRatings(EstimatorKind::kBfsSharing).running_time, 1);
+}
+
+TEST(PaperRatings, AllSixAccuracyComparable) {
+  // Section 3.4: no common winner in accuracy; Table 17 gives 3-4 stars.
+  for (EstimatorKind kind : TheSixEstimators()) {
+    EXPECT_GE(PaperRatings(kind).accuracy, 3) << EstimatorKindName(kind);
+  }
+}
+
+TEST(RatingsTable, RendersAllSix) {
+  const std::string table = RatingsTable();
+  for (EstimatorKind kind : TheSixEstimators()) {
+    EXPECT_NE(table.find(EstimatorKindName(kind)), std::string::npos);
+  }
+  EXPECT_NE(table.find("****"), std::string::npos);
+}
+
+TEST(Recommend, MemoryConstrainedFastPrefersProbTree) {
+  ScenarioConstraints constraints;
+  constraints.memory_constrained = true;
+  constraints.need_fast_queries = true;
+  const Recommendation rec = RecommendEstimator(constraints);
+  ASSERT_FALSE(rec.estimators.empty());
+  EXPECT_EQ(rec.estimators.front(), EstimatorKind::kProbTree);
+  EXPECT_NE(rec.explanation.find("memory=smaller"), std::string::npos);
+}
+
+TEST(Recommend, AmpleMemoryLowVariancePrefersRecursive) {
+  ScenarioConstraints constraints;
+  constraints.memory_constrained = false;
+  constraints.need_low_variance = true;
+  const Recommendation rec = RecommendEstimator(constraints);
+  ASSERT_GE(rec.estimators.size(), 2u);
+  EXPECT_EQ(rec.estimators[0], EstimatorKind::kRecursiveStratified);
+  EXPECT_EQ(rec.estimators[1], EstimatorKind::kRecursive);
+}
+
+TEST(Recommend, AmpleMemoryVarianceInsensitiveMentionsBfsSharingCaveat) {
+  ScenarioConstraints constraints;
+  constraints.memory_constrained = false;
+  constraints.need_low_variance = false;
+  const Recommendation rec = RecommendEstimator(constraints);
+  ASSERT_FALSE(rec.estimators.empty());
+  EXPECT_EQ(rec.estimators.front(), EstimatorKind::kBfsSharing);
+  EXPECT_NE(rec.explanation.find("4x slower"), std::string::npos);
+}
+
+TEST(Recommend, MemoryConstrainedSlowOkIncludesMc) {
+  ScenarioConstraints constraints;
+  constraints.memory_constrained = true;
+  constraints.need_fast_queries = false;
+  const Recommendation rec = RecommendEstimator(constraints);
+  EXPECT_EQ(rec.estimators.front(), EstimatorKind::kMonteCarlo);
+}
+
+}  // namespace
+}  // namespace relcomp

@@ -1,0 +1,166 @@
+#include "reliability/recursive_stratified.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "reliability/exact.h"
+#include "reliability/mc_sampling.h"
+#include "reliability/recursive_sampling.h"
+#include "test_util.h"
+
+namespace relcomp {
+namespace {
+
+using testing::DiamondGraph;
+using testing::GraphFromString;
+using testing::RandomSmallGraph;
+using testing::SamplingTolerance;
+
+TEST(Rss, CertainOutcomes) {
+  const UncertainGraph certain = GraphFromString("0 1 1\n1 2 1\n");
+  RecursiveStratifiedEstimator rss(certain);
+  EstimateOptions opts;
+  opts.num_samples = 500;
+  EXPECT_DOUBLE_EQ(rss.Estimate({0, 2}, opts)->reliability, 1.0);
+
+  GraphBuilder b(3);
+  b.AddEdge(1, 2, 0.9).CheckOK();
+  const UncertainGraph disconnected = b.Build().MoveValue();
+  RecursiveStratifiedEstimator rss2(disconnected);
+  EXPECT_DOUBLE_EQ(rss2.Estimate({0, 2}, opts)->reliability, 0.0);
+}
+
+TEST(Rss, UnbiasedOnDiamond) {
+  const UncertainGraph g = DiamondGraph(0.5);
+  const double truth = 1.0 - 0.75 * 0.75;
+  RssOptions options;
+  options.num_strata = 3;  // small graph, small r
+  RecursiveStratifiedEstimator rss(g, options);
+  RunningStats stats;
+  for (int i = 0; i < 400; ++i) {
+    EstimateOptions opts;
+    opts.num_samples = 200;
+    opts.seed = 11000 + i;
+    stats.Add(rss.Estimate({0, 3}, opts)->reliability);
+  }
+  EXPECT_NEAR(stats.mean(), truth, 0.01);
+}
+
+TEST(Rss, VarianceBelowMonteCarloAtEqualK) {
+  // Theorems 4.2/4.3 of [28]: stratification reduces variance.
+  const UncertainGraph g = RandomSmallGraph(10, 24, 0.2, 0.8, 56);
+  MonteCarloEstimator mc(g);
+  RssOptions options;
+  options.num_strata = 8;
+  RecursiveStratifiedEstimator rss(g, options);
+  RunningStats mc_stats;
+  RunningStats rss_stats;
+  constexpr uint32_t kK = 120;
+  for (int i = 0; i < 500; ++i) {
+    EstimateOptions opts;
+    opts.num_samples = kK;
+    opts.seed = 50000 + i;
+    mc_stats.Add(mc.Estimate({0, 9}, opts)->reliability);
+    rss_stats.Add(rss.Estimate({0, 9}, opts)->reliability);
+  }
+  EXPECT_NEAR(rss_stats.mean(), mc_stats.mean(), 0.02);
+  EXPECT_LT(rss_stats.SampleVariance(), mc_stats.SampleVariance());
+}
+
+TEST(Rss, VarianceAtOrBelowRhh) {
+  // RHH is RSS with r = 1 (Section 3.2 finding: RSS <= RHH in variance).
+  const UncertainGraph g = RandomSmallGraph(10, 26, 0.25, 0.75, 57);
+  RecursiveEstimator rhh(g);
+  RssOptions options;
+  options.num_strata = 8;
+  RecursiveStratifiedEstimator rss(g, options);
+  RunningStats rhh_stats;
+  RunningStats rss_stats;
+  for (int i = 0; i < 600; ++i) {
+    EstimateOptions opts;
+    opts.num_samples = 100;
+    opts.seed = 60000 + i;
+    rhh_stats.Add(rhh.Estimate({0, 9}, opts)->reliability);
+    rss_stats.Add(rss.Estimate({0, 9}, opts)->reliability);
+  }
+  EXPECT_NEAR(rss_stats.mean(), rhh_stats.mean(), 0.02);
+  EXPECT_LT(rss_stats.SampleVariance(), rhh_stats.SampleVariance() * 1.35);
+}
+
+TEST(Rss, AgreesWithExactAcrossGraphs) {
+  for (uint64_t seed = 500; seed < 512; ++seed) {
+    const UncertainGraph g = RandomSmallGraph(8, 18, 0.1, 0.9, seed);
+    const double exact = *ExactReliabilityEnumeration(g, 0, 7);
+    RssOptions options;
+    options.num_strata = 6;
+    RecursiveStratifiedEstimator rss(g, options);
+    double sum = 0.0;
+    constexpr int kRuns = 5;
+    for (int i = 0; i < kRuns; ++i) {
+      EstimateOptions opts;
+      opts.num_samples = 2000;
+      opts.seed = seed * 37 + i;
+      sum += rss.Estimate({0, 7}, opts)->reliability;
+    }
+    EXPECT_NEAR(sum / kRuns, exact, SamplingTolerance(exact, 2000 * kRuns, 5.0))
+        << seed;
+  }
+}
+
+TEST(Rss, StratumParameterSweepStaysUnbiased) {
+  const UncertainGraph g = RandomSmallGraph(10, 30, 0.2, 0.7, 58);
+  const double exact = *ExactReliabilityFactoring(g, 0, 9);
+  for (const uint32_t r : {1u, 2u, 5u, 10u, 20u}) {
+    RssOptions options;
+    options.num_strata = r;
+    RecursiveStratifiedEstimator rss(g, options);
+    RunningStats stats;
+    for (int i = 0; i < 120; ++i) {
+      EstimateOptions opts;
+      opts.num_samples = 400;
+      opts.seed = 90000 + i;
+      stats.Add(rss.Estimate({0, 9}, opts)->reliability);
+    }
+    EXPECT_NEAR(stats.mean(), exact, 0.025) << "r=" << r;
+  }
+}
+
+TEST(Rss, HandlesGraphsSmallerThanStratumCount) {
+  // |E| < r must fall back to plain MC (Alg. 5 line 2).
+  const UncertainGraph g = DiamondGraph(0.5);
+  RssOptions options;
+  options.num_strata = 50;  // > 4 edges
+  RecursiveStratifiedEstimator rss(g, options);
+  EstimateOptions opts;
+  opts.num_samples = 8000;
+  opts.seed = 3;
+  const double truth = 1.0 - 0.75 * 0.75;
+  EXPECT_NEAR(rss.Estimate({0, 3}, opts)->reliability, truth,
+              SamplingTolerance(truth, 8000));
+}
+
+TEST(Rss, MemoryAboveMonteCarloDueToSimplifiedCopies) {
+  const UncertainGraph g = RandomSmallGraph(200, 1000, 0.3, 0.9, 59);
+  MonteCarloEstimator mc(g);
+  RssOptions options;
+  options.num_strata = 20;
+  RecursiveStratifiedEstimator rss(g, options);
+  EstimateOptions opts;
+  opts.num_samples = 500;
+  opts.seed = 6;
+  EXPECT_GT(rss.Estimate({0, 100}, opts)->peak_memory_bytes,
+            mc.Estimate({0, 100}, opts)->peak_memory_bytes);
+}
+
+TEST(Rss, DeterministicPerSeed) {
+  const UncertainGraph g = RandomSmallGraph(10, 30, 0.2, 0.8, 60);
+  RecursiveStratifiedEstimator rss(g);
+  EstimateOptions opts;
+  opts.num_samples = 600;
+  opts.seed = 99;
+  EXPECT_DOUBLE_EQ(rss.Estimate({0, 9}, opts)->reliability,
+                   rss.Estimate({0, 9}, opts)->reliability);
+}
+
+}  // namespace
+}  // namespace relcomp

@@ -1,0 +1,87 @@
+#include "reliability/reliable_set.h"
+
+#include <gtest/gtest.h>
+
+#include "reliability/exact.h"
+#include "test_util.h"
+
+namespace relcomp {
+namespace {
+
+using testing::GraphFromString;
+using testing::RandomSmallGraph;
+
+UncertainGraph FanGraph() {
+  return GraphFromString("0 1 0.9\n0 2 0.5\n0 3 0.1\n1 4 0.9\n");
+}
+
+TEST(ReliableSetMc, FiltersByThreshold) {
+  const UncertainGraph g = FanGraph();
+  const ReliableSetResult result =
+      ReliableSetMonteCarlo(g, 0, /*threshold=*/0.45, 20000, 1).MoveValue();
+  // Qualifiers: node 1 (~0.9), node 4 (~0.81), node 2 (~0.5). Node 3 (~0.1)
+  // is out.
+  ASSERT_EQ(result.members.size(), 3u);
+  EXPECT_EQ(result.members[0].node, 1u);
+  EXPECT_EQ(result.members[1].node, 4u);
+  EXPECT_EQ(result.members[2].node, 2u);
+}
+
+TEST(ReliableSetMc, ThresholdZeroReturnsAllReached) {
+  const UncertainGraph g = FanGraph();
+  const ReliableSetResult result =
+      ReliableSetMonteCarlo(g, 0, 0.0, 5000, 2).MoveValue();
+  EXPECT_EQ(result.members.size(), 4u);  // everything but the source
+}
+
+TEST(ReliableSetMc, ThresholdOneKeepsOnlyCertainNodes) {
+  const UncertainGraph g = GraphFromString("0 1 1\n1 2 0.5\n");
+  const ReliableSetResult result =
+      ReliableSetMonteCarlo(g, 0, 1.0, 3000, 3).MoveValue();
+  ASSERT_EQ(result.members.size(), 1u);
+  EXPECT_EQ(result.members[0].node, 1u);
+}
+
+TEST(ReliableSetMc, ValuesMatchExactPerNode) {
+  const UncertainGraph g = RandomSmallGraph(7, 14, 0.3, 0.8, 45);
+  const ReliableSetResult result =
+      ReliableSetMonteCarlo(g, 0, 0.2, 30000, 4).MoveValue();
+  for (const ReliableTarget& member : result.members) {
+    const double exact = *ExactReliabilityEnumeration(g, 0, member.node);
+    EXPECT_NEAR(member.reliability, exact,
+                testing::SamplingTolerance(exact, 30000, 5.0))
+        << member.node;
+  }
+}
+
+TEST(ReliableSetMc, ValidatesArguments) {
+  const UncertainGraph g = FanGraph();
+  EXPECT_FALSE(ReliableSetMonteCarlo(g, 99, 0.5, 100, 1).ok());
+  EXPECT_FALSE(ReliableSetMonteCarlo(g, 0, -0.1, 100, 1).ok());
+  EXPECT_FALSE(ReliableSetMonteCarlo(g, 0, 1.5, 100, 1).ok());
+  EXPECT_FALSE(ReliableSetMonteCarlo(g, 0, 0.5, 0, 1).ok());
+}
+
+TEST(ReliableSetBfsSharing, AgreesWithMonteCarlo) {
+  const UncertainGraph g = FanGraph();
+  BfsSharingOptions options;
+  options.index_samples = 20000;
+  auto estimator = BfsSharingEstimator::Create(g, options, 11).MoveValue();
+  const ReliableSetResult result =
+      ReliableSetBfsSharing(*estimator, 0, 0.45, 20000).MoveValue();
+  ASSERT_EQ(result.members.size(), 3u);
+  EXPECT_EQ(result.members[0].node, 1u);
+  EXPECT_NEAR(result.members[0].reliability, 0.9, 0.02);
+}
+
+TEST(ReliableSetBfsSharing, ValidatesArguments) {
+  const UncertainGraph g = FanGraph();
+  BfsSharingOptions options;
+  options.index_samples = 100;
+  auto estimator = BfsSharingEstimator::Create(g, options, 12).MoveValue();
+  EXPECT_FALSE(ReliableSetBfsSharing(*estimator, 0, 0.5, 101).ok());
+  EXPECT_FALSE(ReliableSetBfsSharing(*estimator, 99, 0.5, 100).ok());
+}
+
+}  // namespace
+}  // namespace relcomp

@@ -1,0 +1,169 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "reliability/exact.h"
+#include "test_util.h"
+
+namespace relcomp {
+namespace {
+
+using testing::DiamondGraph;
+using testing::GraphFromString;
+using testing::LineGraph3;
+using testing::RandomSmallGraph;
+
+std::vector<EdgeState> AllUndetermined(const UncertainGraph& g) {
+  return std::vector<EdgeState>(g.num_edges(), EdgeState::kUndetermined);
+}
+
+TEST(SimplifyGraph, SourceEqualsTargetIsCertainOne) {
+  const UncertainGraph g = LineGraph3();
+  const auto result = SimplifyGraph(g, 1, 1, AllUndetermined(g));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, SimplifyOutcome::kCertainOne);
+}
+
+TEST(SimplifyGraph, IncludedPathIsCertainOne) {
+  const UncertainGraph g = LineGraph3();
+  std::vector<EdgeState> states = {EdgeState::kIncluded, EdgeState::kIncluded};
+  const auto result = SimplifyGraph(g, 0, 2, states);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, SimplifyOutcome::kCertainOne);
+}
+
+TEST(SimplifyGraph, ExcludedCutIsCertainZero) {
+  const UncertainGraph g = LineGraph3();
+  std::vector<EdgeState> states = {EdgeState::kExcluded, EdgeState::kUndetermined};
+  const auto result = SimplifyGraph(g, 0, 2, states);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, SimplifyOutcome::kCertainZero);
+}
+
+TEST(SimplifyGraph, UndeterminedLineIsReducedUnchangedInValue) {
+  const UncertainGraph g = LineGraph3(0.5, 0.25);
+  const auto result = SimplifyGraph(g, 0, 2, AllUndetermined(g));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->outcome, SimplifyOutcome::kReduced);
+  const RootedGraph& rooted = result->rooted;
+  EXPECT_NEAR(*ExactReliabilityEnumeration(rooted.graph, rooted.source,
+                                           rooted.target),
+              0.125, 1e-12);
+}
+
+TEST(SimplifyGraph, ContractsCertainComponentIntoSuperSource) {
+  // 0 -(incl)-> 1 -> 2 : node 1 merges with the super-source.
+  const UncertainGraph g = LineGraph3(0.5, 0.25);
+  std::vector<EdgeState> states = {EdgeState::kIncluded, EdgeState::kUndetermined};
+  const auto result = SimplifyGraph(g, 0, 2, states);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->outcome, SimplifyOutcome::kReduced);
+  EXPECT_EQ(result->rooted.graph.num_nodes(), 2u);  // super-source + target
+  ASSERT_EQ(result->rooted.graph.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(result->rooted.graph.edge(0).prob, 0.25);
+}
+
+TEST(SimplifyGraph, IncludedEdgeOutsideCertainComponentBecomesProbOne) {
+  const UncertainGraph g = LineGraph3(0.5, 0.25);
+  std::vector<EdgeState> states = {EdgeState::kUndetermined, EdgeState::kIncluded};
+  const auto result = SimplifyGraph(g, 0, 2, states);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->outcome, SimplifyOutcome::kReduced);
+  bool saw_prob_one = false;
+  for (EdgeId e = 0; e < result->rooted.graph.num_edges(); ++e) {
+    saw_prob_one |= (result->rooted.graph.edge(e).prob == 1.0);
+  }
+  EXPECT_TRUE(saw_prob_one);
+}
+
+TEST(SimplifyGraph, PrunesNodesOffAllResidualPaths) {
+  // Diamond plus a dangling branch 0 -> 4 -> 5 that cannot reach t = 3.
+  GraphBuilder b(6);
+  b.AddEdge(0, 1, 0.5).CheckOK();
+  b.AddEdge(1, 3, 0.5).CheckOK();
+  b.AddEdge(0, 2, 0.5).CheckOK();
+  b.AddEdge(2, 3, 0.5).CheckOK();
+  b.AddEdge(0, 4, 0.5).CheckOK();
+  b.AddEdge(4, 5, 0.5).CheckOK();
+  const UncertainGraph g = b.Build().MoveValue();
+  const auto result = SimplifyGraph(g, 0, 3, AllUndetermined(g));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->outcome, SimplifyOutcome::kReduced);
+  EXPECT_EQ(result->rooted.graph.num_edges(), 4u);  // branch pruned
+  EXPECT_EQ(result->rooted.graph.num_nodes(), 4u);
+}
+
+TEST(SimplifyGraph, DropsEdgesBackIntoCertainComponent) {
+  // 0 <-> 1 bidirected, then 1 -> 2. Including 0->1 makes 1 certain; the
+  // reverse edge 1->0 must disappear.
+  const UncertainGraph g = GraphFromString("0 1 0.5\n1 0 0.5\n1 2 0.5\n");
+  std::vector<EdgeState> states = {EdgeState::kIncluded, EdgeState::kUndetermined,
+                                   EdgeState::kUndetermined};
+  const auto result = SimplifyGraph(g, 0, 2, states);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->outcome, SimplifyOutcome::kReduced);
+  EXPECT_EQ(result->rooted.graph.num_edges(), 1u);
+}
+
+TEST(SimplifyGraph, PreservesExactReliabilityOnRandomGraphs) {
+  // Conditioning on nothing must preserve R(s, t) exactly (the core RSS
+  // invariant: stratum simplification is value-preserving).
+  for (uint64_t seed = 40; seed < 52; ++seed) {
+    const UncertainGraph g = RandomSmallGraph(7, 15, 0.1, 0.9, seed);
+    const double exact = *ExactReliabilityEnumeration(g, 0, 6);
+    const auto result = SimplifyGraph(g, 0, 6, AllUndetermined(g));
+    ASSERT_TRUE(result.ok());
+    if (result->outcome == SimplifyOutcome::kCertainZero) {
+      EXPECT_DOUBLE_EQ(exact, 0.0) << seed;
+    } else if (result->outcome == SimplifyOutcome::kCertainOne) {
+      EXPECT_DOUBLE_EQ(exact, 1.0) << seed;
+    } else {
+      const RootedGraph& rooted = result->rooted;
+      EXPECT_NEAR(*ExactReliabilityEnumeration(rooted.graph, rooted.source,
+                                               rooted.target),
+                  exact, 1e-10)
+          << seed;
+    }
+  }
+}
+
+TEST(SimplifyGraph, ConditionalDecompositionMatchesTotalProbability) {
+  // R = P(e) R(incl e) + (1-P(e)) R(excl e) where each branch reliability is
+  // computed on the simplified graph — the recursive estimators' backbone.
+  for (uint64_t seed = 60; seed < 70; ++seed) {
+    const UncertainGraph g = RandomSmallGraph(6, 12, 0.2, 0.8, seed);
+    const double exact = *ExactReliabilityEnumeration(g, 0, 5);
+    std::vector<EdgeState> states = AllUndetermined(g);
+
+    auto branch_value = [&](EdgeState st) {
+      states[0] = st;
+      const auto result = SimplifyGraph(g, 0, 5, states);
+      states[0] = EdgeState::kUndetermined;
+      EXPECT_TRUE(result.ok());
+      switch (result->outcome) {
+        case SimplifyOutcome::kCertainOne:
+          return 1.0;
+        case SimplifyOutcome::kCertainZero:
+          return 0.0;
+        case SimplifyOutcome::kReduced:
+          return *ExactReliabilityEnumeration(result->rooted.graph,
+                                              result->rooted.source,
+                                              result->rooted.target);
+      }
+      return 0.0;
+    };
+    const double p = g.prob(0);
+    const double combined = p * branch_value(EdgeState::kIncluded) +
+                            (1.0 - p) * branch_value(EdgeState::kExcluded);
+    EXPECT_NEAR(combined, exact, 1e-10) << seed;
+  }
+}
+
+TEST(SimplifyGraph, ValidatesArguments) {
+  const UncertainGraph g = LineGraph3();
+  EXPECT_FALSE(SimplifyGraph(g, 0, 99, AllUndetermined(g)).ok());
+  EXPECT_FALSE(SimplifyGraph(g, 0, 2, {}).ok());
+}
+
+}  // namespace
+}  // namespace relcomp

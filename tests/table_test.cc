@@ -1,0 +1,78 @@
+#include "eval/table.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace relcomp {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"Name", "Value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"long-name", "22"});
+  const std::string text = table.ToString();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  EXPECT_NE(text.find("Name"), std::string::npos);
+  EXPECT_NE(text.find("long-name"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable table({"A", "B", "C"});
+  table.AddRow({"x"});
+  EXPECT_EQ(table.num_rows(), 1u);
+  EXPECT_NO_THROW(table.ToString());
+  EXPECT_NO_THROW(table.ToCsv());
+}
+
+TEST(TextTable, CsvBasic) {
+  TextTable table({"A", "B"});
+  table.AddRow({"1", "2"});
+  EXPECT_EQ(table.ToCsv(), "A,B\n1,2\n");
+}
+
+TEST(TextTable, CsvEscapesSpecials) {
+  TextTable table({"A"});
+  table.AddRow({"va,lue"});
+  table.AddRow({"say \"hi\""});
+  const std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("\"va,lue\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(MaybeWriteCsv, NoOpWithoutEnvVar) {
+  ::unsetenv("RELCOMP_CSV_DIR");
+  TextTable table({"A"});
+  table.AddRow({"1"});
+  EXPECT_TRUE(MaybeWriteCsv(table, "unused").ok());
+}
+
+TEST(MaybeWriteCsv, WritesWhenEnvSet) {
+  const auto dir = std::filesystem::temp_directory_path() / "relcomp_csv_test";
+  std::filesystem::create_directories(dir);
+  ::setenv("RELCOMP_CSV_DIR", dir.c_str(), 1);
+  TextTable table({"A", "B"});
+  table.AddRow({"1", "2"});
+  ASSERT_TRUE(MaybeWriteCsv(table, "sample").ok());
+  std::ifstream in(dir / "sample.csv");
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "A,B");
+  ::unsetenv("RELCOMP_CSV_DIR");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(MaybeWriteCsv, FailsOnBadDirectory) {
+  ::setenv("RELCOMP_CSV_DIR", "/nonexistent/definitely/missing", 1);
+  TextTable table({"A"});
+  table.AddRow({"1"});
+  EXPECT_FALSE(MaybeWriteCsv(table, "x").ok());
+  ::unsetenv("RELCOMP_CSV_DIR");
+}
+
+}  // namespace
+}  // namespace relcomp

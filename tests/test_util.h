@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "graph/uncertain_graph.h"
+
+namespace relcomp::testing {
+
+/// Builds a graph from "u v p" lines; aborts the test on malformed input.
+inline UncertainGraph GraphFromString(const std::string& edge_list) {
+  Result<UncertainGraph> result = ParseEdgeListString(edge_list);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.MoveValue();
+}
+
+/// The paper's Figure 4 toy graph: 1 -> 2 -> 3 as a line (renumbered 0-2).
+inline UncertainGraph LineGraph3(double p1 = 0.5, double p2 = 0.5) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, p1).CheckOK();
+  b.AddEdge(1, 2, p2).CheckOK();
+  return b.Build().MoveValue();
+}
+
+/// Two disjoint parallel s-t paths of length 2 (diamond):
+/// 0 -> 1 -> 3 and 0 -> 2 -> 3. Exact R(0,3) = 1 - (1 - p^2)^2 for equal p.
+inline UncertainGraph DiamondGraph(double p = 0.5) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, p).CheckOK();
+  b.AddEdge(1, 3, p).CheckOK();
+  b.AddEdge(0, 2, p).CheckOK();
+  b.AddEdge(2, 3, p).CheckOK();
+  return b.Build().MoveValue();
+}
+
+/// The paper's Figure 6(a) uncertain graph (7 nodes, used to validate the
+/// ProbTree construction against the worked example).
+///
+/// Edges (directed pairs, both directions share the probability):
+///   0-1: 0.5, 0-2: 0.75, 1-2: 0.5, 1-6: 0.75, 2-6: 0.5 (only 2->6... )
+/// The figure is reproduced as a bidirected approximation of the drawing;
+/// the key structural facts the tests rely on are bag {3,4}, bag {4,0,6},
+/// and the 6->1 aggregation 1-(1-0.75)(1-0.5*0.5) = 0.8125.
+inline UncertainGraph Figure6Graph() {
+  GraphBuilder b(7);
+  // 6 -> 1 direct with 0.75 and 6 -> 2 -> 1 with 0.5 * 0.5 (bag (D) example).
+  b.AddEdge(6, 1, 0.75).CheckOK();
+  b.AddEdge(6, 2, 0.5).CheckOK();
+  b.AddEdge(2, 1, 0.5).CheckOK();
+  b.AddEdge(1, 0, 0.75).CheckOK();
+  b.AddEdge(0, 6, 0.25).CheckOK();   // absorbed with node 4's bag region
+  b.AddEdge(0, 4, 0.75).CheckOK();
+  b.AddEdge(4, 6, 0.81).CheckOK();
+  b.AddEdge(3, 4, 0.5).CheckOK();    // node 3: degree 1, first bag
+  b.AddEdge(1, 5, 0.75).CheckOK();   // node 5: degree 1
+  // Node 2 keeps skeleton degree 2 ({1, 6}) so the decomposition forms the
+  // paper's bag (D) covering 2 and aggregates 6 -> 1.
+  return b.Build().MoveValue();
+}
+
+/// Random small digraph for oracle sweeps: n nodes, m edges, probabilities
+/// uniform in [p_lo, p_hi].
+inline UncertainGraph RandomSmallGraph(uint32_t n, uint32_t m, double p_lo,
+                                       double p_hi, uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b(n);
+  uint32_t added = 0;
+  uint32_t guard = 0;
+  while (added < m && guard < 100 * m + 100) {
+    ++guard;
+    const NodeId u = static_cast<NodeId>(rng.UniformInt(n));
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(n));
+    if (u == v) continue;
+    const double p = p_lo + (p_hi - p_lo) * rng.NextDouble();
+    b.AddEdge(u, v, p).CheckOK();
+    ++added;
+  }
+  return b.Build().MoveValue();
+}
+
+/// Binomial-style tolerance: z standard errors of a proportion estimate at
+/// `k` samples (used to make oracle assertions tight but non-flaky).
+inline double SamplingTolerance(double truth, uint32_t k, double z = 4.0) {
+  const double variance = truth * (1.0 - truth) / static_cast<double>(k);
+  return z * std::sqrt(variance) + 1e-9;
+}
+
+}  // namespace relcomp::testing

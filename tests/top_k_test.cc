@@ -1,0 +1,113 @@
+#include "reliability/top_k.h"
+
+#include <gtest/gtest.h>
+
+#include "reliability/exact.h"
+#include "test_util.h"
+
+namespace relcomp {
+namespace {
+
+using testing::GraphFromString;
+using testing::RandomSmallGraph;
+
+UncertainGraph StarGraph() {
+  // Source 0 with direct edges of distinct strengths, plus a 2-hop tail.
+  return GraphFromString(
+      "0 1 0.9\n0 2 0.5\n0 3 0.1\n1 4 0.8\n");
+}
+
+TEST(TopKMonteCarlo, RanksByReliability) {
+  const UncertainGraph g = StarGraph();
+  const auto top = TopKReliableTargetsMonteCarlo(g, 0, 4, 20000, 1).MoveValue();
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_EQ(top[0].node, 1u);                        // ~0.9
+  EXPECT_EQ(top[1].node, 4u);                        // ~0.72
+  EXPECT_EQ(top[2].node, 2u);                        // ~0.5
+  EXPECT_EQ(top[3].node, 3u);                        // ~0.1
+  EXPECT_NEAR(top[0].reliability, 0.9, 0.02);
+  EXPECT_NEAR(top[1].reliability, 0.72, 0.02);
+}
+
+TEST(TopKMonteCarlo, KLimitsResultSize) {
+  const UncertainGraph g = StarGraph();
+  const auto top = TopKReliableTargetsMonteCarlo(g, 0, 2, 5000, 2).MoveValue();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].node, 1u);
+}
+
+TEST(TopKMonteCarlo, ExcludesSourceAndUnreachable) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1, 0.5).CheckOK();
+  b.AddEdge(3, 4, 0.9).CheckOK();  // unreachable island
+  const UncertainGraph g = b.Build().MoveValue();
+  const auto top = TopKReliableTargetsMonteCarlo(g, 0, 10, 5000, 3).MoveValue();
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].node, 1u);
+}
+
+TEST(TopKMonteCarlo, ValidatesArguments) {
+  const UncertainGraph g = StarGraph();
+  EXPECT_FALSE(TopKReliableTargetsMonteCarlo(g, 99, 3, 100, 1).ok());
+  EXPECT_FALSE(TopKReliableTargetsMonteCarlo(g, 0, 0, 100, 1).ok());
+  EXPECT_FALSE(TopKReliableTargetsMonteCarlo(g, 0, 3, 0, 1).ok());
+}
+
+TEST(TopKBfsSharing, AgreesWithMonteCarloRanking) {
+  const UncertainGraph g = StarGraph();
+  BfsSharingOptions options;
+  options.index_samples = 20000;
+  auto estimator = BfsSharingEstimator::Create(g, options, 7).MoveValue();
+  const auto top =
+      TopKReliableTargetsBfsSharing(*estimator, 0, 4, 20000).MoveValue();
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_EQ(top[0].node, 1u);
+  EXPECT_EQ(top[1].node, 4u);
+  EXPECT_EQ(top[2].node, 2u);
+  EXPECT_NEAR(top[0].reliability, 0.9, 0.02);
+}
+
+TEST(TopKBfsSharing, MatchesExactPerTargetValues) {
+  const UncertainGraph g = RandomSmallGraph(7, 14, 0.3, 0.8, 41);
+  BfsSharingOptions options;
+  options.index_samples = 30000;
+  auto estimator = BfsSharingEstimator::Create(g, options, 8).MoveValue();
+  const auto top =
+      TopKReliableTargetsBfsSharing(*estimator, 0, 3, 30000).MoveValue();
+  for (const ReliableTarget& target : top) {
+    const double exact = *ExactReliabilityEnumeration(g, 0, target.node);
+    EXPECT_NEAR(target.reliability, exact,
+                testing::SamplingTolerance(exact, 30000, 5.0))
+        << target.node;
+  }
+}
+
+TEST(TopKBfsSharing, SharedBfsConsistentWithPairQueries) {
+  // One ReliabilityFromSource sweep must equal per-pair Estimate calls over
+  // the same index (same pre-sampled worlds, no resampling in between).
+  const UncertainGraph g = RandomSmallGraph(10, 30, 0.2, 0.8, 42);
+  BfsSharingOptions options;
+  options.index_samples = 500;
+  auto estimator = BfsSharingEstimator::Create(g, options, 9).MoveValue();
+  const std::vector<double> sweep =
+      estimator->ReliabilityFromSource(0, 500).MoveValue();
+  for (NodeId t = 1; t < g.num_nodes(); ++t) {
+    EstimateOptions opts;
+    opts.num_samples = 500;
+    EXPECT_DOUBLE_EQ(sweep[t], estimator->Estimate({0, t}, opts)->reliability)
+        << t;
+  }
+}
+
+TEST(TopKBfsSharing, ValidatesArguments) {
+  const UncertainGraph g = StarGraph();
+  BfsSharingOptions options;
+  options.index_samples = 100;
+  auto estimator = BfsSharingEstimator::Create(g, options, 10).MoveValue();
+  EXPECT_FALSE(TopKReliableTargetsBfsSharing(*estimator, 99, 3, 100).ok());
+  EXPECT_FALSE(TopKReliableTargetsBfsSharing(*estimator, 0, 0, 100).ok());
+  EXPECT_FALSE(TopKReliableTargetsBfsSharing(*estimator, 0, 3, 101).ok());
+}
+
+}  // namespace
+}  // namespace relcomp
