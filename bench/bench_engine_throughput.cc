@@ -1,0 +1,136 @@
+// Engine throughput sweep: the same MC workload pushed through the
+// QueryEngine at 1, 2, 4, ... worker threads, with the result cache off
+// (every query computes) and then on (repeats served from cache).
+//
+// The exit code enforces identity — every thread count must return
+// bit-identical estimates. Scaling (the 1-vs-4-thread speedup) is reported
+// but not gated: it depends on the host's real core count, and this bench
+// must stay green on single-core CI runners.
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/query_engine.h"
+#include "eval/query_gen.h"
+#include "graph/datasets.h"
+
+using namespace relcomp;
+
+namespace {
+
+/// The workload: the paper's h=2 pairs, each repeated `repeats` times in
+/// round-robin order (a crude model of a hot serving mix).
+std::vector<ReliabilityQuery> MakeWorkload(
+    const std::vector<ReliabilityQuery>& pairs, uint32_t repeats) {
+  std::vector<ReliabilityQuery> workload;
+  workload.reserve(pairs.size() * repeats);
+  for (uint32_t r = 0; r < repeats; ++r) {
+    workload.insert(workload.end(), pairs.begin(), pairs.end());
+  }
+  return workload;
+}
+
+bool BitIdentical(const std::vector<EngineResult>& a,
+                  const std::vector<EngineResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i].reliability, &b[i].reliability, sizeof(double)) !=
+        0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  bench::PrintHeader(
+      "bench_engine_throughput: QueryEngine scaling, MC estimator",
+      "engine-side: batch throughput scales with worker threads while "
+      "results stay bit-identical; repeats are served from the result cache",
+      config);
+
+  Dataset dataset = bench::Unwrap(
+      MakeDataset(DatasetId::kLastFm, config.scale, config.seed),
+      "MakeDataset");
+  QueryGenOptions query_options;
+  query_options.num_pairs = config.num_pairs;
+  query_options.seed = config.seed ^ 0xEAC4E;
+  const std::vector<ReliabilityQuery> pairs = bench::Unwrap(
+      GenerateQueries(dataset.graph, query_options), "GenerateQueries");
+  const std::vector<ReliabilityQuery> workload =
+      MakeWorkload(pairs, std::max(1u, config.repeats));
+
+  uint32_t max_threads = config.num_threads;
+  if (max_threads == 0) {
+    // Sweep to at least 4 so the 1-vs-4 speedup row exists even when the
+    // host lies about (or restricts) its core count.
+    max_threads = std::max(4u, std::thread::hardware_concurrency());
+  }
+
+  std::printf("dataset=%s pairs=%zu workload=%zu queries K=%u threads<=%u\n\n",
+              dataset.name.c_str(), pairs.size(), workload.size(),
+              config.max_k, max_threads);
+
+  EngineOptions base;
+  base.kind = EstimatorKind::kMonteCarlo;
+  base.num_samples = config.max_k;
+  base.seed = config.seed;
+
+  std::vector<std::pair<std::string, EngineStatsSnapshot>> rows;
+  std::vector<EngineResult> reference;
+  double qps_1thread = 0.0;
+  double qps_4threads = 0.0;
+  bool identical = true;
+
+  for (uint32_t threads = 1; threads <= max_threads; threads *= 2) {
+    EngineOptions options = base;
+    options.num_threads = threads;
+    options.enable_cache = false;
+    auto engine = bench::Unwrap(QueryEngine::Create(dataset.graph, options),
+                                "QueryEngine::Create");
+    std::vector<EngineResult> results =
+        bench::Unwrap(engine->RunBatch(workload), "RunBatch");
+    const EngineStatsSnapshot snapshot = engine->StatsSnapshot();
+    rows.emplace_back(StrFormat("%u thread%s, no cache", threads,
+                                threads == 1 ? "" : "s"),
+                      snapshot);
+    if (threads == 1) {
+      reference = std::move(results);
+      qps_1thread = snapshot.throughput_qps;
+    } else {
+      identical = identical && BitIdentical(reference, results);
+      if (threads == 4) qps_4threads = snapshot.throughput_qps;
+    }
+  }
+
+  // Cache on: repeats beyond the first pass are hits.
+  {
+    EngineOptions options = base;
+    options.num_threads = max_threads;
+    options.enable_cache = true;
+    auto engine = bench::Unwrap(QueryEngine::Create(dataset.graph, options),
+                                "QueryEngine::Create");
+    const std::vector<EngineResult> results =
+        bench::Unwrap(engine->RunBatch(workload), "RunBatch");
+    identical = identical && BitIdentical(reference, results);
+    rows.emplace_back(StrFormat("%u thread%s, cache", max_threads,
+                                max_threads == 1 ? "" : "s"),
+                      engine->StatsSnapshot());
+  }
+
+  bench::PrintTable(EngineStatsTable(rows), "engine_throughput");
+
+  std::printf("bit-identical across configurations: %s\n",
+              identical ? "yes" : "NO — DETERMINISM VIOLATED");
+  if (qps_4threads > 0.0 && qps_1thread > 0.0) {
+    std::printf("speedup 4 threads vs 1: %.2fx\n",
+                qps_4threads / qps_1thread);
+  }
+  return identical ? 0 : 1;
+}

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -14,32 +15,52 @@ namespace relcomp {
 /// memory *ordering* (MC < LP+ < ProbTree < BFS Sharing < RHH ~= RSS)
 /// deterministically, independent of allocator behaviour. A process-level RSS
 /// probe is also provided for sanity checks.
+/// Counters are std::atomic (relaxed) so per-thread estimator replicas can
+/// report into a shared tracker without data races; single-threaded behaviour
+/// is unchanged.
 class MemoryTracker {
  public:
   /// Records an allocation of `bytes` logical bytes.
   void Add(size_t bytes) {
-    current_ += bytes;
-    if (current_ > peak_) peak_ = current_;
+    const size_t now =
+        current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    size_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
   }
 
   /// Records a release of `bytes` logical bytes (clamped at zero).
   void Release(size_t bytes) {
-    current_ = bytes > current_ ? 0 : current_ - bytes;
+    size_t current = current_.load(std::memory_order_relaxed);
+    size_t next;
+    do {
+      next = bytes > current ? 0 : current - bytes;
+    } while (!current_.compare_exchange_weak(current, next,
+                                             std::memory_order_relaxed));
   }
 
   /// Currently live logical bytes.
-  size_t current_bytes() const { return current_; }
+  size_t current_bytes() const {
+    return current_.load(std::memory_order_relaxed);
+  }
   /// High-water mark since construction / last Reset().
-  size_t peak_bytes() const { return peak_; }
+  size_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
 
   /// Clears both counters.
-  void Reset() { current_ = 0, peak_ = 0; }
+  void Reset() {
+    current_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
   /// Clears the peak down to the current level.
-  void ResetPeak() { peak_ = current_; }
+  void ResetPeak() {
+    peak_.store(current_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
 
  private:
-  size_t current_ = 0;
-  size_t peak_ = 0;
+  std::atomic<size_t> current_{0};
+  std::atomic<size_t> peak_{0};
 };
 
 /// \brief RAII helper: Add(bytes) on construction, Release(bytes) on scope

@@ -11,6 +11,13 @@ uint64_t SplitMix64(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+uint64_t HashCombineSeed(uint64_t seed, uint64_t value) {
+  // Weyl-step the value into the state so that (seed, 0) and (seed ^ 1, 1)
+  // style near-collisions still separate, then finalize with SplitMix64.
+  uint64_t state = seed ^ (value * 0xD1B54A32D192ED03ULL + 0x9E3779B97F4A7C15ULL);
+  return SplitMix64(state);
+}
+
 namespace {
 inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 }  // namespace

@@ -9,6 +9,18 @@ namespace relcomp {
 /// xoshiro256** state. Also usable as a cheap hash.
 uint64_t SplitMix64(uint64_t& state);
 
+/// \brief Stateless stream splitter: derives a child seed from `seed` and a
+/// distinguishing `value` (a query field, a worker index, ...). Chaining
+/// calls folds several fields into one seed:
+///
+///   uint64_t s = HashCombineSeed(master, source);
+///   s = HashCombineSeed(s, target);
+///
+/// Equal inputs give equal outputs on every platform, which is what lets the
+/// engine assign per-query seeds that are independent of thread count and
+/// scheduling order.
+uint64_t HashCombineSeed(uint64_t seed, uint64_t value);
+
 /// \brief Deterministic pseudo-random number generator (xoshiro256**).
 ///
 /// All stochastic components of the library draw from this class so that

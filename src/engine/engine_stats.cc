@@ -1,0 +1,88 @@
+#include "engine/engine_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/format.h"
+
+namespace relcomp {
+
+namespace {
+/// Nearest-rank quantile of an ascending-sorted sample: the smallest value
+/// with at least ceil(q * n) samples at or below it.
+double QuantileMs(const std::vector<double>& sorted_seconds, double q) {
+  if (sorted_seconds.empty()) return 0.0;
+  const size_t n = sorted_seconds.size();
+  size_t rank = static_cast<size_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank > 0) --rank;
+  if (rank >= n) rank = n - 1;
+  return sorted_seconds[rank] * 1e3;
+}
+}  // namespace
+
+void EngineStats::Record(double seconds, size_t peak_memory_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  latencies_seconds_.push_back(seconds);
+  if (peak_memory_bytes > peak_memory_bytes_) {
+    peak_memory_bytes_ = peak_memory_bytes;
+  }
+}
+
+void EngineStats::AddWallTime(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  wall_seconds_ += seconds;
+}
+
+EngineStatsSnapshot EngineStats::Snapshot(const ResultCache* cache) const {
+  std::vector<double> sorted;
+  EngineStatsSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sorted = latencies_seconds_;
+    snapshot.wall_seconds = wall_seconds_;
+    snapshot.peak_memory_bytes = peak_memory_bytes_;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  snapshot.queries = sorted.size();
+  if (snapshot.wall_seconds > 0.0) {
+    snapshot.throughput_qps =
+        static_cast<double>(snapshot.queries) / snapshot.wall_seconds;
+  }
+  if (!sorted.empty()) {
+    double sum = 0.0;
+    for (double s : sorted) sum += s;
+    snapshot.mean_ms = sum / static_cast<double>(sorted.size()) * 1e3;
+    snapshot.p50_ms = QuantileMs(sorted, 0.50);
+    snapshot.p90_ms = QuantileMs(sorted, 0.90);
+    snapshot.p99_ms = QuantileMs(sorted, 0.99);
+    snapshot.max_ms = sorted.back() * 1e3;
+  }
+  if (cache != nullptr) snapshot.cache = cache->Stats();
+  return snapshot;
+}
+
+void EngineStats::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  latencies_seconds_.clear();
+  wall_seconds_ = 0.0;
+  peak_memory_bytes_ = 0;
+}
+
+TextTable EngineStatsTable(
+    const std::vector<std::pair<std::string, EngineStatsSnapshot>>& rows) {
+  TextTable table({"config", "queries", "wall s", "qps", "mean ms", "p50 ms",
+                   "p90 ms", "p99 ms", "max ms", "hit rate", "peak mem"});
+  for (const auto& [label, s] : rows) {
+    table.AddRow({label, StrFormat("%llu", static_cast<unsigned long long>(s.queries)),
+                  StrFormat("%.3f", s.wall_seconds),
+                  StrFormat("%.1f", s.throughput_qps),
+                  StrFormat("%.3f", s.mean_ms), StrFormat("%.3f", s.p50_ms),
+                  StrFormat("%.3f", s.p90_ms), StrFormat("%.3f", s.p99_ms),
+                  StrFormat("%.3f", s.max_ms),
+                  StrFormat("%.1f%%", s.cache.hit_rate() * 100.0),
+                  HumanBytes(s.peak_memory_bytes)});
+  }
+  return table;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/result_cache.h"
+#include "eval/table.h"
+
+namespace relcomp {
+
+/// \brief Point-in-time view of engine performance: throughput, latency
+/// quantiles, and cache effectiveness.
+struct EngineStatsSnapshot {
+  uint64_t queries = 0;
+  /// Per-call wall-clock summed over batches / stream cycles. Overlapping
+  /// calls from concurrent clients each contribute their full duration, so
+  /// this over-counts real time under multi-client load.
+  double wall_seconds = 0.0;
+  /// queries / wall_seconds — a lower bound on true throughput when clients
+  /// overlap (see wall_seconds); exact for a single client.
+  double throughput_qps = 0.0;
+  double mean_ms = 0.0;          ///< mean per-query latency
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  size_t peak_memory_bytes = 0;  ///< max EstimateResult::peak_memory_bytes
+  ResultCacheStats cache;
+};
+
+/// \brief Thread-safe recorder of per-query latencies.
+///
+/// Workers call Record() concurrently; Snapshot() sorts the samples to
+/// extract quantiles. Sample storage is unbounded by design — the engine
+/// resets it per batch, and a 10k-query stress batch costs 80 kB.
+class EngineStats {
+ public:
+  /// Records one finished query: its latency and working-set peak.
+  void Record(double seconds, size_t peak_memory_bytes);
+
+  /// Adds batch wall-clock time to the throughput denominator.
+  void AddWallTime(double seconds);
+
+  /// Computes quantiles over everything recorded so far; `cache` (optional)
+  /// is embedded in the snapshot.
+  EngineStatsSnapshot Snapshot(const ResultCache* cache = nullptr) const;
+
+  /// Drops all samples and wall time.
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> latencies_seconds_;
+  double wall_seconds_ = 0.0;
+  size_t peak_memory_bytes_ = 0;
+};
+
+/// One row per (label, snapshot): queries, qps, latency quantiles, cache hit
+/// rate. The bench and example binaries print this via eval/table.
+TextTable EngineStatsTable(
+    const std::vector<std::pair<std::string, EngineStatsSnapshot>>& rows);
+
+}  // namespace relcomp

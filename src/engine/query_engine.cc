@@ -1,0 +1,215 @@
+#include "engine/query_engine.h"
+
+#include <utility>
+
+#include "common/format.h"
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace relcomp {
+
+namespace {
+/// Domain separator so the PrepareForNextQuery seed never equals the
+/// Estimate seed for the same query.
+constexpr uint64_t kPrepareSeedTag = 0x707265ULL;  // "pre"
+}  // namespace
+
+QueryEngine::QueryEngine(const UncertainGraph& graph, EngineOptions options,
+                         std::vector<std::unique_ptr<Estimator>> replicas)
+    : graph_(graph),
+      options_(std::move(options)),
+      replicas_(std::move(replicas)) {
+  if (options_.enable_cache) {
+    cache_ = std::make_unique<ResultCache>(options_.cache_capacity,
+                                           options_.cache_shards);
+  }
+  pool_ = std::make_unique<ThreadPool>(replicas_.size(),
+                                       options_.queue_capacity);
+}
+
+QueryEngine::~QueryEngine() { pool_->Shutdown(); }
+
+Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
+    const UncertainGraph& graph, const EngineOptions& options) {
+  EngineOptions opts = options;
+  if (opts.num_threads == 0) opts.num_threads = 1;
+  if (opts.num_samples == 0) {
+    return Status::InvalidArgument("EngineOptions::num_samples must be > 0");
+  }
+  RELCOMP_ASSIGN_OR_RETURN(
+      std::vector<std::unique_ptr<Estimator>> replicas,
+      MakeEstimatorReplicas(opts.kind, graph, opts.num_threads, opts.factory));
+  return std::unique_ptr<QueryEngine>(
+      new QueryEngine(graph, std::move(opts), std::move(replicas)));
+}
+
+uint64_t QueryEngine::QuerySeed(const ReliabilityQuery& query) const {
+  // Content-derived, not index-derived: the seed depends on what is asked,
+  // never on when or where it runs. Repeats of a query inside one engine get
+  // the same seed (and thus the same answer), which is exactly what makes a
+  // cache hit indistinguishable from a recomputation.
+  uint64_t seed = HashCombineSeed(options_.seed, query.source);
+  seed = HashCombineSeed(seed, query.target);
+  seed = HashCombineSeed(seed, static_cast<uint64_t>(options_.kind));
+  seed = HashCombineSeed(seed, options_.num_samples);
+  return seed;
+}
+
+void QueryEngine::AwaitCall(CallState& state) {
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.done.wait(lock, [&state] { return state.pending == 0; });
+}
+
+void QueryEngine::RunOne(size_t worker_id, const ReliabilityQuery& query,
+                         EngineResult* slot, CallState* state) {
+  const uint64_t query_seed = QuerySeed(query);
+  slot->query = query;
+  slot->seed = query_seed;
+
+  const ResultCacheKey key{query.source, query.target, options_.kind,
+                           options_.num_samples, query_seed};
+  if (cache_ != nullptr) {
+    if (std::optional<ResultCacheValue> hit = cache_->Lookup(key)) {
+      slot->reliability = hit->reliability;
+      slot->num_samples = hit->num_samples;
+      slot->seconds = 0.0;
+      slot->cache_hit = true;
+      stats_.Record(0.0, 0);
+      return;
+    }
+  }
+
+  Timer timer;
+  Estimator& estimator = *replicas_[worker_id];
+  const Status prepared = estimator.PrepareForNextQuery(
+      HashCombineSeed(query_seed, kPrepareSeedTag));
+  if (!prepared.ok()) {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (state->first_error.ok()) state->first_error = prepared;
+    return;
+  }
+  EstimateOptions estimate_options;
+  estimate_options.num_samples = options_.num_samples;
+  estimate_options.seed = query_seed;
+  Result<EstimateResult> result = estimator.Estimate(query, estimate_options);
+  if (!result.ok()) {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (state->first_error.ok()) state->first_error = result.status();
+    return;
+  }
+  slot->reliability = result->reliability;
+  slot->num_samples = result->num_samples;
+  slot->seconds = timer.ElapsedSeconds();
+  slot->cache_hit = false;
+  if (cache_ != nullptr) {
+    cache_->Insert(key, ResultCacheValue{result->reliability,
+                                         result->num_samples});
+  }
+  stats_.Record(slot->seconds, result->peak_memory_bytes);
+}
+
+Result<std::vector<EngineResult>> QueryEngine::RunBatch(
+    const std::vector<ReliabilityQuery>& queries) {
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!graph_.HasNode(queries[i].source) ||
+        !graph_.HasNode(queries[i].target)) {
+      return Status::InvalidArgument(
+          StrFormat("query %zu references a node outside the graph", i));
+    }
+  }
+  auto state = std::make_shared<CallState>();
+  state->pending = queries.size();
+  std::vector<EngineResult> results(queries.size());
+  Timer wall;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const ReliabilityQuery query = queries[i];
+    EngineResult* slot = &results[i];
+    const Status submitted = pool_->Submit(
+        [this, query, slot, state](size_t worker_id) {
+          RunOne(worker_id, query, slot, state.get());
+          std::lock_guard<std::mutex> lock(state->mutex);
+          if (--state->pending == 0) state->done.notify_all();
+        });
+    if (!submitted.ok()) {
+      {
+        // The tasks from queries [i, n) never made it into the pool.
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->pending -= queries.size() - i;
+        if (state->pending == 0) state->done.notify_all();
+      }
+      AwaitCall(*state);  // queued tasks hold `results` slot pointers
+      return submitted;
+    }
+  }
+  AwaitCall(*state);
+  stats_.AddWallTime(wall.ElapsedSeconds());
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (!state->first_error.ok()) return state->first_error;
+  }
+  return results;
+}
+
+Status QueryEngine::Submit(const ReliabilityQuery& query) {
+  if (!graph_.HasNode(query.source) || !graph_.HasNode(query.target)) {
+    return Status::InvalidArgument("query references a node outside the graph");
+  }
+  // The pool submit happens under stream_mutex_ so a concurrent Drain either
+  // sees this query fully enqueued (and waits for it) or not at all (next
+  // cycle); a slot can never be mid-flight across a drain boundary.
+  std::lock_guard<std::mutex> lock(stream_mutex_);
+  if (stream_results_.empty()) {
+    stream_timer_.Restart();
+    stream_state_ = std::make_shared<CallState>();
+  }
+  stream_results_.push_back(std::make_unique<EngineResult>());
+  EngineResult* slot = stream_results_.back().get();
+  std::shared_ptr<CallState> state = stream_state_;
+  {
+    std::lock_guard<std::mutex> state_lock(state->mutex);
+    ++state->pending;
+  }
+  const Status submitted = pool_->Submit(
+      [this, query, slot, state](size_t worker_id) {
+        RunOne(worker_id, query, slot, state.get());
+        std::lock_guard<std::mutex> state_lock(state->mutex);
+        if (--state->pending == 0) state->done.notify_all();
+      });
+  if (!submitted.ok()) {
+    stream_results_.pop_back();
+    std::lock_guard<std::mutex> state_lock(state->mutex);
+    --state->pending;
+  }
+  return submitted;
+}
+
+Result<std::vector<EngineResult>> QueryEngine::Drain() {
+  // Detach the current stream cycle, then await its own counter: every
+  // detached slot's task was accounted under stream_mutex_, so AwaitCall
+  // covers all of them, Submits racing this Drain land in the next cycle
+  // untouched, and another client's batch load cannot stall us.
+  std::vector<std::unique_ptr<EngineResult>> pending;
+  std::shared_ptr<CallState> state;
+  Timer cycle_timer;
+  {
+    std::lock_guard<std::mutex> lock(stream_mutex_);
+    pending.swap(stream_results_);
+    state = std::move(stream_state_);
+    cycle_timer = stream_timer_;
+  }
+  if (state != nullptr) AwaitCall(*state);
+  if (pending.empty()) return std::vector<EngineResult>{};
+  stats_.AddWallTime(cycle_timer.ElapsedSeconds());
+  if (state != nullptr) {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (!state->first_error.ok()) return state->first_error;
+  }
+  std::vector<EngineResult> results;
+  results.reserve(pending.size());
+  for (const std::unique_ptr<EngineResult>& result : pending) {
+    results.push_back(*result);
+  }
+  return results;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/timer.h"
+#include "engine/engine_stats.h"
+#include "engine/result_cache.h"
+#include "engine/thread_pool.h"
+#include "graph/uncertain_graph.h"
+#include "reliability/estimator_factory.h"
+
+namespace relcomp {
+
+/// \brief Construction knobs for QueryEngine::Create.
+struct EngineOptions {
+  /// Worker threads; one estimator replica is built per worker.
+  size_t num_threads = 4;
+  /// Bounded work-queue depth; Submit() blocks when full (backpressure).
+  size_t queue_capacity = 1024;
+  /// Which estimator answers the queries.
+  EstimatorKind kind = EstimatorKind::kMonteCarlo;
+  /// Sample budget K per query.
+  uint32_t num_samples = 1000;
+  /// Master seed. Per-query seeds are derived from it and the query content
+  /// (see README.md), so results are independent of thread count and
+  /// scheduling order.
+  uint64_t seed = 0;
+  /// Result cache on/off + sizing.
+  bool enable_cache = true;
+  size_t cache_capacity = 1 << 16;
+  size_t cache_shards = 8;
+  /// Estimator construction knobs (index parameters, index seed).
+  FactoryOptions factory;
+};
+
+/// \brief Outcome of one engine query.
+struct EngineResult {
+  ReliabilityQuery query;
+  double reliability = 0.0;
+  uint32_t num_samples = 0;
+  /// Seconds from dispatch on a worker to completion (0 for cache hits, which
+  /// never reach a worker's estimator).
+  double seconds = 0.0;
+  /// The derived per-query seed actually used.
+  uint64_t seed = 0;
+  bool cache_hit = false;
+};
+
+/// \brief Concurrent batch reliability query engine.
+///
+/// Executes batches (RunBatch) or a stream (Submit/Drain) of s-t reliability
+/// queries on a fixed thread pool. Each worker owns a private estimator
+/// replica (Estimator instances are not thread-safe), and every query's seed
+/// is derived from the master seed and the query's content — so a batch
+/// returns bit-identical results whether it runs on 1 thread or 16, with the
+/// cache on or off. See src/engine/README.md for the contract.
+///
+/// Thread-safe: concurrent RunBatch/Submit/Drain calls from multiple client
+/// threads are safe and share the pool, cache, and cumulative stats. Each
+/// RunBatch reports only its own errors; stream errors surface at the next
+/// Drain.
+class QueryEngine {
+ public:
+  /// Builds the pool and one estimator replica per worker (index built per
+  /// replica; deterministic, so replicas are interchangeable).
+  static Result<std::unique_ptr<QueryEngine>> Create(
+      const UncertainGraph& graph, const EngineOptions& options);
+
+  ~QueryEngine();
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Executes `queries` and returns results in input order. Invalid queries
+  /// fail the whole batch (first error wins) — batches are meant to be
+  /// pre-validated workloads.
+  Result<std::vector<EngineResult>> RunBatch(
+      const std::vector<ReliabilityQuery>& queries);
+
+  /// Stream interface: enqueues one query (blocking while the work queue is
+  /// full) for asynchronous execution.
+  Status Submit(const ReliabilityQuery& query);
+
+  /// Waits for every Submit()ted query to finish and returns their results
+  /// in submission order, clearing the stream buffer. Mirrors RunBatch error
+  /// semantics: if any query in the cycle hit an estimator failure, the
+  /// first error is returned and the cycle's results are discarded
+  /// (per-query status reporting is a ROADMAP item).
+  Result<std::vector<EngineResult>> Drain();
+
+  /// Derived seed for `query` under this engine's configuration; exposed so
+  /// callers can reproduce any single engine answer with a bare estimator.
+  uint64_t QuerySeed(const ReliabilityQuery& query) const;
+
+  const EngineOptions& options() const { return options_; }
+  size_t num_threads() const { return pool_->num_threads(); }
+  /// nullptr when the cache is disabled.
+  const ResultCache* cache() const { return cache_.get(); }
+  /// Cumulative since construction (RunBatch and stream both feed it).
+  EngineStatsSnapshot StatsSnapshot() const {
+    return stats_.Snapshot(cache_.get());
+  }
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  QueryEngine(const UncertainGraph& graph, EngineOptions options,
+              std::vector<std::unique_ptr<Estimator>> replicas);
+
+  /// Per-call completion and error state, shared only by that call's worker
+  /// tasks: concurrent batches cannot clobber each other's errors, and each
+  /// call waits on its own counter instead of global pool idleness (so one
+  /// client's endless stream cannot stall another's batch).
+  struct CallState {
+    std::mutex mutex;
+    std::condition_variable done;
+    size_t pending = 0;  ///< tasks submitted but not yet finished
+    Status first_error;
+  };
+
+  /// Executes one query on `worker_id`'s replica (or serves it from cache),
+  /// writing into `slot`; failures land in `state` (first one wins).
+  /// Decrements `state->pending` and signals when it reaches zero.
+  void RunOne(size_t worker_id, const ReliabilityQuery& query,
+              EngineResult* slot, CallState* state);
+
+  /// Blocks until every task accounted to `state` has finished.
+  static void AwaitCall(CallState& state);
+
+  const UncertainGraph& graph_;
+  const EngineOptions options_;
+  std::vector<std::unique_ptr<Estimator>> replicas_;
+  std::unique_ptr<ResultCache> cache_;
+  std::unique_ptr<ThreadPool> pool_;
+  EngineStats stats_;
+
+  std::mutex stream_mutex_;
+  std::vector<std::unique_ptr<EngineResult>> stream_results_;
+  std::shared_ptr<CallState> stream_state_;
+  Timer stream_timer_;  ///< restarted on the first Submit of a stream cycle
+};
+
+}  // namespace relcomp

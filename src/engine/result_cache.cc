@@ -1,0 +1,99 @@
+#include "engine/result_cache.h"
+
+#include "common/rng.h"
+
+namespace relcomp {
+
+namespace {
+size_t RoundUpToPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+uint64_t ResultCacheKey::Hash() const {
+  uint64_t h = HashCombineSeed(seed, source);
+  h = HashCombineSeed(h, target);
+  h = HashCombineSeed(h, static_cast<uint64_t>(kind));
+  h = HashCombineSeed(h, num_samples);
+  return h;
+}
+
+ResultCache::ResultCache(size_t capacity, size_t num_shards)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  num_shards = RoundUpToPowerOfTwo(num_shards == 0 ? 1 : num_shards);
+  // No more shards than entries, or some shards could never hold anything.
+  while (num_shards > 1 && num_shards > capacity_) num_shards >>= 1;
+  shards_.reserve(num_shards);
+  const size_t base = capacity_ / num_shards;
+  const size_t extra = capacity_ % num_shards;
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = base + (i < extra ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::optional<ResultCacheValue> ResultCache::Lookup(const ResultCacheKey& key) {
+  const HashedKey hashed{key, key.Hash()};
+  Shard& shard = ShardFor(hashed.hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(hashed);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->value;
+}
+
+void ResultCache::Insert(const ResultCacheKey& key,
+                         const ResultCacheValue& value) {
+  const HashedKey hashed{key, key.Hash()};
+  Shard& shard = ShardFor(hashed.hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(hashed);
+  if (it != shard.index.end()) {
+    it->second->value = value;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= shard.capacity) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.push_front(Entry{hashed, value});
+  shard.index.emplace(hashed, shard.lru.begin());
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ResultCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+ResultCacheStats ResultCache::Stats() const {
+  ResultCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+size_t ResultCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace relcomp

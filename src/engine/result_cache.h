@@ -1,0 +1,128 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/uncertain_graph.h"
+#include "reliability/estimator_factory.h"
+
+namespace relcomp {
+
+/// \brief Full identity of a cacheable reliability result. Two engine calls
+/// with equal keys are guaranteed (by the determinism contract of Estimator)
+/// to produce bit-identical estimates, so serving one from cache is
+/// semantically invisible.
+struct ResultCacheKey {
+  NodeId source = kInvalidNode;
+  NodeId target = kInvalidNode;
+  EstimatorKind kind = EstimatorKind::kMonteCarlo;
+  uint32_t num_samples = 0;
+  uint64_t seed = 0;
+
+  bool operator==(const ResultCacheKey& other) const {
+    return source == other.source && target == other.target &&
+           kind == other.kind && num_samples == other.num_samples &&
+           seed == other.seed;
+  }
+
+  /// SplitMix-chained hash; also selects the shard.
+  uint64_t Hash() const;
+};
+
+/// \brief Cached payload: the estimate plus the count of samples consumed to
+/// produce it (the samples themselves are not retained).
+struct ResultCacheValue {
+  double reliability = 0.0;
+  uint32_t num_samples = 0;
+};
+
+/// Monotonic counters; a snapshot type so callers can diff two points in
+/// time.
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+
+  uint64_t lookups() const { return hits + misses; }
+  double hit_rate() const {
+    const uint64_t n = lookups();
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
+/// \brief Sharded LRU cache for reliability results.
+///
+/// Each shard owns a mutex, an intrusive LRU list, and a hash map, so
+/// concurrent lookups on different keys mostly touch different locks. The
+/// capacity is split evenly across shards; eviction is LRU per shard.
+class ResultCache {
+ public:
+  /// `capacity` = total entries across all shards (>= 1 enforced);
+  /// `num_shards` is rounded up to a power of two.
+  explicit ResultCache(size_t capacity, size_t num_shards = 8);
+
+  /// Returns the cached value and refreshes its recency, or nullopt.
+  std::optional<ResultCacheValue> Lookup(const ResultCacheKey& key);
+
+  /// Inserts (or refreshes) `value` under `key`, evicting the shard's LRU
+  /// entry if the shard is full.
+  void Insert(const ResultCacheKey& key, const ResultCacheValue& value);
+
+  /// Drops every entry (stats are kept).
+  void Clear();
+
+  ResultCacheStats Stats() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  /// Key paired with its precomputed hash: Hash() runs once per cache
+  /// operation (shard pick + map probe reuse it).
+  struct HashedKey {
+    ResultCacheKey key;
+    uint64_t hash;
+  };
+  struct Entry {
+    HashedKey key;
+    ResultCacheValue value;
+  };
+  struct KeyHash {
+    size_t operator()(const HashedKey& k) const {
+      return static_cast<size_t>(k.hash);
+    }
+  };
+  struct KeyEq {
+    bool operator()(const HashedKey& a, const HashedKey& b) const {
+      return a.key == b.key;
+    }
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::list<Entry> lru;  ///< front = most recent
+    std::unordered_map<HashedKey, std::list<Entry>::iterator, KeyHash, KeyEq>
+        index;
+    size_t capacity = 0;
+  };
+
+  Shard& ShardFor(uint64_t hash) {
+    return *shards_[hash & (shards_.size() - 1)];
+  }
+
+  size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace relcomp

@@ -86,4 +86,20 @@ Result<std::unique_ptr<Estimator>> MakeEstimator(EstimatorKind kind,
   return Status::InvalidArgument("unknown estimator kind");
 }
 
+Result<std::vector<std::unique_ptr<Estimator>>> MakeEstimatorReplicas(
+    EstimatorKind kind, const UncertainGraph& graph, size_t count,
+    const FactoryOptions& options) {
+  if (count == 0) {
+    return Status::InvalidArgument("replica count must be positive");
+  }
+  std::vector<std::unique_ptr<Estimator>> replicas;
+  replicas.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    RELCOMP_ASSIGN_OR_RETURN(std::unique_ptr<Estimator> replica,
+                             MakeEstimator(kind, graph, options));
+    replicas.push_back(std::move(replica));
+  }
+  return replicas;
+}
+
 }  // namespace relcomp

@@ -49,4 +49,19 @@ Result<std::unique_ptr<Estimator>> MakeEstimator(EstimatorKind kind,
                                                  const UncertainGraph& graph,
                                                  const FactoryOptions& options = {});
 
+/// \brief Replica path for concurrent serving: builds `count` interchangeable
+/// instances of `kind` over `graph`, one per worker thread (Estimator
+/// instances are not thread-safe; the engine routes every task to its
+/// worker's private replica).
+///
+/// Replicas are bit-identical: index construction is deterministic in
+/// FactoryOptions (BFS Sharing worlds come from `index_seed`, ProbTree
+/// decomposition is seed-free), so a query answered by replica 3 returns the
+/// same result as one answered by replica 0. Index-carrying estimators pay
+/// the build once per replica; sharing one immutable index across replicas
+/// is a ROADMAP item.
+Result<std::vector<std::unique_ptr<Estimator>>> MakeEstimatorReplicas(
+    EstimatorKind kind, const UncertainGraph& graph, size_t count,
+    const FactoryOptions& options = {});
+
 }  // namespace relcomp

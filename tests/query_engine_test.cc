@@ -1,0 +1,278 @@
+#include "engine/query_engine.h"
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "reliability/estimator_factory.h"
+#include "test_util.h"
+
+namespace relcomp {
+namespace {
+
+using ::relcomp::testing::DiamondGraph;
+using ::relcomp::testing::RandomSmallGraph;
+
+std::vector<ReliabilityQuery> AllPairsWorkload(const UncertainGraph& graph,
+                                               size_t limit) {
+  std::vector<ReliabilityQuery> queries;
+  for (NodeId s = 0; s < graph.num_nodes() && queries.size() < limit; ++s) {
+    for (NodeId t = 0; t < graph.num_nodes() && queries.size() < limit; ++t) {
+      if (s != t) queries.push_back({s, t});
+    }
+  }
+  return queries;
+}
+
+EngineOptions BaseOptions(size_t threads, EstimatorKind kind,
+                          bool cache = true) {
+  EngineOptions options;
+  options.num_threads = threads;
+  options.kind = kind;
+  options.num_samples = 400;
+  options.seed = 20190410;
+  options.enable_cache = cache;
+  return options;
+}
+
+void ExpectBitIdentical(const std::vector<EngineResult>& a,
+                        const std::vector<EngineResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Bitwise double comparison: scheduling must not perturb even the last
+    // ulp of any estimate.
+    EXPECT_EQ(std::memcmp(&a[i].reliability, &b[i].reliability,
+                          sizeof(double)),
+              0)
+        << "query " << i << ": " << a[i].reliability << " vs "
+        << b[i].reliability;
+    EXPECT_EQ(a[i].num_samples, b[i].num_samples) << "query " << i;
+    EXPECT_EQ(a[i].seed, b[i].seed) << "query " << i;
+  }
+}
+
+TEST(QueryEngineTest, BatchMatchesBareEstimatorBitwise) {
+  const UncertainGraph graph = RandomSmallGraph(24, 70, 0.2, 0.9, 11);
+  const std::vector<ReliabilityQuery> queries = AllPairsWorkload(graph, 40);
+
+  auto engine =
+      QueryEngine::Create(graph, BaseOptions(4, EstimatorKind::kMonteCarlo))
+          .MoveValue();
+  const std::vector<EngineResult> results =
+      engine->RunBatch(queries).MoveValue();
+
+  // Serial reference: a bare MC estimator fed the engine's derived seeds.
+  auto reference =
+      MakeEstimator(EstimatorKind::kMonteCarlo, graph).MoveValue();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EstimateOptions options;
+    options.num_samples = 400;
+    options.seed = engine->QuerySeed(queries[i]);
+    const EstimateResult expected =
+        reference->Estimate(queries[i], options).MoveValue();
+    EXPECT_EQ(std::memcmp(&results[i].reliability, &expected.reliability,
+                          sizeof(double)),
+              0)
+        << "query " << i;
+  }
+}
+
+TEST(QueryEngineTest, DeterministicAcrossThreadCounts) {
+  const UncertainGraph graph = RandomSmallGraph(30, 90, 0.1, 0.9, 23);
+  const std::vector<ReliabilityQuery> queries = AllPairsWorkload(graph, 60);
+
+  for (const EstimatorKind kind :
+       {EstimatorKind::kMonteCarlo, EstimatorKind::kBfsSharing,
+        EstimatorKind::kRecursiveStratified}) {
+    SCOPED_TRACE(EstimatorKindName(kind));
+    auto serial = QueryEngine::Create(graph, BaseOptions(1, kind)).MoveValue();
+    const std::vector<EngineResult> expected =
+        serial->RunBatch(queries).MoveValue();
+    for (const size_t threads : {2u, 8u}) {
+      auto engine =
+          QueryEngine::Create(graph, BaseOptions(threads, kind)).MoveValue();
+      const std::vector<EngineResult> results =
+          engine->RunBatch(queries).MoveValue();
+      ExpectBitIdentical(expected, results);
+    }
+  }
+}
+
+TEST(QueryEngineTest, CacheDoesNotChangeResults) {
+  const UncertainGraph graph = RandomSmallGraph(20, 60, 0.2, 0.8, 5);
+  std::vector<ReliabilityQuery> queries = AllPairsWorkload(graph, 30);
+  // Duplicate the workload so half the queries are repeats.
+  const size_t distinct = queries.size();
+  queries.insert(queries.end(), queries.begin(), queries.begin() + distinct);
+
+  auto cached = QueryEngine::Create(
+                    graph, BaseOptions(4, EstimatorKind::kMonteCarlo, true))
+                    .MoveValue();
+  auto uncached = QueryEngine::Create(
+                      graph, BaseOptions(4, EstimatorKind::kMonteCarlo, false))
+                      .MoveValue();
+  const std::vector<EngineResult> with_cache =
+      cached->RunBatch(queries).MoveValue();
+  const std::vector<EngineResult> without_cache =
+      uncached->RunBatch(queries).MoveValue();
+  ExpectBitIdentical(with_cache, without_cache);
+
+  // A repeated query returns the same estimate as its first occurrence.
+  for (size_t i = 0; i < distinct; ++i) {
+    EXPECT_DOUBLE_EQ(with_cache[i].reliability,
+                     with_cache[i + distinct].reliability);
+  }
+  EXPECT_EQ(uncached->cache(), nullptr);
+  ASSERT_NE(cached->cache(), nullptr);
+  // Every distinct query missed once; every repeat could hit (a repeat only
+  // misses if it raced its twin's first execution).
+  const ResultCacheStats stats = cached->cache()->Stats();
+  EXPECT_EQ(stats.lookups(), queries.size());
+  EXPECT_GE(stats.misses, distinct);
+}
+
+TEST(QueryEngineTest, RepeatedBatchIsServedFromCache) {
+  const UncertainGraph graph = DiamondGraph(0.6);
+  const std::vector<ReliabilityQuery> queries = {{0, 3}, {0, 3}, {1, 3}};
+  auto engine =
+      QueryEngine::Create(graph, BaseOptions(2, EstimatorKind::kMonteCarlo))
+          .MoveValue();
+  const std::vector<EngineResult> first =
+      engine->RunBatch(queries).MoveValue();
+  const std::vector<EngineResult> second =
+      engine->RunBatch(queries).MoveValue();
+  ExpectBitIdentical(first, second);
+  for (const EngineResult& result : second) EXPECT_TRUE(result.cache_hit);
+}
+
+TEST(QueryEngineTest, StreamMatchesBatch) {
+  const UncertainGraph graph = RandomSmallGraph(16, 48, 0.3, 0.9, 99);
+  const std::vector<ReliabilityQuery> queries = AllPairsWorkload(graph, 25);
+
+  auto batch_engine = QueryEngine::Create(
+                          graph, BaseOptions(3, EstimatorKind::kMonteCarlo))
+                          .MoveValue();
+  const std::vector<EngineResult> batch =
+      batch_engine->RunBatch(queries).MoveValue();
+
+  auto stream_engine = QueryEngine::Create(
+                           graph, BaseOptions(3, EstimatorKind::kMonteCarlo))
+                           .MoveValue();
+  for (const ReliabilityQuery& query : queries) {
+    ASSERT_TRUE(stream_engine->Submit(query).ok());
+  }
+  const std::vector<EngineResult> stream =
+      stream_engine->Drain().MoveValue();
+  ExpectBitIdentical(batch, stream);
+
+  // Drain is a reset: a second drain returns nothing.
+  EXPECT_TRUE(stream_engine->Drain().MoveValue().empty());
+}
+
+TEST(QueryEngineTest, RejectsInvalidQueries) {
+  const UncertainGraph graph = DiamondGraph();
+  auto engine =
+      QueryEngine::Create(graph, BaseOptions(2, EstimatorKind::kMonteCarlo))
+          .MoveValue();
+  const Result<std::vector<EngineResult>> batch =
+      engine->RunBatch({{0, 3}, {0, 99}});
+  EXPECT_EQ(batch.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine->Submit({99, 0}).code(), StatusCode::kInvalidArgument);
+
+  EngineOptions zero_samples = BaseOptions(1, EstimatorKind::kMonteCarlo);
+  zero_samples.num_samples = 0;
+  EXPECT_EQ(QueryEngine::Create(graph, zero_samples).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QueryEngineTest, StatsTrackThroughputAndLatency) {
+  const UncertainGraph graph = RandomSmallGraph(16, 48, 0.3, 0.9, 3);
+  const std::vector<ReliabilityQuery> queries = AllPairsWorkload(graph, 20);
+  auto engine =
+      QueryEngine::Create(graph, BaseOptions(2, EstimatorKind::kMonteCarlo))
+          .MoveValue();
+  ASSERT_EQ(engine->RunBatch(queries).MoveValue().size(), queries.size());
+  const EngineStatsSnapshot snapshot = engine->StatsSnapshot();
+  EXPECT_EQ(snapshot.queries, queries.size());
+  EXPECT_GT(snapshot.wall_seconds, 0.0);
+  EXPECT_GT(snapshot.throughput_qps, 0.0);
+  EXPECT_GE(snapshot.p99_ms, snapshot.p50_ms);
+  EXPECT_GE(snapshot.max_ms, snapshot.p99_ms);
+  engine->ResetStats();
+  EXPECT_EQ(engine->StatsSnapshot().queries, 0u);
+}
+
+TEST(QueryEngineTest, ConcurrentClientsShareOneEngine) {
+  const UncertainGraph graph = RandomSmallGraph(20, 60, 0.2, 0.8, 41);
+  const std::vector<ReliabilityQuery> queries = AllPairsWorkload(graph, 30);
+  EngineOptions options = BaseOptions(4, EstimatorKind::kMonteCarlo);
+  options.num_samples = 64;
+  auto engine = QueryEngine::Create(graph, options).MoveValue();
+
+  // Reference from a quiet engine run.
+  const std::vector<EngineResult> expected =
+      engine->RunBatch(queries).MoveValue();
+
+  // Two clients hammer RunBatch concurrently; a third streams. Each batch
+  // must return its own results untouched by the others' load.
+  std::vector<std::vector<EngineResult>> batches(2);
+  std::thread client_a([&] {
+    for (int i = 0; i < 5; ++i) batches[0] = engine->RunBatch(queries).MoveValue();
+  });
+  std::thread client_b([&] {
+    for (int i = 0; i < 5; ++i) batches[1] = engine->RunBatch(queries).MoveValue();
+  });
+  client_a.join();
+  client_b.join();
+  ExpectBitIdentical(expected, batches[0]);
+  ExpectBitIdentical(expected, batches[1]);
+
+  for (const ReliabilityQuery& query : queries) {
+    ASSERT_TRUE(engine->Submit(query).ok());
+  }
+  ExpectBitIdentical(expected, engine->Drain().MoveValue());
+}
+
+TEST(QueryEngineTest, StressTenThousandQueries) {
+  const UncertainGraph graph = RandomSmallGraph(40, 120, 0.2, 0.9, 77);
+  // 10k queries over ~1.5k distinct pairs: heavy repetition, small queue to
+  // exercise backpressure, more threads than cores is fine.
+  std::vector<ReliabilityQuery> queries;
+  queries.reserve(10000);
+  Rng rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    NodeId s = static_cast<NodeId>(rng.UniformInt(40));
+    NodeId t = static_cast<NodeId>(rng.UniformInt(40));
+    if (s == t) t = (t + 1) % 40;
+    queries.push_back({s, t});
+  }
+
+  EngineOptions options = BaseOptions(8, EstimatorKind::kMonteCarlo);
+  options.num_samples = 64;
+  options.queue_capacity = 32;
+  auto engine = QueryEngine::Create(graph, options).MoveValue();
+  const std::vector<EngineResult> first =
+      engine->RunBatch(queries).MoveValue();
+  ASSERT_EQ(first.size(), queries.size());
+  for (const EngineResult& result : first) {
+    EXPECT_GE(result.reliability, 0.0);
+    EXPECT_LE(result.reliability, 1.0);
+  }
+
+  // A fresh engine (cold cache, different thread count) reproduces the batch.
+  EngineOptions rerun_options = options;
+  rerun_options.num_threads = 3;
+  auto rerun_engine = QueryEngine::Create(graph, rerun_options).MoveValue();
+  const std::vector<EngineResult> second =
+      rerun_engine->RunBatch(queries).MoveValue();
+  ExpectBitIdentical(first, second);
+
+  const EngineStatsSnapshot snapshot = engine->StatsSnapshot();
+  EXPECT_EQ(snapshot.queries, 10000u);
+  EXPECT_GT(snapshot.cache.hits, 0u);
+}
+
+}  // namespace
+}  // namespace relcomp

@@ -1,0 +1,103 @@
+#include "engine/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace relcomp {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4, 16);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Submit([&count](size_t) { ++count; }).ok());
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WorkerIdsAreInRange) {
+  ThreadPool pool(3, 8);
+  std::mutex mutex;
+  std::set<size_t> ids;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(pool.Submit([&](size_t worker_id) {
+                      std::lock_guard<std::mutex> lock(mutex);
+                      ids.insert(worker_id);
+                    })
+                    .ok());
+  }
+  pool.Wait();
+  ASSERT_FALSE(ids.empty());
+  for (size_t id : ids) EXPECT_LT(id, 3u);
+}
+
+TEST(ThreadPoolTest, BoundedQueueAppliesBackpressure) {
+  // Queue of 2 with slow tasks: Submit must block rather than grow the
+  // queue, and every task must still run exactly once.
+  ThreadPool pool(2, 2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(pool.Submit([&count](size_t) {
+                      std::this_thread::sleep_for(std::chrono::microseconds(200));
+                      ++count;
+                    })
+                    .ok());
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0, 0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.queue_capacity(), 1u);
+  std::atomic<int> count{0};
+  ASSERT_TRUE(pool.Submit([&count](size_t) { ++count; }).ok());
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
+  ThreadPool pool(2, 4);
+  pool.Shutdown();
+  const Status status = pool.Submit([](size_t) {});
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1, 64);
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(pool.Submit([&count](size_t) {
+                        std::this_thread::sleep_for(
+                            std::chrono::microseconds(100));
+                        ++count;
+                      })
+                      .ok());
+    }
+    // Destructor shuts down; queued tasks must still run.
+  }
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossRounds) {
+  ThreadPool pool(4, 8);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(pool.Submit([&count](size_t) { ++count; }).ok());
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), (round + 1) * 10);
+  }
+}
+
+}  // namespace
+}  // namespace relcomp
