@@ -2,10 +2,15 @@
 // QueryEngine at 1, 2, 4, ... worker threads, with the result cache off
 // (every query computes) and then on (repeats served from cache).
 //
-// The exit code enforces identity — every thread count must return
-// bit-identical estimates. Scaling (the 1-vs-4-thread speedup) is reported
-// but not gated: it depends on the host's real core count, and this bench
-// must stay green on single-core CI runners.
+// The exit code enforces three invariants — this bench is the CI smoke gate:
+//   1. every thread count returns bit-identical estimates;
+//   2. QueryEngine::Create(kBfsSharing, 8 threads) builds the edge
+//      bit-vector index exactly once (shared across replicas), and the
+//      deduped index footprint equals ONE index, not eight;
+//   3. single-flight coalescing answers match the uncoalesced reference.
+// Scaling (the 1-vs-4-thread speedup) is reported but not gated: it depends
+// on the host's real core count, and this bench must stay green on
+// single-core CI runners.
 
 #include <algorithm>
 #include <cstring>
@@ -16,6 +21,7 @@
 #include "engine/query_engine.h"
 #include "eval/query_gen.h"
 #include "graph/datasets.h"
+#include "reliability/bfs_sharing.h"
 
 using namespace relcomp;
 
@@ -39,6 +45,20 @@ bool BitIdentical(const std::vector<EngineResult>& a,
   for (size_t i = 0; i < a.size(); ++i) {
     if (std::memcmp(&a[i].reliability, &b[i].reliability, sizeof(double)) !=
         0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Per-query statuses mean a failed estimate no longer fails RunBatch —
+/// the gate must check them explicitly, or universal failure would sail
+/// through the bit-identity checks as rows of identical zeros.
+bool AllOk(const std::vector<EngineResult>& results) {
+  for (const EngineResult& r : results) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "query (%u, %u) failed: %s\n", r.query.source,
+                   r.query.target, r.status.ToString().c_str());
       return false;
     }
   }
@@ -96,6 +116,7 @@ int main() {
                                 "QueryEngine::Create");
     std::vector<EngineResult> results =
         bench::Unwrap(engine->RunBatch(workload), "RunBatch");
+    identical = identical && AllOk(results);
     const EngineStatsSnapshot snapshot = engine->StatsSnapshot();
     rows.emplace_back(StrFormat("%u thread%s, no cache", threads,
                                 threads == 1 ? "" : "s"),
@@ -118,13 +139,77 @@ int main() {
                                 "QueryEngine::Create");
     const std::vector<EngineResult> results =
         bench::Unwrap(engine->RunBatch(workload), "RunBatch");
-    identical = identical && BitIdentical(reference, results);
+    identical = identical && AllOk(results) && BitIdentical(reference, results);
     rows.emplace_back(StrFormat("%u thread%s, cache", max_threads,
                                 max_threads == 1 ? "" : "s"),
                       engine->StatsSnapshot());
   }
 
+  // Coalescing A/B on the hottest mix: all repeats of one query at once.
+  {
+    std::vector<ReliabilityQuery> twins(64, pairs.front());
+    EngineOptions options = base;
+    options.num_threads = max_threads;
+    options.enable_cache = true;
+    options.enable_coalescing = true;
+    auto engine = bench::Unwrap(QueryEngine::Create(dataset.graph, options),
+                                "QueryEngine::Create");
+    const std::vector<EngineResult> results =
+        bench::Unwrap(engine->RunBatch(twins), "RunBatch");
+    const EngineStatsSnapshot snapshot = engine->StatsSnapshot();
+    rows.emplace_back(
+        StrFormat("%u threads, 64 identical (single-flight)", max_threads),
+        snapshot);
+    identical = identical && AllOk(results) && snapshot.executed == 1;
+    for (const EngineResult& r : results) {
+      identical = identical &&
+                  std::memcmp(&r.reliability, &results.front().reliability,
+                              sizeof(double)) == 0;
+    }
+  }
+
   bench::PrintTable(EngineStatsTable(rows), "engine_throughput");
+
+  // Shared-index gate: Create at 8 threads must build the BFS Sharing index
+  // exactly once, and the deduped footprint must equal ONE index (the old
+  // per-replica path held eight copies).
+  bool shared_index_ok = true;
+  {
+    constexpr uint32_t kGateThreads = 8;
+    EngineOptions options = base;
+    options.kind = EstimatorKind::kBfsSharing;
+    options.num_threads = kGateThreads;
+    options.factory.bfs_sharing.index_samples =
+        std::max(64u, config.max_k);  // modest L: the gate is about count
+    const uint64_t builds_before = BfsSharingIndex::BuildCount();
+    Timer create_timer;
+    auto engine = bench::Unwrap(QueryEngine::Create(dataset.graph, options),
+                                "QueryEngine::Create(kBfsSharing)");
+    const double create_seconds = create_timer.ElapsedSeconds();
+    const uint64_t builds = BfsSharingIndex::BuildCount() - builds_before;
+    const IndexMemoryReport report = engine->IndexMemory();
+    auto single = bench::Unwrap(
+        MakeEstimator(EstimatorKind::kBfsSharing, dataset.graph,
+                      options.factory),
+        "MakeEstimator(kBfsSharing)");
+    const size_t one_index = single->IndexMemoryBytes();
+    shared_index_ok = builds == 1 && report.shared_indexes == 1 &&
+                      report.total_bytes() == one_index;
+    std::printf(
+        "\nBFS Sharing Create @ %u threads: %.3f s, index builds = %llu "
+        "(want 1)\n"
+        "index memory: %s shared once + %s replica-private = %s "
+        "(per-replica baseline: %s)\n",
+        kGateThreads, create_seconds,
+        static_cast<unsigned long long>(builds),
+        HumanBytes(report.shared_bytes).c_str(),
+        HumanBytes(report.replica_bytes).c_str(),
+        HumanBytes(report.total_bytes()).c_str(),
+        HumanBytes(one_index * kGateThreads).c_str());
+    std::printf("shared-index gate: %s\n",
+                shared_index_ok ? "pass"
+                                : "FAIL — INDEX BUILT PER REPLICA");
+  }
 
   std::printf("bit-identical across configurations: %s\n",
               identical ? "yes" : "NO — DETERMINISM VIOLATED");
@@ -132,5 +217,5 @@ int main() {
     std::printf("speedup 4 threads vs 1: %.2fx\n",
                 qps_4threads / qps_1thread);
   }
-  return identical ? 0 : 1;
+  return identical && shared_index_ok ? 0 : 1;
 }

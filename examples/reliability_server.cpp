@@ -100,9 +100,18 @@ int main(int argc, char** argv) {
   std::printf("sample responses:\n");
   for (size_t i = 0; i < responses.size() && i < 5; ++i) {
     const EngineResult& r = responses[i];
+    if (!r.ok()) {
+      // Per-query status: a failed request reports itself without having
+      // discarded the rest of the drain cycle.
+      std::printf("  R(%u, %u) FAILED: %s\n", r.query.source, r.query.target,
+                  r.status.ToString().c_str());
+      continue;
+    }
     std::printf("  R(%u, %u) = %.4f  (%s, seed %016llx)\n", r.query.source,
                 r.query.target, r.reliability,
-                r.cache_hit ? "cache hit" : "computed",
+                r.cache_hit    ? "cache hit"
+                : r.coalesced  ? "coalesced"
+                               : "computed",
                 static_cast<unsigned long long>(r.seed));
   }
   std::printf("\n%s\n",

@@ -90,6 +90,26 @@ class ScopedAllocation {
   size_t bytes_;
 };
 
+/// \brief Deduplicated resident-index accounting for a set of estimator
+/// replicas.
+///
+/// Summing Estimator::IndexMemoryBytes() over replicas double-counts an index
+/// they share: N replicas over one immutable index hold one copy, not N. This
+/// report splits the footprint so each distinct shared index is counted once
+/// (keyed by Estimator::SharedIndexIdentity) and replica-private index bytes
+/// are summed per replica. Computed by ReportIndexMemory (estimator_factory).
+struct IndexMemoryReport {
+  /// Bytes of distinct shared immutable indexes, each counted once.
+  size_t shared_bytes = 0;
+  /// Sum of replica-private (unshared) index bytes across all replicas.
+  size_t replica_bytes = 0;
+  /// Number of distinct shared indexes observed.
+  size_t shared_indexes = 0;
+
+  /// True resident index footprint of the replica set.
+  size_t total_bytes() const { return shared_bytes + replica_bytes; }
+};
+
 /// \brief Resident-set size of the current process in bytes (Linux
 /// /proc/self/statm), or 0 if unavailable.
 size_t CurrentRssBytes();

@@ -20,17 +20,53 @@ double QuantileMs(const std::vector<double>& sorted_seconds, double q) {
 }
 }  // namespace
 
-void EngineStats::Record(double seconds, size_t peak_memory_bytes) {
+void EngineStats::RecordExecuted(double seconds, size_t peak_memory_bytes) {
   std::lock_guard<std::mutex> lock(mutex_);
   latencies_seconds_.push_back(seconds);
+  ++executed_;
   if (peak_memory_bytes > peak_memory_bytes_) {
     peak_memory_bytes_ = peak_memory_bytes;
   }
 }
 
+void EngineStats::RecordCacheHit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  latencies_seconds_.push_back(0.0);
+}
+
+void EngineStats::RecordCoalesced(double wait_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  latencies_seconds_.push_back(wait_seconds);
+  ++coalesced_;
+}
+
+void EngineStats::RecordFailure(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  latencies_seconds_.push_back(seconds);
+  ++failures_;
+}
+
 void EngineStats::AddWallTime(double seconds) {
   std::lock_guard<std::mutex> lock(mutex_);
   wall_seconds_ += seconds;
+}
+
+void EngineStats::MarkCallStart() {
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Min, not first-to-lock: two concurrent calls may take their timestamps
+  // in one order and this mutex in the other.
+  if (!span_first_start_.has_value() || now < *span_first_start_) {
+    span_first_start_ = now;
+  }
+}
+
+void EngineStats::MarkCallEnd() {
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!span_last_end_.has_value() || now > *span_last_end_) {
+    span_last_end_ = now;
+  }
 }
 
 EngineStatsSnapshot EngineStats::Snapshot(const ResultCache* cache) const {
@@ -41,12 +77,25 @@ EngineStatsSnapshot EngineStats::Snapshot(const ResultCache* cache) const {
     sorted = latencies_seconds_;
     snapshot.wall_seconds = wall_seconds_;
     snapshot.peak_memory_bytes = peak_memory_bytes_;
+    snapshot.executed = executed_;
+    snapshot.coalesced = coalesced_;
+    snapshot.failures = failures_;
+    if (span_first_start_.has_value() && span_last_end_.has_value() &&
+        *span_last_end_ > *span_first_start_) {
+      snapshot.span_seconds =
+          std::chrono::duration<double>(*span_last_end_ - *span_first_start_)
+              .count();
+    }
   }
   std::sort(sorted.begin(), sorted.end());
   snapshot.queries = sorted.size();
   if (snapshot.wall_seconds > 0.0) {
     snapshot.throughput_qps =
         static_cast<double>(snapshot.queries) / snapshot.wall_seconds;
+  }
+  if (snapshot.span_seconds > 0.0) {
+    snapshot.span_qps =
+        static_cast<double>(snapshot.queries) / snapshot.span_seconds;
   }
   if (!sorted.empty()) {
     double sum = 0.0;
@@ -66,21 +115,30 @@ void EngineStats::Reset() {
   latencies_seconds_.clear();
   wall_seconds_ = 0.0;
   peak_memory_bytes_ = 0;
+  executed_ = 0;
+  coalesced_ = 0;
+  failures_ = 0;
+  span_first_start_.reset();
+  span_last_end_.reset();
 }
 
 TextTable EngineStatsTable(
     const std::vector<std::pair<std::string, EngineStatsSnapshot>>& rows) {
-  TextTable table({"config", "queries", "wall s", "qps", "mean ms", "p50 ms",
-                   "p90 ms", "p99 ms", "max ms", "hit rate", "peak mem"});
+  TextTable table({"config", "queries", "exec", "coal", "wall s", "span s",
+                   "qps", "mean ms", "p50 ms", "p90 ms", "p99 ms", "max ms",
+                   "hit rate", "peak mem", "index mem"});
   for (const auto& [label, s] : rows) {
-    table.AddRow({label, StrFormat("%llu", static_cast<unsigned long long>(s.queries)),
-                  StrFormat("%.3f", s.wall_seconds),
-                  StrFormat("%.1f", s.throughput_qps),
-                  StrFormat("%.3f", s.mean_ms), StrFormat("%.3f", s.p50_ms),
-                  StrFormat("%.3f", s.p90_ms), StrFormat("%.3f", s.p99_ms),
-                  StrFormat("%.3f", s.max_ms),
-                  StrFormat("%.1f%%", s.cache.hit_rate() * 100.0),
-                  HumanBytes(s.peak_memory_bytes)});
+    table.AddRow(
+        {label, StrFormat("%llu", static_cast<unsigned long long>(s.queries)),
+         StrFormat("%llu", static_cast<unsigned long long>(s.executed)),
+         StrFormat("%llu", static_cast<unsigned long long>(s.coalesced)),
+         StrFormat("%.3f", s.wall_seconds), StrFormat("%.3f", s.span_seconds),
+         StrFormat("%.1f", s.throughput_qps), StrFormat("%.3f", s.mean_ms),
+         StrFormat("%.3f", s.p50_ms), StrFormat("%.3f", s.p90_ms),
+         StrFormat("%.3f", s.p99_ms), StrFormat("%.3f", s.max_ms),
+         StrFormat("%.1f%%", s.cache.hit_rate() * 100.0),
+         HumanBytes(s.peak_memory_bytes),
+         HumanBytes(s.index_memory.total_bytes())});
   }
   return table;
 }

@@ -1,60 +1,103 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/memory_tracker.h"
 #include "engine/result_cache.h"
 #include "eval/table.h"
 
 namespace relcomp {
 
 /// \brief Point-in-time view of engine performance: throughput, latency
-/// quantiles, and cache effectiveness.
+/// quantiles, cache effectiveness, coalescing, and index memory.
 struct EngineStatsSnapshot {
   uint64_t queries = 0;
+  /// Queries that actually invoked an estimator (not served from cache or a
+  /// coalesced in-flight twin, not failed before estimation).
+  uint64_t executed = 0;
+  /// Queries that piggybacked on another worker's in-flight computation of
+  /// the same key (single-flight coalescing).
+  uint64_t coalesced = 0;
+  /// Queries that finished with a non-OK per-query status.
+  uint64_t failures = 0;
   /// Per-call wall-clock summed over batches / stream cycles. Overlapping
   /// calls from concurrent clients each contribute their full duration, so
   /// this over-counts real time under multi-client load.
   double wall_seconds = 0.0;
+  /// True span: first call start to last call end across all batches and
+  /// stream cycles since construction / Reset. Under multi-client overlap
+  /// this is real elapsed time, so queries / span_seconds is the exact
+  /// aggregate throughput (wall_seconds over-counts overlap).
+  double span_seconds = 0.0;
   /// queries / wall_seconds — a lower bound on true throughput when clients
   /// overlap (see wall_seconds); exact for a single client.
   double throughput_qps = 0.0;
+  /// queries / span_seconds — exact aggregate throughput, any client count.
+  double span_qps = 0.0;
   double mean_ms = 0.0;          ///< mean per-query latency
   double p50_ms = 0.0;
   double p90_ms = 0.0;
   double p99_ms = 0.0;
   double max_ms = 0.0;
   size_t peak_memory_bytes = 0;  ///< max EstimateResult::peak_memory_bytes
+  /// Resident index footprint of the engine's replica set, shared indexes
+  /// counted once (see IndexMemoryReport).
+  IndexMemoryReport index_memory;
   ResultCacheStats cache;
 };
 
 /// \brief Thread-safe recorder of per-query latencies.
 ///
-/// Workers call Record() concurrently; Snapshot() sorts the samples to
-/// extract quantiles. Sample storage is unbounded by design — the engine
-/// resets it per batch, and a 10k-query stress batch costs 80 kB.
+/// Workers call the Record* methods concurrently; Snapshot() sorts the
+/// samples to extract quantiles. Sample storage is unbounded by design — the
+/// engine resets it per batch, and a 10k-query stress batch costs 80 kB.
 class EngineStats {
  public:
-  /// Records one finished query: its latency and working-set peak.
-  void Record(double seconds, size_t peak_memory_bytes);
+  /// Records one estimator-executed query: its latency and working-set peak.
+  void RecordExecuted(double seconds, size_t peak_memory_bytes);
+
+  /// Records one query served from the result cache (zero marginal latency).
+  void RecordCacheHit();
+
+  /// Records one query that shared an in-flight twin's computation;
+  /// `wait_seconds` is the time spent waiting for the leader.
+  void RecordCoalesced(double wait_seconds);
+
+  /// Records one query that finished with a non-OK per-query status.
+  void RecordFailure(double seconds);
 
   /// Adds batch wall-clock time to the throughput denominator.
   void AddWallTime(double seconds);
+
+  /// Marks the start / end of one engine call (batch or stream cycle) for
+  /// true-span tracking: span = first MarkCallStart to last MarkCallEnd.
+  void MarkCallStart();
+  void MarkCallEnd();
 
   /// Computes quantiles over everything recorded so far; `cache` (optional)
   /// is embedded in the snapshot.
   EngineStatsSnapshot Snapshot(const ResultCache* cache = nullptr) const;
 
-  /// Drops all samples and wall time.
+  /// Drops all samples, wall time, and the span.
   void Reset();
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   mutable std::mutex mutex_;
   std::vector<double> latencies_seconds_;
   double wall_seconds_ = 0.0;
   size_t peak_memory_bytes_ = 0;
+  uint64_t executed_ = 0;
+  uint64_t coalesced_ = 0;
+  uint64_t failures_ = 0;
+  std::optional<Clock::time_point> span_first_start_;
+  std::optional<Clock::time_point> span_last_end_;
 };
 
 /// One row per (label, snapshot): queries, qps, latency quantiles, cache hit

@@ -36,6 +36,8 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
   if (opts.num_samples == 0) {
     return Status::InvalidArgument("EngineOptions::num_samples must be > 0");
   }
+  // One shared immutable index for all replicas of an index-carrying kind
+  // (built inside the factory), private scratch per replica.
   RELCOMP_ASSIGN_OR_RETURN(
       std::vector<std::unique_ptr<Estimator>> replicas,
       MakeEstimatorReplicas(opts.kind, graph, opts.num_threads, opts.factory));
@@ -47,7 +49,8 @@ uint64_t QueryEngine::QuerySeed(const ReliabilityQuery& query) const {
   // Content-derived, not index-derived: the seed depends on what is asked,
   // never on when or where it runs. Repeats of a query inside one engine get
   // the same seed (and thus the same answer), which is exactly what makes a
-  // cache hit indistinguishable from a recomputation.
+  // cache hit — or a coalesced in-flight share — indistinguishable from a
+  // recomputation.
   uint64_t seed = HashCombineSeed(options_.seed, query.source);
   seed = HashCombineSeed(seed, query.target);
   seed = HashCombineSeed(seed, static_cast<uint64_t>(options_.kind));
@@ -55,57 +58,156 @@ uint64_t QueryEngine::QuerySeed(const ReliabilityQuery& query) const {
   return seed;
 }
 
+uint64_t QueryEngine::PrepareSeed(const ReliabilityQuery& query) const {
+  return HashCombineSeed(QuerySeed(query), kPrepareSeedTag);
+}
+
+EngineStatsSnapshot QueryEngine::StatsSnapshot() const {
+  EngineStatsSnapshot snapshot = stats_.Snapshot(cache_.get());
+  snapshot.index_memory = IndexMemory();
+  return snapshot;
+}
+
 void QueryEngine::AwaitCall(CallState& state) {
   std::unique_lock<std::mutex> lock(state.mutex);
   state.done.wait(lock, [&state] { return state.pending == 0; });
 }
 
-void QueryEngine::RunOne(size_t worker_id, const ReliabilityQuery& query,
-                         EngineResult* slot, CallState* state) {
-  const uint64_t query_seed = QuerySeed(query);
-  slot->query = query;
-  slot->seed = query_seed;
-
-  const ResultCacheKey key{query.source, query.target, options_.kind,
-                           options_.num_samples, query_seed};
+bool QueryEngine::TryServeWithoutCompute(
+    const ResultCacheKey& key, EngineResult* slot,
+    std::shared_ptr<InFlight>* leader_flight) {
+  // Fast path: lock-free-ish cache probe before touching the flight table.
   if (cache_ != nullptr) {
     if (std::optional<ResultCacheValue> hit = cache_->Lookup(key)) {
       slot->reliability = hit->reliability;
       slot->num_samples = hit->num_samples;
       slot->seconds = 0.0;
       slot->cache_hit = true;
-      stats_.Record(0.0, 0);
-      return;
+      stats_.RecordCacheHit();
+      return true;
     }
   }
+  if (!options_.enable_coalescing) return false;
 
+  std::shared_ptr<InFlight> flight;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    // Re-check the cache under the flight lock: a leader publishes to the
+    // cache *before* retiring its flight entry, so this double-check makes
+    // "N concurrent identical misses -> 1 estimator invocation" exact
+    // rather than best-effort (no window where neither table covers a key).
+    // Uncounted probe (the user-level lookup was already recorded above, as
+    // a miss) — and accounted as *coalesced*, not a cache hit: the leader
+    // finished between our fast-path miss and taking the flight lock, so
+    // this query shared a twin's computation, and counting it as a hit
+    // would contradict the miss already in the cache stats
+    // (executed + coalesced + failures + cache.hits must equal queries).
+    if (cache_ != nullptr) {
+      if (std::optional<ResultCacheValue> hit =
+              cache_->Lookup(key, /*record_stats=*/false)) {
+        slot->reliability = hit->reliability;
+        slot->num_samples = hit->num_samples;
+        slot->seconds = 0.0;
+        slot->coalesced = true;
+        stats_.RecordCoalesced(0.0);
+        return true;
+      }
+    }
+    auto [it, inserted] = inflight_.try_emplace(key);
+    if (inserted) {
+      it->second = std::make_shared<InFlight>();
+      *leader_flight = it->second;
+      return false;  // we are the leader; compute and FinishFlight
+    }
+    flight = it->second;
+  }
+
+  // Follower: wait for the leader (always actively computing on another
+  // worker — entries only exist while a leader runs, so this cannot
+  // deadlock) and copy its outcome.
+  Timer wait_timer;
+  {
+    std::unique_lock<std::mutex> lock(flight->mutex);
+    flight->done.wait(lock, [&flight] { return flight->ready; });
+    slot->status = flight->status;
+    if (flight->status.ok()) {
+      slot->reliability = flight->value.reliability;
+      slot->num_samples = flight->value.num_samples;
+    }
+  }
+  slot->seconds = wait_timer.ElapsedSeconds();
+  slot->coalesced = true;
+  if (slot->status.ok()) {
+    stats_.RecordCoalesced(slot->seconds);
+  } else {
+    stats_.RecordFailure(slot->seconds);
+  }
+  return true;
+}
+
+void QueryEngine::FinishFlight(const ResultCacheKey& key,
+                               const std::shared_ptr<InFlight>& flight,
+                               const Status& status,
+                               const ResultCacheValue& value) {
+  // Publish order matters: cache first, then retire the flight entry, then
+  // wake the waiters. A concurrent miss thus always finds the key in the
+  // cache or the flight table (never neither).
+  if (status.ok() && cache_ != nullptr) cache_->Insert(key, value);
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    inflight_.erase(key);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mutex);
+    flight->status = status;
+    flight->value = value;
+    flight->ready = true;
+  }
+  flight->done.notify_all();
+}
+
+void QueryEngine::RunOne(size_t worker_id, const ReliabilityQuery& query,
+                         EngineResult* slot) {
+  const uint64_t query_seed = QuerySeed(query);
+  slot->query = query;
+  slot->seed = query_seed;
+
+  const ResultCacheKey key{query.source, query.target, options_.kind,
+                           options_.num_samples, query_seed};
+  std::shared_ptr<InFlight> flight;
+  if (TryServeWithoutCompute(key, slot, &flight)) return;
+
+  // Leader (or coalescing disabled): compute on this worker's replica.
   Timer timer;
   Estimator& estimator = *replicas_[worker_id];
-  const Status prepared = estimator.PrepareForNextQuery(
+  Status status = estimator.PrepareForNextQuery(
       HashCombineSeed(query_seed, kPrepareSeedTag));
-  if (!prepared.ok()) {
-    std::lock_guard<std::mutex> lock(state->mutex);
-    if (state->first_error.ok()) state->first_error = prepared;
-    return;
+  ResultCacheValue value;
+  if (status.ok()) {
+    EstimateOptions estimate_options;
+    estimate_options.num_samples = options_.num_samples;
+    estimate_options.seed = query_seed;
+    Result<EstimateResult> result = estimator.Estimate(query, estimate_options);
+    if (result.ok()) {
+      value = ResultCacheValue{result->reliability, result->num_samples};
+      slot->reliability = result->reliability;
+      slot->num_samples = result->num_samples;
+      slot->seconds = timer.ElapsedSeconds();
+      stats_.RecordExecuted(slot->seconds, result->peak_memory_bytes);
+    } else {
+      status = result.status();
+    }
   }
-  EstimateOptions estimate_options;
-  estimate_options.num_samples = options_.num_samples;
-  estimate_options.seed = query_seed;
-  Result<EstimateResult> result = estimator.Estimate(query, estimate_options);
-  if (!result.ok()) {
-    std::lock_guard<std::mutex> lock(state->mutex);
-    if (state->first_error.ok()) state->first_error = result.status();
-    return;
+  if (!status.ok()) {
+    slot->status = status;
+    slot->seconds = timer.ElapsedSeconds();
+    stats_.RecordFailure(slot->seconds);
   }
-  slot->reliability = result->reliability;
-  slot->num_samples = result->num_samples;
-  slot->seconds = timer.ElapsedSeconds();
-  slot->cache_hit = false;
-  if (cache_ != nullptr) {
-    cache_->Insert(key, ResultCacheValue{result->reliability,
-                                         result->num_samples});
+  if (flight != nullptr) {
+    FinishFlight(key, flight, status, value);
+  } else if (status.ok() && cache_ != nullptr) {
+    cache_->Insert(key, value);
   }
-  stats_.Record(slot->seconds, result->peak_memory_bytes);
 }
 
 Result<std::vector<EngineResult>> QueryEngine::RunBatch(
@@ -117,6 +219,7 @@ Result<std::vector<EngineResult>> QueryEngine::RunBatch(
           StrFormat("query %zu references a node outside the graph", i));
     }
   }
+  stats_.MarkCallStart();
   auto state = std::make_shared<CallState>();
   state->pending = queries.size();
   std::vector<EngineResult> results(queries.size());
@@ -126,7 +229,7 @@ Result<std::vector<EngineResult>> QueryEngine::RunBatch(
     EngineResult* slot = &results[i];
     const Status submitted = pool_->Submit(
         [this, query, slot, state](size_t worker_id) {
-          RunOne(worker_id, query, slot, state.get());
+          RunOne(worker_id, query, slot);
           std::lock_guard<std::mutex> lock(state->mutex);
           if (--state->pending == 0) state->done.notify_all();
         });
@@ -138,15 +241,13 @@ Result<std::vector<EngineResult>> QueryEngine::RunBatch(
         if (state->pending == 0) state->done.notify_all();
       }
       AwaitCall(*state);  // queued tasks hold `results` slot pointers
+      stats_.MarkCallEnd();
       return submitted;
     }
   }
   AwaitCall(*state);
   stats_.AddWallTime(wall.ElapsedSeconds());
-  {
-    std::lock_guard<std::mutex> lock(state->mutex);
-    if (!state->first_error.ok()) return state->first_error;
-  }
+  stats_.MarkCallEnd();
   return results;
 }
 
@@ -162,6 +263,7 @@ Status QueryEngine::Submit(const ReliabilityQuery& query) {
     stream_timer_.Restart();
     stream_state_ = std::make_shared<CallState>();
   }
+  stats_.MarkCallStart();
   stream_results_.push_back(std::make_unique<EngineResult>());
   EngineResult* slot = stream_results_.back().get();
   std::shared_ptr<CallState> state = stream_state_;
@@ -171,7 +273,7 @@ Status QueryEngine::Submit(const ReliabilityQuery& query) {
   }
   const Status submitted = pool_->Submit(
       [this, query, slot, state](size_t worker_id) {
-        RunOne(worker_id, query, slot, state.get());
+        RunOne(worker_id, query, slot);
         std::lock_guard<std::mutex> state_lock(state->mutex);
         if (--state->pending == 0) state->done.notify_all();
       });
@@ -200,10 +302,7 @@ Result<std::vector<EngineResult>> QueryEngine::Drain() {
   if (state != nullptr) AwaitCall(*state);
   if (pending.empty()) return std::vector<EngineResult>{};
   stats_.AddWallTime(cycle_timer.ElapsedSeconds());
-  if (state != nullptr) {
-    std::lock_guard<std::mutex> lock(state->mutex);
-    if (!state->first_error.ok()) return state->first_error;
-  }
+  stats_.MarkCallEnd();
   std::vector<EngineResult> results;
   results.reserve(pending.size());
   for (const std::unique_ptr<EngineResult>& result : pending) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/timer.h"
@@ -17,7 +18,9 @@ namespace relcomp {
 
 /// \brief Construction knobs for QueryEngine::Create.
 struct EngineOptions {
-  /// Worker threads; one estimator replica is built per worker.
+  /// Worker threads; one estimator replica is built per worker. Replicas of
+  /// index-carrying estimators share one immutable index (built once), so
+  /// Create cost and index memory are O(1) in num_threads.
   size_t num_threads = 4;
   /// Bounded work-queue depth; Submit() blocks when full (backpressure).
   size_t queue_capacity = 1024;
@@ -33,6 +36,11 @@ struct EngineOptions {
   bool enable_cache = true;
   size_t cache_capacity = 1 << 16;
   size_t cache_shards = 8;
+  /// Single-flight request coalescing: concurrent cache misses for the same
+  /// key share one in-flight computation instead of computing twins on
+  /// separate workers. Semantically invisible (results are content-
+  /// deterministic); off only for A/B measurement.
+  bool enable_coalescing = true;
   /// Estimator construction knobs (index parameters, index seed).
   FactoryOptions factory;
 };
@@ -40,33 +48,44 @@ struct EngineOptions {
 /// \brief Outcome of one engine query.
 struct EngineResult {
   ReliabilityQuery query;
+  /// Per-query outcome. A non-OK status means this query's estimator call
+  /// failed; `reliability`/`num_samples` are meaningless then. Other queries
+  /// in the same batch / stream cycle are unaffected.
+  Status status;
   double reliability = 0.0;
   uint32_t num_samples = 0;
   /// Seconds from dispatch on a worker to completion (0 for cache hits, which
-  /// never reach a worker's estimator).
+  /// never reach a worker's estimator; wait time for coalesced queries).
   double seconds = 0.0;
   /// The derived per-query seed actually used.
   uint64_t seed = 0;
   bool cache_hit = false;
+  /// True when this query shared an in-flight twin's computation instead of
+  /// invoking an estimator itself (single-flight coalescing).
+  bool coalesced = false;
+
+  bool ok() const { return status.ok(); }
 };
 
 /// \brief Concurrent batch reliability query engine.
 ///
 /// Executes batches (RunBatch) or a stream (Submit/Drain) of s-t reliability
 /// queries on a fixed thread pool. Each worker owns a private estimator
-/// replica (Estimator instances are not thread-safe), and every query's seed
-/// is derived from the master seed and the query's content — so a batch
-/// returns bit-identical results whether it runs on 1 thread or 16, with the
-/// cache on or off. See src/engine/README.md for the contract.
+/// replica (Estimator instances are not thread-safe); index-carrying
+/// replicas share one immutable index. Every query's seed is derived from
+/// the master seed and the query's content — so a batch returns bit-identical
+/// results whether it runs on 1 thread or 16, with the cache and coalescing
+/// on or off. See src/engine/README.md for the contract.
 ///
 /// Thread-safe: concurrent RunBatch/Submit/Drain calls from multiple client
-/// threads are safe and share the pool, cache, and cumulative stats. Each
-/// RunBatch reports only its own errors; stream errors surface at the next
-/// Drain.
+/// threads are safe and share the pool, cache, and cumulative stats.
+/// Failures are per-query: each EngineResult carries its own Status, so one
+/// estimator failure never discards the rest of a batch or stream cycle.
 class QueryEngine {
  public:
-  /// Builds the pool and one estimator replica per worker (index built per
-  /// replica; deterministic, so replicas are interchangeable).
+  /// Builds the pool and one estimator replica per worker. Index-carrying
+  /// kinds build their index exactly once and share it across replicas
+  /// (deterministic, so replicas are interchangeable).
   static Result<std::unique_ptr<QueryEngine>> Create(
       const UncertainGraph& graph, const EngineOptions& options);
 
@@ -74,9 +93,11 @@ class QueryEngine {
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
-  /// Executes `queries` and returns results in input order. Invalid queries
-  /// fail the whole batch (first error wins) — batches are meant to be
-  /// pre-validated workloads.
+  /// Executes `queries` and returns results in input order. Queries that
+  /// reference nodes outside the graph fail the whole batch up front (first
+  /// error wins) — batches are meant to be pre-validated workloads.
+  /// Estimator failures during execution do NOT fail the batch: they land in
+  /// the corresponding EngineResult::status.
   Result<std::vector<EngineResult>> RunBatch(
       const std::vector<ReliabilityQuery>& queries);
 
@@ -85,46 +106,73 @@ class QueryEngine {
   Status Submit(const ReliabilityQuery& query);
 
   /// Waits for every Submit()ted query to finish and returns their results
-  /// in submission order, clearing the stream buffer. Mirrors RunBatch error
-  /// semantics: if any query in the cycle hit an estimator failure, the
-  /// first error is returned and the cycle's results are discarded
-  /// (per-query status reporting is a ROADMAP item).
+  /// in submission order, clearing the stream buffer. Estimator failures
+  /// surface in the per-result Status; finished answers are never discarded.
   Result<std::vector<EngineResult>> Drain();
 
   /// Derived seed for `query` under this engine's configuration; exposed so
   /// callers can reproduce any single engine answer with a bare estimator.
   uint64_t QuerySeed(const ReliabilityQuery& query) const;
 
+  /// Seed the engine passes to Estimator::PrepareForNextQuery before
+  /// estimating `query` (a tagged derivative of QuerySeed); with QuerySeed
+  /// this fully reproduces an engine answer on a bare estimator.
+  uint64_t PrepareSeed(const ReliabilityQuery& query) const;
+
   const EngineOptions& options() const { return options_; }
   size_t num_threads() const { return pool_->num_threads(); }
   /// nullptr when the cache is disabled.
   const ResultCache* cache() const { return cache_.get(); }
-  /// Cumulative since construction (RunBatch and stream both feed it).
-  EngineStatsSnapshot StatsSnapshot() const {
-    return stats_.Snapshot(cache_.get());
+  /// Deduplicated resident index footprint of the replica set: a shared
+  /// index is counted once, not once per replica.
+  IndexMemoryReport IndexMemory() const {
+    return ReportIndexMemory(replicas_);
   }
+  /// Cumulative since construction (RunBatch and stream both feed it).
+  EngineStatsSnapshot StatsSnapshot() const;
   void ResetStats() { stats_.Reset(); }
 
  private:
   QueryEngine(const UncertainGraph& graph, EngineOptions options,
               std::vector<std::unique_ptr<Estimator>> replicas);
 
-  /// Per-call completion and error state, shared only by that call's worker
-  /// tasks: concurrent batches cannot clobber each other's errors, and each
-  /// call waits on its own counter instead of global pool idleness (so one
-  /// client's endless stream cannot stall another's batch).
+  /// Per-call completion state, shared only by that call's worker tasks:
+  /// each call waits on its own counter instead of global pool idleness (so
+  /// one client's endless stream cannot stall another's batch).
   struct CallState {
     std::mutex mutex;
     std::condition_variable done;
     size_t pending = 0;  ///< tasks submitted but not yet finished
-    Status first_error;
   };
 
-  /// Executes one query on `worker_id`'s replica (or serves it from cache),
-  /// writing into `slot`; failures land in `state` (first one wins).
-  /// Decrements `state->pending` and signals when it reaches zero.
+  /// One single-flight computation in progress: the first worker to miss the
+  /// cache for a key becomes the leader and computes; concurrent misses for
+  /// the same key wait here and copy the leader's outcome.
+  struct InFlight {
+    std::mutex mutex;
+    std::condition_variable done;
+    bool ready = false;
+    Status status;
+    ResultCacheValue value;
+  };
+
+  /// Executes one query on `worker_id`'s replica (or serves it from cache /
+  /// an in-flight twin), writing outcome and per-query status into `slot`.
   void RunOne(size_t worker_id, const ReliabilityQuery& query,
-              EngineResult* slot, CallState* state);
+              EngineResult* slot);
+
+  /// Cache lookup + single-flight rendezvous for `key`. Returns true when
+  /// `slot` was fully served (cache hit or coalesced); otherwise the caller
+  /// is the leader (or coalescing is off) and must compute, then call
+  /// FinishFlight with the outcome.
+  bool TryServeWithoutCompute(const ResultCacheKey& key, EngineResult* slot,
+                              std::shared_ptr<InFlight>* leader_flight);
+
+  /// Publishes the leader's outcome: inserts into the cache on success,
+  /// removes the in-flight entry, and wakes the waiters.
+  void FinishFlight(const ResultCacheKey& key,
+                    const std::shared_ptr<InFlight>& flight,
+                    const Status& status, const ResultCacheValue& value);
 
   /// Blocks until every task accounted to `state` has finished.
   static void AwaitCall(CallState& state);
@@ -135,6 +183,19 @@ class QueryEngine {
   std::unique_ptr<ResultCache> cache_;
   std::unique_ptr<ThreadPool> pool_;
   EngineStats stats_;
+
+  struct KeyHash {
+    size_t operator()(const ResultCacheKey& key) const {
+      return static_cast<size_t>(key.Hash());
+    }
+  };
+
+  /// Single-flight table: full cache key -> in-flight computation (full key,
+  /// not hash — hash collisions must never coalesce distinct queries).
+  /// Guarded by inflight_mutex_; entries exist only while a leader computes.
+  std::mutex inflight_mutex_;
+  std::unordered_map<ResultCacheKey, std::shared_ptr<InFlight>, KeyHash>
+      inflight_;
 
   std::mutex stream_mutex_;
   std::vector<std::unique_ptr<EngineResult>> stream_results_;

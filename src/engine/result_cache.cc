@@ -35,17 +35,18 @@ ResultCache::ResultCache(size_t capacity, size_t num_shards)
   }
 }
 
-std::optional<ResultCacheValue> ResultCache::Lookup(const ResultCacheKey& key) {
+std::optional<ResultCacheValue> ResultCache::Lookup(const ResultCacheKey& key,
+                                                    bool record_stats) {
   const HashedKey hashed{key, key.Hash()};
   Shard& shard = ShardFor(hashed.hash);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.index.find(hashed);
   if (it == shard.index.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (record_stats) misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (record_stats) hits_.fetch_add(1, std::memory_order_relaxed);
   return it->second->value;
 }
 

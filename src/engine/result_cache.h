@@ -70,7 +70,12 @@ class ResultCache {
   explicit ResultCache(size_t capacity, size_t num_shards = 8);
 
   /// Returns the cached value and refreshes its recency, or nullopt.
-  std::optional<ResultCacheValue> Lookup(const ResultCacheKey& key);
+  /// `record_stats` = false makes the probe invisible to Stats() — for
+  /// internal double-checks (the engine's single-flight rendezvous re-probes
+  /// under its flight lock) that would otherwise count one user-level query
+  /// as two lookups.
+  std::optional<ResultCacheValue> Lookup(const ResultCacheKey& key,
+                                         bool record_stats = true);
 
   /// Inserts (or refreshes) `value` under `key`, evicting the shard's LRU
   /// entry if the shard is full.

@@ -14,46 +14,151 @@ namespace {
 constexpr char kIndexMagic[8] = {'R', 'E', 'L', 'B', 'F', 'S', 'I', 'X'};
 }
 
-BfsSharingEstimator::BfsSharingEstimator(const UncertainGraph& graph,
-                                         const BfsSharingOptions& options)
+std::atomic<uint64_t> BfsSharingIndex::build_count_{0};
+
+Result<std::shared_ptr<BfsSharingIndex>> BfsSharingIndex::Build(
+    const UncertainGraph& graph, const BfsSharingOptions& options,
+    uint64_t seed) {
+  if (options.index_samples == 0) {
+    return Status::InvalidArgument("BFS Sharing: index_samples must be positive");
+  }
+  std::shared_ptr<BfsSharingIndex> index(new BfsSharingIndex());
+  index->num_samples_ = options.index_samples;
+  index->edge_bits_.resize(graph.num_edges());
+  index->Resample(graph, seed);
+  build_count_.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+void BfsSharingIndex::Resample(const UncertainGraph& graph, uint64_t seed) {
+  Timer timer;
+  Rng rng(seed);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    edge_bits_[e].Resize(num_samples_);
+    edge_bits_[e].FillBernoulli(graph.prob(e), rng);
+  }
+  build_seconds_ = timer.ElapsedSeconds();
+}
+
+size_t BfsSharingIndex::MemoryBytes() const {
+  size_t total = edge_bits_.size() * sizeof(BitVector);
+  for (const BitVector& bv : edge_bits_) total += bv.MemoryBytes();
+  return total;
+}
+
+Status BfsSharingIndex::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::IOError("cannot open for writing: " + path);
+  out.write(kIndexMagic, sizeof(kIndexMagic));
+  const uint64_t m = edge_bits_.size();
+  const uint32_t l = num_samples_;
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  out.write(reinterpret_cast<const char*>(&l), sizeof(l));
+  for (const BitVector& bv : edge_bits_) {
+    out.write(reinterpret_cast<const char*>(bv.words().data()),
+              static_cast<std::streamsize>(bv.words().size() * sizeof(uint64_t)));
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<BfsSharingIndex>> BfsSharingIndex::LoadFromFile(
+    const UncertainGraph& graph, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open for reading: " + path);
+  char magic[8];
+  uint64_t m = 0;
+  uint32_t l = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&m), sizeof(m));
+  in.read(reinterpret_cast<char*>(&l), sizeof(l));
+  if (!in.good() || std::memcmp(magic, kIndexMagic, sizeof(magic)) != 0) {
+    return Status::IOError("not a BFS Sharing index: " + path);
+  }
+  if (m != graph.num_edges()) {
+    return Status::InvalidArgument(
+        StrFormat("index has %llu edges, graph has %zu",
+                  static_cast<unsigned long long>(m), graph.num_edges()));
+  }
+  if (l == 0) {
+    return Status::IOError("BFS Sharing index has zero samples: " + path);
+  }
+  Timer timer;
+  std::shared_ptr<BfsSharingIndex> index(new BfsSharingIndex());
+  index->num_samples_ = l;
+  index->edge_bits_.resize(m);
+  for (auto& bv : index->edge_bits_) {
+    bv.Resize(l);
+    in.read(reinterpret_cast<char*>(bv.mutable_words().data()),
+            static_cast<std::streamsize>(bv.words().size() * sizeof(uint64_t)));
+    if (!in.good()) return Status::IOError("truncated BFS Sharing index: " + path);
+  }
+  index->build_seconds_ = timer.ElapsedSeconds();
+  build_count_.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+BfsSharingEstimator::BfsSharingEstimator(
+    const UncertainGraph& graph, std::shared_ptr<const BfsSharingIndex> index)
     : graph_(graph),
-      options_(options),
+      index_(std::move(index)),
       node_bits_(graph.num_nodes()),
       visit_epoch_(graph.num_nodes(), 0),
-      in_queue_epoch_(graph.num_nodes(), 0) {}
+      in_queue_epoch_(graph.num_nodes(), 0) {
+  options_.index_samples = shared_index()->num_samples();
+}
 
 Result<std::unique_ptr<BfsSharingEstimator>> BfsSharingEstimator::Create(
     const UncertainGraph& graph, const BfsSharingOptions& options,
     uint64_t index_seed) {
-  if (options.index_samples == 0) {
-    return Status::InvalidArgument("BFS Sharing: index_samples must be positive");
-  }
-  std::unique_ptr<BfsSharingEstimator> estimator(
-      new BfsSharingEstimator(graph, options));
-  Timer timer;
-  estimator->ResampleIndex(index_seed);
-  estimator->index_build_seconds_ = timer.ElapsedSeconds();
+  RELCOMP_ASSIGN_OR_RETURN(std::shared_ptr<BfsSharingIndex> index,
+                           BfsSharingIndex::Build(graph, options, index_seed));
+  RELCOMP_ASSIGN_OR_RETURN(std::unique_ptr<BfsSharingEstimator> estimator,
+                           Create(graph, index));
+  // Privately built: keep the mutable handle so PrepareForNextQuery can
+  // resample in place instead of allocating fresh generations.
+  estimator->owned_ = std::move(index);
   return estimator;
 }
 
-void BfsSharingEstimator::ResampleIndex(uint64_t seed) {
-  Rng rng(seed);
-  edge_bits_.resize(graph_.num_edges());
-  for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
-    edge_bits_[e].Resize(options_.index_samples);
-    edge_bits_[e].FillBernoulli(graph_.prob(e), rng);
+Result<std::unique_ptr<BfsSharingEstimator>> BfsSharingEstimator::Create(
+    const UncertainGraph& graph, std::shared_ptr<const BfsSharingIndex> index) {
+  if (index == nullptr) {
+    return Status::InvalidArgument("BFS Sharing: index must not be null");
   }
+  if (index->num_edges() != graph.num_edges()) {
+    return Status::InvalidArgument(
+        StrFormat("BFS Sharing: index has %zu edges, graph has %zu",
+                  index->num_edges(), graph.num_edges()));
+  }
+  return std::unique_ptr<BfsSharingEstimator>(
+      new BfsSharingEstimator(graph, std::move(index)));
 }
 
 Status BfsSharingEstimator::PrepareForNextQuery(uint64_t seed) {
-  ResampleIndex(seed);
+  // Exclusive ownership (owned_ + the copy inside index_): refill the
+  // worlds in place — bit-identical to a fresh build, zero allocation. This
+  // is the steady state on the serving path, where every query re-arms. A
+  // transient snapshot held elsewhere (e.g. a stats reader) pushes the count
+  // above 2 and falls through to one fresh build; either path yields the
+  // same worlds.
+  if (owned_ != nullptr && owned_.use_count() == 2) {
+    owned_->Resample(graph_, seed);
+    return Status::OK();
+  }
+  // Generation swap: replicas sharing the old generation keep reading it
+  // untouched; this replica alone moves to the fresh worlds. The old
+  // generation is freed when its last reader lets go.
+  RELCOMP_ASSIGN_OR_RETURN(std::shared_ptr<BfsSharingIndex> fresh,
+                           BfsSharingIndex::Build(graph_, options_, seed));
+  index_.store(std::shared_ptr<const BfsSharingIndex>(fresh),
+               std::memory_order_release);
+  owned_ = std::move(fresh);
   return Status::OK();
 }
 
 size_t BfsSharingEstimator::IndexMemoryBytes() const {
-  size_t total = edge_bits_.size() * sizeof(BitVector);
-  for (const BitVector& bv : edge_bits_) total += bv.MemoryBytes();
-  return total;
+  return shared_index()->MemoryBytes();
 }
 
 Result<double> BfsSharingEstimator::DoEstimate(const ReliabilityQuery& query,
@@ -66,7 +171,8 @@ Result<double> BfsSharingEstimator::DoEstimate(const ReliabilityQuery& query,
 
   // Working state: K-bit I_v per visited node plus bookkeeping arrays.
   ScopedAllocation working(memory, graph_.num_nodes() * 2 * sizeof(uint32_t));
-  RELCOMP_RETURN_NOT_OK(RunSharedBfs(s, k, &working));
+  const std::shared_ptr<const BfsSharingIndex> index = shared_index();
+  RELCOMP_RETURN_NOT_OK(RunSharedBfs(*index, s, k, &working));
 
   if (visit_epoch_[t] != epoch_) return 0.0;
   return static_cast<double>(node_bits_[t].Count()) / static_cast<double>(k);
@@ -77,7 +183,8 @@ Result<std::vector<double>> BfsSharingEstimator::ReliabilityFromSource(
   if (!graph_.HasNode(source)) {
     return Status::InvalidArgument("BFS Sharing: source out of range");
   }
-  RELCOMP_RETURN_NOT_OK(RunSharedBfs(source, num_samples, nullptr));
+  const std::shared_ptr<const BfsSharingIndex> index = shared_index();
+  RELCOMP_RETURN_NOT_OK(RunSharedBfs(*index, source, num_samples, nullptr));
   std::vector<double> reliability(graph_.num_nodes(), 0.0);
   for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
     if (visit_epoch_[v] == epoch_) {
@@ -88,12 +195,13 @@ Result<std::vector<double>> BfsSharingEstimator::ReliabilityFromSource(
   return reliability;
 }
 
-Status BfsSharingEstimator::RunSharedBfs(NodeId s, uint32_t k,
+Status BfsSharingEstimator::RunSharedBfs(const BfsSharingIndex& index, NodeId s,
+                                         uint32_t k,
                                          ScopedAllocation* working) {
-  if (k == 0 || k > options_.index_samples) {
+  if (k == 0 || k > index.num_samples()) {
     return Status::InvalidArgument(
         StrFormat("BFS Sharing: K=%u exceeds indexed worlds L=%u", k,
-                  options_.index_samples));
+                  index.num_samples()));
   }
   ++epoch_;
   auto visit = [&](NodeId v) {
@@ -119,7 +227,8 @@ Status BfsSharingEstimator::RunSharedBfs(NodeId s, uint32_t k,
       cascade.pop_front();
       for (const AdjEntry& a : graph_.OutEdges(w)) {
         if (!visited(a.neighbor)) continue;
-        if (node_bits_[a.neighbor].OrWithAnd(node_bits_[w], edge_bits_[a.edge])) {
+        if (node_bits_[a.neighbor].OrWithAnd(node_bits_[w],
+                                             index.edge_bits(a.edge))) {
           cascade.push_back(a.neighbor);
         }
       }
@@ -143,7 +252,7 @@ Status BfsSharingEstimator::RunSharedBfs(NodeId s, uint32_t k,
     BitVector& iv = node_bits_[v];
     for (const AdjEntry& a : graph_.InEdges(v)) {
       if (visited(a.neighbor)) {
-        iv.OrWithAnd(node_bits_[a.neighbor], edge_bits_[a.edge]);
+        iv.OrWithAnd(node_bits_[a.neighbor], index.edge_bits(a.edge));
       }
     }
     for (const AdjEntry& a : graph_.OutEdges(v)) {
@@ -152,7 +261,8 @@ Status BfsSharingEstimator::RunSharedBfs(NodeId s, uint32_t k,
           in_queue_epoch_[a.neighbor] = epoch_;
           worklist.push_back(a.neighbor);
         }
-      } else if (node_bits_[a.neighbor].OrWithAnd(iv, edge_bits_[a.edge])) {
+      } else if (node_bits_[a.neighbor].OrWithAnd(iv,
+                                                  index.edge_bits(a.edge))) {
         CascadeFrom(a.neighbor);
       }
     }
@@ -161,52 +271,16 @@ Status BfsSharingEstimator::RunSharedBfs(NodeId s, uint32_t k,
 }
 
 Status BfsSharingEstimator::SaveToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) return Status::IOError("cannot open for writing: " + path);
-  out.write(kIndexMagic, sizeof(kIndexMagic));
-  const uint64_t m = edge_bits_.size();
-  const uint32_t l = options_.index_samples;
-  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
-  out.write(reinterpret_cast<const char*>(&l), sizeof(l));
-  for (const BitVector& bv : edge_bits_) {
-    out.write(reinterpret_cast<const char*>(bv.words().data()),
-              static_cast<std::streamsize>(bv.words().size() * sizeof(uint64_t)));
-  }
-  if (!out.good()) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return shared_index()->SaveToFile(path);
 }
 
 Result<std::unique_ptr<BfsSharingEstimator>> BfsSharingEstimator::LoadFromFile(
     const UncertainGraph& graph, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return Status::IOError("cannot open for reading: " + path);
-  char magic[8];
-  uint64_t m = 0;
-  uint32_t l = 0;
-  in.read(magic, sizeof(magic));
-  in.read(reinterpret_cast<char*>(&m), sizeof(m));
-  in.read(reinterpret_cast<char*>(&l), sizeof(l));
-  if (!in.good() || std::memcmp(magic, kIndexMagic, sizeof(magic)) != 0) {
-    return Status::IOError("not a BFS Sharing index: " + path);
-  }
-  if (m != graph.num_edges()) {
-    return Status::InvalidArgument(
-        StrFormat("index has %llu edges, graph has %zu",
-                  static_cast<unsigned long long>(m), graph.num_edges()));
-  }
-  BfsSharingOptions options;
-  options.index_samples = l;
-  std::unique_ptr<BfsSharingEstimator> estimator(
-      new BfsSharingEstimator(graph, options));
-  Timer timer;
-  estimator->edge_bits_.resize(m);
-  for (auto& bv : estimator->edge_bits_) {
-    bv.Resize(l);
-    in.read(reinterpret_cast<char*>(bv.mutable_words().data()),
-            static_cast<std::streamsize>(bv.words().size() * sizeof(uint64_t)));
-    if (!in.good()) return Status::IOError("truncated BFS Sharing index: " + path);
-  }
-  estimator->index_build_seconds_ = timer.ElapsedSeconds();
+  RELCOMP_ASSIGN_OR_RETURN(std::shared_ptr<BfsSharingIndex> index,
+                           BfsSharingIndex::LoadFromFile(graph, path));
+  RELCOMP_ASSIGN_OR_RETURN(std::unique_ptr<BfsSharingEstimator> estimator,
+                           Create(graph, index));
+  estimator->owned_ = std::move(index);
   return estimator;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -16,6 +17,70 @@ struct BfsSharingOptions {
   uint32_t index_samples = 1500;
 };
 
+/// \brief One immutable generation of the BFS Sharing index: the L-bit edge
+/// vectors of Figure 3 (bit i = "edge exists in pre-sampled world i").
+///
+/// A generation is frozen at Build()/LoadFromFile() and never mutated, so any
+/// number of estimator replicas may read it concurrently through a
+/// `shared_ptr<const BfsSharingIndex>` — the engine builds the index once for
+/// all worker threads instead of once per replica. Resampling
+/// (BfsSharingEstimator::PrepareForNextQuery) creates a *new* generation and
+/// swaps the pointer; the old generation is freed when its last reader drops
+/// it.
+class BfsSharingIndex {
+ public:
+  /// Samples a fresh generation: O(L m) time, O(L m) space. Deterministic in
+  /// `seed` (bit-identical worlds for equal seeds and options). The returned
+  /// handle is the only mutable reference; share it onward as
+  /// `shared_ptr<const>`.
+  static Result<std::shared_ptr<BfsSharingIndex>> Build(
+      const UncertainGraph& graph, const BfsSharingOptions& options,
+      uint64_t seed);
+
+  /// Restores a generation persisted by SaveToFile (Figure 13c measures
+  /// this). The graph is needed only to validate the edge count.
+  static Result<std::shared_ptr<BfsSharingIndex>> LoadFromFile(
+      const UncertainGraph& graph, const std::string& path);
+
+  /// Refills every edge's worlds in place — bit-identical to a fresh
+  /// Build(graph, options, seed) with this generation's L, but with zero
+  /// allocation (the serving path's steady state: every query re-arms).
+  /// Caller must hold the generation exclusively: no other replica may read
+  /// the bit content concurrently (size-only readers like MemoryBytes are
+  /// unaffected — refilling never changes shapes).
+  void Resample(const UncertainGraph& graph, uint64_t seed);
+
+  /// Persists the edge bit-vectors to `path`.
+  Status SaveToFile(const std::string& path) const;
+
+  /// L, the number of worlds stored per edge.
+  uint32_t num_samples() const { return num_samples_; }
+  size_t num_edges() const { return edge_bits_.size(); }
+  const BitVector& edge_bits(EdgeId e) const { return edge_bits_[e]; }
+
+  /// Edge bit-vector bytes resident in memory.
+  size_t MemoryBytes() const;
+
+  /// Seconds spent sampling (or loading) this generation.
+  double build_seconds() const { return build_seconds_; }
+
+  /// Process-wide count of Build()/LoadFromFile() completions (in-place
+  /// Resample()s allocate nothing and are not counted). Lets tests and the
+  /// CI smoke bench assert that N engine replicas triggered exactly one
+  /// index construction.
+  static uint64_t BuildCount() {
+    return build_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  BfsSharingIndex() = default;
+
+  uint32_t num_samples_ = 0;
+  double build_seconds_ = 0.0;
+  std::vector<BitVector> edge_bits_;
+  static std::atomic<uint64_t> build_count_;
+};
+
 /// \brief Indexing via BFS Sharing (Algorithms 2 + 3; Zhu et al. [45],
 /// adapted from top-k reliability search to single s-t queries).
 ///
@@ -30,32 +95,58 @@ struct BfsSharingOptions {
 /// This implementation follows the paper's *corrected* complexity analysis:
 /// online time is O(K(m+n)) — it grows with K — not independent of K as
 /// claimed in [45].
+///
+/// Memory split: the index generation is immutable and shareable across
+/// replicas (see BfsSharingIndex); only the per-query scratch (node
+/// bit-vectors, visit epochs) is private to this instance. The serving path
+/// is read-only on the index, so replicas sharing one generation answer
+/// concurrently without synchronization.
 class BfsSharingEstimator : public Estimator {
  public:
-  /// Builds the offline index (O(L m) time, O(n + L m) space).
+  /// Builds a private generation-0 index (O(L m) time, O(n + L m) space).
   static Result<std::unique_ptr<BfsSharingEstimator>> Create(
       const UncertainGraph& graph, const BfsSharingOptions& options,
       uint64_t index_seed);
+
+  /// Wraps an existing (possibly shared) index generation — the replica path:
+  /// N estimators over one `shared_ptr<const>` index cost one build.
+  static Result<std::unique_ptr<BfsSharingEstimator>> Create(
+      const UncertainGraph& graph,
+      std::shared_ptr<const BfsSharingIndex> index);
 
   /// Loads a previously saved index from `path` (Figure 13c measures this).
   static Result<std::unique_ptr<BfsSharingEstimator>> LoadFromFile(
       const UncertainGraph& graph, const std::string& path);
 
-  /// Persists the edge bit-vectors to `path`.
+  /// Persists the current index generation to `path`.
   Status SaveToFile(const std::string& path) const;
 
   std::string_view name() const override { return "BFSSharing"; }
   const UncertainGraph& graph() const override { return graph_; }
 
-  /// Edge bit-vector bytes resident in memory.
+  /// Edge bit-vector bytes resident in memory (the current generation).
   size_t IndexMemoryBytes() const override;
+  /// The whole index is held via a shareable immutable generation.
+  size_t SharedIndexBytes() const override { return IndexMemoryBytes(); }
+  const void* SharedIndexIdentity() const override {
+    return shared_index().get();
+  }
 
   /// Re-samples all edge bit-vectors. Required between successive queries to
   /// keep their answers independent (Table 15 measures this per-query cost).
+  /// When this replica exclusively owns its generation, the worlds are
+  /// refilled in place (zero allocation — the serving-path steady state);
+  /// otherwise a fresh generation is built and atomically swapped in,
+  /// leaving generations still referenced by other replicas untouched.
   Status PrepareForNextQuery(uint64_t seed) override;
 
-  /// Seconds spent building (or loading) the index.
-  double index_build_seconds() const { return index_build_seconds_; }
+  /// The generation this replica currently reads (atomic snapshot).
+  std::shared_ptr<const BfsSharingIndex> shared_index() const {
+    return index_.load(std::memory_order_acquire);
+  }
+
+  /// Seconds spent building (or loading) the current generation.
+  double index_build_seconds() const { return shared_index()->build_seconds(); }
   /// L, the number of worlds stored per edge.
   uint32_t index_samples() const { return options_.index_samples; }
 
@@ -73,20 +164,26 @@ class BfsSharingEstimator : public Estimator {
 
  private:
   BfsSharingEstimator(const UncertainGraph& graph,
-                      const BfsSharingOptions& options);
-
-  void ResampleIndex(uint64_t seed);
+                      std::shared_ptr<const BfsSharingIndex> index);
 
   /// Core of Algorithms 2+3: fills node_bits_ / visit_epoch_ for all nodes
-  /// reached from `source`, with cascading fix-point updates.
-  Status RunSharedBfs(NodeId source, uint32_t num_samples,
-                      ScopedAllocation* working);
+  /// reached from `source`, with cascading fix-point updates. Reads only
+  /// `index` and this replica's private scratch.
+  Status RunSharedBfs(const BfsSharingIndex& index, NodeId source,
+                      uint32_t num_samples, ScopedAllocation* working);
 
   const UncertainGraph& graph_;
   BfsSharingOptions options_;
-  double index_build_seconds_ = 0.0;
-  /// One L-bit vector per edge: the compact structure of Figure 3.
-  std::vector<BitVector> edge_bits_;
+  /// Current generation. Atomic so StatsSnapshot readers may observe the
+  /// pointer while this replica's worker swaps generations; readers never
+  /// touch bit content (sizes only).
+  std::atomic<std::shared_ptr<const BfsSharingIndex>> index_;
+  /// Mutable handle to the current generation IFF this replica built it
+  /// privately (Create-with-options, LoadFromFile, or a past generation
+  /// swap); nullptr while reading a generation handed in from outside that
+  /// other replicas may share. Exclusive ownership (use_count == 2: this +
+  /// the copy inside index_) enables in-place resampling.
+  std::shared_ptr<BfsSharingIndex> owned_;
 
   /// Per-query scratch, epoch-reused: node bit-vectors I_v and visited marks.
   std::vector<BitVector> node_bits_;

@@ -67,6 +67,17 @@ class Estimator {
   /// estimators.
   virtual size_t IndexMemoryBytes() const { return 0; }
 
+  /// The portion of IndexMemoryBytes() held through an immutable index that
+  /// may be shared with other replicas (see MakeEstimatorReplicas). Memory
+  /// reports must count each shared index once, not once per replica —
+  /// deduplicate by SharedIndexIdentity(). 0 for index-free estimators.
+  virtual size_t SharedIndexBytes() const { return 0; }
+
+  /// Stable identity of the shared index this replica currently holds (the
+  /// index object's address), or nullptr when it holds none. Two replicas
+  /// returning the same non-null identity read literally the same index.
+  virtual const void* SharedIndexIdentity() const { return nullptr; }
+
   /// Inter-query maintenance hook. BFS Sharing must resample its possible
   /// worlds between successive queries to keep answers independent
   /// (Table 15); all other estimators are no-ops.

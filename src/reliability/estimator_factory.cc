@@ -1,8 +1,28 @@
 #include "reliability/estimator_factory.h"
 
+#include <algorithm>
+
 #include "reliability/mc_sampling.h"
 
 namespace relcomp {
+
+namespace {
+
+/// ProbTree inner estimator for the coupled kinds (Table 16).
+ProbTreeInner InnerFor(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kProbTreeLpPlus:
+      return ProbTreeInner::kLazyPropagationPlus;
+    case EstimatorKind::kProbTreeRhh:
+      return ProbTreeInner::kRecursive;
+    case EstimatorKind::kProbTreeRss:
+      return ProbTreeInner::kRecursiveStratified;
+    default:
+      return ProbTreeInner::kMonteCarlo;
+  }
+}
+
+}  // namespace
 
 const char* EstimatorKindName(EstimatorKind kind) {
   switch (kind) {
@@ -53,17 +73,9 @@ Result<std::unique_ptr<Estimator>> MakeEstimator(EstimatorKind kind,
     case EstimatorKind::kProbTreeLpPlus:
     case EstimatorKind::kProbTreeRhh:
     case EstimatorKind::kProbTreeRss: {
-      ProbTreeInner inner = ProbTreeInner::kMonteCarlo;
-      if (kind == EstimatorKind::kProbTreeLpPlus) {
-        inner = ProbTreeInner::kLazyPropagationPlus;
-      } else if (kind == EstimatorKind::kProbTreeRhh) {
-        inner = ProbTreeInner::kRecursive;
-      } else if (kind == EstimatorKind::kProbTreeRss) {
-        inner = ProbTreeInner::kRecursiveStratified;
-      }
       RELCOMP_ASSIGN_OR_RETURN(
           std::unique_ptr<ProbTreeEstimator> estimator,
-          ProbTreeEstimator::Create(graph, options.prob_tree, inner));
+          ProbTreeEstimator::Create(graph, options.prob_tree, InnerFor(kind)));
       return std::unique_ptr<Estimator>(std::move(estimator));
     }
     case EstimatorKind::kLazyPropagationPlus: {
@@ -94,12 +106,65 @@ Result<std::vector<std::unique_ptr<Estimator>>> MakeEstimatorReplicas(
   }
   std::vector<std::unique_ptr<Estimator>> replicas;
   replicas.reserve(count);
+  switch (kind) {
+    // Index-carrying kinds: build the immutable index once, share it.
+    case EstimatorKind::kBfsSharing: {
+      RELCOMP_ASSIGN_OR_RETURN(
+          std::shared_ptr<const BfsSharingIndex> index,
+          BfsSharingIndex::Build(graph, options.bfs_sharing,
+                                 options.index_seed));
+      for (size_t i = 0; i < count; ++i) {
+        RELCOMP_ASSIGN_OR_RETURN(std::unique_ptr<BfsSharingEstimator> replica,
+                                 BfsSharingEstimator::Create(graph, index));
+        replicas.push_back(std::move(replica));
+      }
+      return replicas;
+    }
+    case EstimatorKind::kProbTree:
+    case EstimatorKind::kProbTreeLpPlus:
+    case EstimatorKind::kProbTreeRhh:
+    case EstimatorKind::kProbTreeRss: {
+      RELCOMP_ASSIGN_OR_RETURN(
+          std::shared_ptr<const ProbTreeIndex> index,
+          ProbTreeIndex::BuildShared(graph, options.prob_tree));
+      for (size_t i = 0; i < count; ++i) {
+        RELCOMP_ASSIGN_OR_RETURN(
+            std::unique_ptr<ProbTreeEstimator> replica,
+            ProbTreeEstimator::CreateWithIndex(graph, index, InnerFor(kind)));
+        replicas.push_back(std::move(replica));
+      }
+      return replicas;
+    }
+    // Index-free kinds: independent instances are already O(1) to build.
+    default:
+      break;
+  }
   for (size_t i = 0; i < count; ++i) {
     RELCOMP_ASSIGN_OR_RETURN(std::unique_ptr<Estimator> replica,
                              MakeEstimator(kind, graph, options));
     replicas.push_back(std::move(replica));
   }
   return replicas;
+}
+
+IndexMemoryReport ReportIndexMemory(
+    const std::vector<std::unique_ptr<Estimator>>& replicas) {
+  IndexMemoryReport report;
+  std::vector<const void*> seen;
+  for (const std::unique_ptr<Estimator>& replica : replicas) {
+    if (replica == nullptr) continue;
+    const void* identity = replica->SharedIndexIdentity();
+    const size_t shared = replica->SharedIndexBytes();
+    const size_t total = replica->IndexMemoryBytes();
+    report.replica_bytes += total - (identity != nullptr ? shared : 0);
+    if (identity == nullptr) continue;
+    if (std::find(seen.begin(), seen.end(), identity) == seen.end()) {
+      seen.push_back(identity);
+      report.shared_bytes += shared;
+      ++report.shared_indexes;
+    }
+  }
+  return report;
 }
 
 }  // namespace relcomp

@@ -57,11 +57,24 @@ Result<std::unique_ptr<Estimator>> MakeEstimator(EstimatorKind kind,
 /// Replicas are bit-identical: index construction is deterministic in
 /// FactoryOptions (BFS Sharing worlds come from `index_seed`, ProbTree
 /// decomposition is seed-free), so a query answered by replica 3 returns the
-/// same result as one answered by replica 0. Index-carrying estimators pay
-/// the build once per replica; sharing one immutable index across replicas
-/// is a ROADMAP item.
+/// same result as one answered by replica 0.
+///
+/// Index-carrying kinds (BFS Sharing, ProbTree and its coupled variants)
+/// build their index **once** and hand every replica a
+/// `shared_ptr<const>` to it: construction cost and index memory are O(1) in
+/// `count`, and the serving path reads the index without synchronization.
+/// Each replica keeps only private scratch. BFS Sharing replicas later
+/// diverge onto private generations as PrepareForNextQuery resamples
+/// (generation swap) — that is per-query state, not build cost.
 Result<std::vector<std::unique_ptr<Estimator>>> MakeEstimatorReplicas(
     EstimatorKind kind, const UncertainGraph& graph, size_t count,
     const FactoryOptions& options = {});
+
+/// Deduplicated index footprint of a replica set: each distinct shared index
+/// (by Estimator::SharedIndexIdentity) is counted once; replica-private index
+/// bytes are summed. Use this instead of summing IndexMemoryBytes() whenever
+/// replicas may share an index.
+IndexMemoryReport ReportIndexMemory(
+    const std::vector<std::unique_ptr<Estimator>>& replicas);
 
 }  // namespace relcomp

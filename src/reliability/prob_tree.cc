@@ -435,8 +435,15 @@ Result<ProbTreeIndex> ProbTreeIndex::LoadFromFile(const std::string& path) {
   return index;
 }
 
+Result<std::shared_ptr<const ProbTreeIndex>> ProbTreeIndex::BuildShared(
+    const UncertainGraph& graph, const ProbTreeOptions& options) {
+  RELCOMP_ASSIGN_OR_RETURN(ProbTreeIndex index, Build(graph, options));
+  return std::make_shared<const ProbTreeIndex>(std::move(index));
+}
+
 ProbTreeEstimator::ProbTreeEstimator(const UncertainGraph& graph,
-                                     ProbTreeIndex index, ProbTreeInner inner)
+                                     std::shared_ptr<const ProbTreeIndex> index,
+                                     ProbTreeInner inner)
     : graph_(graph), index_(std::move(index)), inner_(inner) {
   switch (inner_) {
     case ProbTreeInner::kMonteCarlo:
@@ -457,8 +464,17 @@ ProbTreeEstimator::ProbTreeEstimator(const UncertainGraph& graph,
 Result<std::unique_ptr<ProbTreeEstimator>> ProbTreeEstimator::Create(
     const UncertainGraph& graph, const ProbTreeOptions& options,
     ProbTreeInner inner) {
-  RELCOMP_ASSIGN_OR_RETURN(ProbTreeIndex index,
-                           ProbTreeIndex::Build(graph, options));
+  RELCOMP_ASSIGN_OR_RETURN(std::shared_ptr<const ProbTreeIndex> index,
+                           ProbTreeIndex::BuildShared(graph, options));
+  return CreateWithIndex(graph, std::move(index), inner);
+}
+
+Result<std::unique_ptr<ProbTreeEstimator>> ProbTreeEstimator::CreateWithIndex(
+    const UncertainGraph& graph, std::shared_ptr<const ProbTreeIndex> index,
+    ProbTreeInner inner) {
+  if (index == nullptr) {
+    return Status::InvalidArgument("ProbTree: index must not be null");
+  }
   return std::unique_ptr<ProbTreeEstimator>(
       new ProbTreeEstimator(graph, std::move(index), inner));
 }
@@ -468,7 +484,7 @@ Result<double> ProbTreeEstimator::DoEstimate(const ReliabilityQuery& query,
                                              MemoryTracker* memory) {
   if (query.source == query.target) return 1.0;
   RELCOMP_ASSIGN_OR_RETURN(RootedGraph rooted,
-                           index_.ExtractQueryGraph(query.source, query.target));
+                           index_->ExtractQueryGraph(query.source, query.target));
   ScopedAllocation extracted(memory, rooted.graph.MemoryBytes());
 
   std::unique_ptr<Estimator> inner;

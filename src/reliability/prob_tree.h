@@ -71,6 +71,13 @@ class ProbTreeIndex {
   static Result<ProbTreeIndex> Build(const UncertainGraph& graph,
                                      const ProbTreeOptions& options);
 
+  /// Builds the index into a shareable immutable handle. The decomposition is
+  /// seed-free and ExtractQueryGraph is const, so one index serves any number
+  /// of estimator replicas concurrently (the engine's replica path builds it
+  /// once instead of once per worker).
+  static Result<std::shared_ptr<const ProbTreeIndex>> BuildShared(
+      const UncertainGraph& graph, const ProbTreeOptions& options);
+
   /// Persists / restores the index (Figure 13c measures loading time).
   Status SaveToFile(const std::string& path) const;
   static Result<ProbTreeIndex> LoadFromFile(const std::string& path);
@@ -119,17 +126,30 @@ enum class ProbTreeInner {
 };
 
 /// \brief ProbTree-backed s-t reliability estimator (Algorithm 8).
+///
+/// Holds its index through a `shared_ptr<const>`: replicas created over the
+/// same index (CreateWithIndex) share one copy and only pay for private
+/// per-query state.
 class ProbTreeEstimator : public Estimator {
  public:
   static Result<std::unique_ptr<ProbTreeEstimator>> Create(
       const UncertainGraph& graph, const ProbTreeOptions& options,
       ProbTreeInner inner = ProbTreeInner::kMonteCarlo);
 
+  /// Replica path: wraps an existing shared index instead of building one.
+  static Result<std::unique_ptr<ProbTreeEstimator>> CreateWithIndex(
+      const UncertainGraph& graph, std::shared_ptr<const ProbTreeIndex> index,
+      ProbTreeInner inner = ProbTreeInner::kMonteCarlo);
+
   std::string_view name() const override { return name_; }
   const UncertainGraph& graph() const override { return graph_; }
-  size_t IndexMemoryBytes() const override { return index_.MemoryBytes(); }
+  size_t IndexMemoryBytes() const override { return index_->MemoryBytes(); }
+  /// The whole ProbTree index is held via a shareable immutable handle.
+  size_t SharedIndexBytes() const override { return index_->MemoryBytes(); }
+  const void* SharedIndexIdentity() const override { return index_.get(); }
 
-  const ProbTreeIndex& index() const { return index_; }
+  const ProbTreeIndex& index() const { return *index_; }
+  std::shared_ptr<const ProbTreeIndex> shared_index() const { return index_; }
 
  protected:
   Result<double> DoEstimate(const ReliabilityQuery& query,
@@ -137,11 +157,12 @@ class ProbTreeEstimator : public Estimator {
                             MemoryTracker* memory) override;
 
  private:
-  ProbTreeEstimator(const UncertainGraph& graph, ProbTreeIndex index,
+  ProbTreeEstimator(const UncertainGraph& graph,
+                    std::shared_ptr<const ProbTreeIndex> index,
                     ProbTreeInner inner);
 
   const UncertainGraph& graph_;
-  ProbTreeIndex index_;
+  std::shared_ptr<const ProbTreeIndex> index_;
   ProbTreeInner inner_;
   std::string name_;
 };

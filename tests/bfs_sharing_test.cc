@@ -158,6 +158,80 @@ TEST(BfsSharing, RejectsZeroIndexSamples) {
   EXPECT_FALSE(BfsSharingEstimator::Create(g, options, 1).ok());
 }
 
+TEST(BfsSharing, ReplicasShareOneIndexGeneration) {
+  const UncertainGraph g = RandomSmallGraph(20, 60, 0.2, 0.8, 40);
+  BfsSharingOptions options;
+  options.index_samples = 500;
+  const uint64_t builds_before = BfsSharingIndex::BuildCount();
+  auto index = BfsSharingIndex::Build(g, options, 7).MoveValue();
+  auto a = BfsSharingEstimator::Create(g, index).MoveValue();
+  auto b = BfsSharingEstimator::Create(g, index).MoveValue();
+  // Two replicas, one build; both read literally the same generation.
+  EXPECT_EQ(BfsSharingIndex::BuildCount() - builds_before, 1u);
+  EXPECT_EQ(a->SharedIndexIdentity(), index.get());
+  EXPECT_EQ(a->SharedIndexIdentity(), b->SharedIndexIdentity());
+  EXPECT_EQ(a->SharedIndexBytes(), index->MemoryBytes());
+
+  EstimateOptions opts;
+  opts.num_samples = 500;
+  EXPECT_DOUBLE_EQ(a->Estimate({0, 10}, opts)->reliability,
+                   b->Estimate({0, 10}, opts)->reliability);
+}
+
+TEST(BfsSharing, GenerationSwapLeavesSharingReplicasIntact) {
+  const UncertainGraph g = RandomSmallGraph(20, 60, 0.2, 0.8, 41);
+  BfsSharingOptions options;
+  options.index_samples = 400;
+  auto index = BfsSharingIndex::Build(g, options, 8).MoveValue();
+  auto a = BfsSharingEstimator::Create(g, index).MoveValue();
+  auto b = BfsSharingEstimator::Create(g, index).MoveValue();
+  EstimateOptions opts;
+  opts.num_samples = 400;
+  const double before = b->Estimate({0, 10}, opts)->reliability;
+
+  // a resamples onto a private fresh generation; b keeps reading gen-0.
+  ASSERT_TRUE(a->PrepareForNextQuery(999).ok());
+  EXPECT_NE(a->SharedIndexIdentity(), b->SharedIndexIdentity());
+  EXPECT_EQ(b->SharedIndexIdentity(), index.get());
+  EXPECT_DOUBLE_EQ(b->Estimate({0, 10}, opts)->reliability, before);
+  // With 400 worlds a resample virtually never reproduces the estimate.
+  EXPECT_NE(a->Estimate({0, 10}, opts)->reliability, before);
+}
+
+TEST(BfsSharing, SaveLoadRoundTripProducesShareableIndex) {
+  const UncertainGraph g = RandomSmallGraph(15, 45, 0.2, 0.8, 42);
+  auto est = Make(g, 500);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "relcomp_bfs_shared.bin")
+          .string();
+  ASSERT_TRUE(est->SaveToFile(path).ok());
+
+  auto loaded = BfsSharingIndex::LoadFromFile(g, path).MoveValue();
+  EXPECT_EQ(loaded->num_samples(), 500u);
+  EXPECT_EQ(loaded->num_edges(), g.num_edges());
+  // Two replicas over the loaded generation answer bit-identically to the
+  // estimator that saved it.
+  auto a = BfsSharingEstimator::Create(g, loaded).MoveValue();
+  auto b = BfsSharingEstimator::Create(g, loaded).MoveValue();
+  EstimateOptions opts;
+  opts.num_samples = 500;
+  const double expected = est->Estimate({0, 9}, opts)->reliability;
+  EXPECT_DOUBLE_EQ(a->Estimate({0, 9}, opts)->reliability, expected);
+  EXPECT_DOUBLE_EQ(b->Estimate({0, 9}, opts)->reliability, expected);
+  EXPECT_EQ(a->SharedIndexIdentity(), b->SharedIndexIdentity());
+  std::filesystem::remove(path);
+}
+
+TEST(BfsSharing, SharedIndexCreateRejectsMismatchedGraph) {
+  const UncertainGraph g = RandomSmallGraph(15, 45, 0.2, 0.8, 43);
+  BfsSharingOptions options;
+  options.index_samples = 100;
+  auto index = BfsSharingIndex::Build(g, options, 1).MoveValue();
+  const UncertainGraph other = RandomSmallGraph(15, 44, 0.2, 0.8, 44);
+  EXPECT_FALSE(BfsSharingEstimator::Create(other, index).ok());
+  EXPECT_FALSE(BfsSharingEstimator::Create(g, nullptr).ok());
+}
+
 TEST(BfsSharing, StatisticallyMatchesMonteCarlo) {
   // Same estimator variance as MC (Section 2.3): compare across resamples.
   const UncertainGraph g = RandomSmallGraph(12, 36, 0.2, 0.7, 37);

@@ -72,6 +72,65 @@ TEST(Factory, IndexSeedControlsBfsSharingWorlds) {
   (void)rc;  // rc may coincide by chance; only equality of a/b is guaranteed
 }
 
+TEST(Factory, ReplicasShareOneImmutableIndex) {
+  const UncertainGraph g = testing::RandomSmallGraph(20, 60, 0.2, 0.8, 4);
+  FactoryOptions options;
+  options.bfs_sharing.index_samples = 256;
+
+  for (EstimatorKind kind :
+       {EstimatorKind::kBfsSharing, EstimatorKind::kProbTree,
+        EstimatorKind::kProbTreeRss}) {
+    SCOPED_TRACE(EstimatorKindName(kind));
+    auto replicas = MakeEstimatorReplicas(kind, g, 4, options).MoveValue();
+    ASSERT_EQ(replicas.size(), 4u);
+    const void* identity = replicas[0]->SharedIndexIdentity();
+    ASSERT_NE(identity, nullptr);
+    for (const auto& replica : replicas) {
+      EXPECT_EQ(replica->SharedIndexIdentity(), identity);
+      EXPECT_EQ(replica->SharedIndexBytes(), replicas[0]->IndexMemoryBytes());
+    }
+    // Deduped footprint: one index, zero replica-private index bytes.
+    const IndexMemoryReport report = ReportIndexMemory(replicas);
+    EXPECT_EQ(report.shared_indexes, 1u);
+    EXPECT_EQ(report.shared_bytes, replicas[0]->IndexMemoryBytes());
+    EXPECT_EQ(report.replica_bytes, 0u);
+  }
+}
+
+TEST(Factory, BfsSharingReplicaPathBuildsIndexOnce) {
+  const UncertainGraph g = testing::RandomSmallGraph(20, 60, 0.2, 0.8, 5);
+  FactoryOptions options;
+  options.bfs_sharing.index_samples = 128;
+  const uint64_t builds_before = BfsSharingIndex::BuildCount();
+  auto replicas =
+      MakeEstimatorReplicas(EstimatorKind::kBfsSharing, g, 8, options)
+          .MoveValue();
+  EXPECT_EQ(BfsSharingIndex::BuildCount() - builds_before, 1u);
+
+  // Replicas answer bit-identically off the shared worlds.
+  EstimateOptions opts;
+  opts.num_samples = 128;
+  const double expected =
+      replicas[0]->Estimate({0, 10}, opts)->reliability;
+  for (size_t i = 1; i < replicas.size(); ++i) {
+    EXPECT_DOUBLE_EQ(replicas[i]->Estimate({0, 10}, opts)->reliability,
+                     expected);
+  }
+}
+
+TEST(Factory, IndexFreeKindsReportNoSharedIndex) {
+  const UncertainGraph g = testing::RandomSmallGraph(20, 60, 0.2, 0.8, 6);
+  auto replicas =
+      MakeEstimatorReplicas(EstimatorKind::kMonteCarlo, g, 3).MoveValue();
+  for (const auto& replica : replicas) {
+    EXPECT_EQ(replica->SharedIndexIdentity(), nullptr);
+    EXPECT_EQ(replica->SharedIndexBytes(), 0u);
+  }
+  const IndexMemoryReport report = ReportIndexMemory(replicas);
+  EXPECT_EQ(report.shared_indexes, 0u);
+  EXPECT_EQ(report.total_bytes(), 0u);
+}
+
 TEST(Factory, NamesAreUnique) {
   std::set<std::string> names;
   for (EstimatorKind kind :

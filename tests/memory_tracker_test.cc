@@ -81,6 +81,15 @@ TEST(ScopedAllocation, NullTrackerIsSafe) {
   EXPECT_EQ(scope.bytes(), 15u);
 }
 
+TEST(IndexMemoryReport, TotalsSplitSharedAndReplicaBytes) {
+  IndexMemoryReport report;
+  EXPECT_EQ(report.total_bytes(), 0u);
+  report.shared_bytes = 1000;
+  report.replica_bytes = 24;
+  report.shared_indexes = 1;
+  EXPECT_EQ(report.total_bytes(), 1024u);
+}
+
 TEST(CurrentRss, ReturnsPlausibleValue) {
   const size_t rss = CurrentRssBytes();
   // The test process certainly uses between 1 MB and 100 GB.

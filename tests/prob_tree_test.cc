@@ -219,5 +219,28 @@ TEST(ProbTreeEstimator, IndexIsReusedAcrossQueries) {
   EXPECT_EQ(est->IndexMemoryBytes(), index_bytes);  // no index churn
 }
 
+TEST(ProbTreeEstimator, ReplicasShareOneIndex) {
+  const UncertainGraph g = RandomSmallGraph(30, 80, 0.2, 0.8, 27);
+  auto index = ProbTreeIndex::BuildShared(g, ProbTreeOptions{}).MoveValue();
+  auto a = ProbTreeEstimator::CreateWithIndex(g, index).MoveValue();
+  auto b = ProbTreeEstimator::CreateWithIndex(
+               g, index, ProbTreeInner::kRecursiveStratified)
+               .MoveValue();
+  EXPECT_EQ(a->SharedIndexIdentity(), index.get());
+  EXPECT_EQ(b->SharedIndexIdentity(), index.get());
+  EXPECT_EQ(a->SharedIndexBytes(), index->MemoryBytes());
+  EXPECT_EQ(&a->index(), index.get());
+
+  // Same extracted query graph, same seed, same inner => same answer as an
+  // estimator that built its own copy of the (seed-free) index.
+  auto own = ProbTreeEstimator::Create(g, ProbTreeOptions{}).MoveValue();
+  EstimateOptions opts;
+  opts.num_samples = 300;
+  opts.seed = 17;
+  EXPECT_DOUBLE_EQ(a->Estimate({0, 12}, opts)->reliability,
+                   own->Estimate({0, 12}, opts)->reliability);
+  EXPECT_FALSE(ProbTreeEstimator::CreateWithIndex(g, nullptr).ok());
+}
+
 }  // namespace
 }  // namespace relcomp

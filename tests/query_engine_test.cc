@@ -90,14 +90,198 @@ TEST(QueryEngineTest, DeterministicAcrossThreadCounts) {
     auto serial = QueryEngine::Create(graph, BaseOptions(1, kind)).MoveValue();
     const std::vector<EngineResult> expected =
         serial->RunBatch(queries).MoveValue();
-    for (const size_t threads : {2u, 8u}) {
-      auto engine =
-          QueryEngine::Create(graph, BaseOptions(threads, kind)).MoveValue();
-      const std::vector<EngineResult> results =
-          engine->RunBatch(queries).MoveValue();
-      ExpectBitIdentical(expected, results);
+    // 1/2/8 threads, coalescing on and off: all bit-identical.
+    for (const size_t threads : {1u, 2u, 8u}) {
+      for (const bool coalescing : {true, false}) {
+        SCOPED_TRACE(threads);
+        SCOPED_TRACE(coalescing);
+        EngineOptions options = BaseOptions(threads, kind);
+        options.enable_coalescing = coalescing;
+        auto engine = QueryEngine::Create(graph, options).MoveValue();
+        const std::vector<EngineResult> results =
+            engine->RunBatch(queries).MoveValue();
+        ExpectBitIdentical(expected, results);
+      }
     }
   }
+}
+
+TEST(QueryEngineTest, SharedIndexRepliesMatchIndependentPerReplicaBuilds) {
+  // The engine's replicas share one immutable BFS Sharing index; a bare
+  // estimator built independently (its own index) and re-armed with the
+  // engine's prepare seed must reproduce every engine answer bitwise — the
+  // shared-index refactor changes memory, never results.
+  const UncertainGraph graph = RandomSmallGraph(24, 70, 0.2, 0.9, 57);
+  const std::vector<ReliabilityQuery> queries = AllPairsWorkload(graph, 30);
+  for (const size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(threads);
+    auto engine =
+        QueryEngine::Create(graph, BaseOptions(threads, EstimatorKind::kBfsSharing))
+            .MoveValue();
+    const std::vector<EngineResult> results =
+        engine->RunBatch(queries).MoveValue();
+    auto bare = MakeEstimator(EstimatorKind::kBfsSharing, graph,
+                              engine->options().factory)
+                    .MoveValue();
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_TRUE(bare->PrepareForNextQuery(engine->PrepareSeed(queries[i])).ok());
+      EstimateOptions opts;
+      opts.num_samples = engine->options().num_samples;
+      opts.seed = engine->QuerySeed(queries[i]);
+      const EstimateResult expected =
+          bare->Estimate(queries[i], opts).MoveValue();
+      EXPECT_EQ(std::memcmp(&results[i].reliability, &expected.reliability,
+                            sizeof(double)),
+                0)
+          << "query " << i;
+    }
+  }
+}
+
+TEST(QueryEngineTest, SharedIndexIsReportedOnceAcrossReplicas) {
+  const UncertainGraph graph = RandomSmallGraph(30, 90, 0.2, 0.8, 58);
+  for (const EstimatorKind kind :
+       {EstimatorKind::kBfsSharing, EstimatorKind::kProbTree}) {
+    SCOPED_TRACE(EstimatorKindName(kind));
+    EngineOptions options = BaseOptions(8, kind);
+    options.factory.bfs_sharing.index_samples = 400;
+    auto engine = QueryEngine::Create(graph, options).MoveValue();
+    auto single = MakeEstimator(kind, graph, options.factory).MoveValue();
+
+    // Eight replicas cost one index, not eight: the deduped footprint equals
+    // a single estimator's index (the per-replica baseline would be 8x).
+    const IndexMemoryReport report = engine->IndexMemory();
+    EXPECT_EQ(report.shared_indexes, 1u);
+    EXPECT_EQ(report.shared_bytes, single->IndexMemoryBytes());
+    EXPECT_EQ(report.replica_bytes, 0u);
+    EXPECT_EQ(report.total_bytes(), single->IndexMemoryBytes());
+    EXPECT_EQ(engine->StatsSnapshot().index_memory.total_bytes(),
+              report.total_bytes());
+  }
+  // Index-free kinds report an empty footprint.
+  auto mc_engine =
+      QueryEngine::Create(graph, BaseOptions(4, EstimatorKind::kMonteCarlo))
+          .MoveValue();
+  EXPECT_EQ(mc_engine->IndexMemory().total_bytes(), 0u);
+  EXPECT_EQ(mc_engine->IndexMemory().shared_indexes, 0u);
+}
+
+TEST(QueryEngineTest, BfsSharingCreateBuildsIndexExactlyOnce) {
+  const UncertainGraph graph = RandomSmallGraph(30, 90, 0.2, 0.8, 59);
+  EngineOptions options = BaseOptions(8, EstimatorKind::kBfsSharing);
+  options.factory.bfs_sharing.index_samples = 400;
+  const uint64_t builds_before = BfsSharingIndex::BuildCount();
+  auto engine = QueryEngine::Create(graph, options).MoveValue();
+  EXPECT_EQ(BfsSharingIndex::BuildCount() - builds_before, 1u);
+  EXPECT_EQ(engine->num_threads(), 8u);
+}
+
+TEST(QueryEngineTest, CoalescingCollapsesConcurrentIdenticalMisses) {
+  const UncertainGraph graph = RandomSmallGraph(30, 90, 0.2, 0.8, 61);
+  EngineOptions options = BaseOptions(8, EstimatorKind::kMonteCarlo);
+  options.num_samples = 2000;
+  auto engine = QueryEngine::Create(graph, options).MoveValue();
+
+  // 32 copies of one query land on 8 workers at once. The cache-or-flight
+  // rendezvous guarantees exactly one estimator invocation; every other copy
+  // is a cache hit or a coalesced share of the leader's computation.
+  const std::vector<ReliabilityQuery> queries(32, ReliabilityQuery{0, 17});
+  const std::vector<EngineResult> results =
+      engine->RunBatch(queries).MoveValue();
+  ASSERT_EQ(results.size(), queries.size());
+  const EngineStatsSnapshot snapshot = engine->StatsSnapshot();
+  EXPECT_EQ(snapshot.queries, queries.size());
+  EXPECT_EQ(snapshot.executed, 1u);
+  EXPECT_EQ(snapshot.coalesced + snapshot.cache.hits, queries.size() - 1);
+  size_t leaders = 0;
+  for (const EngineResult& result : results) {
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(std::memcmp(&result.reliability, &results[0].reliability,
+                          sizeof(double)),
+              0);
+    if (!result.cache_hit && !result.coalesced) ++leaders;
+  }
+  EXPECT_EQ(leaders, 1u);
+
+  // Coalescing shows up only under concurrency; the answers match a quiet
+  // engine's.
+  EngineOptions quiet = options;
+  quiet.num_threads = 1;
+  quiet.enable_coalescing = false;
+  auto reference = QueryEngine::Create(graph, quiet).MoveValue();
+  const std::vector<EngineResult> expected =
+      reference->RunBatch(queries).MoveValue();
+  ExpectBitIdentical(expected, results);
+}
+
+TEST(QueryEngineTest, PerQueryStatusIsolatesFailures) {
+  const UncertainGraph graph = RandomSmallGraph(20, 60, 0.2, 0.8, 62);
+  // K = 400 exceeds L = 100 indexed worlds: every s != t query fails inside
+  // the estimator, while s == t short-circuits to 1.0 before touching the
+  // index. The batch must carry both outcomes side by side.
+  EngineOptions options = BaseOptions(4, EstimatorKind::kBfsSharing);
+  options.factory.bfs_sharing.index_samples = 100;
+  auto engine = QueryEngine::Create(graph, options).MoveValue();
+
+  const std::vector<ReliabilityQuery> queries = {{0, 5}, {3, 3}, {1, 7}, {4, 4}};
+  const Result<std::vector<EngineResult>> batch = engine->RunBatch(queries);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  const std::vector<EngineResult>& results = *batch;
+  ASSERT_EQ(results.size(), queries.size());
+  EXPECT_FALSE(results[0].ok());
+  EXPECT_EQ(results[0].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(results[1].ok());
+  EXPECT_DOUBLE_EQ(results[1].reliability, 1.0);
+  EXPECT_FALSE(results[2].ok());
+  EXPECT_TRUE(results[3].ok());
+  EXPECT_DOUBLE_EQ(results[3].reliability, 1.0);
+  EXPECT_EQ(engine->StatsSnapshot().failures, 2u);
+
+  // Stream cycle: finished answers survive failing neighbors the same way.
+  for (const ReliabilityQuery& query : queries) {
+    ASSERT_TRUE(engine->Submit(query).ok());
+  }
+  const std::vector<EngineResult> stream = engine->Drain().MoveValue();
+  ASSERT_EQ(stream.size(), queries.size());
+  EXPECT_FALSE(stream[0].ok());
+  EXPECT_TRUE(stream[1].ok());
+  EXPECT_DOUBLE_EQ(stream[1].reliability, 1.0);
+}
+
+TEST(QueryEngineTest, TrueSpanTracksFirstStartToLastEnd) {
+  const UncertainGraph graph = RandomSmallGraph(16, 48, 0.3, 0.9, 63);
+  const std::vector<ReliabilityQuery> queries = AllPairsWorkload(graph, 20);
+  EngineOptions options = BaseOptions(2, EstimatorKind::kMonteCarlo);
+  options.num_samples = 64;
+  auto engine = QueryEngine::Create(graph, options).MoveValue();
+
+  EXPECT_EQ(engine->StatsSnapshot().span_seconds, 0.0);
+  ASSERT_EQ(engine->RunBatch(queries).MoveValue().size(), queries.size());
+  ASSERT_EQ(engine->RunBatch(queries).MoveValue().size(), queries.size());
+  const EngineStatsSnapshot solo = engine->StatsSnapshot();
+  EXPECT_GT(solo.span_seconds, 0.0);
+  // One client, two sequential batches: the span covers both calls plus the
+  // gap between them, so it is at least the summed per-call wall time.
+  EXPECT_GE(solo.span_seconds, solo.wall_seconds * 0.99);
+  EXPECT_GT(solo.span_qps, 0.0);
+
+  // Two clients: each batch contributes its full duration to wall_seconds
+  // (over-counting under overlap), while the span measures real elapsed
+  // time — the exact denominator for aggregate throughput. Whether or not
+  // the scheduler actually overlaps them, span >= wall/2 always holds
+  // (equality-ish at full overlap, span >= wall when serialized).
+  engine->ResetStats();
+  std::thread client_a([&] { engine->RunBatch(queries).MoveValue(); });
+  std::thread client_b([&] { engine->RunBatch(queries).MoveValue(); });
+  client_a.join();
+  client_b.join();
+  const EngineStatsSnapshot overlapped = engine->StatsSnapshot();
+  EXPECT_EQ(overlapped.queries, 2 * queries.size());
+  EXPECT_GT(overlapped.span_seconds, 0.0);
+  EXPECT_GT(overlapped.span_qps, 0.0);
+  EXPECT_GE(overlapped.span_seconds, overlapped.wall_seconds * 0.49);
+  engine->ResetStats();
+  EXPECT_EQ(engine->StatsSnapshot().span_seconds, 0.0);
 }
 
 TEST(QueryEngineTest, CacheDoesNotChangeResults) {
