@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_probtree_build.dir/bench/bench_ablation_probtree_build.cc.o"
+  "CMakeFiles/bench_ablation_probtree_build.dir/bench/bench_ablation_probtree_build.cc.o.d"
+  "bench/bench_ablation_probtree_build"
+  "bench/bench_ablation_probtree_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_probtree_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

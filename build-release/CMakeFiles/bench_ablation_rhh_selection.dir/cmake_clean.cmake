@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rhh_selection.dir/bench/bench_ablation_rhh_selection.cc.o"
+  "CMakeFiles/bench_ablation_rhh_selection.dir/bench/bench_ablation_rhh_selection.cc.o.d"
+  "bench/bench_ablation_rhh_selection"
+  "bench/bench_ablation_rhh_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rhh_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

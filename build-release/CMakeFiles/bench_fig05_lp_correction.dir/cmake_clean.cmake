@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_lp_correction.dir/bench/bench_fig05_lp_correction.cc.o"
+  "CMakeFiles/bench_fig05_lp_correction.dir/bench/bench_fig05_lp_correction.cc.o.d"
+  "bench/bench_fig05_lp_correction"
+  "bench/bench_fig05_lp_correction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_lp_correction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

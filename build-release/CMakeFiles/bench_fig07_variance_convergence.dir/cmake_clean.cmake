@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_variance_convergence.dir/bench/bench_fig07_variance_convergence.cc.o"
+  "CMakeFiles/bench_fig07_variance_convergence.dir/bench/bench_fig07_variance_convergence.cc.o.d"
+  "bench/bench_fig07_variance_convergence"
+  "bench/bench_fig07_variance_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_variance_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

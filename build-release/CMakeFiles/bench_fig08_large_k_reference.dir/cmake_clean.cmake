@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_large_k_reference.dir/bench/bench_fig08_large_k_reference.cc.o"
+  "CMakeFiles/bench_fig08_large_k_reference.dir/bench/bench_fig08_large_k_reference.cc.o.d"
+  "bench/bench_fig08_large_k_reference"
+  "bench/bench_fig08_large_k_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_large_k_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

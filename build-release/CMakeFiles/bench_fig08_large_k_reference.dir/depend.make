@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_large_k_reference.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_11_tradeoff.dir/bench/bench_fig09_11_tradeoff.cc.o"
+  "CMakeFiles/bench_fig09_11_tradeoff.dir/bench/bench_fig09_11_tradeoff.cc.o.d"
+  "bench/bench_fig09_11_tradeoff"
+  "bench/bench_fig09_11_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_11_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_index_cost.dir/bench/bench_fig13_index_cost.cc.o"
+  "CMakeFiles/bench_fig13_index_cost.dir/bench/bench_fig13_index_cost.cc.o.d"
+  "bench/bench_fig13_index_cost"
+  "bench/bench_fig13_index_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_index_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_15_distance.dir/bench/bench_fig14_15_distance.cc.o"
+  "CMakeFiles/bench_fig14_15_distance.dir/bench/bench_fig14_15_distance.cc.o.d"
+  "bench/bench_fig14_15_distance"
+  "bench/bench_fig14_15_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_15_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_threshold.dir/bench/bench_fig16_threshold.cc.o"
+  "CMakeFiles/bench_fig16_threshold.dir/bench/bench_fig16_threshold.cc.o.d"
+  "bench/bench_fig16_threshold"
+  "bench/bench_fig16_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_stratum.dir/bench/bench_fig17_stratum.cc.o"
+  "CMakeFiles/bench_fig17_stratum.dir/bench/bench_fig17_stratum.cc.o.d"
+  "bench/bench_fig17_stratum"
+  "bench/bench_fig17_stratum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_stratum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_estimators.dir/bench/bench_micro_estimators.cc.o"
+  "CMakeFiles/bench_micro_estimators.dir/bench/bench_micro_estimators.cc.o.d"
+  "bench/bench_micro_estimators"
+  "bench/bench_micro_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab03_08_accuracy.dir/bench/bench_tab03_08_accuracy.cc.o"
+  "CMakeFiles/bench_tab03_08_accuracy.dir/bench/bench_tab03_08_accuracy.cc.o.d"
+  "bench/bench_tab03_08_accuracy"
+  "bench/bench_tab03_08_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_08_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

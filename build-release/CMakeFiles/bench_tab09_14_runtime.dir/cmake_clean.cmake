@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab09_14_runtime.dir/bench/bench_tab09_14_runtime.cc.o"
+  "CMakeFiles/bench_tab09_14_runtime.dir/bench/bench_tab09_14_runtime.cc.o.d"
+  "bench/bench_tab09_14_runtime"
+  "bench/bench_tab09_14_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab09_14_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

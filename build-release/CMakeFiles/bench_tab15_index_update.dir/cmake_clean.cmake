@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab15_index_update.dir/bench/bench_tab15_index_update.cc.o"
+  "CMakeFiles/bench_tab15_index_update.dir/bench/bench_tab15_index_update.cc.o.d"
+  "bench/bench_tab15_index_update"
+  "bench/bench_tab15_index_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab15_index_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tab15_index_update.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab16_probtree_coupling.dir/bench/bench_tab16_probtree_coupling.cc.o"
+  "CMakeFiles/bench_tab16_probtree_coupling.dir/bench/bench_tab16_probtree_coupling.cc.o.d"
+  "bench/bench_tab16_probtree_coupling"
+  "bench/bench_tab16_probtree_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab16_probtree_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

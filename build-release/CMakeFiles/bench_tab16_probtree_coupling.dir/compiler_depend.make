@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tab16_probtree_coupling.
+# This may be replaced when dependencies are built.

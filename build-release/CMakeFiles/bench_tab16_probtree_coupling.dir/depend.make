@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab16_probtree_coupling.
+# This may be replaced when dependencies are built.

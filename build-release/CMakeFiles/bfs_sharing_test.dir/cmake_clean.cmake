@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfs_sharing_test.dir/tests/bfs_sharing_test.cc.o"
+  "CMakeFiles/bfs_sharing_test.dir/tests/bfs_sharing_test.cc.o.d"
+  "bfs_sharing_test"
+  "bfs_sharing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfs_sharing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_estimator_sweep_test.dir/tests/dataset_estimator_sweep_test.cc.o"
+  "CMakeFiles/dataset_estimator_sweep_test.dir/tests/dataset_estimator_sweep_test.cc.o.d"
+  "dataset_estimator_sweep_test"
+  "dataset_estimator_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_estimator_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

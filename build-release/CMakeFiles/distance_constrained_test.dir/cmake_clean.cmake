@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_constrained_test.dir/tests/distance_constrained_test.cc.o"
+  "CMakeFiles/distance_constrained_test.dir/tests/distance_constrained_test.cc.o.d"
+  "distance_constrained_test"
+  "distance_constrained_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_constrained_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_prob_test.dir/tests/edge_prob_test.cc.o"
+  "CMakeFiles/edge_prob_test.dir/tests/edge_prob_test.cc.o.d"
+  "edge_prob_test"
+  "edge_prob_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_prob_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

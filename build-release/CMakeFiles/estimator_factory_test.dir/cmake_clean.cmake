@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_factory_test.dir/tests/estimator_factory_test.cc.o"
+  "CMakeFiles/estimator_factory_test.dir/tests/estimator_factory_test.cc.o.d"
+  "estimator_factory_test"
+  "estimator_factory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_tournament.dir/examples/estimator_tournament.cpp.o"
+  "CMakeFiles/estimator_tournament.dir/examples/estimator_tournament.cpp.o.d"
+  "examples/estimator_tournament"
+  "examples/estimator_tournament.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_tournament.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_test.dir/tests/format_test.cc.o"
+  "CMakeFiles/format_test.dir/tests/format_test.cc.o.d"
+  "format_test"
+  "format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/influence_eval.dir/examples/influence_eval.cpp.o"
+  "CMakeFiles/influence_eval.dir/examples/influence_eval.cpp.o.d"
+  "examples/influence_eval"
+  "examples/influence_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/influence_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

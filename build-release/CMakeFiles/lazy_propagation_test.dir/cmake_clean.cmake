@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_propagation_test.dir/tests/lazy_propagation_test.cc.o"
+  "CMakeFiles/lazy_propagation_test.dir/tests/lazy_propagation_test.cc.o.d"
+  "lazy_propagation_test"
+  "lazy_propagation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_propagation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_sampling_test.dir/tests/mc_sampling_test.cc.o"
+  "CMakeFiles/mc_sampling_test.dir/tests/mc_sampling_test.cc.o.d"
+  "mc_sampling_test"
+  "mc_sampling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/possible_world_test.dir/tests/possible_world_test.cc.o"
+  "CMakeFiles/possible_world_test.dir/tests/possible_world_test.cc.o.d"
+  "possible_world_test"
+  "possible_world_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/possible_world_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppi_search.dir/examples/ppi_search.cpp.o"
+  "CMakeFiles/ppi_search.dir/examples/ppi_search.cpp.o.d"
+  "examples/ppi_search"
+  "examples/ppi_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppi_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

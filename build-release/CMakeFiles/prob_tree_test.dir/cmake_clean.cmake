@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prob_tree_test.dir/tests/prob_tree_test.cc.o"
+  "CMakeFiles/prob_tree_test.dir/tests/prob_tree_test.cc.o.d"
+  "prob_tree_test"
+  "prob_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prob_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

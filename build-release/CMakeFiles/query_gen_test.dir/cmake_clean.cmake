@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_gen_test.dir/tests/query_gen_test.cc.o"
+  "CMakeFiles/query_gen_test.dir/tests/query_gen_test.cc.o.d"
+  "query_gen_test"
+  "query_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

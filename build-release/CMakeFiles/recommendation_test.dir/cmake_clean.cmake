@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommendation_test.dir/tests/recommendation_test.cc.o"
+  "CMakeFiles/recommendation_test.dir/tests/recommendation_test.cc.o.d"
+  "recommendation_test"
+  "recommendation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommendation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursive_sampling_test.dir/tests/recursive_sampling_test.cc.o"
+  "CMakeFiles/recursive_sampling_test.dir/tests/recursive_sampling_test.cc.o.d"
+  "recursive_sampling_test"
+  "recursive_sampling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursive_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursive_stratified_test.dir/tests/recursive_stratified_test.cc.o"
+  "CMakeFiles/recursive_stratified_test.dir/tests/recursive_stratified_test.cc.o.d"
+  "recursive_stratified_test"
+  "recursive_stratified_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursive_stratified_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

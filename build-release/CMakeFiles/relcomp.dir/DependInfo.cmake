@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bitvector.cc" "CMakeFiles/relcomp.dir/src/common/bitvector.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/common/bitvector.cc.o.d"
+  "/root/repo/src/common/format.cc" "CMakeFiles/relcomp.dir/src/common/format.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/common/format.cc.o.d"
+  "/root/repo/src/common/memory_tracker.cc" "CMakeFiles/relcomp.dir/src/common/memory_tracker.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/common/memory_tracker.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/relcomp.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/relcomp.dir/src/common/status.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/common/status.cc.o.d"
+  "/root/repo/src/engine/engine_stats.cc" "CMakeFiles/relcomp.dir/src/engine/engine_stats.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/engine/engine_stats.cc.o.d"
+  "/root/repo/src/engine/query_engine.cc" "CMakeFiles/relcomp.dir/src/engine/query_engine.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/engine/query_engine.cc.o.d"
+  "/root/repo/src/engine/result_cache.cc" "CMakeFiles/relcomp.dir/src/engine/result_cache.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/engine/result_cache.cc.o.d"
+  "/root/repo/src/engine/thread_pool.cc" "CMakeFiles/relcomp.dir/src/engine/thread_pool.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/engine/thread_pool.cc.o.d"
+  "/root/repo/src/eval/convergence.cc" "CMakeFiles/relcomp.dir/src/eval/convergence.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/eval/convergence.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "CMakeFiles/relcomp.dir/src/eval/experiment.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "CMakeFiles/relcomp.dir/src/eval/metrics.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/query_gen.cc" "CMakeFiles/relcomp.dir/src/eval/query_gen.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/eval/query_gen.cc.o.d"
+  "/root/repo/src/eval/recommendation.cc" "CMakeFiles/relcomp.dir/src/eval/recommendation.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/eval/recommendation.cc.o.d"
+  "/root/repo/src/eval/table.cc" "CMakeFiles/relcomp.dir/src/eval/table.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/eval/table.cc.o.d"
+  "/root/repo/src/graph/datasets.cc" "CMakeFiles/relcomp.dir/src/graph/datasets.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/graph/datasets.cc.o.d"
+  "/root/repo/src/graph/edge_prob.cc" "CMakeFiles/relcomp.dir/src/graph/edge_prob.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/graph/edge_prob.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "CMakeFiles/relcomp.dir/src/graph/generators.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "CMakeFiles/relcomp.dir/src/graph/graph_builder.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/graph/graph_builder.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "CMakeFiles/relcomp.dir/src/graph/graph_io.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/possible_world.cc" "CMakeFiles/relcomp.dir/src/graph/possible_world.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/graph/possible_world.cc.o.d"
+  "/root/repo/src/graph/subgraph.cc" "CMakeFiles/relcomp.dir/src/graph/subgraph.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/graph/subgraph.cc.o.d"
+  "/root/repo/src/graph/uncertain_graph.cc" "CMakeFiles/relcomp.dir/src/graph/uncertain_graph.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/graph/uncertain_graph.cc.o.d"
+  "/root/repo/src/reliability/bfs_sharing.cc" "CMakeFiles/relcomp.dir/src/reliability/bfs_sharing.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/reliability/bfs_sharing.cc.o.d"
+  "/root/repo/src/reliability/bounds.cc" "CMakeFiles/relcomp.dir/src/reliability/bounds.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/reliability/bounds.cc.o.d"
+  "/root/repo/src/reliability/conditional.cc" "CMakeFiles/relcomp.dir/src/reliability/conditional.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/reliability/conditional.cc.o.d"
+  "/root/repo/src/reliability/distance_constrained.cc" "CMakeFiles/relcomp.dir/src/reliability/distance_constrained.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/reliability/distance_constrained.cc.o.d"
+  "/root/repo/src/reliability/estimator.cc" "CMakeFiles/relcomp.dir/src/reliability/estimator.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/reliability/estimator.cc.o.d"
+  "/root/repo/src/reliability/estimator_factory.cc" "CMakeFiles/relcomp.dir/src/reliability/estimator_factory.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/reliability/estimator_factory.cc.o.d"
+  "/root/repo/src/reliability/exact.cc" "CMakeFiles/relcomp.dir/src/reliability/exact.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/reliability/exact.cc.o.d"
+  "/root/repo/src/reliability/lazy_propagation.cc" "CMakeFiles/relcomp.dir/src/reliability/lazy_propagation.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/reliability/lazy_propagation.cc.o.d"
+  "/root/repo/src/reliability/mc_sampling.cc" "CMakeFiles/relcomp.dir/src/reliability/mc_sampling.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/reliability/mc_sampling.cc.o.d"
+  "/root/repo/src/reliability/prob_tree.cc" "CMakeFiles/relcomp.dir/src/reliability/prob_tree.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/reliability/prob_tree.cc.o.d"
+  "/root/repo/src/reliability/recursive_sampling.cc" "CMakeFiles/relcomp.dir/src/reliability/recursive_sampling.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/reliability/recursive_sampling.cc.o.d"
+  "/root/repo/src/reliability/recursive_stratified.cc" "CMakeFiles/relcomp.dir/src/reliability/recursive_stratified.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/reliability/recursive_stratified.cc.o.d"
+  "/root/repo/src/reliability/reliable_set.cc" "CMakeFiles/relcomp.dir/src/reliability/reliable_set.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/reliability/reliable_set.cc.o.d"
+  "/root/repo/src/reliability/top_k.cc" "CMakeFiles/relcomp.dir/src/reliability/top_k.cc.o" "gcc" "CMakeFiles/relcomp.dir/src/reliability/top_k.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

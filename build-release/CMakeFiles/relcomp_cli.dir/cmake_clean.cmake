@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relcomp_cli.dir/examples/relcomp_cli.cpp.o"
+  "CMakeFiles/relcomp_cli.dir/examples/relcomp_cli.cpp.o.d"
+  "examples/relcomp_cli"
+  "examples/relcomp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relcomp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_server.dir/examples/reliability_server.cpp.o"
+  "CMakeFiles/reliability_server.dir/examples/reliability_server.cpp.o.d"
+  "examples/reliability_server"
+  "examples/reliability_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliable_set_test.dir/tests/reliable_set_test.cc.o"
+  "CMakeFiles/reliable_set_test.dir/tests/reliable_set_test.cc.o.d"
+  "reliable_set_test"
+  "reliable_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliable_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

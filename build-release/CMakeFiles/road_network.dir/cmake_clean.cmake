@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_network.dir/examples/road_network.cpp.o"
+  "CMakeFiles/road_network.dir/examples/road_network.cpp.o.d"
+  "examples/road_network"
+  "examples/road_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
