@@ -2,12 +2,15 @@
 // QueryEngine at 1, 2, 4, ... worker threads, with the result cache off
 // (every query computes) and then on (repeats served from cache).
 //
-// The exit code enforces three invariants — this bench is the CI smoke gate:
+// The exit code enforces four invariants — this bench is the CI smoke gate:
 //   1. every thread count returns bit-identical estimates;
 //   2. QueryEngine::Create(kBfsSharing, 8 threads) builds the edge
 //      bit-vector index exactly once (shared across replicas), and the
 //      deduped index footprint equals ONE index, not eight;
-//   3. single-flight coalescing answers match the uncoalesced reference.
+//   3. single-flight coalescing answers match the uncoalesced reference;
+//   4. a mixed workload (st + top-k + reliable-set + distance in one batch)
+//      is bit-identical at 1/2/8 threads with the cache on and off, and its
+//      top-k / reliable-set answers match the standalone single-query APIs.
 // Scaling (the 1-vs-4-thread speedup) is reported but not gated: it depends
 // on the host's real core count, and this bench must stay green on
 // single-core CI runners.
@@ -22,6 +25,8 @@
 #include "eval/query_gen.h"
 #include "graph/datasets.h"
 #include "reliability/bfs_sharing.h"
+#include "reliability/reliable_set.h"
+#include "reliability/top_k.h"
 
 using namespace relcomp;
 
@@ -46,6 +51,15 @@ bool BitIdentical(const std::vector<EngineResult>& a,
     if (std::memcmp(&a[i].reliability, &b[i].reliability, sizeof(double)) !=
         0) {
       return false;
+    }
+    // Ranked payloads (top-k / reliable-set) must match node-for-node.
+    if (a[i].targets.size() != b[i].targets.size()) return false;
+    for (size_t j = 0; j < a[i].targets.size(); ++j) {
+      if (a[i].targets[j].node != b[i].targets[j].node ||
+          std::memcmp(&a[i].targets[j].reliability,
+                      &b[i].targets[j].reliability, sizeof(double)) != 0) {
+        return false;
+      }
     }
   }
   return true;
@@ -168,6 +182,89 @@ int main() {
     }
   }
 
+  // Mixed-workload gate: one batch spanning all four workload kinds must be
+  // bit-identical at 1/2/8 threads (cache on and off), and the engine's
+  // top-k / reliable-set answers must match the standalone single-query
+  // APIs exactly.
+  bool mixed_ok = true;
+  {
+    MixedWorkloadOptions mix;
+    mix.pairs.num_pairs = config.num_pairs;
+    mix.pairs.seed = config.seed ^ 0xEAC4E;
+    mix.num_queries = std::max<uint32_t>(64, 2 * config.num_pairs);
+    mix.k = 10;
+    mix.eta = 0.2;
+    mix.max_hops = 4;
+    mix.seed = config.seed ^ 0x313D;
+    const std::vector<EngineQuery> mixed = bench::Unwrap(
+        GenerateMixedWorkload(dataset.graph, mix), "GenerateMixedWorkload");
+
+    std::vector<EngineResult> mixed_reference;
+    for (const uint32_t threads : {1u, 2u, 8u}) {
+      for (const bool cache : {false, true}) {
+        EngineOptions options = base;
+        options.num_threads = threads;
+        options.enable_cache = cache;
+        auto engine = bench::Unwrap(QueryEngine::Create(dataset.graph, options),
+                                    "QueryEngine::Create(mixed)");
+        std::vector<EngineResult> results =
+            bench::Unwrap(engine->RunBatch(mixed), "RunBatch(mixed)");
+        mixed_ok = mixed_ok && AllOk(results);
+        if (threads == 1 && !cache) {
+          rows.emplace_back("1 thread, mixed workload",
+                            engine->StatsSnapshot());
+          mixed_reference = std::move(results);
+        } else {
+          mixed_ok = mixed_ok && BitIdentical(mixed_reference, results);
+        }
+      }
+    }
+
+    // Standalone equivalence, checked against the 1-thread reference run.
+    EngineOptions options = base;
+    options.num_threads = 1;
+    auto engine = bench::Unwrap(QueryEngine::Create(dataset.graph, options),
+                                "QueryEngine::Create(mixed standalone)");
+    size_t sweeps_checked = 0;
+    for (size_t i = 0; i < mixed.size(); ++i) {
+      const EngineQuery& query = mixed[i];
+      const EngineResult& got = mixed_reference[i];
+      if (query.workload == WorkloadKind::kTopK) {
+        // Node-for-node, bit-for-bit against the standalone ranking.
+        const std::vector<ReliableTarget> expected = bench::Unwrap(
+            TopKReliableTargetsMonteCarlo(dataset.graph, query.source, query.k,
+                                          base.num_samples,
+                                          engine->QuerySeed(query)),
+            "TopKReliableTargetsMonteCarlo");
+        mixed_ok = mixed_ok && got.targets.size() == expected.size();
+        for (size_t j = 0; mixed_ok && j < expected.size(); ++j) {
+          mixed_ok = got.targets[j].node == expected[j].node &&
+                     std::memcmp(&got.targets[j].reliability,
+                                 &expected[j].reliability,
+                                 sizeof(double)) == 0;
+        }
+        ++sweeps_checked;
+      } else if (query.workload == WorkloadKind::kReliableSet) {
+        const ReliableSetResult expected = bench::Unwrap(
+            ReliableSetMonteCarlo(dataset.graph, query.source, query.eta,
+                                  base.num_samples, engine->QuerySeed(query)),
+            "ReliableSetMonteCarlo");
+        mixed_ok = mixed_ok && got.targets.size() == expected.members.size();
+        for (size_t j = 0; mixed_ok && j < expected.members.size(); ++j) {
+          mixed_ok = got.targets[j].node == expected.members[j].node &&
+                     std::memcmp(&got.targets[j].reliability,
+                                 &expected.members[j].reliability,
+                                 sizeof(double)) == 0;
+        }
+        ++sweeps_checked;
+      }
+    }
+    std::printf("mixed-workload gate: %zu sweep queries checked against the "
+                "standalone APIs: %s\n",
+                sweeps_checked,
+                mixed_ok ? "pass" : "FAIL — WORKLOAD PIPELINE DIVERGED");
+  }
+
   bench::PrintTable(EngineStatsTable(rows), "engine_throughput");
 
   // Shared-index gate: Create at 8 threads must build the BFS Sharing index
@@ -217,5 +314,5 @@ int main() {
     std::printf("speedup 4 threads vs 1: %.2fx\n",
                 qps_4threads / qps_1thread);
   }
-  return identical && shared_index_ok ? 0 : 1;
+  return identical && shared_index_ok && mixed_ok ? 0 : 1;
 }

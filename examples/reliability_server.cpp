@@ -1,7 +1,8 @@
-// reliability_server: replays a generated query workload through the
-// concurrent QueryEngine, the way a serving frontend would — a stream of
-// repeated parametrized requests, worker-thread estimator replicas, and a
-// result cache absorbing the hot keys.
+// reliability_server: replays a generated mixed workload through the
+// concurrent QueryEngine, the way a serving frontend would — a Zipf-skewed
+// stream of repeated parametrized requests spanning all four workload kinds
+// (s-t, top-k, reliable-set, distance-constrained), worker-thread estimator
+// replicas, and a result cache absorbing the hot keys.
 //
 //   ./build/examples/reliability_server [dataset] [threads] [requests]
 //
@@ -33,6 +34,39 @@ DatasetId ParseDataset(const char* name) {
   return DatasetId::kLastFm;
 }
 
+void PrintResponse(const EngineResult& r) {
+  const char* how = r.cache_hit   ? "cache hit"
+                    : r.coalesced ? "coalesced"
+                                  : "computed";
+  if (!r.ok()) {
+    // Per-query status: a failed request reports itself without having
+    // discarded the rest of the drain cycle.
+    std::printf("  %s FAILED: %s\n", r.query.Describe().c_str(),
+                r.status.ToString().c_str());
+    return;
+  }
+  switch (r.query.workload) {
+    case WorkloadKind::kSt:
+    case WorkloadKind::kDistance:
+      std::printf("  %s = %.4f  (%s, seed %016llx)\n",
+                  r.query.Describe().c_str(), r.reliability, how,
+                  static_cast<unsigned long long>(r.seed));
+      break;
+    case WorkloadKind::kTopK:
+    case WorkloadKind::kReliableSet: {
+      std::string head;
+      for (size_t i = 0; i < r.targets.size() && i < 3; ++i) {
+        head += StrFormat("%s%u:%.3f", i == 0 ? "" : ", ",
+                          r.targets[i].node, r.targets[i].reliability);
+      }
+      std::printf("  %s -> %zu targets [%s%s]  (%s)\n",
+                  r.query.Describe().c_str(), r.targets.size(), head.c_str(),
+                  r.targets.size() > 3 ? ", ..." : "", how);
+      break;
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -53,13 +87,18 @@ int main(int argc, char** argv) {
   std::printf("serving %s: %s\n", dataset.name.c_str(),
               dataset.graph.Describe().c_str());
 
-  // The catalogue of distinct queries users may ask (the paper's h=2
-  // workload), hit with a skewed popularity distribution.
-  QueryGenOptions query_options;
-  query_options.num_pairs = 100;
-  query_options.seed = 7;
-  const std::vector<ReliabilityQuery> catalogue =
-      GenerateQueries(dataset.graph, query_options).MoveValue();
+  // The catalogue of distinct queries users may ask — a mixed-workload
+  // stream over the paper's h=2 pairs — hit with a skewed popularity
+  // distribution.
+  MixedWorkloadOptions mix;
+  mix.pairs.num_pairs = 100;
+  mix.pairs.seed = 7;
+  mix.num_queries = 200;
+  mix.k = 10;
+  mix.eta = 0.2;
+  mix.max_hops = 4;
+  const std::vector<EngineQuery> catalogue =
+      GenerateMixedWorkload(dataset.graph, mix).MoveValue();
 
   EngineOptions options;
   options.num_threads = threads;
@@ -73,7 +112,7 @@ int main(int argc, char** argv) {
               options.num_samples);
 
   // Replay: popularity ~ 1/rank over the catalogue, like repeated users
-  // asking about the same few node pairs.
+  // asking about the same few queries.
   Rng rng(42);
   std::vector<double> cumulative(catalogue.size());
   double total = 0.0;
@@ -97,22 +136,14 @@ int main(int argc, char** argv) {
   std::printf("replayed %zu requests over %zu distinct queries\n\n",
               submitted, catalogue.size());
 
+  // One sample response per workload kind (first occurrence in the stream).
   std::printf("sample responses:\n");
-  for (size_t i = 0; i < responses.size() && i < 5; ++i) {
-    const EngineResult& r = responses[i];
-    if (!r.ok()) {
-      // Per-query status: a failed request reports itself without having
-      // discarded the rest of the drain cycle.
-      std::printf("  R(%u, %u) FAILED: %s\n", r.query.source, r.query.target,
-                  r.status.ToString().c_str());
-      continue;
-    }
-    std::printf("  R(%u, %u) = %.4f  (%s, seed %016llx)\n", r.query.source,
-                r.query.target, r.reliability,
-                r.cache_hit    ? "cache hit"
-                : r.coalesced  ? "coalesced"
-                               : "computed",
-                static_cast<unsigned long long>(r.seed));
+  bool seen[kNumWorkloadKinds] = {};
+  for (const EngineResult& r : responses) {
+    bool& done = seen[static_cast<size_t>(r.query.workload)];
+    if (done) continue;
+    done = true;
+    PrintResponse(r);
   }
   std::printf("\n%s\n",
               EngineStatsTable({{StrFormat("%zu threads", threads),

@@ -46,6 +46,11 @@ void EngineStats::RecordFailure(double seconds) {
   ++failures_;
 }
 
+void EngineStats::RecordWorkload(WorkloadKind kind) {
+  workload_queries_[static_cast<size_t>(kind)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
 void EngineStats::AddWallTime(double seconds) {
   std::lock_guard<std::mutex> lock(mutex_);
   wall_seconds_ += seconds;
@@ -80,6 +85,10 @@ EngineStatsSnapshot EngineStats::Snapshot(const ResultCache* cache) const {
     snapshot.executed = executed_;
     snapshot.coalesced = coalesced_;
     snapshot.failures = failures_;
+    for (size_t i = 0; i < kNumWorkloadKinds; ++i) {
+      snapshot.workload_queries[i] =
+          workload_queries_[i].load(std::memory_order_relaxed);
+    }
     if (span_first_start_.has_value() && span_last_end_.has_value() &&
         *span_last_end_ > *span_first_start_) {
       snapshot.span_seconds =
@@ -118,18 +127,29 @@ void EngineStats::Reset() {
   executed_ = 0;
   coalesced_ = 0;
   failures_ = 0;
+  for (std::atomic<uint64_t>& count : workload_queries_) {
+    count.store(0, std::memory_order_relaxed);
+  }
   span_first_start_.reset();
   span_last_end_.reset();
 }
 
 TextTable EngineStatsTable(
     const std::vector<std::pair<std::string, EngineStatsSnapshot>>& rows) {
-  TextTable table({"config", "queries", "exec", "coal", "wall s", "span s",
-                   "qps", "mean ms", "p50 ms", "p90 ms", "p99 ms", "max ms",
-                   "hit rate", "peak mem", "index mem"});
+  TextTable table({"config", "queries", "st/k/set/d", "exec", "coal",
+                   "wall s", "span s", "qps", "mean ms", "p50 ms", "p90 ms",
+                   "p99 ms", "max ms", "hit rate", "peak mem", "index mem"});
   for (const auto& [label, s] : rows) {
     table.AddRow(
         {label, StrFormat("%llu", static_cast<unsigned long long>(s.queries)),
+         StrFormat(
+             "%llu/%llu/%llu/%llu",
+             static_cast<unsigned long long>(s.queries_of(WorkloadKind::kSt)),
+             static_cast<unsigned long long>(s.queries_of(WorkloadKind::kTopK)),
+             static_cast<unsigned long long>(
+                 s.queries_of(WorkloadKind::kReliableSet)),
+             static_cast<unsigned long long>(
+                 s.queries_of(WorkloadKind::kDistance))),
          StrFormat("%llu", static_cast<unsigned long long>(s.executed)),
          StrFormat("%llu", static_cast<unsigned long long>(s.coalesced)),
          StrFormat("%.3f", s.wall_seconds), StrFormat("%.3f", s.span_seconds),

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -10,13 +11,23 @@
 #include "common/memory_tracker.h"
 #include "engine/result_cache.h"
 #include "eval/table.h"
+#include "reliability/workload.h"
 
 namespace relcomp {
 
 /// \brief Point-in-time view of engine performance: throughput, latency
-/// quantiles, cache effectiveness, coalescing, and index memory.
+/// quantiles, cache effectiveness, coalescing, per-workload mix, and index
+/// memory.
 struct EngineStatsSnapshot {
   uint64_t queries = 0;
+  /// Per-workload query counts, indexed by WorkloadKind (st, top-k,
+  /// reliable-set, distance) — every query is counted once however it was
+  /// resolved (executed, cached, coalesced, or failed).
+  uint64_t workload_queries[kNumWorkloadKinds] = {};
+
+  uint64_t queries_of(WorkloadKind kind) const {
+    return workload_queries[static_cast<size_t>(kind)];
+  }
   /// Queries that actually invoked an estimator (not served from cache or a
   /// coalesced in-flight twin, not failed before estimation).
   uint64_t executed = 0;
@@ -71,6 +82,10 @@ class EngineStats {
   /// Records one query that finished with a non-OK per-query status.
   void RecordFailure(double seconds);
 
+  /// Counts one query against its workload kind (called once per query, on
+  /// top of exactly one of the Record* outcomes above).
+  void RecordWorkload(WorkloadKind kind);
+
   /// Adds batch wall-clock time to the throughput denominator.
   void AddWallTime(double seconds);
 
@@ -96,6 +111,10 @@ class EngineStats {
   uint64_t executed_ = 0;
   uint64_t coalesced_ = 0;
   uint64_t failures_ = 0;
+  /// Atomic (not under mutex_): RecordWorkload runs on every query in
+  /// addition to exactly one mutex-guarded Record* outcome call, and a
+  /// second mutex acquisition per query would double stats-lock traffic.
+  std::atomic<uint64_t> workload_queries_[kNumWorkloadKinds] = {};
   std::optional<Clock::time_point> span_first_start_;
   std::optional<Clock::time_point> span_last_end_;
 };

@@ -36,6 +36,9 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
   if (opts.num_samples == 0) {
     return Status::InvalidArgument("EngineOptions::num_samples must be > 0");
   }
+  if (opts.cache_ttl < 0.0 || opts.negative_cache_ttl < 0.0) {
+    return Status::InvalidArgument("EngineOptions TTLs must be >= 0");
+  }
   // One shared immutable index for all replicas of an index-carrying kind
   // (built inside the factory), private scratch per replica.
   RELCOMP_ASSIGN_OR_RETURN(
@@ -45,20 +48,19 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
       new QueryEngine(graph, std::move(opts), std::move(replicas)));
 }
 
-uint64_t QueryEngine::QuerySeed(const ReliabilityQuery& query) const {
-  // Content-derived, not index-derived: the seed depends on what is asked,
-  // never on when or where it runs. Repeats of a query inside one engine get
-  // the same seed (and thus the same answer), which is exactly what makes a
-  // cache hit — or a coalesced in-flight share — indistinguishable from a
-  // recomputation.
-  uint64_t seed = HashCombineSeed(options_.seed, query.source);
-  seed = HashCombineSeed(seed, query.target);
+uint64_t QueryEngine::QuerySeed(const EngineQuery& query) const {
+  // Content-derived, not index-derived: the seed depends on what is asked —
+  // the workload tag and every parameter field — never on when or where it
+  // runs. Repeats of a query inside one engine get the same seed (and thus
+  // the same answer), which is exactly what makes a cache hit — or a
+  // coalesced in-flight share — indistinguishable from a recomputation.
+  uint64_t seed = HashWorkloadQuery(options_.seed, query);
   seed = HashCombineSeed(seed, static_cast<uint64_t>(options_.kind));
   seed = HashCombineSeed(seed, options_.num_samples);
   return seed;
 }
 
-uint64_t QueryEngine::PrepareSeed(const ReliabilityQuery& query) const {
+uint64_t QueryEngine::PrepareSeed(const EngineQuery& query) const {
   return HashCombineSeed(QuerySeed(query), kPrepareSeedTag);
 }
 
@@ -73,17 +75,34 @@ void QueryEngine::AwaitCall(CallState& state) {
   state.done.wait(lock, [&state] { return state.pending == 0; });
 }
 
+void QueryEngine::FillFromValue(ResultCacheValue value, EngineResult* slot) {
+  slot->status = std::move(value.status);
+  if (slot->status.ok()) {
+    slot->reliability = value.reliability;
+    slot->num_samples = value.num_samples;
+    slot->targets = std::move(value.targets);
+  }
+}
+
 bool QueryEngine::TryServeWithoutCompute(
     const ResultCacheKey& key, EngineResult* slot,
     std::shared_ptr<InFlight>* leader_flight) {
   // Fast path: lock-free-ish cache probe before touching the flight table.
   if (cache_ != nullptr) {
     if (std::optional<ResultCacheValue> hit = cache_->Lookup(key)) {
-      slot->reliability = hit->reliability;
-      slot->num_samples = hit->num_samples;
+      const bool negative = hit->negative();
+      FillFromValue(std::move(*hit), slot);
       slot->seconds = 0.0;
       slot->cache_hit = true;
-      stats_.RecordCacheHit();
+      if (negative) {
+        // Failure backoff: the cached error is served without recomputing.
+        // Counted as a failure (and as a cache negative_hit), never as a
+        // cache hit — executed + coalesced + failures + cache.hits must
+        // still equal queries.
+        stats_.RecordFailure(0.0);
+      } else {
+        stats_.RecordCacheHit();
+      }
       return true;
     }
   }
@@ -105,11 +124,15 @@ bool QueryEngine::TryServeWithoutCompute(
     if (cache_ != nullptr) {
       if (std::optional<ResultCacheValue> hit =
               cache_->Lookup(key, /*record_stats=*/false)) {
-        slot->reliability = hit->reliability;
-        slot->num_samples = hit->num_samples;
+        const bool negative = hit->negative();
+        FillFromValue(std::move(*hit), slot);
         slot->seconds = 0.0;
         slot->coalesced = true;
-        stats_.RecordCoalesced(0.0);
+        if (negative) {
+          stats_.RecordFailure(0.0);
+        } else {
+          stats_.RecordCoalesced(0.0);
+        }
         return true;
       }
     }
@@ -129,11 +152,7 @@ bool QueryEngine::TryServeWithoutCompute(
   {
     std::unique_lock<std::mutex> lock(flight->mutex);
     flight->done.wait(lock, [&flight] { return flight->ready; });
-    slot->status = flight->status;
-    if (flight->status.ok()) {
-      slot->reliability = flight->value.reliability;
-      slot->num_samples = flight->value.num_samples;
-    }
+    FillFromValue(flight->value, slot);
   }
   slot->seconds = wait_timer.ElapsedSeconds();
   slot->coalesced = true;
@@ -145,35 +164,48 @@ bool QueryEngine::TryServeWithoutCompute(
   return true;
 }
 
+void QueryEngine::PublishToCache(const ResultCacheKey& key,
+                                 const ResultCacheValue& value) {
+  if (cache_ == nullptr) return;
+  if (value.status.ok()) {
+    cache_->Insert(key, value, options_.cache_ttl);
+  } else if (options_.negative_cache_ttl > 0.0) {
+    // Negative caching: keep only the status (the payload is meaningless),
+    // under the short backoff TTL so the key retries after it elapses.
+    ResultCacheValue negative;
+    negative.status = value.status;
+    cache_->Insert(key, negative, options_.negative_cache_ttl);
+  }
+}
+
 void QueryEngine::FinishFlight(const ResultCacheKey& key,
                                const std::shared_ptr<InFlight>& flight,
-                               const Status& status,
                                const ResultCacheValue& value) {
   // Publish order matters: cache first, then retire the flight entry, then
   // wake the waiters. A concurrent miss thus always finds the key in the
   // cache or the flight table (never neither).
-  if (status.ok() && cache_ != nullptr) cache_->Insert(key, value);
+  PublishToCache(key, value);
   {
     std::lock_guard<std::mutex> lock(inflight_mutex_);
     inflight_.erase(key);
   }
   {
     std::lock_guard<std::mutex> lock(flight->mutex);
-    flight->status = status;
     flight->value = value;
     flight->ready = true;
   }
   flight->done.notify_all();
 }
 
-void QueryEngine::RunOne(size_t worker_id, const ReliabilityQuery& query,
+void QueryEngine::RunOne(size_t worker_id, const EngineQuery& query,
                          EngineResult* slot) {
   const uint64_t query_seed = QuerySeed(query);
   slot->query = query;
   slot->seed = query_seed;
+  stats_.RecordWorkload(query.workload);
 
-  const ResultCacheKey key{query.source, query.target, options_.kind,
-                           options_.num_samples, query_seed};
+  const ResultCacheKey key{query, options_.kind, options_.num_samples,
+                           query_seed};
   std::shared_ptr<InFlight> flight;
   if (TryServeWithoutCompute(key, slot, &flight)) return;
 
@@ -187,11 +219,15 @@ void QueryEngine::RunOne(size_t worker_id, const ReliabilityQuery& query,
     EstimateOptions estimate_options;
     estimate_options.num_samples = options_.num_samples;
     estimate_options.seed = query_seed;
-    Result<EstimateResult> result = estimator.Estimate(query, estimate_options);
+    Result<WorkloadResult> result =
+        DispatchWorkload(estimator, query, estimate_options);
     if (result.ok()) {
-      value = ResultCacheValue{result->reliability, result->num_samples};
-      slot->reliability = result->reliability;
-      slot->num_samples = result->num_samples;
+      value.reliability = result->reliability;
+      value.num_samples = result->num_samples;
+      value.targets = std::move(result->targets);
+      slot->reliability = value.reliability;
+      slot->num_samples = value.num_samples;
+      slot->targets = value.targets;
       slot->seconds = timer.ElapsedSeconds();
       stats_.RecordExecuted(slot->seconds, result->peak_memory_bytes);
     } else {
@@ -199,24 +235,25 @@ void QueryEngine::RunOne(size_t worker_id, const ReliabilityQuery& query,
     }
   }
   if (!status.ok()) {
+    value.status = status;
     slot->status = status;
     slot->seconds = timer.ElapsedSeconds();
     stats_.RecordFailure(slot->seconds);
   }
   if (flight != nullptr) {
-    FinishFlight(key, flight, status, value);
-  } else if (status.ok() && cache_ != nullptr) {
-    cache_->Insert(key, value);
+    FinishFlight(key, flight, value);
+  } else {
+    PublishToCache(key, value);
   }
 }
 
 Result<std::vector<EngineResult>> QueryEngine::RunBatch(
-    const std::vector<ReliabilityQuery>& queries) {
+    const std::vector<EngineQuery>& queries) {
   for (size_t i = 0; i < queries.size(); ++i) {
-    if (!graph_.HasNode(queries[i].source) ||
-        !graph_.HasNode(queries[i].target)) {
+    const Status valid = ValidateWorkload(graph_, queries[i]);
+    if (!valid.ok()) {
       return Status::InvalidArgument(
-          StrFormat("query %zu references a node outside the graph", i));
+          StrFormat("query %zu: %s", i, valid.message().c_str()));
     }
   }
   stats_.MarkCallStart();
@@ -225,7 +262,7 @@ Result<std::vector<EngineResult>> QueryEngine::RunBatch(
   std::vector<EngineResult> results(queries.size());
   Timer wall;
   for (size_t i = 0; i < queries.size(); ++i) {
-    const ReliabilityQuery query = queries[i];
+    const EngineQuery query = queries[i];
     EngineResult* slot = &results[i];
     const Status submitted = pool_->Submit(
         [this, query, slot, state](size_t worker_id) {
@@ -251,10 +288,18 @@ Result<std::vector<EngineResult>> QueryEngine::RunBatch(
   return results;
 }
 
-Status QueryEngine::Submit(const ReliabilityQuery& query) {
-  if (!graph_.HasNode(query.source) || !graph_.HasNode(query.target)) {
-    return Status::InvalidArgument("query references a node outside the graph");
+Result<std::vector<EngineResult>> QueryEngine::RunBatch(
+    const std::vector<ReliabilityQuery>& queries) {
+  std::vector<EngineQuery> wrapped;
+  wrapped.reserve(queries.size());
+  for (const ReliabilityQuery& query : queries) {
+    wrapped.push_back(EngineQuery(query));
   }
+  return RunBatch(wrapped);
+}
+
+Status QueryEngine::Submit(const EngineQuery& query) {
+  RELCOMP_RETURN_NOT_OK(ValidateWorkload(graph_, query));
   // The pool submit happens under stream_mutex_ so a concurrent Drain either
   // sees this query fully enqueued (and waits for it) or not at all (next
   // cycle); a slot can never be mid-flight across a drain boundary.

@@ -13,6 +13,7 @@
 #include "engine/thread_pool.h"
 #include "graph/uncertain_graph.h"
 #include "reliability/estimator_factory.h"
+#include "reliability/workload.h"
 
 namespace relcomp {
 
@@ -24,7 +25,10 @@ struct EngineOptions {
   size_t num_threads = 4;
   /// Bounded work-queue depth; Submit() blocks when full (backpressure).
   size_t queue_capacity = 1024;
-  /// Which estimator answers the queries.
+  /// Which estimator answers the queries. Workload support varies by kind:
+  /// every kind answers st; MC and BFS Sharing answer top-k / reliable-set
+  /// sweeps; MC and RHH answer distance-constrained queries. An unsupported
+  /// (kind, workload) pair fails that query (NotSupported), never the batch.
   EstimatorKind kind = EstimatorKind::kMonteCarlo;
   /// Sample budget K per query.
   uint32_t num_samples = 1000;
@@ -36,6 +40,16 @@ struct EngineOptions {
   bool enable_cache = true;
   size_t cache_capacity = 1 << 16;
   size_t cache_shards = 8;
+  /// TTL in seconds for successful cache entries; 0 = never expire. Expired
+  /// entries are dropped on the lookup that discovers them and counted in
+  /// ResultCacheStats::expired. Content-deterministic answers make expiry
+  /// semantically invisible: a recompute returns the identical result.
+  double cache_ttl = 0.0;
+  /// Failure backoff: estimator errors are cached for this many seconds
+  /// (negative caching), so a hot failing key stops recomputing — and
+  /// re-failing — on every miss; after the TTL it retries. 0 disables
+  /// negative caching. Requires enable_cache.
+  double negative_cache_ttl = 1.0;
   /// Single-flight request coalescing: concurrent cache misses for the same
   /// key share one in-flight computation instead of computing twins on
   /// separate workers. Semantically invisible (results are content-
@@ -45,14 +59,19 @@ struct EngineOptions {
   FactoryOptions factory;
 };
 
-/// \brief Outcome of one engine query.
+/// \brief Outcome of one engine query (any workload kind).
 struct EngineResult {
-  ReliabilityQuery query;
+  EngineQuery query;
   /// Per-query outcome. A non-OK status means this query's estimator call
-  /// failed; `reliability`/`num_samples` are meaningless then. Other queries
-  /// in the same batch / stream cycle are unaffected.
+  /// failed (or its workload is unsupported by the engine's estimator
+  /// kind); the payload fields are meaningless then. Other queries in the
+  /// same batch / stream cycle are unaffected.
   Status status;
+  /// Scalar payload for st / distance queries.
   double reliability = 0.0;
+  /// Ranked payload for top-k / reliable-set queries (decreasing
+  /// reliability, ties toward smaller node ids, source excluded).
+  std::vector<ReliableTarget> targets;
   uint32_t num_samples = 0;
   /// Seconds from dispatch on a worker to completion (0 for cache hits, which
   /// never reach a worker's estimator; wait time for coalesced queries).
@@ -67,15 +86,18 @@ struct EngineResult {
   bool ok() const { return status.ok(); }
 };
 
-/// \brief Concurrent batch reliability query engine.
+/// \brief Concurrent batch engine for the reliability workload family.
 ///
-/// Executes batches (RunBatch) or a stream (Submit/Drain) of s-t reliability
-/// queries on a fixed thread pool. Each worker owns a private estimator
-/// replica (Estimator instances are not thread-safe); index-carrying
-/// replicas share one immutable index. Every query's seed is derived from
-/// the master seed and the query's content — so a batch returns bit-identical
-/// results whether it runs on 1 thread or 16, with the cache and coalescing
-/// on or off. See src/engine/README.md for the contract.
+/// Executes batches (RunBatch) or a stream (Submit/Drain) of EngineQuerys —
+/// s-t reliability, top-k, reliable-set, and distance-constrained queries in
+/// one mixed pipeline — on a fixed thread pool. Each worker owns a private
+/// estimator replica (Estimator instances are not thread-safe);
+/// index-carrying replicas share one immutable index. Every query's seed is
+/// derived from the master seed and the query's content (workload tag
+/// included) — so a batch returns bit-identical results whether it runs on 1
+/// thread or 16, with the cache and coalescing on or off, and engine top-k /
+/// reliable-set answers match the standalone TopKReliableTargets* /
+/// ReliableSet* APIs exactly. See src/engine/README.md for the contract.
 ///
 /// Thread-safe: concurrent RunBatch/Submit/Drain calls from multiple client
 /// threads are safe and share the pool, cache, and cumulative stats.
@@ -93,17 +115,25 @@ class QueryEngine {
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
-  /// Executes `queries` and returns results in input order. Queries that
-  /// reference nodes outside the graph fail the whole batch up front (first
-  /// error wins) — batches are meant to be pre-validated workloads.
-  /// Estimator failures during execution do NOT fail the batch: they land in
-  /// the corresponding EngineResult::status.
+  /// Executes `queries` (any workload mix) and returns results in input
+  /// order. Malformed queries (nodes outside the graph, k = 0, eta outside
+  /// [0, 1]) fail the whole batch up front (first error wins) — batches are
+  /// meant to be pre-validated workloads. Estimator failures during
+  /// execution do NOT fail the batch: they land in the corresponding
+  /// EngineResult::status.
+  Result<std::vector<EngineResult>> RunBatch(
+      const std::vector<EngineQuery>& queries);
+
+  /// s-t convenience: wraps each pair as an EngineQuery (WorkloadKind::kSt).
   Result<std::vector<EngineResult>> RunBatch(
       const std::vector<ReliabilityQuery>& queries);
 
   /// Stream interface: enqueues one query (blocking while the work queue is
   /// full) for asynchronous execution.
-  Status Submit(const ReliabilityQuery& query);
+  Status Submit(const EngineQuery& query);
+  Status Submit(const ReliabilityQuery& query) {
+    return Submit(EngineQuery(query));
+  }
 
   /// Waits for every Submit()ted query to finish and returns their results
   /// in submission order, clearing the stream buffer. Estimator failures
@@ -111,13 +141,20 @@ class QueryEngine {
   Result<std::vector<EngineResult>> Drain();
 
   /// Derived seed for `query` under this engine's configuration; exposed so
-  /// callers can reproduce any single engine answer with a bare estimator.
-  uint64_t QuerySeed(const ReliabilityQuery& query) const;
+  /// callers can reproduce any single engine answer with a bare estimator
+  /// (or the standalone top-k / reliable-set / distance APIs).
+  uint64_t QuerySeed(const EngineQuery& query) const;
+  uint64_t QuerySeed(const ReliabilityQuery& query) const {
+    return QuerySeed(EngineQuery(query));
+  }
 
   /// Seed the engine passes to Estimator::PrepareForNextQuery before
   /// estimating `query` (a tagged derivative of QuerySeed); with QuerySeed
   /// this fully reproduces an engine answer on a bare estimator.
-  uint64_t PrepareSeed(const ReliabilityQuery& query) const;
+  uint64_t PrepareSeed(const EngineQuery& query) const;
+  uint64_t PrepareSeed(const ReliabilityQuery& query) const {
+    return PrepareSeed(EngineQuery(query));
+  }
 
   const EngineOptions& options() const { return options_; }
   size_t num_threads() const { return pool_->num_threads(); }
@@ -152,27 +189,34 @@ class QueryEngine {
     std::mutex mutex;
     std::condition_variable done;
     bool ready = false;
-    Status status;
-    ResultCacheValue value;
+    ResultCacheValue value;  ///< carries the Status (negative on failure)
   };
 
   /// Executes one query on `worker_id`'s replica (or serves it from cache /
   /// an in-flight twin), writing outcome and per-query status into `slot`.
-  void RunOne(size_t worker_id, const ReliabilityQuery& query,
-              EngineResult* slot);
+  void RunOne(size_t worker_id, const EngineQuery& query, EngineResult* slot);
 
   /// Cache lookup + single-flight rendezvous for `key`. Returns true when
-  /// `slot` was fully served (cache hit or coalesced); otherwise the caller
-  /// is the leader (or coalescing is off) and must compute, then call
-  /// FinishFlight with the outcome.
+  /// `slot` was fully served (cache hit — positive or negative — or
+  /// coalesced); otherwise the caller is the leader (or coalescing is off)
+  /// and must compute, then call FinishFlight with the outcome.
   bool TryServeWithoutCompute(const ResultCacheKey& key, EngineResult* slot,
                               std::shared_ptr<InFlight>* leader_flight);
 
-  /// Publishes the leader's outcome: inserts into the cache on success,
-  /// removes the in-flight entry, and wakes the waiters.
+  /// Publishes the leader's outcome: inserts into the cache (successes under
+  /// cache_ttl, failures under negative_cache_ttl when enabled), removes the
+  /// in-flight entry, and wakes the waiters.
   void FinishFlight(const ResultCacheKey& key,
                     const std::shared_ptr<InFlight>& flight,
-                    const Status& status, const ResultCacheValue& value);
+                    const ResultCacheValue& value);
+
+  /// Cache insertion policy shared by the leader and non-coalescing paths.
+  void PublishToCache(const ResultCacheKey& key, const ResultCacheValue& value);
+
+  /// Moves a cached / in-flight payload (and its status) into `slot`. Pass
+  /// a copy when the source is shared (a flight value read by many
+  /// followers); pass an expiring lookup result to skip the targets copy.
+  static void FillFromValue(ResultCacheValue value, EngineResult* slot);
 
   /// Blocks until every task accounted to `state` has finished.
   static void AwaitCall(CallState& state);

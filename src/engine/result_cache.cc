@@ -13,8 +13,7 @@ size_t RoundUpToPowerOfTwo(size_t n) {
 }  // namespace
 
 uint64_t ResultCacheKey::Hash() const {
-  uint64_t h = HashCombineSeed(seed, source);
-  h = HashCombineSeed(h, target);
+  uint64_t h = HashWorkloadQuery(seed, query);
   h = HashCombineSeed(h, static_cast<uint64_t>(kind));
   h = HashCombineSeed(h, num_samples);
   return h;
@@ -45,19 +44,42 @@ std::optional<ResultCacheValue> ResultCache::Lookup(const ResultCacheKey& key,
     if (record_stats) misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
+  if (it->second->expires && Clock::now() >= it->second->deadline) {
+    // Lazy expiry: the deadline elapsed, so the entry is dead weight — drop
+    // it and let the caller recompute (a miss). Expiry is counted even on
+    // uncounted probes: the entry really is gone either way.
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    expired_.fetch_add(1, std::memory_order_relaxed);
+    if (record_stats) misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  if (record_stats) hits_.fetch_add(1, std::memory_order_relaxed);
+  if (record_stats) {
+    if (it->second->value.negative()) {
+      negative_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   return it->second->value;
 }
 
 void ResultCache::Insert(const ResultCacheKey& key,
-                         const ResultCacheValue& value) {
+                         const ResultCacheValue& value, double ttl_seconds) {
   const HashedKey hashed{key, key.Hash()};
+  const bool expires = ttl_seconds > 0.0;
+  const Clock::time_point deadline =
+      expires ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(ttl_seconds))
+              : Clock::time_point();
   Shard& shard = ShardFor(hashed.hash);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.index.find(hashed);
   if (it != shard.index.end()) {
     it->second->value = value;
+    it->second->deadline = deadline;
+    it->second->expires = expires;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
@@ -66,7 +88,7 @@ void ResultCache::Insert(const ResultCacheKey& key,
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
-  shard.lru.push_front(Entry{hashed, value});
+  shard.lru.push_front(Entry{hashed, value, deadline, expires});
   shard.index.emplace(hashed, shard.lru.begin());
   insertions_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -82,9 +104,11 @@ void ResultCache::Clear() {
 ResultCacheStats ResultCache::Stats() const {
   ResultCacheStats stats;
   stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.negative_hits = negative_hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.insertions = insertions_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.expired = expired_.load(std::memory_order_relaxed);
   return stats;
 }
 

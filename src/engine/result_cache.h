@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -12,57 +13,78 @@
 
 #include "graph/uncertain_graph.h"
 #include "reliability/estimator_factory.h"
+#include "reliability/workload.h"
 
 namespace relcomp {
 
-/// \brief Full identity of a cacheable reliability result. Two engine calls
+/// \brief Full identity of a cacheable workload result. Two engine calls
 /// with equal keys are guaranteed (by the determinism contract of Estimator)
-/// to produce bit-identical estimates, so serving one from cache is
-/// semantically invisible.
+/// to produce bit-identical answers, so serving one from cache is
+/// semantically invisible. The workload tag lives inside `query`, so two
+/// workload kinds over the same nodes can never collide.
 struct ResultCacheKey {
-  NodeId source = kInvalidNode;
-  NodeId target = kInvalidNode;
+  EngineQuery query;
   EstimatorKind kind = EstimatorKind::kMonteCarlo;
   uint32_t num_samples = 0;
   uint64_t seed = 0;
 
   bool operator==(const ResultCacheKey& other) const {
-    return source == other.source && target == other.target &&
-           kind == other.kind && num_samples == other.num_samples &&
-           seed == other.seed;
+    return query == other.query && kind == other.kind &&
+           num_samples == other.num_samples && seed == other.seed;
   }
 
-  /// SplitMix-chained hash; also selects the shard.
+  /// SplitMix-chained hash over every field (workload tag included); also
+  /// selects the shard.
   uint64_t Hash() const;
 };
 
-/// \brief Cached payload: the estimate plus the count of samples consumed to
-/// produce it (the samples themselves are not retained).
+/// \brief Cached payload: either a successful answer (scalar reliability for
+/// st/distance, ranked targets for top-k/reliable-set, plus the sample count
+/// consumed) or — when `status` is non-OK — a cached estimator failure
+/// (negative caching: a hot failing key stops recomputing on every miss).
 struct ResultCacheValue {
+  ResultCacheValue() = default;
+  /// Scalar payload (st / distance answers); status OK, no targets.
+  ResultCacheValue(double reliability, uint32_t num_samples)
+      : reliability(reliability), num_samples(num_samples) {}
+
   double reliability = 0.0;
   uint32_t num_samples = 0;
+  /// Non-OK marks a negative entry; the payload fields are meaningless then.
+  Status status;
+  /// Top-k / reliable-set answers.
+  std::vector<ReliableTarget> targets;
+
+  bool negative() const { return !status.ok(); }
 };
 
 /// Monotonic counters; a snapshot type so callers can diff two points in
 /// time.
 struct ResultCacheStats {
-  uint64_t hits = 0;
+  uint64_t hits = 0;           ///< positive entries served
+  uint64_t negative_hits = 0;  ///< cached failures served (failure backoff)
   uint64_t misses = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;
+  uint64_t expired = 0;  ///< entries dropped because their TTL elapsed
 
-  uint64_t lookups() const { return hits + misses; }
+  uint64_t lookups() const { return hits + negative_hits + misses; }
   double hit_rate() const {
     const uint64_t n = lookups();
     return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
   }
 };
 
-/// \brief Sharded LRU cache for reliability results.
+/// \brief Sharded LRU cache for workload results.
 ///
 /// Each shard owns a mutex, an intrusive LRU list, and a hash map, so
 /// concurrent lookups on different keys mostly touch different locks. The
 /// capacity is split evenly across shards; eviction is LRU per shard.
+/// Entries may carry a TTL (0 = immortal): an expired entry is dropped on
+/// the lookup that discovers it (counted in `expired`) and the lookup
+/// proceeds as a miss. Negative entries (non-OK value status) are how the
+/// engine backs off a hot failing key; they are served like hits but
+/// counted separately (`negative_hits`).
 class ResultCache {
  public:
   /// `capacity` = total entries across all shards (>= 1 enforced);
@@ -70,16 +92,19 @@ class ResultCache {
   explicit ResultCache(size_t capacity, size_t num_shards = 8);
 
   /// Returns the cached value and refreshes its recency, or nullopt.
-  /// `record_stats` = false makes the probe invisible to Stats() — for
-  /// internal double-checks (the engine's single-flight rendezvous re-probes
-  /// under its flight lock) that would otherwise count one user-level query
-  /// as two lookups.
+  /// A returned value with non-OK `status` is a negative entry (cached
+  /// failure). `record_stats` = false makes the probe invisible to Stats() —
+  /// for internal double-checks (the engine's single-flight rendezvous
+  /// re-probes under its flight lock) that would otherwise count one
+  /// user-level query as two lookups.
   std::optional<ResultCacheValue> Lookup(const ResultCacheKey& key,
                                          bool record_stats = true);
 
   /// Inserts (or refreshes) `value` under `key`, evicting the shard's LRU
-  /// entry if the shard is full.
-  void Insert(const ResultCacheKey& key, const ResultCacheValue& value);
+  /// entry if the shard is full. `ttl_seconds` > 0 puts a deadline on the
+  /// entry; 0 means it never expires.
+  void Insert(const ResultCacheKey& key, const ResultCacheValue& value,
+              double ttl_seconds = 0.0);
 
   /// Drops every entry (stats are kept).
   void Clear();
@@ -90,6 +115,8 @@ class ResultCache {
   size_t num_shards() const { return shards_.size(); }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   /// Key paired with its precomputed hash: Hash() runs once per cache
   /// operation (shard pick + map probe reuse it).
   struct HashedKey {
@@ -99,6 +126,9 @@ class ResultCache {
   struct Entry {
     HashedKey key;
     ResultCacheValue value;
+    /// Expiry deadline; meaningful only when `expires` is true.
+    Clock::time_point deadline;
+    bool expires = false;
   };
   struct KeyHash {
     size_t operator()(const HashedKey& k) const {
@@ -125,9 +155,11 @@ class ResultCache {
   size_t capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> negative_hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> insertions_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> expired_{0};
 };
 
 }  // namespace relcomp

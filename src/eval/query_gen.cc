@@ -76,4 +76,66 @@ Result<std::vector<ReliabilityQuery>> GenerateQueries(
   return queries;
 }
 
+Result<std::vector<EngineQuery>> GenerateMixedWorkload(
+    const UncertainGraph& graph, const MixedWorkloadOptions& options) {
+  const double weights[kNumWorkloadKinds] = {
+      options.st_weight, options.top_k_weight, options.reliable_set_weight,
+      options.distance_weight};
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) {
+      return Status::InvalidArgument("workload weights must be >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("at least one workload weight must be > 0");
+  }
+  if (options.k == 0) {
+    return Status::InvalidArgument("mixed workload: k must be positive");
+  }
+  if (options.eta < 0.0 || options.eta > 1.0) {
+    return Status::InvalidArgument("mixed workload: eta must be in [0, 1]");
+  }
+  RELCOMP_ASSIGN_OR_RETURN(std::vector<ReliabilityQuery> pairs,
+                           GenerateQueries(graph, options.pairs));
+
+  Rng rng(options.seed);
+  std::vector<EngineQuery> queries;
+  queries.reserve(options.num_queries);
+  for (uint32_t i = 0; i < options.num_queries; ++i) {
+    const ReliabilityQuery& pair =
+        pairs[rng.UniformInt(pairs.size())];
+    double draw = rng.NextDouble() * total;
+    // Pick the first kind whose cumulative weight covers the draw; rounding
+    // fall-through lands on the last nonzero-weight kind, never a zero one.
+    size_t kind = 0;
+    size_t last_nonzero = 0;
+    for (size_t j = 0; j < kNumWorkloadKinds; ++j) {
+      if (weights[j] > 0.0) last_nonzero = j;
+    }
+    while (kind < last_nonzero &&
+           (weights[kind] == 0.0 || draw >= weights[kind])) {
+      draw -= weights[kind];
+      ++kind;
+    }
+    switch (static_cast<WorkloadKind>(kind)) {
+      case WorkloadKind::kSt:
+        queries.push_back(EngineQuery::St(pair.source, pair.target));
+        break;
+      case WorkloadKind::kTopK:
+        queries.push_back(EngineQuery::TopK(pair.source, options.k));
+        break;
+      case WorkloadKind::kReliableSet:
+        queries.push_back(EngineQuery::ReliableSet(pair.source, options.eta));
+        break;
+      case WorkloadKind::kDistance:
+        queries.push_back(
+            EngineQuery::Distance(pair.source, pair.target, options.max_hops));
+        break;
+    }
+  }
+  return queries;
+}
+
 }  // namespace relcomp

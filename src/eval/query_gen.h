@@ -5,6 +5,7 @@
 #include "common/status.h"
 #include "graph/uncertain_graph.h"
 #include "reliability/estimator.h"
+#include "reliability/workload.h"
 
 namespace relcomp {
 
@@ -29,5 +30,32 @@ struct QueryGenOptions {
 /// to num_pairs pairs (possibly fewer on very sparse graphs).
 Result<std::vector<ReliabilityQuery>> GenerateQueries(
     const UncertainGraph& graph, const QueryGenOptions& options);
+
+/// \brief Knobs for a mixed-workload stream over the four engine workloads.
+struct MixedWorkloadOptions {
+  /// Underlying s-t pair catalogue (sources and targets are drawn from it).
+  QueryGenOptions pairs;
+  /// Total queries emitted.
+  uint32_t num_queries = 200;
+  /// Relative draw weights per workload kind; a zero weight removes the
+  /// kind from the mix. Must not all be zero.
+  double st_weight = 0.4;
+  double top_k_weight = 0.2;
+  double reliable_set_weight = 0.2;
+  double distance_weight = 0.2;
+  /// Parameters stamped onto the non-st kinds.
+  uint32_t k = 10;        ///< top-k
+  double eta = 0.2;       ///< reliable-set threshold
+  uint32_t max_hops = 4;  ///< distance bound
+  /// Seed for the workload mix (independent of `pairs.seed`).
+  uint64_t seed = 99;
+};
+
+/// \brief Emits a mixed stream of EngineQuerys: each query draws a workload
+/// kind by the configured weights and an s-t pair (uniformly) from the
+/// generated catalogue — top-k / reliable-set queries use the pair's source,
+/// st / distance queries the full pair. Deterministic in the seeds.
+Result<std::vector<EngineQuery>> GenerateMixedWorkload(
+    const UncertainGraph& graph, const MixedWorkloadOptions& options);
 
 }  // namespace relcomp

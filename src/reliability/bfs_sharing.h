@@ -157,6 +157,16 @@ class BfsSharingEstimator : public Estimator {
   Result<std::vector<double>> ReliabilityFromSource(NodeId source,
                                                     uint32_t num_samples);
 
+  /// Engine dispatch surface for top-k / reliable-set workloads: the sweep
+  /// above over the current index generation. Like DoEstimate, the per-call
+  /// seed is unused — re-arm via PrepareForNextQuery to pick the worlds
+  /// (the engine does this with a content-derived seed before every query).
+  bool SupportsSourceSweep() const override { return true; }
+  Result<std::vector<double>> EstimateFromSource(
+      NodeId source, const EstimateOptions& options) override {
+    return ReliabilityFromSource(source, options.num_samples);
+  }
+
  protected:
   Result<double> DoEstimate(const ReliabilityQuery& query,
                             const EstimateOptions& options,

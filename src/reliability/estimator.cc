@@ -29,4 +29,26 @@ Result<EstimateResult> Estimator::Estimate(const ReliabilityQuery& query,
   return result;
 }
 
+Result<std::vector<double>> Estimator::EstimateFromSource(
+    NodeId source, const EstimateOptions& options) {
+  (void)source;
+  (void)options;
+  return Status::NotSupported(
+      StrFormat("%.*s does not support source-sweep workloads "
+                "(top-k / reliable-set need MC or BFSSharing)",
+                static_cast<int>(name().size()), name().data()));
+}
+
+Result<double> Estimator::EstimateDistanceConstrained(
+    const ReliabilityQuery& query, uint32_t max_hops,
+    const EstimateOptions& options) {
+  (void)query;
+  (void)max_hops;
+  (void)options;
+  return Status::NotSupported(
+      StrFormat("%.*s does not support distance-constrained workloads "
+                "(use MC or RHH)",
+                static_cast<int>(name().size()), name().data()));
+}
+
 }  // namespace relcomp

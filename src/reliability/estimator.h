@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <string_view>
+#include <vector>
 
 #include "common/memory_tracker.h"
 #include "common/status.h"
@@ -46,6 +47,12 @@ struct EstimateResult {
 /// queries. Implementations are deterministic in EstimateOptions::seed and
 /// reusable (scratch is reset per call); they are not thread-safe per
 /// instance — use one instance per thread.
+///
+/// Beyond the core s-t Estimate, the interface carries an optional workload
+/// dispatch surface (source sweeps for top-k / reliable-set, distance-
+/// constrained estimation) so engine replicas can answer the whole workload
+/// family of reliability/workload.h. Kinds that cannot answer a workload
+/// return NotSupported from the defaults.
 class Estimator {
  public:
   virtual ~Estimator() = default;
@@ -85,6 +92,33 @@ class Estimator {
     (void)seed;
     return Status::OK();
   }
+
+  /// \name Workload dispatch surface (source sweeps, distance bounds)
+  /// @{
+
+  /// True when EstimateFromSource is implemented natively (one sweep
+  /// amortized across every candidate target — MC and BFS Sharing).
+  virtual bool SupportsSourceSweep() const { return false; }
+
+  /// Source sweep: the reliability of every node from `source` (index =
+  /// node id; 0 for unreachable nodes, including any value for the source
+  /// itself — callers exclude it). Deterministic in `options.seed` exactly
+  /// like Estimate. Default: NotSupported.
+  virtual Result<std::vector<double>> EstimateFromSource(
+      NodeId source, const EstimateOptions& options);
+
+  /// True when EstimateDistanceConstrained is implemented natively (MC and
+  /// RHH, the estimators the distance-constrained variants of
+  /// reliability/distance_constrained.h are built on).
+  virtual bool SupportsDistanceConstrained() const { return false; }
+
+  /// Distance-constrained reliability R_d(s, t): reachable within at most
+  /// `max_hops` hops. Deterministic in `options.seed`. Default: NotSupported.
+  virtual Result<double> EstimateDistanceConstrained(
+      const ReliabilityQuery& query, uint32_t max_hops,
+      const EstimateOptions& options);
+
+  /// @}
 
  protected:
   /// Algorithm body: returns the reliability estimate, reporting working

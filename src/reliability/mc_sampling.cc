@@ -1,12 +1,101 @@
 #include "reliability/mc_sampling.h"
 
+#include <limits>
+
 #include "common/rng.h"
 
 namespace relcomp {
 
+namespace {
+
+/// Sweep core shared by the free function and the estimator's reusable-
+/// scratch path: K sampled worlds, one full BFS each, per-node hit counts.
+/// Visited marks use absolute epochs (epoch_base + 1 .. epoch_base + K), so
+/// a caller reusing `visit_epoch` across sweeps skips the O(n) clear; the
+/// RNG consumption — and thus the result — is identical either way.
+Result<std::vector<double>> SourceSweep(const UncertainGraph& graph,
+                                        NodeId source, uint32_t num_samples,
+                                        uint64_t seed,
+                                        std::vector<uint32_t>& hit_count,
+                                        std::vector<uint32_t>& visit_epoch,
+                                        std::vector<NodeId>& queue,
+                                        uint32_t epoch_base) {
+  if (!graph.HasNode(source)) {
+    return Status::InvalidArgument("source sweep: source out of range");
+  }
+  if (num_samples == 0) {
+    return Status::InvalidArgument("source sweep: num_samples must be positive");
+  }
+  Rng rng(seed);
+  hit_count.assign(graph.num_nodes(), 0);
+  visit_epoch.resize(graph.num_nodes(), 0);
+  queue.reserve(graph.num_nodes());
+  for (uint32_t i = 1; i <= num_samples; ++i) {
+    const uint32_t epoch = epoch_base + i;
+    queue.clear();
+    queue.push_back(source);
+    visit_epoch[source] = epoch;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const NodeId v = queue[head];
+      for (const AdjEntry& a : graph.OutEdges(v)) {
+        if (visit_epoch[a.neighbor] == epoch) continue;
+        if (!rng.Bernoulli(a.prob)) continue;
+        visit_epoch[a.neighbor] = epoch;
+        ++hit_count[a.neighbor];
+        queue.push_back(a.neighbor);
+      }
+    }
+  }
+  std::vector<double> reliability(graph.num_nodes(), 0.0);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    reliability[v] =
+        static_cast<double>(hit_count[v]) / static_cast<double>(num_samples);
+  }
+  return reliability;
+}
+
+}  // namespace
+
+Result<std::vector<double>> MonteCarloReliabilityFromSource(
+    const UncertainGraph& graph, NodeId source, uint32_t num_samples,
+    uint64_t seed) {
+  std::vector<uint32_t> hit_count;
+  std::vector<uint32_t> visit_epoch;
+  std::vector<NodeId> queue;
+  return SourceSweep(graph, source, num_samples, seed, hit_count, visit_epoch,
+                     queue, /*epoch_base=*/0);
+}
+
 MonteCarloEstimator::MonteCarloEstimator(const UncertainGraph& graph)
     : graph_(graph), visit_epoch_(graph.num_nodes(), 0) {
   queue_.reserve(graph.num_nodes());
+}
+
+Result<std::vector<double>> MonteCarloEstimator::EstimateFromSource(
+    NodeId source, const EstimateOptions& options) {
+  // Reused scratch: advance the epoch window past every mark the previous
+  // sweep left behind; re-zero only when the counter would wrap.
+  if (sweep_epoch_base_ >
+      std::numeric_limits<uint32_t>::max() - options.num_samples) {
+    sweep_epoch_.assign(sweep_epoch_.size(), 0);
+    sweep_epoch_base_ = 0;
+  }
+  Result<std::vector<double>> result =
+      SourceSweep(graph_, source, options.num_samples, options.seed,
+                  sweep_hits_, sweep_epoch_, sweep_queue_, sweep_epoch_base_);
+  if (result.ok()) sweep_epoch_base_ += options.num_samples;
+  return result;
+}
+
+Result<double> MonteCarloEstimator::EstimateDistanceConstrained(
+    const ReliabilityQuery& query, uint32_t max_hops,
+    const EstimateOptions& options) {
+  if (distance_ == nullptr) {
+    distance_ = std::make_unique<DistanceConstrainedMonteCarlo>(graph_);
+  }
+  return distance_->Estimate(
+      DistanceConstrainedQuery{query.source, query.target, max_hops},
+      options.num_samples, options.seed);
 }
 
 Result<double> MonteCarloEstimator::DoEstimate(const ReliabilityQuery& query,

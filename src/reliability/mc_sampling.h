@@ -1,10 +1,25 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "reliability/distance_constrained.h"
 #include "reliability/estimator.h"
 
 namespace relcomp {
+
+/// \brief Per-node reliability from `source`: K sampled worlds, one full BFS
+/// each (no early target exit), per-node hit counting. O(K (m + n)), no
+/// index.
+///
+/// This is the single sweep core behind TopKReliableTargetsMonteCarlo,
+/// ReliableSetMonteCarlo, and MonteCarloEstimator::EstimateFromSource (the
+/// engine's dispatch path) — one implementation, so all three produce
+/// bit-identical per-node reliabilities for equal (source, num_samples,
+/// seed).
+Result<std::vector<double>> MonteCarloReliabilityFromSource(
+    const UncertainGraph& graph, NodeId source, uint32_t num_samples,
+    uint64_t seed);
 
 /// \brief Basic Monte Carlo sampling with BFS and lazy edge sampling
 /// (Algorithm 1 of the paper; hit-and-miss Monte Carlo [12]).
@@ -19,6 +34,19 @@ class MonteCarloEstimator : public Estimator {
   std::string_view name() const override { return "MC"; }
   const UncertainGraph& graph() const override { return graph_; }
 
+  /// Source sweep for top-k / reliable-set dispatch (the shared
+  /// MonteCarloReliabilityFromSource core).
+  bool SupportsSourceSweep() const override { return true; }
+  Result<std::vector<double>> EstimateFromSource(
+      NodeId source, const EstimateOptions& options) override;
+
+  /// Distance-constrained dispatch via the depth-bounded sampler of
+  /// distance_constrained.h (per-replica scratch, reused across queries).
+  bool SupportsDistanceConstrained() const override { return true; }
+  Result<double> EstimateDistanceConstrained(
+      const ReliabilityQuery& query, uint32_t max_hops,
+      const EstimateOptions& options) override;
+
  protected:
   Result<double> DoEstimate(const ReliabilityQuery& query,
                             const EstimateOptions& options,
@@ -30,6 +58,15 @@ class MonteCarloEstimator : public Estimator {
   std::vector<uint32_t> visit_epoch_;
   std::vector<NodeId> queue_;
   uint32_t epoch_ = 0;
+  // Sweep scratch, epoch-reused across EstimateFromSource calls (allocated
+  // on the first sweep; hot serving paths never re-allocate).
+  std::vector<uint32_t> sweep_hits_;
+  std::vector<uint32_t> sweep_epoch_;
+  std::vector<NodeId> sweep_queue_;
+  uint32_t sweep_epoch_base_ = 0;
+  // Depth-bounded sampler for distance queries, built on first use so pure
+  // s-t / sweep replicas pay nothing for it.
+  std::unique_ptr<DistanceConstrainedMonteCarlo> distance_;
 };
 
 }  // namespace relcomp

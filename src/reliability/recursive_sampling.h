@@ -1,8 +1,10 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "graph/subgraph.h"
+#include "reliability/distance_constrained.h"
 #include "reliability/estimator.h"
 
 namespace relcomp {
@@ -46,6 +48,23 @@ class RecursiveEstimator : public Estimator {
   std::string_view name() const override { return "RHH"; }
   const UncertainGraph& graph() const override { return graph_; }
 
+  /// Distance-constrained dispatch via the depth-bounded recursive sampler
+  /// of distance_constrained.h — the query this algorithm was originally
+  /// designed for [20] (same threshold as the s-t configuration; the
+  /// sampler is built on first use so s-t-only replicas pay nothing).
+  bool SupportsDistanceConstrained() const override { return true; }
+  Result<double> EstimateDistanceConstrained(
+      const ReliabilityQuery& query, uint32_t max_hops,
+      const EstimateOptions& options) override {
+    if (distance_ == nullptr) {
+      distance_ = std::make_unique<DistanceConstrainedRecursive>(
+          graph_, options_.threshold);
+    }
+    return distance_->Estimate(
+        DistanceConstrainedQuery{query.source, query.target, max_hops},
+        options.num_samples, options.seed);
+  }
+
  protected:
   Result<double> DoEstimate(const ReliabilityQuery& query,
                             const EstimateOptions& options,
@@ -61,6 +80,7 @@ class RecursiveEstimator : public Estimator {
 
   const UncertainGraph& graph_;
   RecursiveSamplingOptions options_;
+  std::unique_ptr<DistanceConstrainedRecursive> distance_;
   // Scratch shared by reachability checks / edge selection / base MC.
   std::vector<uint32_t> visit_epoch_;
   std::vector<NodeId> queue_;

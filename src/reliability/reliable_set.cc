@@ -2,15 +2,27 @@
 
 #include <algorithm>
 
-#include "common/rng.h"
+#include "reliability/mc_sampling.h"
 
 namespace relcomp {
 
 namespace {
 
-Result<ReliableSetResult> FilterAndRank(std::vector<double> reliability,
-                                        NodeId source, double threshold,
-                                        uint32_t num_samples) {
+Status Validate(double threshold, uint32_t num_samples) {
+  if (threshold < 0.0 || threshold > 1.0) {
+    return Status::InvalidArgument("reliable set: threshold must be in [0, 1]");
+  }
+  if (num_samples == 0) {
+    return Status::InvalidArgument("reliable set: num_samples must be positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ReliableSetResult FilterReliableSet(std::vector<double> reliability,
+                                    NodeId source, double threshold,
+                                    uint32_t num_samples) {
   ReliableSetResult result;
   result.num_samples = num_samples;
   for (NodeId v = 0; v < reliability.size(); ++v) {
@@ -28,18 +40,6 @@ Result<ReliableSetResult> FilterAndRank(std::vector<double> reliability,
   return result;
 }
 
-Status Validate(double threshold, uint32_t num_samples) {
-  if (threshold < 0.0 || threshold > 1.0) {
-    return Status::InvalidArgument("reliable set: threshold must be in [0, 1]");
-  }
-  if (num_samples == 0) {
-    return Status::InvalidArgument("reliable set: num_samples must be positive");
-  }
-  return Status::OK();
-}
-
-}  // namespace
-
 Result<ReliableSetResult> ReliableSetMonteCarlo(const UncertainGraph& graph,
                                                 NodeId source, double threshold,
                                                 uint32_t num_samples,
@@ -48,31 +48,11 @@ Result<ReliableSetResult> ReliableSetMonteCarlo(const UncertainGraph& graph,
     return Status::InvalidArgument("reliable set: source out of range");
   }
   RELCOMP_RETURN_NOT_OK(Validate(threshold, num_samples));
-  Rng rng(seed);
-  std::vector<uint32_t> hit_count(graph.num_nodes(), 0);
-  std::vector<uint32_t> visit_epoch(graph.num_nodes(), 0);
-  std::vector<NodeId> queue;
-  queue.reserve(graph.num_nodes());
-  for (uint32_t i = 1; i <= num_samples; ++i) {
-    queue.clear();
-    queue.push_back(source);
-    visit_epoch[source] = i;
-    for (size_t head = 0; head < queue.size(); ++head) {
-      for (const AdjEntry& a : graph.OutEdges(queue[head])) {
-        if (visit_epoch[a.neighbor] == i) continue;
-        if (!rng.Bernoulli(a.prob)) continue;
-        visit_epoch[a.neighbor] = i;
-        ++hit_count[a.neighbor];
-        queue.push_back(a.neighbor);
-      }
-    }
-  }
-  std::vector<double> reliability(graph.num_nodes(), 0.0);
-  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-    reliability[v] =
-        static_cast<double>(hit_count[v]) / static_cast<double>(num_samples);
-  }
-  return FilterAndRank(std::move(reliability), source, threshold, num_samples);
+  RELCOMP_ASSIGN_OR_RETURN(
+      std::vector<double> reliability,
+      MonteCarloReliabilityFromSource(graph, source, num_samples, seed));
+  return FilterReliableSet(std::move(reliability), source, threshold,
+                           num_samples);
 }
 
 Result<ReliableSetResult> ReliableSetBfsSharing(BfsSharingEstimator& estimator,
@@ -81,7 +61,8 @@ Result<ReliableSetResult> ReliableSetBfsSharing(BfsSharingEstimator& estimator,
   RELCOMP_RETURN_NOT_OK(Validate(threshold, num_samples));
   RELCOMP_ASSIGN_OR_RETURN(std::vector<double> reliability,
                            estimator.ReliabilityFromSource(source, num_samples));
-  return FilterAndRank(std::move(reliability), source, threshold, num_samples);
+  return FilterReliableSet(std::move(reliability), source, threshold,
+                           num_samples);
 }
 
 }  // namespace relcomp

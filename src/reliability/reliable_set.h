@@ -19,6 +19,14 @@ struct ReliableSetResult {
   uint32_t num_samples = 0;
 };
 
+/// Filters per-node reliabilities by the eta threshold and sorts by
+/// decreasing reliability (ties toward smaller node ids, source excluded).
+/// Shared by the standalone sweeps below and the engine's workload dispatch
+/// (reliability/workload.h), so both filter identically.
+ReliableSetResult FilterReliableSet(std::vector<double> reliability,
+                                    NodeId source, double threshold,
+                                    uint32_t num_samples);
+
 /// Monte Carlo sweep: K sampled worlds, per-node hit counts, filter by eta.
 Result<ReliableSetResult> ReliableSetMonteCarlo(const UncertainGraph& graph,
                                                 NodeId source, double threshold,

@@ -2,15 +2,12 @@
 
 #include <algorithm>
 
-#include "common/rng.h"
+#include "reliability/mc_sampling.h"
 
 namespace relcomp {
 
-namespace {
-
-/// Ranks per-node reliabilities, dropping the source, ties toward smaller id.
-std::vector<ReliableTarget> RankTopK(const std::vector<double>& reliability,
-                                     NodeId source, uint32_t k) {
+std::vector<ReliableTarget> RankTopKTargets(
+    const std::vector<double>& reliability, NodeId source, uint32_t k) {
   std::vector<ReliableTarget> ranked;
   ranked.reserve(reliability.size());
   for (NodeId v = 0; v < reliability.size(); ++v) {
@@ -30,8 +27,6 @@ std::vector<ReliableTarget> RankTopK(const std::vector<double>& reliability,
   return ranked;
 }
 
-}  // namespace
-
 Result<std::vector<ReliableTarget>> TopKReliableTargetsMonteCarlo(
     const UncertainGraph& graph, NodeId source, uint32_t k,
     uint32_t num_samples, uint64_t seed) {
@@ -41,32 +36,10 @@ Result<std::vector<ReliableTarget>> TopKReliableTargetsMonteCarlo(
   if (k == 0 || num_samples == 0) {
     return Status::InvalidArgument("top-k: k and num_samples must be positive");
   }
-  Rng rng(seed);
-  std::vector<uint32_t> hit_count(graph.num_nodes(), 0);
-  std::vector<uint32_t> visit_epoch(graph.num_nodes(), 0);
-  std::vector<NodeId> queue;
-  queue.reserve(graph.num_nodes());
-  for (uint32_t i = 1; i <= num_samples; ++i) {
-    queue.clear();
-    queue.push_back(source);
-    visit_epoch[source] = i;
-    for (size_t head = 0; head < queue.size(); ++head) {
-      const NodeId v = queue[head];
-      for (const AdjEntry& a : graph.OutEdges(v)) {
-        if (visit_epoch[a.neighbor] == i) continue;
-        if (!rng.Bernoulli(a.prob)) continue;
-        visit_epoch[a.neighbor] = i;
-        ++hit_count[a.neighbor];
-        queue.push_back(a.neighbor);
-      }
-    }
-  }
-  std::vector<double> reliability(graph.num_nodes(), 0.0);
-  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-    reliability[v] =
-        static_cast<double>(hit_count[v]) / static_cast<double>(num_samples);
-  }
-  return RankTopK(reliability, source, k);
+  RELCOMP_ASSIGN_OR_RETURN(
+      std::vector<double> reliability,
+      MonteCarloReliabilityFromSource(graph, source, num_samples, seed));
+  return RankTopKTargets(reliability, source, k);
 }
 
 Result<std::vector<ReliableTarget>> TopKReliableTargetsBfsSharing(
@@ -77,7 +50,7 @@ Result<std::vector<ReliableTarget>> TopKReliableTargetsBfsSharing(
   }
   RELCOMP_ASSIGN_OR_RETURN(std::vector<double> reliability,
                            estimator.ReliabilityFromSource(source, num_samples));
-  return RankTopK(reliability, source, k);
+  return RankTopKTargets(reliability, source, k);
 }
 
 }  // namespace relcomp

@@ -21,6 +21,14 @@ struct ReliableTarget {
 /// original available). Ties are broken toward smaller node ids so results
 /// are deterministic.
 ///
+/// Ranks per-node reliabilities into the top-k targets: drops the source and
+/// zero-reliability nodes, sorts by decreasing reliability with ties toward
+/// smaller node ids, keeps at most k. Shared by the standalone searches below
+/// and the engine's workload dispatch (reliability/workload.h), so both rank
+/// identically.
+std::vector<ReliableTarget> RankTopKTargets(
+    const std::vector<double>& reliability, NodeId source, uint32_t k);
+
 /// \name Estimation strategies
 /// @{
 

@@ -11,7 +11,7 @@ namespace {
 ResultCacheKey Key(NodeId s, NodeId t, uint64_t seed = 7,
                    uint32_t k = 1000,
                    EstimatorKind kind = EstimatorKind::kMonteCarlo) {
-  return ResultCacheKey{s, t, kind, k, seed};
+  return ResultCacheKey{EngineQuery::St(s, t), kind, k, seed};
 }
 
 TEST(ResultCacheTest, MissThenHit) {
@@ -86,6 +86,84 @@ TEST(ResultCacheTest, CapacityHoldsAcrossShards) {
   for (NodeId i = 0; i < 1000; ++i) cache.Insert(Key(i, i + 1), {0.5, 10});
   EXPECT_LE(cache.size(), 64u);
   EXPECT_GE(cache.Stats().evictions, 1000u - 64u);
+}
+
+TEST(ResultCacheTest, WorkloadTagIsolatesKeys) {
+  // Four workload kinds over the same nodes/parameters: four distinct keys.
+  ResultCache cache(16, 1);
+  const ResultCacheKey st{EngineQuery::St(0, 5),
+                          EstimatorKind::kMonteCarlo, 1000, 7};
+  const ResultCacheKey topk{EngineQuery::TopK(0, 5),
+                            EstimatorKind::kMonteCarlo, 1000, 7};
+  const ResultCacheKey set{EngineQuery::ReliableSet(0, 0.5),
+                           EstimatorKind::kMonteCarlo, 1000, 7};
+  const ResultCacheKey dist{EngineQuery::Distance(0, 5, 5),
+                            EstimatorKind::kMonteCarlo, 1000, 7};
+  cache.Insert(st, {0.1, 10});
+  EXPECT_FALSE(cache.Lookup(topk).has_value());
+  EXPECT_FALSE(cache.Lookup(set).has_value());
+  EXPECT_FALSE(cache.Lookup(dist).has_value());
+  cache.Insert(topk, {0.2, 10});
+  cache.Insert(set, {0.3, 10});
+  cache.Insert(dist, {0.4, 10});
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_DOUBLE_EQ(cache.Lookup(st)->reliability, 0.1);
+  EXPECT_DOUBLE_EQ(cache.Lookup(dist)->reliability, 0.4);
+}
+
+TEST(ResultCacheTest, EntriesExpireAfterTtl) {
+  ResultCache cache(8, 1);
+  cache.Insert(Key(0, 1), {0.5, 10}, /*ttl_seconds=*/1e-9);
+  cache.Insert(Key(0, 2), {0.7, 10});  // immortal
+  // The tiny TTL has certainly elapsed by now: the entry is dropped on the
+  // lookup that discovers it and the lookup is a miss.
+  EXPECT_FALSE(cache.Lookup(Key(0, 1)).has_value());
+  EXPECT_TRUE(cache.Lookup(Key(0, 2)).has_value());
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // A long TTL keeps the entry alive.
+  cache.Insert(Key(0, 3), {0.9, 10}, /*ttl_seconds=*/3600.0);
+  EXPECT_TRUE(cache.Lookup(Key(0, 3)).has_value());
+  // Reinsert refreshes the deadline (and can remove it).
+  cache.Insert(Key(0, 1), {0.5, 10}, /*ttl_seconds=*/3600.0);
+  cache.Insert(Key(0, 1), {0.6, 10});
+  EXPECT_DOUBLE_EQ(cache.Lookup(Key(0, 1))->reliability, 0.6);
+}
+
+TEST(ResultCacheTest, NegativeEntriesCountSeparately) {
+  ResultCache cache(8, 1);
+  ResultCacheValue failure;
+  failure.status = Status::InvalidArgument("K exceeds L");
+  cache.Insert(Key(0, 1), failure);
+  const auto hit = cache.Lookup(Key(0, 1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->negative());
+  EXPECT_EQ(hit->status.code(), StatusCode::kInvalidArgument);
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.negative_hits, 1u);
+  EXPECT_EQ(stats.lookups(), 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.0);
+}
+
+TEST(ResultCacheTest, CachesRankedTargetPayloads) {
+  ResultCache cache(8, 1);
+  ResultCacheValue value;
+  value.num_samples = 500;
+  value.targets = {{3, 0.9}, {7, 0.4}};
+  const ResultCacheKey key{EngineQuery::TopK(0, 2),
+                           EstimatorKind::kMonteCarlo, 500, 7};
+  cache.Insert(key, value);
+  const auto hit = cache.Lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->targets.size(), 2u);
+  EXPECT_EQ(hit->targets[0].node, 3u);
+  EXPECT_DOUBLE_EQ(hit->targets[0].reliability, 0.9);
+  EXPECT_EQ(hit->targets[1].node, 7u);
 }
 
 TEST(ResultCacheTest, ConcurrentMixedWorkloadIsSafe) {
