@@ -2,7 +2,7 @@
 // QueryEngine at 1, 2, 4, ... worker threads, with the result cache off
 // (every query computes) and then on (repeats served from cache).
 //
-// The exit code enforces four invariants — this bench is the CI smoke gate:
+// The exit code enforces five invariants — this bench is the CI smoke gate:
 //   1. every thread count returns bit-identical estimates;
 //   2. QueryEngine::Create(kBfsSharing, 8 threads) builds the edge
 //      bit-vector index exactly once (shared across replicas), and the
@@ -10,13 +10,24 @@
 //   3. single-flight coalescing answers match the uncoalesced reference;
 //   4. a mixed workload (st + top-k + reliable-set + distance in one batch)
 //      is bit-identical at 1/2/8 threads with the cache on and off, and its
-//      top-k / reliable-set answers match the standalone single-query APIs.
+//      top-k / reliable-set answers match the standalone single-query APIs;
+//   5. sweep sharing: a Zipf-hot same-source mix (top-k k in {5, 10},
+//      reliable-set, s-t over a few hot sources) executes at most ONE
+//      EstimateFromSource per distinct (source, generation) — stats-gated —
+//      with every derived answer bit-identical to the standalone APIs and
+//      across 1/2/8 threads, result cache on and off.
 // Scaling (the 1-vs-4-thread speedup) is reported but not gated: it depends
 // on the host's real core count, and this bench must stay green on
 // single-core CI runners.
+//
+// `--json <path>` additionally writes the measured rows, sweep-sharing
+// stats, and gate outcomes as machine-readable JSON (uploaded by CI as
+// BENCH_engine_throughput.json).
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -79,9 +90,96 @@ bool AllOk(const std::vector<EngineResult>& results) {
   return true;
 }
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Machine-readable results: per-config rows, sweep-sharing stats, and the
+/// gate verdicts, for trend tracking across CI runs.
+bool WriteJson(const std::string& path, const std::string& dataset,
+               const BenchConfig& config,
+               const std::vector<std::pair<std::string, EngineStatsSnapshot>>&
+                   rows,
+               size_t sweep_distinct_sources,
+               const EngineStatsSnapshot& sweep_snapshot, bool identical,
+               bool shared_index_ok, bool mixed_ok, bool sweep_ok) {
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "warning: cannot open %s for JSON export\n",
+                 path.c_str());
+    return false;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"engine_throughput\",\n"
+               "  \"dataset\": \"%s\",\n"
+               "  \"num_samples\": %u,\n",
+               JsonEscape(dataset).c_str(), config.max_k);
+  std::fprintf(out,
+               "  \"gates\": {\"bit_identical\": %s, \"shared_index\": %s, "
+               "\"mixed_workload\": %s, \"sweep_sharing\": %s},\n",
+               identical ? "true" : "false",
+               shared_index_ok ? "true" : "false", mixed_ok ? "true" : "false",
+               sweep_ok ? "true" : "false");
+  std::fprintf(
+      out,
+      "  \"sweep_sharing\": {\"distinct_sources\": %zu, "
+      "\"sweep_executed\": %llu, \"sweep_hits\": %llu, "
+      "\"sweep_coalesced\": %llu, \"prebuilt_used\": %llu},\n",
+      sweep_distinct_sources,
+      static_cast<unsigned long long>(sweep_snapshot.sweep_executed),
+      static_cast<unsigned long long>(sweep_snapshot.sweep_hits),
+      static_cast<unsigned long long>(sweep_snapshot.sweep_coalesced),
+      static_cast<unsigned long long>(sweep_snapshot.prebuilt_used));
+  std::fprintf(out, "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const EngineStatsSnapshot& s = rows[i].second;
+    std::fprintf(
+        out,
+        "    {\"config\": \"%s\", \"queries\": %llu, \"executed\": %llu, "
+        "\"coalesced\": %llu, \"sweep_executed\": %llu, \"sweep_hits\": %llu, "
+        "\"sweep_coalesced\": %llu, \"qps\": %.1f, \"span_qps\": %.1f, "
+        "\"mean_ms\": %.4f, \"p50_ms\": %.4f, \"p90_ms\": %.4f, "
+        "\"p99_ms\": %.4f, \"max_ms\": %.4f, \"cache_hit_rate\": %.4f}%s\n",
+        JsonEscape(rows[i].first).c_str(),
+        static_cast<unsigned long long>(s.queries),
+        static_cast<unsigned long long>(s.executed),
+        static_cast<unsigned long long>(s.coalesced),
+        static_cast<unsigned long long>(s.sweep_executed),
+        static_cast<unsigned long long>(s.sweep_hits),
+        static_cast<unsigned long long>(s.sweep_coalesced), s.throughput_qps,
+        s.span_qps, s.mean_ms, s.p50_ms, s.p90_ms, s.p99_ms, s.max_ms,
+        s.cache.hit_rate(), i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  const bool ok = std::ferror(out) == 0;
+  std::fclose(out);
+  return ok;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json out.json]\n", argv[0]);
+      return 2;
+    }
+  }
   const BenchConfig config = BenchConfig::FromEnv();
   bench::PrintHeader(
       "bench_engine_throughput: QueryEngine scaling, MC estimator",
@@ -265,6 +363,103 @@ int main() {
                 mixed_ok ? "pass" : "FAIL — WORKLOAD PIPELINE DIVERGED");
   }
 
+  // Sweep-sharing gate: the hot pattern the SweepCache exists for — many
+  // parameterizations of a few Zipf-hot sources. Top-k (k = 5 and 10),
+  // reliable-set, and s-t queries over each hot source, repeated; the engine
+  // must run at most ONE EstimateFromSource per distinct (source,
+  // generation) while every derived answer stays bit-identical to the
+  // standalone single-query APIs and across 1/2/8 threads, cache on/off.
+  bool sweep_ok = true;
+  size_t sweep_distinct_sources = 0;
+  EngineStatsSnapshot sweep_snapshot;
+  {
+    std::vector<NodeId> hot;
+    std::vector<NodeId> hot_targets;
+    for (const ReliabilityQuery& pair : pairs) {
+      if (hot.size() >= 4) break;
+      if (std::find(hot.begin(), hot.end(), pair.source) == hot.end()) {
+        hot.push_back(pair.source);
+        hot_targets.push_back(pair.target);
+      }
+    }
+    sweep_distinct_sources = hot.size();
+    std::vector<EngineQuery> sweep_mix;
+    for (uint32_t repeat = 0; repeat < 8; ++repeat) {
+      for (size_t i = 0; i < hot.size(); ++i) {
+        sweep_mix.push_back(EngineQuery::TopK(hot[i], 5));
+        sweep_mix.push_back(EngineQuery::TopK(hot[i], 10));
+        sweep_mix.push_back(EngineQuery::ReliableSet(hot[i], 0.2));
+        sweep_mix.push_back(EngineQuery::St(hot[i], hot_targets[i]));
+      }
+    }
+
+    std::vector<EngineResult> sweep_reference;
+    for (const uint32_t threads : {1u, 2u, 8u}) {
+      for (const bool cache : {false, true}) {
+        EngineOptions options = base;
+        options.num_threads = threads;
+        options.enable_cache = cache;
+        auto engine = bench::Unwrap(QueryEngine::Create(dataset.graph, options),
+                                    "QueryEngine::Create(sweep)");
+        std::vector<EngineResult> results =
+            bench::Unwrap(engine->RunBatch(sweep_mix), "RunBatch(sweep)");
+        sweep_ok = sweep_ok && AllOk(results);
+        const EngineStatsSnapshot snapshot = engine->StatsSnapshot();
+        // The stats gate: <= 1 sweep per distinct source, every config.
+        sweep_ok = sweep_ok && snapshot.sweep_executed <= hot.size();
+        if (threads == 1 && !cache) {
+          rows.emplace_back("1 thread, same-source sweep mix", snapshot);
+          sweep_snapshot = snapshot;
+          sweep_reference = std::move(results);
+        } else {
+          sweep_ok = sweep_ok && BitIdentical(sweep_reference, results);
+        }
+      }
+    }
+
+    // Derived answers vs the standalone APIs, on the reference run.
+    EngineOptions options = base;
+    options.num_threads = 1;
+    auto engine = bench::Unwrap(QueryEngine::Create(dataset.graph, options),
+                                "QueryEngine::Create(sweep standalone)");
+    for (size_t i = 0; i < sweep_mix.size() && sweep_ok; ++i) {
+      const EngineQuery& query = sweep_mix[i];
+      const EngineResult& got = sweep_reference[i];
+      std::vector<ReliableTarget> expected;
+      if (query.workload == WorkloadKind::kTopK) {
+        expected = bench::Unwrap(
+            TopKReliableTargetsMonteCarlo(dataset.graph, query.source, query.k,
+                                          base.num_samples,
+                                          engine->QuerySeed(query)),
+            "TopKReliableTargetsMonteCarlo(sweep)");
+      } else if (query.workload == WorkloadKind::kReliableSet) {
+        expected = bench::Unwrap(
+                       ReliableSetMonteCarlo(dataset.graph, query.source,
+                                             query.eta, base.num_samples,
+                                             engine->QuerySeed(query)),
+                       "ReliableSetMonteCarlo(sweep)")
+                       .members;
+      } else {
+        continue;
+      }
+      sweep_ok = sweep_ok && got.targets.size() == expected.size();
+      for (size_t j = 0; sweep_ok && j < expected.size(); ++j) {
+        sweep_ok = got.targets[j].node == expected[j].node &&
+                   std::memcmp(&got.targets[j].reliability,
+                               &expected[j].reliability, sizeof(double)) == 0;
+      }
+    }
+    std::printf(
+        "sweep-sharing gate: %zu distinct sources, %zu queries -> %llu "
+        "sweeps executed (want <= %zu), %llu memo hits, %llu coalesced: %s\n",
+        hot.size(), sweep_mix.size(),
+        static_cast<unsigned long long>(sweep_snapshot.sweep_executed),
+        hot.size(),
+        static_cast<unsigned long long>(sweep_snapshot.sweep_hits),
+        static_cast<unsigned long long>(sweep_snapshot.sweep_coalesced),
+        sweep_ok ? "pass" : "FAIL — SWEEP SHARING DIVERGED");
+  }
+
   bench::PrintTable(EngineStatsTable(rows), "engine_throughput");
 
   // Shared-index gate: Create at 8 threads must build the BFS Sharing index
@@ -314,5 +509,12 @@ int main() {
     std::printf("speedup 4 threads vs 1: %.2fx\n",
                 qps_4threads / qps_1thread);
   }
-  return identical && shared_index_ok && mixed_ok ? 0 : 1;
+  if (!json_path.empty()) {
+    if (WriteJson(json_path, dataset.name, config, rows,
+                  sweep_distinct_sources, sweep_snapshot, identical,
+                  shared_index_ok, mixed_ok, sweep_ok)) {
+      std::printf("JSON results written to %s\n", json_path.c_str());
+    }
+  }
+  return identical && shared_index_ok && mixed_ok && sweep_ok ? 0 : 1;
 }

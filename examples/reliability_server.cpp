@@ -2,13 +2,19 @@
 // concurrent QueryEngine, the way a serving frontend would — a Zipf-skewed
 // stream of repeated parametrized requests spanning all four workload kinds
 // (s-t, top-k, reliable-set, distance-constrained), worker-thread estimator
-// replicas, and a result cache absorbing the hot keys.
+// replicas, a result cache absorbing the hot keys, and the sweep-sharing
+// layer collapsing every top-k / reliable-set parameterization of one hot
+// source into a single per-source sweep. The catalogue deliberately asks for
+// two different k and eta per source so the sweep sharing is visible in the
+// printed stats.
 //
-//   ./build/examples/reliability_server [dataset] [threads] [requests]
+//   ./build/examples/reliability_server [dataset] [threads] [requests] [kind]
 //
 //   dataset  : lastfm | nethept | astopo | dblp02 | dblp005 | biomine
 //   threads  : worker threads (default 4)
 //   requests : total stream length (default 2000)
+//   kind     : mc | bfs (default mc; bfs also exercises the background
+//              generation prebuilder)
 
 #include <cstdio>
 #include <cstdlib>
@@ -74,10 +80,18 @@ int main(int argc, char** argv) {
       argc > 1 ? ParseDataset(argv[1]) : DatasetId::kLastFm;
   const long threads_arg = argc > 2 ? std::atol(argv[2]) : 4;
   const long requests_arg = argc > 3 ? std::atol(argv[3]) : 2000;
+  EstimatorKind kind = EstimatorKind::kMonteCarlo;
+  if (argc > 4) {
+    if (std::strcmp(argv[4], "bfs") == 0) {
+      kind = EstimatorKind::kBfsSharing;
+    } else if (std::strcmp(argv[4], "mc") != 0) {
+      std::fprintf(stderr, "unknown kind '%s', using mc\n", argv[4]);
+    }
+  }
   if (threads_arg < 0 || threads_arg > 1024 || requests_arg < 0) {
     std::fprintf(stderr,
                  "usage: reliability_server [dataset] [threads 0-1024] "
-                 "[requests >= 0]\n");
+                 "[requests >= 0] [mc|bfs]\n");
     return 2;
   }
   const size_t threads = static_cast<size_t>(threads_arg);
@@ -97,19 +111,35 @@ int main(int argc, char** argv) {
   mix.k = 10;
   mix.eta = 0.2;
   mix.max_hops = 4;
-  const std::vector<EngineQuery> catalogue =
+  std::vector<EngineQuery> catalogue =
       GenerateMixedWorkload(dataset.graph, mix).MoveValue();
+  // A second parameterization of the same sources: the sweep-sharing layer
+  // answers top-k(s, 5) / reliable-set(s, 0.5) from the very sweeps the
+  // first parameterization already ran.
+  mix.k = 5;
+  mix.eta = 0.5;
+  mix.seed = 100;
+  const std::vector<EngineQuery> second =
+      GenerateMixedWorkload(dataset.graph, mix).MoveValue();
+  catalogue.insert(catalogue.end(), second.begin(), second.end());
 
   EngineOptions options;
   options.num_threads = threads;
-  options.kind = EstimatorKind::kMonteCarlo;
-  options.num_samples = 1000;
+  options.kind = kind;
+  options.num_samples = kind == EstimatorKind::kBfsSharing ? 500 : 1000;
+  options.factory.bfs_sharing.index_samples = 500;
   options.seed = 20190410;
   options.cache_capacity = 4096;
+  options.cache_max_bytes = size_t{16} << 20;  // ranked payloads, by bytes
   auto engine = QueryEngine::Create(dataset.graph, options).MoveValue();
-  std::printf("engine up: %zu workers, cache %zu entries, K=%u\n\n",
-              engine->num_threads(), options.cache_capacity,
-              options.num_samples);
+  std::printf(
+      "engine up: %s estimator, %zu workers, cache %zu entries / %zu MB, "
+      "sweep cache %zu MB, prebuilder %s, K=%u\n\n",
+      EstimatorKindName(kind), engine->num_threads(), options.cache_capacity,
+      options.cache_max_bytes >> 20, options.sweep_cache_max_bytes >> 20,
+      engine->prebuilder() != nullptr ? "on" : "off (kind has no "
+                                              "prepared generations)",
+      options.num_samples);
 
   // Replay: popularity ~ 1/rank over the catalogue, like repeated users
   // asking about the same few queries.
@@ -145,10 +175,29 @@ int main(int argc, char** argv) {
     done = true;
     PrintResponse(r);
   }
+  const EngineStatsSnapshot snapshot = engine->StatsSnapshot();
   std::printf("\n%s\n",
-              EngineStatsTable({{StrFormat("%zu threads", threads),
-                                 engine->StatsSnapshot()}})
+              EngineStatsTable({{StrFormat("%zu threads", threads), snapshot}})
                   .ToString()
                   .c_str());
+  const uint64_t sweep_queries = snapshot.queries_of(WorkloadKind::kTopK) +
+                                 snapshot.queries_of(WorkloadKind::kReliableSet);
+  std::printf(
+      "sweep sharing: %llu top-k/reliable-set queries -> %llu sweeps "
+      "executed, %llu memo hits, %llu coalesced (%zu vectors / %zu KB "
+      "resident)\n",
+      static_cast<unsigned long long>(sweep_queries),
+      static_cast<unsigned long long>(snapshot.sweep_executed),
+      static_cast<unsigned long long>(snapshot.sweep_hits),
+      static_cast<unsigned long long>(snapshot.sweep_coalesced),
+      snapshot.sweep_cache.entries, snapshot.sweep_cache.bytes_in_use >> 10);
+  if (engine->prebuilder() != nullptr) {
+    std::printf(
+        "generation prebuild: %llu requested, %llu built in background, "
+        "%llu adopted by workers\n",
+        static_cast<unsigned long long>(snapshot.prebuilder.requested),
+        static_cast<unsigned long long>(snapshot.prebuilder.built),
+        static_cast<unsigned long long>(snapshot.prebuilt_used));
+  }
   return 0;
 }

@@ -46,6 +46,22 @@ void EngineStats::RecordFailure(double seconds) {
   ++failures_;
 }
 
+void EngineStats::RecordSweepExecuted() {
+  sweep_executed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EngineStats::RecordSweepHit() {
+  sweep_hits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EngineStats::RecordSweepCoalesced() {
+  sweep_coalesced_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EngineStats::RecordPrebuiltUsed() {
+  prebuilt_used_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void EngineStats::RecordWorkload(WorkloadKind kind) {
   workload_queries_[static_cast<size_t>(kind)].fetch_add(
       1, std::memory_order_relaxed);
@@ -74,7 +90,8 @@ void EngineStats::MarkCallEnd() {
   }
 }
 
-EngineStatsSnapshot EngineStats::Snapshot(const ResultCache* cache) const {
+EngineStatsSnapshot EngineStats::Snapshot(const ResultCache* cache,
+                                          const SweepCache* sweep_cache) const {
   std::vector<double> sorted;
   EngineStatsSnapshot snapshot;
   {
@@ -89,6 +106,11 @@ EngineStatsSnapshot EngineStats::Snapshot(const ResultCache* cache) const {
       snapshot.workload_queries[i] =
           workload_queries_[i].load(std::memory_order_relaxed);
     }
+    snapshot.sweep_executed = sweep_executed_.load(std::memory_order_relaxed);
+    snapshot.sweep_hits = sweep_hits_.load(std::memory_order_relaxed);
+    snapshot.sweep_coalesced =
+        sweep_coalesced_.load(std::memory_order_relaxed);
+    snapshot.prebuilt_used = prebuilt_used_.load(std::memory_order_relaxed);
     if (span_first_start_.has_value() && span_last_end_.has_value() &&
         *span_last_end_ > *span_first_start_) {
       snapshot.span_seconds =
@@ -116,6 +138,7 @@ EngineStatsSnapshot EngineStats::Snapshot(const ResultCache* cache) const {
     snapshot.max_ms = sorted.back() * 1e3;
   }
   if (cache != nullptr) snapshot.cache = cache->Stats();
+  if (sweep_cache != nullptr) snapshot.sweep_cache = sweep_cache->Stats();
   return snapshot;
 }
 
@@ -130,6 +153,10 @@ void EngineStats::Reset() {
   for (std::atomic<uint64_t>& count : workload_queries_) {
     count.store(0, std::memory_order_relaxed);
   }
+  sweep_executed_.store(0, std::memory_order_relaxed);
+  sweep_hits_.store(0, std::memory_order_relaxed);
+  sweep_coalesced_.store(0, std::memory_order_relaxed);
+  prebuilt_used_.store(0, std::memory_order_relaxed);
   span_first_start_.reset();
   span_last_end_.reset();
 }
@@ -137,8 +164,9 @@ void EngineStats::Reset() {
 TextTable EngineStatsTable(
     const std::vector<std::pair<std::string, EngineStatsSnapshot>>& rows) {
   TextTable table({"config", "queries", "st/k/set/d", "exec", "coal",
-                   "wall s", "span s", "qps", "mean ms", "p50 ms", "p90 ms",
-                   "p99 ms", "max ms", "hit rate", "peak mem", "index mem"});
+                   "swp x/h/c", "pre", "wall s", "span s", "qps", "mean ms",
+                   "p50 ms", "p90 ms", "p99 ms", "max ms", "hit rate",
+                   "peak mem", "index mem"});
   for (const auto& [label, s] : rows) {
     table.AddRow(
         {label, StrFormat("%llu", static_cast<unsigned long long>(s.queries)),
@@ -152,6 +180,11 @@ TextTable EngineStatsTable(
                  s.queries_of(WorkloadKind::kDistance))),
          StrFormat("%llu", static_cast<unsigned long long>(s.executed)),
          StrFormat("%llu", static_cast<unsigned long long>(s.coalesced)),
+         StrFormat("%llu/%llu/%llu",
+                   static_cast<unsigned long long>(s.sweep_executed),
+                   static_cast<unsigned long long>(s.sweep_hits),
+                   static_cast<unsigned long long>(s.sweep_coalesced)),
+         StrFormat("%llu", static_cast<unsigned long long>(s.prebuilt_used)),
          StrFormat("%.3f", s.wall_seconds), StrFormat("%.3f", s.span_seconds),
          StrFormat("%.1f", s.throughput_qps), StrFormat("%.3f", s.mean_ms),
          StrFormat("%.3f", s.p50_ms), StrFormat("%.3f", s.p90_ms),

@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "common/memory_tracker.h"
+#include "engine/generation_prebuilder.h"
 #include "engine/result_cache.h"
+#include "engine/sweep_cache.h"
 #include "eval/table.h"
 #include "reliability/workload.h"
 
@@ -36,6 +38,28 @@ struct EngineStatsSnapshot {
   uint64_t coalesced = 0;
   /// Queries that finished with a non-OK per-query status.
   uint64_t failures = 0;
+  /// \name Sweep sharing (top-k / reliable-set over one per-source sweep)
+  /// For *successful* sweep-kind queries that reached the compute path, the
+  /// three counters partition them: each ran EstimateFromSource itself,
+  /// derived from a memoized vector, or waited on a sweep-level flight.
+  /// Failed sweeps skew the partition deliberately: sweep_executed counts
+  /// every EstimateFromSource invocation (the bench gate's currency is
+  /// invocations, successful or not), while a follower handed a failed
+  /// sweep counts in `failures` only.
+  /// @{
+  /// Queries whose worker actually invoked EstimateFromSource — the bench
+  /// gate's "<= 1 sweep per distinct (source, generation)" currency.
+  uint64_t sweep_executed = 0;
+  /// Queries derived (ranked / filtered) from a SweepCache-memoized vector
+  /// without running a BFS.
+  uint64_t sweep_hits = 0;
+  /// Queries that waited on another worker's in-flight sweep of the same
+  /// source and derived from its vector (sweep-level single-flight).
+  uint64_t sweep_coalesced = 0;
+  /// @}
+  /// Queries whose PrepareForNextQuery artifact (BFS Sharing generation) was
+  /// adopted from the background prebuilder instead of resampled inline.
+  uint64_t prebuilt_used = 0;
   /// Per-call wall-clock summed over batches / stream cycles. Overlapping
   /// calls from concurrent clients each contribute their full duration, so
   /// this over-counts real time under multi-client load.
@@ -60,6 +84,11 @@ struct EngineStatsSnapshot {
   /// counted once (see IndexMemoryReport).
   IndexMemoryReport index_memory;
   ResultCacheStats cache;
+  /// Sweep memoization effectiveness (zeros when the sweep cache is off).
+  SweepCacheStats sweep_cache;
+  /// Background generation prebuilding (zeros when the prebuilder is off or
+  /// the estimator kind has no prepared-generation support).
+  GenerationPrebuilderStats prebuilder;
 };
 
 /// \brief Thread-safe recorder of per-query latencies.
@@ -82,6 +111,16 @@ class EngineStats {
   /// Records one query that finished with a non-OK per-query status.
   void RecordFailure(double seconds);
 
+  /// Classifies how one executed sweep-kind query obtained its per-source
+  /// vector (called alongside RecordExecuted, at most once per query).
+  void RecordSweepExecuted();
+  void RecordSweepHit();
+  void RecordSweepCoalesced();
+
+  /// Records one query whose prepare artifact came from the background
+  /// prebuilder.
+  void RecordPrebuiltUsed();
+
   /// Counts one query against its workload kind (called once per query, on
   /// top of exactly one of the Record* outcomes above).
   void RecordWorkload(WorkloadKind kind);
@@ -94,9 +133,10 @@ class EngineStats {
   void MarkCallStart();
   void MarkCallEnd();
 
-  /// Computes quantiles over everything recorded so far; `cache` (optional)
-  /// is embedded in the snapshot.
-  EngineStatsSnapshot Snapshot(const ResultCache* cache = nullptr) const;
+  /// Computes quantiles over everything recorded so far; `cache` /
+  /// `sweep_cache` (optional) are embedded in the snapshot.
+  EngineStatsSnapshot Snapshot(const ResultCache* cache = nullptr,
+                               const SweepCache* sweep_cache = nullptr) const;
 
   /// Drops all samples, wall time, and the span.
   void Reset();
@@ -115,6 +155,12 @@ class EngineStats {
   /// addition to exactly one mutex-guarded Record* outcome call, and a
   /// second mutex acquisition per query would double stats-lock traffic.
   std::atomic<uint64_t> workload_queries_[kNumWorkloadKinds] = {};
+  /// Atomic for the same reason: the sweep / prebuild classifiers run on top
+  /// of the one mutex-guarded outcome call.
+  std::atomic<uint64_t> sweep_executed_{0};
+  std::atomic<uint64_t> sweep_hits_{0};
+  std::atomic<uint64_t> sweep_coalesced_{0};
+  std::atomic<uint64_t> prebuilt_used_{0};
   std::optional<Clock::time_point> span_first_start_;
   std::optional<Clock::time_point> span_last_end_;
 };

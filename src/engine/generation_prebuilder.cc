@@ -1,0 +1,136 @@
+#include "engine/generation_prebuilder.h"
+
+#include <utility>
+
+namespace relcomp {
+
+GenerationPrebuilder::GenerationPrebuilder(const Estimator& prototype,
+                                           size_t max_pending)
+    : prototype_(prototype),
+      max_pending_(max_pending == 0 ? 1 : max_pending),
+      builder_([this] { BuilderLoop(); }) {}
+
+GenerationPrebuilder::~GenerationPrebuilder() { Shutdown(); }
+
+bool GenerationPrebuilder::Request(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_) return false;
+  if (queued_.count(seed) != 0 || ready_.count(seed) != 0 ||
+      (building_ && building_seed_ == seed)) {
+    return true;  // already on its way
+  }
+  if (queue_.size() + ready_.size() >= max_pending_) {
+    // At the bound, prefer the new request over stranded finished work:
+    // evict the oldest ready-but-unclaimed generation (typically built for a
+    // query that was then served from the result cache and never prepared).
+    // Without this, stranded generations would pin index-sized memory and
+    // wedge the builder shut for every future seed.
+    if (ready_order_.empty()) {
+      ++dropped_;
+      return false;
+    }
+    // ready_order_ mirrors ready_ exactly (Take() erases its entry), so the
+    // front really is the oldest unclaimed generation.
+    ready_.erase(ready_order_.front());
+    ready_order_.pop_front();
+    ++evicted_;
+  }
+  queue_.push_back(seed);
+  queued_.insert(seed);
+  ++requested_;
+  work_available_.notify_one();
+  return true;
+}
+
+std::unique_ptr<PreparedGeneration> GenerationPrebuilder::Take(uint64_t seed) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // In-flight: wait it out — finishing a half-done O(L m) build beats
+  // starting the same build from scratch inline.
+  build_finished_.wait(lock, [this, seed] {
+    return !(building_ && building_seed_ == seed);
+  });
+  auto it = ready_.find(seed);
+  if (it != ready_.end()) {
+    std::unique_ptr<PreparedGeneration> generation = std::move(it->second);
+    ready_.erase(it);
+    // Keep the eviction order exact: a taken seed must not linger as a
+    // stale entry (it would grow unboundedly on long-lived streams and
+    // could later evict a *rebuilt* generation for the same seed out of
+    // turn). The deque is bounded by max_pending, so the scan is cheap.
+    for (auto order_it = ready_order_.begin(); order_it != ready_order_.end();
+         ++order_it) {
+      if (*order_it == seed) {
+        ready_order_.erase(order_it);
+        break;
+      }
+    }
+    ++taken_;
+    return generation;
+  }
+  // Queued but not started: cancel so the builder never duplicates the
+  // caller's inline build.
+  if (queued_.erase(seed) != 0) {
+    for (auto queue_it = queue_.begin(); queue_it != queue_.end(); ++queue_it) {
+      if (*queue_it == seed) {
+        queue_.erase(queue_it);
+        break;
+      }
+    }
+  }
+  return nullptr;
+}
+
+GenerationPrebuilderStats GenerationPrebuilder::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  GenerationPrebuilderStats stats;
+  stats.requested = requested_;
+  stats.built = built_;
+  stats.taken = taken_;
+  stats.dropped = dropped_;
+  stats.evicted = evicted_;
+  return stats;
+}
+
+void GenerationPrebuilder::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      // Already requested; fall through to join if the thread is still up.
+    }
+    shutdown_ = true;
+    queue_.clear();
+    queued_.clear();
+    work_available_.notify_all();
+  }
+  if (builder_.joinable()) builder_.join();
+}
+
+void GenerationPrebuilder::BuilderLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_available_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (shutdown_) return;
+    const uint64_t seed = queue_.front();
+    queue_.pop_front();
+    queued_.erase(seed);
+    building_ = true;
+    building_seed_ = seed;
+    lock.unlock();
+    // Off-lock build: BuildPreparedGeneration is thread-safe by contract
+    // (reads only construction-time immutable state of the prototype).
+    Result<std::unique_ptr<PreparedGeneration>> generation =
+        prototype_.BuildPreparedGeneration(seed);
+    lock.lock();
+    building_ = false;
+    if (generation.ok() && !shutdown_) {
+      ready_.emplace(seed, generation.MoveValue());
+      ready_order_.push_back(seed);
+      ++built_;
+    }
+    // A failed build is dropped: Take() returns nullptr and the serving
+    // thread's inline PrepareForNextQuery re-raises the error in context.
+    build_finished_.notify_all();
+  }
+}
+
+}  // namespace relcomp

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "reliability/estimator.h"
+
+namespace relcomp {
+
+/// Monotonic counters; a snapshot type.
+struct GenerationPrebuilderStats {
+  uint64_t requested = 0;  ///< Request() calls accepted into the queue
+  uint64_t built = 0;      ///< generations finished by the builder thread
+  uint64_t taken = 0;      ///< generations handed to a serving thread
+  uint64_t dropped = 0;    ///< Request() calls refused (pending bound hit)
+  /// Ready-but-unclaimed generations discarded (oldest first) to make room
+  /// for newer requests — stranded work, e.g. for queries that were served
+  /// from the result cache after their seed was requested.
+  uint64_t evicted = 0;
+};
+
+/// \brief Background builder of PrepareForNextQuery artifacts.
+///
+/// BFS Sharing resamples L possible worlds per edge between successive
+/// queries — O(L m) work that PR 3 ran inline on the serving path. This
+/// builder moves it onto one dedicated thread: the engine Request()s the
+/// prepare seeds of enqueued queries as they are submitted, the builder
+/// constructs each generation via Estimator::BuildPreparedGeneration
+/// (thread-safe by that contract) while workers run the *previous* queries'
+/// BFS, and the worker that eventually needs a seed Take()s the finished
+/// artifact and installs it in O(1) with AdoptPreparedGeneration.
+///
+/// Take() semantics make duplication impossible and waiting minimal:
+///   - ready      -> returned immediately (the overlap win);
+///   - building   -> blocks until the in-flight build finishes (waiting on
+///                   a half-done build is never slower than redoing it);
+///   - queued     -> the request is cancelled and nullptr returned (the
+///                   caller builds inline; the builder never duplicates it);
+///   - unknown    -> nullptr (caller builds inline).
+///
+/// Determinism: a prebuilt generation is bit-identical to the inline
+/// PrepareForNextQuery(seed) artifact (Estimator contract), so serving with
+/// the prebuilder on or off — at any thread count — returns identical bits.
+class GenerationPrebuilder {
+ public:
+  /// `prototype` outlives this object and is only touched through the
+  /// thread-safe BuildPreparedGeneration. `max_pending` bounds queued +
+  /// ready-but-untaken generations (each ready generation holds index-sized
+  /// memory); further requests are dropped, not blocked on.
+  GenerationPrebuilder(const Estimator& prototype, size_t max_pending);
+  ~GenerationPrebuilder();
+
+  GenerationPrebuilder(const GenerationPrebuilder&) = delete;
+  GenerationPrebuilder& operator=(const GenerationPrebuilder&) = delete;
+
+  /// Enqueues `seed` for background construction. Deduplicates against
+  /// queued, building, and ready seeds. At the pending bound, the oldest
+  /// ready-but-unclaimed generation is evicted to make room (stranded work
+  /// must never wedge the builder shut); if the bound is all queued /
+  /// in-flight work, the request is dropped (returns false).
+  bool Request(uint64_t seed);
+
+  /// Claims the generation for `seed` (see class comment for the per-state
+  /// behaviour). A failed background build surfaces here as nullptr — the
+  /// caller's inline PrepareForNextQuery will re-raise the error.
+  std::unique_ptr<PreparedGeneration> Take(uint64_t seed);
+
+  GenerationPrebuilderStats Stats() const;
+
+  /// Stops the builder thread; queued seeds are abandoned, Take() afterwards
+  /// only serves already-ready generations. Idempotent (the destructor calls
+  /// it).
+  void Shutdown();
+
+ private:
+  void BuilderLoop();
+
+  const Estimator& prototype_;
+  const size_t max_pending_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable build_finished_;
+  std::deque<uint64_t> queue_;
+  std::unordered_set<uint64_t> queued_;
+  std::unordered_map<uint64_t, std::unique_ptr<PreparedGeneration>> ready_;
+  /// Completion order of ready_ entries, oldest first, for eviction.
+  /// Mirrors ready_'s key set exactly (Take() and eviction both erase).
+  std::deque<uint64_t> ready_order_;
+  uint64_t building_seed_ = 0;
+  bool building_ = false;
+  bool shutdown_ = false;
+
+  uint64_t requested_ = 0;
+  uint64_t built_ = 0;
+  uint64_t taken_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t evicted_ = 0;
+
+  std::thread builder_;  ///< last member: starts after all state above
+};
+
+}  // namespace relcomp

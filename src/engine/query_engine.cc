@@ -12,6 +12,9 @@ namespace {
 /// Domain separator so the PrepareForNextQuery seed never equals the
 /// Estimate seed for the same query.
 constexpr uint64_t kPrepareSeedTag = 0x707265ULL;  // "pre"
+/// Domain separator for per-source sweep seeds, so a sweep seed can never
+/// alias an st/distance query seed structurally.
+constexpr uint64_t kSweepSeedTag = 0x73776570ULL;  // "swep"
 }  // namespace
 
 QueryEngine::QueryEngine(const UncertainGraph& graph, EngineOptions options,
@@ -21,13 +24,26 @@ QueryEngine::QueryEngine(const UncertainGraph& graph, EngineOptions options,
       replicas_(std::move(replicas)) {
   if (options_.enable_cache) {
     cache_ = std::make_unique<ResultCache>(options_.cache_capacity,
-                                           options_.cache_shards);
+                                           options_.cache_shards,
+                                           options_.cache_max_bytes);
+  }
+  if (options_.enable_sweep_cache) {
+    sweep_cache_ = std::make_unique<SweepCache>(options_.sweep_cache_max_bytes);
+  }
+  if (options_.enable_generation_prebuild && !replicas_.empty() &&
+      replicas_.front()->SupportsPreparedGenerations()) {
+    prebuilder_ = std::make_unique<GenerationPrebuilder>(
+        *replicas_.front(), options_.prebuild_max_pending);
   }
   pool_ = std::make_unique<ThreadPool>(replicas_.size(),
                                        options_.queue_capacity);
 }
 
-QueryEngine::~QueryEngine() { pool_->Shutdown(); }
+QueryEngine::~QueryEngine() {
+  pool_->Shutdown();
+  // Join the builder thread before any replica (its build prototype) dies.
+  prebuilder_.reset();
+}
 
 Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
     const UncertainGraph& graph, const EngineOptions& options) {
@@ -49,12 +65,29 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
 }
 
 uint64_t QueryEngine::QuerySeed(const EngineQuery& query) const {
-  // Content-derived, not index-derived: the seed depends on what is asked —
-  // the workload tag and every parameter field — never on when or where it
-  // runs. Repeats of a query inside one engine get the same seed (and thus
-  // the same answer), which is exactly what makes a cache hit — or a
-  // coalesced in-flight share — indistinguishable from a recomputation.
+  // Content-derived, not index-derived: the seed depends on what is asked,
+  // never on when or where it runs. Repeats of a query inside one engine get
+  // the same seed (and thus the same answer), which is exactly what makes a
+  // cache hit — or a coalesced in-flight share — indistinguishable from a
+  // recomputation.
+  //
+  // Sweep kinds deliberately coarsen "what is asked" to the source: top-k
+  // and reliable-set answers are derived views of one per-source sweep, so
+  // their seeds fold (source, kind, num_samples) but NOT k, eta, or the
+  // workload tag. That is what lets top-k(s, 5), top-k(s, 10) and
+  // reliable-set(s, eta) share one EstimateFromSource — and it keeps the
+  // standalone-API equivalence exact, because the standalone helpers given
+  // this seed run the identical sweep.
+  if (IsSweepWorkload(query.workload)) return SweepSeed(query.source);
   uint64_t seed = HashWorkloadQuery(options_.seed, query);
+  seed = HashCombineSeed(seed, static_cast<uint64_t>(options_.kind));
+  seed = HashCombineSeed(seed, options_.num_samples);
+  return seed;
+}
+
+uint64_t QueryEngine::SweepSeed(NodeId source) const {
+  uint64_t seed = HashCombineSeed(options_.seed, kSweepSeedTag);
+  seed = HashCombineSeed(seed, source);
   seed = HashCombineSeed(seed, static_cast<uint64_t>(options_.kind));
   seed = HashCombineSeed(seed, options_.num_samples);
   return seed;
@@ -65,8 +98,10 @@ uint64_t QueryEngine::PrepareSeed(const EngineQuery& query) const {
 }
 
 EngineStatsSnapshot QueryEngine::StatsSnapshot() const {
-  EngineStatsSnapshot snapshot = stats_.Snapshot(cache_.get());
+  EngineStatsSnapshot snapshot =
+      stats_.Snapshot(cache_.get(), sweep_cache_.get());
   snapshot.index_memory = IndexMemory();
+  if (prebuilder_ != nullptr) snapshot.prebuilder = prebuilder_->Stats();
   return snapshot;
 }
 
@@ -197,6 +232,171 @@ void QueryEngine::FinishFlight(const ResultCacheKey& key,
   flight->done.notify_all();
 }
 
+void QueryEngine::RequestPrebuild(const EngineQuery& query) {
+  const uint64_t query_seed = QuerySeed(query);
+  // A query the caches will serve never prepares a replica — building its
+  // generation would be pure waste (and would strand index-sized memory in
+  // the builder's ready pool). That covers result-cache hits for any kind,
+  // and sweep-kind queries whose source's sweep is already memoized (they
+  // derive without touching an estimator, whatever their k / eta).
+  if (cache_ != nullptr &&
+      cache_->Contains(ResultCacheKey{query, options_.kind,
+                                      options_.num_samples, query_seed})) {
+    return;
+  }
+  if (sweep_cache_ != nullptr && IsSweepWorkload(query.workload) &&
+      sweep_cache_->Contains(SweepCacheKey{options_.kind, query.source,
+                                           options_.num_samples, query_seed})) {
+    return;
+  }
+  prebuilder_->Request(PrepareSeed(query));
+}
+
+Status QueryEngine::PrepareReplica(Estimator& estimator,
+                                   uint64_t prepare_seed) {
+  if (prebuilder_ != nullptr) {
+    if (std::unique_ptr<PreparedGeneration> generation =
+            prebuilder_->Take(prepare_seed)) {
+      if (estimator.AdoptPreparedGeneration(std::move(generation)).ok()) {
+        stats_.RecordPrebuiltUsed();
+        return Status::OK();
+      }
+      // Adoption refused (shape mismatch — cannot happen for replicas of
+      // this engine): fall through to the inline path, which is
+      // bit-identical by the PreparedGeneration contract.
+    }
+  }
+  return estimator.PrepareForNextQuery(prepare_seed);
+}
+
+Result<QueryEngine::SweepShare> QueryEngine::GetSweepVector(
+    size_t worker_id, const EngineQuery& query, uint64_t sweep_seed) {
+  const SweepCacheKey key{options_.kind, query.source, options_.num_samples,
+                          sweep_seed};
+  // Fast path: memoized sweep.
+  if (sweep_cache_ != nullptr) {
+    if (std::shared_ptr<const std::vector<double>> vector =
+            sweep_cache_->Lookup(key)) {
+      stats_.RecordSweepHit();
+      return SweepShare{std::move(vector), 0};
+    }
+  }
+  std::shared_ptr<SweepFlight> flight;
+  bool leader = true;
+  if (options_.enable_coalescing) {
+    std::lock_guard<std::mutex> lock(sweep_inflight_mutex_);
+    // Double-check under the flight lock (same protocol as the query-level
+    // rendezvous): a sweep leader publishes to the SweepCache *before*
+    // retiring its flight entry, so with the sweep cache on a concurrent
+    // miss always finds the key in the cache or the flight table — never
+    // neither — making "N concurrent same-source misses -> 1 sweep" exact.
+    // With the sweep cache off (or an oversized sweep rejected by it) there
+    // is no memory of finished sweeps, and flights only collapse *overlapping*
+    // twins — same best-effort caveat as query-level coalescing without the
+    // result cache. Uncounted probe; accounted as sweep_coalesced (the
+    // leader finished between our fast-path miss and taking the lock, so
+    // this query shared its work).
+    if (sweep_cache_ != nullptr) {
+      if (std::shared_ptr<const std::vector<double>> vector =
+              sweep_cache_->Lookup(key, /*record_stats=*/false)) {
+        stats_.RecordSweepCoalesced();
+        return SweepShare{std::move(vector), 0};
+      }
+    }
+    auto [it, inserted] = sweep_inflight_.try_emplace(key);
+    if (inserted) {
+      it->second = std::make_shared<SweepFlight>();
+    } else {
+      leader = false;
+    }
+    flight = it->second;
+  }
+
+  if (!leader) {
+    // Follower: the leader is actively sweeping on another worker (flight
+    // entries exist only while a leader computes), so this wait terminates.
+    std::shared_ptr<const std::vector<double>> vector;
+    Status status;
+    {
+      std::unique_lock<std::mutex> lock(flight->mutex);
+      flight->done.wait(lock, [&flight] { return flight->ready; });
+      status = flight->status;
+      vector = flight->vector;
+    }
+    if (!status.ok()) return status;
+    stats_.RecordSweepCoalesced();
+    return SweepShare{std::move(vector), 0};
+  }
+
+  // Leader (or coalescing disabled): one EstimateFromSource for everyone.
+  // PrepareSeed(query) == H(sweep_seed, tag) for sweep kinds — the one
+  // derivation RequestPrebuild's Request() also uses, so prebuilt
+  // generations match.
+  Estimator& estimator = *replicas_[worker_id];
+  MemoryTracker tracker;
+  Status status = PrepareReplica(estimator, PrepareSeed(query));
+  SweepShare share;
+  if (status.ok()) {
+    EstimateOptions estimate_options;
+    estimate_options.num_samples = options_.num_samples;
+    estimate_options.seed = sweep_seed;
+    estimate_options.memory = &tracker;
+    stats_.RecordSweepExecuted();
+    Result<std::vector<double>> swept =
+        estimator.EstimateFromSource(query.source, estimate_options);
+    if (swept.ok()) {
+      auto vector =
+          std::make_shared<const std::vector<double>>(swept.MoveValue());
+      if (sweep_cache_ != nullptr) sweep_cache_->Insert(key, vector);
+      share.vector = std::move(vector);
+      share.peak_memory_bytes = tracker.peak_bytes();
+    } else {
+      status = swept.status();
+    }
+  }
+  if (flight != nullptr) {
+    // Publish order as above: SweepCache first (already done), then retire
+    // the flight entry, then wake the followers.
+    {
+      std::lock_guard<std::mutex> lock(sweep_inflight_mutex_);
+      sweep_inflight_.erase(key);
+    }
+    {
+      std::lock_guard<std::mutex> lock(flight->mutex);
+      flight->status = status;
+      flight->vector = share.vector;
+      flight->ready = true;
+    }
+    flight->done.notify_all();
+  }
+  if (!status.ok()) return status;
+  return share;
+}
+
+Result<WorkloadResult> QueryEngine::ComputeWorkload(size_t worker_id,
+                                                    const EngineQuery& query,
+                                                    uint64_t query_seed) {
+  Estimator& estimator = *replicas_[worker_id];
+  if (IsSweepWorkload(query.workload) && estimator.SupportsSourceSweep()) {
+    // Sweep sharing: obtain the per-source vector once (memoized, coalesced,
+    // or computed) and derive this query's view of it. Bit-identical to a
+    // direct dispatch because the seed is the same sweep seed either way.
+    RELCOMP_ASSIGN_OR_RETURN(SweepShare share,
+                             GetSweepVector(worker_id, query, query_seed));
+    WorkloadResult derived =
+        DeriveFromSweep(query, *share.vector, options_.num_samples);
+    if (share.peak_memory_bytes > derived.peak_memory_bytes) {
+      derived.peak_memory_bytes = share.peak_memory_bytes;
+    }
+    return derived;
+  }
+  RELCOMP_RETURN_NOT_OK(PrepareReplica(estimator, PrepareSeed(query)));
+  EstimateOptions estimate_options;
+  estimate_options.num_samples = options_.num_samples;
+  estimate_options.seed = query_seed;
+  return DispatchWorkload(estimator, query, estimate_options);
+}
+
 void QueryEngine::RunOne(size_t worker_id, const EngineQuery& query,
                          EngineResult* slot) {
   const uint64_t query_seed = QuerySeed(query);
@@ -211,32 +411,20 @@ void QueryEngine::RunOne(size_t worker_id, const EngineQuery& query,
 
   // Leader (or coalescing disabled): compute on this worker's replica.
   Timer timer;
-  Estimator& estimator = *replicas_[worker_id];
-  Status status = estimator.PrepareForNextQuery(
-      HashCombineSeed(query_seed, kPrepareSeedTag));
   ResultCacheValue value;
-  if (status.ok()) {
-    EstimateOptions estimate_options;
-    estimate_options.num_samples = options_.num_samples;
-    estimate_options.seed = query_seed;
-    Result<WorkloadResult> result =
-        DispatchWorkload(estimator, query, estimate_options);
-    if (result.ok()) {
-      value.reliability = result->reliability;
-      value.num_samples = result->num_samples;
-      value.targets = std::move(result->targets);
-      slot->reliability = value.reliability;
-      slot->num_samples = value.num_samples;
-      slot->targets = value.targets;
-      slot->seconds = timer.ElapsedSeconds();
-      stats_.RecordExecuted(slot->seconds, result->peak_memory_bytes);
-    } else {
-      status = result.status();
-    }
-  }
-  if (!status.ok()) {
-    value.status = status;
-    slot->status = status;
+  Result<WorkloadResult> result = ComputeWorkload(worker_id, query, query_seed);
+  if (result.ok()) {
+    value.reliability = result->reliability;
+    value.num_samples = result->num_samples;
+    value.targets = std::move(result->targets);
+    slot->reliability = value.reliability;
+    slot->num_samples = value.num_samples;
+    slot->targets = value.targets;
+    slot->seconds = timer.ElapsedSeconds();
+    stats_.RecordExecuted(slot->seconds, result->peak_memory_bytes);
+  } else {
+    value.status = result.status();
+    slot->status = result.status();
     slot->seconds = timer.ElapsedSeconds();
     stats_.RecordFailure(slot->seconds);
   }
@@ -254,6 +442,15 @@ Result<std::vector<EngineResult>> QueryEngine::RunBatch(
     if (!valid.ok()) {
       return Status::InvalidArgument(
           StrFormat("query %zu: %s", i, valid.message().c_str()));
+    }
+  }
+  if (prebuilder_ != nullptr) {
+    // Seed the background builder with the whole batch's prepare seeds
+    // (deduplicated and bounded inside): generations for later queries are
+    // resampled while workers run the earlier queries' BFS, instead of
+    // inline on the serving path.
+    for (const EngineQuery& query : queries) {
+      RequestPrebuild(query);
     }
   }
   stats_.MarkCallStart();
@@ -300,6 +497,9 @@ Result<std::vector<EngineResult>> QueryEngine::RunBatch(
 
 Status QueryEngine::Submit(const EngineQuery& query) {
   RELCOMP_RETURN_NOT_OK(ValidateWorkload(graph_, query));
+  // Overlap: the builder resamples this query's generation while earlier
+  // stream queries are still running their BFS on the workers.
+  if (prebuilder_ != nullptr) RequestPrebuild(query);
   // The pool submit happens under stream_mutex_ so a concurrent Drain either
   // sees this query fully enqueued (and waits for it) or not at all (next
   // cycle); a slot can never be mid-flight across a drain boundary.

@@ -9,7 +9,9 @@
 
 #include "common/timer.h"
 #include "engine/engine_stats.h"
+#include "engine/generation_prebuilder.h"
 #include "engine/result_cache.h"
+#include "engine/sweep_cache.h"
 #include "engine/thread_pool.h"
 #include "graph/uncertain_graph.h"
 #include "reliability/estimator_factory.h"
@@ -40,6 +42,11 @@ struct EngineOptions {
   bool enable_cache = true;
   size_t cache_capacity = 1 << 16;
   size_t cache_shards = 8;
+  /// Byte budget for the result cache (0 = unlimited): entries are charged
+  /// their real payload bytes — a top-k entry carrying k ranked targets
+  /// costs ~k× an s-t scalar — and each shard evicts by bytes on top of the
+  /// entry capacity. See ResultCache.
+  size_t cache_max_bytes = 0;
   /// TTL in seconds for successful cache entries; 0 = never expire. Expired
   /// entries are dropped on the lookup that discovers them and counted in
   /// ResultCacheStats::expired. Content-deterministic answers make expiry
@@ -52,9 +59,38 @@ struct EngineOptions {
   double negative_cache_ttl = 1.0;
   /// Single-flight request coalescing: concurrent cache misses for the same
   /// key share one in-flight computation instead of computing twins on
-  /// separate workers. Semantically invisible (results are content-
-  /// deterministic); off only for A/B measurement.
+  /// separate workers — at the query level AND at the sweep level (misses
+  /// that need the same source's sweep, even across workload kinds and
+  /// parameters, share one EstimateFromSource). Semantically invisible
+  /// (results are content-deterministic); off only for A/B measurement.
   bool enable_coalescing = true;
+  /// Sweep memoization: keep the per-source reliability vector of top-k /
+  /// reliable-set queries in a size-aware SweepCache so later queries over
+  /// the same source — any k, any eta — derive their answers without
+  /// re-running the BFS. Independent of enable_cache (the result cache
+  /// memoizes derived answers per exact query; the sweep cache memoizes the
+  /// vector they derive from). Semantically invisible: the engine's sweep
+  /// seeds depend only on the source, so a derived answer is bit-identical
+  /// to a recomputation.
+  bool enable_sweep_cache = true;
+  /// Byte budget for the sweep cache (one sweep = num_nodes doubles).
+  size_t sweep_cache_max_bytes = size_t{128} << 20;
+  /// Background generation prebuilding: when the estimator kind supports
+  /// prepared generations (BFS Sharing), a builder thread constructs the
+  /// next queries' PrepareForNextQuery artifacts (world resampling)
+  /// overlapping the previous queries' BFS, and workers adopt them in O(1)
+  /// instead of resampling inline on the serving path. Bit-identical on or
+  /// off.
+  bool enable_generation_prebuild = true;
+  /// Bound on queued + ready-but-unclaimed prebuilt generations. NOTE: the
+  /// bound is a *count*, and every ready generation holds a full index-sized
+  /// artifact (a BFS Sharing generation is the L-bit-per-edge vectors, the
+  /// same order as the shared index itself) that is not part of
+  /// IndexMemory() — size this knob as "how many spare indexes fit in RAM".
+  /// At the bound the oldest ready generation is evicted for a new request;
+  /// if all pending work is queued / in-flight, the request is dropped and
+  /// the affected query simply resamples inline.
+  size_t prebuild_max_pending = 16;
   /// Estimator construction knobs (index parameters, index seed).
   FactoryOptions factory;
 };
@@ -143,7 +179,17 @@ class QueryEngine {
   /// Derived seed for `query` under this engine's configuration; exposed so
   /// callers can reproduce any single engine answer with a bare estimator
   /// (or the standalone top-k / reliable-set / distance APIs).
+  ///
+  /// Sweep kinds (top-k, reliable-set) get the *sweep seed* of their source
+  /// — derived from (source, estimator kind, sample budget) but NOT from k,
+  /// eta, or the workload tag — so every sweep-kind query over one source
+  /// shares one seed, and therefore one per-source sweep (the sweep-sharing
+  /// contract). St / distance seeds fold every query field as before.
   uint64_t QuerySeed(const EngineQuery& query) const;
+
+  /// The per-source sweep seed (see QuerySeed). `SweepSeed(s)` ==
+  /// `QuerySeed(q)` for every sweep-kind q with source s.
+  uint64_t SweepSeed(NodeId source) const;
   uint64_t QuerySeed(const ReliabilityQuery& query) const {
     return QuerySeed(EngineQuery(query));
   }
@@ -160,6 +206,11 @@ class QueryEngine {
   size_t num_threads() const { return pool_->num_threads(); }
   /// nullptr when the cache is disabled.
   const ResultCache* cache() const { return cache_.get(); }
+  /// nullptr when sweep memoization is disabled.
+  const SweepCache* sweep_cache() const { return sweep_cache_.get(); }
+  /// nullptr when the prebuilder is off or the estimator kind has no
+  /// prepared-generation support.
+  const GenerationPrebuilder* prebuilder() const { return prebuilder_.get(); }
   /// Deduplicated resident index footprint of the replica set: a shared
   /// index is counted once, not once per replica.
   IndexMemoryReport IndexMemory() const {
@@ -192,9 +243,53 @@ class QueryEngine {
     ResultCacheValue value;  ///< carries the Status (negative on failure)
   };
 
+  /// One sweep-level single-flight: the first worker to need a source's
+  /// sweep becomes the leader and runs EstimateFromSource; workers needing
+  /// the same sweep — under *different* query keys (other k, other eta,
+  /// other workload kind) — wait here and derive from the shared vector.
+  struct SweepFlight {
+    std::mutex mutex;
+    std::condition_variable done;
+    bool ready = false;
+    Status status;
+    std::shared_ptr<const std::vector<double>> vector;
+  };
+
+  /// How a worker obtained a per-source sweep vector.
+  struct SweepShare {
+    std::shared_ptr<const std::vector<double>> vector;
+    /// Leader only: the sweep's tracked working-set peak.
+    size_t peak_memory_bytes = 0;
+  };
+
   /// Executes one query on `worker_id`'s replica (or serves it from cache /
   /// an in-flight twin), writing outcome and per-query status into `slot`.
   void RunOne(size_t worker_id, const EngineQuery& query, EngineResult* slot);
+
+  /// Compute path of one query (after the cache / query-level flight said
+  /// miss): sweep kinds go through the sweep-sharing layer, everything else
+  /// through PrepareReplica + DispatchWorkload.
+  Result<WorkloadResult> ComputeWorkload(size_t worker_id,
+                                         const EngineQuery& query,
+                                         uint64_t query_seed);
+
+  /// Obtains `query.source`'s sweep vector: from the SweepCache, from a
+  /// sweep-level flight (waiting on the leader), or by leading one
+  /// EstimateFromSource itself — publishing to the SweepCache and the
+  /// flight's followers. Records exactly one of sweep_hit / sweep_coalesced
+  /// / sweep_executed per call.
+  Result<SweepShare> GetSweepVector(size_t worker_id, const EngineQuery& query,
+                                    uint64_t sweep_seed);
+
+  /// Re-arms `estimator` for a query with `prepare_seed`: adopts a prebuilt
+  /// generation when the background prebuilder has one ready, falls back to
+  /// the inline PrepareForNextQuery otherwise (bit-identical either way).
+  Status PrepareReplica(Estimator& estimator, uint64_t prepare_seed);
+
+  /// Hands `query`'s prepare seed to the background builder — unless the
+  /// result cache will serve the query anyway (prebuilder_ must be
+  /// non-null).
+  void RequestPrebuild(const EngineQuery& query);
 
   /// Cache lookup + single-flight rendezvous for `key`. Returns true when
   /// `slot` was fully served (cache hit — positive or negative — or
@@ -240,6 +335,27 @@ class QueryEngine {
   std::mutex inflight_mutex_;
   std::unordered_map<ResultCacheKey, std::shared_ptr<InFlight>, KeyHash>
       inflight_;
+
+  struct SweepKeyHash {
+    size_t operator()(const SweepCacheKey& key) const {
+      return static_cast<size_t>(key.Hash());
+    }
+  };
+
+  /// Sweep-level single-flight table, same invariants as inflight_: entries
+  /// exist only while a leader actively computes a sweep on a worker, so a
+  /// waiter never waits on queued-but-unstarted work. A query-level leader
+  /// may wait on a sweep leader, never the other way around — the wait graph
+  /// is a depth-2 DAG, no cycles.
+  std::mutex sweep_inflight_mutex_;
+  std::unordered_map<SweepCacheKey, std::shared_ptr<SweepFlight>, SweepKeyHash>
+      sweep_inflight_;
+
+  /// Memoized per-source sweeps; nullptr when disabled.
+  std::unique_ptr<SweepCache> sweep_cache_;
+  /// Background generation builder; nullptr when off / unsupported. Declared
+  /// after replicas_ so it is destroyed (thread joined) before they are.
+  std::unique_ptr<GenerationPrebuilder> prebuilder_;
 
   std::mutex stream_mutex_;
   std::vector<std::unique_ptr<EngineResult>> stream_results_;

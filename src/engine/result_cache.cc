@@ -19,19 +19,43 @@ uint64_t ResultCacheKey::Hash() const {
   return h;
 }
 
-ResultCache::ResultCache(size_t capacity, size_t num_shards)
-    : capacity_(capacity == 0 ? 1 : capacity) {
+size_t ResultCache::EntryBytes(const ResultCacheValue& value) {
+  return sizeof(Entry) + value.targets.size() * sizeof(ReliableTarget) +
+         value.status.message().size();
+}
+
+ResultCache::ResultCache(size_t capacity, size_t num_shards, size_t max_bytes)
+    : capacity_(capacity == 0 ? 1 : capacity), max_bytes_(max_bytes) {
   num_shards = RoundUpToPowerOfTwo(num_shards == 0 ? 1 : num_shards);
   // No more shards than entries, or some shards could never hold anything.
   while (num_shards > 1 && num_shards > capacity_) num_shards >>= 1;
   shards_.reserve(num_shards);
   const size_t base = capacity_ / num_shards;
   const size_t extra = capacity_ % num_shards;
+  const size_t byte_base = max_bytes_ / num_shards;
+  const size_t byte_extra = max_bytes_ % num_shards;
   for (size_t i = 0; i < num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
     shard->capacity = base + (i < extra ? 1 : 0);
+    if (max_bytes_ > 0) {
+      shard->byte_budget = byte_base + (i < byte_extra ? 1 : 0);
+      // A per-shard budget below one smallest entry (sizeof(Entry): a
+      // scalar payload, no targets, empty message) would reject every
+      // insert and silently disable the shard; floor it so tiny budgets
+      // degrade to "hold one smallest entry" per shard instead.
+      if (shard->byte_budget < sizeof(Entry)) shard->byte_budget = sizeof(Entry);
+    }
     shards_.push_back(std::move(shard));
   }
+}
+
+void ResultCache::RemoveEntry(
+    Shard& shard,
+    std::unordered_map<HashedKey, std::list<Entry>::iterator, KeyHash,
+                       KeyEq>::iterator it) {
+  shard.bytes -= it->second->bytes;
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
 }
 
 std::optional<ResultCacheValue> ResultCache::Lookup(const ResultCacheKey& key,
@@ -48,8 +72,7 @@ std::optional<ResultCacheValue> ResultCache::Lookup(const ResultCacheKey& key,
     // Lazy expiry: the deadline elapsed, so the entry is dead weight — drop
     // it and let the caller recompute (a miss). Expiry is counted even on
     // uncounted probes: the entry really is gone either way.
-    shard.lru.erase(it->second);
-    shard.index.erase(it);
+    RemoveEntry(shard, it);
     expired_.fetch_add(1, std::memory_order_relaxed);
     if (record_stats) misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
@@ -65,9 +88,21 @@ std::optional<ResultCacheValue> ResultCache::Lookup(const ResultCacheKey& key,
   return it->second->value;
 }
 
+bool ResultCache::Contains(const ResultCacheKey& key) const {
+  const HashedKey hashed{key, key.Hash()};
+  Shard& shard = *shards_[hashed.hash & (shards_.size() - 1)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(hashed);
+  if (it == shard.index.end()) return false;
+  // Expired entries are absent for the caller's purposes; leave the lazy
+  // removal to the next counted Lookup.
+  return !(it->second->expires && Clock::now() >= it->second->deadline);
+}
+
 void ResultCache::Insert(const ResultCacheKey& key,
                          const ResultCacheValue& value, double ttl_seconds) {
   const HashedKey hashed{key, key.Hash()};
+  const size_t entry_bytes = EntryBytes(value);
   const bool expires = ttl_seconds > 0.0;
   const Clock::time_point deadline =
       expires ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
@@ -75,22 +110,44 @@ void ResultCache::Insert(const ResultCacheKey& key,
               : Clock::time_point();
   Shard& shard = ShardFor(hashed.hash);
   std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.byte_budget > 0 && entry_bytes > shard.byte_budget) {
+    // Size-aware admission: one entry outweighing the whole shard budget
+    // would evict everything and still never be amortized by repeats.
+    auto existing = shard.index.find(hashed);
+    if (existing != shard.index.end()) {
+      // The key's older (smaller) incarnation is now stale; drop it rather
+      // than serve an outdated payload next to the rejected fresh one.
+      RemoveEntry(shard, existing);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   auto it = shard.index.find(hashed);
   if (it != shard.index.end()) {
+    shard.bytes -= it->second->bytes;
     it->second->value = value;
     it->second->deadline = deadline;
     it->second->expires = expires;
+    it->second->bytes = entry_bytes;
+    shard.bytes += entry_bytes;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return;
+  } else {
+    shard.lru.push_front(Entry{hashed, value, deadline, expires, entry_bytes});
+    shard.index.emplace(hashed, shard.lru.begin());
+    shard.bytes += entry_bytes;
+    insertions_.fetch_add(1, std::memory_order_relaxed);
   }
-  if (shard.lru.size() >= shard.capacity) {
-    shard.index.erase(shard.lru.back().key);
-    shard.lru.pop_back();
+  // Evict LRU entries until both budgets hold. The freshly-touched entry is
+  // at the front and (having passed admission) fits the byte budget alone,
+  // so the loop always terminates before evicting it.
+  while ((shard.lru.size() > shard.capacity ||
+          (shard.byte_budget > 0 && shard.bytes > shard.byte_budget)) &&
+         shard.lru.size() > 1) {
+    auto victim = shard.index.find(shard.lru.back().key);
+    RemoveEntry(shard, victim);
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
-  shard.lru.push_front(Entry{hashed, value, deadline, expires});
-  shard.index.emplace(hashed, shard.lru.begin());
-  insertions_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ResultCache::Clear() {
@@ -98,6 +155,7 @@ void ResultCache::Clear() {
     std::lock_guard<std::mutex> lock(shard->mutex);
     shard->lru.clear();
     shard->index.clear();
+    shard->bytes = 0;
   }
 }
 
@@ -109,6 +167,8 @@ ResultCacheStats ResultCache::Stats() const {
   stats.insertions = insertions_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   stats.expired = expired_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.bytes_in_use = bytes_in_use();
   return stats;
 }
 
@@ -117,6 +177,15 @@ size_t ResultCache::size() const {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     total += shard->lru.size();
+  }
+  return total;
+}
+
+size_t ResultCache::bytes_in_use() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->bytes;
   }
   return total;
 }

@@ -66,7 +66,9 @@ struct ResultCacheStats {
   uint64_t misses = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;
-  uint64_t expired = 0;  ///< entries dropped because their TTL elapsed
+  uint64_t expired = 0;   ///< entries dropped because their TTL elapsed
+  uint64_t rejected = 0;  ///< entries larger than a whole shard's byte budget
+  size_t bytes_in_use = 0;  ///< charged bytes resident at snapshot time
 
   uint64_t lookups() const { return hits + negative_hits + misses; }
   double hit_rate() const {
@@ -85,11 +87,26 @@ struct ResultCacheStats {
 /// proceeds as a miss. Negative entries (non-OK value status) are how the
 /// engine backs off a hot failing key; they are served like hits but
 /// counted separately (`negative_hits`).
+///
+/// Admission is size-aware when `max_bytes` > 0: every entry is charged its
+/// real payload bytes (EntryBytes — a top-k entry carrying k ranked targets
+/// costs ~k× an s-t scalar), the byte budget is split across shards like the
+/// entry capacity, and a shard evicts LRU entries until *both* its entry and
+/// byte budgets hold. An entry larger than a whole shard's byte budget is
+/// rejected outright (counted in `rejected`) — admitting it would flush the
+/// shard for an entry that cannot amortize.
 class ResultCache {
  public:
   /// `capacity` = total entries across all shards (>= 1 enforced);
-  /// `num_shards` is rounded up to a power of two.
-  explicit ResultCache(size_t capacity, size_t num_shards = 8);
+  /// `num_shards` is rounded up to a power of two; `max_bytes` = total
+  /// charged-byte budget across all shards (0 = unlimited, entry-count
+  /// eviction only).
+  explicit ResultCache(size_t capacity, size_t num_shards = 8,
+                       size_t max_bytes = 0);
+
+  /// Charged bytes for caching `value`: the entry framing plus the ranked-
+  /// target payload and any status message.
+  static size_t EntryBytes(const ResultCacheValue& value);
 
   /// Returns the cached value and refreshes its recency, or nullopt.
   /// A returned value with non-OK `status` is a negative entry (cached
@@ -99,6 +116,11 @@ class ResultCache {
   /// user-level query as two lookups.
   std::optional<ResultCacheValue> Lookup(const ResultCacheKey& key,
                                          bool record_stats = true);
+
+  /// True when a live (unexpired) entry exists for `key`. Touches neither
+  /// recency nor stats and copies no payload — a pure probe, e.g. for the
+  /// engine deciding whether a query is worth prebuilding for.
+  bool Contains(const ResultCacheKey& key) const;
 
   /// Inserts (or refreshes) `value` under `key`, evicting the shard's LRU
   /// entry if the shard is full. `ttl_seconds` > 0 puts a deadline on the
@@ -112,6 +134,10 @@ class ResultCache {
   ResultCacheStats Stats() const;
   size_t size() const;
   size_t capacity() const { return capacity_; }
+  /// Total charged-byte budget (0 = unlimited).
+  size_t max_bytes() const { return max_bytes_; }
+  /// Charged bytes currently resident across all shards.
+  size_t bytes_in_use() const;
   size_t num_shards() const { return shards_.size(); }
 
  private:
@@ -129,6 +155,8 @@ class ResultCache {
     /// Expiry deadline; meaningful only when `expires` is true.
     Clock::time_point deadline;
     bool expires = false;
+    /// Charged bytes (EntryBytes at insertion), subtracted on removal.
+    size_t bytes = 0;
   };
   struct KeyHash {
     size_t operator()(const HashedKey& k) const {
@@ -146,13 +174,23 @@ class ResultCache {
     std::unordered_map<HashedKey, std::list<Entry>::iterator, KeyHash, KeyEq>
         index;
     size_t capacity = 0;
+    /// Byte budget (0 = unlimited) and current charge.
+    size_t byte_budget = 0;
+    size_t bytes = 0;
   };
 
   Shard& ShardFor(uint64_t hash) {
     return *shards_[hash & (shards_.size() - 1)];
   }
 
+  /// Removes `it`'s entry from `shard` (caller holds the shard mutex).
+  static void RemoveEntry(
+      Shard& shard,
+      std::unordered_map<HashedKey, std::list<Entry>::iterator, KeyHash,
+                         KeyEq>::iterator it);
+
   size_t capacity_;
+  size_t max_bytes_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> negative_hits_{0};
@@ -160,6 +198,7 @@ class ResultCache {
   std::atomic<uint64_t> insertions_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> rejected_{0};
 };
 
 }  // namespace relcomp

@@ -1,0 +1,101 @@
+#include "engine/sweep_cache.h"
+
+#include <utility>
+
+#include "common/rng.h"
+
+namespace relcomp {
+
+uint64_t SweepCacheKey::Hash() const {
+  uint64_t h = HashCombineSeed(seed, static_cast<uint64_t>(kind));
+  h = HashCombineSeed(h, source);
+  h = HashCombineSeed(h, num_samples);
+  return h;
+}
+
+SweepCache::SweepCache(size_t max_bytes)
+    : max_bytes_(max_bytes == 0 ? 1 : max_bytes) {}
+
+std::shared_ptr<const std::vector<double>> SweepCache::Lookup(
+    const SweepCacheKey& key, bool record_stats) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    if (record_stats) misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  if (record_stats) hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->sweep;
+}
+
+bool SweepCache::Contains(const SweepCacheKey& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.count(key) != 0;
+}
+
+void SweepCache::Insert(const SweepCacheKey& key,
+                        std::shared_ptr<const std::vector<double>> sweep) {
+  if (sweep == nullptr) return;
+  const size_t bytes = SweepBytes(*sweep);
+  if (bytes > max_bytes_) {
+    // Oversized: admitting it would flush the whole cache for one entry.
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_in_use_ -= it->second->bytes;
+    it->second->sweep = std::move(sweep);
+    it->second->bytes = bytes;
+    bytes_in_use_ += bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, std::move(sweep), bytes});
+    index_.emplace(key, lru_.begin());
+    bytes_in_use_ += bytes;
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Evict LRU sweeps until the budget holds (never the one just touched:
+  // bytes <= max_bytes_ guarantees the loop stops at size 1 at the latest).
+  while (bytes_in_use_ > max_bytes_ && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    bytes_in_use_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SweepCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  bytes_in_use_ = 0;
+}
+
+SweepCacheStats SweepCache::Stats() const {
+  SweepCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats.bytes_in_use = bytes_in_use_;
+  stats.entries = lru_.size();
+  return stats;
+}
+
+size_t SweepCache::bytes_in_use() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_in_use_;
+}
+
+size_t SweepCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace relcomp

@@ -12,7 +12,17 @@ namespace relcomp {
 
 namespace {
 constexpr char kIndexMagic[8] = {'R', 'E', 'L', 'B', 'F', 'S', 'I', 'X'};
-}
+
+/// The background-prepare artifact: a fully sampled generation, held mutable
+/// so the adopting replica regains in-place-resample ownership.
+class PreparedBfsGeneration : public PreparedGeneration {
+ public:
+  explicit PreparedBfsGeneration(std::shared_ptr<BfsSharingIndex> index)
+      : index(std::move(index)) {}
+  std::shared_ptr<BfsSharingIndex> index;
+};
+
+}  // namespace
 
 std::atomic<uint64_t> BfsSharingIndex::build_count_{0};
 
@@ -157,6 +167,39 @@ Status BfsSharingEstimator::PrepareForNextQuery(uint64_t seed) {
   return Status::OK();
 }
 
+Result<std::unique_ptr<PreparedGeneration>>
+BfsSharingEstimator::BuildPreparedGeneration(uint64_t seed) const {
+  // Reads only graph_ and options_ (both frozen at construction), so a
+  // builder thread may run this while the serving thread is mid-BFS on the
+  // current generation. Build(seed) is what PrepareForNextQuery's swap path
+  // installs, and the in-place Resample path is bit-identical to it.
+  RELCOMP_ASSIGN_OR_RETURN(std::shared_ptr<BfsSharingIndex> fresh,
+                           BfsSharingIndex::Build(graph_, options_, seed));
+  return std::unique_ptr<PreparedGeneration>(
+      new PreparedBfsGeneration(std::move(fresh)));
+}
+
+Status BfsSharingEstimator::AdoptPreparedGeneration(
+    std::unique_ptr<PreparedGeneration> generation) {
+  auto* prepared = dynamic_cast<PreparedBfsGeneration*>(generation.get());
+  if (prepared == nullptr || prepared->index == nullptr) {
+    return Status::InvalidArgument(
+        "BFS Sharing: not a prepared BFS Sharing generation");
+  }
+  if (prepared->index->num_edges() != graph_.num_edges() ||
+      prepared->index->num_samples() != options_.index_samples) {
+    return Status::InvalidArgument(
+        "BFS Sharing: prepared generation shape mismatch");
+  }
+  // Same publication order as PrepareForNextQuery's swap path: readers of
+  // index_ move to the fresh worlds; the generation is exclusively ours, so
+  // later inline prepares resample it in place.
+  index_.store(std::shared_ptr<const BfsSharingIndex>(prepared->index),
+               std::memory_order_release);
+  owned_ = std::move(prepared->index);
+  return Status::OK();
+}
+
 size_t BfsSharingEstimator::IndexMemoryBytes() const {
   return shared_index()->MemoryBytes();
 }
@@ -179,12 +222,17 @@ Result<double> BfsSharingEstimator::DoEstimate(const ReliabilityQuery& query,
 }
 
 Result<std::vector<double>> BfsSharingEstimator::ReliabilityFromSource(
-    NodeId source, uint32_t num_samples) {
+    NodeId source, uint32_t num_samples, MemoryTracker* memory) {
   if (!graph_.HasNode(source)) {
     return Status::InvalidArgument("BFS Sharing: source out of range");
   }
+  // Working state: bookkeeping arrays + the result vector up front; the
+  // per-node K-bit vectors are grown in as the BFS visits nodes.
+  ScopedAllocation working(memory,
+                           graph_.num_nodes() * 2 * sizeof(uint32_t) +
+                               graph_.num_nodes() * sizeof(double));
   const std::shared_ptr<const BfsSharingIndex> index = shared_index();
-  RELCOMP_RETURN_NOT_OK(RunSharedBfs(*index, source, num_samples, nullptr));
+  RELCOMP_RETURN_NOT_OK(RunSharedBfs(*index, source, num_samples, &working));
   std::vector<double> reliability(graph_.num_nodes(), 0.0);
   for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
     if (visit_epoch_[v] == epoch_) {

@@ -140,6 +140,18 @@ class BfsSharingEstimator : public Estimator {
   /// leaving generations still referenced by other replicas untouched.
   Status PrepareForNextQuery(uint64_t seed) override;
 
+  /// Background-prepare surface: BuildPreparedGeneration samples the worlds
+  /// PrepareForNextQuery(seed) would install — bit-identical, reading only
+  /// the graph and the options, so a builder thread can overlap it with this
+  /// replica's in-flight BFS. AdoptPreparedGeneration swaps it in as an
+  /// exclusively-owned generation (subsequent inline prepares resample it in
+  /// place again).
+  bool SupportsPreparedGenerations() const override { return true; }
+  Result<std::unique_ptr<PreparedGeneration>> BuildPreparedGeneration(
+      uint64_t seed) const override;
+  Status AdoptPreparedGeneration(
+      std::unique_ptr<PreparedGeneration> generation) override;
+
   /// The generation this replica currently reads (atomic snapshot).
   std::shared_ptr<const BfsSharingIndex> shared_index() const {
     return index_.load(std::memory_order_acquire);
@@ -153,9 +165,11 @@ class BfsSharingEstimator : public Estimator {
   /// One shared BFS, all targets at once: the reliability of every node from
   /// `source` over the first `num_samples` indexed worlds (0 for nodes the
   /// BFS never reaches). This is the primitive behind the original top-k
-  /// reliability search of [45] (see top_k.h).
-  Result<std::vector<double>> ReliabilityFromSource(NodeId source,
-                                                    uint32_t num_samples);
+  /// reliability search of [45] (see top_k.h). `memory`, when given,
+  /// receives the sweep's working-set accounting (node bit-vectors, epochs,
+  /// the result vector).
+  Result<std::vector<double>> ReliabilityFromSource(
+      NodeId source, uint32_t num_samples, MemoryTracker* memory = nullptr);
 
   /// Engine dispatch surface for top-k / reliable-set workloads: the sweep
   /// above over the current index generation. Like DoEstimate, the per-call
@@ -164,7 +178,7 @@ class BfsSharingEstimator : public Estimator {
   bool SupportsSourceSweep() const override { return true; }
   Result<std::vector<double>> EstimateFromSource(
       NodeId source, const EstimateOptions& options) override {
-    return ReliabilityFromSource(source, options.num_samples);
+    return ReliabilityFromSource(source, options.num_samples, options.memory);
   }
 
  protected:

@@ -32,8 +32,13 @@ DistanceConstrainedMonteCarlo::DistanceConstrainedMonteCarlo(
     : graph_(graph), visit_epoch_(graph.num_nodes(), 0) {}
 
 Result<double> DistanceConstrainedMonteCarlo::Estimate(
-    const DistanceConstrainedQuery& query, uint32_t num_samples, uint64_t seed) {
+    const DistanceConstrainedQuery& query, uint32_t num_samples, uint64_t seed,
+    MemoryTracker* memory) {
   RELCOMP_RETURN_NOT_OK(ValidateQuery(graph_, query, num_samples));
+  // Online structures: epoch marks plus the depth-annotated BFS queue.
+  ScopedAllocation working(
+      memory,
+      graph_.num_nodes() * (sizeof(uint32_t) * 2 + sizeof(NodeId)));
   if (query.source == query.target) return 1.0;
   if (query.max_hops == 0) return 0.0;
   Rng rng(seed);
@@ -206,8 +211,15 @@ double DistanceConstrainedRecursive::BaseMonteCarlo(
 }
 
 Result<double> DistanceConstrainedRecursive::Estimate(
-    const DistanceConstrainedQuery& query, uint32_t num_samples, uint64_t seed) {
+    const DistanceConstrainedQuery& query, uint32_t num_samples, uint64_t seed,
+    MemoryTracker* memory) {
   RELCOMP_RETURN_NOT_OK(ValidateQuery(graph_, query, num_samples));
+  // Online structures: the edge-state vector dominates, plus the epoch /
+  // queue / depth arrays shared with the bounded-distance checks.
+  ScopedAllocation working(
+      memory,
+      graph_.num_edges() * sizeof(EdgeState) +
+          graph_.num_nodes() * (sizeof(uint32_t) * 2 + sizeof(NodeId)));
   if (query.source == query.target) return 1.0;
   if (query.max_hops == 0) return 0.0;
   Rng rng(seed);

@@ -29,9 +29,12 @@ class DistanceConstrainedMonteCarlo {
  public:
   explicit DistanceConstrainedMonteCarlo(const UncertainGraph& graph);
 
-  /// Estimates R_d(s, t) with `num_samples` samples.
+  /// Estimates R_d(s, t) with `num_samples` samples. `memory`, when given,
+  /// receives the call's working-set accounting (epoch marks, BFS queue,
+  /// depth array).
   Result<double> Estimate(const DistanceConstrainedQuery& query,
-                          uint32_t num_samples, uint64_t seed);
+                          uint32_t num_samples, uint64_t seed,
+                          MemoryTracker* memory = nullptr);
 
  private:
   const UncertainGraph& graph_;
@@ -49,8 +52,11 @@ class DistanceConstrainedRecursive {
   DistanceConstrainedRecursive(const UncertainGraph& graph,
                                uint32_t threshold = 5);
 
+  /// `memory`, when given, receives the call's working-set accounting (edge
+  /// states, epoch marks, BFS queue, depth array).
   Result<double> Estimate(const DistanceConstrainedQuery& query,
-                          uint32_t num_samples, uint64_t seed);
+                          uint32_t num_samples, uint64_t seed,
+                          MemoryTracker* memory = nullptr);
 
  private:
   double Recurse(const DistanceConstrainedQuery& query, uint32_t k,

@@ -24,6 +24,12 @@ struct EstimateOptions {
   uint32_t num_samples = 1000;
   /// Seed for this call; equal seeds give bit-identical results.
   uint64_t seed = 0;
+  /// Optional sink for the call's working-set accounting (the paper's
+  /// "online memory usage" metric). Consulted by the dispatch-surface calls
+  /// (EstimateFromSource, EstimateDistanceConstrained) — Estimate() tracks
+  /// internally and reports through EstimateResult instead. Never part of
+  /// the determinism contract: results are identical with or without it.
+  MemoryTracker* memory = nullptr;
 };
 
 /// \brief Outcome of one estimation call.
@@ -39,6 +45,20 @@ struct EstimateResult {
   /// this call (excludes the input graph and any prebuilt index; see
   /// Estimator::IndexMemoryBytes).
   size_t peak_memory_bytes = 0;
+};
+
+/// \brief Opaque artifact of an inter-query maintenance step performed off
+/// the serving path.
+///
+/// Estimators whose PrepareForNextQuery does real work (BFS Sharing's world
+/// resampling) can split it in two: BuildPreparedGeneration constructs the
+/// exact artifact PrepareForNextQuery(seed) would install — on any thread,
+/// overlapping the previous query's BFS — and AdoptPreparedGeneration
+/// installs it on the serving thread in O(1). The concrete payload is
+/// estimator-specific; callers only move the handle between the two calls.
+class PreparedGeneration {
+ public:
+  virtual ~PreparedGeneration() = default;
 };
 
 /// \brief Common interface of the six s-t reliability estimators.
@@ -92,6 +112,29 @@ class Estimator {
     (void)seed;
     return Status::OK();
   }
+
+  /// \name Background-prepare surface (generation prebuilding)
+  /// @{
+
+  /// True when PrepareForNextQuery's work can be built off-thread through
+  /// BuildPreparedGeneration / AdoptPreparedGeneration (BFS Sharing).
+  virtual bool SupportsPreparedGenerations() const { return false; }
+
+  /// Builds, without touching this instance's mutable state, the artifact
+  /// PrepareForNextQuery(seed) would install — bit-identical by contract.
+  /// Must be safe to call from a background thread while this instance
+  /// concurrently serves queries (it may only read construction-time
+  /// immutable state: the graph and the options). Default: NotSupported.
+  virtual Result<std::unique_ptr<PreparedGeneration>> BuildPreparedGeneration(
+      uint64_t seed) const;
+
+  /// Installs a generation built by BuildPreparedGeneration on *any* replica
+  /// bound to the same graph and options (replicas are interchangeable).
+  /// Serving-thread only, like PrepareForNextQuery. Default: NotSupported.
+  virtual Status AdoptPreparedGeneration(
+      std::unique_ptr<PreparedGeneration> generation);
+
+  /// @}
 
   /// \name Workload dispatch surface (source sweeps, distance bounds)
   /// @{

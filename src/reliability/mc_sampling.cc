@@ -73,6 +73,10 @@ MonteCarloEstimator::MonteCarloEstimator(const UncertainGraph& graph)
 
 Result<std::vector<double>> MonteCarloEstimator::EstimateFromSource(
     NodeId source, const EstimateOptions& options) {
+  // Working state: hit counts, epoch marks, BFS queue, result vector.
+  ScopedAllocation working(
+      options.memory,
+      graph_.num_nodes() * (3 * sizeof(uint32_t) + sizeof(double)));
   // Reused scratch: advance the epoch window past every mark the previous
   // sweep left behind; re-zero only when the counter would wrap.
   if (sweep_epoch_base_ >
@@ -95,7 +99,7 @@ Result<double> MonteCarloEstimator::EstimateDistanceConstrained(
   }
   return distance_->Estimate(
       DistanceConstrainedQuery{query.source, query.target, max_hops},
-      options.num_samples, options.seed);
+      options.num_samples, options.seed, options.memory);
 }
 
 Result<double> MonteCarloEstimator::DoEstimate(const ReliabilityQuery& query,

@@ -62,7 +62,7 @@ class RecursiveEstimator : public Estimator {
     }
     return distance_->Estimate(
         DistanceConstrainedQuery{query.source, query.target, max_hops},
-        options.num_samples, options.seed);
+        options.num_samples, options.seed, options.memory);
   }
 
  protected:

@@ -20,7 +20,7 @@ Status Validate(double threshold, uint32_t num_samples) {
 
 }  // namespace
 
-ReliableSetResult FilterReliableSet(std::vector<double> reliability,
+ReliableSetResult FilterReliableSet(const std::vector<double>& reliability,
                                     NodeId source, double threshold,
                                     uint32_t num_samples) {
   ReliableSetResult result;
@@ -51,7 +51,7 @@ Result<ReliableSetResult> ReliableSetMonteCarlo(const UncertainGraph& graph,
   RELCOMP_ASSIGN_OR_RETURN(
       std::vector<double> reliability,
       MonteCarloReliabilityFromSource(graph, source, num_samples, seed));
-  return FilterReliableSet(std::move(reliability), source, threshold,
+  return FilterReliableSet(reliability, source, threshold,
                            num_samples);
 }
 
@@ -61,7 +61,7 @@ Result<ReliableSetResult> ReliableSetBfsSharing(BfsSharingEstimator& estimator,
   RELCOMP_RETURN_NOT_OK(Validate(threshold, num_samples));
   RELCOMP_ASSIGN_OR_RETURN(std::vector<double> reliability,
                            estimator.ReliabilityFromSource(source, num_samples));
-  return FilterReliableSet(std::move(reliability), source, threshold,
+  return FilterReliableSet(reliability, source, threshold,
                            num_samples);
 }
 

@@ -22,8 +22,10 @@ struct ReliableSetResult {
 /// Filters per-node reliabilities by the eta threshold and sorts by
 /// decreasing reliability (ties toward smaller node ids, source excluded).
 /// Shared by the standalone sweeps below and the engine's workload dispatch
-/// (reliability/workload.h), so both filter identically.
-ReliableSetResult FilterReliableSet(std::vector<double> reliability,
+/// and sweep-sharing derivation (reliability/workload.h), so all filter
+/// identically. Read-only on `reliability` — memoized sweep vectors are
+/// filtered in place, never copied.
+ReliableSetResult FilterReliableSet(const std::vector<double>& reliability,
                                     NodeId source, double threshold,
                                     uint32_t num_samples);
 

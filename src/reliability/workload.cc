@@ -155,6 +155,24 @@ Status ValidateWorkload(const UncertainGraph& graph, const EngineQuery& query) {
   return Status::OK();
 }
 
+WorkloadResult DeriveFromSweep(const EngineQuery& query,
+                               const std::vector<double>& reliability,
+                               uint32_t num_samples) {
+  WorkloadResult result;
+  result.num_samples = num_samples;
+  if (query.workload == WorkloadKind::kTopK) {
+    result.targets = RankTopKTargets(reliability, query.source, query.k);
+  } else {
+    ReliableSetResult set = FilterReliableSet(reliability, query.source,
+                                              query.eta, num_samples);
+    result.targets = std::move(set.members);
+    result.num_samples = set.num_samples;
+  }
+  // Working set of the derivation itself: the shared vector it scans.
+  result.peak_memory_bytes = reliability.size() * sizeof(double);
+  return result;
+}
+
 Result<WorkloadResult> DispatchWorkload(Estimator& replica,
                                         const EngineQuery& query,
                                         const EstimateOptions& options) {
@@ -175,27 +193,18 @@ Result<WorkloadResult> DispatchWorkload(Estimator& replica,
                       "(use MC or RHH)",
                       query.Describe().c_str()));
       }
+      MemoryTracker tracker;
+      EstimateOptions tracked = options;
+      tracked.memory = &tracker;
       RELCOMP_ASSIGN_OR_RETURN(
           result.reliability,
           replica.EstimateDistanceConstrained(query.AsSt(), query.max_hops,
-                                              options));
+                                              tracked));
       result.num_samples = options.num_samples;
+      result.peak_memory_bytes = tracker.peak_bytes();
       return result;
     }
-    case WorkloadKind::kTopK: {
-      if (!replica.SupportsSourceSweep()) {
-        return Status::NotSupported(
-            StrFormat("%s: estimator has no source-sweep support "
-                      "(use MC or BFSSharing)",
-                      query.Describe().c_str()));
-      }
-      RELCOMP_ASSIGN_OR_RETURN(
-          std::vector<double> reliability,
-          replica.EstimateFromSource(query.source, options));
-      result.targets = RankTopKTargets(reliability, query.source, query.k);
-      result.num_samples = options.num_samples;
-      return result;
-    }
+    case WorkloadKind::kTopK:
     case WorkloadKind::kReliableSet: {
       if (!replica.SupportsSourceSweep()) {
         return Status::NotSupported(
@@ -203,14 +212,14 @@ Result<WorkloadResult> DispatchWorkload(Estimator& replica,
                       "(use MC or BFSSharing)",
                       query.Describe().c_str()));
       }
+      MemoryTracker tracker;
+      EstimateOptions tracked = options;
+      tracked.memory = &tracker;
       RELCOMP_ASSIGN_OR_RETURN(
           std::vector<double> reliability,
-          replica.EstimateFromSource(query.source, options));
-      ReliableSetResult set = FilterReliableSet(std::move(reliability),
-                                                query.source, query.eta,
-                                                options.num_samples);
-      result.targets = std::move(set.members);
-      result.num_samples = set.num_samples;
+          replica.EstimateFromSource(query.source, tracked));
+      result = DeriveFromSweep(query, reliability, options.num_samples);
+      result.peak_memory_bytes = tracker.peak_bytes();
       return result;
     }
   }

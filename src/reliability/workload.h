@@ -27,6 +27,14 @@ inline constexpr size_t kNumWorkloadKinds = 4;
 /// Short display name ("st", "top-k", "reliable-set", "distance").
 const char* WorkloadKindName(WorkloadKind kind);
 
+/// True for the workload kinds answered by one per-source reliability sweep
+/// (EstimateFromSource): top-k and reliable-set. Every sweep-kind query over
+/// one source is a derived view of the same vector — the engine's
+/// sweep-sharing layer exploits exactly this.
+inline constexpr bool IsSweepWorkload(WorkloadKind kind) {
+  return kind == WorkloadKind::kTopK || kind == WorkloadKind::kReliableSet;
+}
+
 /// \brief One typed, parameterized query the engine can dispatch, cache, and
 /// coalesce — a tagged variant over the four workload kinds.
 ///
@@ -89,10 +97,21 @@ struct WorkloadResult {
   double reliability = 0.0;
   std::vector<ReliableTarget> targets;
   uint32_t num_samples = 0;
-  /// Peak working-set bytes, when the executing estimator reports it
-  /// (s-t and distance kinds); 0 for sweeps.
+  /// Peak working-set bytes of the executing estimator call — reported for
+  /// every kind (s-t via EstimateResult; sweeps and distance via the
+  /// MemoryTracker plumbed through EstimateOptions::memory).
   size_t peak_memory_bytes = 0;
 };
+
+/// \brief Derives a sweep-kind query's answer from an already-computed
+/// per-source reliability vector — the same RankTopKTargets /
+/// FilterReliableSet cores DispatchWorkload runs after its own sweep, so for
+/// equal vectors the derived answer is bit-identical to a direct dispatch.
+/// `query` must be a sweep kind (IsSweepWorkload); `num_samples` is the
+/// sample budget the sweep consumed.
+WorkloadResult DeriveFromSweep(const EngineQuery& query,
+                               const std::vector<double>& reliability,
+                               uint32_t num_samples);
 
 /// \brief Executes `query` on `replica` — the engine's per-worker dispatch
 /// surface.

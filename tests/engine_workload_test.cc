@@ -218,17 +218,28 @@ TEST(EngineWorkloadTest, CacheKeysIsolateWorkloadKinds) {
     EXPECT_TRUE(r.ok()) << r.status;
     EXPECT_FALSE(r.cache_hit);
   }
-  // Seeds differ per workload (the tag is folded into the seed).
+  // St and distance seeds fold the workload tag and every field, so they
+  // differ from each other and from the sweep seed. The two sweep kinds
+  // (top-k, reliable-set) over one source share the per-source sweep seed by
+  // design — that is the sweep-sharing contract — while their cache entries
+  // stay distinct (the full EngineQuery is in the key).
   EXPECT_NE(first[0].seed, first[1].seed);
-  EXPECT_NE(first[1].seed, first[2].seed);
+  EXPECT_EQ(first[1].seed, first[2].seed);
+  EXPECT_EQ(first[1].seed, engine->SweepSeed(0));
   EXPECT_NE(first[2].seed, first[3].seed);
+  EXPECT_NE(first[0].seed, first[3].seed);
 
   const std::vector<EngineResult> second =
       engine->RunBatch(queries).MoveValue();
   for (const EngineResult& r : second) EXPECT_TRUE(r.cache_hit);
   ExpectBitIdenticalResults(first, second);
-  EXPECT_EQ(engine->StatsSnapshot().executed, queries.size());
+  const EngineStatsSnapshot snapshot = engine->StatsSnapshot();
+  EXPECT_EQ(snapshot.executed, queries.size());
   EXPECT_EQ(engine->cache()->Stats().hits, queries.size());
+  // The two sweep-kind queries ran exactly one EstimateFromSource between
+  // them; the other derived from the memo or the in-flight sweep.
+  EXPECT_EQ(snapshot.sweep_executed, 1u);
+  EXPECT_EQ(snapshot.sweep_hits + snapshot.sweep_coalesced, 1u);
 }
 
 TEST(EngineWorkloadTest, StaleUnusedFieldsDoNotChangeQueryIdentity) {
