@@ -9,12 +9,18 @@
 // printed stats.
 //
 //   ./build/examples/reliability_server [dataset] [threads] [requests] [kind]
+//                                       [strata]
 //
 //   dataset  : lastfm | nethept | astopo | dblp02 | dblp005 | biomine
 //   threads  : worker threads (default 4)
 //   requests : total stream length (default 2000)
 //   kind     : mc | bfs (default mc; bfs also exercises the background
 //              generation prebuilder)
+//   strata   : stratified-partition width S of every sweep (default 8).
+//              Deliberately NOT tied to the thread count: results are a
+//              canonical function of (query content, S), so the same S at
+//              any thread count answers bit-identically — the threads only
+//              decide how many workers steal strata of a hot sweep.
 
 #include <cstdio>
 #include <cstdlib>
@@ -88,10 +94,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown kind '%s', using mc\n", argv[4]);
     }
   }
-  if (threads_arg < 0 || threads_arg > 1024 || requests_arg < 0) {
+  const long strata_arg = argc > 5 ? std::atol(argv[5]) : 8;
+  if (threads_arg < 0 || threads_arg > 1024 || requests_arg < 0 ||
+      strata_arg < 1 || strata_arg > 4096) {
     std::fprintf(stderr,
                  "usage: reliability_server [dataset] [threads 0-1024] "
-                 "[requests >= 0] [mc|bfs]\n");
+                 "[requests >= 0] [mc|bfs] [strata 1-4096]\n");
     return 2;
   }
   const size_t threads = static_cast<size_t>(threads_arg);
@@ -127,18 +135,23 @@ int main(int argc, char** argv) {
   options.num_threads = threads;
   options.kind = kind;
   options.num_samples = kind == EstimatorKind::kBfsSharing ? 500 : 1000;
+  options.num_strata = static_cast<uint32_t>(strata_arg);
   options.factory.bfs_sharing.index_samples = 500;
   options.seed = 20190410;
   options.cache_capacity = 4096;
   options.cache_max_bytes = size_t{16} << 20;  // ranked payloads, by bytes
   auto engine = QueryEngine::Create(dataset.graph, options).MoveValue();
   std::printf(
-      "engine up: %s estimator, %zu workers, cache %zu entries / %zu MB, "
-      "sweep cache %zu MB, prebuilder %s, K=%u\n\n",
-      EstimatorKindName(kind), engine->num_threads(), options.cache_capacity,
-      options.cache_max_bytes >> 20, options.sweep_cache_max_bytes >> 20,
-      engine->prebuilder() != nullptr ? "on" : "off (kind has no "
-                                              "prepared generations)",
+      "engine up: %s estimator, %zu workers, S=%u strata per sweep, cache "
+      "%zu entries / %zu MB, sweep cache %zu MB, scout %s, prebuilder %s, "
+      "K=%u\n\n",
+      EstimatorKindName(kind), engine->num_threads(), options.num_strata,
+      options.cache_capacity, options.cache_max_bytes >> 20,
+      options.sweep_cache_max_bytes >> 20,
+      options.enable_sweep_scout ? "on" : "off",
+      engine->prebuilder() != nullptr
+          ? StrFormat("on (%zu builders)", options.prebuild_threads).c_str()
+          : "off (kind has no prepared generations)",
       options.num_samples);
 
   // Replay: popularity ~ 1/rank over the catalogue, like repeated users
@@ -191,13 +204,22 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(snapshot.sweep_hits),
       static_cast<unsigned long long>(snapshot.sweep_coalesced),
       snapshot.sweep_cache.entries, snapshot.sweep_cache.bytes_in_use >> 10);
+  std::printf(
+      "stratified sweeps: %llu strata executed (%llu stolen by coalesced "
+      "waiters), %llu scout warms, per-sweep p50/p95 %.2f/%.2f ms\n",
+      static_cast<unsigned long long>(snapshot.strata_executed),
+      static_cast<unsigned long long>(snapshot.strata_stolen),
+      static_cast<unsigned long long>(snapshot.scout_warms),
+      snapshot.sweep_p50_ms, snapshot.sweep_p95_ms);
   if (engine->prebuilder() != nullptr) {
     std::printf(
-        "generation prebuild: %llu requested, %llu built in background, "
-        "%llu adopted by workers\n",
+        "generation prebuild: %llu requested, %llu built on %zu background "
+        "builders, %llu adopted by workers (%zu KB ready pool)\n",
         static_cast<unsigned long long>(snapshot.prebuilder.requested),
         static_cast<unsigned long long>(snapshot.prebuilder.built),
-        static_cast<unsigned long long>(snapshot.prebuilt_used));
+        snapshot.prebuilder.builders,
+        static_cast<unsigned long long>(snapshot.prebuilt_used),
+        snapshot.prebuilder.ready_bytes >> 10);
   }
   return 0;
 }

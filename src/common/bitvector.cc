@@ -70,6 +70,36 @@ bool BitVector::OrWithAnd(const BitVector& a, const BitVector& b) {
   return changed;
 }
 
+bool BitVector::OrWithAndOffset(const BitVector& a, const BitVector& b,
+                                size_t b_offset) {
+  if (b_offset == 0) return OrWithAnd(a, b);
+  bool changed = false;
+  const size_t n = words_.size();
+  const size_t rem = num_bits_ % kWordBits;
+  const uint64_t tail_mask = rem == 0 ? ~0ULL : (1ULL << rem) - 1;
+  const size_t word_offset = b_offset / kWordBits;
+  const unsigned bit_offset = static_cast<unsigned>(b_offset % kWordBits);
+  const std::vector<uint64_t>& bw = b.words_;
+  for (size_t i = 0; i < n; ++i) {
+    // Word i of (b >> b_offset), stitched across the word boundary; words
+    // past b's end read as zero.
+    uint64_t slice = 0;
+    const size_t lo = i + word_offset;
+    if (lo < bw.size()) {
+      slice = bw[lo] >> bit_offset;
+      if (bit_offset != 0 && lo + 1 < bw.size()) {
+        slice |= bw[lo + 1] << (kWordBits - bit_offset);
+      }
+    }
+    uint64_t add = a.words_[i] & slice;
+    if (i + 1 == n) add &= tail_mask;
+    const uint64_t next = words_[i] | add;
+    changed |= (next != words_[i]);
+    words_[i] = next;
+  }
+  return changed;
+}
+
 bool BitVector::WouldGainFromAnd(const BitVector& a, const BitVector& b) const {
   const size_t n = words_.size();
   const size_t rem = num_bits_ % kWordBits;

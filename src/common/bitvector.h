@@ -54,6 +54,16 @@ class BitVector {
   /// mutating anything. Same length contract as OrWithAnd.
   bool WouldGainFromAnd(const BitVector& a, const BitVector& b) const;
 
+  /// this |= (a & (b >> b_offset)): the OrWithAnd propagation step against a
+  /// *bit slice* of `b` starting at `b_offset` — how a stratified BFS
+  /// Sharing sweep runs one stratum's world range [b_offset, b_offset +
+  /// size()) of the L-bit edge vectors without copying them. `a` must cover
+  /// size() bits and `b` must cover b_offset + size() bits; bits of `b`
+  /// beyond its length read as zero. Returns true iff any bit of *this*
+  /// changed. b_offset == 0 is exactly OrWithAnd.
+  bool OrWithAndOffset(const BitVector& a, const BitVector& b,
+                       size_t b_offset);
+
   /// Fills each bit with an independent Bernoulli(p) draw (index sampling).
   void FillBernoulli(double p, Rng& rng);
 

@@ -18,6 +18,26 @@ uint64_t HashCombineSeed(uint64_t seed, uint64_t value) {
   return SplitMix64(state);
 }
 
+uint64_t StratumSeed(uint64_t seed, uint32_t stratum, uint32_t num_strata) {
+  if (num_strata <= 1) return seed;
+  return HashCombineSeed(seed, stratum);
+}
+
+uint32_t StratumSampleCount(uint32_t num_samples, uint32_t num_strata,
+                            uint32_t stratum) {
+  if (num_strata <= 1) return num_samples;
+  const uint32_t base = num_samples / num_strata;
+  return base + (stratum < num_samples % num_strata ? 1 : 0);
+}
+
+uint32_t StratumSampleOffset(uint32_t num_samples, uint32_t num_strata,
+                             uint32_t stratum) {
+  if (num_strata <= 1) return 0;
+  const uint32_t base = num_samples / num_strata;
+  const uint32_t extra = num_samples % num_strata;
+  return stratum * base + (stratum < extra ? stratum : extra);
+}
+
 namespace {
 inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 }  // namespace

@@ -21,6 +21,37 @@ uint64_t SplitMix64(uint64_t& state);
 /// scheduling order.
 uint64_t HashCombineSeed(uint64_t seed, uint64_t value);
 
+/// \name Stratified sample partitioning
+///
+/// A sample budget K split into `num_strata` fixed strata, each with its own
+/// derived seed, makes an estimate a *canonical function of (content, S)*:
+/// the strata may run back-to-back on one thread or spread across a machine,
+/// and the merged result is bit-identical either way, because no stratum's
+/// randomness depends on which thread ran it or in what order. The budget is
+/// split as evenly as possible (the first K mod S strata carry one extra
+/// sample); the strata tile [0, K) contiguously, so slice-indexed estimators
+/// (BFS Sharing's pre-sampled worlds) can map stratum -> world range.
+/// @{
+
+/// Seed of stratum `stratum` of an S-way stratified estimate. For S <= 1
+/// this is `seed` itself — a 1-stratum estimate is bit-identical to the
+/// legacy unstratified path — otherwise HashCombineSeed(seed, stratum), so
+/// every stratum draws an independent stream derived only from the content
+/// seed and its index.
+uint64_t StratumSeed(uint64_t seed, uint32_t stratum, uint32_t num_strata);
+
+/// Samples assigned to stratum `stratum` (0-based) of an S-way split of
+/// `num_samples`. Sums to `num_samples` over all strata; `num_strata` == 0
+/// is treated as 1.
+uint32_t StratumSampleCount(uint32_t num_samples, uint32_t num_strata,
+                            uint32_t stratum);
+
+/// First sample index of stratum `stratum`: strata tile [0, num_samples)
+/// contiguously in index order.
+uint32_t StratumSampleOffset(uint32_t num_samples, uint32_t num_strata,
+                             uint32_t stratum);
+/// @}
+
 /// \brief Deterministic pseudo-random number generator (xoshiro256**).
 ///
 /// All stochastic components of the library draw from this class so that

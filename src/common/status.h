@@ -18,6 +18,9 @@ enum class StatusCode {
   kOutOfRange,
   kNotSupported,
   kInternal,
+  /// Transient resource exhaustion (e.g. a full bounded queue): safe to
+  /// retry later, unlike kFailedPrecondition which reflects object state.
+  kUnavailable,
 };
 
 /// \brief Human-readable name of a status code (e.g. "InvalidArgument").
@@ -58,6 +61,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   /// @}
 

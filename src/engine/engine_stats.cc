@@ -58,6 +58,20 @@ void EngineStats::RecordSweepCoalesced() {
   sweep_coalesced_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void EngineStats::RecordStratum(bool stolen) {
+  strata_executed_.fetch_add(1, std::memory_order_relaxed);
+  if (stolen) strata_stolen_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EngineStats::RecordScoutWarm() {
+  scout_warms_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EngineStats::RecordSweepLatency(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sweep_latencies_seconds_.push_back(seconds);
+}
+
 void EngineStats::RecordPrebuiltUsed() {
   prebuilt_used_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -93,10 +107,12 @@ void EngineStats::MarkCallEnd() {
 EngineStatsSnapshot EngineStats::Snapshot(const ResultCache* cache,
                                           const SweepCache* sweep_cache) const {
   std::vector<double> sorted;
+  std::vector<double> sweep_sorted;
   EngineStatsSnapshot snapshot;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     sorted = latencies_seconds_;
+    sweep_sorted = sweep_latencies_seconds_;
     snapshot.wall_seconds = wall_seconds_;
     snapshot.peak_memory_bytes = peak_memory_bytes_;
     snapshot.executed = executed_;
@@ -111,6 +127,10 @@ EngineStatsSnapshot EngineStats::Snapshot(const ResultCache* cache,
     snapshot.sweep_coalesced =
         sweep_coalesced_.load(std::memory_order_relaxed);
     snapshot.prebuilt_used = prebuilt_used_.load(std::memory_order_relaxed);
+    snapshot.strata_executed =
+        strata_executed_.load(std::memory_order_relaxed);
+    snapshot.strata_stolen = strata_stolen_.load(std::memory_order_relaxed);
+    snapshot.scout_warms = scout_warms_.load(std::memory_order_relaxed);
     if (span_first_start_.has_value() && span_last_end_.has_value() &&
         *span_last_end_ > *span_first_start_) {
       snapshot.span_seconds =
@@ -137,6 +157,11 @@ EngineStatsSnapshot EngineStats::Snapshot(const ResultCache* cache,
     snapshot.p99_ms = QuantileMs(sorted, 0.99);
     snapshot.max_ms = sorted.back() * 1e3;
   }
+  if (!sweep_sorted.empty()) {
+    std::sort(sweep_sorted.begin(), sweep_sorted.end());
+    snapshot.sweep_p50_ms = QuantileMs(sweep_sorted, 0.50);
+    snapshot.sweep_p95_ms = QuantileMs(sweep_sorted, 0.95);
+  }
   if (cache != nullptr) snapshot.cache = cache->Stats();
   if (sweep_cache != nullptr) snapshot.sweep_cache = sweep_cache->Stats();
   return snapshot;
@@ -157,6 +182,10 @@ void EngineStats::Reset() {
   sweep_hits_.store(0, std::memory_order_relaxed);
   sweep_coalesced_.store(0, std::memory_order_relaxed);
   prebuilt_used_.store(0, std::memory_order_relaxed);
+  strata_executed_.store(0, std::memory_order_relaxed);
+  strata_stolen_.store(0, std::memory_order_relaxed);
+  scout_warms_.store(0, std::memory_order_relaxed);
+  sweep_latencies_seconds_.clear();
   span_first_start_.reset();
   span_last_end_.reset();
 }
@@ -164,9 +193,9 @@ void EngineStats::Reset() {
 TextTable EngineStatsTable(
     const std::vector<std::pair<std::string, EngineStatsSnapshot>>& rows) {
   TextTable table({"config", "queries", "st/k/set/d", "exec", "coal",
-                   "swp x/h/c", "pre", "wall s", "span s", "qps", "mean ms",
-                   "p50 ms", "p90 ms", "p99 ms", "max ms", "hit rate",
-                   "peak mem", "index mem"});
+                   "swp x/h/c", "strata x/s", "scout", "swp p50/p95", "pre",
+                   "wall s", "span s", "qps", "mean ms", "p50 ms", "p90 ms",
+                   "p99 ms", "max ms", "hit rate", "peak mem", "index mem"});
   for (const auto& [label, s] : rows) {
     table.AddRow(
         {label, StrFormat("%llu", static_cast<unsigned long long>(s.queries)),
@@ -184,6 +213,11 @@ TextTable EngineStatsTable(
                    static_cast<unsigned long long>(s.sweep_executed),
                    static_cast<unsigned long long>(s.sweep_hits),
                    static_cast<unsigned long long>(s.sweep_coalesced)),
+         StrFormat("%llu/%llu",
+                   static_cast<unsigned long long>(s.strata_executed),
+                   static_cast<unsigned long long>(s.strata_stolen)),
+         StrFormat("%llu", static_cast<unsigned long long>(s.scout_warms)),
+         StrFormat("%.2f/%.2f", s.sweep_p50_ms, s.sweep_p95_ms),
          StrFormat("%llu", static_cast<unsigned long long>(s.prebuilt_used)),
          StrFormat("%.3f", s.wall_seconds), StrFormat("%.3f", s.span_seconds),
          StrFormat("%.1f", s.throughput_qps), StrFormat("%.3f", s.mean_ms),

@@ -54,8 +54,30 @@ struct EngineStatsSnapshot {
   /// without running a BFS.
   uint64_t sweep_hits = 0;
   /// Queries that waited on another worker's in-flight sweep of the same
-  /// source and derived from its vector (sweep-level single-flight).
+  /// source and derived from its vector (sweep-level single-flight) —
+  /// including waiters that *stole strata* of the leader's sweep instead of
+  /// blocking (see strata_stolen). Scout warms skew the partition like
+  /// failures do: a scout-led sweep increments sweep_executed (and
+  /// scout_warms) without a query behind it, so the three counters sum to
+  /// compute-path sweep queries + scout_warms.
   uint64_t sweep_coalesced = 0;
+  /// @}
+  /// \name Intra-sweep stratification (stratum scheduler)
+  /// @{
+  /// Sweep strata actually executed through the stratum scheduler (every
+  /// EstimateSweepStratumHits invocation, by leaders and thieves alike).
+  uint64_t strata_executed = 0;
+  /// Strata executed by a worker that was NOT the sweep's leader: coalesced
+  /// waiters that stole unclaimed strata instead of blocking. > 0 means the
+  /// single-flight wait turned into useful parallel work.
+  uint64_t strata_stolen = 0;
+  /// Sweeps led by the warm-ahead scout pass (no query behind them; the
+  /// queries that follow resolve as sweep_hits / sweep_coalesced).
+  uint64_t scout_warms = 0;
+  /// Per-sweep wall-clock latency quantiles (leader start to vector
+  /// publish), over every executed sweep. Zeros when no sweep executed.
+  double sweep_p50_ms = 0.0;
+  double sweep_p95_ms = 0.0;
   /// @}
   /// Queries whose PrepareForNextQuery artifact (BFS Sharing generation) was
   /// adopted from the background prebuilder instead of resampled inline.
@@ -117,6 +139,18 @@ class EngineStats {
   void RecordSweepHit();
   void RecordSweepCoalesced();
 
+  /// Records one executed sweep stratum; `stolen` when the executing worker
+  /// was not the sweep's leader (a coalesced waiter working instead of
+  /// blocking).
+  void RecordStratum(bool stolen);
+
+  /// Records one sweep led by the warm-ahead scout pass.
+  void RecordScoutWarm();
+
+  /// Records one executed sweep's wall-clock (leader start to publish), the
+  /// sample behind the per-sweep latency quantiles.
+  void RecordSweepLatency(double seconds);
+
   /// Records one query whose prepare artifact came from the background
   /// prebuilder.
   void RecordPrebuiltUsed();
@@ -161,6 +195,12 @@ class EngineStats {
   std::atomic<uint64_t> sweep_hits_{0};
   std::atomic<uint64_t> sweep_coalesced_{0};
   std::atomic<uint64_t> prebuilt_used_{0};
+  std::atomic<uint64_t> strata_executed_{0};
+  std::atomic<uint64_t> strata_stolen_{0};
+  std::atomic<uint64_t> scout_warms_{0};
+  /// Per-sweep latencies (mutex-guarded like the per-query samples; sweeps
+  /// are orders of magnitude rarer than queries).
+  std::vector<double> sweep_latencies_seconds_;
   std::optional<Clock::time_point> span_first_start_;
   std::optional<Clock::time_point> span_last_end_;
 };

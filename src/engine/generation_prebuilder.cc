@@ -5,18 +5,36 @@
 namespace relcomp {
 
 GenerationPrebuilder::GenerationPrebuilder(const Estimator& prototype,
-                                           size_t max_pending)
+                                           size_t max_pending,
+                                           size_t num_builders,
+                                           size_t max_ready_bytes)
     : prototype_(prototype),
       max_pending_(max_pending == 0 ? 1 : max_pending),
-      builder_([this] { BuilderLoop(); }) {}
+      max_ready_bytes_(max_ready_bytes) {
+  if (num_builders == 0) num_builders = 1;
+  builders_.reserve(num_builders);
+  for (size_t i = 0; i < num_builders; ++i) {
+    builders_.emplace_back([this] { BuilderLoop(); });
+  }
+}
 
 GenerationPrebuilder::~GenerationPrebuilder() { Shutdown(); }
+
+void GenerationPrebuilder::EvictOldestReadyLocked() {
+  // ready_order_ mirrors ready_ exactly (Take() erases its entry), so the
+  // front really is the oldest unclaimed generation.
+  auto it = ready_.find(ready_order_.front());
+  ready_bytes_ -= it->second.bytes;
+  ready_.erase(it);
+  ready_order_.pop_front();
+  ++evicted_;
+}
 
 bool GenerationPrebuilder::Request(uint64_t seed) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (shutdown_) return false;
   if (queued_.count(seed) != 0 || ready_.count(seed) != 0 ||
-      (building_ && building_seed_ == seed)) {
+      building_.count(seed) != 0) {
     return true;  // already on its way
   }
   if (queue_.size() + ready_.size() >= max_pending_) {
@@ -29,11 +47,7 @@ bool GenerationPrebuilder::Request(uint64_t seed) {
       ++dropped_;
       return false;
     }
-    // ready_order_ mirrors ready_ exactly (Take() erases its entry), so the
-    // front really is the oldest unclaimed generation.
-    ready_.erase(ready_order_.front());
-    ready_order_.pop_front();
-    ++evicted_;
+    EvictOldestReadyLocked();
   }
   queue_.push_back(seed);
   queued_.insert(seed);
@@ -44,14 +58,15 @@ bool GenerationPrebuilder::Request(uint64_t seed) {
 
 std::unique_ptr<PreparedGeneration> GenerationPrebuilder::Take(uint64_t seed) {
   std::unique_lock<std::mutex> lock(mutex_);
-  // In-flight: wait it out — finishing a half-done O(L m) build beats
-  // starting the same build from scratch inline.
-  build_finished_.wait(lock, [this, seed] {
-    return !(building_ && building_seed_ == seed);
-  });
+  // In-flight on some builder: wait it out — finishing a half-done O(L m)
+  // build beats starting the same build from scratch inline.
+  build_finished_.wait(lock,
+                       [this, seed] { return building_.count(seed) == 0; });
   auto it = ready_.find(seed);
   if (it != ready_.end()) {
-    std::unique_ptr<PreparedGeneration> generation = std::move(it->second);
+    std::unique_ptr<PreparedGeneration> generation =
+        std::move(it->second.generation);
+    ready_bytes_ -= it->second.bytes;
     ready_.erase(it);
     // Keep the eviction order exact: a taken seed must not linger as a
     // stale entry (it would grow unboundedly on long-lived streams and
@@ -67,7 +82,7 @@ std::unique_ptr<PreparedGeneration> GenerationPrebuilder::Take(uint64_t seed) {
     ++taken_;
     return generation;
   }
-  // Queued but not started: cancel so the builder never duplicates the
+  // Queued but not started: cancel so no builder ever duplicates the
   // caller's inline build.
   if (queued_.erase(seed) != 0) {
     for (auto queue_it = queue_.begin(); queue_it != queue_.end(); ++queue_it) {
@@ -88,21 +103,27 @@ GenerationPrebuilderStats GenerationPrebuilder::Stats() const {
   stats.taken = taken_;
   stats.dropped = dropped_;
   stats.evicted = evicted_;
+  stats.ready_bytes = ready_bytes_;
+  stats.builders = builders_.size();
   return stats;
+}
+
+size_t GenerationPrebuilder::ReadyBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ready_bytes_;
 }
 
 void GenerationPrebuilder::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (shutdown_) {
-      // Already requested; fall through to join if the thread is still up.
-    }
     shutdown_ = true;
     queue_.clear();
     queued_.clear();
     work_available_.notify_all();
   }
-  if (builder_.joinable()) builder_.join();
+  for (std::thread& builder : builders_) {
+    if (builder.joinable()) builder.join();
+  }
 }
 
 void GenerationPrebuilder::BuilderLoop() {
@@ -110,22 +131,35 @@ void GenerationPrebuilder::BuilderLoop() {
   while (true) {
     work_available_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
     if (shutdown_) return;
+    // FIFO pop = the request made earliest = the seed whose query is closest
+    // to dispatch; with several builders the front seeds build concurrently.
     const uint64_t seed = queue_.front();
     queue_.pop_front();
     queued_.erase(seed);
-    building_ = true;
-    building_seed_ = seed;
+    building_.insert(seed);
     lock.unlock();
     // Off-lock build: BuildPreparedGeneration is thread-safe by contract
     // (reads only construction-time immutable state of the prototype).
     Result<std::unique_ptr<PreparedGeneration>> generation =
         prototype_.BuildPreparedGeneration(seed);
     lock.lock();
-    building_ = false;
+    building_.erase(seed);
     if (generation.ok() && !shutdown_) {
-      ready_.emplace(seed, generation.MoveValue());
+      ReadyGeneration ready;
+      ready.bytes = generation.value()->MemoryBytes();
+      ready.generation = generation.MoveValue();
+      ready_bytes_ += ready.bytes;
+      ready_.emplace(seed, std::move(ready));
       ready_order_.push_back(seed);
       ++built_;
+      // Ready-pool byte budget: evict oldest-first until it holds. The
+      // just-finished generation is evicted last (it is the newest) — and
+      // even it goes if it alone exceeds the budget, because an
+      // over-budget pool must never outlive the insert that created it.
+      while (max_ready_bytes_ > 0 && ready_bytes_ > max_ready_bytes_ &&
+             !ready_order_.empty()) {
+        EvictOldestReadyLocked();
+      }
     }
     // A failed build is dropped: Take() returns nullptr and the serving
     // thread's inline PrepareForNextQuery re-raises the error in context.

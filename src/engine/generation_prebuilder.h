@@ -8,33 +8,46 @@
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "reliability/estimator.h"
 
 namespace relcomp {
 
-/// Monotonic counters; a snapshot type.
+/// Monotonic counters plus point-in-time occupancy; a snapshot type.
 struct GenerationPrebuilderStats {
   uint64_t requested = 0;  ///< Request() calls accepted into the queue
-  uint64_t built = 0;      ///< generations finished by the builder thread
+  uint64_t built = 0;      ///< generations finished by the builder threads
   uint64_t taken = 0;      ///< generations handed to a serving thread
   uint64_t dropped = 0;    ///< Request() calls refused (pending bound hit)
   /// Ready-but-unclaimed generations discarded (oldest first) to make room
-  /// for newer requests — stranded work, e.g. for queries that were served
-  /// from the result cache after their seed was requested.
+  /// for newer requests or to honor the ready-pool byte budget — stranded
+  /// work, e.g. for queries that were served from the result cache after
+  /// their seed was requested.
   uint64_t evicted = 0;
+  /// Bytes currently resident in the ready pool (each ready generation is
+  /// index-sized; see PreparedGeneration::MemoryBytes).
+  size_t ready_bytes = 0;
+  /// Builder threads constructing generations.
+  size_t builders = 0;
 };
 
 /// \brief Background builder of PrepareForNextQuery artifacts.
 ///
 /// BFS Sharing resamples L possible worlds per edge between successive
 /// queries — O(L m) work that PR 3 ran inline on the serving path. This
-/// builder moves it onto one dedicated thread: the engine Request()s the
-/// prepare seeds of enqueued queries as they are submitted, the builder
-/// constructs each generation via Estimator::BuildPreparedGeneration
+/// builder moves it onto dedicated threads: the engine Request()s the
+/// prepare seeds of enqueued queries as they are submitted, the builders
+/// construct each generation via Estimator::BuildPreparedGeneration
 /// (thread-safe by that contract) while workers run the *previous* queries'
 /// BFS, and the worker that eventually needs a seed Take()s the finished
 /// artifact and installs it in O(1) with AdoptPreparedGeneration.
+///
+/// With `num_builders` >= 2 the L·m resampling for several *distinct*
+/// prepare seeds fans out concurrently — each seed is built exactly once by
+/// exactly one builder. The queue is FIFO over request order, and requests
+/// arrive in dispatch order, so builders always work on the seeds whose
+/// queries are closest to dispatch.
 ///
 /// Take() semantics make duplication impossible and waiting minimal:
 ///   - ready      -> returned immediately (the overlap win);
@@ -46,14 +59,20 @@ struct GenerationPrebuilderStats {
 ///
 /// Determinism: a prebuilt generation is bit-identical to the inline
 /// PrepareForNextQuery(seed) artifact (Estimator contract), so serving with
-/// the prebuilder on or off — at any thread count — returns identical bits.
+/// the prebuilder on or off — at any thread or builder count — returns
+/// identical bits.
 class GenerationPrebuilder {
  public:
   /// `prototype` outlives this object and is only touched through the
   /// thread-safe BuildPreparedGeneration. `max_pending` bounds queued +
-  /// ready-but-untaken generations (each ready generation holds index-sized
-  /// memory); further requests are dropped, not blocked on.
-  GenerationPrebuilder(const Estimator& prototype, size_t max_pending);
+  /// ready-but-untaken generations by *count*; `max_ready_bytes` (0 =
+  /// unbounded) additionally bounds the ready pool by *bytes* — each ready
+  /// generation holds PreparedGeneration::MemoryBytes() of index-sized
+  /// memory, so the count bound alone can pin max_pending spare indexes.
+  /// Over either bound the oldest ready generation is evicted.
+  /// `num_builders` (clamped to >= 1) is the number of builder threads.
+  GenerationPrebuilder(const Estimator& prototype, size_t max_pending,
+                       size_t num_builders = 1, size_t max_ready_bytes = 0);
   ~GenerationPrebuilder();
 
   GenerationPrebuilder(const GenerationPrebuilder&) = delete;
@@ -73,28 +92,44 @@ class GenerationPrebuilder {
 
   GenerationPrebuilderStats Stats() const;
 
-  /// Stops the builder thread; queued seeds are abandoned, Take() afterwards
-  /// only serves already-ready generations. Idempotent (the destructor calls
-  /// it).
+  /// Bytes resident in the ready pool right now (counted toward the
+  /// engine's IndexMemoryReport::prebuilt_bytes).
+  size_t ReadyBytes() const;
+
+  size_t num_builders() const { return builders_.size(); }
+
+  /// Stops the builder threads; queued seeds are abandoned, Take()
+  /// afterwards only serves already-ready generations. Idempotent (the
+  /// destructor calls it).
   void Shutdown();
 
  private:
+  struct ReadyGeneration {
+    std::unique_ptr<PreparedGeneration> generation;
+    size_t bytes = 0;
+  };
+
   void BuilderLoop();
+
+  /// Drops the oldest ready generation. Caller holds mutex_ and guarantees
+  /// ready_order_ is non-empty.
+  void EvictOldestReadyLocked();
 
   const Estimator& prototype_;
   const size_t max_pending_;
+  const size_t max_ready_bytes_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable build_finished_;
   std::deque<uint64_t> queue_;
   std::unordered_set<uint64_t> queued_;
-  std::unordered_map<uint64_t, std::unique_ptr<PreparedGeneration>> ready_;
+  std::unordered_map<uint64_t, ReadyGeneration> ready_;
   /// Completion order of ready_ entries, oldest first, for eviction.
   /// Mirrors ready_'s key set exactly (Take() and eviction both erase).
   std::deque<uint64_t> ready_order_;
-  uint64_t building_seed_ = 0;
-  bool building_ = false;
+  /// Seeds currently being built, one per active builder thread at most.
+  std::unordered_set<uint64_t> building_;
   bool shutdown_ = false;
 
   uint64_t requested_ = 0;
@@ -102,8 +137,9 @@ class GenerationPrebuilder {
   uint64_t taken_ = 0;
   uint64_t dropped_ = 0;
   uint64_t evicted_ = 0;
+  size_t ready_bytes_ = 0;
 
-  std::thread builder_;  ///< last member: starts after all state above
+  std::vector<std::thread> builders_;  ///< last member: starts after state
 };
 
 }  // namespace relcomp

@@ -1,5 +1,6 @@
 #include "engine/query_engine.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/format.h"
@@ -33,7 +34,8 @@ QueryEngine::QueryEngine(const UncertainGraph& graph, EngineOptions options,
   if (options_.enable_generation_prebuild && !replicas_.empty() &&
       replicas_.front()->SupportsPreparedGenerations()) {
     prebuilder_ = std::make_unique<GenerationPrebuilder>(
-        *replicas_.front(), options_.prebuild_max_pending);
+        *replicas_.front(), options_.prebuild_max_pending,
+        options_.prebuild_threads, options_.prebuild_max_bytes);
   }
   pool_ = std::make_unique<ThreadPool>(replicas_.size(),
                                        options_.queue_capacity);
@@ -49,6 +51,7 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
     const UncertainGraph& graph, const EngineOptions& options) {
   EngineOptions opts = options;
   if (opts.num_threads == 0) opts.num_threads = 1;
+  if (opts.num_strata == 0) opts.num_strata = 1;
   if (opts.num_samples == 0) {
     return Status::InvalidArgument("EngineOptions::num_samples must be > 0");
   }
@@ -103,6 +106,13 @@ EngineStatsSnapshot QueryEngine::StatsSnapshot() const {
   snapshot.index_memory = IndexMemory();
   if (prebuilder_ != nullptr) snapshot.prebuilder = prebuilder_->Stats();
   return snapshot;
+}
+
+IndexMemoryReport QueryEngine::IndexMemory() const {
+  IndexMemoryReport report = ReportIndexMemory(replicas_);
+  // Ready-but-unadopted prebuilt generations are index-sized residents too.
+  if (prebuilder_ != nullptr) report.prebuilt_bytes = prebuilder_->ReadyBytes();
+  return report;
 }
 
 void QueryEngine::AwaitCall(CallState& state) {
@@ -269,6 +279,255 @@ Status QueryEngine::PrepareReplica(Estimator& estimator,
   return estimator.PrepareForNextQuery(prepare_seed);
 }
 
+Result<QueryEngine::SweepShare> QueryEngine::ComputeSweepSerial(
+    size_t worker_id, const EngineQuery& query, uint64_t sweep_seed,
+    const SweepCacheKey& key) {
+  // Coalescing-off path: one worker runs the whole stratified sweep
+  // back-to-back. EstimateFromSource with the engine's num_strata merges
+  // strata in index order — the exact merge the stratum scheduler replays —
+  // so serial and stolen-strata execution are bit-identical.
+  Estimator& estimator = *replicas_[worker_id];
+  MemoryTracker tracker;
+  Timer timer;
+  stats_.RecordSweepExecuted();
+  RELCOMP_RETURN_NOT_OK(
+      PrepareReplica(estimator, HashCombineSeed(sweep_seed, kPrepareSeedTag)));
+  EstimateOptions estimate_options;
+  estimate_options.num_samples = options_.num_samples;
+  estimate_options.seed = sweep_seed;
+  estimate_options.num_strata = options_.num_strata;
+  estimate_options.memory = &tracker;
+  RELCOMP_ASSIGN_OR_RETURN(
+      std::vector<double> swept,
+      estimator.EstimateFromSource(query.source, estimate_options));
+  auto vector = std::make_shared<const std::vector<double>>(std::move(swept));
+  if (sweep_cache_ != nullptr) sweep_cache_->Insert(key, vector);
+  stats_.RecordSweepLatency(timer.ElapsedSeconds());
+  SweepShare share;
+  share.vector = std::move(vector);
+  share.peak_memory_bytes = tracker.peak_bytes();
+  return share;
+}
+
+void QueryEngine::RunSweepFlight(size_t worker_id, NodeId source,
+                                 uint64_t sweep_seed, const SweepCacheKey& key,
+                                 const std::shared_ptr<SweepFlight>& flight,
+                                 bool leader) {
+  Estimator& estimator = *replicas_[worker_id];
+  MemoryTracker tracker;
+  bool prepared = false;
+  // Claim loop: leader and coalesced joiners alike pull unclaimed strata off
+  // the shared work-list. Each stratum is a pure function of (sweep seed,
+  // stratum index, S), so it does not matter who runs what.
+  for (;;) {
+    uint32_t stratum = 0;
+    {
+      std::lock_guard<std::mutex> lock(flight->mutex);
+      if (!flight->status.ok() ||
+          flight->next_stratum >= flight->num_strata) {
+        break;
+      }
+      stratum = flight->next_stratum++;
+      ++flight->active;
+    }
+    Status run = Status::OK();
+    if (!prepared) {
+      // H(sweep_seed, tag) == PrepareSeed(q) for every sweep-kind q over
+      // this source — the derivation RequestPrebuild also uses, so prebuilt
+      // generations match. Every participant ends up reading bit-identical
+      // worlds: the first preparer pays the full prepare (adopting a
+      // prebuilt generation when one is ready) and publishes a read-only
+      // snapshot; later thieves adopt that snapshot in O(1) instead of
+      // re-running the same O(L·m) resample per worker (estimators without
+      // shared prepared state — MC, whose prepare is a no-op — just
+      // prepare directly).
+      std::shared_ptr<const PreparedGeneration> shared_state;
+      {
+        std::lock_guard<std::mutex> lock(flight->mutex);
+        shared_state = flight->prepared_state;
+      }
+      if (shared_state != nullptr) {
+        run = estimator.AdoptSharedPreparedState(std::move(shared_state));
+        if (!run.ok()) {
+          // Adoption refused (shape mismatch — cannot happen for replicas
+          // of this engine): the inline prepare is bit-identical anyway.
+          run = PrepareReplica(estimator,
+                               HashCombineSeed(sweep_seed, kPrepareSeedTag));
+        }
+      } else {
+        run = PrepareReplica(estimator,
+                             HashCombineSeed(sweep_seed, kPrepareSeedTag));
+        if (run.ok() && estimator.SupportsSharedPreparedState()) {
+          Result<std::shared_ptr<const PreparedGeneration>> snapshot =
+              estimator.ShareCurrentPreparedState();
+          if (snapshot.ok()) {
+            std::lock_guard<std::mutex> lock(flight->mutex);
+            if (flight->prepared_state == nullptr) {
+              flight->prepared_state = snapshot.MoveValue();
+            }
+          }
+        }
+      }
+      prepared = run.ok();
+    }
+    std::vector<uint32_t> hits;
+    std::shared_ptr<const std::vector<double>> whole;
+    if (run.ok()) {
+      EstimateOptions estimate_options;
+      estimate_options.num_samples = options_.num_samples;
+      estimate_options.seed = sweep_seed;
+      estimate_options.num_strata = flight->num_strata;
+      estimate_options.memory = &tracker;
+      if (flight->whole_sweep) {
+        // No stratified core: the single "stratum" is the whole sweep.
+        Result<std::vector<double>> swept =
+            estimator.EstimateFromSource(source, estimate_options);
+        if (swept.ok()) {
+          whole =
+              std::make_shared<const std::vector<double>>(swept.MoveValue());
+        } else {
+          run = swept.status();
+        }
+      } else {
+        Result<std::vector<uint32_t>> stratum_hits =
+            estimator.EstimateSweepStratumHits(
+                source, stratum, flight->num_strata, estimate_options);
+        if (stratum_hits.ok()) {
+          hits = stratum_hits.MoveValue();
+        } else {
+          run = stratum_hits.status();
+        }
+      }
+    }
+    stats_.RecordStratum(/*stolen=*/!leader);
+    {
+      std::lock_guard<std::mutex> lock(flight->mutex);
+      --flight->active;
+      ++flight->completed;
+      if (run.ok()) {
+        if (flight->whole_sweep) {
+          flight->whole = std::move(whole);
+        } else {
+          flight->stratum_hits[stratum] = std::move(hits);
+        }
+        if (tracker.peak_bytes() > flight->peak_memory_bytes) {
+          flight->peak_memory_bytes = tracker.peak_bytes();
+        }
+      } else if (flight->status.ok()) {
+        // First failure wins; it also stops further claims, so the flight
+        // drains to a deterministic failure for every participant.
+        flight->status = run;
+      }
+    }
+    if (!run.ok()) break;
+  }
+
+  // Whoever observes the flight drained — all strata deposited, or failed
+  // with no stratum still in execution — finalizes: merges, publishes, and
+  // wakes everyone. That may be the leader or any thief; the merge itself is
+  // order-fixed, so the finalizer's identity is invisible in the result.
+  std::shared_ptr<const std::vector<double>> vector;
+  Status status;
+  bool finalize = false;
+  {
+    std::lock_guard<std::mutex> lock(flight->mutex);
+    const bool drained =
+        flight->active == 0 &&
+        (!flight->status.ok() || flight->completed == flight->num_strata);
+    if (drained && !flight->ready && !flight->finalizing) {
+      flight->finalizing = true;
+      finalize = true;
+      status = flight->status;
+      if (status.ok()) {
+        if (flight->whole_sweep) {
+          vector = flight->whole;
+        } else {
+          // Deterministic merge in stratum order: per-node hit totals over
+          // the fixed stratum slices, divided by the full budget K —
+          // bit-identical to the serial stratified sweep regardless of
+          // which workers ran which strata.
+          auto merged =
+              std::make_shared<std::vector<double>>(graph_.num_nodes(), 0.0);
+          std::vector<uint32_t> totals(graph_.num_nodes(), 0);
+          for (const std::vector<uint32_t>& stratum_hits :
+               flight->stratum_hits) {
+            for (size_t v = 0; v < stratum_hits.size(); ++v) {
+              totals[v] += stratum_hits[v];
+            }
+          }
+          const double k = static_cast<double>(options_.num_samples);
+          for (size_t v = 0; v < totals.size(); ++v) {
+            (*merged)[v] = static_cast<double>(totals[v]) / k;
+          }
+          vector = std::move(merged);
+        }
+      }
+    }
+  }
+  if (finalize) {
+    // Publish order: SweepCache first, then retire the flight entry, then
+    // set ready and wake — a concurrent miss always finds the key in the
+    // cache or the flight table, never neither.
+    if (status.ok() && sweep_cache_ != nullptr) {
+      sweep_cache_->Insert(key, vector);
+    }
+    {
+      std::lock_guard<std::mutex> lock(sweep_inflight_mutex_);
+      sweep_inflight_.erase(key);
+    }
+    stats_.RecordSweepLatency(flight->timer.ElapsedSeconds());
+    {
+      std::lock_guard<std::mutex> lock(flight->mutex);
+      flight->vector = std::move(vector);
+      flight->ready = true;
+    }
+    flight->done.notify_all();
+    return;
+  }
+  // Not the finalizer: some other participant is still executing a stratum
+  // (or merging); wait for the publish. This terminates — the flight always
+  // has at least one active participant until ready.
+  std::unique_lock<std::mutex> lock(flight->mutex);
+  flight->done.wait(lock, [&flight] { return flight->ready; });
+}
+
+std::shared_ptr<QueryEngine::SweepFlight> QueryEngine::JoinOrCreateSweepFlight(
+    size_t worker_id, const SweepCacheKey& key, bool* leader,
+    std::shared_ptr<const std::vector<double>>* cached) {
+  *leader = false;
+  cached->reset();
+  std::lock_guard<std::mutex> lock(sweep_inflight_mutex_);
+  // Double-check under the flight lock (same protocol as the query-level
+  // rendezvous): a sweep's finalizer publishes to the SweepCache *before*
+  // retiring its flight entry, so with the sweep cache on a concurrent
+  // miss always finds the key in the cache or the flight table — never
+  // neither — making "N concurrent same-source misses -> 1 sweep" exact.
+  // With the sweep cache off (or an oversized sweep rejected by it) there
+  // is no memory of finished sweeps, and flights only collapse
+  // *overlapping* twins — same best-effort caveat as query-level
+  // coalescing without the result cache. Uncounted probe (callers decide
+  // how to account it).
+  if (sweep_cache_ != nullptr) {
+    if (std::shared_ptr<const std::vector<double>> vector =
+            sweep_cache_->Lookup(key, /*record_stats=*/false)) {
+      *cached = std::move(vector);
+      return nullptr;
+    }
+  }
+  auto [it, inserted] = sweep_inflight_.try_emplace(key);
+  if (inserted) {
+    it->second = std::make_shared<SweepFlight>();
+    *leader = true;
+    SweepFlight& fresh = *it->second;
+    const bool stratified = replicas_[worker_id]->SupportsStratifiedSweep();
+    fresh.num_strata = stratified ? options_.num_strata : 1;
+    fresh.whole_sweep = !stratified;
+    fresh.stratum_hits.resize(fresh.num_strata);
+    fresh.timer.Restart();
+  }
+  return it->second;
+}
+
 Result<QueryEngine::SweepShare> QueryEngine::GetSweepVector(
     size_t worker_id, const EngineQuery& query, uint64_t sweep_seed) {
   const SweepCacheKey key{options_.kind, query.source, options_.num_samples,
@@ -281,96 +540,104 @@ Result<QueryEngine::SweepShare> QueryEngine::GetSweepVector(
       return SweepShare{std::move(vector), 0};
     }
   }
-  std::shared_ptr<SweepFlight> flight;
-  bool leader = true;
-  if (options_.enable_coalescing) {
-    std::lock_guard<std::mutex> lock(sweep_inflight_mutex_);
-    // Double-check under the flight lock (same protocol as the query-level
-    // rendezvous): a sweep leader publishes to the SweepCache *before*
-    // retiring its flight entry, so with the sweep cache on a concurrent
-    // miss always finds the key in the cache or the flight table — never
-    // neither — making "N concurrent same-source misses -> 1 sweep" exact.
-    // With the sweep cache off (or an oversized sweep rejected by it) there
-    // is no memory of finished sweeps, and flights only collapse *overlapping*
-    // twins — same best-effort caveat as query-level coalescing without the
-    // result cache. Uncounted probe; accounted as sweep_coalesced (the
-    // leader finished between our fast-path miss and taking the lock, so
-    // this query shared its work).
-    if (sweep_cache_ != nullptr) {
-      if (std::shared_ptr<const std::vector<double>> vector =
-              sweep_cache_->Lookup(key, /*record_stats=*/false)) {
-        stats_.RecordSweepCoalesced();
-        return SweepShare{std::move(vector), 0};
-      }
-    }
-    auto [it, inserted] = sweep_inflight_.try_emplace(key);
-    if (inserted) {
-      it->second = std::make_shared<SweepFlight>();
-    } else {
-      leader = false;
-    }
-    flight = it->second;
+  if (!options_.enable_coalescing) {
+    return ComputeSweepSerial(worker_id, query, sweep_seed, key);
   }
-
-  if (!leader) {
-    // Follower: the leader is actively sweeping on another worker (flight
-    // entries exist only while a leader computes), so this wait terminates.
-    std::shared_ptr<const std::vector<double>> vector;
-    Status status;
-    {
-      std::unique_lock<std::mutex> lock(flight->mutex);
-      flight->done.wait(lock, [&flight] { return flight->ready; });
-      status = flight->status;
-      vector = flight->vector;
-    }
-    if (!status.ok()) return status;
+  bool leader = false;
+  std::shared_ptr<const std::vector<double>> cached;
+  std::shared_ptr<SweepFlight> flight =
+      JoinOrCreateSweepFlight(worker_id, key, &leader, &cached);
+  if (flight == nullptr) {
+    // The sweep finished between our fast-path miss and taking the flight
+    // lock: this query shared its work (accounted as sweep_coalesced, not a
+    // hit — the fast-path miss is already in the cache stats).
     stats_.RecordSweepCoalesced();
-    return SweepShare{std::move(vector), 0};
+    return SweepShare{std::move(cached), 0};
   }
+  // One sweep_executed per sweep, recorded by its leader: the "<= 1
+  // EstimateFromSource per distinct (source, generation)" gate currency.
+  if (leader) stats_.RecordSweepExecuted();
+  RunSweepFlight(worker_id, query.source, sweep_seed, key, flight, leader);
 
-  // Leader (or coalescing disabled): one EstimateFromSource for everyone.
-  // PrepareSeed(query) == H(sweep_seed, tag) for sweep kinds — the one
-  // derivation RequestPrebuild's Request() also uses, so prebuilt
-  // generations match.
-  Estimator& estimator = *replicas_[worker_id];
-  MemoryTracker tracker;
-  Status status = PrepareReplica(estimator, PrepareSeed(query));
-  SweepShare share;
-  if (status.ok()) {
-    EstimateOptions estimate_options;
-    estimate_options.num_samples = options_.num_samples;
-    estimate_options.seed = sweep_seed;
-    estimate_options.memory = &tracker;
-    stats_.RecordSweepExecuted();
-    Result<std::vector<double>> swept =
-        estimator.EstimateFromSource(query.source, estimate_options);
-    if (swept.ok()) {
-      auto vector =
-          std::make_shared<const std::vector<double>>(swept.MoveValue());
-      if (sweep_cache_ != nullptr) sweep_cache_->Insert(key, vector);
-      share.vector = std::move(vector);
-      share.peak_memory_bytes = tracker.peak_bytes();
-    } else {
-      status = swept.status();
-    }
-  }
-  if (flight != nullptr) {
-    // Publish order as above: SweepCache first (already done), then retire
-    // the flight entry, then wake the followers.
-    {
-      std::lock_guard<std::mutex> lock(sweep_inflight_mutex_);
-      sweep_inflight_.erase(key);
-    }
-    {
-      std::lock_guard<std::mutex> lock(flight->mutex);
-      flight->status = status;
-      flight->vector = share.vector;
-      flight->ready = true;
-    }
-    flight->done.notify_all();
+  Status status;
+  std::shared_ptr<const std::vector<double>> vector;
+  size_t peak = 0;
+  {
+    std::lock_guard<std::mutex> lock(flight->mutex);
+    status = flight->status;
+    vector = flight->vector;
+    // Every participant derived from this sweep: attribute its working-set
+    // peak to each of them (scout-led sweeps would otherwise attribute it
+    // to no query at all).
+    peak = flight->peak_memory_bytes;
   }
   if (!status.ok()) return status;
-  return share;
+  if (!leader) {
+    // A joiner — whether it stole strata or only waited — shared the
+    // leader's sweep instead of running its own.
+    stats_.RecordSweepCoalesced();
+  }
+  return SweepShare{std::move(vector), peak};
+}
+
+void QueryEngine::ScoutSweep(size_t worker_id, NodeId source) {
+  const uint64_t sweep_seed = SweepSeed(source);
+  const SweepCacheKey key{options_.kind, source, options_.num_samples,
+                          sweep_seed};
+  if (sweep_cache_ == nullptr || sweep_cache_->Contains(key)) return;
+  bool leader = false;
+  std::shared_ptr<const std::vector<double>> cached;
+  std::shared_ptr<SweepFlight> flight =
+      JoinOrCreateSweepFlight(worker_id, key, &leader, &cached);
+  // Nothing to warm unless this scout won the flight outright: a memoized
+  // sweep needs no warming and an open flight already has a leader.
+  if (flight == nullptr || !leader) return;
+  // The scout IS this sweep's leader — same seed, same strata, same
+  // single-flight entry the queries join (and steal from). It counts in
+  // sweep_executed (the invocation currency) and in scout_warms (the
+  // classifier that keeps the query-partition arithmetic honest). A failed
+  // scout sweep fails exactly as a query-led sweep would; the flight hands
+  // the error to any queries that joined, and the error is re-raised
+  // deterministically on recompute.
+  stats_.RecordSweepExecuted();
+  stats_.RecordScoutWarm();
+  RunSweepFlight(worker_id, source, sweep_seed, key, flight, /*leader=*/true);
+}
+
+void QueryEngine::ScoutBatch(const std::vector<EngineQuery>& queries) {
+  if (!ScoutingEnabled() || options_.scout_max_sources == 0) return;
+  std::unordered_map<NodeId, uint32_t> frequency;
+  for (const EngineQuery& query : queries) {
+    if (IsSweepWorkload(query.workload)) ++frequency[query.source];
+  }
+  // Hottest first: a scout task is worth a pool slot only when several
+  // queries will derive from its sweep.
+  std::vector<std::pair<NodeId, uint32_t>> ranked;
+  ranked.reserve(frequency.size());
+  for (const auto& [source, count] : frequency) {
+    if (count >= 2) ranked.emplace_back(source, count);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const std::pair<NodeId, uint32_t>& a,
+               const std::pair<NodeId, uint32_t>& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (ranked.size() > options_.scout_max_sources) {
+    ranked.resize(options_.scout_max_sources);
+  }
+  for (const auto& [source, count] : ranked) {
+    (void)count;
+    if (sweep_cache_->Contains(SweepCacheKey{options_.kind, source,
+                                             options_.num_samples,
+                                             SweepSeed(source)})) {
+      continue;
+    }
+    // Best-effort: a full queue just means no warm-ahead for this source.
+    (void)pool_->TrySubmit([this, source](size_t worker_id) {
+      ScoutSweep(worker_id, source);
+    });
+  }
 }
 
 Result<WorkloadResult> QueryEngine::ComputeWorkload(size_t worker_id,
@@ -394,6 +661,10 @@ Result<WorkloadResult> QueryEngine::ComputeWorkload(size_t worker_id,
   EstimateOptions estimate_options;
   estimate_options.num_samples = options_.num_samples;
   estimate_options.seed = query_seed;
+  // Stratified partitioning applies to every kind with a stratified core:
+  // s-t MC estimates split their budget the same canonical way sweeps do
+  // (estimators without one ignore the knob).
+  estimate_options.num_strata = options_.num_strata;
   return DispatchWorkload(estimator, query, estimate_options);
 }
 
@@ -453,6 +724,10 @@ Result<std::vector<EngineResult>> QueryEngine::RunBatch(
       RequestPrebuild(query);
     }
   }
+  // Warm-ahead scout pass: the batch's hottest sweep sources get stratified
+  // warm tasks enqueued ahead of the queries, so their sweeps are leading
+  // (and stealable) by the time the queries that need them dispatch.
+  ScoutBatch(queries);
   stats_.MarkCallStart();
   auto state = std::make_shared<CallState>();
   state->pending = queries.size();
@@ -508,6 +783,17 @@ Status QueryEngine::Submit(const EngineQuery& query) {
     stream_timer_.Restart();
     stream_state_ = std::make_shared<CallState>();
   }
+  if (ScoutingEnabled() && IsSweepWorkload(query.workload)) {
+    // Stream-side warm-ahead: the second submission of a source in one
+    // cycle marks it hot; a scout task enqueued *before* this query's own
+    // task leads the sweep the repeats will derive from.
+    if (++stream_sweep_counts_[query.source] == 2) {
+      const NodeId source = query.source;
+      (void)pool_->TrySubmit([this, source](size_t worker_id) {
+        ScoutSweep(worker_id, source);
+      });
+    }
+  }
   stats_.MarkCallStart();
   stream_results_.push_back(std::make_unique<EngineResult>());
   EngineResult* slot = stream_results_.back().get();
@@ -543,6 +829,7 @@ Result<std::vector<EngineResult>> QueryEngine::Drain() {
     pending.swap(stream_results_);
     state = std::move(stream_state_);
     cycle_timer = stream_timer_;
+    stream_sweep_counts_.clear();  // scout frequencies are per-cycle
   }
   if (state != nullptr) AwaitCall(*state);
   if (pending.empty()) return std::vector<EngineResult>{};

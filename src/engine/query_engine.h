@@ -34,6 +34,19 @@ struct EngineOptions {
   EstimatorKind kind = EstimatorKind::kMonteCarlo;
   /// Sample budget K per query.
   uint32_t num_samples = 1000;
+  /// Stratified sample partitioning S: the budget K of every MC estimate is
+  /// split into S fixed strata, each seeded from the query's content seed
+  /// and its stratum index — so a result is a canonical function of (query
+  /// content, S), never of thread count or scheduling. Under sweep-level
+  /// single-flight, coalesced waiters *steal unclaimed strata* of the
+  /// in-flight sweep instead of blocking: one hot sweep uses the whole
+  /// machine, bit-identically to running its strata back-to-back on one
+  /// worker. S = 1 (the default) is the legacy unstratified path; serving
+  /// deployments chasing tail latency set S to a small multiple of
+  /// num_threads. Changing S changes MC results (by design — it is part of
+  /// the query's sampling plan); BFS Sharing sweeps are stratified by world
+  /// slices of one generation and are bit-identical for every S.
+  uint32_t num_strata = 1;
   /// Master seed. Per-query seeds are derived from it and the query content
   /// (see README.md), so results are independent of thread count and
   /// scheduling order.
@@ -75,6 +88,20 @@ struct EngineOptions {
   bool enable_sweep_cache = true;
   /// Byte budget for the sweep cache (one sweep = num_nodes doubles).
   size_t sweep_cache_max_bytes = size_t{128} << 20;
+  /// Warm-ahead sweep scouting: RunBatch (and the stream path) sees a
+  /// batch's sweep sources up front, so before the queries drain, a scout
+  /// pass enqueues stratified warm tasks for the hottest sources (ranked by
+  /// batch frequency) — the way prepare seeds already feed the generation
+  /// prebuilder. A scout that wins the sweep's single-flight leads the very
+  /// sweep the queries would have led (same seed, same strata, stealable by
+  /// the queries it outran), so results are bit-identical with scouting on
+  /// or off; it only moves the hottest sweeps to the front of the pool.
+  /// Effective only with coalescing and the sweep cache on (it needs the
+  /// single-flight table and the memo to hand its vector over).
+  bool enable_sweep_scout = true;
+  /// Most-frequent sources the scout pass warms per batch; a source must
+  /// appear at least twice to be worth a scout task.
+  uint32_t scout_max_sources = 4;
   /// Background generation prebuilding: when the estimator kind supports
   /// prepared generations (BFS Sharing), a builder thread constructs the
   /// next queries' PrepareForNextQuery artifacts (world resampling)
@@ -91,6 +118,16 @@ struct EngineOptions {
   /// if all pending work is queued / in-flight, the request is dropped and
   /// the affected query simply resamples inline.
   size_t prebuild_max_pending = 16;
+  /// Builder threads fanning the L·m resampling of several distinct prepare
+  /// seeds concurrently (each seed still built exactly once, closest to
+  /// dispatch first). Clamped to >= 1.
+  size_t prebuild_threads = 2;
+  /// Byte budget for the prebuilder's ready pool (0 = bounded by count
+  /// only): ready generations are charged their real
+  /// PreparedGeneration::MemoryBytes() — index-sized for BFS Sharing — and
+  /// the oldest are evicted when the pool exceeds the budget. The resident
+  /// pool is reported in IndexMemoryReport::prebuilt_bytes.
+  size_t prebuild_max_bytes = 0;
   /// Estimator construction knobs (index parameters, index seed).
   FactoryOptions factory;
 };
@@ -211,11 +248,10 @@ class QueryEngine {
   /// nullptr when the prebuilder is off or the estimator kind has no
   /// prepared-generation support.
   const GenerationPrebuilder* prebuilder() const { return prebuilder_.get(); }
-  /// Deduplicated resident index footprint of the replica set: a shared
-  /// index is counted once, not once per replica.
-  IndexMemoryReport IndexMemory() const {
-    return ReportIndexMemory(replicas_);
-  }
+  /// Deduplicated resident index footprint of the replica set (a shared
+  /// index is counted once, not once per replica) plus the prebuilder's
+  /// ready pool of spare generations (IndexMemoryReport::prebuilt_bytes).
+  IndexMemoryReport IndexMemory() const;
   /// Cumulative since construction (RunBatch and stream both feed it).
   EngineStatsSnapshot StatsSnapshot() const;
   void ResetStats() { stats_.Reset(); }
@@ -243,22 +279,51 @@ class QueryEngine {
     ResultCacheValue value;  ///< carries the Status (negative on failure)
   };
 
-  /// One sweep-level single-flight: the first worker to need a source's
-  /// sweep becomes the leader and runs EstimateFromSource; workers needing
-  /// the same sweep — under *different* query keys (other k, other eta,
-  /// other workload kind) — wait here and derive from the shared vector.
+  /// One sweep-level single-flight, reworked into a *stratum scheduler*:
+  /// the first worker to need a source's sweep becomes the leader, but the
+  /// sweep's S strata are a shared work-list — workers needing the same
+  /// sweep under *different* query keys (other k, other eta, other workload
+  /// kind) steal unclaimed strata instead of blocking on the leader. Each
+  /// stratum is a canonical function of (sweep seed, stratum index), so the
+  /// merged vector is bit-identical however the strata were distributed.
+  /// Per-stratum hit-count vectors merge deterministically in stratum order
+  /// once every stratum has deposited.
   struct SweepFlight {
     std::mutex mutex;
     std::condition_variable done;
+    /// Strata of this sweep (fixed at creation: the engine's num_strata
+    /// when the estimator has a stratified core, else 1).
+    uint32_t num_strata = 1;
+    /// True when the estimator has no stratified core: the single "stratum"
+    /// runs the whole EstimateFromSource into `whole`.
+    bool whole_sweep = false;
+    uint32_t next_stratum = 0;  ///< next unclaimed stratum
+    uint32_t active = 0;        ///< claimed but not yet deposited
+    uint32_t completed = 0;     ///< deposited strata (ok or failed)
+    bool finalizing = false;    ///< one participant merges and publishes
+    Timer timer;                ///< leader start -> publish (sweep latency)
+    /// Per-stratum hit counts, deposited by whichever worker ran each.
+    std::vector<std::vector<uint32_t>> stratum_hits;
+    /// Whole-sweep result for the no-stratified-core fallback.
+    std::shared_ptr<const std::vector<double>> whole;
+    /// Read-only snapshot of the first preparer's prepared state
+    /// (ShareCurrentPreparedState), when the estimator supports it:
+    /// later-arriving thieves adopt it in O(1) instead of re-running the
+    /// same O(L·m) prepare on their own replica.
+    std::shared_ptr<const PreparedGeneration> prepared_state;
+    Status status;  ///< first stratum / prepare failure wins
+    size_t peak_memory_bytes = 0;
     bool ready = false;
-    Status status;
     std::shared_ptr<const std::vector<double>> vector;
   };
 
   /// How a worker obtained a per-source sweep vector.
   struct SweepShare {
     std::shared_ptr<const std::vector<double>> vector;
-    /// Leader only: the sweep's tracked working-set peak.
+    /// The sweep's tracked working-set peak (max over every participant's
+    /// strata) for flight participants — leaders and joiners alike, so the
+    /// sweep's footprint is attributed to its queries even when the
+    /// warm-ahead scout led it. 0 for SweepCache hits.
     size_t peak_memory_bytes = 0;
   };
 
@@ -273,13 +338,59 @@ class QueryEngine {
                                          const EngineQuery& query,
                                          uint64_t query_seed);
 
-  /// Obtains `query.source`'s sweep vector: from the SweepCache, from a
-  /// sweep-level flight (waiting on the leader), or by leading one
-  /// EstimateFromSource itself — publishing to the SweepCache and the
-  /// flight's followers. Records exactly one of sweep_hit / sweep_coalesced
-  /// / sweep_executed per call.
+  /// Obtains `query.source`'s sweep vector: from the SweepCache, by joining
+  /// a sweep-level flight (stealing unclaimed strata, then waiting for the
+  /// merge), or by leading one — publishing to the SweepCache and the
+  /// flight's participants. Records exactly one of sweep_hit /
+  /// sweep_coalesced / sweep_executed per call.
   Result<SweepShare> GetSweepVector(size_t worker_id, const EngineQuery& query,
                                     uint64_t sweep_seed);
+
+  /// Participates in `flight`: claims and executes unclaimed strata on this
+  /// worker's replica (preparing it once, on the first claim), deposits
+  /// their hit counts, and — if this worker drains the last stratum —
+  /// merges in stratum order, publishes to the SweepCache, retires the
+  /// flight entry, and wakes everyone. Returns only once the flight is
+  /// ready. `leader` controls the strata_stolen accounting.
+  void RunSweepFlight(size_t worker_id, NodeId source, uint64_t sweep_seed,
+                      const SweepCacheKey& key,
+                      const std::shared_ptr<SweepFlight>& flight, bool leader);
+
+  /// Serial sweep for the coalescing-off path: one EstimateFromSource with
+  /// the engine's stratum count (bit-identical to a stolen-strata merge).
+  Result<SweepShare> ComputeSweepSerial(size_t worker_id,
+                                        const EngineQuery& query,
+                                        uint64_t sweep_seed,
+                                        const SweepCacheKey& key);
+
+  /// Single-flight rendezvous for `key` under sweep_inflight_mutex_:
+  /// re-probes the SweepCache (publish-then-retire makes this exact),
+  /// then joins the existing flight or creates-and-initializes a fresh one.
+  /// Returns nullptr when the double-check served the sweep (`*cached`
+  /// holds the vector); otherwise the flight, with `*leader` true iff this
+  /// caller created it. Shared by the query path and the scout pass so the
+  /// two can never drift in flight setup.
+  std::shared_ptr<SweepFlight> JoinOrCreateSweepFlight(
+      size_t worker_id, const SweepCacheKey& key, bool* leader,
+      std::shared_ptr<const std::vector<double>>* cached);
+
+  /// Warm-ahead scout task for `source`: if its sweep is neither memoized
+  /// nor in flight, leads a stratified sweep through the same single-flight
+  /// protocol queries use (the queries it outran steal its strata / derive
+  /// from its vector). Best-effort and semantically invisible.
+  void ScoutSweep(size_t worker_id, NodeId source);
+
+  /// True when scout warm tasks make sense under the current configuration.
+  bool ScoutingEnabled() const {
+    return options_.enable_sweep_scout && options_.enable_coalescing &&
+           sweep_cache_ != nullptr && !replicas_.empty() &&
+           replicas_.front()->SupportsSourceSweep();
+  }
+
+  /// Enqueues scout warm tasks for the most frequent sweep sources of
+  /// `queries` (frequency >= 2, capped at scout_max_sources), ahead of the
+  /// batch's own tasks in the pool's FIFO.
+  void ScoutBatch(const std::vector<EngineQuery>& queries);
 
   /// Re-arms `estimator` for a query with `prepare_seed`: adopts a prebuilt
   /// generation when the background prebuilder has one ready, falls back to
@@ -343,10 +454,11 @@ class QueryEngine {
   };
 
   /// Sweep-level single-flight table, same invariants as inflight_: entries
-  /// exist only while a leader actively computes a sweep on a worker, so a
-  /// waiter never waits on queued-but-unstarted work. A query-level leader
-  /// may wait on a sweep leader, never the other way around — the wait graph
-  /// is a depth-2 DAG, no cycles.
+  /// exist only while at least one participant actively runs the sweep's
+  /// strata on a worker, so a waiter never waits on queued-but-unstarted
+  /// work. A query-level leader may wait on (or steal strata of) a sweep
+  /// flight, never the other way around — the wait graph is a depth-2 DAG,
+  /// no cycles.
   std::mutex sweep_inflight_mutex_;
   std::unordered_map<SweepCacheKey, std::shared_ptr<SweepFlight>, SweepKeyHash>
       sweep_inflight_;
@@ -361,6 +473,10 @@ class QueryEngine {
   std::vector<std::unique_ptr<EngineResult>> stream_results_;
   std::shared_ptr<CallState> stream_state_;
   Timer stream_timer_;  ///< restarted on the first Submit of a stream cycle
+  /// Per-stream-cycle sweep-source frequencies (guarded by stream_mutex_,
+  /// cleared on Drain): the second submission of a source in one cycle
+  /// triggers a scout warm task ahead of that query.
+  std::unordered_map<NodeId, uint32_t> stream_sweep_counts_;
 };
 
 }  // namespace relcomp

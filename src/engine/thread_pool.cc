@@ -28,6 +28,21 @@ Status ThreadPool::Submit(Task task) {
   return Status::OK();
 }
 
+Status ThreadPool::TrySubmit(Task task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      return Status::FailedPrecondition("ThreadPool is shut down");
+    }
+    if (queue_.size() >= queue_capacity_) {
+      return Status::Unavailable("ThreadPool queue is full");
+    }
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+  return Status::OK();
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_idle_.wait(lock,

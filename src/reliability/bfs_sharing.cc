@@ -19,7 +19,22 @@ class PreparedBfsGeneration : public PreparedGeneration {
  public:
   explicit PreparedBfsGeneration(std::shared_ptr<BfsSharingIndex> index)
       : index(std::move(index)) {}
+  size_t MemoryBytes() const override {
+    return index == nullptr ? 0 : index->MemoryBytes();
+  }
   std::shared_ptr<BfsSharingIndex> index;
+};
+
+/// The shared-prepared-state snapshot: a read-only view of an already
+/// prepared replica's generation, adoptable in O(1) by stratum thieves.
+class SharedBfsGeneration : public PreparedGeneration {
+ public:
+  explicit SharedBfsGeneration(std::shared_ptr<const BfsSharingIndex> index)
+      : index(std::move(index)) {}
+  size_t MemoryBytes() const override {
+    return index == nullptr ? 0 : index->MemoryBytes();
+  }
+  std::shared_ptr<const BfsSharingIndex> index;
 };
 
 }  // namespace
@@ -200,6 +215,35 @@ Status BfsSharingEstimator::AdoptPreparedGeneration(
   return Status::OK();
 }
 
+Result<std::shared_ptr<const PreparedGeneration>>
+BfsSharingEstimator::ShareCurrentPreparedState() const {
+  // The current generation, read-only. Safe to hand out mid-serving: the
+  // serving path never mutates a generation, and the sharer's next inline
+  // PrepareForNextQuery sees the extra reference (owned_ use_count > 2) and
+  // swaps to a fresh generation instead of resampling under the reader.
+  return std::shared_ptr<const PreparedGeneration>(
+      new SharedBfsGeneration(shared_index()));
+}
+
+Status BfsSharingEstimator::AdoptSharedPreparedState(
+    std::shared_ptr<const PreparedGeneration> state) {
+  const auto* shared = dynamic_cast<const SharedBfsGeneration*>(state.get());
+  if (shared == nullptr || shared->index == nullptr) {
+    return Status::InvalidArgument(
+        "BFS Sharing: not a shared BFS Sharing generation");
+  }
+  if (shared->index->num_edges() != graph_.num_edges() ||
+      shared->index->num_samples() != options_.index_samples) {
+    return Status::InvalidArgument(
+        "BFS Sharing: shared generation shape mismatch");
+  }
+  // Read-only share: this replica reads the sharer's worlds and gives up
+  // in-place-resample ownership (its next inline prepare builds or swaps).
+  index_.store(shared->index, std::memory_order_release);
+  owned_.reset();
+  return Status::OK();
+}
+
 size_t BfsSharingEstimator::IndexMemoryBytes() const {
   return shared_index()->MemoryBytes();
 }
@@ -215,7 +259,8 @@ Result<double> BfsSharingEstimator::DoEstimate(const ReliabilityQuery& query,
   // Working state: K-bit I_v per visited node plus bookkeeping arrays.
   ScopedAllocation working(memory, graph_.num_nodes() * 2 * sizeof(uint32_t));
   const std::shared_ptr<const BfsSharingIndex> index = shared_index();
-  RELCOMP_RETURN_NOT_OK(RunSharedBfs(*index, s, k, &working));
+  RELCOMP_RETURN_NOT_OK(RunSharedBfs(*index, s, /*world_offset=*/0, k,
+                                     &working));
 
   if (visit_epoch_[t] != epoch_) return 0.0;
   return static_cast<double>(node_bits_[t].Count()) / static_cast<double>(k);
@@ -232,7 +277,8 @@ Result<std::vector<double>> BfsSharingEstimator::ReliabilityFromSource(
                            graph_.num_nodes() * 2 * sizeof(uint32_t) +
                                graph_.num_nodes() * sizeof(double));
   const std::shared_ptr<const BfsSharingIndex> index = shared_index();
-  RELCOMP_RETURN_NOT_OK(RunSharedBfs(*index, source, num_samples, &working));
+  RELCOMP_RETURN_NOT_OK(RunSharedBfs(*index, source, /*world_offset=*/0,
+                                     num_samples, &working));
   std::vector<double> reliability(graph_.num_nodes(), 0.0);
   for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
     if (visit_epoch_[v] == epoch_) {
@@ -243,13 +289,57 @@ Result<std::vector<double>> BfsSharingEstimator::ReliabilityFromSource(
   return reliability;
 }
 
-Status BfsSharingEstimator::RunSharedBfs(const BfsSharingIndex& index, NodeId s,
-                                         uint32_t k,
-                                         ScopedAllocation* working) {
-  if (k == 0 || k > index.num_samples()) {
+Result<std::vector<uint32_t>> BfsSharingEstimator::SourceHitCountsInWorldRange(
+    NodeId source, uint32_t world_offset, uint32_t world_count,
+    MemoryTracker* memory) {
+  if (!graph_.HasNode(source)) {
+    return Status::InvalidArgument("BFS Sharing: source out of range");
+  }
+  ScopedAllocation working(memory,
+                           graph_.num_nodes() * 2 * sizeof(uint32_t) +
+                               graph_.num_nodes() * sizeof(uint32_t));
+  std::vector<uint32_t> hits(graph_.num_nodes(), 0);
+  if (world_count == 0) return hits;
+  const std::shared_ptr<const BfsSharingIndex> index = shared_index();
+  RELCOMP_RETURN_NOT_OK(
+      RunSharedBfs(*index, source, world_offset, world_count, &working));
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    if (visit_epoch_[v] == epoch_) {
+      hits[v] = static_cast<uint32_t>(node_bits_[v].Count());
+    }
+  }
+  return hits;
+}
+
+Result<std::vector<uint32_t>> BfsSharingEstimator::EstimateSweepStratumHits(
+    NodeId source, uint32_t stratum, uint32_t num_strata,
+    const EstimateOptions& options) {
+  if (num_strata == 0 || stratum >= num_strata) {
+    return Status::InvalidArgument("sweep stratum: index out of range");
+  }
+  if (options.num_samples == 0 ||
+      options.num_samples > shared_index()->num_samples()) {
     return Status::InvalidArgument(
-        StrFormat("BFS Sharing: K=%u exceeds indexed worlds L=%u", k,
-                  index.num_samples()));
+        StrFormat("BFS Sharing: K=%u exceeds indexed worlds L=%u",
+                  options.num_samples, shared_index()->num_samples()));
+  }
+  // Stratum j owns the world slice [offset, offset + count) of the budget's
+  // [0, K) range; slice counts sum exactly to the whole-range counts.
+  return SourceHitCountsInWorldRange(
+      source, StratumSampleOffset(options.num_samples, num_strata, stratum),
+      StratumSampleCount(options.num_samples, num_strata, stratum),
+      options.memory);
+}
+
+Status BfsSharingEstimator::RunSharedBfs(const BfsSharingIndex& index, NodeId s,
+                                         uint32_t world_offset, uint32_t k,
+                                         ScopedAllocation* working) {
+  if (k == 0 || world_offset > index.num_samples() ||
+      k > index.num_samples() - world_offset) {
+    return Status::InvalidArgument(
+        StrFormat("BFS Sharing: world range [%u, %u) exceeds indexed "
+                  "worlds L=%u",
+                  world_offset, world_offset + k, index.num_samples()));
   }
   ++epoch_;
   auto visit = [&](NodeId v) {
@@ -275,8 +365,8 @@ Status BfsSharingEstimator::RunSharedBfs(const BfsSharingIndex& index, NodeId s,
       cascade.pop_front();
       for (const AdjEntry& a : graph_.OutEdges(w)) {
         if (!visited(a.neighbor)) continue;
-        if (node_bits_[a.neighbor].OrWithAnd(node_bits_[w],
-                                             index.edge_bits(a.edge))) {
+        if (node_bits_[a.neighbor].OrWithAndOffset(
+                node_bits_[w], index.edge_bits(a.edge), world_offset)) {
           cascade.push_back(a.neighbor);
         }
       }
@@ -300,7 +390,8 @@ Status BfsSharingEstimator::RunSharedBfs(const BfsSharingIndex& index, NodeId s,
     BitVector& iv = node_bits_[v];
     for (const AdjEntry& a : graph_.InEdges(v)) {
       if (visited(a.neighbor)) {
-        iv.OrWithAnd(node_bits_[a.neighbor], index.edge_bits(a.edge));
+        iv.OrWithAndOffset(node_bits_[a.neighbor], index.edge_bits(a.edge),
+                           world_offset);
       }
     }
     for (const AdjEntry& a : graph_.OutEdges(v)) {
@@ -309,8 +400,8 @@ Status BfsSharingEstimator::RunSharedBfs(const BfsSharingIndex& index, NodeId s,
           in_queue_epoch_[a.neighbor] = epoch_;
           worklist.push_back(a.neighbor);
         }
-      } else if (node_bits_[a.neighbor].OrWithAnd(iv,
-                                                  index.edge_bits(a.edge))) {
+      } else if (node_bits_[a.neighbor].OrWithAndOffset(
+                     iv, index.edge_bits(a.edge), world_offset)) {
         CascadeFrom(a.neighbor);
       }
     }

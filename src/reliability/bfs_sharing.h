@@ -152,6 +152,18 @@ class BfsSharingEstimator : public Estimator {
   Status AdoptPreparedGeneration(
       std::unique_ptr<PreparedGeneration> generation) override;
 
+  /// Shared-prepared-state surface: a prepared replica hands its current
+  /// generation to sibling replicas as a read-only snapshot, adopted in
+  /// O(1) — how stratum thieves skip re-running the sharer's O(L·m)
+  /// resample. The ownership discipline of PrepareForNextQuery (in-place
+  /// resampling only at use_count == 2) makes the share race-free: a
+  /// generation with outstanding readers is never refilled in place.
+  bool SupportsSharedPreparedState() const override { return true; }
+  Result<std::shared_ptr<const PreparedGeneration>> ShareCurrentPreparedState()
+      const override;
+  Status AdoptSharedPreparedState(
+      std::shared_ptr<const PreparedGeneration> state) override;
+
   /// The generation this replica currently reads (atomic snapshot).
   std::shared_ptr<const BfsSharingIndex> shared_index() const {
     return index_.load(std::memory_order_acquire);
@@ -171,15 +183,34 @@ class BfsSharingEstimator : public Estimator {
   Result<std::vector<double>> ReliabilityFromSource(
       NodeId source, uint32_t num_samples, MemoryTracker* memory = nullptr);
 
+  /// Per-node reachable-world counts over the world slice [world_offset,
+  /// world_offset + world_count) of the current generation: the shared BFS
+  /// run against a bit-range of the edge vectors (no copy). Because each
+  /// indexed world is independent, counts over disjoint slices sum to
+  /// exactly the whole-range counts — which is why a stratified BFS Sharing
+  /// sweep is bit-identical to the serial sweep for *every* stratum count,
+  /// provided all strata read the same generation (same prepare seed).
+  Result<std::vector<uint32_t>> SourceHitCountsInWorldRange(
+      NodeId source, uint32_t world_offset, uint32_t world_count,
+      MemoryTracker* memory = nullptr);
+
   /// Engine dispatch surface for top-k / reliable-set workloads: the sweep
   /// above over the current index generation. Like DoEstimate, the per-call
   /// seed is unused — re-arm via PrepareForNextQuery to pick the worlds
   /// (the engine does this with a content-derived seed before every query).
+  /// options.num_strata is ignored: slices sum exactly, so the sweep is
+  /// stratification-invariant (see SourceHitCountsInWorldRange).
   bool SupportsSourceSweep() const override { return true; }
   Result<std::vector<double>> EstimateFromSource(
       NodeId source, const EstimateOptions& options) override {
     return ReliabilityFromSource(source, options.num_samples, options.memory);
   }
+
+  /// One stratum = one world slice of the budget's [0, K) range.
+  bool SupportsStratifiedSweep() const override { return true; }
+  Result<std::vector<uint32_t>> EstimateSweepStratumHits(
+      NodeId source, uint32_t stratum, uint32_t num_strata,
+      const EstimateOptions& options) override;
 
  protected:
   Result<double> DoEstimate(const ReliabilityQuery& query,
@@ -191,10 +222,13 @@ class BfsSharingEstimator : public Estimator {
                       std::shared_ptr<const BfsSharingIndex> index);
 
   /// Core of Algorithms 2+3: fills node_bits_ / visit_epoch_ for all nodes
-  /// reached from `source`, with cascading fix-point updates. Reads only
-  /// `index` and this replica's private scratch.
+  /// reached from `source`, with cascading fix-point updates, over the world
+  /// slice [world_offset, world_offset + num_samples) of the edge vectors
+  /// (0 for the whole-range sweep). Reads only `index` and this replica's
+  /// private scratch.
   Status RunSharedBfs(const BfsSharingIndex& index, NodeId source,
-                      uint32_t num_samples, ScopedAllocation* working);
+                      uint32_t world_offset, uint32_t num_samples,
+                      ScopedAllocation* working);
 
   const UncertainGraph& graph_;
   BfsSharingOptions options_;

@@ -55,6 +55,34 @@ Result<std::vector<double>> Estimator::EstimateFromSource(
                 static_cast<int>(name().size()), name().data()));
 }
 
+Result<std::shared_ptr<const PreparedGeneration>>
+Estimator::ShareCurrentPreparedState() const {
+  return Status::NotSupported(
+      StrFormat("%.*s has no shared-prepared-state support",
+                static_cast<int>(name().size()), name().data()));
+}
+
+Status Estimator::AdoptSharedPreparedState(
+    std::shared_ptr<const PreparedGeneration> state) {
+  (void)state;
+  return Status::NotSupported(
+      StrFormat("%.*s has no shared-prepared-state support",
+                static_cast<int>(name().size()), name().data()));
+}
+
+Result<std::vector<uint32_t>> Estimator::EstimateSweepStratumHits(
+    NodeId source, uint32_t stratum, uint32_t num_strata,
+    const EstimateOptions& options) {
+  (void)source;
+  (void)stratum;
+  (void)num_strata;
+  (void)options;
+  return Status::NotSupported(
+      StrFormat("%.*s does not support stratified sweeps "
+                "(use MC or BFSSharing)",
+                static_cast<int>(name().size()), name().data()));
+}
+
 Result<double> Estimator::EstimateDistanceConstrained(
     const ReliabilityQuery& query, uint32_t max_hops,
     const EstimateOptions& options) {

@@ -24,6 +24,18 @@ struct EstimateOptions {
   uint32_t num_samples = 1000;
   /// Seed for this call; equal seeds give bit-identical results.
   uint64_t seed = 0;
+  /// Stratified sample partitioning: the budget K is split into this many
+  /// fixed strata, stratum j drawing from StratumSeed(seed, j, num_strata).
+  /// The result is a canonical function of (query content, num_strata) —
+  /// NOT of thread count or execution order — so an engine may run the
+  /// strata of one call on many workers (EstimateSweepStratumHits) and merge
+  /// bit-identically to a serial call with the same num_strata. num_strata
+  /// <= 1 is the legacy unstratified path, bit-identical to pre-strata
+  /// behaviour. Honored by the MC cores (sweeps and s-t DoEstimate); BFS
+  /// Sharing sweeps are stratified by world *slices* of one generation, so
+  /// their results are identical for every num_strata; estimators without a
+  /// stratified core ignore it.
+  uint32_t num_strata = 1;
   /// Optional sink for the call's working-set accounting (the paper's
   /// "online memory usage" metric). Consulted by the dispatch-surface calls
   /// (EstimateFromSource, EstimateDistanceConstrained) — Estimate() tracks
@@ -59,6 +71,12 @@ struct EstimateResult {
 class PreparedGeneration {
  public:
   virtual ~PreparedGeneration() = default;
+
+  /// Logical bytes this ready-but-unadopted artifact keeps resident (a BFS
+  /// Sharing generation is index-sized: the full L-bit-per-edge vectors).
+  /// Lets the GenerationPrebuilder bound its ready pool by bytes and memory
+  /// reports account prebuilt generations alongside the live index.
+  virtual size_t MemoryBytes() const { return 0; }
 };
 
 /// \brief Common interface of the six s-t reliability estimators.
@@ -134,6 +152,27 @@ class Estimator {
   virtual Status AdoptPreparedGeneration(
       std::unique_ptr<PreparedGeneration> generation);
 
+  /// True when a *prepared* replica can hand its per-query prepared state
+  /// to sibling replicas in O(1) (BFS Sharing: the freshly resampled
+  /// generation, shared read-only), so workers stealing strata of one
+  /// sweep skip re-running the O(L·m) prepare the leader already did.
+  virtual bool SupportsSharedPreparedState() const { return false; }
+
+  /// Read-only snapshot of this replica's current prepared state,
+  /// adoptable by any replica of the same graph and options.
+  /// Precondition: PrepareForNextQuery (or an adoption) ran for the
+  /// current query. Default: NotSupported.
+  virtual Result<std::shared_ptr<const PreparedGeneration>>
+  ShareCurrentPreparedState() const;
+
+  /// Points this replica at `state` (a ShareCurrentPreparedState snapshot):
+  /// bit-identical to having run PrepareForNextQuery with the sharer's
+  /// seed, in O(1). The replica yields any in-place-resample ownership
+  /// until its next inline prepare (shared generations are never mutated
+  /// under a reader). Serving-thread only. Default: NotSupported.
+  virtual Status AdoptSharedPreparedState(
+      std::shared_ptr<const PreparedGeneration> state);
+
   /// @}
 
   /// \name Workload dispatch surface (source sweeps, distance bounds)
@@ -149,6 +188,28 @@ class Estimator {
   /// like Estimate. Default: NotSupported.
   virtual Result<std::vector<double>> EstimateFromSource(
       NodeId source, const EstimateOptions& options);
+
+  /// True when one source sweep can execute as independent strata through
+  /// EstimateSweepStratumHits (MC and BFS Sharing). Implies
+  /// SupportsSourceSweep.
+  virtual bool SupportsStratifiedSweep() const { return false; }
+
+  /// Runs stratum `stratum` of the `num_strata`-way partition of the source
+  /// sweep defined by (source, options.num_samples, options.seed): per-node
+  /// *hit counts* over this stratum's sample slice (index = node id). The
+  /// contract that makes engine-side work stealing semantically invisible:
+  /// summing every stratum's counts in index order and dividing by
+  /// options.num_samples is bit-identical to EstimateFromSource with
+  /// options.num_strata == num_strata — on any thread, in any claim order.
+  /// options.num_samples is the TOTAL budget K (the callee derives its
+  /// slice via StratumSampleCount / StratumSampleOffset) and options.seed is
+  /// the sweep seed (the callee derives its stratum seed). Strata of one
+  /// sweep may run on different replicas; each replica must be prepared
+  /// identically first (same PrepareForNextQuery seed). Default:
+  /// NotSupported.
+  virtual Result<std::vector<uint32_t>> EstimateSweepStratumHits(
+      NodeId source, uint32_t stratum, uint32_t num_strata,
+      const EstimateOptions& options);
 
   /// True when EstimateDistanceConstrained is implemented natively (MC and
   /// RHH, the estimators the distance-constrained variants of

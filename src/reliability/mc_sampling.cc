@@ -8,26 +8,18 @@ namespace relcomp {
 
 namespace {
 
-/// Sweep core shared by the free function and the estimator's reusable-
-/// scratch path: K sampled worlds, one full BFS each, per-node hit counts.
-/// Visited marks use absolute epochs (epoch_base + 1 .. epoch_base + K), so
-/// a caller reusing `visit_epoch` across sweeps skips the O(n) clear; the
-/// RNG consumption — and thus the result — is identical either way.
-Result<std::vector<double>> SourceSweep(const UncertainGraph& graph,
-                                        NodeId source, uint32_t num_samples,
-                                        uint64_t seed,
-                                        std::vector<uint32_t>& hit_count,
-                                        std::vector<uint32_t>& visit_epoch,
-                                        std::vector<NodeId>& queue,
-                                        uint32_t epoch_base) {
-  if (!graph.HasNode(source)) {
-    return Status::InvalidArgument("source sweep: source out of range");
-  }
-  if (num_samples == 0) {
-    return Status::InvalidArgument("source sweep: num_samples must be positive");
-  }
+/// One stratum of the sweep core: `num_samples` sampled worlds drawn from
+/// Rng(seed), one full BFS each, hits *accumulated* into `hit_count`
+/// (caller zeroes it once per sweep, then strata add in). Visited marks use
+/// absolute epochs (epoch_base + 1 .. epoch_base + num_samples), so a caller
+/// reusing `visit_epoch` across sweeps skips the O(n) clear; the RNG
+/// consumption — and thus the counts — is identical either way.
+void AccumulateSweepHits(const UncertainGraph& graph, NodeId source,
+                         uint32_t num_samples, uint64_t seed,
+                         std::vector<uint32_t>& hit_count,
+                         std::vector<uint32_t>& visit_epoch,
+                         std::vector<NodeId>& queue, uint32_t epoch_base) {
   Rng rng(seed);
-  hit_count.assign(graph.num_nodes(), 0);
   visit_epoch.resize(graph.num_nodes(), 0);
   queue.reserve(graph.num_nodes());
   for (uint32_t i = 1; i <= num_samples; ++i) {
@@ -46,8 +38,48 @@ Result<std::vector<double>> SourceSweep(const UncertainGraph& graph,
       }
     }
   }
-  std::vector<double> reliability(graph.num_nodes(), 0.0);
-  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+}
+
+Status ValidateSweep(const UncertainGraph& graph, NodeId source,
+                     uint32_t num_samples) {
+  if (!graph.HasNode(source)) {
+    return Status::InvalidArgument("source sweep: source out of range");
+  }
+  if (num_samples == 0) {
+    return Status::InvalidArgument(
+        "source sweep: num_samples must be positive");
+  }
+  return Status::OK();
+}
+
+/// Full stratified sweep into `hit_count` (zeroed here): strata accumulate
+/// in index order, which is what the engine's stratum merge replays.
+void StratifiedSweepHits(const UncertainGraph& graph, NodeId source,
+                         uint32_t num_samples, uint64_t seed,
+                         uint32_t num_strata, std::vector<uint32_t>& hit_count,
+                         std::vector<uint32_t>& visit_epoch,
+                         std::vector<NodeId>& queue, uint32_t epoch_base) {
+  hit_count.assign(graph.num_nodes(), 0);
+  if (num_strata <= 1) {
+    AccumulateSweepHits(graph, source, num_samples, seed, hit_count,
+                        visit_epoch, queue, epoch_base);
+    return;
+  }
+  uint32_t consumed = 0;
+  for (uint32_t j = 0; j < num_strata; ++j) {
+    const uint32_t samples = StratumSampleCount(num_samples, num_strata, j);
+    if (samples == 0) continue;
+    AccumulateSweepHits(graph, source, samples,
+                        StratumSeed(seed, j, num_strata), hit_count,
+                        visit_epoch, queue, epoch_base + consumed);
+    consumed += samples;
+  }
+}
+
+std::vector<double> HitsToReliability(const std::vector<uint32_t>& hit_count,
+                                      uint32_t num_samples) {
+  std::vector<double> reliability(hit_count.size(), 0.0);
+  for (size_t v = 0; v < hit_count.size(); ++v) {
     reliability[v] =
         static_cast<double>(hit_count[v]) / static_cast<double>(num_samples);
   }
@@ -58,12 +90,14 @@ Result<std::vector<double>> SourceSweep(const UncertainGraph& graph,
 
 Result<std::vector<double>> MonteCarloReliabilityFromSource(
     const UncertainGraph& graph, NodeId source, uint32_t num_samples,
-    uint64_t seed) {
+    uint64_t seed, uint32_t num_strata) {
+  RELCOMP_RETURN_NOT_OK(ValidateSweep(graph, source, num_samples));
   std::vector<uint32_t> hit_count;
   std::vector<uint32_t> visit_epoch;
   std::vector<NodeId> queue;
-  return SourceSweep(graph, source, num_samples, seed, hit_count, visit_epoch,
-                     queue, /*epoch_base=*/0);
+  StratifiedSweepHits(graph, source, num_samples, seed, num_strata, hit_count,
+                      visit_epoch, queue, /*epoch_base=*/0);
+  return HitsToReliability(hit_count, num_samples);
 }
 
 MonteCarloEstimator::MonteCarloEstimator(const UncertainGraph& graph)
@@ -71,24 +105,49 @@ MonteCarloEstimator::MonteCarloEstimator(const UncertainGraph& graph)
   queue_.reserve(graph.num_nodes());
 }
 
+void MonteCarloEstimator::ReserveSweepEpochs(uint32_t samples) {
+  if (sweep_epoch_base_ > std::numeric_limits<uint32_t>::max() - samples) {
+    sweep_epoch_.assign(sweep_epoch_.size(), 0);
+    sweep_epoch_base_ = 0;
+  }
+}
+
 Result<std::vector<double>> MonteCarloEstimator::EstimateFromSource(
     NodeId source, const EstimateOptions& options) {
+  RELCOMP_RETURN_NOT_OK(ValidateSweep(graph_, source, options.num_samples));
   // Working state: hit counts, epoch marks, BFS queue, result vector.
   ScopedAllocation working(
       options.memory,
       graph_.num_nodes() * (3 * sizeof(uint32_t) + sizeof(double)));
-  // Reused scratch: advance the epoch window past every mark the previous
-  // sweep left behind; re-zero only when the counter would wrap.
-  if (sweep_epoch_base_ >
-      std::numeric_limits<uint32_t>::max() - options.num_samples) {
-    sweep_epoch_.assign(sweep_epoch_.size(), 0);
-    sweep_epoch_base_ = 0;
+  ReserveSweepEpochs(options.num_samples);
+  StratifiedSweepHits(graph_, source, options.num_samples, options.seed,
+                      options.num_strata, sweep_hits_, sweep_epoch_,
+                      sweep_queue_, sweep_epoch_base_);
+  sweep_epoch_base_ += options.num_samples;
+  return HitsToReliability(sweep_hits_, options.num_samples);
+}
+
+Result<std::vector<uint32_t>> MonteCarloEstimator::EstimateSweepStratumHits(
+    NodeId source, uint32_t stratum, uint32_t num_strata,
+    const EstimateOptions& options) {
+  RELCOMP_RETURN_NOT_OK(ValidateSweep(graph_, source, options.num_samples));
+  if (num_strata == 0 || stratum >= num_strata) {
+    return Status::InvalidArgument("sweep stratum: index out of range");
   }
-  Result<std::vector<double>> result =
-      SourceSweep(graph_, source, options.num_samples, options.seed,
-                  sweep_hits_, sweep_epoch_, sweep_queue_, sweep_epoch_base_);
-  if (result.ok()) sweep_epoch_base_ += options.num_samples;
-  return result;
+  // Working state: the hit-count result, epoch marks, BFS queue.
+  ScopedAllocation working(options.memory,
+                           graph_.num_nodes() * 3 * sizeof(uint32_t));
+  std::vector<uint32_t> hits(graph_.num_nodes(), 0);
+  const uint32_t samples =
+      StratumSampleCount(options.num_samples, num_strata, stratum);
+  if (samples > 0) {
+    ReserveSweepEpochs(samples);
+    AccumulateSweepHits(graph_, source, samples,
+                        StratumSeed(options.seed, stratum, num_strata), hits,
+                        sweep_epoch_, sweep_queue_, sweep_epoch_base_);
+    sweep_epoch_base_ += samples;
+  }
+  return hits;
 }
 
 Result<double> MonteCarloEstimator::EstimateDistanceConstrained(
@@ -108,7 +167,7 @@ Result<double> MonteCarloEstimator::DoEstimate(const ReliabilityQuery& query,
   const NodeId s = query.source;
   const NodeId t = query.target;
   const uint32_t k = options.num_samples;
-  Rng rng(options.seed);
+  const uint32_t num_strata = options.num_strata == 0 ? 1 : options.num_strata;
 
   // Online structures: the epoch array and the BFS queue.
   ScopedAllocation working(
@@ -117,27 +176,36 @@ Result<double> MonteCarloEstimator::DoEstimate(const ReliabilityQuery& query,
 
   if (s == t) return 1.0;
 
+  // Stratified hit-and-miss: stratum j draws its budget slice from its own
+  // derived stream, hits sum across strata — the same canonical-in-(content,
+  // S) core as the source sweep (num_strata == 1 is the legacy loop,
+  // bit-identical to the pre-strata path).
   uint32_t hits = 0;
-  for (uint32_t i = 0; i < k; ++i) {
-    ++epoch_;
-    queue_.clear();
-    queue_.push_back(s);
-    visit_epoch_[s] = epoch_;
-    bool reached = false;
-    for (size_t head = 0; head < queue_.size() && !reached; ++head) {
-      const NodeId v = queue_[head];
-      for (const AdjEntry& a : graph_.OutEdges(v)) {
-        if (visit_epoch_[a.neighbor] == epoch_) continue;
-        if (!rng.Bernoulli(a.prob)) continue;  // lazy sampling on request
-        if (a.neighbor == t) {                 // early stop at current round
-          reached = true;
-          break;
+  for (uint32_t j = 0; j < num_strata; ++j) {
+    const uint32_t stratum_samples = StratumSampleCount(k, num_strata, j);
+    if (stratum_samples == 0) continue;
+    Rng rng(StratumSeed(options.seed, j, num_strata));
+    for (uint32_t i = 0; i < stratum_samples; ++i) {
+      ++epoch_;
+      queue_.clear();
+      queue_.push_back(s);
+      visit_epoch_[s] = epoch_;
+      bool reached = false;
+      for (size_t head = 0; head < queue_.size() && !reached; ++head) {
+        const NodeId v = queue_[head];
+        for (const AdjEntry& a : graph_.OutEdges(v)) {
+          if (visit_epoch_[a.neighbor] == epoch_) continue;
+          if (!rng.Bernoulli(a.prob)) continue;  // lazy sampling on request
+          if (a.neighbor == t) {                 // early stop at current round
+            reached = true;
+            break;
+          }
+          visit_epoch_[a.neighbor] = epoch_;
+          queue_.push_back(a.neighbor);
         }
-        visit_epoch_[a.neighbor] = epoch_;
-        queue_.push_back(a.neighbor);
       }
+      if (reached) ++hits;
     }
-    if (reached) ++hits;
   }
   return static_cast<double>(hits) / static_cast<double>(k);
 }

@@ -16,10 +16,17 @@ namespace relcomp {
 /// ReliableSetMonteCarlo, and MonteCarloEstimator::EstimateFromSource (the
 /// engine's dispatch path) — one implementation, so all three produce
 /// bit-identical per-node reliabilities for equal (source, num_samples,
-/// seed).
+/// seed, num_strata).
+///
+/// `num_strata` partitions the budget into S fixed strata (stratum j draws
+/// StratumSampleCount(K, S, j) samples from Rng(StratumSeed(seed, j, S)))
+/// and merges their hit counts in stratum order: the result is a canonical
+/// function of (source, K, seed, S), identical whether the strata run
+/// back-to-back here or spread across engine workers. S <= 1 is the legacy
+/// unstratified sweep, bit-identical to the pre-strata behaviour.
 Result<std::vector<double>> MonteCarloReliabilityFromSource(
     const UncertainGraph& graph, NodeId source, uint32_t num_samples,
-    uint64_t seed);
+    uint64_t seed, uint32_t num_strata = 1);
 
 /// \brief Basic Monte Carlo sampling with BFS and lazy edge sampling
 /// (Algorithm 1 of the paper; hit-and-miss Monte Carlo [12]).
@@ -27,6 +34,8 @@ Result<std::vector<double>> MonteCarloReliabilityFromSource(
 /// Per sample: BFS from s; each edge is tossed with probability P(e) the
 /// first time the BFS reaches its tail; the sample terminates early as soon
 /// as t is visited. Unbiased; variance R(1-R)/K (Eq. 4); time O(K(m+n)).
+/// Both the s-t estimate and the source sweep honor
+/// EstimateOptions::num_strata (see MonteCarloReliabilityFromSource).
 class MonteCarloEstimator : public Estimator {
  public:
   explicit MonteCarloEstimator(const UncertainGraph& graph);
@@ -35,10 +44,19 @@ class MonteCarloEstimator : public Estimator {
   const UncertainGraph& graph() const override { return graph_; }
 
   /// Source sweep for top-k / reliable-set dispatch (the shared
-  /// MonteCarloReliabilityFromSource core).
+  /// MonteCarloReliabilityFromSource core, stratified when
+  /// options.num_strata > 1).
   bool SupportsSourceSweep() const override { return true; }
   Result<std::vector<double>> EstimateFromSource(
       NodeId source, const EstimateOptions& options) override;
+
+  /// One stratum of the sweep above, as raw hit counts: the engine's
+  /// work-stealing currency. Merging all strata == EstimateFromSource with
+  /// the same num_strata, bit for bit.
+  bool SupportsStratifiedSweep() const override { return true; }
+  Result<std::vector<uint32_t>> EstimateSweepStratumHits(
+      NodeId source, uint32_t stratum, uint32_t num_strata,
+      const EstimateOptions& options) override;
 
   /// Distance-constrained dispatch via the depth-bounded sampler of
   /// distance_constrained.h (per-replica scratch, reused across queries).
@@ -53,6 +71,10 @@ class MonteCarloEstimator : public Estimator {
                             MemoryTracker* memory) override;
 
  private:
+  /// Advances the sweep epoch window for `samples` more marks, re-zeroing
+  /// the epoch array only when the counter would wrap.
+  void ReserveSweepEpochs(uint32_t samples);
+
   const UncertainGraph& graph_;
   // Epoch-marked visited array: reused across samples without clearing.
   std::vector<uint32_t> visit_epoch_;

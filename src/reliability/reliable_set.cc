@@ -43,14 +43,15 @@ ReliableSetResult FilterReliableSet(const std::vector<double>& reliability,
 Result<ReliableSetResult> ReliableSetMonteCarlo(const UncertainGraph& graph,
                                                 NodeId source, double threshold,
                                                 uint32_t num_samples,
-                                                uint64_t seed) {
+                                                uint64_t seed,
+                                                uint32_t num_strata) {
   if (!graph.HasNode(source)) {
     return Status::InvalidArgument("reliable set: source out of range");
   }
   RELCOMP_RETURN_NOT_OK(Validate(threshold, num_samples));
-  RELCOMP_ASSIGN_OR_RETURN(
-      std::vector<double> reliability,
-      MonteCarloReliabilityFromSource(graph, source, num_samples, seed));
+  RELCOMP_ASSIGN_OR_RETURN(std::vector<double> reliability,
+                           MonteCarloReliabilityFromSource(
+                               graph, source, num_samples, seed, num_strata));
   return FilterReliableSet(reliability, source, threshold,
                            num_samples);
 }

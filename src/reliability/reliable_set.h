@@ -30,10 +30,14 @@ ReliableSetResult FilterReliableSet(const std::vector<double>& reliability,
                                     uint32_t num_samples);
 
 /// Monte Carlo sweep: K sampled worlds, per-node hit counts, filter by eta.
+/// `num_strata` is the stratified-partition width of the sweep (see
+/// MonteCarloReliabilityFromSource); pass the engine's stratum count to
+/// reproduce an engine answer, 1 for the legacy unstratified sweep.
 Result<ReliableSetResult> ReliableSetMonteCarlo(const UncertainGraph& graph,
                                                 NodeId source, double threshold,
                                                 uint32_t num_samples,
-                                                uint64_t seed);
+                                                uint64_t seed,
+                                                uint32_t num_strata = 1);
 
 /// BFS Sharing sweep over the pre-built index (one word-parallel BFS).
 Result<ReliableSetResult> ReliableSetBfsSharing(BfsSharingEstimator& estimator,

@@ -29,16 +29,16 @@ std::vector<ReliableTarget> RankTopKTargets(
 
 Result<std::vector<ReliableTarget>> TopKReliableTargetsMonteCarlo(
     const UncertainGraph& graph, NodeId source, uint32_t k,
-    uint32_t num_samples, uint64_t seed) {
+    uint32_t num_samples, uint64_t seed, uint32_t num_strata) {
   if (!graph.HasNode(source)) {
     return Status::InvalidArgument("top-k: source out of range");
   }
   if (k == 0 || num_samples == 0) {
     return Status::InvalidArgument("top-k: k and num_samples must be positive");
   }
-  RELCOMP_ASSIGN_OR_RETURN(
-      std::vector<double> reliability,
-      MonteCarloReliabilityFromSource(graph, source, num_samples, seed));
+  RELCOMP_ASSIGN_OR_RETURN(std::vector<double> reliability,
+                           MonteCarloReliabilityFromSource(
+                               graph, source, num_samples, seed, num_strata));
   return RankTopKTargets(reliability, source, k);
 }
 

@@ -33,10 +33,14 @@ std::vector<ReliableTarget> RankTopKTargets(
 /// @{
 
 /// Plain Monte Carlo: K sampled worlds, one reachability set each; per-node
-/// hit counting. O(K (m + n)) total, no index.
+/// hit counting. O(K (m + n)) total, no index. `num_strata` is the
+/// stratified-partition width of the underlying sweep (see
+/// MonteCarloReliabilityFromSource): results are a canonical function of
+/// (source, K, seed, num_strata), so a caller reproducing an engine answer
+/// must pass the engine's stratum count; 1 is the legacy unstratified sweep.
 Result<std::vector<ReliableTarget>> TopKReliableTargetsMonteCarlo(
     const UncertainGraph& graph, NodeId source, uint32_t k,
-    uint32_t num_samples, uint64_t seed);
+    uint32_t num_samples, uint64_t seed, uint32_t num_strata = 1);
 
 /// BFS Sharing: a single shared word-parallel BFS yields every node's
 /// world-membership bit-vector at once; the top-k drop out of the popcounts.

@@ -159,5 +159,46 @@ TEST(BitVector, MemoryBytesTracksWords) {
   EXPECT_EQ(BitVector(1500).MemoryBytes(), 192u);  // 24 words
 }
 
+TEST(BitVector, OrWithAndOffsetMatchesNaiveSlice) {
+  // The stratified BFS Sharing step: this |= (a & (b >> offset)) over
+  // this->size() bits — checked against a bit-by-bit oracle across word
+  // boundaries, unaligned offsets, and short b tails.
+  Rng rng(2026);
+  for (const size_t len : {1u, 63u, 64u, 65u, 130u}) {
+    for (const size_t offset : {0u, 1u, 63u, 64u, 65u, 100u}) {
+      const size_t b_len = offset + len - (offset % 3);  // sometimes short
+      BitVector dst(len);
+      BitVector a(len);
+      BitVector b(b_len);
+      a.FillBernoulli(0.5, rng);
+      b.FillBernoulli(0.5, rng);
+      dst.FillBernoulli(0.3, rng);
+      BitVector expected(len);
+      for (size_t i = 0; i < len; ++i) {
+        const bool b_bit = offset + i < b_len && b.Get(offset + i);
+        if (dst.Get(i) || (a.Get(i) && b_bit)) expected.Set(i);
+      }
+      BitVector actual = dst;
+      const bool changed = actual.OrWithAndOffset(a, b, offset);
+      EXPECT_EQ(actual, expected) << "len " << len << " offset " << offset;
+      EXPECT_EQ(changed, !(actual == dst));
+    }
+  }
+}
+
+TEST(BitVector, OrWithAndOffsetZeroEqualsOrWithAnd) {
+  Rng rng(7);
+  BitVector a(90);
+  BitVector b(120);
+  a.FillBernoulli(0.5, rng);
+  b.FillBernoulli(0.5, rng);
+  BitVector x(90);
+  BitVector y(90);
+  x.FillBernoulli(0.2, rng);
+  y = x;
+  EXPECT_EQ(x.OrWithAnd(a, b), y.OrWithAndOffset(a, b, 0));
+  EXPECT_EQ(x, y);
+}
+
 }  // namespace
 }  // namespace relcomp

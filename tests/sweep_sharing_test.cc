@@ -97,7 +97,9 @@ TEST(SweepSharingTest, SameSourceMixedBatchRunsOneSweepPerSource) {
       EXPECT_EQ(sweep_queries, 16 * sources.size());
       // Partition invariant: every sweep-kind query that reached the
       // compute path (neither a cache hit nor query-level coalesced)
-      // resolved through exactly one of the three sweep outcomes.
+      // resolved through exactly one of the three sweep outcomes — plus one
+      // sweep_executed per scout-led warm, which has no query behind it
+      // (its queries land in sweep_hits / sweep_coalesced).
       uint64_t compute_path_sweeps = 0;
       for (const EngineResult& r : results) {
         if (IsSweepWorkload(r.query.workload) && !r.cache_hit &&
@@ -107,7 +109,7 @@ TEST(SweepSharingTest, SameSourceMixedBatchRunsOneSweepPerSource) {
       }
       EXPECT_EQ(snapshot.sweep_hits + snapshot.sweep_coalesced +
                     snapshot.sweep_executed,
-                compute_path_sweeps);
+                compute_path_sweeps + snapshot.scout_warms);
     }
   }
 }
@@ -253,7 +255,10 @@ TEST(SweepSharingTest, ConcurrentDistinctParamsCoalesceAtSweepLevel) {
   for (const EngineResult& r : results) ASSERT_TRUE(r.ok()) << r.status;
   const EngineStatsSnapshot snapshot = engine->StatsSnapshot();
   EXPECT_EQ(snapshot.sweep_executed, 1u);
-  EXPECT_EQ(snapshot.sweep_hits + snapshot.sweep_coalesced, 63u);
+  // 63 queries shared the one sweep — 64 when the scout led it (then no
+  // query was the leader and all of them derived).
+  EXPECT_EQ(snapshot.sweep_hits + snapshot.sweep_coalesced,
+            63u + snapshot.scout_warms);
   EXPECT_EQ(snapshot.executed, 64u);  // every query derived its own payload
 }
 
