@@ -21,14 +21,21 @@
 //      S in {1, 4, 16}, and at 8 threads the coalesced waiters steal > 0
 //      strata of the one in-flight sweep (stats-gated) — the wall-clock
 //      speedup of the 8-thread vs 1-thread hot sweep is additionally gated
-//      at >= 2x on hosts with >= 8 hardware threads.
+//      at >= 2x on hosts with >= 8 hardware threads;
+//   7. tracing overhead: the same workload with full-rate span tracing
+//      (trace_sample_rate = 1) answers bit-identically to the untraced run,
+//      and its best-of-3 throughput stays >= 0.95x the untraced best —
+//      the throughput floor gated only on hosts with >= 8 hardware threads
+//      (timing on oversubscribed runners is noise).
 // Scaling (the 1-vs-4-thread speedup) is reported but not gated: it depends
 // on the host's real core count, and this bench must stay green on
 // single-core CI runners.
 //
 // `--json <path>` additionally writes the measured rows, sweep-sharing
-// stats, and gate outcomes as machine-readable JSON (uploaded by CI as
-// BENCH_engine_throughput.json).
+// stats, per-stage latency breakdown, and gate outcomes as machine-readable
+// JSON (uploaded by CI as BENCH_engine_throughput.json). `--stats-json
+// <path>` writes one full MetricsRegistry::ExportJson() scrape of the traced
+// engine (uploaded by CI as STATS_engine.json).
 
 #include <algorithm>
 #include <cstdio>
@@ -121,8 +128,10 @@ bool WriteJson(const std::string& path, const std::string& dataset,
                const EngineStatsSnapshot& sweep_snapshot,
                const EngineStatsSnapshot& strata_snapshot,
                double strata_wall_1thread, double strata_wall_8threads,
-               bool identical, bool shared_index_ok, bool mixed_ok,
-               bool sweep_ok, bool strata_ok) {
+               double untraced_qps, double traced_qps, bool trace_gated,
+               const std::string& stages_json, bool identical,
+               bool shared_index_ok, bool mixed_ok, bool sweep_ok,
+               bool strata_ok, bool trace_ok) {
   FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "warning: cannot open %s for JSON export\n",
@@ -138,10 +147,19 @@ bool WriteJson(const std::string& path, const std::string& dataset,
   std::fprintf(out,
                "  \"gates\": {\"bit_identical\": %s, \"shared_index\": %s, "
                "\"mixed_workload\": %s, \"sweep_sharing\": %s, "
-               "\"stratified_parallel\": %s},\n",
+               "\"stratified_parallel\": %s, \"tracing_overhead\": %s},\n",
                identical ? "true" : "false",
                shared_index_ok ? "true" : "false", mixed_ok ? "true" : "false",
-               sweep_ok ? "true" : "false", strata_ok ? "true" : "false");
+               sweep_ok ? "true" : "false", strata_ok ? "true" : "false",
+               trace_ok ? "true" : "false");
+  std::fprintf(out,
+               "  \"tracing\": {\"untraced_qps\": %.1f, \"traced_qps\": %.1f, "
+               "\"overhead_ratio\": %.4f, \"floor_gated\": %s},\n",
+               untraced_qps, traced_qps,
+               untraced_qps > 0.0 ? traced_qps / untraced_qps : 0.0,
+               trace_gated ? "true" : "false");
+  std::fprintf(out, "  \"stages\": %s,\n",
+               stages_json.empty() ? "{}" : stages_json.c_str());
   std::fprintf(
       out,
       "  \"sweep_sharing\": {\"distinct_sources\": %zu, "
@@ -202,11 +220,16 @@ bool WriteJson(const std::string& path, const std::string& dataset,
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string stats_json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--stats-json") == 0 && i + 1 < argc) {
+      stats_json_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--json out.json]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--json out.json] [--stats-json stats.json]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -579,7 +602,96 @@ int main(int argc, char** argv) {
         strata_ok ? "pass" : "FAIL — STRATIFIED SWEEPS DIVERGED");
   }
 
+  // Tracing-overhead gate: full-rate span tracing must not change a single
+  // answer bit, and must not cost more than 5% throughput. Each variant
+  // takes its best of 3 fresh-engine runs (cache off, so every query
+  // computes); the throughput floor is gated only on hosts with >= 8
+  // hardware threads — on oversubscribed CI runners the ratio is noise and
+  // is reported only.
+  bool trace_ok = true;
+  double untraced_qps = 0.0;
+  double traced_qps = 0.0;
+  std::string stages_json;
+  std::string stats_export;
+  {
+    constexpr int kRuns = 3;
+    const unsigned hardware = std::thread::hardware_concurrency();
+    for (const bool traced : {false, true}) {
+      for (int run = 0; run < kRuns; ++run) {
+        EngineOptions options = base;
+        options.num_threads = max_threads;
+        options.enable_cache = false;
+        options.trace_sample_rate = traced ? 1.0 : 0.0;
+        auto engine = bench::Unwrap(QueryEngine::Create(dataset.graph, options),
+                                    "QueryEngine::Create(trace)");
+        Timer wall;
+        const std::vector<EngineResult> results =
+            bench::Unwrap(engine->RunBatch(workload), "RunBatch(trace)");
+        const double qps =
+            static_cast<double>(workload.size()) / wall.ElapsedSeconds();
+        trace_ok = trace_ok && AllOk(results) &&
+                   BitIdentical(reference, results);
+        double& best = traced ? traced_qps : untraced_qps;
+        best = std::max(best, qps);
+        if (traced && run + 1 == kRuns) {
+          // The per-stage latency breakdown from the traced engine's
+          // registry — the same histograms one ExportJson scrape carries.
+          stages_json = "{";
+          const char* stages[] = {"queue_wait", "cache_probe", "prepare",
+                                  "stratum",    "merge",       "publish",
+                                  "derive",     "sweep_wait"};
+          bool first = true;
+          for (const char* stage : stages) {
+            const obs::HistogramSnapshot h =
+                engine->metrics()
+                    .GetHistogram("engine_stage_latency_ns", "stage", stage)
+                    ->Snapshot();
+            stages_json += StrFormat(
+                "%s\"%s\": {\"count\": %llu, \"p50_ns\": %llu, "
+                "\"p99_ns\": %llu, \"max_ns\": %llu}",
+                first ? "" : ", ", stage,
+                static_cast<unsigned long long>(h.count),
+                static_cast<unsigned long long>(h.Quantile(0.50)),
+                static_cast<unsigned long long>(h.Quantile(0.99)),
+                static_cast<unsigned long long>(h.max));
+            first = false;
+          }
+          stages_json += "}";
+          stats_export = engine->metrics().ExportJson();
+          rows.emplace_back(
+              StrFormat("%u threads, no cache, traced", max_threads),
+              engine->StatsSnapshot());
+        }
+      }
+    }
+    const double ratio =
+        untraced_qps > 0.0 ? traced_qps / untraced_qps : 0.0;
+    const bool gate_floor = hardware >= 8;
+    if (gate_floor) {
+      trace_ok = trace_ok && ratio >= 0.95;
+    }
+    std::printf(
+        "tracing-overhead gate: untraced %.0f qps vs traced %.0f qps "
+        "(%.3fx, %s >= 0.95x): %s\n",
+        untraced_qps, traced_qps, ratio,
+        gate_floor ? "gated" : "reported only (host < 8 hw threads), not",
+        trace_ok ? "pass" : "FAIL — TRACING PERTURBED THE ENGINE");
+  }
+
   bench::PrintTable(EngineStatsTable(rows), "engine_throughput");
+
+  if (!stats_json_path.empty()) {
+    FILE* stats_out = std::fopen(stats_json_path.c_str(), "w");
+    if (stats_out == nullptr) {
+      std::fprintf(stderr, "warning: cannot open %s for stats export\n",
+                   stats_json_path.c_str());
+    } else {
+      std::fputs(stats_export.c_str(), stats_out);
+      std::fputc('\n', stats_out);
+      std::fclose(stats_out);
+      std::printf("metrics scrape written to %s\n", stats_json_path.c_str());
+    }
+  }
 
   // Shared-index gate: Create at 8 threads must build the BFS Sharing index
   // exactly once, and the deduped footprint must equal ONE index (the old
@@ -631,12 +743,15 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     if (WriteJson(json_path, dataset.name, config, rows,
                   sweep_distinct_sources, sweep_snapshot, strata_snapshot,
-                  strata_wall_1thread, strata_wall_8threads, identical,
-                  shared_index_ok, mixed_ok, sweep_ok, strata_ok)) {
+                  strata_wall_1thread, strata_wall_8threads, untraced_qps,
+                  traced_qps, std::thread::hardware_concurrency() >= 8,
+                  stages_json, identical, shared_index_ok, mixed_ok, sweep_ok,
+                  strata_ok, trace_ok)) {
       std::printf("JSON results written to %s\n", json_path.c_str());
     }
   }
-  return identical && shared_index_ok && mixed_ok && sweep_ok && strata_ok
+  return identical && shared_index_ok && mixed_ok && sweep_ok && strata_ok &&
+                 trace_ok
              ? 0
              : 1;
 }

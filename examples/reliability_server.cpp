@@ -9,7 +9,8 @@
 // printed stats.
 //
 //   ./build/examples/reliability_server [dataset] [threads] [requests] [kind]
-//                                       [strata]
+//                                       [strata] [--stats-json <path>]
+//                                       [--slow-query-ms <n>]
 //
 //   dataset  : lastfm | nethept | astopo | dblp02 | dblp005 | biomine
 //   threads  : worker threads (default 4)
@@ -21,10 +22,20 @@
 //              canonical function of (query content, S), so the same S at
 //              any thread count answers bit-identically — the threads only
 //              decide how many workers steal strata of a hot sweep.
+//
+//   --stats-json <path>   : write one MetricsRegistry::ExportJson() scrape —
+//                           every engine counter, gauge, and latency
+//                           histogram — to <path> at shutdown.
+//   --slow-query-ms <n>   : arm per-query tracing and dump the span tree of
+//                           every query slower than n ms (answers are
+//                           bit-identical with tracing on or off).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -82,24 +93,40 @@ void PrintResponse(const EngineResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const DatasetId dataset_id =
-      argc > 1 ? ParseDataset(argv[1]) : DatasetId::kLastFm;
-  const long threads_arg = argc > 2 ? std::atol(argv[2]) : 4;
-  const long requests_arg = argc > 3 ? std::atol(argv[3]) : 2000;
-  EstimatorKind kind = EstimatorKind::kMonteCarlo;
-  if (argc > 4) {
-    if (std::strcmp(argv[4], "bfs") == 0) {
-      kind = EstimatorKind::kBfsSharing;
-    } else if (std::strcmp(argv[4], "mc") != 0) {
-      std::fprintf(stderr, "unknown kind '%s', using mc\n", argv[4]);
+  // Flags may appear anywhere; everything else is positional, in order.
+  std::string stats_json_path;
+  double slow_query_ms = 0.0;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats-json") == 0 && i + 1 < argc) {
+      stats_json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--slow-query-ms") == 0 && i + 1 < argc) {
+      slow_query_ms = std::atof(argv[++i]);
+    } else {
+      positional.push_back(argv[i]);
     }
   }
-  const long strata_arg = argc > 5 ? std::atol(argv[5]) : 8;
+  const DatasetId dataset_id = positional.size() > 0
+                                   ? ParseDataset(positional[0])
+                                   : DatasetId::kLastFm;
+  const long threads_arg = positional.size() > 1 ? std::atol(positional[1]) : 4;
+  const long requests_arg =
+      positional.size() > 2 ? std::atol(positional[2]) : 2000;
+  EstimatorKind kind = EstimatorKind::kMonteCarlo;
+  if (positional.size() > 3) {
+    if (std::strcmp(positional[3], "bfs") == 0) {
+      kind = EstimatorKind::kBfsSharing;
+    } else if (std::strcmp(positional[3], "mc") != 0) {
+      std::fprintf(stderr, "unknown kind '%s', using mc\n", positional[3]);
+    }
+  }
+  const long strata_arg = positional.size() > 4 ? std::atol(positional[4]) : 8;
   if (threads_arg < 0 || threads_arg > 1024 || requests_arg < 0 ||
-      strata_arg < 1 || strata_arg > 4096) {
+      strata_arg < 1 || strata_arg > 4096 || slow_query_ms < 0) {
     std::fprintf(stderr,
                  "usage: reliability_server [dataset] [threads 0-1024] "
-                 "[requests >= 0] [mc|bfs] [strata 1-4096]\n");
+                 "[requests >= 0] [mc|bfs] [strata 1-4096] "
+                 "[--stats-json <path>] [--slow-query-ms <n>]\n");
     return 2;
   }
   const size_t threads = static_cast<size_t>(threads_arg);
@@ -140,6 +167,7 @@ int main(int argc, char** argv) {
   options.seed = 20190410;
   options.cache_capacity = 4096;
   options.cache_max_bytes = size_t{16} << 20;  // ranked payloads, by bytes
+  options.slow_query_ms = slow_query_ms;
   auto engine = QueryEngine::Create(dataset.graph, options).MoveValue();
   std::printf(
       "engine up: %s estimator, %zu workers, S=%u strata per sweep, cache "
@@ -163,20 +191,44 @@ int main(int argc, char** argv) {
     total += 1.0 / static_cast<double>(i + 1);
     cumulative[i] = total;
   }
+  // The stream drains in cycles, with a periodic one-line stats scrape after
+  // each — the registry is cumulative, so every line is a strict progression
+  // of the last.
+  constexpr size_t kDrainCycles = 4;
+  const size_t cycle_len = requests < kDrainCycles ? requests
+                                                   : requests / kDrainCycles;
   size_t submitted = 0;
-  for (size_t i = 0; i < requests; ++i) {
-    const double u = rng.NextDouble() * total;
-    size_t pick = 0;
-    while (pick + 1 < cumulative.size() && cumulative[pick] < u) ++pick;
-    const Status status = engine->Submit(catalogue[pick]);
-    if (!status.ok()) {
-      std::fprintf(stderr, "submit failed: %s\n", status.ToString().c_str());
-      return 1;
+  std::vector<EngineResult> responses;
+  while (submitted < requests) {
+    const size_t batch = std::min(cycle_len > 0 ? cycle_len : size_t{1},
+                                  requests - submitted);
+    for (size_t i = 0; i < batch; ++i) {
+      const double u = rng.NextDouble() * total;
+      size_t pick = 0;
+      while (pick + 1 < cumulative.size() && cumulative[pick] < u) ++pick;
+      const Status status = engine->Submit(catalogue[pick]);
+      if (!status.ok()) {
+        std::fprintf(stderr, "submit failed: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      ++submitted;
     }
-    ++submitted;
+    std::vector<EngineResult> cycle = engine->Drain().MoveValue();
+    responses.insert(responses.end(),
+                     std::make_move_iterator(cycle.begin()),
+                     std::make_move_iterator(cycle.end()));
+    const EngineStatsSnapshot s = engine->StatsSnapshot();
+    std::printf(
+        "[stats] queries=%llu qps=%.0f p50=%.2fms p99=%.2fms cache=%.0f%% "
+        "sweeps x/h/c=%llu/%llu/%llu slow=%llu\n",
+        static_cast<unsigned long long>(s.queries), s.span_qps, s.p50_ms,
+        s.p99_ms, s.cache.hit_rate() * 100.0,
+        static_cast<unsigned long long>(s.sweep_executed),
+        static_cast<unsigned long long>(s.sweep_hits),
+        static_cast<unsigned long long>(s.sweep_coalesced),
+        static_cast<unsigned long long>(engine->tracer().slow_queries()));
   }
-  const std::vector<EngineResult> responses = engine->Drain().MoveValue();
-  std::printf("replayed %zu requests over %zu distinct queries\n\n",
+  std::printf("\nreplayed %zu requests over %zu distinct queries\n\n",
               submitted, catalogue.size());
 
   // One sample response per workload kind (first occurrence in the stream).
@@ -220,6 +272,34 @@ int main(int argc, char** argv) {
         snapshot.prebuilder.builders,
         static_cast<unsigned long long>(snapshot.prebuilt_used),
         snapshot.prebuilder.ready_bytes >> 10);
+  }
+
+  // Span trees of the slowest requests (only when --slow-query-ms armed the
+  // tracer).
+  const std::vector<std::string> slow_log = engine->tracer().SlowQueryLog();
+  if (!slow_log.empty()) {
+    std::printf("\nslow queries (> %.3f ms): %llu total, last %zu dumps:\n",
+                slow_query_ms,
+                static_cast<unsigned long long>(engine->tracer().slow_queries()),
+                slow_log.size());
+    for (const std::string& dump : slow_log) {
+      std::printf("%s\n", dump.c_str());
+    }
+  }
+
+  // The full registry, Prometheus-style — the same scrape a /metrics
+  // endpoint would serve.
+  std::printf("\n%s", engine->metrics().ExportText().c_str());
+
+  if (!stats_json_path.empty()) {
+    std::ofstream out(stats_json_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write stats json to '%s'\n",
+                   stats_json_path.c_str());
+      return 1;
+    }
+    out << engine->metrics().ExportJson() << "\n";
+    std::printf("\nwrote metrics scrape to %s\n", stats_json_path.c_str());
   }
   return 0;
 }

@@ -1,28 +1,62 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace relcomp {
 
-/// \brief Monotonic wall-clock stopwatch used by all experiment code.
-class Timer {
+/// \brief Monotonic nanosecond stopwatch — the single steady-clock path all
+/// engine telemetry goes through.
+///
+/// Now() is an absolute steady-clock reading in nanoseconds (epoch is the
+/// clock's, not the Unix epoch), so timestamps taken on different threads are
+/// directly comparable: the thread pool stamps enqueue times with it, trace
+/// spans record begin/end with it, and cache TTL deadlines are stored as
+/// plain uint64 nanoseconds instead of chrono time_points.
+class StopwatchNs {
  public:
-  Timer() : start_(Clock::now()) {}
+  StopwatchNs() : start_ns_(Now()) {}
+
+  /// Absolute steady-clock nanoseconds (monotonic across threads).
+  static uint64_t Now() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
 
   /// Resets the epoch to now.
-  void Restart() { start_ = Clock::now(); }
+  void Restart() { start_ns_ = Now(); }
+
+  /// Nanoseconds elapsed since construction / last Restart().
+  uint64_t ElapsedNs() const { return Now() - start_ns_; }
 
   /// Seconds elapsed since construction / last Restart().
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(ElapsedNs()) * 1e-9;
   }
+
+ private:
+  uint64_t start_ns_;
+};
+
+/// \brief Monotonic wall-clock stopwatch used by all experiment code.
+/// A seconds-facing view over the same steady clock as StopwatchNs.
+class Timer {
+ public:
+  Timer() = default;
+
+  /// Resets the epoch to now.
+  void Restart() { stopwatch_.Restart(); }
+
+  /// Seconds elapsed since construction / last Restart().
+  double ElapsedSeconds() const { return stopwatch_.ElapsedSeconds(); }
 
   /// Milliseconds elapsed since construction / last Restart().
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  StopwatchNs stopwatch_;
 };
 
 }  // namespace relcomp

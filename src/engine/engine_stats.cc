@@ -1,145 +1,137 @@
 #include "engine/engine_stats.h"
 
-#include <algorithm>
-#include <cmath>
-
 #include "common/format.h"
+#include "common/timer.h"
 
 namespace relcomp {
 
 namespace {
-/// Nearest-rank quantile of an ascending-sorted sample: the smallest value
-/// with at least ceil(q * n) samples at or below it.
-double QuantileMs(const std::vector<double>& sorted_seconds, double q) {
-  if (sorted_seconds.empty()) return 0.0;
-  const size_t n = sorted_seconds.size();
-  size_t rank = static_cast<size_t>(std::ceil(q * static_cast<double>(n)));
-  if (rank > 0) --rank;
-  if (rank >= n) rank = n - 1;
-  return sorted_seconds[rank] * 1e3;
-}
+/// ns -> ms for the snapshot's double fields.
+double NsToMs(uint64_t ns) { return static_cast<double>(ns) * 1e-6; }
 }  // namespace
 
-void EngineStats::RecordExecuted(double seconds, size_t peak_memory_bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  latencies_seconds_.push_back(seconds);
-  ++executed_;
-  if (peak_memory_bytes > peak_memory_bytes_) {
-    peak_memory_bytes_ = peak_memory_bytes;
+EngineStats::EngineStats(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry = owned_registry_.get();
   }
+  registry_ = registry;
+  query_latency_ns_ = registry_->GetHistogram("engine_query_latency_ns");
+  sweep_latency_ns_ = registry_->GetHistogram("engine_sweep_latency_ns");
+  executed_ = registry_->GetCounter("engine_executed_total");
+  coalesced_ = registry_->GetCounter("engine_coalesced_total");
+  failures_ = registry_->GetCounter("engine_failures_total");
+  for (size_t i = 0; i < kNumWorkloadKinds; ++i) {
+    workload_queries_[i] =
+        registry_->GetCounter("engine_queries_total", "workload",
+                              WorkloadKindName(static_cast<WorkloadKind>(i)));
+  }
+  sweep_executed_ = registry_->GetCounter("engine_sweep_executed_total");
+  sweep_hits_ = registry_->GetCounter("engine_sweep_hits_total");
+  sweep_coalesced_ = registry_->GetCounter("engine_sweep_coalesced_total");
+  strata_executed_ = registry_->GetCounter("engine_strata_executed_total");
+  strata_stolen_ = registry_->GetCounter("engine_strata_stolen_total");
+  scout_warms_ = registry_->GetCounter("engine_scout_warms_total");
+  prebuilt_used_ = registry_->GetCounter("engine_prebuilt_used_total");
+  wall_seconds_ = registry_->GetGauge("engine_wall_seconds");
+  span_seconds_ = registry_->GetGauge("engine_span_seconds");
+  peak_memory_bytes_ = registry_->GetGauge("engine_peak_memory_bytes");
 }
 
-void EngineStats::RecordCacheHit() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  latencies_seconds_.push_back(0.0);
+void EngineStats::RecordExecuted(double seconds, size_t peak_memory_bytes) {
+  query_latency_ns_->RecordSeconds(seconds);
+  executed_->Inc();
+  peak_memory_bytes_->SetMax(static_cast<double>(peak_memory_bytes));
 }
+
+void EngineStats::RecordCacheHit() { query_latency_ns_->Record(0); }
 
 void EngineStats::RecordCoalesced(double wait_seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  latencies_seconds_.push_back(wait_seconds);
-  ++coalesced_;
+  query_latency_ns_->RecordSeconds(wait_seconds);
+  coalesced_->Inc();
 }
 
 void EngineStats::RecordFailure(double seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  latencies_seconds_.push_back(seconds);
-  ++failures_;
+  query_latency_ns_->RecordSeconds(seconds);
+  failures_->Inc();
 }
 
-void EngineStats::RecordSweepExecuted() {
-  sweep_executed_.fetch_add(1, std::memory_order_relaxed);
-}
+void EngineStats::RecordSweepExecuted() { sweep_executed_->Inc(); }
 
-void EngineStats::RecordSweepHit() {
-  sweep_hits_.fetch_add(1, std::memory_order_relaxed);
-}
+void EngineStats::RecordSweepHit() { sweep_hits_->Inc(); }
 
-void EngineStats::RecordSweepCoalesced() {
-  sweep_coalesced_.fetch_add(1, std::memory_order_relaxed);
-}
+void EngineStats::RecordSweepCoalesced() { sweep_coalesced_->Inc(); }
 
 void EngineStats::RecordStratum(bool stolen) {
-  strata_executed_.fetch_add(1, std::memory_order_relaxed);
-  if (stolen) strata_stolen_.fetch_add(1, std::memory_order_relaxed);
+  strata_executed_->Inc();
+  if (stolen) strata_stolen_->Inc();
 }
 
-void EngineStats::RecordScoutWarm() {
-  scout_warms_.fetch_add(1, std::memory_order_relaxed);
-}
+void EngineStats::RecordScoutWarm() { scout_warms_->Inc(); }
 
 void EngineStats::RecordSweepLatency(double seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  sweep_latencies_seconds_.push_back(seconds);
+  sweep_latency_ns_->RecordSeconds(seconds);
 }
 
-void EngineStats::RecordPrebuiltUsed() {
-  prebuilt_used_.fetch_add(1, std::memory_order_relaxed);
-}
+void EngineStats::RecordPrebuiltUsed() { prebuilt_used_->Inc(); }
 
 void EngineStats::RecordWorkload(WorkloadKind kind) {
-  workload_queries_[static_cast<size_t>(kind)].fetch_add(
-      1, std::memory_order_relaxed);
+  workload_queries_[static_cast<size_t>(kind)]->Inc();
 }
 
-void EngineStats::AddWallTime(double seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  wall_seconds_ += seconds;
-}
+void EngineStats::AddWallTime(double seconds) { wall_seconds_->Add(seconds); }
 
 void EngineStats::MarkCallStart() {
-  const Clock::time_point now = Clock::now();
-  std::lock_guard<std::mutex> lock(mutex_);
-  // Min, not first-to-lock: two concurrent calls may take their timestamps
-  // in one order and this mutex in the other.
-  if (!span_first_start_.has_value() || now < *span_first_start_) {
-    span_first_start_ = now;
+  const uint64_t now = StopwatchNs::Now();
+  // Min, not first-to-arrive: two concurrent calls may take their stamps in
+  // one order and update in the other.
+  uint64_t seen = span_first_start_ns_.load(std::memory_order_relaxed);
+  while (now < seen && !span_first_start_ns_.compare_exchange_weak(
+                           seen, now, std::memory_order_relaxed)) {
   }
 }
 
 void EngineStats::MarkCallEnd() {
-  const Clock::time_point now = Clock::now();
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (!span_last_end_.has_value() || now > *span_last_end_) {
-    span_last_end_ = now;
+  const uint64_t now = StopwatchNs::Now();
+  uint64_t seen = span_last_end_ns_.load(std::memory_order_relaxed);
+  while (now > seen && !span_last_end_ns_.compare_exchange_weak(
+                           seen, now, std::memory_order_relaxed)) {
+  }
+  // Keep the scrapeable gauge live (Snapshot recomputes from the stamps).
+  const uint64_t first = span_first_start_ns_.load(std::memory_order_relaxed);
+  const uint64_t last = span_last_end_ns_.load(std::memory_order_relaxed);
+  if (first != kNoStamp && last > first) {
+    span_seconds_->Set(static_cast<double>(last - first) * 1e-9);
   }
 }
 
 EngineStatsSnapshot EngineStats::Snapshot(const ResultCache* cache,
                                           const SweepCache* sweep_cache) const {
-  std::vector<double> sorted;
-  std::vector<double> sweep_sorted;
   EngineStatsSnapshot snapshot;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    sorted = latencies_seconds_;
-    sweep_sorted = sweep_latencies_seconds_;
-    snapshot.wall_seconds = wall_seconds_;
-    snapshot.peak_memory_bytes = peak_memory_bytes_;
-    snapshot.executed = executed_;
-    snapshot.coalesced = coalesced_;
-    snapshot.failures = failures_;
-    for (size_t i = 0; i < kNumWorkloadKinds; ++i) {
-      snapshot.workload_queries[i] =
-          workload_queries_[i].load(std::memory_order_relaxed);
-    }
-    snapshot.sweep_executed = sweep_executed_.load(std::memory_order_relaxed);
-    snapshot.sweep_hits = sweep_hits_.load(std::memory_order_relaxed);
-    snapshot.sweep_coalesced =
-        sweep_coalesced_.load(std::memory_order_relaxed);
-    snapshot.prebuilt_used = prebuilt_used_.load(std::memory_order_relaxed);
-    snapshot.strata_executed =
-        strata_executed_.load(std::memory_order_relaxed);
-    snapshot.strata_stolen = strata_stolen_.load(std::memory_order_relaxed);
-    snapshot.scout_warms = scout_warms_.load(std::memory_order_relaxed);
-    if (span_first_start_.has_value() && span_last_end_.has_value() &&
-        *span_last_end_ > *span_first_start_) {
-      snapshot.span_seconds =
-          std::chrono::duration<double>(*span_last_end_ - *span_first_start_)
-              .count();
-    }
+  const obs::HistogramSnapshot latency = query_latency_ns_->Snapshot();
+  const obs::HistogramSnapshot sweep_latency = sweep_latency_ns_->Snapshot();
+  snapshot.queries = latency.count;
+  snapshot.executed = executed_->Value();
+  snapshot.coalesced = coalesced_->Value();
+  snapshot.failures = failures_->Value();
+  for (size_t i = 0; i < kNumWorkloadKinds; ++i) {
+    snapshot.workload_queries[i] = workload_queries_[i]->Value();
   }
-  std::sort(sorted.begin(), sorted.end());
-  snapshot.queries = sorted.size();
+  snapshot.sweep_executed = sweep_executed_->Value();
+  snapshot.sweep_hits = sweep_hits_->Value();
+  snapshot.sweep_coalesced = sweep_coalesced_->Value();
+  snapshot.strata_executed = strata_executed_->Value();
+  snapshot.strata_stolen = strata_stolen_->Value();
+  snapshot.scout_warms = scout_warms_->Value();
+  snapshot.prebuilt_used = prebuilt_used_->Value();
+  snapshot.wall_seconds = wall_seconds_->Value();
+  snapshot.peak_memory_bytes =
+      static_cast<size_t>(peak_memory_bytes_->Value());
+  const uint64_t first = span_first_start_ns_.load(std::memory_order_relaxed);
+  const uint64_t last = span_last_end_ns_.load(std::memory_order_relaxed);
+  if (first != kNoStamp && last > first) {
+    snapshot.span_seconds = static_cast<double>(last - first) * 1e-9;
+  }
   if (snapshot.wall_seconds > 0.0) {
     snapshot.throughput_qps =
         static_cast<double>(snapshot.queries) / snapshot.wall_seconds;
@@ -148,19 +140,16 @@ EngineStatsSnapshot EngineStats::Snapshot(const ResultCache* cache,
     snapshot.span_qps =
         static_cast<double>(snapshot.queries) / snapshot.span_seconds;
   }
-  if (!sorted.empty()) {
-    double sum = 0.0;
-    for (double s : sorted) sum += s;
-    snapshot.mean_ms = sum / static_cast<double>(sorted.size()) * 1e3;
-    snapshot.p50_ms = QuantileMs(sorted, 0.50);
-    snapshot.p90_ms = QuantileMs(sorted, 0.90);
-    snapshot.p99_ms = QuantileMs(sorted, 0.99);
-    snapshot.max_ms = sorted.back() * 1e3;
+  if (latency.count > 0) {
+    snapshot.mean_ms = latency.mean() * 1e-6;
+    snapshot.p50_ms = NsToMs(latency.Quantile(0.50));
+    snapshot.p90_ms = NsToMs(latency.Quantile(0.90));
+    snapshot.p99_ms = NsToMs(latency.Quantile(0.99));
+    snapshot.max_ms = NsToMs(latency.max);  // extremes are tracked exactly
   }
-  if (!sweep_sorted.empty()) {
-    std::sort(sweep_sorted.begin(), sweep_sorted.end());
-    snapshot.sweep_p50_ms = QuantileMs(sweep_sorted, 0.50);
-    snapshot.sweep_p95_ms = QuantileMs(sweep_sorted, 0.95);
+  if (sweep_latency.count > 0) {
+    snapshot.sweep_p50_ms = NsToMs(sweep_latency.Quantile(0.50));
+    snapshot.sweep_p95_ms = NsToMs(sweep_latency.Quantile(0.95));
   }
   if (cache != nullptr) snapshot.cache = cache->Stats();
   if (sweep_cache != nullptr) snapshot.sweep_cache = sweep_cache->Stats();
@@ -168,26 +157,24 @@ EngineStatsSnapshot EngineStats::Snapshot(const ResultCache* cache,
 }
 
 void EngineStats::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  latencies_seconds_.clear();
-  wall_seconds_ = 0.0;
-  peak_memory_bytes_ = 0;
-  executed_ = 0;
-  coalesced_ = 0;
-  failures_ = 0;
-  for (std::atomic<uint64_t>& count : workload_queries_) {
-    count.store(0, std::memory_order_relaxed);
-  }
-  sweep_executed_.store(0, std::memory_order_relaxed);
-  sweep_hits_.store(0, std::memory_order_relaxed);
-  sweep_coalesced_.store(0, std::memory_order_relaxed);
-  prebuilt_used_.store(0, std::memory_order_relaxed);
-  strata_executed_.store(0, std::memory_order_relaxed);
-  strata_stolen_.store(0, std::memory_order_relaxed);
-  scout_warms_.store(0, std::memory_order_relaxed);
-  sweep_latencies_seconds_.clear();
-  span_first_start_.reset();
-  span_last_end_.reset();
+  query_latency_ns_->Reset();
+  sweep_latency_ns_->Reset();
+  executed_->Reset();
+  coalesced_->Reset();
+  failures_->Reset();
+  for (obs::Counter* counter : workload_queries_) counter->Reset();
+  sweep_executed_->Reset();
+  sweep_hits_->Reset();
+  sweep_coalesced_->Reset();
+  strata_executed_->Reset();
+  strata_stolen_->Reset();
+  scout_warms_->Reset();
+  prebuilt_used_->Reset();
+  wall_seconds_->Reset();
+  span_seconds_->Reset();
+  peak_memory_bytes_->Reset();
+  span_first_start_ns_.store(kNoStamp, std::memory_order_relaxed);
+  span_last_end_ns_.store(0, std::memory_order_relaxed);
 }
 
 TextTable EngineStatsTable(

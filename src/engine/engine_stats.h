@@ -1,10 +1,8 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
-#include <mutex>
-#include <optional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,6 +11,7 @@
 #include "engine/result_cache.h"
 #include "engine/sweep_cache.h"
 #include "eval/table.h"
+#include "obs/metrics.h"
 #include "reliability/workload.h"
 
 namespace relcomp {
@@ -113,13 +112,23 @@ struct EngineStatsSnapshot {
   GenerationPrebuilderStats prebuilder;
 };
 
-/// \brief Thread-safe recorder of per-query latencies.
+/// \brief Thread-safe recorder of per-query outcomes — a *view over the
+/// metrics registry*.
 ///
-/// Workers call the Record* methods concurrently; Snapshot() sorts the
-/// samples to extract quantiles. Sample storage is unbounded by design — the
-/// engine resets it per batch, and a 10k-query stress batch costs 80 kB.
+/// Every Record* call lands in a named registry instrument (see
+/// src/obs/README.md for the name map), so one MetricsRegistry::ExportJson()
+/// scrape reports everything this struct ever showed; Snapshot() reads the
+/// same instruments back into the legacy EngineStatsSnapshot shape. Latency
+/// quantiles come from bounded log-bucketed histograms (<= 1/16 relative
+/// error, extremes exact), replacing the former unbounded sample vectors —
+/// recording is lock-free and O(1), and long-running servers no longer grow
+/// per-query state.
 class EngineStats {
  public:
+  /// Records into `registry` (not owned; must outlive this object), or into
+  /// a privately owned registry when nullptr.
+  explicit EngineStats(obs::MetricsRegistry* registry = nullptr);
+
   /// Records one estimator-executed query: its latency and working-set peak.
   void RecordExecuted(double seconds, size_t peak_memory_bytes);
 
@@ -167,42 +176,46 @@ class EngineStats {
   void MarkCallStart();
   void MarkCallEnd();
 
-  /// Computes quantiles over everything recorded so far; `cache` /
-  /// `sweep_cache` (optional) are embedded in the snapshot.
+  /// Reads the registry instruments back into the legacy snapshot shape;
+  /// `cache` / `sweep_cache` (optional) are embedded in the snapshot.
   EngineStatsSnapshot Snapshot(const ResultCache* cache = nullptr,
                                const SweepCache* sweep_cache = nullptr) const;
 
-  /// Drops all samples, wall time, and the span.
+  /// Resets the instruments this recorder owns (queries, latencies, wall
+  /// time, span). Instruments registered by other components sharing the
+  /// registry — cache counters are monotonic by contract — are untouched.
   void Reset();
 
- private:
-  using Clock = std::chrono::steady_clock;
+  /// The registry everything records into (for scraping / sharing).
+  obs::MetricsRegistry& registry() const { return *registry_; }
 
-  mutable std::mutex mutex_;
-  std::vector<double> latencies_seconds_;
-  double wall_seconds_ = 0.0;
-  size_t peak_memory_bytes_ = 0;
-  uint64_t executed_ = 0;
-  uint64_t coalesced_ = 0;
-  uint64_t failures_ = 0;
-  /// Atomic (not under mutex_): RecordWorkload runs on every query in
-  /// addition to exactly one mutex-guarded Record* outcome call, and a
-  /// second mutex acquisition per query would double stats-lock traffic.
-  std::atomic<uint64_t> workload_queries_[kNumWorkloadKinds] = {};
-  /// Atomic for the same reason: the sweep / prebuild classifiers run on top
-  /// of the one mutex-guarded outcome call.
-  std::atomic<uint64_t> sweep_executed_{0};
-  std::atomic<uint64_t> sweep_hits_{0};
-  std::atomic<uint64_t> sweep_coalesced_{0};
-  std::atomic<uint64_t> prebuilt_used_{0};
-  std::atomic<uint64_t> strata_executed_{0};
-  std::atomic<uint64_t> strata_stolen_{0};
-  std::atomic<uint64_t> scout_warms_{0};
-  /// Per-sweep latencies (mutex-guarded like the per-query samples; sweeps
-  /// are orders of magnitude rarer than queries).
-  std::vector<double> sweep_latencies_seconds_;
-  std::optional<Clock::time_point> span_first_start_;
-  std::optional<Clock::time_point> span_last_end_;
+ private:
+  static constexpr uint64_t kNoStamp = ~uint64_t{0};
+
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_;
+
+  obs::Histogram* query_latency_ns_;
+  obs::Histogram* sweep_latency_ns_;
+  obs::Counter* executed_;
+  obs::Counter* coalesced_;
+  obs::Counter* failures_;
+  obs::Counter* workload_queries_[kNumWorkloadKinds];
+  obs::Counter* sweep_executed_;
+  obs::Counter* sweep_hits_;
+  obs::Counter* sweep_coalesced_;
+  obs::Counter* strata_executed_;
+  obs::Counter* strata_stolen_;
+  obs::Counter* scout_warms_;
+  obs::Counter* prebuilt_used_;
+  obs::Gauge* wall_seconds_;
+  obs::Gauge* span_seconds_;
+  obs::Gauge* peak_memory_bytes_;
+
+  /// Min start / max end stamps across concurrent calls (CAS races resolve
+  /// to the extremes whatever order the threads arrive in).
+  std::atomic<uint64_t> span_first_start_ns_{kNoStamp};
+  std::atomic<uint64_t> span_last_end_ns_{0};
 };
 
 /// One row per (label, snapshot): queries, qps, latency quantiles, cache hit

@@ -7,10 +7,21 @@ namespace relcomp {
 GenerationPrebuilder::GenerationPrebuilder(const Estimator& prototype,
                                            size_t max_pending,
                                            size_t num_builders,
-                                           size_t max_ready_bytes)
+                                           size_t max_ready_bytes,
+                                           obs::MetricsRegistry* registry)
     : prototype_(prototype),
       max_pending_(max_pending == 0 ? 1 : max_pending),
       max_ready_bytes_(max_ready_bytes) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  requested_ = registry->GetCounter("prebuilder_requested_total");
+  built_ = registry->GetCounter("prebuilder_built_total");
+  taken_ = registry->GetCounter("prebuilder_taken_total");
+  dropped_ = registry->GetCounter("prebuilder_dropped_total");
+  evicted_ = registry->GetCounter("prebuilder_evicted_total");
+  ready_bytes_gauge_ = registry->GetGauge("prebuilder_ready_bytes");
   if (num_builders == 0) num_builders = 1;
   builders_.reserve(num_builders);
   for (size_t i = 0; i < num_builders; ++i) {
@@ -25,9 +36,10 @@ void GenerationPrebuilder::EvictOldestReadyLocked() {
   // front really is the oldest unclaimed generation.
   auto it = ready_.find(ready_order_.front());
   ready_bytes_ -= it->second.bytes;
+  ready_bytes_gauge_->Set(static_cast<double>(ready_bytes_));
   ready_.erase(it);
   ready_order_.pop_front();
-  ++evicted_;
+  evicted_->Inc();
 }
 
 bool GenerationPrebuilder::Request(uint64_t seed) {
@@ -44,14 +56,14 @@ bool GenerationPrebuilder::Request(uint64_t seed) {
     // Without this, stranded generations would pin index-sized memory and
     // wedge the builder shut for every future seed.
     if (ready_order_.empty()) {
-      ++dropped_;
+      dropped_->Inc();
       return false;
     }
     EvictOldestReadyLocked();
   }
   queue_.push_back(seed);
   queued_.insert(seed);
-  ++requested_;
+  requested_->Inc();
   work_available_.notify_one();
   return true;
 }
@@ -67,6 +79,7 @@ std::unique_ptr<PreparedGeneration> GenerationPrebuilder::Take(uint64_t seed) {
     std::unique_ptr<PreparedGeneration> generation =
         std::move(it->second.generation);
     ready_bytes_ -= it->second.bytes;
+    ready_bytes_gauge_->Set(static_cast<double>(ready_bytes_));
     ready_.erase(it);
     // Keep the eviction order exact: a taken seed must not linger as a
     // stale entry (it would grow unboundedly on long-lived streams and
@@ -79,7 +92,7 @@ std::unique_ptr<PreparedGeneration> GenerationPrebuilder::Take(uint64_t seed) {
         break;
       }
     }
-    ++taken_;
+    taken_->Inc();
     return generation;
   }
   // Queued but not started: cancel so no builder ever duplicates the
@@ -98,11 +111,11 @@ std::unique_ptr<PreparedGeneration> GenerationPrebuilder::Take(uint64_t seed) {
 GenerationPrebuilderStats GenerationPrebuilder::Stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   GenerationPrebuilderStats stats;
-  stats.requested = requested_;
-  stats.built = built_;
-  stats.taken = taken_;
-  stats.dropped = dropped_;
-  stats.evicted = evicted_;
+  stats.requested = requested_->Value();
+  stats.built = built_->Value();
+  stats.taken = taken_->Value();
+  stats.dropped = dropped_->Value();
+  stats.evicted = evicted_->Value();
   stats.ready_bytes = ready_bytes_;
   stats.builders = builders_.size();
   return stats;
@@ -149,9 +162,10 @@ void GenerationPrebuilder::BuilderLoop() {
       ready.bytes = generation.value()->MemoryBytes();
       ready.generation = generation.MoveValue();
       ready_bytes_ += ready.bytes;
+      ready_bytes_gauge_->Set(static_cast<double>(ready_bytes_));
       ready_.emplace(seed, std::move(ready));
       ready_order_.push_back(seed);
-      ++built_;
+      built_->Inc();
       // Ready-pool byte budget: evict oldest-first until it holds. The
       // just-finished generation is evicted last (it is the newest) — and
       // even it goes if it alone exceeds the budget, because an

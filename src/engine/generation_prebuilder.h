@@ -10,6 +10,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "reliability/estimator.h"
 
 namespace relcomp {
@@ -71,8 +72,11 @@ class GenerationPrebuilder {
   /// memory, so the count bound alone can pin max_pending spare indexes.
   /// Over either bound the oldest ready generation is evicted.
   /// `num_builders` (clamped to >= 1) is the number of builder threads.
+  /// `registry` (optional, not owned, must outlive this object) receives the
+  /// prebuilder_* instruments; when nullptr a private registry is owned.
   GenerationPrebuilder(const Estimator& prototype, size_t max_pending,
-                       size_t num_builders = 1, size_t max_ready_bytes = 0);
+                       size_t num_builders = 1, size_t max_ready_bytes = 0,
+                       obs::MetricsRegistry* registry = nullptr);
   ~GenerationPrebuilder();
 
   GenerationPrebuilder(const GenerationPrebuilder&) = delete;
@@ -132,11 +136,14 @@ class GenerationPrebuilder {
   std::unordered_set<uint64_t> building_;
   bool shutdown_ = false;
 
-  uint64_t requested_ = 0;
-  uint64_t built_ = 0;
-  uint64_t taken_ = 0;
-  uint64_t dropped_ = 0;
-  uint64_t evicted_ = 0;
+  /// Private fallback when no shared registry was handed in.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::Counter* requested_;
+  obs::Counter* built_;
+  obs::Counter* taken_;
+  obs::Counter* dropped_;
+  obs::Counter* evicted_;
+  obs::Gauge* ready_bytes_gauge_;
   size_t ready_bytes_ = 0;
 
   std::vector<std::thread> builders_;  ///< last member: starts after state

@@ -16,29 +16,92 @@ constexpr uint64_t kPrepareSeedTag = 0x707265ULL;  // "pre"
 /// Domain separator for per-source sweep seeds, so a sweep seed can never
 /// alias an st/distance query seed structurally.
 constexpr uint64_t kSweepSeedTag = 0x73776570ULL;  // "swep"
+
+/// Scoped pipeline-stage recorder: always lands the elapsed nanoseconds in
+/// the stage histogram (when given), and additionally opens a matching span
+/// when the query is traced — one timestamp pair feeds both, so the span
+/// tree and the histogram never disagree about a stage's extent.
+class StageTimer {
+ public:
+  StageTimer(obs::Histogram* histogram, obs::TraceBuffer* trace,
+             obs::SpanKind kind, uint32_t parent, uint32_t detail = 0)
+      : histogram_(histogram),
+        trace_(trace),
+        begin_ns_(StopwatchNs::Now()),
+        span_(trace == nullptr
+                  ? obs::TraceBuffer::kNone
+                  : trace->BeginAt(kind, begin_ns_, parent, detail)) {}
+
+  ~StageTimer() { Stop(); }
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  /// Ends the stage early (idempotent; the destructor calls it).
+  void Stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    const uint64_t end_ns = StopwatchNs::Now();
+    if (histogram_ != nullptr) histogram_->Record(end_ns - begin_ns_);
+    if (trace_ != nullptr) trace_->EndAt(span_, end_ns);
+  }
+
+  /// Id for nesting children under this stage's span (kNone when untraced).
+  uint32_t id() const { return span_; }
+
+ private:
+  obs::Histogram* histogram_;
+  obs::TraceBuffer* trace_;
+  uint64_t begin_ns_;
+  uint32_t span_;
+  bool stopped_ = false;
+};
 }  // namespace
 
 QueryEngine::QueryEngine(const UncertainGraph& graph, EngineOptions options,
                          std::vector<std::unique_ptr<Estimator>> replicas)
     : graph_(graph),
       options_(std::move(options)),
-      replicas_(std::move(replicas)) {
+      registry_(std::make_unique<obs::MetricsRegistry>()),
+      tracer_(std::make_unique<obs::Tracer>(obs::TracerOptions{
+          options_.trace_sample_rate, options_.slow_query_ms,
+          options_.trace_ring_capacity})),
+      replicas_(std::move(replicas)),
+      stats_(registry_.get()) {
+  stage_cache_probe_ =
+      registry_->GetHistogram("engine_stage_latency_ns", "stage", "cache_probe");
+  stage_prepare_ =
+      registry_->GetHistogram("engine_stage_latency_ns", "stage", "prepare");
+  stage_stratum_ =
+      registry_->GetHistogram("engine_stage_latency_ns", "stage", "stratum");
+  stage_merge_ =
+      registry_->GetHistogram("engine_stage_latency_ns", "stage", "merge");
+  stage_publish_ =
+      registry_->GetHistogram("engine_stage_latency_ns", "stage", "publish");
+  stage_derive_ =
+      registry_->GetHistogram("engine_stage_latency_ns", "stage", "derive");
+  stage_sweep_wait_ =
+      registry_->GetHistogram("engine_stage_latency_ns", "stage", "sweep_wait");
   if (options_.enable_cache) {
-    cache_ = std::make_unique<ResultCache>(options_.cache_capacity,
-                                           options_.cache_shards,
-                                           options_.cache_max_bytes);
+    cache_ = std::make_unique<ResultCache>(
+        options_.cache_capacity, options_.cache_shards,
+        options_.cache_max_bytes, registry_.get());
   }
   if (options_.enable_sweep_cache) {
-    sweep_cache_ = std::make_unique<SweepCache>(options_.sweep_cache_max_bytes);
+    sweep_cache_ = std::make_unique<SweepCache>(options_.sweep_cache_max_bytes,
+                                                registry_.get());
   }
   if (options_.enable_generation_prebuild && !replicas_.empty() &&
       replicas_.front()->SupportsPreparedGenerations()) {
     prebuilder_ = std::make_unique<GenerationPrebuilder>(
         *replicas_.front(), options_.prebuild_max_pending,
-        options_.prebuild_threads, options_.prebuild_max_bytes);
+        options_.prebuild_threads, options_.prebuild_max_bytes,
+        registry_.get());
   }
-  pool_ = std::make_unique<ThreadPool>(replicas_.size(),
-                                       options_.queue_capacity);
+  pool_ = std::make_unique<ThreadPool>(
+      replicas_.size(), options_.queue_capacity,
+      registry_->GetHistogram("engine_stage_latency_ns", "stage",
+                              "queue_wait"));
 }
 
 QueryEngine::~QueryEngine() {
@@ -131,10 +194,17 @@ void QueryEngine::FillFromValue(ResultCacheValue value, EngineResult* slot) {
 
 bool QueryEngine::TryServeWithoutCompute(
     const ResultCacheKey& key, EngineResult* slot,
-    std::shared_ptr<InFlight>* leader_flight) {
+    std::shared_ptr<InFlight>* leader_flight, obs::TraceBuffer* trace,
+    uint32_t parent) {
   // Fast path: lock-free-ish cache probe before touching the flight table.
   if (cache_ != nullptr) {
-    if (std::optional<ResultCacheValue> hit = cache_->Lookup(key)) {
+    std::optional<ResultCacheValue> hit;
+    {
+      StageTimer probe(stage_cache_probe_, trace, obs::SpanKind::kCacheProbe,
+                       parent, /*detail=*/0);
+      hit = cache_->Lookup(key);
+    }
+    if (hit) {
       const bool negative = hit->negative();
       FillFromValue(std::move(*hit), slot);
       slot->seconds = 0.0;
@@ -195,6 +265,7 @@ bool QueryEngine::TryServeWithoutCompute(
   // deadlock) and copy its outcome.
   Timer wait_timer;
   {
+    obs::ScopedSpan wait_span(trace, obs::SpanKind::kCoalescedWait, parent);
     std::unique_lock<std::mutex> lock(flight->mutex);
     flight->done.wait(lock, [&flight] { return flight->ready; });
     FillFromValue(flight->value, slot);
@@ -281,7 +352,7 @@ Status QueryEngine::PrepareReplica(Estimator& estimator,
 
 Result<QueryEngine::SweepShare> QueryEngine::ComputeSweepSerial(
     size_t worker_id, const EngineQuery& query, uint64_t sweep_seed,
-    const SweepCacheKey& key) {
+    const SweepCacheKey& key, obs::TraceBuffer* trace, uint32_t parent) {
   // Coalescing-off path: one worker runs the whole stratified sweep
   // back-to-back. EstimateFromSource with the engine's num_strata merges
   // strata in index order — the exact merge the stratum scheduler replays —
@@ -290,13 +361,18 @@ Result<QueryEngine::SweepShare> QueryEngine::ComputeSweepSerial(
   MemoryTracker tracker;
   Timer timer;
   stats_.RecordSweepExecuted();
-  RELCOMP_RETURN_NOT_OK(
-      PrepareReplica(estimator, HashCombineSeed(sweep_seed, kPrepareSeedTag)));
+  {
+    StageTimer prepare(stage_prepare_, trace, obs::SpanKind::kPrepare, parent);
+    RELCOMP_RETURN_NOT_OK(PrepareReplica(
+        estimator, HashCombineSeed(sweep_seed, kPrepareSeedTag)));
+  }
   EstimateOptions estimate_options;
   estimate_options.num_samples = options_.num_samples;
   estimate_options.seed = sweep_seed;
   estimate_options.num_strata = options_.num_strata;
   estimate_options.memory = &tracker;
+  estimate_options.trace = trace;
+  estimate_options.trace_parent = parent;
   RELCOMP_ASSIGN_OR_RETURN(
       std::vector<double> swept,
       estimator.EstimateFromSource(query.source, estimate_options));
@@ -312,7 +388,8 @@ Result<QueryEngine::SweepShare> QueryEngine::ComputeSweepSerial(
 void QueryEngine::RunSweepFlight(size_t worker_id, NodeId source,
                                  uint64_t sweep_seed, const SweepCacheKey& key,
                                  const std::shared_ptr<SweepFlight>& flight,
-                                 bool leader) {
+                                 bool leader, obs::TraceBuffer* trace,
+                                 uint32_t parent) {
   Estimator& estimator = *replicas_[worker_id];
   MemoryTracker tracker;
   bool prepared = false;
@@ -341,6 +418,8 @@ void QueryEngine::RunSweepFlight(size_t worker_id, NodeId source,
       // re-running the same O(L·m) resample per worker (estimators without
       // shared prepared state — MC, whose prepare is a no-op — just
       // prepare directly).
+      StageTimer prepare_stage(stage_prepare_, trace, obs::SpanKind::kPrepare,
+                               parent);
       std::shared_ptr<const PreparedGeneration> shared_state;
       {
         std::lock_guard<std::mutex> lock(flight->mutex);
@@ -373,11 +452,15 @@ void QueryEngine::RunSweepFlight(size_t worker_id, NodeId source,
     std::vector<uint32_t> hits;
     std::shared_ptr<const std::vector<double>> whole;
     if (run.ok()) {
+      StageTimer stratum_stage(stage_stratum_, trace, obs::SpanKind::kStratum,
+                               parent, stratum);
       EstimateOptions estimate_options;
       estimate_options.num_samples = options_.num_samples;
       estimate_options.seed = sweep_seed;
       estimate_options.num_strata = flight->num_strata;
       estimate_options.memory = &tracker;
+      estimate_options.trace = trace;
+      estimate_options.trace_parent = stratum_stage.id();
       if (flight->whole_sweep) {
         // No stratified core: the single "stratum" is the whole sweep.
         Result<std::vector<double>> swept =
@@ -446,6 +529,8 @@ void QueryEngine::RunSweepFlight(size_t worker_id, NodeId source,
           // the fixed stratum slices, divided by the full budget K —
           // bit-identical to the serial stratified sweep regardless of
           // which workers ran which strata.
+          StageTimer merge_stage(stage_merge_, trace, obs::SpanKind::kMerge,
+                                 parent);
           auto merged =
               std::make_shared<std::vector<double>>(graph_.num_nodes(), 0.0);
           std::vector<uint32_t> totals(graph_.num_nodes(), 0);
@@ -487,6 +572,8 @@ void QueryEngine::RunSweepFlight(size_t worker_id, NodeId source,
   // Not the finalizer: some other participant is still executing a stratum
   // (or merging); wait for the publish. This terminates — the flight always
   // has at least one active participant until ready.
+  StageTimer wait_stage(stage_sweep_wait_, trace, obs::SpanKind::kSweepWait,
+                        parent);
   std::unique_lock<std::mutex> lock(flight->mutex);
   flight->done.wait(lock, [&flight] { return flight->ready; });
 }
@@ -529,19 +616,26 @@ std::shared_ptr<QueryEngine::SweepFlight> QueryEngine::JoinOrCreateSweepFlight(
 }
 
 Result<QueryEngine::SweepShare> QueryEngine::GetSweepVector(
-    size_t worker_id, const EngineQuery& query, uint64_t sweep_seed) {
+    size_t worker_id, const EngineQuery& query, uint64_t sweep_seed,
+    obs::TraceBuffer* trace, uint32_t parent) {
   const SweepCacheKey key{options_.kind, query.source, options_.num_samples,
                           sweep_seed};
   // Fast path: memoized sweep.
   if (sweep_cache_ != nullptr) {
-    if (std::shared_ptr<const std::vector<double>> vector =
-            sweep_cache_->Lookup(key)) {
+    std::shared_ptr<const std::vector<double>> vector;
+    {
+      StageTimer probe(stage_cache_probe_, trace, obs::SpanKind::kCacheProbe,
+                       parent, /*detail=*/1);
+      vector = sweep_cache_->Lookup(key);
+    }
+    if (vector != nullptr) {
       stats_.RecordSweepHit();
       return SweepShare{std::move(vector), 0};
     }
   }
   if (!options_.enable_coalescing) {
-    return ComputeSweepSerial(worker_id, query, sweep_seed, key);
+    return ComputeSweepSerial(worker_id, query, sweep_seed, key, trace,
+                              parent);
   }
   bool leader = false;
   std::shared_ptr<const std::vector<double>> cached;
@@ -557,7 +651,12 @@ Result<QueryEngine::SweepShare> QueryEngine::GetSweepVector(
   // One sweep_executed per sweep, recorded by its leader: the "<= 1
   // EstimateFromSource per distinct (source, generation)" gate currency.
   if (leader) stats_.RecordSweepExecuted();
-  RunSweepFlight(worker_id, query.source, sweep_seed, key, flight, leader);
+  {
+    obs::ScopedSpan flight_span(trace, obs::SpanKind::kSweepFlight, parent,
+                                leader ? 1 : 0);
+    RunSweepFlight(worker_id, query.source, sweep_seed, key, flight, leader,
+                   trace, flight_span.id());
+  }
 
   Status status;
   std::shared_ptr<const std::vector<double>> vector;
@@ -601,7 +700,23 @@ void QueryEngine::ScoutSweep(size_t worker_id, NodeId source) {
   // deterministically on recompute.
   stats_.RecordSweepExecuted();
   stats_.RecordScoutWarm();
-  RunSweepFlight(worker_id, source, sweep_seed, key, flight, /*leader=*/true);
+  // A scout sweep has no query behind it, so it gets its own trace root
+  // (kScout) when tracing is engaged; the strata it runs nest under it
+  // exactly like a query-led sweep's.
+  obs::TraceBuffer buffer;
+  obs::TraceBuffer* trace = nullptr;
+  uint32_t root = obs::TraceBuffer::kNone;
+  if (tracer_->engaged()) {
+    trace = &buffer;
+    buffer.Start(tracer_->NextQueryId(), static_cast<uint32_t>(worker_id));
+    root = buffer.Begin(obs::SpanKind::kScout);
+  }
+  RunSweepFlight(worker_id, source, sweep_seed, key, flight, /*leader=*/true,
+                 trace, root);
+  if (trace != nullptr) {
+    buffer.End(root);
+    tracer_->Finish(buffer);
+  }
 }
 
 void QueryEngine::ScoutBatch(const std::vector<EngineQuery>& queries) {
@@ -640,16 +755,19 @@ void QueryEngine::ScoutBatch(const std::vector<EngineQuery>& queries) {
   }
 }
 
-Result<WorkloadResult> QueryEngine::ComputeWorkload(size_t worker_id,
-                                                    const EngineQuery& query,
-                                                    uint64_t query_seed) {
+Result<WorkloadResult> QueryEngine::ComputeWorkload(
+    size_t worker_id, const EngineQuery& query, uint64_t query_seed,
+    obs::TraceBuffer* trace, uint32_t parent) {
   Estimator& estimator = *replicas_[worker_id];
   if (IsSweepWorkload(query.workload) && estimator.SupportsSourceSweep()) {
     // Sweep sharing: obtain the per-source vector once (memoized, coalesced,
     // or computed) and derive this query's view of it. Bit-identical to a
     // direct dispatch because the seed is the same sweep seed either way.
-    RELCOMP_ASSIGN_OR_RETURN(SweepShare share,
-                             GetSweepVector(worker_id, query, query_seed));
+    RELCOMP_ASSIGN_OR_RETURN(
+        SweepShare share,
+        GetSweepVector(worker_id, query, query_seed, trace, parent));
+    StageTimer derive_stage(stage_derive_, trace, obs::SpanKind::kDerive,
+                            parent);
     WorkloadResult derived =
         DeriveFromSweep(query, *share.vector, options_.num_samples);
     if (share.peak_memory_bytes > derived.peak_memory_bytes) {
@@ -657,7 +775,11 @@ Result<WorkloadResult> QueryEngine::ComputeWorkload(size_t worker_id,
     }
     return derived;
   }
-  RELCOMP_RETURN_NOT_OK(PrepareReplica(estimator, PrepareSeed(query)));
+  {
+    StageTimer prepare_stage(stage_prepare_, trace, obs::SpanKind::kPrepare,
+                             parent);
+    RELCOMP_RETURN_NOT_OK(PrepareReplica(estimator, PrepareSeed(query)));
+  }
   EstimateOptions estimate_options;
   estimate_options.num_samples = options_.num_samples;
   estimate_options.seed = query_seed;
@@ -665,11 +787,31 @@ Result<WorkloadResult> QueryEngine::ComputeWorkload(size_t worker_id,
   // s-t MC estimates split their budget the same canonical way sweeps do
   // (estimators without one ignore the knob).
   estimate_options.num_strata = options_.num_strata;
+  obs::ScopedSpan estimate_span(trace, obs::SpanKind::kEstimate, parent);
+  estimate_options.trace = trace;
+  estimate_options.trace_parent = estimate_span.id();
   return DispatchWorkload(estimator, query, estimate_options);
 }
 
 void QueryEngine::RunOne(size_t worker_id, const EngineQuery& query,
-                         EngineResult* slot) {
+                         EngineResult* slot, uint64_t enqueue_ns) {
+  // Tracing: a stack-allocated span collector, armed only when the tracer is
+  // engaged — an untraced query allocates nothing and every span call below
+  // no-ops on the null buffer. The root opens at the Submit-time stamp, so
+  // it covers the queue wait the worker never saw.
+  obs::TraceBuffer buffer;
+  obs::TraceBuffer* trace = nullptr;
+  uint32_t root = obs::TraceBuffer::kNone;
+  if (tracer_->engaged()) {
+    trace = &buffer;
+    buffer.Start(tracer_->NextQueryId(), static_cast<uint32_t>(worker_id));
+    root = buffer.BeginAt(obs::SpanKind::kQuery, enqueue_ns,
+                          obs::TraceBuffer::kNone,
+                          static_cast<uint32_t>(query.workload));
+    // The wait is already over (we are running); the span just records it.
+    buffer.End(buffer.BeginAt(obs::SpanKind::kQueueWait, enqueue_ns, root));
+  }
+
   const uint64_t query_seed = QuerySeed(query);
   slot->query = query;
   slot->seed = query_seed;
@@ -678,12 +820,19 @@ void QueryEngine::RunOne(size_t worker_id, const EngineQuery& query,
   const ResultCacheKey key{query, options_.kind, options_.num_samples,
                            query_seed};
   std::shared_ptr<InFlight> flight;
-  if (TryServeWithoutCompute(key, slot, &flight)) return;
+  if (TryServeWithoutCompute(key, slot, &flight, trace, root)) {
+    if (trace != nullptr) {
+      buffer.End(root);
+      tracer_->Finish(buffer);
+    }
+    return;
+  }
 
   // Leader (or coalescing disabled): compute on this worker's replica.
   Timer timer;
   ResultCacheValue value;
-  Result<WorkloadResult> result = ComputeWorkload(worker_id, query, query_seed);
+  Result<WorkloadResult> result =
+      ComputeWorkload(worker_id, query, query_seed, trace, root);
   if (result.ok()) {
     value.reliability = result->reliability;
     value.num_samples = result->num_samples;
@@ -699,10 +848,18 @@ void QueryEngine::RunOne(size_t worker_id, const EngineQuery& query,
     slot->seconds = timer.ElapsedSeconds();
     stats_.RecordFailure(slot->seconds);
   }
-  if (flight != nullptr) {
-    FinishFlight(key, flight, value);
-  } else {
-    PublishToCache(key, value);
+  {
+    StageTimer publish_stage(stage_publish_, trace, obs::SpanKind::kPublish,
+                             root);
+    if (flight != nullptr) {
+      FinishFlight(key, flight, value);
+    } else {
+      PublishToCache(key, value);
+    }
+  }
+  if (trace != nullptr) {
+    buffer.End(root);
+    tracer_->Finish(buffer);
   }
 }
 
@@ -736,9 +893,10 @@ Result<std::vector<EngineResult>> QueryEngine::RunBatch(
   for (size_t i = 0; i < queries.size(); ++i) {
     const EngineQuery query = queries[i];
     EngineResult* slot = &results[i];
+    const uint64_t enqueue_ns = StopwatchNs::Now();
     const Status submitted = pool_->Submit(
-        [this, query, slot, state](size_t worker_id) {
-          RunOne(worker_id, query, slot);
+        [this, query, slot, state, enqueue_ns](size_t worker_id) {
+          RunOne(worker_id, query, slot, enqueue_ns);
           std::lock_guard<std::mutex> lock(state->mutex);
           if (--state->pending == 0) state->done.notify_all();
         });
@@ -802,9 +960,10 @@ Status QueryEngine::Submit(const EngineQuery& query) {
     std::lock_guard<std::mutex> state_lock(state->mutex);
     ++state->pending;
   }
+  const uint64_t enqueue_ns = StopwatchNs::Now();
   const Status submitted = pool_->Submit(
-      [this, query, slot, state](size_t worker_id) {
-        RunOne(worker_id, query, slot);
+      [this, query, slot, state, enqueue_ns](size_t worker_id) {
+        RunOne(worker_id, query, slot, enqueue_ns);
         std::lock_guard<std::mutex> state_lock(state->mutex);
         if (--state->pending == 0) state->done.notify_all();
       });

@@ -14,6 +14,8 @@
 #include "engine/sweep_cache.h"
 #include "engine/thread_pool.h"
 #include "graph/uncertain_graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "reliability/estimator_factory.h"
 #include "reliability/workload.h"
 
@@ -128,6 +130,22 @@ struct EngineOptions {
   /// the oldest are evicted when the pool exceeds the budget. The resident
   /// pool is reported in IndexMemoryReport::prebuilt_bytes.
   size_t prebuild_max_bytes = 0;
+  /// \name Observability (see src/obs/README.md)
+  /// Tracing is never part of the determinism contract: answers are
+  /// bit-identical with any sample rate, at any thread count.
+  /// @{
+  /// Fraction of queries whose span trees are published to the trace ring
+  /// (deterministic in the query id; 1 traces everything). 0 — the default —
+  /// plus slow_query_ms == 0 disengages tracing entirely: the hot path then
+  /// allocates nothing and records no spans.
+  double trace_sample_rate = 0.0;
+  /// Queries slower than this many milliseconds get their span tree
+  /// formatted into the tracer's slow-query log, sampled or not. 0 disables
+  /// the log.
+  double slow_query_ms = 0.0;
+  /// Span capacity of the trace ring (rounded up to a power of two).
+  size_t trace_ring_capacity = 4096;
+  /// @}
   /// Estimator construction knobs (index parameters, index seed).
   FactoryOptions factory;
 };
@@ -256,6 +274,16 @@ class QueryEngine {
   EngineStatsSnapshot StatsSnapshot() const;
   void ResetStats() { stats_.Reset(); }
 
+  /// Engine-wide instrument registry: the stats recorder, both caches, the
+  /// pool's queue-wait histogram, the stage histograms, and the prebuilder
+  /// all record into this one registry, so a single ExportJson() /
+  /// ExportText() scrape reports everything the engine measures.
+  obs::MetricsRegistry& metrics() const { return *registry_; }
+
+  /// Per-query tracing sink: the span ring (trace_sample_rate) and the
+  /// slow-query log (slow_query_ms).
+  obs::Tracer& tracer() const { return *tracer_; }
+
  private:
   QueryEngine(const UncertainGraph& graph, EngineOptions options,
               std::vector<std::unique_ptr<Estimator>> replicas);
@@ -329,14 +357,22 @@ class QueryEngine {
 
   /// Executes one query on `worker_id`'s replica (or serves it from cache /
   /// an in-flight twin), writing outcome and per-query status into `slot`.
-  void RunOne(size_t worker_id, const EngineQuery& query, EngineResult* slot);
+  /// `enqueue_ns` is the Submit-time stamp (the root span's begin and the
+  /// queue-wait span's extent when the query is traced).
+  ///
+  /// The `trace` / parent-span parameters threaded through the methods below
+  /// are nullptr / kNone for untraced queries; every span call no-ops then.
+  void RunOne(size_t worker_id, const EngineQuery& query, EngineResult* slot,
+              uint64_t enqueue_ns);
 
   /// Compute path of one query (after the cache / query-level flight said
   /// miss): sweep kinds go through the sweep-sharing layer, everything else
   /// through PrepareReplica + DispatchWorkload.
   Result<WorkloadResult> ComputeWorkload(size_t worker_id,
                                          const EngineQuery& query,
-                                         uint64_t query_seed);
+                                         uint64_t query_seed,
+                                         obs::TraceBuffer* trace,
+                                         uint32_t parent);
 
   /// Obtains `query.source`'s sweep vector: from the SweepCache, by joining
   /// a sweep-level flight (stealing unclaimed strata, then waiting for the
@@ -344,7 +380,8 @@ class QueryEngine {
   /// flight's participants. Records exactly one of sweep_hit /
   /// sweep_coalesced / sweep_executed per call.
   Result<SweepShare> GetSweepVector(size_t worker_id, const EngineQuery& query,
-                                    uint64_t sweep_seed);
+                                    uint64_t sweep_seed,
+                                    obs::TraceBuffer* trace, uint32_t parent);
 
   /// Participates in `flight`: claims and executes unclaimed strata on this
   /// worker's replica (preparing it once, on the first claim), deposits
@@ -354,14 +391,17 @@ class QueryEngine {
   /// ready. `leader` controls the strata_stolen accounting.
   void RunSweepFlight(size_t worker_id, NodeId source, uint64_t sweep_seed,
                       const SweepCacheKey& key,
-                      const std::shared_ptr<SweepFlight>& flight, bool leader);
+                      const std::shared_ptr<SweepFlight>& flight, bool leader,
+                      obs::TraceBuffer* trace, uint32_t parent);
 
   /// Serial sweep for the coalescing-off path: one EstimateFromSource with
   /// the engine's stratum count (bit-identical to a stolen-strata merge).
   Result<SweepShare> ComputeSweepSerial(size_t worker_id,
                                         const EngineQuery& query,
                                         uint64_t sweep_seed,
-                                        const SweepCacheKey& key);
+                                        const SweepCacheKey& key,
+                                        obs::TraceBuffer* trace,
+                                        uint32_t parent);
 
   /// Single-flight rendezvous for `key` under sweep_inflight_mutex_:
   /// re-probes the SweepCache (publish-then-retire makes this exact),
@@ -407,7 +447,8 @@ class QueryEngine {
   /// coalesced); otherwise the caller is the leader (or coalescing is off)
   /// and must compute, then call FinishFlight with the outcome.
   bool TryServeWithoutCompute(const ResultCacheKey& key, EngineResult* slot,
-                              std::shared_ptr<InFlight>* leader_flight);
+                              std::shared_ptr<InFlight>* leader_flight,
+                              obs::TraceBuffer* trace, uint32_t parent);
 
   /// Publishes the leader's outcome: inserts into the cache (successes under
   /// cache_ttl, failures under negative_cache_ttl when enabled), removes the
@@ -429,10 +470,26 @@ class QueryEngine {
 
   const UncertainGraph& graph_;
   const EngineOptions options_;
+  /// Declared before every component that records into it (stats, caches,
+  /// pool, prebuilder), so it is destroyed last: workers may still record
+  /// while the pool drains during shutdown.
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::unique_ptr<obs::Tracer> tracer_;
   std::vector<std::unique_ptr<Estimator>> replicas_;
   std::unique_ptr<ResultCache> cache_;
   std::unique_ptr<ThreadPool> pool_;
   EngineStats stats_;
+
+  /// Always-on stage latency histograms, one labeled family
+  /// (engine_stage_latency_ns{stage=...}); the queue_wait member of the
+  /// family is recorded inside the pool.
+  obs::Histogram* stage_cache_probe_;
+  obs::Histogram* stage_prepare_;
+  obs::Histogram* stage_stratum_;
+  obs::Histogram* stage_merge_;
+  obs::Histogram* stage_publish_;
+  obs::Histogram* stage_derive_;
+  obs::Histogram* stage_sweep_wait_;
 
   struct KeyHash {
     size_t operator()(const ResultCacheKey& key) const {

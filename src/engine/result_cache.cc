@@ -1,6 +1,7 @@
 #include "engine/result_cache.h"
 
 #include "common/rng.h"
+#include "common/timer.h"
 
 namespace relcomp {
 
@@ -24,8 +25,21 @@ size_t ResultCache::EntryBytes(const ResultCacheValue& value) {
          value.status.message().size();
 }
 
-ResultCache::ResultCache(size_t capacity, size_t num_shards, size_t max_bytes)
+ResultCache::ResultCache(size_t capacity, size_t num_shards, size_t max_bytes,
+                         obs::MetricsRegistry* registry)
     : capacity_(capacity == 0 ? 1 : capacity), max_bytes_(max_bytes) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  hits_ = registry->GetCounter("result_cache_hits_total");
+  negative_hits_ = registry->GetCounter("result_cache_negative_hits_total");
+  misses_ = registry->GetCounter("result_cache_misses_total");
+  insertions_ = registry->GetCounter("result_cache_insertions_total");
+  evictions_ = registry->GetCounter("result_cache_evictions_total");
+  expired_ = registry->GetCounter("result_cache_expired_total");
+  rejected_ = registry->GetCounter("result_cache_rejected_total");
+  bytes_gauge_ = registry->GetGauge("result_cache_bytes");
   num_shards = RoundUpToPowerOfTwo(num_shards == 0 ? 1 : num_shards);
   // No more shards than entries, or some shards could never hold anything.
   while (num_shards > 1 && num_shards > capacity_) num_shards >>= 1;
@@ -54,6 +68,7 @@ void ResultCache::RemoveEntry(
     std::unordered_map<HashedKey, std::list<Entry>::iterator, KeyHash,
                        KeyEq>::iterator it) {
   shard.bytes -= it->second->bytes;
+  bytes_gauge_->Add(-static_cast<double>(it->second->bytes));
   shard.lru.erase(it->second);
   shard.index.erase(it);
 }
@@ -65,24 +80,24 @@ std::optional<ResultCacheValue> ResultCache::Lookup(const ResultCacheKey& key,
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.index.find(hashed);
   if (it == shard.index.end()) {
-    if (record_stats) misses_.fetch_add(1, std::memory_order_relaxed);
+    if (record_stats) misses_->Inc();
     return std::nullopt;
   }
-  if (it->second->expires && Clock::now() >= it->second->deadline) {
+  if (it->second->expires && StopwatchNs::Now() >= it->second->deadline_ns) {
     // Lazy expiry: the deadline elapsed, so the entry is dead weight — drop
     // it and let the caller recompute (a miss). Expiry is counted even on
     // uncounted probes: the entry really is gone either way.
     RemoveEntry(shard, it);
-    expired_.fetch_add(1, std::memory_order_relaxed);
-    if (record_stats) misses_.fetch_add(1, std::memory_order_relaxed);
+    expired_->Inc();
+    if (record_stats) misses_->Inc();
     return std::nullopt;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   if (record_stats) {
     if (it->second->value.negative()) {
-      negative_hits_.fetch_add(1, std::memory_order_relaxed);
+      negative_hits_->Inc();
     } else {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_->Inc();
     }
   }
   return it->second->value;
@@ -96,7 +111,8 @@ bool ResultCache::Contains(const ResultCacheKey& key) const {
   if (it == shard.index.end()) return false;
   // Expired entries are absent for the caller's purposes; leave the lazy
   // removal to the next counted Lookup.
-  return !(it->second->expires && Clock::now() >= it->second->deadline);
+  return !(it->second->expires &&
+           StopwatchNs::Now() >= it->second->deadline_ns);
 }
 
 void ResultCache::Insert(const ResultCacheKey& key,
@@ -104,10 +120,9 @@ void ResultCache::Insert(const ResultCacheKey& key,
   const HashedKey hashed{key, key.Hash()};
   const size_t entry_bytes = EntryBytes(value);
   const bool expires = ttl_seconds > 0.0;
-  const Clock::time_point deadline =
-      expires ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                   std::chrono::duration<double>(ttl_seconds))
-              : Clock::time_point();
+  const uint64_t deadline_ns =
+      expires ? StopwatchNs::Now() + static_cast<uint64_t>(ttl_seconds * 1e9)
+              : 0;
   Shard& shard = ShardFor(hashed.hash);
   std::lock_guard<std::mutex> lock(shard.mutex);
   if (shard.byte_budget > 0 && entry_bytes > shard.byte_budget) {
@@ -118,25 +133,29 @@ void ResultCache::Insert(const ResultCacheKey& key,
       // The key's older (smaller) incarnation is now stale; drop it rather
       // than serve an outdated payload next to the rejected fresh one.
       RemoveEntry(shard, existing);
-      evictions_.fetch_add(1, std::memory_order_relaxed);
+      evictions_->Inc();
     }
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_->Inc();
     return;
   }
   auto it = shard.index.find(hashed);
   if (it != shard.index.end()) {
     shard.bytes -= it->second->bytes;
+    bytes_gauge_->Add(static_cast<double>(entry_bytes) -
+                      static_cast<double>(it->second->bytes));
     it->second->value = value;
-    it->second->deadline = deadline;
+    it->second->deadline_ns = deadline_ns;
     it->second->expires = expires;
     it->second->bytes = entry_bytes;
     shard.bytes += entry_bytes;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   } else {
-    shard.lru.push_front(Entry{hashed, value, deadline, expires, entry_bytes});
+    shard.lru.push_front(
+        Entry{hashed, value, deadline_ns, expires, entry_bytes});
     shard.index.emplace(hashed, shard.lru.begin());
     shard.bytes += entry_bytes;
-    insertions_.fetch_add(1, std::memory_order_relaxed);
+    bytes_gauge_->Add(static_cast<double>(entry_bytes));
+    insertions_->Inc();
   }
   // Evict LRU entries until both budgets hold. The freshly-touched entry is
   // at the front and (having passed admission) fits the byte budget alone,
@@ -146,13 +165,14 @@ void ResultCache::Insert(const ResultCacheKey& key,
          shard.lru.size() > 1) {
     auto victim = shard.index.find(shard.lru.back().key);
     RemoveEntry(shard, victim);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_->Inc();
   }
 }
 
 void ResultCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
+    bytes_gauge_->Add(-static_cast<double>(shard->bytes));
     shard->lru.clear();
     shard->index.clear();
     shard->bytes = 0;
@@ -161,13 +181,13 @@ void ResultCache::Clear() {
 
 ResultCacheStats ResultCache::Stats() const {
   ResultCacheStats stats;
-  stats.hits = hits_.load(std::memory_order_relaxed);
-  stats.negative_hits = negative_hits_.load(std::memory_order_relaxed);
-  stats.misses = misses_.load(std::memory_order_relaxed);
-  stats.insertions = insertions_.load(std::memory_order_relaxed);
-  stats.evictions = evictions_.load(std::memory_order_relaxed);
-  stats.expired = expired_.load(std::memory_order_relaxed);
-  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.hits = hits_->Value();
+  stats.negative_hits = negative_hits_->Value();
+  stats.misses = misses_->Value();
+  stats.insertions = insertions_->Value();
+  stats.evictions = evictions_->Value();
+  stats.expired = expired_->Value();
+  stats.rejected = rejected_->Value();
   stats.bytes_in_use = bytes_in_use();
   return stats;
 }

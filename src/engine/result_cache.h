@@ -1,7 +1,5 @@
 #pragma once
 
-#include <atomic>
-#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -12,6 +10,7 @@
 #include <vector>
 
 #include "graph/uncertain_graph.h"
+#include "obs/metrics.h"
 #include "reliability/estimator_factory.h"
 #include "reliability/workload.h"
 
@@ -100,9 +99,12 @@ class ResultCache {
   /// `capacity` = total entries across all shards (>= 1 enforced);
   /// `num_shards` is rounded up to a power of two; `max_bytes` = total
   /// charged-byte budget across all shards (0 = unlimited, entry-count
-  /// eviction only).
+  /// eviction only). `registry` (optional, not owned, must outlive the
+  /// cache) receives the result_cache_* instruments so one engine-wide
+  /// scrape covers the cache; when nullptr a private registry is owned.
   explicit ResultCache(size_t capacity, size_t num_shards = 8,
-                       size_t max_bytes = 0);
+                       size_t max_bytes = 0,
+                       obs::MetricsRegistry* registry = nullptr);
 
   /// Charged bytes for caching `value`: the entry framing plus the ranked-
   /// target payload and any status message.
@@ -141,8 +143,6 @@ class ResultCache {
   size_t num_shards() const { return shards_.size(); }
 
  private:
-  using Clock = std::chrono::steady_clock;
-
   /// Key paired with its precomputed hash: Hash() runs once per cache
   /// operation (shard pick + map probe reuse it).
   struct HashedKey {
@@ -152,8 +152,9 @@ class ResultCache {
   struct Entry {
     HashedKey key;
     ResultCacheValue value;
-    /// Expiry deadline; meaningful only when `expires` is true.
-    Clock::time_point deadline;
+    /// Expiry deadline as an absolute StopwatchNs::Now() reading;
+    /// meaningful only when `expires` is true.
+    uint64_t deadline_ns = 0;
     bool expires = false;
     /// Charged bytes (EntryBytes at insertion), subtracted on removal.
     size_t bytes = 0;
@@ -184,21 +185,25 @@ class ResultCache {
   }
 
   /// Removes `it`'s entry from `shard` (caller holds the shard mutex).
-  static void RemoveEntry(
-      Shard& shard,
-      std::unordered_map<HashedKey, std::list<Entry>::iterator, KeyHash,
-                         KeyEq>::iterator it);
+  void RemoveEntry(Shard& shard,
+                   std::unordered_map<HashedKey, std::list<Entry>::iterator,
+                                      KeyHash, KeyEq>::iterator it);
 
   size_t capacity_;
   size_t max_bytes_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> negative_hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> insertions_{0};
-  std::atomic<uint64_t> evictions_{0};
-  std::atomic<uint64_t> expired_{0};
-  std::atomic<uint64_t> rejected_{0};
+  /// Private fallback when no shared registry was handed in.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::Counter* hits_;
+  obs::Counter* negative_hits_;
+  obs::Counter* misses_;
+  obs::Counter* insertions_;
+  obs::Counter* evictions_;
+  obs::Counter* expired_;
+  obs::Counter* rejected_;
+  /// Live charged-byte occupancy, mirrored for scrapes (the exact value is
+  /// still summed from the shards in Stats()).
+  obs::Gauge* bytes_gauge_;
 };
 
 }  // namespace relcomp

@@ -13,19 +13,36 @@ uint64_t SweepCacheKey::Hash() const {
   return h;
 }
 
-SweepCache::SweepCache(size_t max_bytes)
-    : max_bytes_(max_bytes == 0 ? 1 : max_bytes) {}
+SweepCache::SweepCache(size_t max_bytes, obs::MetricsRegistry* registry)
+    : max_bytes_(max_bytes == 0 ? 1 : max_bytes) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  hits_ = registry->GetCounter("sweep_cache_hits_total");
+  misses_ = registry->GetCounter("sweep_cache_misses_total");
+  insertions_ = registry->GetCounter("sweep_cache_insertions_total");
+  evictions_ = registry->GetCounter("sweep_cache_evictions_total");
+  rejected_ = registry->GetCounter("sweep_cache_rejected_total");
+  bytes_gauge_ = registry->GetGauge("sweep_cache_bytes");
+  entries_gauge_ = registry->GetGauge("sweep_cache_entries");
+}
+
+void SweepCache::SyncGaugesLocked() {
+  bytes_gauge_->Set(static_cast<double>(bytes_in_use_));
+  entries_gauge_->Set(static_cast<double>(lru_.size()));
+}
 
 std::shared_ptr<const std::vector<double>> SweepCache::Lookup(
     const SweepCacheKey& key, bool record_stats) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = index_.find(key);
   if (it == index_.end()) {
-    if (record_stats) misses_.fetch_add(1, std::memory_order_relaxed);
+    if (record_stats) misses_->Inc();
     return nullptr;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
-  if (record_stats) hits_.fetch_add(1, std::memory_order_relaxed);
+  if (record_stats) hits_->Inc();
   return it->second->sweep;
 }
 
@@ -40,7 +57,7 @@ void SweepCache::Insert(const SweepCacheKey& key,
   const size_t bytes = SweepBytes(*sweep);
   if (bytes > max_bytes_) {
     // Oversized: admitting it would flush the whole cache for one entry.
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_->Inc();
     return;
   }
   std::lock_guard<std::mutex> lock(mutex_);
@@ -55,7 +72,7 @@ void SweepCache::Insert(const SweepCacheKey& key,
     lru_.push_front(Entry{key, std::move(sweep), bytes});
     index_.emplace(key, lru_.begin());
     bytes_in_use_ += bytes;
-    insertions_.fetch_add(1, std::memory_order_relaxed);
+    insertions_->Inc();
   }
   // Evict LRU sweeps until the budget holds (never the one just touched:
   // bytes <= max_bytes_ guarantees the loop stops at size 1 at the latest).
@@ -64,8 +81,9 @@ void SweepCache::Insert(const SweepCacheKey& key,
     bytes_in_use_ -= victim.bytes;
     index_.erase(victim.key);
     lru_.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_->Inc();
   }
+  SyncGaugesLocked();
 }
 
 void SweepCache::Clear() {
@@ -73,15 +91,16 @@ void SweepCache::Clear() {
   lru_.clear();
   index_.clear();
   bytes_in_use_ = 0;
+  SyncGaugesLocked();
 }
 
 SweepCacheStats SweepCache::Stats() const {
   SweepCacheStats stats;
-  stats.hits = hits_.load(std::memory_order_relaxed);
-  stats.misses = misses_.load(std::memory_order_relaxed);
-  stats.insertions = insertions_.load(std::memory_order_relaxed);
-  stats.evictions = evictions_.load(std::memory_order_relaxed);
-  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.hits = hits_->Value();
+  stats.misses = misses_->Value();
+  stats.insertions = insertions_->Value();
+  stats.evictions = evictions_->Value();
+  stats.rejected = rejected_->Value();
   std::lock_guard<std::mutex> lock(mutex_);
   stats.bytes_in_use = bytes_in_use_;
   stats.entries = lru_.size();

@@ -1,6 +1,5 @@
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -10,6 +9,7 @@
 #include <vector>
 
 #include "graph/uncertain_graph.h"
+#include "obs/metrics.h"
 #include "reliability/estimator_factory.h"
 
 namespace relcomp {
@@ -71,7 +71,10 @@ struct SweepCacheStats {
 class SweepCache {
  public:
   /// `max_bytes` counts payload bytes (vector data); >= 1 enforced.
-  explicit SweepCache(size_t max_bytes);
+  /// `registry` (optional, not owned, must outlive the cache) receives the
+  /// sweep_cache_* instruments; when nullptr a private registry is owned.
+  explicit SweepCache(size_t max_bytes,
+                      obs::MetricsRegistry* registry = nullptr);
 
   /// Returns the memoized sweep and refreshes its recency, or nullptr.
   /// `record_stats` = false makes the probe invisible to Stats() — for the
@@ -115,16 +118,24 @@ class SweepCache {
     }
   };
 
+  /// Updates the occupancy gauges from the locked fields (caller holds
+  /// mutex_).
+  void SyncGaugesLocked();
+
   const size_t max_bytes_;
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  ///< front = most recent
   std::unordered_map<SweepCacheKey, std::list<Entry>::iterator, KeyHash> index_;
   size_t bytes_in_use_ = 0;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> insertions_{0};
-  std::atomic<uint64_t> evictions_{0};
-  std::atomic<uint64_t> rejected_{0};
+  /// Private fallback when no shared registry was handed in.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* insertions_;
+  obs::Counter* evictions_;
+  obs::Counter* rejected_;
+  obs::Gauge* bytes_gauge_;
+  obs::Gauge* entries_gauge_;
 };
 
 }  // namespace relcomp

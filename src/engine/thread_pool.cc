@@ -1,9 +1,13 @@
 #include "engine/thread_pool.h"
 
+#include "common/timer.h"
+
 namespace relcomp {
 
-ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
-    : queue_capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
+ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity,
+                       obs::Histogram* queue_wait)
+    : queue_capacity_(queue_capacity == 0 ? 1 : queue_capacity),
+      queue_wait_(queue_wait) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -22,7 +26,7 @@ Status ThreadPool::Submit(Task task) {
     if (shutdown_) {
       return Status::FailedPrecondition("ThreadPool is shut down");
     }
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), StopwatchNs::Now()});
   }
   task_ready_.notify_one();
   return Status::OK();
@@ -37,7 +41,7 @@ Status ThreadPool::TrySubmit(Task task) {
     if (queue_.size() >= queue_capacity_) {
       return Status::Unavailable("ThreadPool queue is full");
     }
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), StopwatchNs::Now()});
   }
   task_ready_.notify_one();
   return Status::OK();
@@ -67,7 +71,7 @@ void ThreadPool::Shutdown() {
 
 void ThreadPool::WorkerLoop(size_t worker_id) {
   for (;;) {
-    Task task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       task_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -80,7 +84,11 @@ void ThreadPool::WorkerLoop(size_t worker_id) {
       ++active_workers_;
     }
     space_ready_.notify_one();
-    task(worker_id);
+    if (queue_wait_ != nullptr) {
+      const uint64_t now = StopwatchNs::Now();
+      queue_wait_->Record(now > task.enqueue_ns ? now - task.enqueue_ns : 0);
+    }
+    task.task(worker_id);
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --active_workers_;

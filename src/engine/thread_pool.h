@@ -2,6 +2,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace relcomp {
 
@@ -26,8 +28,12 @@ class ThreadPool {
  public:
   using Task = std::function<void(size_t worker_id)>;
 
-  /// Spawns `num_threads` workers (clamped to >= 1).
-  ThreadPool(size_t num_threads, size_t queue_capacity = 1024);
+  /// Spawns `num_threads` workers (clamped to >= 1). `queue_wait` (optional,
+  /// not owned, must outlive the pool) receives each task's enqueue-to-
+  /// dequeue wait in nanoseconds — the engine wires it to
+  /// engine_stage_latency_ns{stage="queue_wait"}.
+  ThreadPool(size_t num_threads, size_t queue_capacity = 1024,
+             obs::Histogram* queue_wait = nullptr);
 
   /// Drains outstanding tasks, then joins the workers.
   ~ThreadPool();
@@ -55,14 +61,21 @@ class ThreadPool {
   size_t queue_capacity() const { return queue_capacity_; }
 
  private:
+  /// Task plus its Submit() timestamp, so dequeue can record queue wait.
+  struct QueuedTask {
+    Task task;
+    uint64_t enqueue_ns = 0;
+  };
+
   void WorkerLoop(size_t worker_id);
 
   const size_t queue_capacity_;
+  obs::Histogram* const queue_wait_;  ///< may be nullptr (no recording)
   std::mutex mutex_;
   std::condition_variable task_ready_;   ///< queue gained a task / shutdown
   std::condition_variable space_ready_;  ///< queue lost a task
   std::condition_variable all_idle_;     ///< queue empty and no task running
-  std::deque<Task> queue_;
+  std::deque<QueuedTask> queue_;
   size_t active_workers_ = 0;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;

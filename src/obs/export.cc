@@ -1,0 +1,195 @@
+// Exporters over the MetricsRegistry: one-scrape JSON and Prometheus text
+// exposition. Kept out of metrics.cc so the hot-path instrument code never
+// pulls string formatting into its translation unit.
+
+#include <string>
+
+#include "common/format.h"
+#include "obs/metrics.h"
+
+namespace relcomp::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += StrFormat("\\u%04x", c);
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// `{"name":"x","labels":{"k":"v"}` prefix shared by every instrument line.
+std::string JsonHead(const std::string& name, const std::string& label_key,
+                     const std::string& label_value) {
+  std::string out = StrFormat("{\"name\":\"%s\"", JsonEscape(name).c_str());
+  if (!label_key.empty()) {
+    out += StrFormat(",\"labels\":{\"%s\":\"%s\"}",
+                     JsonEscape(label_key).c_str(),
+                     JsonEscape(label_value).c_str());
+  }
+  return out;
+}
+
+/// `name{key="value"}` Prometheus series name (extra label appended inside
+/// the braces when `extra` is non-empty).
+std::string PromSeries(const std::string& name, const std::string& label_key,
+                       const std::string& label_value,
+                       const std::string& extra = "") {
+  std::string labels;
+  if (!label_key.empty()) {
+    labels = StrFormat("%s=\"%s\"", label_key.c_str(), label_value.c_str());
+  }
+  if (!extra.empty()) {
+    if (!labels.empty()) labels += ",";
+    labels += extra;
+  }
+  if (labels.empty()) return name;
+  return name + "{" + labels + "}";
+}
+
+std::string FormatDouble(double value) {
+  // Shortest-ish stable form: integers print without a fraction.
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      value > -1e15 && value < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(value));
+  }
+  return StrFormat("%.9g", value);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ExportJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"counters\": [";
+  bool first = true;
+  for (const auto& [key, counter] : counters_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += JsonHead(key.name, key.label_key, key.label_value);
+    out += StrFormat(",\"value\":%llu}",
+                     static_cast<unsigned long long>(counter->Value()));
+  }
+  out += "\n  ],\n  \"gauges\": [";
+  first = true;
+  for (const auto& [key, gauge] : gauges_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += JsonHead(key.name, key.label_key, key.label_value);
+    out += StrFormat(",\"value\":%s}", FormatDouble(gauge->Value()).c_str());
+  }
+  out += "\n  ],\n  \"histograms\": [";
+  first = true;
+  for (const auto& [key, histogram] : histograms_) {
+    const HistogramSnapshot snapshot = histogram->Snapshot();
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += JsonHead(key.name, key.label_key, key.label_value);
+    out += StrFormat(
+        ",\"count\":%llu,\"sum\":%llu,\"min\":%llu,\"max\":%llu,"
+        "\"mean\":%s,\"p50\":%llu,\"p90\":%llu,\"p95\":%llu,\"p99\":%llu",
+        static_cast<unsigned long long>(snapshot.count),
+        static_cast<unsigned long long>(snapshot.sum),
+        static_cast<unsigned long long>(snapshot.min),
+        static_cast<unsigned long long>(snapshot.max),
+        FormatDouble(snapshot.mean()).c_str(),
+        static_cast<unsigned long long>(snapshot.Quantile(0.50)),
+        static_cast<unsigned long long>(snapshot.Quantile(0.90)),
+        static_cast<unsigned long long>(snapshot.Quantile(0.95)),
+        static_cast<unsigned long long>(snapshot.Quantile(0.99)));
+    // Sparse buckets: only non-empty ones, as (upper bound, count) pairs.
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (uint32_t i = 0; i < snapshot.buckets.size(); ++i) {
+      if (snapshot.buckets[i] == 0) continue;
+      const uint64_t upper =
+          Histogram::BucketLowerBound(i) + Histogram::BucketWidth(i) - 1;
+      out += StrFormat("%s{\"le\":%llu,\"count\":%llu}",
+                       first_bucket ? "" : ",",
+                       static_cast<unsigned long long>(upper),
+                       static_cast<unsigned long long>(snapshot.buckets[i]));
+      first_bucket = false;
+    }
+    out += "]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string MetricsRegistry::ExportText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  // Families sharing a name emit one # TYPE line (maps are name-sorted).
+  std::string last_typed;
+  for (const auto& [key, counter] : counters_) {
+    if (key.name != last_typed) {
+      out += StrFormat("# TYPE %s counter\n", key.name.c_str());
+      last_typed = key.name;
+    }
+    out += StrFormat(
+        "%s %llu\n",
+        PromSeries(key.name, key.label_key, key.label_value).c_str(),
+        static_cast<unsigned long long>(counter->Value()));
+  }
+  last_typed.clear();
+  for (const auto& [key, gauge] : gauges_) {
+    if (key.name != last_typed) {
+      out += StrFormat("# TYPE %s gauge\n", key.name.c_str());
+      last_typed = key.name;
+    }
+    out += StrFormat(
+        "%s %s\n",
+        PromSeries(key.name, key.label_key, key.label_value).c_str(),
+        FormatDouble(gauge->Value()).c_str());
+  }
+  last_typed.clear();
+  for (const auto& [key, histogram] : histograms_) {
+    if (key.name != last_typed) {
+      out += StrFormat("# TYPE %s histogram\n", key.name.c_str());
+      last_typed = key.name;
+    }
+    const HistogramSnapshot snapshot = histogram->Snapshot();
+    // Cumulative le buckets, non-empty ones only, then the +Inf / sum /
+    // count triplet Prometheus requires.
+    uint64_t cumulative = 0;
+    for (uint32_t i = 0; i < snapshot.buckets.size(); ++i) {
+      if (snapshot.buckets[i] == 0) continue;
+      cumulative += snapshot.buckets[i];
+      const uint64_t upper =
+          Histogram::BucketLowerBound(i) + Histogram::BucketWidth(i) - 1;
+      out += StrFormat(
+          "%s %llu\n",
+          PromSeries(key.name + "_bucket", key.label_key, key.label_value,
+                     StrFormat("le=\"%llu\"",
+                               static_cast<unsigned long long>(upper)))
+              .c_str(),
+          static_cast<unsigned long long>(cumulative));
+    }
+    out += StrFormat(
+        "%s %llu\n",
+        PromSeries(key.name + "_bucket", key.label_key, key.label_value,
+                   "le=\"+Inf\"")
+            .c_str(),
+        static_cast<unsigned long long>(snapshot.count));
+    out += StrFormat(
+        "%s %llu\n",
+        PromSeries(key.name + "_sum", key.label_key, key.label_value).c_str(),
+        static_cast<unsigned long long>(snapshot.sum));
+    out += StrFormat(
+        "%s %llu\n",
+        PromSeries(key.name + "_count", key.label_key, key.label_value)
+            .c_str(),
+        static_cast<unsigned long long>(snapshot.count));
+  }
+  return out;
+}
+
+}  // namespace relcomp::obs

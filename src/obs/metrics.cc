@@ -1,0 +1,120 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+
+namespace relcomp::obs {
+
+size_t ThreadShardSlot() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+uint32_t Histogram::BucketIndex(uint64_t value) {
+  if (value < 16) return static_cast<uint32_t>(value);
+  const int exponent = 63 - __builtin_clzll(value);
+  return static_cast<uint32_t>(8 + (exponent - 3) * 8 +
+                               ((value >> (exponent - 3)) & 7));
+}
+
+uint64_t Histogram::BucketLowerBound(uint32_t index) {
+  if (index < 16) return index;
+  const uint32_t exponent = 3 + (index - 8) / 8;
+  const uint32_t sub = (index - 8) % 8;
+  return (uint64_t{8} + sub) << (exponent - 3);
+}
+
+uint64_t Histogram::BucketWidth(uint32_t index) {
+  if (index < 16) return 1;
+  return uint64_t{1} << ((index - 8) / 8);
+}
+
+uint64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (uint32_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      // Midpoint of the bucket, clamped to the exact extremes: the true
+      // value lies in [lower, lower + width), so the estimate is off by at
+      // most half the bucket width (<= 1/16 relative).
+      uint64_t value =
+          Histogram::BucketLowerBound(i) + (Histogram::BucketWidth(i) - 1) / 2;
+      if (value < min) value = min;
+      if (value > max) value = max;
+      return value;
+    }
+  }
+  return max;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.buckets.assign(kBuckets, 0);
+  uint64_t min_seen = ~uint64_t{0};
+  for (const Shard& shard : shards_) {
+    snapshot.count += shard.count.load(std::memory_order_relaxed);
+    snapshot.sum += shard.sum.load(std::memory_order_relaxed);
+    const uint64_t shard_min = shard.min.load(std::memory_order_relaxed);
+    if (shard_min < min_seen) min_seen = shard_min;
+    const uint64_t shard_max = shard.max.load(std::memory_order_relaxed);
+    if (shard_max > snapshot.max) snapshot.max = shard_max;
+    for (uint32_t i = 0; i < kBuckets; ++i) {
+      snapshot.buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  snapshot.min = snapshot.count == 0 ? 0 : min_seen;
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+    shard.min.store(~uint64_t{0}, std::memory_order_relaxed);
+    shard.max.store(0, std::memory_order_relaxed);
+    for (std::atomic<uint64_t>& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view label_key,
+                                     std::string_view label_value) {
+  const Key key{std::string(name), std::string(label_key),
+                std::string(label_value)};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = counters_.try_emplace(key);
+  if (inserted) it->second = std::make_unique<Counter>();
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view label_key,
+                                 std::string_view label_value) {
+  const Key key{std::string(name), std::string(label_key),
+                std::string(label_value)};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = gauges_.try_emplace(key);
+  if (inserted) it->second = std::make_unique<Gauge>();
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view label_key,
+                                         std::string_view label_value) {
+  const Key key{std::string(name), std::string(label_key),
+                std::string(label_value)};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = histograms_.try_emplace(key);
+  if (inserted) it->second = std::make_unique<Histogram>();
+  return it->second.get();
+}
+
+}  // namespace relcomp::obs

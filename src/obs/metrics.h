@@ -1,0 +1,215 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace relcomp::obs {
+
+/// Stable per-thread shard slot: each thread gets a small integer once and
+/// keeps it forever, so instrument shards see (mostly) disjoint writers.
+size_t ThreadShardSlot();
+
+/// \brief Monotonic counter, sharded across cache lines so concurrent
+/// increments from many workers do not serialize on one atomic.
+///
+/// Inc() is one relaxed fetch_add on (usually) the calling thread's own
+/// cache line; Value() merges the shards. Thread-safe throughout.
+class Counter {
+ public:
+  static constexpr size_t kShards = 8;
+
+  void Inc(uint64_t delta = 1) {
+    shards_[ThreadShardSlot() % kShards].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Zeroes every shard. Not atomic with respect to concurrent Inc() calls;
+  /// callers reset between batches, like EngineStats::Reset always has.
+  void Reset() {
+    for (Shard& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// \brief Point-in-time double value with Set / Add / SetMax updates.
+/// All updates are lock-free CAS loops; thread-safe throughout.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Monotone high-water update (peak memory style).
+  void SetMax(double value) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (value > current &&
+           !value_.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Merged view of one Histogram at scrape time; quantiles are computed here
+/// so one merge serves any number of quantile reads.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  ///< exact smallest recorded value (0 when empty)
+  uint64_t max = 0;  ///< exact largest recorded value (0 when empty)
+  std::vector<uint64_t> buckets;  ///< merged per-bucket counts
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Nearest-rank quantile (q in [0, 1]) read from the log buckets: the
+  /// midpoint of the bucket holding the rank, clamped to the exact tracked
+  /// [min, max] so Quantile(1.0) == max and quantile order can never invert
+  /// against the exact extremes. Relative error is bounded by the bucket
+  /// half-width: <= 1/16 of the value.
+  uint64_t Quantile(double q) const;
+};
+
+/// \brief Fixed-size log-bucketed histogram of non-negative uint64 values
+/// (nanoseconds by convention; bytes work equally).
+///
+/// Buckets: values 0..15 are exact; above that, 8 sub-buckets per power of
+/// two (relative width 1/8), 496 buckets total covering the full uint64
+/// range — no configuration, no allocation after construction, O(1) Record.
+/// Shards per thread group keep Record contention low; Snapshot() merges.
+class Histogram {
+ public:
+  static constexpr size_t kShards = 4;
+  static constexpr uint32_t kBuckets = 496;
+
+  /// O(1), lock-free, allocation-free: one bucket fetch_add plus the
+  /// count/sum/min/max bookkeeping on the calling thread's shard.
+  void Record(uint64_t value) {
+    Shard& shard = shards_[ThreadShardSlot() % kShards];
+    shard.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+    uint64_t seen = shard.min.load(std::memory_order_relaxed);
+    while (value < seen && !shard.min.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
+    seen = shard.max.load(std::memory_order_relaxed);
+    while (value > seen && !shard.max.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Seconds convenience for latency call sites: records whole nanoseconds
+  /// (negative inputs clamp to 0).
+  void RecordSeconds(double seconds) {
+    Record(seconds <= 0.0 ? 0 : static_cast<uint64_t>(seconds * 1e9));
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Zeroes everything; same non-atomicity caveat as Counter::Reset.
+  void Reset();
+
+  /// The bucket that holds `value`.
+  static uint32_t BucketIndex(uint64_t value);
+  /// Smallest value mapping to bucket `index`.
+  static uint64_t BucketLowerBound(uint32_t index);
+  /// Number of distinct values mapping to bucket `index`.
+  static uint64_t BucketWidth(uint32_t index);
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> min{~uint64_t{0}};
+    std::atomic<uint64_t> max{0};
+    std::atomic<uint64_t> buckets[kBuckets]{};
+  };
+  Shard shards_[kShards];
+};
+
+/// \brief Process-scoped owner of named instruments.
+///
+/// GetCounter / GetGauge / GetHistogram create on first use and return the
+/// same stable pointer forever after (instruments are never destroyed before
+/// the registry), so hot paths resolve their instruments once at
+/// construction time and record through raw pointers. Names follow the
+/// Prometheus convention ([a-z0-9_], `_total` counters, `_ns` / `_bytes`
+/// units); an instrument may carry one label pair, and equal names with
+/// different label values form a family (e.g. engine_queries_total by
+/// workload). Thread-safe; lookup takes a mutex, recording does not.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(std::string_view name, std::string_view label_key = {},
+                      std::string_view label_value = {});
+  Gauge* GetGauge(std::string_view name, std::string_view label_key = {},
+                  std::string_view label_value = {});
+  Histogram* GetHistogram(std::string_view name,
+                          std::string_view label_key = {},
+                          std::string_view label_value = {});
+
+  /// One machine-readable scrape of every instrument: counters, gauges, and
+  /// histograms (count / sum / min / max / mean / p50 / p90 / p95 / p99 plus
+  /// the non-empty buckets). Implemented in obs/export.cc.
+  std::string ExportJson() const;
+
+  /// Prometheus text exposition format (# TYPE lines, cumulative `le`
+  /// buckets, `_sum` / `_count` series). Implemented in obs/export.cc.
+  std::string ExportText() const;
+
+ private:
+  /// Full instrument identity; std::map keeps export order stable.
+  struct Key {
+    std::string name;
+    std::string label_key;
+    std::string label_value;
+
+    bool operator<(const Key& other) const {
+      if (name != other.name) return name < other.name;
+      if (label_key != other.label_key) return label_key < other.label_key;
+      return label_value < other.label_value;
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace relcomp::obs

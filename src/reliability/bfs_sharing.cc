@@ -325,6 +325,8 @@ Result<std::vector<uint32_t>> BfsSharingEstimator::EstimateSweepStratumHits(
   }
   // Stratum j owns the world slice [offset, offset + count) of the budget's
   // [0, K) range; slice counts sum exactly to the whole-range counts.
+  obs::ScopedSpan bfs_span(options.trace, obs::SpanKind::kBfs,
+                           options.trace_parent, stratum);
   return SourceHitCountsInWorldRange(
       source, StratumSampleOffset(options.num_samples, num_strata, stratum),
       StratumSampleCount(options.num_samples, num_strata, stratum),

@@ -203,6 +203,8 @@ class BfsSharingEstimator : public Estimator {
   bool SupportsSourceSweep() const override { return true; }
   Result<std::vector<double>> EstimateFromSource(
       NodeId source, const EstimateOptions& options) override {
+    obs::ScopedSpan bfs_span(options.trace, obs::SpanKind::kBfs,
+                             options.trace_parent);
     return ReliabilityFromSource(source, options.num_samples, options.memory);
   }
 

@@ -7,6 +7,7 @@
 #include "common/memory_tracker.h"
 #include "common/status.h"
 #include "graph/uncertain_graph.h"
+#include "obs/trace.h"
 
 namespace relcomp {
 
@@ -42,6 +43,15 @@ struct EstimateOptions {
   /// internally and reports through EstimateResult instead. Never part of
   /// the determinism contract: results are identical with or without it.
   MemoryTracker* memory = nullptr;
+  /// Optional per-query trace collector (engine-owned). Estimator cores that
+  /// do stage-shaped work (MC sample loops, BFS Sharing world slices) emit
+  /// kSample / kBfs spans into it, parented under `trace_parent`. Like
+  /// `memory`, never part of the determinism contract: results are
+  /// bit-identical with tracing on or off.
+  obs::TraceBuffer* trace = nullptr;
+  /// Span id in `trace` the estimator's spans attach under
+  /// (obs::TraceBuffer::kNone = root).
+  uint32_t trace_parent = obs::TraceBuffer::kNone;
 };
 
 /// \brief Outcome of one estimation call.

@@ -120,6 +120,9 @@ Result<std::vector<double>> MonteCarloEstimator::EstimateFromSource(
       options.memory,
       graph_.num_nodes() * (3 * sizeof(uint32_t) + sizeof(double)));
   ReserveSweepEpochs(options.num_samples);
+  // Trace the sampling loop itself (validation and scratch setup excluded).
+  obs::ScopedSpan sample_span(options.trace, obs::SpanKind::kSample,
+                              options.trace_parent, options.num_strata);
   StratifiedSweepHits(graph_, source, options.num_samples, options.seed,
                       options.num_strata, sweep_hits_, sweep_epoch_,
                       sweep_queue_, sweep_epoch_base_);
@@ -142,6 +145,8 @@ Result<std::vector<uint32_t>> MonteCarloEstimator::EstimateSweepStratumHits(
       StratumSampleCount(options.num_samples, num_strata, stratum);
   if (samples > 0) {
     ReserveSweepEpochs(samples);
+    obs::ScopedSpan sample_span(options.trace, obs::SpanKind::kSample,
+                                options.trace_parent, stratum);
     AccumulateSweepHits(graph_, source, samples,
                         StratumSeed(options.seed, stratum, num_strata), hits,
                         sweep_epoch_, sweep_queue_, sweep_epoch_base_);
