@@ -2,7 +2,7 @@
 // QueryEngine at 1, 2, 4, ... worker threads, with the result cache off
 // (every query computes) and then on (repeats served from cache).
 //
-// The exit code enforces six invariants — this bench is the CI smoke gate:
+// The exit code enforces eight invariants — this bench is the CI smoke gate:
 //   1. every thread count returns bit-identical estimates;
 //   2. QueryEngine::Create(kBfsSharing, 8 threads) builds the edge
 //      bit-vector index exactly once (shared across replicas), and the
@@ -26,7 +26,14 @@
 //      (trace_sample_rate = 1) answers bit-identically to the untraced run,
 //      and its best-of-3 throughput stays >= 0.95x the untraced best —
 //      the throughput floor gated only on hosts with >= 8 hardware threads
-//      (timing on oversubscribed runners is noise).
+//      (timing on oversubscribed runners is noise);
+//   8. succinct storage: the compact graph layout (rank/select offsets,
+//      packed adjacency, dictionary-coded probabilities) holds resident
+//      bytes <= 0.6x the raw CSR, answers a BFS-Sharing sweep mix
+//      bit-identically to the raw layout at 1/2/8 threads, and sustains
+//      >= 0.9x the raw layout's best-of-3 sweep throughput — the byte and
+//      bit-identity gates always enforced, the throughput floor only on
+//      hosts with >= 8 hardware threads.
 // Scaling (the 1-vs-4-thread speedup) is reported but not gated: it depends
 // on the host's real core count, and this bench must stay green on
 // single-core CI runners.
@@ -48,6 +55,7 @@
 #include "engine/query_engine.h"
 #include "eval/query_gen.h"
 #include "graph/datasets.h"
+#include "graph/graph_builder.h"
 #include "reliability/bfs_sharing.h"
 #include "reliability/reliable_set.h"
 #include "reliability/top_k.h"
@@ -129,9 +137,12 @@ bool WriteJson(const std::string& path, const std::string& dataset,
                const EngineStatsSnapshot& strata_snapshot,
                double strata_wall_1thread, double strata_wall_8threads,
                double untraced_qps, double traced_qps, bool trace_gated,
+               size_t storage_raw_bytes, size_t storage_compact_bytes,
+               size_t storage_num_edges, double storage_raw_qps,
+               double storage_compact_qps, bool storage_gated,
                const std::string& stages_json, bool identical,
                bool shared_index_ok, bool mixed_ok, bool sweep_ok,
-               bool strata_ok, bool trace_ok) {
+               bool strata_ok, bool trace_ok, bool storage_ok) {
   FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "warning: cannot open %s for JSON export\n",
@@ -147,17 +158,36 @@ bool WriteJson(const std::string& path, const std::string& dataset,
   std::fprintf(out,
                "  \"gates\": {\"bit_identical\": %s, \"shared_index\": %s, "
                "\"mixed_workload\": %s, \"sweep_sharing\": %s, "
-               "\"stratified_parallel\": %s, \"tracing_overhead\": %s},\n",
+               "\"stratified_parallel\": %s, \"tracing_overhead\": %s, "
+               "\"storage\": %s},\n",
                identical ? "true" : "false",
                shared_index_ok ? "true" : "false", mixed_ok ? "true" : "false",
                sweep_ok ? "true" : "false", strata_ok ? "true" : "false",
-               trace_ok ? "true" : "false");
+               trace_ok ? "true" : "false", storage_ok ? "true" : "false");
   std::fprintf(out,
                "  \"tracing\": {\"untraced_qps\": %.1f, \"traced_qps\": %.1f, "
                "\"overhead_ratio\": %.4f, \"floor_gated\": %s},\n",
                untraced_qps, traced_qps,
                untraced_qps > 0.0 ? traced_qps / untraced_qps : 0.0,
                trace_gated ? "true" : "false");
+  const double edges = static_cast<double>(storage_num_edges);
+  std::fprintf(
+      out,
+      "  \"storage\": {\"raw_bytes\": %zu, \"compact_bytes\": %zu, "
+      "\"bytes_ratio\": %.4f, \"raw_bytes_per_edge\": %.2f, "
+      "\"compact_bytes_per_edge\": %.2f, \"raw_sweep_qps\": %.1f, "
+      "\"compact_sweep_qps\": %.1f, \"throughput_ratio\": %.4f, "
+      "\"floor_gated\": %s},\n",
+      storage_raw_bytes, storage_compact_bytes,
+      storage_raw_bytes > 0
+          ? static_cast<double>(storage_compact_bytes) /
+                static_cast<double>(storage_raw_bytes)
+          : 0.0,
+      edges > 0.0 ? static_cast<double>(storage_raw_bytes) / edges : 0.0,
+      edges > 0.0 ? static_cast<double>(storage_compact_bytes) / edges : 0.0,
+      storage_raw_qps, storage_compact_qps,
+      storage_raw_qps > 0.0 ? storage_compact_qps / storage_raw_qps : 0.0,
+      storage_gated ? "true" : "false");
   std::fprintf(out, "  \"stages\": %s,\n",
                stages_json.empty() ? "{}" : stages_json.c_str());
   std::fprintf(
@@ -678,6 +708,117 @@ int main(int argc, char** argv) {
         trace_ok ? "pass" : "FAIL — TRACING PERTURBED THE ENGINE");
   }
 
+  // Succinct-storage gate: re-materialize the dataset in the compact layout
+  // (rank/select offsets, packed adjacency columns, dictionary-coded
+  // probabilities) and hold it to three invariants: (a) resident bytes
+  // <= 0.6x the raw CSR; (b) a BFS-Sharing sweep mix answers bit-identically
+  // to the raw layout at 1/2/8 threads; (c) best-of-3 sweep throughput
+  // >= 0.9x the raw layout's. (a) and (b) are deterministic and always
+  // enforced; the throughput floor follows the standing timing policy and is
+  // gated only on hosts with >= 8 hardware threads.
+  bool storage_ok = true;
+  size_t storage_raw_bytes = 0;
+  size_t storage_compact_bytes = 0;
+  double storage_raw_qps = 0.0;
+  double storage_compact_qps = 0.0;
+  bool storage_gated = false;
+  {
+    const unsigned hardware = std::thread::hardware_concurrency();
+    const UncertainGraph& raw_graph = dataset.graph;
+    const UncertainGraph compact_graph = bench::Unwrap(
+        GraphBuilder::FromGraph(raw_graph).Build(StorageLayout::kCompact),
+        "GraphBuilder::Build(kCompact)");
+    storage_raw_bytes = raw_graph.MemoryBytes();
+    storage_compact_bytes = compact_graph.MemoryBytes();
+    const double edges = static_cast<double>(raw_graph.num_edges());
+    const double bytes_ratio =
+        storage_raw_bytes > 0 ? static_cast<double>(storage_compact_bytes) /
+                                    static_cast<double>(storage_raw_bytes)
+                              : 0.0;
+    storage_ok = storage_ok && bytes_ratio <= 0.6;
+
+    // BFS Sharing exercises the packed edge words on every propagation step
+    // — the exact code path the compact index changes. Modest L keeps the
+    // repeated index builds cheap; bit-identity is independent of L.
+    EngineOptions options = base;
+    options.kind = EstimatorKind::kBfsSharing;
+    options.num_samples = std::max(64u, std::min(256u, config.max_k));
+    options.factory.bfs_sharing.index_samples = options.num_samples;
+
+    // (b) bit-identity: top-k / reliable-set / s-t sweeps over the workload
+    // sources, raw 1-thread as the reference.
+    std::vector<EngineQuery> mix;
+    for (const ReliabilityQuery& pair : pairs) {
+      if (mix.size() >= 24) break;
+      mix.push_back(EngineQuery::TopK(pair.source, 5));
+      mix.push_back(EngineQuery::ReliableSet(pair.source, 0.2));
+      mix.push_back(EngineQuery::St(pair.source, pair.target));
+    }
+    std::vector<EngineResult> storage_reference;
+    for (const UncertainGraph* graph : {&raw_graph, &compact_graph}) {
+      for (const uint32_t threads : {1u, 2u, 8u}) {
+        EngineOptions run = options;
+        run.num_threads = threads;
+        run.enable_cache = false;
+        auto engine = bench::Unwrap(QueryEngine::Create(*graph, run),
+                                    "QueryEngine::Create(storage)");
+        std::vector<EngineResult> results =
+            bench::Unwrap(engine->RunBatch(mix), "RunBatch(storage)");
+        storage_ok = storage_ok && AllOk(results);
+        if (graph == &raw_graph && threads == 1) {
+          storage_reference = std::move(results);
+        } else {
+          storage_ok = storage_ok && BitIdentical(storage_reference, results);
+        }
+      }
+    }
+
+    // (c) sweep throughput: the s-t pair workload, one shared-BFS sweep per
+    // distinct source. Fresh engine per run so the sweep memo never serves a
+    // repeat across runs.
+    for (const bool compact : {false, true}) {
+      const UncertainGraph& graph = compact ? compact_graph : raw_graph;
+      double& best = compact ? storage_compact_qps : storage_raw_qps;
+      for (int run = 0; run < 3; ++run) {
+        EngineOptions timing = options;
+        timing.num_threads = max_threads;
+        timing.enable_cache = false;
+        auto engine = bench::Unwrap(QueryEngine::Create(graph, timing),
+                                    "QueryEngine::Create(storage timing)");
+        Timer wall;
+        const std::vector<EngineResult> results =
+            bench::Unwrap(engine->RunBatch(pairs), "RunBatch(storage timing)");
+        const double qps =
+            static_cast<double>(pairs.size()) / wall.ElapsedSeconds();
+        storage_ok = storage_ok && AllOk(results);
+        best = std::max(best, qps);
+        if (compact && run == 2) {
+          rows.emplace_back(
+              StrFormat("%u threads, bfs-sharing sweeps, compact layout",
+                        max_threads),
+              engine->StatsSnapshot());
+        }
+      }
+    }
+    const double throughput_ratio =
+        storage_raw_qps > 0.0 ? storage_compact_qps / storage_raw_qps : 0.0;
+    storage_gated = hardware >= 8;
+    if (storage_gated) {
+      storage_ok = storage_ok && throughput_ratio >= 0.9;
+    }
+    std::printf(
+        "succinct-storage gate: raw %s vs compact %s (%.3fx, gated <= 0.6x; "
+        "%.1f vs %.1f bytes/edge); sweep throughput raw %.0f qps vs compact "
+        "%.0f qps (%.3fx, %s >= 0.9x): %s\n",
+        HumanBytes(storage_raw_bytes).c_str(),
+        HumanBytes(storage_compact_bytes).c_str(), bytes_ratio,
+        edges > 0.0 ? static_cast<double>(storage_raw_bytes) / edges : 0.0,
+        edges > 0.0 ? static_cast<double>(storage_compact_bytes) / edges : 0.0,
+        storage_raw_qps, storage_compact_qps, throughput_ratio,
+        storage_gated ? "gated" : "reported only (host < 8 hw threads), not",
+        storage_ok ? "pass" : "FAIL — COMPACT LAYOUT REGRESSED");
+  }
+
   bench::PrintTable(EngineStatsTable(rows), "engine_throughput");
 
   if (!stats_json_path.empty()) {
@@ -745,13 +886,16 @@ int main(int argc, char** argv) {
                   sweep_distinct_sources, sweep_snapshot, strata_snapshot,
                   strata_wall_1thread, strata_wall_8threads, untraced_qps,
                   traced_qps, std::thread::hardware_concurrency() >= 8,
-                  stages_json, identical, shared_index_ok, mixed_ok, sweep_ok,
-                  strata_ok, trace_ok)) {
+                  storage_raw_bytes, storage_compact_bytes,
+                  dataset.graph.num_edges(), storage_raw_qps,
+                  storage_compact_qps, storage_gated, stages_json, identical,
+                  shared_index_ok, mixed_ok, sweep_ok, strata_ok, trace_ok,
+                  storage_ok)) {
       std::printf("JSON results written to %s\n", json_path.c_str());
     }
   }
   return identical && shared_index_ok && mixed_ok && sweep_ok && strata_ok &&
-                 trace_ok
+                 trace_ok && storage_ok
              ? 0
              : 1;
 }

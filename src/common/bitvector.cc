@@ -41,7 +41,7 @@ void BitVector::ClearAll() {
 
 size_t BitVector::Count() const {
   size_t count = 0;
-  for (uint64_t w : words_) count += static_cast<size_t>(std::popcount(w));
+  for (uint64_t w : words_) count += Popcount(w);
   return count;
 }
 
@@ -72,26 +72,34 @@ bool BitVector::OrWithAnd(const BitVector& a, const BitVector& b) {
 
 bool BitVector::OrWithAndOffset(const BitVector& a, const BitVector& b,
                                 size_t b_offset) {
-  if (b_offset == 0) return OrWithAnd(a, b);
+  return OrWithAndWords(a, b.words_.data(), b.words_.size(), b_offset);
+}
+
+bool BitVector::OrWithAndWords(const BitVector& a, const uint64_t* b_words,
+                               size_t b_num_words, size_t b_offset) {
   bool changed = false;
   const size_t n = words_.size();
   const size_t rem = num_bits_ % kWordBits;
   const uint64_t tail_mask = rem == 0 ? ~0ULL : (1ULL << rem) - 1;
   const size_t word_offset = b_offset / kWordBits;
-  const unsigned bit_offset = static_cast<unsigned>(b_offset % kWordBits);
-  const std::vector<uint64_t>& bw = b.words_;
+  const uint32_t bit_offset = static_cast<uint32_t>(b_offset % kWordBits);
+  if (bit_offset == 0) {
+    // Word-aligned (b_offset == 0 is the plain OrWithAnd): no stitching.
+    for (size_t i = 0; i < n; ++i) {
+      const size_t lo = i + word_offset;
+      uint64_t add = a.words_[i] & (lo < b_num_words ? b_words[lo] : 0);
+      if (i + 1 == n) add &= tail_mask;
+      const uint64_t next = words_[i] | add;
+      changed |= (next != words_[i]);
+      words_[i] = next;
+    }
+    return changed;
+  }
   for (size_t i = 0; i < n; ++i) {
     // Word i of (b >> b_offset), stitched across the word boundary; words
     // past b's end read as zero.
-    uint64_t slice = 0;
-    const size_t lo = i + word_offset;
-    if (lo < bw.size()) {
-      slice = bw[lo] >> bit_offset;
-      if (bit_offset != 0 && lo + 1 < bw.size()) {
-        slice |= bw[lo + 1] << (kWordBits - bit_offset);
-      }
-    }
-    uint64_t add = a.words_[i] & slice;
+    uint64_t add = a.words_[i] &
+                   SliceWord64(b_words, b_num_words, i + word_offset, bit_offset);
     if (i + 1 == n) add &= tail_mask;
     const uint64_t next = words_[i] | add;
     changed |= (next != words_[i]);
@@ -113,24 +121,33 @@ bool BitVector::WouldGainFromAnd(const BitVector& a, const BitVector& b) const {
 }
 
 void BitVector::FillBernoulli(double p, Rng& rng) {
-  ClearAll();
-  if (p <= 0.0) return;
+  FillBernoulliWords(words_.data(), num_bits_, p, rng);
+}
+
+void BitVector::FillBernoulliWords(uint64_t* words, size_t num_bits, double p,
+                                   Rng& rng) {
+  const size_t num_words = WordsFor(num_bits);
+  for (size_t w = 0; w < num_words; ++w) words[w] = 0;
+  if (num_bits == 0 || p <= 0.0) return;
   if (p >= 1.0) {
-    SetAll();
+    for (size_t w = 0; w < num_words; ++w) words[w] = ~0ULL;
+    const size_t rem = num_bits % kWordBits;
+    if (rem != 0) words[num_words - 1] &= (1ULL << rem) - 1;
     return;
   }
+  auto set = [&](size_t i) { words[i / kWordBits] |= 1ULL << (i % kWordBits); };
   // Geometric skipping: expected work O(p * num_bits) instead of O(num_bits),
   // matching how sparse most uncertain-graph edges are.
   if (p < 0.25) {
     size_t i = rng.Geometric(p);
-    while (i < num_bits_) {
-      Set(i);
+    while (i < num_bits) {
+      set(i);
       i += 1 + rng.Geometric(p);
     }
     return;
   }
-  for (size_t i = 0; i < num_bits_; ++i) {
-    if (rng.Bernoulli(p)) Set(i);
+  for (size_t i = 0; i < num_bits; ++i) {
+    if (rng.Bernoulli(p)) set(i);
   }
 }
 

@@ -1,12 +1,74 @@
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#if defined(__BMI2__)
+#include <immintrin.h>
+#endif
+
 namespace relcomp {
 
 class Rng;
+
+/// \name Word-level bit primitives
+/// Builtin-backed (std::popcount / BMI2 PDEP where available) with portable
+/// fallbacks. These are the shared building blocks of BitVector's word loops
+/// and the rank/select directories in common/rank_select.h; keeping them in
+/// one place lets tests oracle-check them once against naive bit loops.
+/// @{
+
+/// Number of set bits in `word`.
+inline uint32_t Popcount(uint64_t word) {
+  return static_cast<uint32_t>(std::popcount(word));
+}
+
+/// Number of set bits among the `i` lowest bits of `word`; i in [0, 64].
+inline uint32_t Rank64(uint64_t word, uint32_t i) {
+  if (i >= 64) return Popcount(word);
+  return Popcount(word & ((uint64_t{1} << i) - 1));
+}
+
+/// Bit position of the k-th set bit of `word` (k is 1-based; requires
+/// 1 <= k <= Popcount(word)).
+inline uint32_t Select64(uint64_t word, uint32_t k) {
+#if defined(__BMI2__)
+  return static_cast<uint32_t>(
+      std::countr_zero(_pdep_u64(uint64_t{1} << (k - 1), word)));
+#else
+  // Portable fallback: narrow to the byte holding the k-th one, then peel
+  // the lower ones off that byte.
+  uint32_t base = 0;
+  for (;;) {
+    const uint32_t byte_ones = Popcount(word & 0xFF);
+    if (k <= byte_ones) break;
+    k -= byte_ones;
+    word >>= 8;
+    base += 8;
+  }
+  uint64_t byte = word & 0xFF;
+  while (--k > 0) byte &= byte - 1;  // clear the k-1 lowest ones
+  return base + static_cast<uint32_t>(std::countr_zero(byte));
+#endif
+}
+
+/// Word `word_index` of the shifted sequence (words >> bit_offset), with
+/// words at or past `num_words` reading as zero; bit_offset in [0, 64). The
+/// stitched-slice read shared by BitVector::OrWithAndOffset and the packed
+/// BFS-Sharing edge blocks.
+inline uint64_t SliceWord64(const uint64_t* words, size_t num_words,
+                            size_t word_index, uint32_t bit_offset) {
+  if (word_index >= num_words) return 0;
+  uint64_t slice = words[word_index] >> bit_offset;
+  if (bit_offset != 0 && word_index + 1 < num_words) {
+    slice |= words[word_index + 1] << (64 - bit_offset);
+  }
+  return slice;
+}
+
+/// @}
 
 /// \brief Fixed-size bit vector with the word-parallel operations needed by
 /// the BFS Sharing estimator [45].
@@ -64,8 +126,24 @@ class BitVector {
   bool OrWithAndOffset(const BitVector& a, const BitVector& b,
                        size_t b_offset);
 
+  /// Raw-word form of OrWithAndOffset: `b` is a span of `b_num_words` words
+  /// (bits past the span read as zero) instead of a BitVector — how the BFS
+  /// Sharing loops propagate against the packed index's dense per-edge word
+  /// blocks without materializing per-edge BitVectors. Bit-identical to
+  /// OrWithAndOffset over a BitVector with the same words.
+  bool OrWithAndWords(const BitVector& a, const uint64_t* b_words,
+                      size_t b_num_words, size_t b_offset);
+
   /// Fills each bit with an independent Bernoulli(p) draw (index sampling).
   void FillBernoulli(double p, Rng& rng);
+
+  /// Raw-word form of FillBernoulli, writing `num_bits` draws into `words`
+  /// (which must span at least ceil(num_bits / 64) words; the tail of the
+  /// last word is zeroed). Consumes the identical RNG stream as
+  /// FillBernoulli, so packed and per-vector storage sample bit-identical
+  /// worlds from equal seeds.
+  static void FillBernoulliWords(uint64_t* words, size_t num_bits, double p,
+                                 Rng& rng);
 
   bool operator==(const BitVector& other) const;
   bool operator!=(const BitVector& other) const { return !(*this == other); }

@@ -1,0 +1,33 @@
+#include "common/packed_ints.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace relcomp {
+
+PackedIntVector::PackedIntVector(size_t size, uint32_t bit_width)
+    : size_(size), bit_width_(std::clamp(bit_width, 1u, 64u)) {
+  mask_ = bit_width_ == 64 ? ~uint64_t{0}
+                           : (uint64_t{1} << bit_width_) - 1;
+  const size_t payload_bits = size_ * static_cast<size_t>(bit_width_);
+  words_.assign((payload_bits + 63) / 64 + 1, 0);  // +1 guard word
+}
+
+uint32_t PackedIntVector::WidthFor(uint64_t max_value) {
+  return std::max(64 - static_cast<uint32_t>(std::countl_zero(max_value)), 1u);
+}
+
+void PackedIntVector::Set(size_t i, uint64_t value) {
+  value &= mask_;
+  const size_t bit = i * bit_width_;
+  const size_t word = bit >> 6;
+  const uint32_t shift = static_cast<uint32_t>(bit & 63);
+  words_[word] = (words_[word] & ~(mask_ << shift)) | (value << shift);
+  if (shift + bit_width_ > 64) {
+    const uint32_t spill = 64 - shift;
+    words_[word + 1] =
+        (words_[word + 1] & ~(mask_ >> spill)) | (value >> spill);
+  }
+}
+
+}  // namespace relcomp

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace relcomp {
+
+/// \brief Fixed-width bit-packed array of unsigned integers: `size` values of
+/// `bit_width` bits each, stored back to back in 64-bit words.
+///
+/// The succinct-storage building block: the compact graph layout stores
+/// neighbor ids, edge ids, and dictionary-coded edge probabilities as
+/// ceil(log2(max+1))-bit PackedIntVector columns instead of 32/64-bit arrays.
+/// Get() is one word read plus a second only when the value straddles a word
+/// boundary; a guard word keeps that second read in bounds, so there is no
+/// per-call bounds branch on the hot decode path.
+class PackedIntVector {
+ public:
+  PackedIntVector() = default;
+  /// `size` zero values of `bit_width` bits. Width is clamped to [1, 64].
+  PackedIntVector(size_t size, uint32_t bit_width);
+
+  /// Narrowest width that can represent `max_value` (>= 1 so an all-zero
+  /// column still round-trips through a well-formed vector).
+  static uint32_t WidthFor(uint64_t max_value);
+
+  /// Stores `value` at index `i`; bits above bit_width() are dropped.
+  void Set(size_t i, uint64_t value);
+
+  uint64_t Get(size_t i) const {
+    const size_t bit = i * bit_width_;
+    const size_t word = bit >> 6;
+    const uint32_t shift = static_cast<uint32_t>(bit & 63);
+    uint64_t value = words_[word] >> shift;
+    if (shift + bit_width_ > 64) {
+      value |= words_[word + 1] << (64 - shift);
+    }
+    return value & mask_;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint32_t bit_width() const { return bit_width_; }
+
+  /// Logical resident bytes (the packed words, guard included).
+  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  size_t size_ = 0;
+  uint32_t bit_width_ = 0;
+  uint64_t mask_ = 0;
+  /// ceil(size * bit_width / 64) payload words + 1 guard word.
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace relcomp

@@ -1,0 +1,266 @@
+#include "common/rank_select.h"
+
+#include <algorithm>
+
+namespace relcomp {
+
+namespace {
+
+/// C(n, k) for n, k in [0, 15] (C(15, 7) = 6435 fits comfortably).
+struct BinomialTable {
+  uint16_t c[16][16] = {};
+  constexpr BinomialTable() {
+    for (int n = 0; n < 16; ++n) {
+      c[n][0] = 1;
+      for (int k = 1; k <= n; ++k) {
+        c[n][k] = static_cast<uint16_t>(c[n - 1][k - 1] +
+                                        (k <= n - 1 ? c[n - 1][k] : 0));
+      }
+    }
+  }
+};
+constexpr BinomialTable kBinomial;
+
+constexpr uint16_t Choose(uint32_t n, uint32_t k) {
+  return k > n ? 0 : kBinomial.c[n][k];
+}
+
+/// ceil(log2(C(15, cls))): bits needed for an offset of class `cls`.
+struct OffsetWidthTable {
+  uint8_t w[16] = {};
+  constexpr OffsetWidthTable() {
+    for (uint32_t cls = 0; cls <= 15; ++cls) {
+      const uint32_t patterns = Choose(15, cls);
+      uint32_t width = 0;
+      while ((1u << width) < patterns) ++width;
+      w[cls] = static_cast<uint8_t>(width);
+    }
+  }
+};
+constexpr OffsetWidthTable kOffsetWidth;
+
+/// Offset of `pattern` (15 bits, popcount == cls) among its class: patterns
+/// with bit `pos` zero enumerate before those with it one, position by
+/// position.
+uint32_t EncodeRrrOffset(uint32_t pattern, uint32_t cls) {
+  uint32_t offset = 0;
+  uint32_t remaining = cls;
+  for (uint32_t pos = 0; pos < RrrBitVector::kBlockBits && remaining > 0;
+       ++pos) {
+    if ((pattern >> pos) & 1u) {
+      offset += Choose(RrrBitVector::kBlockBits - pos - 1, remaining);
+      --remaining;
+    }
+  }
+  return offset;
+}
+
+/// Inverse of EncodeRrrOffset.
+uint32_t DecodeRrrPattern(uint32_t offset, uint32_t cls) {
+  uint32_t pattern = 0;
+  uint32_t remaining = cls;
+  for (uint32_t pos = 0; pos < RrrBitVector::kBlockBits && remaining > 0;
+       ++pos) {
+    const uint32_t zeros_first =
+        Choose(RrrBitVector::kBlockBits - pos - 1, remaining);
+    if (offset >= zeros_first) {
+      pattern |= 1u << pos;
+      offset -= zeros_first;
+      --remaining;
+    }
+  }
+  return pattern;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RankSelectBitVector
+// ---------------------------------------------------------------------------
+
+RankSelectBitVector::RankSelectBitVector(const BitVector& bits)
+    : num_bits_(bits.size()), words_(bits.words()) {
+  const size_t num_words = words_.size();
+  const size_t num_supers = (num_words + kWordsPerSuper - 1) / kWordsPerSuper;
+  super_rank_.assign(num_supers + 1, 0);
+  block_rank_.assign(num_words, 0);
+
+  uint64_t total = 0;
+  for (size_t w = 0; w < num_words; ++w) {
+    const size_t super = w / kWordsPerSuper;
+    if (w % kWordsPerSuper == 0) super_rank_[super] = total;
+    block_rank_[w] = static_cast<uint16_t>(total - super_rank_[super]);
+    const uint32_t ones = Popcount(words_[w]);
+    // Position samples: superblock of each one #(j * kSelectSample + 1).
+    while (select_hint_.size() * kSelectSample < total + ones &&
+           select_hint_.size() * kSelectSample >= total) {
+      select_hint_.push_back(static_cast<uint32_t>(super));
+    }
+    total += ones;
+  }
+  super_rank_[num_supers] = total;
+  num_ones_ = total;
+}
+
+size_t RankSelectBitVector::Rank1(size_t i) const {
+  if (i == 0) return 0;
+  const size_t word = (i - 1) / 64;  // last word with participating bits
+  const size_t full_word = i / 64;
+  size_t rank = super_rank_[word / kWordsPerSuper] + block_rank_[word];
+  if (full_word > word) return rank + Popcount(words_[word]);
+  return rank + Rank64(words_[word], static_cast<uint32_t>(i % 64));
+}
+
+size_t RankSelectBitVector::Select1(size_t k) const {
+  // Hint narrows the superblock search to the sample straddling one #k.
+  const size_t hint = (k - 1) / kSelectSample;
+  const size_t num_supers = super_rank_.size() - 1;
+  const size_t lo = select_hint_[hint];
+  const size_t hi =
+      hint + 1 < select_hint_.size() ? select_hint_[hint + 1] : num_supers - 1;
+  // Largest superblock s in [lo, hi] with super_rank_[s] < k.
+  const auto* first = super_rank_.data() + lo;
+  const auto* last = super_rank_.data() + hi + 1;
+  const size_t super =
+      static_cast<size_t>(std::upper_bound(first, last, k - 1) -
+                          super_rank_.data()) -
+      1;
+  const size_t target = k - super_rank_[super];  // 1-based within superblock
+  // At most kWordsPerSuper block entries finish the job.
+  size_t word = super * kWordsPerSuper;
+  const size_t word_end = std::min(words_.size(), word + kWordsPerSuper);
+  while (word + 1 < word_end && block_rank_[word + 1] < target) ++word;
+  return word * 64 +
+         Select64(words_[word], static_cast<uint32_t>(target - block_rank_[word]));
+}
+
+size_t RankSelectBitVector::MemoryBytes() const {
+  return words_.size() * sizeof(uint64_t) +
+         super_rank_.size() * sizeof(uint64_t) +
+         block_rank_.size() * sizeof(uint16_t) +
+         select_hint_.size() * sizeof(uint32_t);
+}
+
+// ---------------------------------------------------------------------------
+// RrrBitVector
+// ---------------------------------------------------------------------------
+
+RrrBitVector::RrrBitVector(const BitVector& bits) : num_bits_(bits.size()) {
+  const size_t blocks = num_blocks();
+  classes_ = PackedIntVector(blocks, 4);
+  const uint64_t* words = bits.words().data();
+  const size_t num_words = bits.words().size();
+
+  // Pass 1: classes and total offset-stream width.
+  size_t total_offset_bits = 0;
+  for (size_t b = 0; b < blocks; ++b) {
+    const uint32_t pattern = static_cast<uint32_t>(
+        SliceWord64(words, num_words, (b * kBlockBits) / 64,
+                    static_cast<uint32_t>((b * kBlockBits) % 64)) &
+        ((1u << kBlockBits) - 1));
+    const uint32_t cls = Popcount(pattern);
+    classes_.Set(b, cls);
+    total_offset_bits += kOffsetWidth.w[cls];
+    num_ones_ += cls;
+  }
+  offset_words_.assign(total_offset_bits / 64 + 2, 0);
+
+  // Pass 2: encode offsets and sample every kBlocksPerSuper-th block.
+  const size_t num_supers = (blocks + kBlocksPerSuper - 1) / kBlocksPerSuper;
+  super_offset_pos_.assign(num_supers + 1, 0);
+  super_rank_.assign(num_supers + 1, 0);
+  size_t pos = 0;
+  uint64_t rank = 0;
+  for (size_t b = 0; b < blocks; ++b) {
+    if (b % kBlocksPerSuper == 0) {
+      super_offset_pos_[b / kBlocksPerSuper] = pos;
+      super_rank_[b / kBlocksPerSuper] = rank;
+    }
+    const uint32_t pattern = static_cast<uint32_t>(
+        SliceWord64(words, num_words, (b * kBlockBits) / 64,
+                    static_cast<uint32_t>((b * kBlockBits) % 64)) &
+        ((1u << kBlockBits) - 1));
+    const uint32_t cls = Popcount(pattern);
+    const uint32_t width = kOffsetWidth.w[cls];
+    if (width > 0) {
+      const uint64_t offset = EncodeRrrOffset(pattern, cls);
+      const size_t word = pos / 64;
+      const uint32_t shift = static_cast<uint32_t>(pos % 64);
+      offset_words_[word] |= offset << shift;
+      if (shift + width > 64) offset_words_[word + 1] |= offset >> (64 - shift);
+      pos += width;
+    }
+    rank += cls;
+  }
+  super_offset_pos_[num_supers] = pos;
+  super_rank_[num_supers] = rank;
+}
+
+uint32_t RrrBitVector::ReadOffset(size_t pos, uint32_t width) const {
+  if (width == 0) return 0;
+  return static_cast<uint32_t>(
+      SliceWord64(offset_words_.data(), offset_words_.size(), pos / 64,
+                  static_cast<uint32_t>(pos % 64)) &
+      ((uint64_t{1} << width) - 1));
+}
+
+uint32_t RrrBitVector::DecodePattern(size_t block, size_t offset_pos) const {
+  const uint32_t cls = static_cast<uint32_t>(classes_.Get(block));
+  return DecodeRrrPattern(ReadOffset(offset_pos, kOffsetWidth.w[cls]), cls);
+}
+
+bool RrrBitVector::Get(size_t i) const {
+  const size_t block = i / kBlockBits;
+  const size_t super = block / kBlocksPerSuper;
+  size_t pos = super_offset_pos_[super];
+  for (size_t b = super * kBlocksPerSuper; b < block; ++b) {
+    pos += kOffsetWidth.w[classes_.Get(b)];
+  }
+  return (DecodePattern(block, pos) >> (i % kBlockBits)) & 1u;
+}
+
+size_t RrrBitVector::Rank1(size_t i) const {
+  if (i == 0) return 0;
+  const size_t block = i / kBlockBits;
+  const size_t super = block / kBlocksPerSuper;
+  size_t rank = super_rank_[super];
+  size_t pos = super_offset_pos_[super];
+  for (size_t b = super * kBlocksPerSuper; b < block; ++b) {
+    const uint32_t cls = static_cast<uint32_t>(classes_.Get(b));
+    rank += cls;
+    pos += kOffsetWidth.w[cls];
+  }
+  const uint32_t rem = static_cast<uint32_t>(i % kBlockBits);
+  if (rem != 0) rank += Rank64(DecodePattern(block, pos), rem);
+  return rank;
+}
+
+size_t RrrBitVector::Select1(size_t k) const {
+  // Largest superblock with cumulative rank < k, then a bounded block walk.
+  const size_t num_supers = super_rank_.size() - 1;
+  const size_t super =
+      static_cast<size_t>(std::upper_bound(super_rank_.data(),
+                                           super_rank_.data() + num_supers,
+                                           k - 1) -
+                          super_rank_.data()) -
+      1;
+  size_t rank = super_rank_[super];
+  size_t pos = super_offset_pos_[super];
+  for (size_t b = super * kBlocksPerSuper;; ++b) {
+    const uint32_t cls = static_cast<uint32_t>(classes_.Get(b));
+    if (rank + cls >= k) {
+      return b * kBlockBits +
+             Select64(DecodePattern(b, pos), static_cast<uint32_t>(k - rank));
+    }
+    rank += cls;
+    pos += kOffsetWidth.w[cls];
+  }
+}
+
+size_t RrrBitVector::MemoryBytes() const {
+  return classes_.MemoryBytes() + offset_words_.size() * sizeof(uint64_t) +
+         super_offset_pos_.size() * sizeof(uint64_t) +
+         super_rank_.size() * sizeof(uint64_t);
+}
+
+}  // namespace relcomp

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/packed_ints.h"
+
+namespace relcomp {
+
+/// \brief Plain bit sequence with a two-level rank directory and sampled
+/// select.
+///
+/// Rank1 is O(1): one superblock cumulative count (uint64 per 512 bits), one
+/// in-superblock block count (uint16 per word), one Rank64. Select1 is O(1)
+/// expected: a position sample every 512 ones narrows a binary search over
+/// superblocks, then at most 8 block entries and one Select64 finish inside
+/// the superblock. Directory overhead is ~0.28 bits per stored bit on top of
+/// the raw words.
+///
+/// This is the offset structure of the compact graph layout: node adjacency
+/// offsets are the select positions of a unary degree sequence instead of a
+/// 32/64-bit offset array (see graph/compact_adjacency.h).
+class RankSelectBitVector {
+ public:
+  RankSelectBitVector() = default;
+  /// Freezes `bits` (copied) and builds the directories.
+  explicit RankSelectBitVector(const BitVector& bits);
+
+  size_t size() const { return num_bits_; }
+  bool empty() const { return num_bits_ == 0; }
+  size_t num_ones() const { return num_ones_; }
+
+  bool Get(size_t i) const {
+    return (words_[i / 64] >> (i % 64)) & 1ULL;
+  }
+
+  /// Number of ones among bits [0, i); i in [0, size()].
+  size_t Rank1(size_t i) const;
+
+  /// Position of the k-th one; k is 1-based, in [1, num_ones()].
+  size_t Select1(size_t k) const;
+
+  /// Resident bytes: raw words plus both directories.
+  size_t MemoryBytes() const;
+
+ private:
+  static constexpr size_t kWordsPerSuper = 8;  // 512-bit superblocks
+  static constexpr size_t kSelectSample = 512;  // ones between select hints
+
+  size_t num_bits_ = 0;
+  size_t num_ones_ = 0;
+  std::vector<uint64_t> words_;
+  /// Cumulative ones before superblock s; one extra entry = num_ones().
+  std::vector<uint64_t> super_rank_;
+  /// Ones before word w within w's superblock (<= 512, fits uint16).
+  std::vector<uint16_t> block_rank_;
+  /// Superblock holding one #(j * kSelectSample + 1).
+  std::vector<uint32_t> select_hint_;
+};
+
+/// \brief RRR-compressed bit sequence (Raman–Raman–Rao style): 15-bit blocks
+/// stored as (class = popcount, offset = index of the block's pattern among
+/// the C(15, class) patterns of that class), with per-superblock pointers
+/// into the variable-width offset stream and cumulative ranks.
+///
+/// Space for a sequence with ones-density p approaches the entropy
+/// n·H(p) + o(n) — a sparse sequence (p << 1/2) compresses several-fold
+/// below the plain directory. Access costs one bounded block walk (< 32
+/// class/offset reads) per operation, so rank/select stay near-raw speed.
+/// The compact graph layout picks this variant for its offset sequence when
+/// the unary degree sequence is sparse (high average degree).
+class RrrBitVector {
+ public:
+  static constexpr uint32_t kBlockBits = 15;
+  static constexpr size_t kBlocksPerSuper = 32;
+
+  RrrBitVector() = default;
+  explicit RrrBitVector(const BitVector& bits);
+
+  size_t size() const { return num_bits_; }
+  bool empty() const { return num_bits_ == 0; }
+  size_t num_ones() const { return num_ones_; }
+
+  bool Get(size_t i) const;
+
+  /// Number of ones among bits [0, i); i in [0, size()].
+  size_t Rank1(size_t i) const;
+
+  /// Position of the k-th one; k is 1-based, in [1, num_ones()].
+  size_t Select1(size_t k) const;
+
+  /// Resident bytes: classes, offset stream, and superblock samples.
+  size_t MemoryBytes() const;
+
+ private:
+  /// Number of 15-bit blocks covering num_bits_.
+  size_t num_blocks() const { return (num_bits_ + kBlockBits - 1) / kBlockBits; }
+
+  /// Reads `width` bits of the offset stream starting at bit `pos`.
+  uint32_t ReadOffset(size_t pos, uint32_t width) const;
+
+  /// Decodes the 15-bit pattern of `block`, given the bit position of its
+  /// offset within the stream (maintained by the caller's block walk).
+  uint32_t DecodePattern(size_t block, size_t offset_pos) const;
+
+  size_t num_bits_ = 0;
+  size_t num_ones_ = 0;
+  PackedIntVector classes_;             ///< 4-bit popcount class per block
+  std::vector<uint64_t> offset_words_;  ///< concatenated variable-width offsets
+  /// Bit position (into the offset stream) of block s * kBlocksPerSuper's
+  /// offset, and cumulative ones before that block.
+  std::vector<uint64_t> super_offset_pos_;
+  std::vector<uint64_t> super_rank_;
+};
+
+}  // namespace relcomp

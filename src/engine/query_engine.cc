@@ -102,6 +102,18 @@ QueryEngine::QueryEngine(const UncertainGraph& graph, EngineOptions options,
       replicas_.size(), options_.queue_capacity,
       registry_->GetHistogram("engine_stage_latency_ns", "stage",
                               "queue_wait"));
+  // Storage-footprint gauges: actual resident bytes of the graph's selected
+  // layout, labeled by layout so raw/compact engines are comparable side by
+  // side in one exported snapshot.
+  registry_->GetGauge("graph_memory_bytes")
+      ->Set(static_cast<double>(graph_.MemoryBytes()));
+  registry_
+      ->GetGauge("graph_bytes_per_edge", "layout",
+                 StorageLayoutName(graph_.layout()))
+      ->Set(graph_.num_edges() == 0
+                ? 0.0
+                : static_cast<double>(graph_.MemoryBytes()) /
+                      static_cast<double>(graph_.num_edges()));
 }
 
 QueryEngine::~QueryEngine() {

@@ -1,0 +1,112 @@
+#include "graph/compact_adjacency.h"
+
+#include <algorithm>
+
+#include "common/bitvector.h"
+
+namespace relcomp {
+
+namespace {
+
+/// Builds one direction: the unary degree-boundary sequence from the CSR
+/// offset array plus the packed neighbor/edge-id columns from the CSR
+/// adjacency array (same slot order).
+CompactAdjacency::Direction BuildDirection(size_t num_nodes, size_t num_edges,
+                                           const std::vector<uint32_t>& offsets,
+                                           const std::vector<AdjEntry>& adj,
+                                           uint32_t node_bits,
+                                           uint32_t edge_bits) {
+  CompactAdjacency::Direction dir;
+
+  // Unary sequence 1 0^{deg(0)} 1 0^{deg(1)} ... 1: the (v+1)-th one sits at
+  // position offsets[v] + v, so Offset(v) = Select1(v+1) - (v+1).
+  BitVector bounds(num_nodes + num_edges + 1);
+  for (size_t v = 0; v <= num_nodes; ++v) bounds.Set(offsets[v] + v);
+
+  // RRR pays off when the ones are sparse (high average degree); the plain
+  // directory is faster and smaller near density 1 (mostly isolated nodes).
+  dir.use_rrr = (num_nodes + 1) * 16 < bounds.size();
+  if (dir.use_rrr) {
+    dir.rrr_bounds = RrrBitVector(bounds);
+  } else {
+    dir.plain_bounds = RankSelectBitVector(bounds);
+  }
+
+  dir.neighbors = PackedIntVector(num_edges, node_bits);
+  dir.edge_ids = PackedIntVector(num_edges, edge_bits);
+  for (size_t slot = 0; slot < num_edges; ++slot) {
+    dir.neighbors.Set(slot, adj[slot].neighbor);
+    dir.edge_ids.Set(slot, adj[slot].edge);
+  }
+  return dir;
+}
+
+}  // namespace
+
+size_t CompactAdjacency::Direction::MemoryBytes() const {
+  return (use_rrr ? rrr_bounds.MemoryBytes() : plain_bounds.MemoryBytes()) +
+         neighbors.MemoryBytes() + edge_ids.MemoryBytes();
+}
+
+CompactAdjacency CompactAdjacency::Build(
+    size_t num_nodes, const std::vector<EdgeRecord>& edges,
+    const std::vector<uint32_t>& out_offsets,
+    const std::vector<uint32_t>& in_offsets,
+    const std::vector<AdjEntry>& out_adj, const std::vector<AdjEntry>& in_adj) {
+  CompactAdjacency c;
+  c.num_nodes_ = num_nodes;
+  c.num_edges_ = edges.size();
+  const size_t m = edges.size();
+  const uint32_t node_bits =
+      PackedIntVector::WidthFor(num_nodes == 0 ? 0 : num_nodes - 1);
+  const uint32_t edge_bits = PackedIntVector::WidthFor(m == 0 ? 0 : m - 1);
+
+  c.out_ = BuildDirection(num_nodes, m, out_offsets, out_adj, node_bits,
+                          edge_bits);
+  c.in_ = BuildDirection(num_nodes, m, in_offsets, in_adj, node_bits,
+                         edge_bits);
+
+  c.tails_ = PackedIntVector(m, node_bits);
+  c.heads_ = PackedIntVector(m, node_bits);
+  for (EdgeId e = 0; e < m; ++e) {
+    c.tails_.Set(e, edges[e].tail);
+    c.heads_.Set(e, edges[e].head);
+  }
+
+  // Lossless probability dictionary: distinct sorted values + packed codes.
+  // Exact by construction; past the cap, fall back to full-width doubles
+  // rather than quantize (the layout must never change an estimate).
+  std::vector<double> distinct;
+  distinct.reserve(m);
+  for (const auto& e : edges) distinct.push_back(e.prob);
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  if (distinct.size() <= kMaxProbDictSize) {
+    c.uses_dictionary_ = true;
+    c.prob_dict_ = std::move(distinct);
+    const uint32_t code_bits = PackedIntVector::WidthFor(
+        c.prob_dict_.empty() ? 0 : c.prob_dict_.size() - 1);
+    c.prob_codes_ = PackedIntVector(m, code_bits);
+    for (EdgeId e = 0; e < m; ++e) {
+      const size_t code =
+          std::lower_bound(c.prob_dict_.begin(), c.prob_dict_.end(),
+                           edges[e].prob) -
+          c.prob_dict_.begin();
+      c.prob_codes_.Set(e, code);
+    }
+  } else {
+    c.uses_dictionary_ = false;
+    c.probs_raw_.reserve(m);
+    for (const auto& e : edges) c.probs_raw_.push_back(e.prob);
+  }
+  return c;
+}
+
+size_t CompactAdjacency::MemoryBytes() const {
+  return out_.MemoryBytes() + in_.MemoryBytes() + tails_.MemoryBytes() +
+         heads_.MemoryBytes() + prob_dict_.size() * sizeof(double) +
+         prob_codes_.MemoryBytes() + probs_raw_.size() * sizeof(double);
+}
+
+}  // namespace relcomp

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/packed_ints.h"
+#include "common/rank_select.h"
+#include "graph/graph_types.h"
+
+namespace relcomp {
+
+/// \brief Succinct CSR backing for UncertainGraph's kCompact layout.
+///
+/// Replaces the raw layout's ~48 bytes/edge (EdgeRecord array + two AdjEntry
+/// arrays + two uint32 offset arrays) with:
+///
+///  - Per direction, the adjacency offsets as the select positions of a unary
+///    degree sequence `1 0^{deg(0)} 1 0^{deg(1)} ... 1` (n+m+1 bits, n+1
+///    ones): offset(v) = Select1(v+1) - v. The sequence is stored either
+///    as a plain rank/select directory or RRR-compressed when the ones are
+///    sparse (high average degree).
+///  - Per direction, neighbor ids packed at ceil(log2(n)) bits and edge ids
+///    packed at ceil(log2(m)) bits per slot.
+///  - Edge endpoints (tails/heads, by edge id) packed the same way.
+///  - Edge probabilities through a lossless dictionary: the distinct values
+///    (sorted) plus a packed code per edge. If the graph has more than
+///    kMaxProbDictSize distinct probabilities the builder falls back to a
+///    full-width double array — either way every Prob(e) is bitwise equal to
+///    the raw layout's, so estimates never change with the layout.
+///
+/// Slot order within a node's adjacency is byte-for-byte the raw CSR order
+/// (the builder hands its raw arrays in), so iteration order, edge ids, and
+/// hence every content-derived RNG stream are identical across layouts.
+class CompactAdjacency {
+ public:
+  /// Distinct-probability cap for the dictionary encoding (code width <= 16).
+  static constexpr size_t kMaxProbDictSize = 65536;
+
+  /// One adjacency direction: offsets as a rank/select unary sequence plus
+  /// packed neighbor/edge-id columns.
+  struct Direction {
+    RankSelectBitVector plain_bounds;
+    RrrBitVector rrr_bounds;
+    bool use_rrr = false;
+    PackedIntVector neighbors;
+    PackedIntVector edge_ids;
+
+    /// First adjacency slot of node v; valid for v in [0, num_nodes]. The
+    /// (v+1)-th one of the unary sequence sits at position offsets[v] + v.
+    size_t Offset(NodeId v) const {
+      const size_t k = static_cast<size_t>(v) + 1;
+      return (use_rrr ? rrr_bounds.Select1(k) : plain_bounds.Select1(k)) -
+             static_cast<size_t>(v);
+    }
+
+    size_t MemoryBytes() const;
+  };
+
+  CompactAdjacency() = default;
+
+  /// Converts the raw CSR arrays (exactly as GraphBuilder::Build lays them
+  /// out) into the compact representation.
+  static CompactAdjacency Build(size_t num_nodes,
+                                const std::vector<EdgeRecord>& edges,
+                                const std::vector<uint32_t>& out_offsets,
+                                const std::vector<uint32_t>& in_offsets,
+                                const std::vector<AdjEntry>& out_adj,
+                                const std::vector<AdjEntry>& in_adj);
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return num_edges_; }
+
+  /// Canonical record of edge `e` (probability bitwise equal to the raw
+  /// layout's).
+  EdgeRecord Edge(EdgeId e) const {
+    return EdgeRecord{static_cast<NodeId>(tails_.Get(e)),
+                      static_cast<NodeId>(heads_.Get(e)), Prob(e)};
+  }
+
+  /// Existence probability of edge `e`, bitwise equal to the raw layout's.
+  double Prob(EdgeId e) const {
+    return uses_dictionary_ ? prob_dict_[prob_codes_.Get(e)] : probs_raw_[e];
+  }
+
+  const Direction& out() const { return out_; }
+  const Direction& in() const { return in_; }
+
+  /// Decodes the adjacency entry at absolute slot `slot` of a direction.
+  AdjEntry EntryAt(const Direction& dir, size_t slot) const {
+    const EdgeId e = static_cast<EdgeId>(dir.edge_ids.Get(slot));
+    return AdjEntry{static_cast<NodeId>(dir.neighbors.Get(slot)), e, Prob(e)};
+  }
+
+  size_t OutOffset(NodeId v) const { return out_.Offset(v); }
+  size_t InOffset(NodeId v) const { return in_.Offset(v); }
+
+  /// True iff probabilities are dictionary-coded (false = full-width
+  /// fallback for graphs with > kMaxProbDictSize distinct values).
+  bool uses_dictionary() const { return uses_dictionary_; }
+  /// The sorted distinct probabilities (empty in fallback mode).
+  const std::vector<double>& prob_dictionary() const { return prob_dict_; }
+
+  /// Actual resident bytes of every component.
+  size_t MemoryBytes() const;
+
+ private:
+  size_t num_nodes_ = 0;
+  size_t num_edges_ = 0;
+  Direction out_;
+  Direction in_;
+  PackedIntVector tails_;  ///< edge id -> tail, ceil(log2(n)) bits
+  PackedIntVector heads_;  ///< edge id -> head, ceil(log2(n)) bits
+  bool uses_dictionary_ = true;
+  std::vector<double> prob_dict_;   ///< sorted distinct probabilities
+  PackedIntVector prob_codes_;      ///< edge id -> dictionary index
+  std::vector<double> probs_raw_;   ///< fallback: full-width per edge
+};
+
+}  // namespace relcomp

@@ -48,9 +48,10 @@ void GraphBuilder::CombineParallelEdges() {
   edges_ = std::move(combined);
 }
 
-Result<UncertainGraph> GraphBuilder::Build() const {
+Result<UncertainGraph> GraphBuilder::Build(StorageLayout layout) const {
   UncertainGraph g;
   g.num_nodes_ = num_nodes_;
+  g.num_edges_ = edges_.size();
   g.edges_ = edges_;
   const size_t n = num_nodes_;
   const size_t m = edges_.size();
@@ -74,7 +75,30 @@ Result<UncertainGraph> GraphBuilder::Build() const {
     g.out_adj_[out_cursor[e.tail]++] = AdjEntry{e.head, id, e.prob};
     g.in_adj_[in_cursor[e.head]++] = AdjEntry{e.tail, id, e.prob};
   }
+
+  if (layout == StorageLayout::kCompact) {
+    // The compact columns are derived from the raw CSR arrays just built, so
+    // slot order and edge ids match the raw layout exactly; the raw arrays
+    // are then released.
+    g.layout_ = StorageLayout::kCompact;
+    g.compact_ = CompactAdjacency::Build(n, g.edges_, g.out_offsets_,
+                                         g.in_offsets_, g.out_adj_, g.in_adj_);
+    g.edges_ = {};
+    g.out_offsets_ = {};
+    g.in_offsets_ = {};
+    g.out_adj_ = {};
+    g.in_adj_ = {};
+  }
   return g;
+}
+
+GraphBuilder GraphBuilder::FromGraph(const UncertainGraph& g) {
+  GraphBuilder b(g.num_nodes());
+  b.ReserveEdges(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    b.edges_.push_back(g.edge(e));
+  }
+  return b;
 }
 
 }  // namespace relcomp

@@ -19,6 +19,10 @@ namespace relcomp {
 /// Node ids are auto-grown: AddEdge(7, 9, p) extends the node range to 10.
 /// Parallel edges are allowed (callers that need simple graphs can
 /// deduplicate with CombineParallelEdges()).
+///
+/// The physical layout of the built graph is selected with
+/// SetStorageLayout() or the Build(layout) overload; kRaw and kCompact
+/// graphs are observationally identical (see StorageLayout).
 class GraphBuilder {
  public:
   explicit GraphBuilder(size_t num_nodes = 0) : num_nodes_(num_nodes) {}
@@ -46,15 +50,29 @@ class GraphBuilder {
   /// (they never affect s-t reliability).
   void CombineParallelEdges();
 
+  /// Layout used by Build(); defaults to kRaw.
+  void SetStorageLayout(StorageLayout layout) { layout_ = layout; }
+  StorageLayout storage_layout() const { return layout_; }
+
   size_t num_nodes() const { return num_nodes_; }
   size_t num_edges() const { return edges_.size(); }
 
-  /// Finalizes the CSR structure. The builder stays reusable afterwards
-  /// (Build copies the edge set).
-  Result<UncertainGraph> Build() const;
+  /// Finalizes the CSR structure in the configured layout. The builder stays
+  /// reusable afterwards (Build copies the edge set).
+  Result<UncertainGraph> Build() const { return Build(layout_); }
+
+  /// Finalizes with an explicit layout, ignoring SetStorageLayout().
+  Result<UncertainGraph> Build(StorageLayout layout) const;
+
+  /// Builder seeded from an existing graph: same node count and the edge set
+  /// in canonical edge-id order, so Build() in either layout reproduces the
+  /// graph (same edge ids, bitwise-equal probabilities). This is how callers
+  /// re-materialize a dataset in the other layout for parity checks.
+  static GraphBuilder FromGraph(const UncertainGraph& g);
 
  private:
   size_t num_nodes_ = 0;
+  StorageLayout layout_ = StorageLayout::kRaw;
   std::vector<EdgeRecord> edges_;
 };
 

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+namespace relcomp {
+
+/// Node identifier; nodes are dense integers [0, num_nodes).
+using NodeId = uint32_t;
+/// Edge identifier; edges are dense integers [0, num_edges) in insertion
+/// order (the canonical order used by index structures and world masks).
+using EdgeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+/// \brief One directed probabilistic edge tail -> head with existence
+/// probability prob in (0, 1].
+struct EdgeRecord {
+  NodeId tail = kInvalidNode;
+  NodeId head = kInvalidNode;
+  double prob = 0.0;
+};
+
+/// \brief Adjacency-list entry: the neighbor, the canonical edge id, and the
+/// edge probability (duplicated here for cache locality of the BFS loops).
+struct AdjEntry {
+  NodeId neighbor = kInvalidNode;
+  EdgeId edge = kInvalidEdge;
+  double prob = 0.0;
+};
+
+}  // namespace relcomp

@@ -8,6 +8,7 @@
 namespace relcomp {
 
 size_t UncertainGraph::MemoryBytes() const {
+  if (layout_ == StorageLayout::kCompact) return compact_.MemoryBytes();
   return edges_.size() * sizeof(EdgeRecord) +
          out_offsets_.size() * sizeof(uint32_t) +
          in_offsets_.size() * sizeof(uint32_t) +
@@ -16,13 +17,14 @@ size_t UncertainGraph::MemoryBytes() const {
 
 EdgeProbStats UncertainGraph::ProbStats() const {
   EdgeProbStats stats;
-  if (edges_.empty()) return stats;
+  if (num_edges_ == 0) return stats;
   std::vector<double> probs;
-  probs.reserve(edges_.size());
+  probs.reserve(num_edges_);
   double sum = 0.0;
-  for (const auto& e : edges_) {
-    probs.push_back(e.prob);
-    sum += e.prob;
+  for (EdgeId e = 0; e < num_edges_; ++e) {
+    const double p = prob(e);
+    probs.push_back(p);
+    sum += p;
   }
   stats.mean = sum / static_cast<double>(probs.size());
   double sq = 0.0;
@@ -44,9 +46,10 @@ EdgeProbStats UncertainGraph::ProbStats() const {
 
 std::string UncertainGraph::Describe() const {
   const EdgeProbStats s = ProbStats();
-  return StrFormat("n=%zu, m=%zu, edge prob: %.3f +/- %.3f, quartiles {%.3f, %.3f, %.3f}",
-                   num_nodes(), num_edges(), s.mean, s.stddev, s.q25, s.q50,
-                   s.q75);
+  return StrFormat(
+      "n=%zu, m=%zu, layout=%s, edge prob: %.3f +/- %.3f, quartiles {%.3f, %.3f, %.3f}",
+      num_nodes(), num_edges(), StorageLayoutName(layout_), s.mean, s.stddev,
+      s.q25, s.q50, s.q75);
 }
 
 }  // namespace relcomp

@@ -1,38 +1,32 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "graph/compact_adjacency.h"
+#include "graph/graph_types.h"
 
 namespace relcomp {
 
-/// Node identifier; nodes are dense integers [0, num_nodes).
-using NodeId = uint32_t;
-/// Edge identifier; edges are dense integers [0, num_edges) in insertion
-/// order (the canonical order used by index structures and world masks).
-using EdgeId = uint32_t;
-
-inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
-inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
-
-/// \brief One directed probabilistic edge tail -> head with existence
-/// probability prob in (0, 1].
-struct EdgeRecord {
-  NodeId tail = kInvalidNode;
-  NodeId head = kInvalidNode;
-  double prob = 0.0;
+/// \brief Physical representation of an UncertainGraph, chosen at
+/// GraphBuilder time.
+///
+/// kRaw is the pointer-chasing-friendly CSR (EdgeRecord + AdjEntry arrays,
+/// ~48 bytes/edge); kCompact is the succinct layout of
+/// graph/compact_adjacency.h (rank/select offsets + packed columns, typically
+/// < 0.6x raw). The two are observationally identical: same iteration order,
+/// same edge ids, bitwise-equal probabilities — every estimator runs
+/// unmodified and returns bit-identical answers on either.
+enum class StorageLayout {
+  kRaw,
+  kCompact,
 };
 
-/// \brief Adjacency-list entry: the neighbor, the canonical edge id, and the
-/// edge probability (duplicated here for cache locality of the BFS loops).
-struct AdjEntry {
-  NodeId neighbor = kInvalidNode;
-  EdgeId edge = kInvalidEdge;
-  double prob = 0.0;
-};
+inline const char* StorageLayoutName(StorageLayout layout) {
+  return layout == StorageLayout::kCompact ? "compact" : "raw";
+}
 
 /// \brief Summary statistics of the edge-probability distribution, matching
 /// the columns of the paper's Table 2.
@@ -50,38 +44,134 @@ struct EdgeProbStats {
 /// probability P(e) (Section 2.1 of the paper). Build instances with
 /// GraphBuilder; the structure is immutable afterwards, so estimators can
 /// share one graph across threads/queries.
+///
+/// OutEdges/InEdges return an AdjacencyRange whose iterator yields AdjEntry
+/// values: a thin pointer wrapper in the raw layout, an on-the-fly decode of
+/// the packed columns in the compact layout. Range-for loops over
+/// `const AdjEntry&` work identically on both.
 class UncertainGraph {
  public:
+  /// \brief One node's adjacency in either layout. Forward iteration yields
+  /// AdjEntry by value; `const AdjEntry&` binds to it for the loop body.
+  class AdjacencyRange {
+   public:
+    class iterator {
+     public:
+      using value_type = AdjEntry;
+      using reference = AdjEntry;
+      using pointer = void;
+      using difference_type = std::ptrdiff_t;
+      using iterator_category = std::input_iterator_tag;
+
+      iterator() = default;
+      iterator(const AdjacencyRange* range, size_t index)
+          : range_(range), index_(index) {}
+
+      AdjEntry operator*() const { return (*range_)[index_]; }
+      iterator& operator++() {
+        ++index_;
+        return *this;
+      }
+      iterator operator++(int) {
+        iterator old = *this;
+        ++index_;
+        return old;
+      }
+      bool operator==(const iterator& o) const { return index_ == o.index_; }
+      bool operator!=(const iterator& o) const { return index_ != o.index_; }
+
+     private:
+      const AdjacencyRange* range_ = nullptr;
+      size_t index_ = 0;
+    };
+
+    AdjacencyRange(const AdjEntry* raw_begin, size_t count)
+        : raw_(raw_begin), count_(count) {}
+    AdjacencyRange(const CompactAdjacency* compact,
+                   const CompactAdjacency::Direction* dir, size_t begin_slot,
+                   size_t count)
+        : compact_(compact), dir_(dir), begin_slot_(begin_slot),
+          count_(count) {}
+
+    size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    AdjEntry operator[](size_t i) const {
+      if (raw_ != nullptr) return raw_[i];
+      return compact_->EntryAt(*dir_, begin_slot_ + i);
+    }
+
+    iterator begin() const { return iterator(this, 0); }
+    iterator end() const { return iterator(this, count_); }
+
+   private:
+    const AdjEntry* raw_ = nullptr;
+    const CompactAdjacency* compact_ = nullptr;
+    const CompactAdjacency::Direction* dir_ = nullptr;
+    size_t begin_slot_ = 0;
+    size_t count_ = 0;
+  };
+
   UncertainGraph() = default;
 
   size_t num_nodes() const { return num_nodes_; }
-  size_t num_edges() const { return edges_.size(); }
+  size_t num_edges() const { return num_edges_; }
 
-  /// Canonical record for edge id `e`.
-  const EdgeRecord& edge(EdgeId e) const { return edges_[e]; }
+  /// Physical layout this graph was built with.
+  StorageLayout layout() const { return layout_; }
+
+  /// Canonical record for edge id `e` (by value; bitwise identical across
+  /// layouts).
+  EdgeRecord edge(EdgeId e) const {
+    return layout_ == StorageLayout::kRaw ? edges_[e] : compact_.Edge(e);
+  }
   /// Existence probability of edge id `e`.
-  double prob(EdgeId e) const { return edges_[e].prob; }
+  double prob(EdgeId e) const {
+    return layout_ == StorageLayout::kRaw ? edges_[e].prob : compact_.Prob(e);
+  }
 
   /// Outgoing adjacency of `v` (entries sorted by insertion order).
-  std::span<const AdjEntry> OutEdges(NodeId v) const {
-    return {out_adj_.data() + out_offsets_[v],
-            out_adj_.data() + out_offsets_[v + 1]};
+  AdjacencyRange OutEdges(NodeId v) const {
+    if (layout_ == StorageLayout::kRaw) {
+      return AdjacencyRange(out_adj_.data() + out_offsets_[v],
+                            out_offsets_[v + 1] - out_offsets_[v]);
+    }
+    const size_t begin = compact_.OutOffset(v);
+    return AdjacencyRange(&compact_, &compact_.out(), begin,
+                          compact_.OutOffset(v + 1) - begin);
   }
   /// Incoming adjacency of `v` (AdjEntry::neighbor is the edge tail).
-  std::span<const AdjEntry> InEdges(NodeId v) const {
-    return {in_adj_.data() + in_offsets_[v], in_adj_.data() + in_offsets_[v + 1]};
+  AdjacencyRange InEdges(NodeId v) const {
+    if (layout_ == StorageLayout::kRaw) {
+      return AdjacencyRange(in_adj_.data() + in_offsets_[v],
+                            in_offsets_[v + 1] - in_offsets_[v]);
+    }
+    const size_t begin = compact_.InOffset(v);
+    return AdjacencyRange(&compact_, &compact_.in(), begin,
+                          compact_.InOffset(v + 1) - begin);
   }
 
   size_t OutDegree(NodeId v) const {
-    return out_offsets_[v + 1] - out_offsets_[v];
+    if (layout_ == StorageLayout::kRaw) {
+      return out_offsets_[v + 1] - out_offsets_[v];
+    }
+    return compact_.OutOffset(v + 1) - compact_.OutOffset(v);
   }
-  size_t InDegree(NodeId v) const { return in_offsets_[v + 1] - in_offsets_[v]; }
+  size_t InDegree(NodeId v) const {
+    if (layout_ == StorageLayout::kRaw) {
+      return in_offsets_[v + 1] - in_offsets_[v];
+    }
+    return compact_.InOffset(v + 1) - compact_.InOffset(v);
+  }
 
   /// True iff `v` is a valid node id of this graph.
   bool HasNode(NodeId v) const { return v < num_nodes_; }
 
-  /// Logical resident size of the CSR structure in bytes.
+  /// Actual resident bytes of the selected layout's structures.
   size_t MemoryBytes() const;
+
+  /// The compact backing (only meaningful when layout() == kCompact).
+  const CompactAdjacency& compact() const { return compact_; }
 
   /// Edge-probability summary (Table 2 columns).
   EdgeProbStats ProbStats() const;
@@ -93,11 +183,18 @@ class UncertainGraph {
   friend class GraphBuilder;
 
   size_t num_nodes_ = 0;
+  size_t num_edges_ = 0;
+  StorageLayout layout_ = StorageLayout::kRaw;
+
+  // kRaw backing (empty in kCompact).
   std::vector<EdgeRecord> edges_;
   std::vector<uint32_t> out_offsets_;  // size num_nodes_+1
   std::vector<uint32_t> in_offsets_;   // size num_nodes_+1
   std::vector<AdjEntry> out_adj_;      // size num_edges
   std::vector<AdjEntry> in_adj_;       // size num_edges
+
+  // kCompact backing (empty in kRaw).
+  CompactAdjacency compact_;
 };
 
 }  // namespace relcomp

@@ -49,7 +49,9 @@ Result<std::shared_ptr<BfsSharingIndex>> BfsSharingIndex::Build(
   }
   std::shared_ptr<BfsSharingIndex> index(new BfsSharingIndex());
   index->num_samples_ = options.index_samples;
-  index->edge_bits_.resize(graph.num_edges());
+  index->num_edges_ = graph.num_edges();
+  index->words_per_edge_ = (options.index_samples + 63) / 64;
+  index->words_.assign(index->num_edges_ * index->words_per_edge_, 0);
   index->Resample(graph, seed);
   build_count_.fetch_add(1, std::memory_order_relaxed);
   return index;
@@ -58,31 +60,34 @@ Result<std::shared_ptr<BfsSharingIndex>> BfsSharingIndex::Build(
 void BfsSharingIndex::Resample(const UncertainGraph& graph, uint64_t seed) {
   Timer timer;
   Rng rng(seed);
+  // FillBernoulliWords consumes the identical RNG stream as the historical
+  // per-edge BitVector fill, so generations stay bit-identical across the
+  // storage change (and across graph storage layouts, which preserve edge
+  // ids and bitwise probabilities).
   for (EdgeId e = 0; e < graph.num_edges(); ++e) {
-    edge_bits_[e].Resize(num_samples_);
-    edge_bits_[e].FillBernoulli(graph.prob(e), rng);
+    BitVector::FillBernoulliWords(words_.data() + e * words_per_edge_,
+                                  num_samples_, graph.prob(e), rng);
   }
   build_seconds_ = timer.ElapsedSeconds();
 }
 
 size_t BfsSharingIndex::MemoryBytes() const {
-  size_t total = edge_bits_.size() * sizeof(BitVector);
-  for (const BitVector& bv : edge_bits_) total += bv.MemoryBytes();
-  return total;
+  return words_.size() * sizeof(uint64_t);
 }
 
 Status BfsSharingIndex::SaveToFile(const std::string& path) const {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out.is_open()) return Status::IOError("cannot open for writing: " + path);
   out.write(kIndexMagic, sizeof(kIndexMagic));
-  const uint64_t m = edge_bits_.size();
+  const uint64_t m = num_edges_;
   const uint32_t l = num_samples_;
   out.write(reinterpret_cast<const char*>(&m), sizeof(m));
   out.write(reinterpret_cast<const char*>(&l), sizeof(l));
-  for (const BitVector& bv : edge_bits_) {
-    out.write(reinterpret_cast<const char*>(bv.words().data()),
-              static_cast<std::streamsize>(bv.words().size() * sizeof(uint64_t)));
-  }
+  // The packed block IS the historical per-edge layout (ceil(L/64) words per
+  // edge, edge-id order), so one bulk write preserves the on-disk format
+  // byte for byte.
+  out.write(reinterpret_cast<const char*>(words_.data()),
+            static_cast<std::streamsize>(words_.size() * sizeof(uint64_t)));
   if (!out.good()) return Status::IOError("write failed: " + path);
   return Status::OK();
 }
@@ -111,13 +116,12 @@ Result<std::shared_ptr<BfsSharingIndex>> BfsSharingIndex::LoadFromFile(
   Timer timer;
   std::shared_ptr<BfsSharingIndex> index(new BfsSharingIndex());
   index->num_samples_ = l;
-  index->edge_bits_.resize(m);
-  for (auto& bv : index->edge_bits_) {
-    bv.Resize(l);
-    in.read(reinterpret_cast<char*>(bv.mutable_words().data()),
-            static_cast<std::streamsize>(bv.words().size() * sizeof(uint64_t)));
-    if (!in.good()) return Status::IOError("truncated BFS Sharing index: " + path);
-  }
+  index->num_edges_ = m;
+  index->words_per_edge_ = (l + 63) / 64;
+  index->words_.assign(m * index->words_per_edge_, 0);
+  in.read(reinterpret_cast<char*>(index->words_.data()),
+          static_cast<std::streamsize>(index->words_.size() * sizeof(uint64_t)));
+  if (!in.good()) return Status::IOError("truncated BFS Sharing index: " + path);
   index->build_seconds_ = timer.ElapsedSeconds();
   build_count_.fetch_add(1, std::memory_order_relaxed);
   return index;
@@ -367,8 +371,9 @@ Status BfsSharingEstimator::RunSharedBfs(const BfsSharingIndex& index, NodeId s,
       cascade.pop_front();
       for (const AdjEntry& a : graph_.OutEdges(w)) {
         if (!visited(a.neighbor)) continue;
-        if (node_bits_[a.neighbor].OrWithAndOffset(
-                node_bits_[w], index.edge_bits(a.edge), world_offset)) {
+        if (node_bits_[a.neighbor].OrWithAndWords(
+                node_bits_[w], index.edge_words(a.edge),
+                index.words_per_edge(), world_offset)) {
           cascade.push_back(a.neighbor);
         }
       }
@@ -392,8 +397,8 @@ Status BfsSharingEstimator::RunSharedBfs(const BfsSharingIndex& index, NodeId s,
     BitVector& iv = node_bits_[v];
     for (const AdjEntry& a : graph_.InEdges(v)) {
       if (visited(a.neighbor)) {
-        iv.OrWithAndOffset(node_bits_[a.neighbor], index.edge_bits(a.edge),
-                           world_offset);
+        iv.OrWithAndWords(node_bits_[a.neighbor], index.edge_words(a.edge),
+                          index.words_per_edge(), world_offset);
       }
     }
     for (const AdjEntry& a : graph_.OutEdges(v)) {
@@ -402,8 +407,9 @@ Status BfsSharingEstimator::RunSharedBfs(const BfsSharingIndex& index, NodeId s,
           in_queue_epoch_[a.neighbor] = epoch_;
           worklist.push_back(a.neighbor);
         }
-      } else if (node_bits_[a.neighbor].OrWithAndOffset(
-                     iv, index.edge_bits(a.edge), world_offset)) {
+      } else if (node_bits_[a.neighbor].OrWithAndWords(
+                     iv, index.edge_words(a.edge), index.words_per_edge(),
+                     world_offset)) {
         CascadeFrom(a.neighbor);
       }
     }

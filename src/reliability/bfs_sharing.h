@@ -55,8 +55,17 @@ class BfsSharingIndex {
 
   /// L, the number of worlds stored per edge.
   uint32_t num_samples() const { return num_samples_; }
-  size_t num_edges() const { return edge_bits_.size(); }
-  const BitVector& edge_bits(EdgeId e) const { return edge_bits_[e]; }
+  size_t num_edges() const { return num_edges_; }
+
+  /// The edge vectors live in one dense block of `words_per_edge()` 64-bit
+  /// words per edge (= ceil(L / 64)), packed back to back in edge-id order —
+  /// no per-edge vector headers, one allocation per generation. edge_words(e)
+  /// is the start of edge e's block; bits [0, L) of the block are worlds,
+  /// the block tail (if L % 64 != 0) is kept zero so popcounts stay exact.
+  size_t words_per_edge() const { return words_per_edge_; }
+  const uint64_t* edge_words(EdgeId e) const {
+    return words_.data() + static_cast<size_t>(e) * words_per_edge_;
+  }
 
   /// Edge bit-vector bytes resident in memory.
   size_t MemoryBytes() const;
@@ -77,7 +86,10 @@ class BfsSharingIndex {
 
   uint32_t num_samples_ = 0;
   double build_seconds_ = 0.0;
-  std::vector<BitVector> edge_bits_;
+  size_t num_edges_ = 0;
+  size_t words_per_edge_ = 0;
+  /// num_edges * words_per_edge words, edge blocks back to back.
+  std::vector<uint64_t> words_;
   static std::atomic<uint64_t> build_count_;
 };
 

@@ -186,6 +186,105 @@ TEST(BitVector, OrWithAndOffsetMatchesNaiveSlice) {
   }
 }
 
+TEST(WordPrimitives, PopcountMatchesNaive) {
+  Rng rng(11);
+  auto naive = [](uint64_t w) {
+    uint32_t c = 0;
+    for (uint32_t i = 0; i < 64; ++i) c += (w >> i) & 1u;
+    return c;
+  };
+  for (const uint64_t w : {uint64_t{0}, ~uint64_t{0}, uint64_t{1},
+                           uint64_t{1} << 63, uint64_t{0xAAAAAAAAAAAAAAAA}}) {
+    EXPECT_EQ(Popcount(w), naive(w)) << w;
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint64_t w = rng.NextU64();
+    EXPECT_EQ(Popcount(w), naive(w)) << w;
+  }
+}
+
+TEST(WordPrimitives, Rank64MatchesNaive) {
+  Rng rng(12);
+  for (int trial = 0; trial < 100; ++trial) {
+    const uint64_t w = rng.NextU64();
+    uint32_t ones = 0;
+    for (uint32_t i = 0; i <= 64; ++i) {
+      EXPECT_EQ(Rank64(w, i), ones) << w << " i=" << i;
+      if (i < 64) ones += (w >> i) & 1u;
+    }
+  }
+}
+
+TEST(WordPrimitives, Select64MatchesNaive) {
+  Rng rng(13);
+  // Select64(w, k) is the position of the k-th one; oracle by linear scan.
+  // Includes sparse, dense, and boundary words.
+  std::vector<uint64_t> words = {uint64_t{1}, uint64_t{1} << 63, ~uint64_t{0},
+                                 uint64_t{0x8000000000000001}};
+  for (int trial = 0; trial < 200; ++trial) words.push_back(rng.NextU64());
+  for (const uint64_t w : words) {
+    uint32_t k = 0;
+    for (uint32_t i = 0; i < 64; ++i) {
+      if ((w >> i) & 1u) {
+        ++k;
+        EXPECT_EQ(Select64(w, k), i) << w << " k=" << k;
+        EXPECT_EQ(Rank64(w, Select64(w, k)), k - 1) << w;  // inverse law
+      }
+    }
+  }
+}
+
+TEST(WordPrimitives, SliceWord64StitchesAcrossBoundary) {
+  const uint64_t words[2] = {0xDEADBEEFCAFEF00D, 0x0123456789ABCDEF};
+  for (uint32_t off = 0; off < 64; ++off) {
+    uint64_t expected = words[0] >> off;
+    if (off != 0) expected |= words[1] << (64 - off);
+    EXPECT_EQ(SliceWord64(words, 2, 0, off), expected) << off;
+  }
+  // Bits past the span read as zero.
+  EXPECT_EQ(SliceWord64(words, 2, 2, 0), 0u);
+  EXPECT_EQ(SliceWord64(words, 2, 1, 8), words[1] >> 8);
+}
+
+TEST(BitVector, OrWithAndWordsMatchesOrWithAndOffset) {
+  // The packed BFS-Sharing propagation form: raw word span instead of a
+  // BitVector. Must be bit-identical for every length/offset combination.
+  Rng rng(14);
+  for (const size_t len : {1u, 64u, 65u, 130u, 200u}) {
+    for (const size_t offset : {0u, 1u, 63u, 64u, 127u}) {
+      BitVector a(len);
+      BitVector b(offset + len + 30);
+      a.FillBernoulli(0.5, rng);
+      b.FillBernoulli(0.5, rng);
+      BitVector x(len);
+      x.FillBernoulli(0.2, rng);
+      BitVector y = x;
+      const bool cx = x.OrWithAndOffset(a, b, offset);
+      const bool cy =
+          y.OrWithAndWords(a, b.words().data(), b.words().size(), offset);
+      EXPECT_EQ(cx, cy) << len << "/" << offset;
+      EXPECT_EQ(x, y) << len << "/" << offset;
+    }
+  }
+}
+
+TEST(BitVector, FillBernoulliWordsMatchesMemberFill) {
+  // Identical RNG stream contract: the packed index's word-block fill must
+  // sample exactly the worlds the per-vector fill sampled.
+  for (const double p : {0.05, 0.3, 0.8, 1.0}) {
+    for (const size_t len : {1u, 64u, 100u, 1500u}) {
+      Rng rng_a(99);
+      Rng rng_b(99);
+      BitVector bv(len);
+      bv.FillBernoulli(p, rng_a);
+      std::vector<uint64_t> words((len + 63) / 64, ~uint64_t{0});
+      BitVector::FillBernoulliWords(words.data(), len, p, rng_b);
+      EXPECT_EQ(words, bv.words()) << p << "/" << len;
+      EXPECT_EQ(rng_a.NextU64(), rng_b.NextU64()) << "stream diverged";
+    }
+  }
+}
+
 TEST(BitVector, OrWithAndOffsetZeroEqualsOrWithAnd) {
   Rng rng(7);
   BitVector a(90);

@@ -1,0 +1,169 @@
+#include "common/rank_select.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/packed_ints.h"
+#include "common/rng.h"
+
+namespace relcomp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PackedIntVector
+// ---------------------------------------------------------------------------
+
+TEST(PackedIntVector, WidthForCoversBoundaries) {
+  EXPECT_EQ(PackedIntVector::WidthFor(0), 1u);
+  EXPECT_EQ(PackedIntVector::WidthFor(1), 1u);
+  EXPECT_EQ(PackedIntVector::WidthFor(2), 2u);
+  EXPECT_EQ(PackedIntVector::WidthFor(3), 2u);
+  EXPECT_EQ(PackedIntVector::WidthFor(4), 3u);
+  EXPECT_EQ(PackedIntVector::WidthFor(255), 8u);
+  EXPECT_EQ(PackedIntVector::WidthFor(256), 9u);
+  EXPECT_EQ(PackedIntVector::WidthFor(~uint64_t{0}), 64u);
+}
+
+TEST(PackedIntVector, RoundTripsEveryWidth) {
+  Rng rng(21);
+  for (uint32_t width = 1; width <= 64; ++width) {
+    const uint64_t mask =
+        width == 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+    const size_t n = 97;  // odd size so values straddle word boundaries
+    PackedIntVector v(n, width);
+    std::vector<uint64_t> expected(n);
+    for (size_t i = 0; i < n; ++i) {
+      expected[i] = rng.NextU64() & mask;
+      v.Set(i, expected[i]);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(v.Get(i), expected[i]) << "width " << width << " i " << i;
+    }
+  }
+}
+
+TEST(PackedIntVector, OverwriteDoesNotLeakIntoNeighbors) {
+  PackedIntVector v(10, 7);
+  for (size_t i = 0; i < 10; ++i) v.Set(i, 0x55);
+  v.Set(5, 0x2A);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(v.Get(i), i == 5 ? 0x2Au : 0x55u) << i;
+  }
+  // Values above the width are masked, not smeared.
+  v.Set(5, ~uint64_t{0});
+  EXPECT_EQ(v.Get(5), 0x7Fu);
+  EXPECT_EQ(v.Get(4), 0x55u);
+  EXPECT_EQ(v.Get(6), 0x55u);
+}
+
+TEST(PackedIntVector, MemoryTracksWidth) {
+  // 1000 values: 40-bit packing should use ~5x the bytes of 8-bit packing.
+  const size_t narrow = PackedIntVector(1000, 8).MemoryBytes();
+  const size_t wide = PackedIntVector(1000, 40).MemoryBytes();
+  EXPECT_GT(wide, 4 * narrow);
+  EXPECT_LT(wide, 6 * narrow);
+}
+
+// ---------------------------------------------------------------------------
+// Rank/select oracle suite, shared by both variants
+// ---------------------------------------------------------------------------
+
+/// Adversarial + random bit sequences: empty, all-zero, all-one, single
+/// trailing bit, directory-boundary sizes (511/512/513 for the plain
+/// directory, 15/480-bit block/superblock edges for RRR), and random fills
+/// at sparse through dense densities.
+std::vector<BitVector> OracleSequences() {
+  std::vector<BitVector> seqs;
+  seqs.emplace_back(0);
+  for (const size_t n : {1u, 15u, 16u, 64u, 479u, 480u, 481u, 511u, 512u,
+                         513u, 2000u}) {
+    seqs.emplace_back(n);          // all zeros
+    seqs.emplace_back(n);          // all ones
+    seqs.back().SetAll();
+    seqs.emplace_back(n);          // single trailing bit
+    seqs.back().Set(n - 1);
+  }
+  Rng rng(33);
+  for (const double density : {0.01, 0.1, 0.5, 0.9}) {
+    for (const size_t n : {100u, 1000u, 5000u}) {
+      seqs.emplace_back(n);
+      seqs.back().FillBernoulli(density, rng);
+    }
+  }
+  return seqs;
+}
+
+template <typename T>
+void CheckAgainstOracle(const BitVector& bits) {
+  const T rs(bits);
+  ASSERT_EQ(rs.size(), bits.size());
+  size_t ones = 0;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_EQ(rs.Get(i), bits.Get(i)) << "Get " << i;
+    EXPECT_EQ(rs.Rank1(i), ones) << "Rank1 " << i;
+    if (bits.Get(i)) {
+      ++ones;
+      EXPECT_EQ(rs.Select1(ones), i) << "Select1 " << ones;
+    }
+  }
+  EXPECT_EQ(rs.Rank1(bits.size()), ones);
+  EXPECT_EQ(rs.num_ones(), ones);
+}
+
+TEST(RankSelectBitVector, MatchesOracleScan) {
+  for (const BitVector& bits : OracleSequences()) {
+    SCOPED_TRACE("n=" + std::to_string(bits.size()) +
+                 " ones=" + std::to_string(bits.Count()));
+    CheckAgainstOracle<RankSelectBitVector>(bits);
+  }
+}
+
+TEST(RrrBitVector, MatchesOracleScan) {
+  for (const BitVector& bits : OracleSequences()) {
+    SCOPED_TRACE("n=" + std::to_string(bits.size()) +
+                 " ones=" + std::to_string(bits.Count()));
+    CheckAgainstOracle<RrrBitVector>(bits);
+  }
+}
+
+TEST(RankSelectBitVector, SelectAcrossSuperblockBoundaries) {
+  // One bit per 512-bit superblock plus a dense run: exercises the select
+  // hint walk across many superblocks.
+  BitVector bits(512 * 40);
+  for (size_t s = 0; s < 40; ++s) bits.Set(s * 512 + (s % 64));
+  for (size_t i = 5000; i < 5200; ++i) bits.Set(i);
+  CheckAgainstOracle<RankSelectBitVector>(bits);
+}
+
+TEST(RrrBitVector, CompressesSparseSequences) {
+  // 1% density: RRR must land well below the plain directory (which always
+  // stores the raw words) — this is the win the compact graph layout picks
+  // it for on high-average-degree offset sequences.
+  Rng rng(44);
+  BitVector bits(200000);
+  bits.FillBernoulli(0.01, rng);
+  const RrrBitVector rrr(bits);
+  const RankSelectBitVector plain(bits);
+  EXPECT_LT(rrr.MemoryBytes() * 2, plain.MemoryBytes())
+      << "rrr=" << rrr.MemoryBytes() << " plain=" << plain.MemoryBytes();
+}
+
+TEST(RankSelectAndRrr, AgreeOnEverySequence) {
+  Rng rng(55);
+  BitVector bits(7777);
+  bits.FillBernoulli(0.3, rng);
+  const RankSelectBitVector plain(bits);
+  const RrrBitVector rrr(bits);
+  ASSERT_EQ(plain.num_ones(), rrr.num_ones());
+  for (size_t i = 0; i <= bits.size(); i += 13) {
+    EXPECT_EQ(plain.Rank1(i), rrr.Rank1(i)) << i;
+  }
+  for (size_t k = 1; k <= plain.num_ones(); k += 7) {
+    EXPECT_EQ(plain.Select1(k), rrr.Select1(k)) << k;
+  }
+}
+
+}  // namespace
+}  // namespace relcomp
