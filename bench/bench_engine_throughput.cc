@@ -2,7 +2,7 @@
 // QueryEngine at 1, 2, 4, ... worker threads, with the result cache off
 // (every query computes) and then on (repeats served from cache).
 //
-// The exit code enforces eight invariants — this bench is the CI smoke gate:
+// The exit code enforces nine invariants — this bench is the CI smoke gate:
 //   1. every thread count returns bit-identical estimates;
 //   2. QueryEngine::Create(kBfsSharing, 8 threads) builds the edge
 //      bit-vector index exactly once (shared across replicas), and the
@@ -33,7 +33,14 @@
 //      bit-identically to the raw layout at 1/2/8 threads, and sustains
 //      >= 0.9x the raw layout's best-of-3 sweep throughput — the byte and
 //      bit-identity gates always enforced, the throughput floor only on
-//      hosts with >= 8 hardware threads.
+//      hosts with >= 8 hardware threads;
+//   9. adaptive routing: on a bottleneck workload (fringe sources with
+//      escape probability 0.05) the routed engine answers bit-identically at
+//      1/2/8 threads, within 0.1 of the static estimates (equal accuracy),
+//      with a genuinely cut budget and zero fallbacks — and sustains
+//      >= 1.2x the static engine's best-of-3 throughput, the floor gated
+//      only on hosts with >= 8 hardware threads; router off must stay
+//      bit-identical to the pre-flag engine.
 // Scaling (the 1-vs-4-thread speedup) is reported but not gated: it depends
 // on the host's real core count, and this bench must stay green on
 // single-core CI runners.
@@ -140,9 +147,13 @@ bool WriteJson(const std::string& path, const std::string& dataset,
                size_t storage_raw_bytes, size_t storage_compact_bytes,
                size_t storage_num_edges, double storage_raw_qps,
                double storage_compact_qps, bool storage_gated,
+               double router_static_qps, double router_routed_qps,
+               double router_routed_k_avg, uint64_t router_decisions,
+               uint64_t router_fallbacks, bool router_gated,
                const std::string& stages_json, bool identical,
                bool shared_index_ok, bool mixed_ok, bool sweep_ok,
-               bool strata_ok, bool trace_ok, bool storage_ok) {
+               bool strata_ok, bool trace_ok, bool storage_ok,
+               bool router_ok) {
   FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "warning: cannot open %s for JSON export\n",
@@ -159,11 +170,12 @@ bool WriteJson(const std::string& path, const std::string& dataset,
                "  \"gates\": {\"bit_identical\": %s, \"shared_index\": %s, "
                "\"mixed_workload\": %s, \"sweep_sharing\": %s, "
                "\"stratified_parallel\": %s, \"tracing_overhead\": %s, "
-               "\"storage\": %s},\n",
+               "\"storage\": %s, \"adaptive_router\": %s},\n",
                identical ? "true" : "false",
                shared_index_ok ? "true" : "false", mixed_ok ? "true" : "false",
                sweep_ok ? "true" : "false", strata_ok ? "true" : "false",
-               trace_ok ? "true" : "false", storage_ok ? "true" : "false");
+               trace_ok ? "true" : "false", storage_ok ? "true" : "false",
+               router_ok ? "true" : "false");
   std::fprintf(out,
                "  \"tracing\": {\"untraced_qps\": %.1f, \"traced_qps\": %.1f, "
                "\"overhead_ratio\": %.4f, \"floor_gated\": %s},\n",
@@ -188,6 +200,17 @@ bool WriteJson(const std::string& path, const std::string& dataset,
       storage_raw_qps, storage_compact_qps,
       storage_raw_qps > 0.0 ? storage_compact_qps / storage_raw_qps : 0.0,
       storage_gated ? "true" : "false");
+  std::fprintf(
+      out,
+      "  \"router\": {\"static_qps\": %.1f, \"routed_qps\": %.1f, "
+      "\"speedup\": %.4f, \"routed_k_avg\": %.1f, \"decisions\": %llu, "
+      "\"fallbacks\": %llu, \"floor_gated\": %s},\n",
+      router_static_qps, router_routed_qps,
+      router_static_qps > 0.0 ? router_routed_qps / router_static_qps : 0.0,
+      router_routed_k_avg,
+      static_cast<unsigned long long>(router_decisions),
+      static_cast<unsigned long long>(router_fallbacks),
+      router_gated ? "true" : "false");
   std::fprintf(out, "  \"stages\": %s,\n",
                stages_json.empty() ? "{}" : stages_json.c_str());
   std::fprintf(
@@ -819,6 +842,144 @@ int main(int argc, char** argv) {
         storage_ok ? "pass" : "FAIL — COMPACT LAYOUT REGRESSED");
   }
 
+  // Adaptive-router gate: the budget lever on a workload it provably helps.
+  // A synthetic bottleneck graph — fringe sources whose single out-edge has
+  // p = 0.05 into a well-connected core — bounds every fringe answer by
+  // eps(s) = 0.05, so the router's equal-accuracy budget cut (K' ~ 4 eps
+  // (1 - eps) K) runs the same queries at a fraction of the static budget
+  // without widening the worst-case confidence interval. Gates:
+  //   (a) routed answers are bit-identical at 1/2/8 threads (decisions are
+  //       pure functions of the query, never of the schedule);
+  //   (b) router-off answers are bit-identical to an engine that predates
+  //       the flag (enable_router defaults to false, so the static runs
+  //       double as the reference), across 1/2/8 threads;
+  //   (c) equal accuracy: every routed estimate within 0.1 of the static
+  //       one (>> 6 sigma at the routed budget, so never flaky, while a
+  //       broken budget cut overshoots it immediately);
+  //   (d) the routed plans actually cut the budget, no fallback engaged;
+  //   (e) best-of-3 routed throughput >= 1.2x static — gated only on hosts
+  //       with >= 8 hardware threads (standing timing policy).
+  bool router_ok = true;
+  double router_static_qps = 0.0;
+  double router_routed_qps = 0.0;
+  bool router_gated = false;
+  double router_routed_k_avg = 0.0;
+  EngineStatsSnapshot router_snapshot;
+  {
+    const unsigned hardware = std::thread::hardware_concurrency();
+    constexpr NodeId kCore = 48;
+    constexpr NodeId kFringe = 96;
+    GraphBuilder builder(kCore + kFringe);
+    for (NodeId i = 0; i < kCore; ++i) {
+      builder.AddEdge(i, (i + 1) % kCore, 0.9).CheckOK();
+      builder.AddEdge(i, (i + 7) % kCore, 0.7).CheckOK();
+    }
+    for (NodeId f = 0; f < kFringe; ++f) {
+      builder.AddEdge(kCore + f, f % kCore, 0.05).CheckOK();
+    }
+    const UncertainGraph bottleneck =
+        bench::Unwrap(builder.Build(), "GraphBuilder::Build(router)");
+
+    std::vector<EngineQuery> fringe_mix;
+    for (uint32_t repeat = 0; repeat < 6; ++repeat) {
+      for (NodeId f = 0; f < kFringe; ++f) {
+        fringe_mix.push_back(
+            EngineQuery::St(kCore + f, (f * 13 + repeat * 17 + 5) % kCore));
+      }
+    }
+
+    EngineOptions router_base = base;
+    router_base.num_samples = std::max(2000u, config.max_k);
+    router_base.enable_cache = false;
+
+    // (a) + (b): the thread-count determinism matrix, routed and static.
+    std::vector<EngineResult> static_reference;
+    std::vector<EngineResult> routed_reference;
+    for (const bool routed : {false, true}) {
+      std::vector<EngineResult>& reference_results =
+          routed ? routed_reference : static_reference;
+      for (const uint32_t threads : {1u, 2u, 8u}) {
+        EngineOptions options = router_base;
+        options.num_threads = threads;
+        options.enable_router = routed;
+        auto engine = bench::Unwrap(QueryEngine::Create(bottleneck, options),
+                                    "QueryEngine::Create(router)");
+        std::vector<EngineResult> results =
+            bench::Unwrap(engine->RunBatch(fringe_mix), "RunBatch(router)");
+        router_ok = router_ok && AllOk(results);
+        if (threads == 1) {
+          reference_results = std::move(results);
+        } else {
+          router_ok = router_ok && BitIdentical(reference_results, results);
+        }
+        if (routed && threads == 8) {
+          router_snapshot = engine->StatsSnapshot();
+          rows.emplace_back("8 threads, routed bottleneck mix",
+                            router_snapshot);
+          // (d) no fallback under the default generous gate.
+          router_ok = router_ok && !engine->router()->fallback_engaged();
+        }
+      }
+    }
+    router_ok = router_ok && router_snapshot.router_decisions > 0 &&
+                router_snapshot.router_fallbacks == 0;
+
+    // (c) + (d): equal accuracy and a real budget cut, pairwise on the
+    // 1-thread reference runs.
+    uint64_t routed_budget_sum = 0;
+    bool any_cut = false;
+    for (size_t i = 0; i < fringe_mix.size() && router_ok; ++i) {
+      const double diff = routed_reference[i].reliability -
+                          static_reference[i].reliability;
+      router_ok = router_ok && diff <= 0.1 && diff >= -0.1;
+      router_ok = router_ok && routed_reference[i].plan.routed;
+      routed_budget_sum += routed_reference[i].plan.num_samples;
+      any_cut = any_cut || routed_reference[i].plan.num_samples <
+                               router_base.num_samples;
+    }
+    router_ok = router_ok && any_cut;
+    router_routed_k_avg =
+        fringe_mix.empty() ? 0.0
+                           : static_cast<double>(routed_budget_sum) /
+                                 static_cast<double>(fringe_mix.size());
+
+    // (e) best-of-3 throughput, fresh engine per run so no state carries.
+    for (const bool routed : {false, true}) {
+      double& best = routed ? router_routed_qps : router_static_qps;
+      for (int run = 0; run < 3; ++run) {
+        EngineOptions options = router_base;
+        options.num_threads = max_threads;
+        options.enable_router = routed;
+        auto engine = bench::Unwrap(QueryEngine::Create(bottleneck, options),
+                                    "QueryEngine::Create(router timing)");
+        Timer wall;
+        const std::vector<EngineResult> results = bench::Unwrap(
+            engine->RunBatch(fringe_mix), "RunBatch(router timing)");
+        const double qps =
+            static_cast<double>(fringe_mix.size()) / wall.ElapsedSeconds();
+        router_ok = router_ok && AllOk(results);
+        best = std::max(best, qps);
+      }
+    }
+    const double speedup = router_static_qps > 0.0
+                               ? router_routed_qps / router_static_qps
+                               : 0.0;
+    router_gated = hardware >= 8;
+    if (router_gated) {
+      router_ok = router_ok && speedup >= 1.2;
+    }
+    std::printf(
+        "adaptive-router gate: %zu bottleneck queries, static K=%u vs routed "
+        "K avg %.0f, %llu decisions, %llu fallbacks; static %.0f qps vs "
+        "routed %.0f qps (%.2fx, %s >= 1.2x): %s\n",
+        fringe_mix.size(), router_base.num_samples, router_routed_k_avg,
+        static_cast<unsigned long long>(router_snapshot.router_decisions),
+        static_cast<unsigned long long>(router_snapshot.router_fallbacks),
+        router_static_qps, router_routed_qps, speedup,
+        router_gated ? "gated" : "reported only (host < 8 hw threads), not",
+        router_ok ? "pass" : "FAIL — ROUTER REGRESSED OR DIVERGED");
+  }
+
   bench::PrintTable(EngineStatsTable(rows), "engine_throughput");
 
   if (!stats_json_path.empty()) {
@@ -888,14 +1049,17 @@ int main(int argc, char** argv) {
                   traced_qps, std::thread::hardware_concurrency() >= 8,
                   storage_raw_bytes, storage_compact_bytes,
                   dataset.graph.num_edges(), storage_raw_qps,
-                  storage_compact_qps, storage_gated, stages_json, identical,
-                  shared_index_ok, mixed_ok, sweep_ok, strata_ok, trace_ok,
-                  storage_ok)) {
+                  storage_compact_qps, storage_gated, router_static_qps,
+                  router_routed_qps, router_routed_k_avg,
+                  router_snapshot.router_decisions,
+                  router_snapshot.router_fallbacks, router_gated, stages_json,
+                  identical, shared_index_ok, mixed_ok, sweep_ok, strata_ok,
+                  trace_ok, storage_ok, router_ok)) {
       std::printf("JSON results written to %s\n", json_path.c_str());
     }
   }
   return identical && shared_index_ok && mixed_ok && sweep_ok && strata_ok &&
-                 trace_ok && storage_ok
+                 trace_ok && storage_ok && router_ok
              ? 0
              : 1;
 }

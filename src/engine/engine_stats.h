@@ -81,6 +81,13 @@ struct EngineStatsSnapshot {
   /// Queries whose PrepareForNextQuery artifact (BFS Sharing generation) was
   /// adopted from the background prebuilder instead of resampled inline.
   uint64_t prebuilt_used = 0;
+  /// \name Adaptive routing (zeros when enable_router is off)
+  /// @{
+  /// Routing decisions made (one per planned query / sweep source).
+  uint64_t router_decisions = 0;
+  /// Decisions served by the paper-faithful fallback latch.
+  uint64_t router_fallbacks = 0;
+  /// @}
   /// Per-call wall-clock summed over batches / stream cycles. Overlapping
   /// calls from concurrent clients each contribute their full duration, so
   /// this over-counts real time under multi-client load.

@@ -59,7 +59,8 @@ class StageTimer {
 }  // namespace
 
 QueryEngine::QueryEngine(const UncertainGraph& graph, EngineOptions options,
-                         std::vector<std::unique_ptr<Estimator>> replicas)
+                         std::vector<std::unique_ptr<Estimator>> replicas,
+                         std::vector<CandidateReplicas> extra_replicas)
     : graph_(graph),
       options_(std::move(options)),
       registry_(std::make_unique<obs::MetricsRegistry>()),
@@ -67,7 +68,15 @@ QueryEngine::QueryEngine(const UncertainGraph& graph, EngineOptions options,
           options_.trace_sample_rate, options_.slow_query_ms,
           options_.trace_ring_capacity})),
       replicas_(std::move(replicas)),
+      extra_replicas_(std::move(extra_replicas)),
       stats_(registry_.get()) {
+  sweep_capable_ = !replicas_.empty() && replicas_.front()->SupportsSourceSweep();
+  for (const CandidateReplicas& candidate : extra_replicas_) {
+    if (!candidate.replicas.empty() &&
+        candidate.replicas.front()->SupportsSourceSweep()) {
+      sweep_capable_ = true;
+    }
+  }
   stage_cache_probe_ =
       registry_->GetHistogram("engine_stage_latency_ns", "stage", "cache_probe");
   stage_prepare_ =
@@ -130,7 +139,8 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
   if (opts.num_samples == 0) {
     return Status::InvalidArgument("EngineOptions::num_samples must be > 0");
   }
-  if (opts.cache_ttl < 0.0 || opts.negative_cache_ttl < 0.0) {
+  if (opts.cache_ttl < 0.0 || opts.negative_cache_ttl < 0.0 ||
+      opts.scout_warm_ttl < 0.0) {
     return Status::InvalidArgument("EngineOptions TTLs must be >= 0");
   }
   // One shared immutable index for all replicas of an index-carrying kind
@@ -138,8 +148,90 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
   RELCOMP_ASSIGN_OR_RETURN(
       std::vector<std::unique_ptr<Estimator>> replicas,
       MakeEstimatorReplicas(opts.kind, graph, opts.num_threads, opts.factory));
-  return std::unique_ptr<QueryEngine>(
-      new QueryEngine(graph, std::move(opts), std::move(replicas)));
+  // Routing candidates: the static kind plus plain MC — the cheap,
+  // capability-complete baseline every backend is measured against (and the
+  // enabler for workloads the static kind cannot answer). Each candidate
+  // gets the same per-worker replica discipline as the primary set.
+  std::vector<CandidateReplicas> extra;
+  if (opts.enable_router && opts.kind != EstimatorKind::kMonteCarlo) {
+    RELCOMP_ASSIGN_OR_RETURN(
+        std::vector<std::unique_ptr<Estimator>> mc_replicas,
+        MakeEstimatorReplicas(EstimatorKind::kMonteCarlo, graph,
+                              opts.num_threads, opts.factory));
+    CandidateReplicas candidate;
+    candidate.kind = EstimatorKind::kMonteCarlo;
+    candidate.replicas = std::move(mc_replicas);
+    extra.push_back(std::move(candidate));
+  }
+  std::unique_ptr<QueryEngine> engine(new QueryEngine(
+      graph, std::move(opts), std::move(replicas), std::move(extra)));
+  RELCOMP_RETURN_NOT_OK(engine->InitRouter());
+  return engine;
+}
+
+Status QueryEngine::InitRouter() {
+  if (!options_.enable_router) return Status::OK();
+  // Capabilities are probed from live replicas (worker 0 of each set), never
+  // hard-coded per kind — a backend gaining a sweep core is picked up here
+  // automatically.
+  const auto probe = [](EstimatorKind kind, const Estimator& estimator) {
+    BackendCapabilities caps;
+    caps.kind = kind;
+    caps.source_sweep = estimator.SupportsSourceSweep();
+    caps.stratified_sweep = estimator.SupportsStratifiedSweep();
+    caps.distance = estimator.SupportsDistanceConstrained();
+    caps.hints = estimator.cost_hints();
+    return caps;
+  };
+  std::vector<BackendCapabilities> candidates;
+  candidates.push_back(probe(options_.kind, *replicas_.front()));
+  for (const CandidateReplicas& extra : extra_replicas_) {
+    candidates.push_back(probe(extra.kind, *extra.replicas.front()));
+  }
+  GraphFeatures features;
+  features.num_nodes = graph_.num_nodes();
+  features.num_edges = graph_.num_edges();
+  features.avg_out_degree =
+      features.num_nodes == 0
+          ? 0.0
+          : static_cast<double>(features.num_edges) /
+                static_cast<double>(features.num_nodes);
+  features.mean_edge_prob = graph_.ProbStats().mean;
+  RouterModel model;
+  if (!options_.router_profile_json.empty()) {
+    RELCOMP_ASSIGN_OR_RETURN(
+        model, RouterModel::FromJson(options_.router_profile_json));
+  } else {
+    model = RouterModel::Default(candidates, features, options_.router);
+  }
+  // eps(s) per node: the per-source reachability upper bound the budget
+  // lever rests on (QueryFeatures::escape_prob). One pass over the edges.
+  escape_prob_.assign(graph_.num_nodes(), 0.0);
+  for (size_t v = 0; v < graph_.num_nodes(); ++v) {
+    double survive = 1.0;
+    for (const AdjEntry& entry : graph_.OutEdges(static_cast<NodeId>(v))) {
+      survive *= 1.0 - entry.prob;
+    }
+    escape_prob_[v] = 1.0 - survive;
+  }
+  RouterStaticConfig static_config;
+  static_config.kind = options_.kind;
+  static_config.num_samples = options_.num_samples;
+  static_config.num_strata = options_.num_strata;
+  router_ = std::make_unique<EstimatorRouter>(
+      std::move(model), options_.router, static_config, features,
+      std::move(candidates), replicas_.size(), registry_.get());
+  return Status::OK();
+}
+
+Estimator& QueryEngine::ReplicaFor(EstimatorKind kind, size_t worker_id) {
+  if (kind == options_.kind) return *replicas_[worker_id];
+  for (CandidateReplicas& candidate : extra_replicas_) {
+    if (candidate.kind == kind) return *candidate.replicas[worker_id];
+  }
+  // Unreachable by construction: the router only decides kinds a replica
+  // set was built for. Degrade to the primary set rather than crash.
+  return *replicas_[worker_id];
 }
 
 uint64_t QueryEngine::QuerySeed(const EngineQuery& query) const {
@@ -156,18 +248,38 @@ uint64_t QueryEngine::QuerySeed(const EngineQuery& query) const {
   // reliable-set(s, eta) share one EstimateFromSource — and it keeps the
   // standalone-API equivalence exact, because the standalone helpers given
   // this seed run the identical sweep.
-  if (IsSweepWorkload(query.workload)) return SweepSeed(query.source);
-  uint64_t seed = HashWorkloadQuery(options_.seed, query);
-  seed = HashCombineSeed(seed, static_cast<uint64_t>(options_.kind));
-  seed = HashCombineSeed(seed, options_.num_samples);
-  return seed;
+  return SeedForPlan(query, PlanFor(query));
 }
 
 uint64_t QueryEngine::SweepSeed(NodeId source) const {
+  return SweepSeedForPlan(source, SweepPlan(source));
+}
+
+uint64_t QueryEngine::SeedForPlan(const EngineQuery& query,
+                                  const QueryPlan& plan) const {
+  // The plan's knobs fold in the exact positions the static knobs occupy in
+  // the pre-router derivation, so enable_router == false (where plan echoes
+  // the static knobs and the num_strata fold is skipped) reproduces the
+  // historical seeds byte-for-byte. With the router on, num_strata folds
+  // too: it is part of the sampling plan for stratified kinds, and two plans
+  // differing only in S must never share a seed (or a cache key).
+  if (IsSweepWorkload(query.workload)) {
+    return SweepSeedForPlan(query.source, plan);
+  }
+  uint64_t seed = HashWorkloadQuery(options_.seed, query);
+  seed = HashCombineSeed(seed, static_cast<uint64_t>(plan.kind));
+  seed = HashCombineSeed(seed, plan.num_samples);
+  if (router_ != nullptr) seed = HashCombineSeed(seed, plan.num_strata);
+  return seed;
+}
+
+uint64_t QueryEngine::SweepSeedForPlan(NodeId source,
+                                       const QueryPlan& plan) const {
   uint64_t seed = HashCombineSeed(options_.seed, kSweepSeedTag);
   seed = HashCombineSeed(seed, source);
-  seed = HashCombineSeed(seed, static_cast<uint64_t>(options_.kind));
-  seed = HashCombineSeed(seed, options_.num_samples);
+  seed = HashCombineSeed(seed, static_cast<uint64_t>(plan.kind));
+  seed = HashCombineSeed(seed, plan.num_samples);
+  if (router_ != nullptr) seed = HashCombineSeed(seed, plan.num_strata);
   return seed;
 }
 
@@ -175,11 +287,54 @@ uint64_t QueryEngine::PrepareSeed(const EngineQuery& query) const {
   return HashCombineSeed(QuerySeed(query), kPrepareSeedTag);
 }
 
+QueryPlan QueryEngine::PlanFor(const EngineQuery& query) const {
+  // Sweep kinds take their source's plan — one plan per source whatever the
+  // k / eta / workload tag, mirroring the sweep-seed coarsening that makes
+  // sweep sharing possible.
+  if (IsSweepWorkload(query.workload)) return SweepPlan(query.source);
+  if (router_ == nullptr) {
+    QueryPlan plan;
+    plan.kind = options_.kind;
+    plan.num_samples = options_.num_samples;
+    plan.num_strata = options_.num_strata;
+    return plan;
+  }
+  QueryFeatures features;
+  features.workload = query.workload;
+  features.out_degree = static_cast<uint32_t>(graph_.OutDegree(query.source));
+  features.escape_prob = escape_prob_[query.source];
+  features.param =
+      query.workload == WorkloadKind::kDistance ? query.max_hops : 0;
+  return router_->Decide(features);
+}
+
+QueryPlan QueryEngine::SweepPlan(NodeId source) const {
+  if (router_ == nullptr) {
+    QueryPlan plan;
+    plan.kind = options_.kind;
+    plan.num_samples = options_.num_samples;
+    plan.num_strata = options_.num_strata;
+    return plan;
+  }
+  QueryFeatures features;
+  // Any sweep workload tag: the router quantizes every sweep kind onto one
+  // plan bucket per source (param ignored), the sweep-sharing contract.
+  features.workload = WorkloadKind::kTopK;
+  features.out_degree = static_cast<uint32_t>(graph_.OutDegree(source));
+  features.escape_prob = escape_prob_[source];
+  features.param = 0;
+  return router_->Decide(features);
+}
+
 EngineStatsSnapshot QueryEngine::StatsSnapshot() const {
   EngineStatsSnapshot snapshot =
       stats_.Snapshot(cache_.get(), sweep_cache_.get());
   snapshot.index_memory = IndexMemory();
   if (prebuilder_ != nullptr) snapshot.prebuilder = prebuilder_->Stats();
+  if (router_ != nullptr) {
+    snapshot.router_decisions = router_->decisions();
+    snapshot.router_fallbacks = router_->fallbacks();
+  }
   return snapshot;
 }
 
@@ -326,28 +481,33 @@ void QueryEngine::FinishFlight(const ResultCacheKey& key,
 }
 
 void QueryEngine::RequestPrebuild(const EngineQuery& query) {
-  const uint64_t query_seed = QuerySeed(query);
+  const QueryPlan plan = PlanFor(query);
+  // The prebuilder's build prototype is a static-kind replica: generations
+  // it resamples only fit static-kind plans. A query routed onto another
+  // backend will never adopt one, so don't build it.
+  if (plan.kind != options_.kind) return;
+  const uint64_t query_seed = SeedForPlan(query, plan);
   // A query the caches will serve never prepares a replica — building its
   // generation would be pure waste (and would strand index-sized memory in
   // the builder's ready pool). That covers result-cache hits for any kind,
   // and sweep-kind queries whose source's sweep is already memoized (they
   // derive without touching an estimator, whatever their k / eta).
   if (cache_ != nullptr &&
-      cache_->Contains(ResultCacheKey{query, options_.kind,
-                                      options_.num_samples, query_seed})) {
+      cache_->Contains(ResultCacheKey{query, plan.kind, plan.num_samples,
+                                      query_seed})) {
     return;
   }
   if (sweep_cache_ != nullptr && IsSweepWorkload(query.workload) &&
-      sweep_cache_->Contains(SweepCacheKey{options_.kind, query.source,
-                                           options_.num_samples, query_seed})) {
+      sweep_cache_->Contains(SweepCacheKey{plan.kind, query.source,
+                                           plan.num_samples, query_seed})) {
     return;
   }
-  prebuilder_->Request(PrepareSeed(query));
+  prebuilder_->Request(HashCombineSeed(query_seed, kPrepareSeedTag));
 }
 
 Status QueryEngine::PrepareReplica(Estimator& estimator,
                                    uint64_t prepare_seed) {
-  if (prebuilder_ != nullptr) {
+  if (prebuilder_ != nullptr && estimator.SupportsPreparedGenerations()) {
     if (std::unique_ptr<PreparedGeneration> generation =
             prebuilder_->Take(prepare_seed)) {
       if (estimator.AdoptPreparedGeneration(std::move(generation)).ok()) {
@@ -363,13 +523,14 @@ Status QueryEngine::PrepareReplica(Estimator& estimator,
 }
 
 Result<QueryEngine::SweepShare> QueryEngine::ComputeSweepSerial(
-    size_t worker_id, const EngineQuery& query, uint64_t sweep_seed,
-    const SweepCacheKey& key, obs::TraceBuffer* trace, uint32_t parent) {
+    size_t worker_id, const EngineQuery& query, const QueryPlan& plan,
+    uint64_t sweep_seed, const SweepCacheKey& key, obs::TraceBuffer* trace,
+    uint32_t parent) {
   // Coalescing-off path: one worker runs the whole stratified sweep
-  // back-to-back. EstimateFromSource with the engine's num_strata merges
+  // back-to-back. EstimateFromSource with the plan's num_strata merges
   // strata in index order — the exact merge the stratum scheduler replays —
   // so serial and stolen-strata execution are bit-identical.
-  Estimator& estimator = *replicas_[worker_id];
+  Estimator& estimator = ReplicaFor(plan.kind, worker_id);
   MemoryTracker tracker;
   Timer timer;
   stats_.RecordSweepExecuted();
@@ -379,9 +540,9 @@ Result<QueryEngine::SweepShare> QueryEngine::ComputeSweepSerial(
         estimator, HashCombineSeed(sweep_seed, kPrepareSeedTag)));
   }
   EstimateOptions estimate_options;
-  estimate_options.num_samples = options_.num_samples;
+  estimate_options.num_samples = plan.num_samples;
   estimate_options.seed = sweep_seed;
-  estimate_options.num_strata = options_.num_strata;
+  estimate_options.num_strata = plan.num_strata;
   estimate_options.memory = &tracker;
   estimate_options.trace = trace;
   estimate_options.trace_parent = parent;
@@ -398,11 +559,12 @@ Result<QueryEngine::SweepShare> QueryEngine::ComputeSweepSerial(
 }
 
 void QueryEngine::RunSweepFlight(size_t worker_id, NodeId source,
-                                 uint64_t sweep_seed, const SweepCacheKey& key,
+                                 const QueryPlan& plan, uint64_t sweep_seed,
+                                 const SweepCacheKey& key,
                                  const std::shared_ptr<SweepFlight>& flight,
                                  bool leader, obs::TraceBuffer* trace,
                                  uint32_t parent) {
-  Estimator& estimator = *replicas_[worker_id];
+  Estimator& estimator = ReplicaFor(plan.kind, worker_id);
   MemoryTracker tracker;
   bool prepared = false;
   // Claim loop: leader and coalesced joiners alike pull unclaimed strata off
@@ -467,7 +629,7 @@ void QueryEngine::RunSweepFlight(size_t worker_id, NodeId source,
       StageTimer stratum_stage(stage_stratum_, trace, obs::SpanKind::kStratum,
                                parent, stratum);
       EstimateOptions estimate_options;
-      estimate_options.num_samples = options_.num_samples;
+      estimate_options.num_samples = flight->num_samples;
       estimate_options.seed = sweep_seed;
       estimate_options.num_strata = flight->num_strata;
       estimate_options.memory = &tracker;
@@ -552,7 +714,7 @@ void QueryEngine::RunSweepFlight(size_t worker_id, NodeId source,
               totals[v] += stratum_hits[v];
             }
           }
-          const double k = static_cast<double>(options_.num_samples);
+          const double k = static_cast<double>(flight->num_samples);
           for (size_t v = 0; v < totals.size(); ++v) {
             (*merged)[v] = static_cast<double>(totals[v]) / k;
           }
@@ -564,9 +726,15 @@ void QueryEngine::RunSweepFlight(size_t worker_id, NodeId source,
   if (finalize) {
     // Publish order: SweepCache first, then retire the flight entry, then
     // set ready and wake — a concurrent miss always finds the key in the
-    // cache or the flight table, never neither.
+    // cache or the flight table, never neither. A sweep only the scout ever
+    // touched publishes under the warm TTL (a Lookup hit promotes it to
+    // immortal if a query derives from it later); one query joining the
+    // flight already cleared the mark.
     if (status.ok() && sweep_cache_ != nullptr) {
-      sweep_cache_->Insert(key, vector);
+      const bool scout_only =
+          flight->scout_only.load(std::memory_order_relaxed);
+      sweep_cache_->Insert(key, vector,
+                           scout_only ? options_.scout_warm_ttl : 0.0);
     }
     {
       std::lock_guard<std::mutex> lock(sweep_inflight_mutex_);
@@ -591,7 +759,8 @@ void QueryEngine::RunSweepFlight(size_t worker_id, NodeId source,
 }
 
 std::shared_ptr<QueryEngine::SweepFlight> QueryEngine::JoinOrCreateSweepFlight(
-    size_t worker_id, const SweepCacheKey& key, bool* leader,
+    size_t worker_id, const QueryPlan& plan, const SweepCacheKey& key,
+    bool scout, bool* leader,
     std::shared_ptr<const std::vector<double>>* cached) {
   *leader = false;
   cached->reset();
@@ -618,19 +787,26 @@ std::shared_ptr<QueryEngine::SweepFlight> QueryEngine::JoinOrCreateSweepFlight(
     it->second = std::make_shared<SweepFlight>();
     *leader = true;
     SweepFlight& fresh = *it->second;
-    const bool stratified = replicas_[worker_id]->SupportsStratifiedSweep();
-    fresh.num_strata = stratified ? options_.num_strata : 1;
+    const bool stratified =
+        ReplicaFor(plan.kind, worker_id).SupportsStratifiedSweep();
+    fresh.num_strata = stratified ? plan.num_strata : 1;
+    fresh.num_samples = plan.num_samples;
     fresh.whole_sweep = !stratified;
     fresh.stratum_hits.resize(fresh.num_strata);
+    fresh.scout_only.store(scout, std::memory_order_relaxed);
     fresh.timer.Restart();
+  } else if (!scout) {
+    // A real query joined a scout-led flight: its sweep is wanted, so the
+    // publish must be immortal.
+    it->second->scout_only.store(false, std::memory_order_relaxed);
   }
   return it->second;
 }
 
 Result<QueryEngine::SweepShare> QueryEngine::GetSweepVector(
-    size_t worker_id, const EngineQuery& query, uint64_t sweep_seed,
-    obs::TraceBuffer* trace, uint32_t parent) {
-  const SweepCacheKey key{options_.kind, query.source, options_.num_samples,
+    size_t worker_id, const EngineQuery& query, const QueryPlan& plan,
+    uint64_t sweep_seed, obs::TraceBuffer* trace, uint32_t parent) {
+  const SweepCacheKey key{plan.kind, query.source, plan.num_samples,
                           sweep_seed};
   // Fast path: memoized sweep.
   if (sweep_cache_ != nullptr) {
@@ -646,13 +822,13 @@ Result<QueryEngine::SweepShare> QueryEngine::GetSweepVector(
     }
   }
   if (!options_.enable_coalescing) {
-    return ComputeSweepSerial(worker_id, query, sweep_seed, key, trace,
+    return ComputeSweepSerial(worker_id, query, plan, sweep_seed, key, trace,
                               parent);
   }
   bool leader = false;
   std::shared_ptr<const std::vector<double>> cached;
-  std::shared_ptr<SweepFlight> flight =
-      JoinOrCreateSweepFlight(worker_id, key, &leader, &cached);
+  std::shared_ptr<SweepFlight> flight = JoinOrCreateSweepFlight(
+      worker_id, plan, key, /*scout=*/false, &leader, &cached);
   if (flight == nullptr) {
     // The sweep finished between our fast-path miss and taking the flight
     // lock: this query shared its work (accounted as sweep_coalesced, not a
@@ -666,8 +842,8 @@ Result<QueryEngine::SweepShare> QueryEngine::GetSweepVector(
   {
     obs::ScopedSpan flight_span(trace, obs::SpanKind::kSweepFlight, parent,
                                 leader ? 1 : 0);
-    RunSweepFlight(worker_id, query.source, sweep_seed, key, flight, leader,
-                   trace, flight_span.id());
+    RunSweepFlight(worker_id, query.source, plan, sweep_seed, key, flight,
+                   leader, trace, flight_span.id());
   }
 
   Status status;
@@ -692,14 +868,18 @@ Result<QueryEngine::SweepShare> QueryEngine::GetSweepVector(
 }
 
 void QueryEngine::ScoutSweep(size_t worker_id, NodeId source) {
-  const uint64_t sweep_seed = SweepSeed(source);
-  const SweepCacheKey key{options_.kind, source, options_.num_samples,
-                          sweep_seed};
+  const QueryPlan plan = SweepPlan(source);
+  // A plan routed onto a kind with no sweep core cannot be warmed (the
+  // queries it belongs to fail with NotSupported; scouting them would only
+  // burn a pool slot re-raising the error).
+  if (!ReplicaFor(plan.kind, worker_id).SupportsSourceSweep()) return;
+  const uint64_t sweep_seed = SweepSeedForPlan(source, plan);
+  const SweepCacheKey key{plan.kind, source, plan.num_samples, sweep_seed};
   if (sweep_cache_ == nullptr || sweep_cache_->Contains(key)) return;
   bool leader = false;
   std::shared_ptr<const std::vector<double>> cached;
-  std::shared_ptr<SweepFlight> flight =
-      JoinOrCreateSweepFlight(worker_id, key, &leader, &cached);
+  std::shared_ptr<SweepFlight> flight = JoinOrCreateSweepFlight(
+      worker_id, plan, key, /*scout=*/true, &leader, &cached);
   // Nothing to warm unless this scout won the flight outright: a memoized
   // sweep needs no warming and an open flight already has a leader.
   if (flight == nullptr || !leader) return;
@@ -723,8 +903,8 @@ void QueryEngine::ScoutSweep(size_t worker_id, NodeId source) {
     buffer.Start(tracer_->NextQueryId(), static_cast<uint32_t>(worker_id));
     root = buffer.Begin(obs::SpanKind::kScout);
   }
-  RunSweepFlight(worker_id, source, sweep_seed, key, flight, /*leader=*/true,
-                 trace, root);
+  RunSweepFlight(worker_id, source, plan, sweep_seed, key, flight,
+                 /*leader=*/true, trace, root);
   if (trace != nullptr) {
     buffer.End(root);
     tracer_->Finish(buffer);
@@ -755,9 +935,10 @@ void QueryEngine::ScoutBatch(const std::vector<EngineQuery>& queries) {
   }
   for (const auto& [source, count] : ranked) {
     (void)count;
-    if (sweep_cache_->Contains(SweepCacheKey{options_.kind, source,
-                                             options_.num_samples,
-                                             SweepSeed(source)})) {
+    const QueryPlan plan = SweepPlan(source);
+    if (sweep_cache_->Contains(SweepCacheKey{plan.kind, source,
+                                             plan.num_samples,
+                                             SweepSeedForPlan(source, plan)})) {
       continue;
     }
     // Best-effort: a full queue just means no warm-ahead for this source.
@@ -768,20 +949,20 @@ void QueryEngine::ScoutBatch(const std::vector<EngineQuery>& queries) {
 }
 
 Result<WorkloadResult> QueryEngine::ComputeWorkload(
-    size_t worker_id, const EngineQuery& query, uint64_t query_seed,
-    obs::TraceBuffer* trace, uint32_t parent) {
-  Estimator& estimator = *replicas_[worker_id];
+    size_t worker_id, const EngineQuery& query, const QueryPlan& plan,
+    uint64_t query_seed, obs::TraceBuffer* trace, uint32_t parent) {
+  Estimator& estimator = ReplicaFor(plan.kind, worker_id);
   if (IsSweepWorkload(query.workload) && estimator.SupportsSourceSweep()) {
     // Sweep sharing: obtain the per-source vector once (memoized, coalesced,
     // or computed) and derive this query's view of it. Bit-identical to a
     // direct dispatch because the seed is the same sweep seed either way.
     RELCOMP_ASSIGN_OR_RETURN(
         SweepShare share,
-        GetSweepVector(worker_id, query, query_seed, trace, parent));
+        GetSweepVector(worker_id, query, plan, query_seed, trace, parent));
     StageTimer derive_stage(stage_derive_, trace, obs::SpanKind::kDerive,
                             parent);
     WorkloadResult derived =
-        DeriveFromSweep(query, *share.vector, options_.num_samples);
+        DeriveFromSweep(query, *share.vector, plan.num_samples);
     if (share.peak_memory_bytes > derived.peak_memory_bytes) {
       derived.peak_memory_bytes = share.peak_memory_bytes;
     }
@@ -790,15 +971,16 @@ Result<WorkloadResult> QueryEngine::ComputeWorkload(
   {
     StageTimer prepare_stage(stage_prepare_, trace, obs::SpanKind::kPrepare,
                              parent);
-    RELCOMP_RETURN_NOT_OK(PrepareReplica(estimator, PrepareSeed(query)));
+    RELCOMP_RETURN_NOT_OK(PrepareReplica(
+        estimator, HashCombineSeed(query_seed, kPrepareSeedTag)));
   }
   EstimateOptions estimate_options;
-  estimate_options.num_samples = options_.num_samples;
+  estimate_options.num_samples = plan.num_samples;
   estimate_options.seed = query_seed;
   // Stratified partitioning applies to every kind with a stratified core:
   // s-t MC estimates split their budget the same canonical way sweeps do
   // (estimators without one ignore the knob).
-  estimate_options.num_strata = options_.num_strata;
+  estimate_options.num_strata = plan.num_strata;
   obs::ScopedSpan estimate_span(trace, obs::SpanKind::kEstimate, parent);
   estimate_options.trace = trace;
   estimate_options.trace_parent = estimate_span.id();
@@ -824,13 +1006,14 @@ void QueryEngine::RunOne(size_t worker_id, const EngineQuery& query,
     buffer.End(buffer.BeginAt(obs::SpanKind::kQueueWait, enqueue_ns, root));
   }
 
-  const uint64_t query_seed = QuerySeed(query);
+  const QueryPlan plan = PlanFor(query);
+  const uint64_t query_seed = SeedForPlan(query, plan);
   slot->query = query;
   slot->seed = query_seed;
+  slot->plan = plan;
   stats_.RecordWorkload(query.workload);
 
-  const ResultCacheKey key{query, options_.kind, options_.num_samples,
-                           query_seed};
+  const ResultCacheKey key{query, plan.kind, plan.num_samples, query_seed};
   std::shared_ptr<InFlight> flight;
   if (TryServeWithoutCompute(key, slot, &flight, trace, root)) {
     if (trace != nullptr) {
@@ -844,7 +1027,7 @@ void QueryEngine::RunOne(size_t worker_id, const EngineQuery& query,
   Timer timer;
   ResultCacheValue value;
   Result<WorkloadResult> result =
-      ComputeWorkload(worker_id, query, query_seed, trace, root);
+      ComputeWorkload(worker_id, query, plan, query_seed, trace, root);
   if (result.ok()) {
     value.reliability = result->reliability;
     value.num_samples = result->num_samples;
@@ -854,6 +1037,10 @@ void QueryEngine::RunOne(size_t worker_id, const EngineQuery& query,
     slot->targets = value.targets;
     slot->seconds = timer.ElapsedSeconds();
     stats_.RecordExecuted(slot->seconds, result->peak_memory_bytes);
+    // Feed the fallback gate: one observation per estimator-executed routed
+    // query (cache hits and coalesced waiters observed someone else's
+    // latency and were filtered out above).
+    if (router_ != nullptr) router_->RecordObserved(plan, slot->seconds);
   } else {
     value.status = result.status();
     slot->status = result.status();

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -11,6 +12,7 @@
 #include "engine/engine_stats.h"
 #include "engine/generation_prebuilder.h"
 #include "engine/result_cache.h"
+#include "engine/router.h"
 #include "engine/sweep_cache.h"
 #include "engine/thread_pool.h"
 #include "graph/uncertain_graph.h"
@@ -104,6 +106,13 @@ struct EngineOptions {
   /// Most-frequent sources the scout pass warms per batch; a source must
   /// appear at least twice to be worth a scout task.
   uint32_t scout_max_sources = 4;
+  /// TTL in seconds on sweep-cache entries published by a scout-led sweep
+  /// *no query joined*: a speculative warm that turned out cold expires
+  /// instead of pinning sweep-cache bytes until eviction. A real query
+  /// joining the flight (or deriving from the entry later — Lookup promotes
+  /// on hit) makes the sweep immortal again. 0 = scout warms never expire
+  /// (the pre-TTL behavior).
+  double scout_warm_ttl = 30.0;
   /// Background generation prebuilding: when the estimator kind supports
   /// prepared generations (BFS Sharing), a builder thread constructs the
   /// next queries' PrepareForNextQuery artifacts (world resampling)
@@ -146,6 +155,26 @@ struct EngineOptions {
   /// Span capacity of the trace ring (rounded up to a power of two).
   size_t trace_ring_capacity = 4096;
   /// @}
+  /// \name Adaptive estimator routing (see src/engine/router.h)
+  /// @{
+  /// Per-query (backend, budget, strata) selection from a calibrated cost
+  /// model. Off by default: `false` reproduces the static-knob engine
+  /// byte-for-byte (same seeds, same cache keys, same answers). On, every
+  /// query's plan comes from EstimatorRouter::Decide — a deterministic
+  /// function of the query's content features — and the chosen
+  /// (kind, K, S) folds into the query's seed and cache keys exactly as the
+  /// static knobs do, so routed answers are bit-identical at any thread
+  /// count while the fallback latch stays disengaged.
+  bool enable_router = false;
+  /// Routing knobs: fallback gate, hysteresis margin, budget floor, strata
+  /// ceiling (only consulted when enable_router).
+  RouterOptions router;
+  /// Calibrated per-backend latency/accuracy profile — the JSON document
+  /// `examples/estimator_tournament --json` emits — as a string. Empty: the
+  /// router builds RouterModel::Default from each candidate backend's
+  /// CostHints. Malformed JSON fails Create.
+  std::string router_profile_json;
+  /// @}
   /// Estimator construction knobs (index parameters, index seed).
   FactoryOptions factory;
 };
@@ -164,6 +193,10 @@ struct EngineResult {
   /// reliability, ties toward smaller node ids, source excluded).
   std::vector<ReliableTarget> targets;
   uint32_t num_samples = 0;
+  /// The execution plan this query ran under: the static knobs echoed when
+  /// the router is off, the routing decision when it is on (plan.routed /
+  /// plan.fallback tell which).
+  QueryPlan plan;
   /// Seconds from dispatch on a worker to completion (0 for cache hits, which
   /// never reach a worker's estimator; wait time for coalesced queries).
   double seconds = 0.0;
@@ -257,6 +290,19 @@ class QueryEngine {
     return PrepareSeed(EngineQuery(query));
   }
 
+  /// The execution plan `query` runs under. Router off: the static knobs
+  /// (kind, num_samples, num_strata) echoed back, plan.routed == false.
+  /// Router on: the EstimatorRouter decision — with QuerySeed this fully
+  /// reproduces a routed engine answer on a bare estimator of plan.kind.
+  /// Sweep-kind queries get their source's SweepPlan (identical for every
+  /// k / eta / sweep-workload tag over one source, the sweep-sharing
+  /// contract).
+  QueryPlan PlanFor(const EngineQuery& query) const;
+
+  /// The per-source sweep plan (see PlanFor). `SweepPlan(s)` ==
+  /// `PlanFor(q)` for every sweep-kind q with source s.
+  QueryPlan SweepPlan(NodeId source) const;
+
   const EngineOptions& options() const { return options_; }
   size_t num_threads() const { return pool_->num_threads(); }
   /// nullptr when the cache is disabled.
@@ -284,9 +330,21 @@ class QueryEngine {
   /// slow-query log (slow_query_ms).
   obs::Tracer& tracer() const { return *tracer_; }
 
+  /// The adaptive router; nullptr when enable_router is false.
+  const EstimatorRouter* router() const { return router_.get(); }
+
  private:
+  /// One routing candidate's replica set: every candidate kind gets one
+  /// replica per worker, exactly like the primary set (index-carrying kinds
+  /// share one index across their set).
+  struct CandidateReplicas {
+    EstimatorKind kind;
+    std::vector<std::unique_ptr<Estimator>> replicas;
+  };
+
   QueryEngine(const UncertainGraph& graph, EngineOptions options,
-              std::vector<std::unique_ptr<Estimator>> replicas);
+              std::vector<std::unique_ptr<Estimator>> replicas,
+              std::vector<CandidateReplicas> extra_replicas);
 
   /// Per-call completion state, shared only by that call's worker tasks:
   /// each call waits on its own counter instead of global pool idleness (so
@@ -319,9 +377,19 @@ class QueryEngine {
   struct SweepFlight {
     std::mutex mutex;
     std::condition_variable done;
-    /// Strata of this sweep (fixed at creation: the engine's num_strata
+    /// Strata of this sweep (fixed at creation: the sweep plan's num_strata
     /// when the estimator has a stratified core, else 1).
     uint32_t num_strata = 1;
+    /// The sweep plan's total budget K (fixed at creation; the merge
+    /// divisor). Every participant reached this flight through the same
+    /// plan-derived key, so the plan knobs are flight invariants.
+    uint32_t num_samples = 0;
+    /// True while only the warm-ahead scout leads this flight (no query has
+    /// joined): the publish then carries the scout-warm TTL, so a sweep no
+    /// query ever wanted cannot pin sweep-cache bytes indefinitely. Cleared
+    /// the moment a query joins or steals (relaxed atomic: set/cleared under
+    /// the rendezvous lock, read once by the finalizer).
+    std::atomic<bool> scout_only{false};
     /// True when the estimator has no stratified core: the single "stratum"
     /// runs the whole EstimateFromSource into `whole`.
     bool whole_sweep = false;
@@ -370,6 +438,7 @@ class QueryEngine {
   /// through PrepareReplica + DispatchWorkload.
   Result<WorkloadResult> ComputeWorkload(size_t worker_id,
                                          const EngineQuery& query,
+                                         const QueryPlan& plan,
                                          uint64_t query_seed,
                                          obs::TraceBuffer* trace,
                                          uint32_t parent);
@@ -380,7 +449,7 @@ class QueryEngine {
   /// flight's participants. Records exactly one of sweep_hit /
   /// sweep_coalesced / sweep_executed per call.
   Result<SweepShare> GetSweepVector(size_t worker_id, const EngineQuery& query,
-                                    uint64_t sweep_seed,
+                                    const QueryPlan& plan, uint64_t sweep_seed,
                                     obs::TraceBuffer* trace, uint32_t parent);
 
   /// Participates in `flight`: claims and executes unclaimed strata on this
@@ -389,8 +458,8 @@ class QueryEngine {
   /// merges in stratum order, publishes to the SweepCache, retires the
   /// flight entry, and wakes everyone. Returns only once the flight is
   /// ready. `leader` controls the strata_stolen accounting.
-  void RunSweepFlight(size_t worker_id, NodeId source, uint64_t sweep_seed,
-                      const SweepCacheKey& key,
+  void RunSweepFlight(size_t worker_id, NodeId source, const QueryPlan& plan,
+                      uint64_t sweep_seed, const SweepCacheKey& key,
                       const std::shared_ptr<SweepFlight>& flight, bool leader,
                       obs::TraceBuffer* trace, uint32_t parent);
 
@@ -398,6 +467,7 @@ class QueryEngine {
   /// the engine's stratum count (bit-identical to a stolen-strata merge).
   Result<SweepShare> ComputeSweepSerial(size_t worker_id,
                                         const EngineQuery& query,
+                                        const QueryPlan& plan,
                                         uint64_t sweep_seed,
                                         const SweepCacheKey& key,
                                         obs::TraceBuffer* trace,
@@ -409,9 +479,12 @@ class QueryEngine {
   /// Returns nullptr when the double-check served the sweep (`*cached`
   /// holds the vector); otherwise the flight, with `*leader` true iff this
   /// caller created it. Shared by the query path and the scout pass so the
-  /// two can never drift in flight setup.
+  /// two can never drift in flight setup. `scout` marks a warm-ahead
+  /// creation (flight starts scout_only, its publish carries the warm TTL);
+  /// a non-scout join clears the mark.
   std::shared_ptr<SweepFlight> JoinOrCreateSweepFlight(
-      size_t worker_id, const SweepCacheKey& key, bool* leader,
+      size_t worker_id, const QueryPlan& plan, const SweepCacheKey& key,
+      bool scout, bool* leader,
       std::shared_ptr<const std::vector<double>>* cached);
 
   /// Warm-ahead scout task for `source`: if its sweep is neither memoized
@@ -421,11 +494,29 @@ class QueryEngine {
   void ScoutSweep(size_t worker_id, NodeId source);
 
   /// True when scout warm tasks make sense under the current configuration.
+  /// `sweep_capable_` already accounts for routing: a router may plan sweeps
+  /// onto a candidate kind even when the static kind cannot run them.
   bool ScoutingEnabled() const {
     return options_.enable_sweep_scout && options_.enable_coalescing &&
-           sweep_cache_ != nullptr && !replicas_.empty() &&
-           replicas_.front()->SupportsSourceSweep();
+           sweep_cache_ != nullptr && sweep_capable_;
   }
+
+  /// Seed derivation under an explicit plan: plan.kind / plan.num_samples
+  /// fold in the exact positions the static knobs occupy today, and
+  /// plan.num_strata folds additionally — but only when the router is on,
+  /// so enable_router == false reproduces the static seeds byte-for-byte.
+  uint64_t SeedForPlan(const EngineQuery& query, const QueryPlan& plan) const;
+  uint64_t SweepSeedForPlan(NodeId source, const QueryPlan& plan) const;
+
+  /// The `worker_id` replica of `kind`: the primary set when kind matches
+  /// the engine's static kind, the candidate set otherwise. The router only
+  /// ever decides kinds a replica set exists for.
+  Estimator& ReplicaFor(EstimatorKind kind, size_t worker_id);
+
+  /// Builds router_ and escape_prob_ when enable_router (called from Create
+  /// right after construction; a malformed router_profile_json fails engine
+  /// creation). No-op when the router is off.
+  Status InitRouter();
 
   /// Enqueues scout warm tasks for the most frequent sweep sources of
   /// `queries` (frequency >= 2, capped at scout_max_sources), ahead of the
@@ -476,6 +567,17 @@ class QueryEngine {
   std::unique_ptr<obs::MetricsRegistry> registry_;
   std::unique_ptr<obs::Tracer> tracer_;
   std::vector<std::unique_ptr<Estimator>> replicas_;
+  /// Routing candidates beyond the static kind (empty when the router is
+  /// off): one replica set per candidate kind, same per-worker discipline as
+  /// replicas_.
+  std::vector<CandidateReplicas> extra_replicas_;
+  /// nullptr when enable_router is false.
+  std::unique_ptr<EstimatorRouter> router_;
+  /// Escape probability eps(s) per node (see QueryFeatures::escape_prob),
+  /// precomputed once at construction; empty when the router is off.
+  std::vector<double> escape_prob_;
+  /// Some replica set (primary or candidate) answers source sweeps.
+  bool sweep_capable_ = false;
   std::unique_ptr<ResultCache> cache_;
   std::unique_ptr<ThreadPool> pool_;
   EngineStats stats_;

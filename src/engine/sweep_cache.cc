@@ -24,6 +24,7 @@ SweepCache::SweepCache(size_t max_bytes, obs::MetricsRegistry* registry)
   insertions_ = registry->GetCounter("sweep_cache_insertions_total");
   evictions_ = registry->GetCounter("sweep_cache_evictions_total");
   rejected_ = registry->GetCounter("sweep_cache_rejected_total");
+  expired_ = registry->GetCounter("sweep_cache_expired_total");
   bytes_gauge_ = registry->GetGauge("sweep_cache_bytes");
   entries_gauge_ = registry->GetGauge("sweep_cache_entries");
 }
@@ -41,6 +42,20 @@ std::shared_ptr<const std::vector<double>> SweepCache::Lookup(
     if (record_stats) misses_->Inc();
     return nullptr;
   }
+  if (it->second->expires && StopwatchNs::Now() >= it->second->deadline_ns) {
+    // Lazy reaping: the warm's deadline passed with no consumer — drop it on
+    // the lookup that discovered that, and report a miss.
+    bytes_in_use_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+    expired_->Inc();
+    if (record_stats) misses_->Inc();
+    SyncGaugesLocked();
+    return nullptr;
+  }
+  // Promote-on-hit: a consumer proved the warm was wanted, so the entry
+  // graduates to the normal immortal LRU regime.
+  it->second->expires = false;
   lru_.splice(lru_.begin(), lru_, it->second);
   if (record_stats) hits_->Inc();
   return it->second->sweep;
@@ -48,11 +63,16 @@ std::shared_ptr<const std::vector<double>> SweepCache::Lookup(
 
 bool SweepCache::Contains(const SweepCacheKey& key) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return index_.count(key) != 0;
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  // An expired warm is already absent semantically; the next Lookup reaps it
+  // (Contains is const and must stay a pure probe).
+  return !(it->second->expires && StopwatchNs::Now() >= it->second->deadline_ns);
 }
 
 void SweepCache::Insert(const SweepCacheKey& key,
-                        std::shared_ptr<const std::vector<double>> sweep) {
+                        std::shared_ptr<const std::vector<double>> sweep,
+                        double ttl_seconds) {
   if (sweep == nullptr) return;
   const size_t bytes = SweepBytes(*sweep);
   if (bytes > max_bytes_) {
@@ -60,16 +80,22 @@ void SweepCache::Insert(const SweepCacheKey& key,
     rejected_->Inc();
     return;
   }
+  const bool expires = ttl_seconds > 0.0;
+  const uint64_t deadline_ns =
+      expires ? StopwatchNs::Now() + static_cast<uint64_t>(ttl_seconds * 1e9)
+              : 0;
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     bytes_in_use_ -= it->second->bytes;
     it->second->sweep = std::move(sweep);
     it->second->bytes = bytes;
+    it->second->expires = expires;
+    it->second->deadline_ns = deadline_ns;
     bytes_in_use_ += bytes;
     lru_.splice(lru_.begin(), lru_, it->second);
   } else {
-    lru_.push_front(Entry{key, std::move(sweep), bytes});
+    lru_.push_front(Entry{key, std::move(sweep), bytes, expires, deadline_ns});
     index_.emplace(key, lru_.begin());
     bytes_in_use_ += bytes;
     insertions_->Inc();
@@ -101,6 +127,7 @@ SweepCacheStats SweepCache::Stats() const {
   stats.insertions = insertions_->Value();
   stats.evictions = evictions_->Value();
   stats.rejected = rejected_->Value();
+  stats.expired = expired_->Value();
   std::lock_guard<std::mutex> lock(mutex_);
   stats.bytes_in_use = bytes_in_use_;
   stats.entries = lru_.size();

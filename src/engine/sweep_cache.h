@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/timer.h"
 #include "graph/uncertain_graph.h"
 #include "obs/metrics.h"
 #include "reliability/estimator_factory.h"
@@ -45,6 +46,8 @@ struct SweepCacheStats {
   uint64_t evictions = 0;
   /// Sweeps too large for the byte budget, never admitted.
   uint64_t rejected = 0;
+  /// TTL'd warm entries dropped by the lookup that found them expired.
+  uint64_t expired = 0;
   /// Occupancy at snapshot time.
   size_t bytes_in_use = 0;
   size_t entries = 0;
@@ -76,7 +79,11 @@ class SweepCache {
   explicit SweepCache(size_t max_bytes,
                       obs::MetricsRegistry* registry = nullptr);
 
-  /// Returns the memoized sweep and refreshes its recency, or nullptr.
+  /// Returns the memoized sweep and refreshes its recency, or nullptr. An
+  /// entry past its TTL deadline is dropped by the lookup that discovers it
+  /// (counted in SweepCacheStats::expired) and reported as a miss. A live
+  /// hit *promotes* a TTL'd entry to immortal: a real consumer proved the
+  /// warm was wanted, so it graduates to the normal LRU/byte regime.
   /// `record_stats` = false makes the probe invisible to Stats() — for the
   /// engine's under-lock double check in the sweep-flight rendezvous, which
   /// would otherwise count one query's sweep acquisition twice.
@@ -85,12 +92,20 @@ class SweepCache {
 
   /// Admits (or refreshes) `sweep` under `key`, evicting LRU entries until
   /// the byte budget holds. Oversized sweeps are rejected (see class note).
+  /// `ttl_seconds` > 0 marks the entry as a speculative warm that expires
+  /// after that long unless a Lookup hit promotes it first — the engine's
+  /// scout-warmed sweeps use this so a warm no query ever wanted cannot pin
+  /// cache bytes until LRU eviction. 0 (the default) admits immortal, the
+  /// pre-TTL behavior; re-inserting an existing key applies the new TTL
+  /// (a query-led re-insert thereby also promotes).
   void Insert(const SweepCacheKey& key,
-              std::shared_ptr<const std::vector<double>> sweep);
+              std::shared_ptr<const std::vector<double>> sweep,
+              double ttl_seconds = 0.0);
 
-  /// True when `key` is memoized. Touches neither recency nor stats — a
-  /// pure probe, e.g. for the engine deciding whether a sweep-kind query is
-  /// worth prebuilding a generation for.
+  /// True when `key` is memoized and not expired. Touches neither recency
+  /// nor stats — a pure probe, e.g. for the engine deciding whether a
+  /// sweep-kind query is worth prebuilding a generation for (an expired
+  /// warm is reported absent; the next Lookup reaps it).
   bool Contains(const SweepCacheKey& key) const;
 
   /// Drops every entry (stats are kept).
@@ -111,6 +126,9 @@ class SweepCache {
     SweepCacheKey key;
     std::shared_ptr<const std::vector<double>> sweep;
     size_t bytes = 0;
+    /// TTL state (see Insert): expired entries are reaped lazily by Lookup.
+    bool expires = false;
+    uint64_t deadline_ns = 0;
   };
   struct KeyHash {
     size_t operator()(const SweepCacheKey& key) const {
@@ -134,6 +152,7 @@ class SweepCache {
   obs::Counter* insertions_;
   obs::Counter* evictions_;
   obs::Counter* rejected_;
+  obs::Counter* expired_;
   obs::Gauge* bytes_gauge_;
   obs::Gauge* entries_gauge_;
 };

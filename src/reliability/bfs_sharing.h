@@ -136,6 +136,21 @@ class BfsSharingEstimator : public Estimator {
   std::string_view name() const override { return "BFSSharing"; }
   const UncertainGraph& graph() const override { return graph_; }
 
+  /// Cheap per sample (offline worlds, one shared BFS over bit-vector
+  /// words), but the inter-query resample rewrites L bits per edge — the
+  /// dominant per-query term the router must price in.
+  CostHints cost_hints() const override {
+    CostHints hints;
+    hints.per_sample_edge_cost = 0.25;
+    hints.per_query_edge_cost =
+        static_cast<double>(shared_index() == nullptr
+                                ? 0
+                                : shared_index()->num_samples()) /
+        64.0;  // resample writes L bits/edge = L/64 words/edge
+    hints.sweep_amortized = true;
+    return hints;
+  }
+
   /// Edge bit-vector bytes resident in memory (the current generation).
   size_t IndexMemoryBytes() const override;
   /// The whole index is held via a shareable immutable generation.

@@ -43,6 +43,15 @@ class MonteCarloEstimator : public Estimator {
   std::string_view name() const override { return "MC"; }
   const UncertainGraph& graph() const override { return graph_; }
 
+  /// The router's cost baseline: one BFS over one sampled subgraph per
+  /// sample, no fixed per-query work, sweeps amortized.
+  CostHints cost_hints() const override {
+    CostHints hints;
+    hints.per_sample_edge_cost = 1.0;
+    hints.sweep_amortized = true;
+    return hints;
+  }
+
   /// Source sweep for top-k / reliable-set dispatch (the shared
   /// MonteCarloReliabilityFromSource core, stratified when
   /// options.num_strata > 1).
