@@ -2,7 +2,7 @@
 // QueryEngine at 1, 2, 4, ... worker threads, with the result cache off
 // (every query computes) and then on (repeats served from cache).
 //
-// The exit code enforces nine invariants — this bench is the CI smoke gate:
+// The exit code enforces ten invariants — this bench is the CI smoke gate:
 //   1. every thread count returns bit-identical estimates;
 //   2. QueryEngine::Create(kBfsSharing, 8 threads) builds the edge
 //      bit-vector index exactly once (shared across replicas), and the
@@ -40,7 +40,16 @@
 //      with a genuinely cut budget and zero fallbacks — and sustains
 //      >= 1.2x the static engine's best-of-3 throughput, the floor gated
 //      only on hosts with >= 8 hardware threads; router off must stay
-//      bit-identical to the pre-flag engine.
+//      bit-identical to the pre-flag engine;
+//  10. robustness: the deadline machinery is free when unused — a generous
+//      default deadline (60 s, never fires) answers bit-identically to the
+//      deadline-free engine and sustains >= 0.95x its best-of-3 throughput
+//      (the floor gated only on hosts with >= 8 hardware threads) — and
+//      under an overload burst (submissions far outrunning the workers) the
+//      load-shedding engine sheds at admission instead of queueing
+//      unboundedly: shed > 0, every admitted query still answers OK, the
+//      shed + drained counts partition the burst exactly, and the admitted
+//      p95 stays <= 2x the uncontended p95 (floor gated >= 8 hw threads).
 // Scaling (the 1-vs-4-thread speedup) is reported but not gated: it depends
 // on the host's real core count, and this bench must stay green on
 // single-core CI runners.
@@ -150,10 +159,14 @@ bool WriteJson(const std::string& path, const std::string& dataset,
                double router_static_qps, double router_routed_qps,
                double router_routed_k_avg, uint64_t router_decisions,
                uint64_t router_fallbacks, bool router_gated,
+               double nodeadline_qps, double deadline_qps,
+               size_t burst_submitted, size_t burst_admitted,
+               uint64_t burst_shed, double uncontended_p95_ms,
+               double burst_p95_ms, bool robustness_gated,
                const std::string& stages_json, bool identical,
                bool shared_index_ok, bool mixed_ok, bool sweep_ok,
                bool strata_ok, bool trace_ok, bool storage_ok,
-               bool router_ok) {
+               bool router_ok, bool robustness_ok) {
   FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "warning: cannot open %s for JSON export\n",
@@ -170,12 +183,13 @@ bool WriteJson(const std::string& path, const std::string& dataset,
                "  \"gates\": {\"bit_identical\": %s, \"shared_index\": %s, "
                "\"mixed_workload\": %s, \"sweep_sharing\": %s, "
                "\"stratified_parallel\": %s, \"tracing_overhead\": %s, "
-               "\"storage\": %s, \"adaptive_router\": %s},\n",
+               "\"storage\": %s, \"adaptive_router\": %s, "
+               "\"robustness\": %s},\n",
                identical ? "true" : "false",
                shared_index_ok ? "true" : "false", mixed_ok ? "true" : "false",
                sweep_ok ? "true" : "false", strata_ok ? "true" : "false",
                trace_ok ? "true" : "false", storage_ok ? "true" : "false",
-               router_ok ? "true" : "false");
+               router_ok ? "true" : "false", robustness_ok ? "true" : "false");
   std::fprintf(out,
                "  \"tracing\": {\"untraced_qps\": %.1f, \"traced_qps\": %.1f, "
                "\"overhead_ratio\": %.4f, \"floor_gated\": %s},\n",
@@ -211,6 +225,18 @@ bool WriteJson(const std::string& path, const std::string& dataset,
       static_cast<unsigned long long>(router_decisions),
       static_cast<unsigned long long>(router_fallbacks),
       router_gated ? "true" : "false");
+  std::fprintf(
+      out,
+      "  \"robustness\": {\"no_deadline_qps\": %.1f, \"deadline_qps\": %.1f, "
+      "\"deadline_overhead_ratio\": %.4f, \"burst_submitted\": %zu, "
+      "\"burst_admitted\": %zu, \"burst_shed\": %llu, "
+      "\"uncontended_p95_ms\": %.4f, \"burst_p95_ms\": %.4f, "
+      "\"floor_gated\": %s},\n",
+      nodeadline_qps, deadline_qps,
+      nodeadline_qps > 0.0 ? deadline_qps / nodeadline_qps : 0.0,
+      burst_submitted, burst_admitted,
+      static_cast<unsigned long long>(burst_shed), uncontended_p95_ms,
+      burst_p95_ms, robustness_gated ? "true" : "false");
   std::fprintf(out, "  \"stages\": %s,\n",
                stages_json.empty() ? "{}" : stages_json.c_str());
   std::fprintf(
@@ -980,6 +1006,164 @@ int main(int argc, char** argv) {
         router_ok ? "pass" : "FAIL — ROUTER REGRESSED OR DIVERGED");
   }
 
+  // Robustness gate: fault-tolerant serving must not tax the fault-free
+  // path, and overload must shed instead of queueing without bound.
+  //   (a) deadline machinery: a generous default deadline (60 s, never
+  //       fires) arms a CancelToken that every sample loop polls; the run
+  //       must stay bit-identical to the deadline-free engine (always
+  //       gated) and its best-of-3 throughput >= 0.95x (gated only on
+  //       hosts with >= 8 hardware threads — standing timing policy);
+  //   (b) overload burst: a load-shedding stream engine fed submissions far
+  //       faster than its workers drain must refuse work at admission
+  //       (shed > 0, always gated — the shed threshold is 2 against a
+  //       burst of many ms-scale queries), answer every admitted query OK
+  //       with drained + shed partitioning the burst exactly, and hold the
+  //       admitted compute p95 <= 2x the uncontended p95 (floor gated
+  //       >= 8 hw threads).
+  bool robustness_ok = true;
+  double nodeadline_qps = 0.0;
+  double deadline_qps = 0.0;
+  bool robustness_gated = false;
+  size_t burst_submitted = 0;
+  uint64_t burst_shed = 0;
+  size_t burst_admitted = 0;
+  double uncontended_p95_ms = 0.0;
+  double burst_p95_ms = 0.0;
+  {
+    const unsigned hardware = std::thread::hardware_concurrency();
+    robustness_gated = hardware >= 8;
+
+    // (a) Deadline-machinery overhead, best of 3 fresh-engine runs (cache
+    // off so every query pays the polled compute path).
+    std::vector<EngineResult> nodeadline_reference;
+    for (const bool deadline : {false, true}) {
+      double& best = deadline ? deadline_qps : nodeadline_qps;
+      for (int run = 0; run < 3; ++run) {
+        EngineOptions options = base;
+        options.num_threads = max_threads;
+        options.enable_cache = false;
+        if (deadline) options.default_deadline_ms = 60'000.0;
+        auto engine = bench::Unwrap(QueryEngine::Create(dataset.graph, options),
+                                    "QueryEngine::Create(deadline)");
+        Timer wall;
+        const std::vector<EngineResult> results =
+            bench::Unwrap(engine->RunBatch(workload), "RunBatch(deadline)");
+        const double qps =
+            static_cast<double>(workload.size()) / wall.ElapsedSeconds();
+        robustness_ok = robustness_ok && AllOk(results);
+        best = std::max(best, qps);
+        if (!deadline && run == 0) {
+          nodeadline_reference = results;
+        } else {
+          robustness_ok =
+              robustness_ok && BitIdentical(nodeadline_reference, results);
+        }
+      }
+    }
+    const double deadline_ratio =
+        nodeadline_qps > 0.0 ? deadline_qps / nodeadline_qps : 0.0;
+    if (robustness_gated) {
+      robustness_ok = robustness_ok && deadline_ratio >= 0.95;
+    }
+
+    // (b) Overload burst on the stream path. Distinct sources so neither
+    // the result cache nor single-flight coalescing absorbs the load.
+    EngineOptions shed_options = base;
+    shed_options.num_threads = max_threads;
+    shed_options.num_samples = std::max(4000u, config.max_k);
+    shed_options.enable_cache = false;
+    shed_options.enable_sweep_cache = false;
+    shed_options.enable_load_shedding = true;
+    shed_options.shed_queue_depth = 2;
+    const NodeId n = static_cast<NodeId>(dataset.graph.num_nodes());
+    burst_submitted = static_cast<size_t>(8 * max_threads + 32);
+    std::vector<EngineQuery> burst;
+    burst.reserve(burst_submitted);
+    for (size_t i = 0; i < burst_submitted; ++i) {
+      const NodeId s = static_cast<NodeId>((i * 131) % n);
+      NodeId t = static_cast<NodeId>((i * 197 + 61) % n);
+      if (t == s) t = (t + 1) % n;
+      burst.push_back(EngineQuery::St(s, t));
+    }
+
+    // Uncontended baseline: the same engine shape, one query in flight at a
+    // time (Submit immediately Drained), so the p95 is pure compute.
+    {
+      auto engine =
+          bench::Unwrap(QueryEngine::Create(dataset.graph, shed_options),
+                        "QueryEngine::Create(uncontended)");
+      const size_t paced = std::min<size_t>(burst.size(), 24);
+      for (size_t i = 0; i < paced; ++i) {
+        robustness_ok = robustness_ok && engine->Submit(burst[i]).ok();
+        const std::vector<EngineResult> one =
+            bench::Unwrap(engine->Drain(), "Drain(uncontended)");
+        robustness_ok = robustness_ok && AllOk(one);
+      }
+      uncontended_p95_ms =
+          static_cast<double>(engine->metrics()
+                                  .GetHistogram("engine_query_latency_ns")
+                                  ->Snapshot()
+                                  .Quantile(0.95)) /
+          1e6;
+    }
+
+    // The burst: every query submitted back-to-back. Submits cost
+    // microseconds against millisecond queries, so the queue crosses the
+    // shed threshold no matter the host's core count.
+    {
+      auto engine =
+          bench::Unwrap(QueryEngine::Create(dataset.graph, shed_options),
+                        "QueryEngine::Create(burst)");
+      size_t refused = 0;
+      for (const EngineQuery& query : burst) {
+        const Status admit = engine->Submit(query);
+        if (!admit.ok()) {
+          // Shedding must speak kUnavailable with a retry hint — anything
+          // else is a real failure.
+          robustness_ok = robustness_ok &&
+                          admit.code() == StatusCode::kUnavailable &&
+                          admit.message().find("retry after") !=
+                              std::string::npos;
+          ++refused;
+        }
+      }
+      const std::vector<EngineResult> admitted =
+          bench::Unwrap(engine->Drain(), "Drain(burst)");
+      const EngineStatsSnapshot snapshot = engine->StatsSnapshot();
+      rows.emplace_back(
+          StrFormat("%u threads, overload burst (load shedding)", max_threads),
+          snapshot);
+      burst_shed = snapshot.shed;
+      burst_admitted = admitted.size();
+      burst_p95_ms =
+          static_cast<double>(engine->metrics()
+                                  .GetHistogram("engine_query_latency_ns")
+                                  ->Snapshot()
+                                  .Quantile(0.95)) /
+          1e6;
+      robustness_ok = robustness_ok && AllOk(admitted);
+      robustness_ok = robustness_ok && burst_shed > 0 &&
+                      burst_shed == refused &&
+                      burst_admitted + burst_shed == burst.size() &&
+                      snapshot.queries == burst_admitted;
+      if (robustness_gated && uncontended_p95_ms > 0.0) {
+        robustness_ok =
+            robustness_ok && burst_p95_ms <= 2.0 * uncontended_p95_ms;
+      }
+    }
+    std::printf(
+        "robustness gate: deadline-armed %.0f qps vs deadline-free %.0f qps "
+        "(%.3fx, %s >= 0.95x), bit-identical; overload burst %zu submitted = "
+        "%zu admitted + %llu shed, admitted p95 %.3f ms vs uncontended p95 "
+        "%.3f ms (%s <= 2x): %s\n",
+        deadline_qps, nodeadline_qps, deadline_ratio,
+        robustness_gated ? "gated" : "reported only (host < 8 hw threads), not",
+        burst_submitted, burst_admitted,
+        static_cast<unsigned long long>(burst_shed), burst_p95_ms,
+        uncontended_p95_ms, robustness_gated ? "gated" : "not gated",
+        robustness_ok ? "pass" : "FAIL — ROBUSTNESS REGRESSED");
+  }
+
   bench::PrintTable(EngineStatsTable(rows), "engine_throughput");
 
   if (!stats_json_path.empty()) {
@@ -1052,14 +1236,17 @@ int main(int argc, char** argv) {
                   storage_compact_qps, storage_gated, router_static_qps,
                   router_routed_qps, router_routed_k_avg,
                   router_snapshot.router_decisions,
-                  router_snapshot.router_fallbacks, router_gated, stages_json,
-                  identical, shared_index_ok, mixed_ok, sweep_ok, strata_ok,
-                  trace_ok, storage_ok, router_ok)) {
+                  router_snapshot.router_fallbacks, router_gated,
+                  nodeadline_qps, deadline_qps, burst_submitted,
+                  burst_admitted, burst_shed, uncontended_p95_ms, burst_p95_ms,
+                  robustness_gated, stages_json, identical, shared_index_ok,
+                  mixed_ok, sweep_ok, strata_ok, trace_ok, storage_ok,
+                  router_ok, robustness_ok)) {
       std::printf("JSON results written to %s\n", json_path.c_str());
     }
   }
   return identical && shared_index_ok && mixed_ok && sweep_ok && strata_ok &&
-                 trace_ok && storage_ok && router_ok
+                 trace_ok && storage_ok && router_ok && robustness_ok
              ? 0
              : 1;
 }

@@ -8,9 +8,19 @@
 // two different k and eta per source so the sweep sharing is visible in the
 // printed stats.
 //
+// The serving loop is fault-tolerant the way the engine is: load shedding
+// is always armed (a full queue answers kUnavailable with a retry-after
+// hint instead of blocking the client), and the client side answers each
+// shed with a bounded, seeded exponential backoff — base 1 ms doubling to a
+// 64 ms cap over at most 6 retries, each delay jittered uniformly in
+// [delay/2, delay] from a dedicated RNG so a replay backs off identically.
+// A request still shed after the last retry is dropped and counted, never
+// fatal.
+//
 //   ./build/examples/reliability_server [dataset] [threads] [requests] [kind]
 //                                       [strata] [--stats-json <path>]
 //                                       [--slow-query-ms <n>]
+//                                       [--deadline-ms <n>] [--shed-depth <n>]
 //
 //   dataset  : lastfm | nethept | astopo | dblp02 | dblp005 | biomine
 //   threads  : worker threads (default 4)
@@ -29,14 +39,22 @@
 //   --slow-query-ms <n>   : arm per-query tracing and dump the span tree of
 //                           every query slower than n ms (answers are
 //                           bit-identical with tracing on or off).
+//   --deadline-ms <n>     : per-query deadline (default 0 = none). Expired
+//                           requests fail with kDeadlineExceeded — counted
+//                           in the cycle stats, never cached, never fatal.
+//   --shed-depth <n>      : queue depth past which compute-bound requests
+//                           are shed (default 0 = shed only when the queue
+//                           is completely full).
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/format.h"
@@ -96,12 +114,18 @@ int main(int argc, char** argv) {
   // Flags may appear anywhere; everything else is positional, in order.
   std::string stats_json_path;
   double slow_query_ms = 0.0;
+  double deadline_ms = 0.0;
+  long shed_depth = 0;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats-json") == 0 && i + 1 < argc) {
       stats_json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--slow-query-ms") == 0 && i + 1 < argc) {
       slow_query_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shed-depth") == 0 && i + 1 < argc) {
+      shed_depth = std::atol(argv[++i]);
     } else {
       positional.push_back(argv[i]);
     }
@@ -122,11 +146,13 @@ int main(int argc, char** argv) {
   }
   const long strata_arg = positional.size() > 4 ? std::atol(positional[4]) : 8;
   if (threads_arg < 0 || threads_arg > 1024 || requests_arg < 0 ||
-      strata_arg < 1 || strata_arg > 4096 || slow_query_ms < 0) {
+      strata_arg < 1 || strata_arg > 4096 || slow_query_ms < 0 ||
+      deadline_ms < 0 || shed_depth < 0) {
     std::fprintf(stderr,
                  "usage: reliability_server [dataset] [threads 0-1024] "
                  "[requests >= 0] [mc|bfs] [strata 1-4096] "
-                 "[--stats-json <path>] [--slow-query-ms <n>]\n");
+                 "[--stats-json <path>] [--slow-query-ms <n>] "
+                 "[--deadline-ms <n>] [--shed-depth <n>]\n");
     return 2;
   }
   const size_t threads = static_cast<size_t>(threads_arg);
@@ -168,6 +194,11 @@ int main(int argc, char** argv) {
   options.cache_capacity = 4096;
   options.cache_max_bytes = size_t{16} << 20;  // ranked payloads, by bytes
   options.slow_query_ms = slow_query_ms;
+  options.default_deadline_ms = deadline_ms;
+  // Shedding is always armed: a full queue refuses work with a retry-after
+  // hint instead of blocking the submit loop; the client backs off below.
+  options.enable_load_shedding = true;
+  options.shed_queue_depth = static_cast<size_t>(shed_depth);
   auto engine = QueryEngine::Create(dataset.graph, options).MoveValue();
   std::printf(
       "engine up: %s estimator, %zu workers, S=%u strata per sweep, cache "
@@ -197,6 +228,19 @@ int main(int argc, char** argv) {
   constexpr size_t kDrainCycles = 4;
   const size_t cycle_len = requests < kDrainCycles ? requests
                                                    : requests / kDrainCycles;
+  // Client-side fault handling: a shed submit (kUnavailable) retries with
+  // bounded exponential backoff — 1 ms base doubling to a 64 ms cap over at
+  // most 6 retries — jittered uniformly in [delay/2, delay] from a seeded
+  // RNG (deterministic replays, decorrelated retry waves). Requests still
+  // shed after the last retry are dropped, not fatal. The retry / drop
+  // counters land in the engine's own registry so one --stats-json scrape
+  // carries the client picture next to engine_shed_total.
+  constexpr int kMaxRetries = 6;
+  Rng backoff_rng(0xB0FF5EED);
+  obs::Counter* retried_counter =
+      engine->metrics().GetCounter("client_retried_total");
+  obs::Counter* dropped_counter =
+      engine->metrics().GetCounter("client_dropped_total");
   size_t submitted = 0;
   std::vector<EngineResult> responses;
   while (submitted < requests) {
@@ -206,8 +250,28 @@ int main(int argc, char** argv) {
       const double u = rng.NextDouble() * total;
       size_t pick = 0;
       while (pick + 1 < cumulative.size() && cumulative[pick] < u) ++pick;
-      const Status status = engine->Submit(catalogue[pick]);
+      Status status = engine->Submit(catalogue[pick]);
+      for (int attempt = 0;
+           !status.ok() && status.code() == StatusCode::kUnavailable &&
+           attempt < kMaxRetries;
+           ++attempt) {
+        const double base_ms =
+            std::min(64.0, static_cast<double>(1u << attempt));
+        const double delay_ms =
+            base_ms * (0.5 + 0.5 * backoff_rng.NextDouble());
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay_ms));
+        retried_counter->Inc();
+        status = engine->Submit(catalogue[pick]);
+      }
       if (!status.ok()) {
+        if (status.code() == StatusCode::kUnavailable) {
+          // Still shed after the retry budget: drop this request and move
+          // on — overload is a degraded mode, not a crash.
+          dropped_counter->Inc();
+          ++submitted;
+          continue;
+        }
         std::fprintf(stderr, "submit failed: %s\n", status.ToString().c_str());
         return 1;
       }
@@ -220,12 +284,18 @@ int main(int argc, char** argv) {
     const EngineStatsSnapshot s = engine->StatsSnapshot();
     std::printf(
         "[stats] queries=%llu qps=%.0f p50=%.2fms p99=%.2fms cache=%.0f%% "
-        "sweeps x/h/c=%llu/%llu/%llu slow=%llu\n",
+        "sweeps x/h/c=%llu/%llu/%llu shed=%llu retried=%llu dropped=%llu "
+        "deadline=%llu stale=%llu slow=%llu\n",
         static_cast<unsigned long long>(s.queries), s.span_qps, s.p50_ms,
         s.p99_ms, s.cache.hit_rate() * 100.0,
         static_cast<unsigned long long>(s.sweep_executed),
         static_cast<unsigned long long>(s.sweep_hits),
         static_cast<unsigned long long>(s.sweep_coalesced),
+        static_cast<unsigned long long>(s.shed),
+        static_cast<unsigned long long>(retried_counter->Value()),
+        static_cast<unsigned long long>(dropped_counter->Value()),
+        static_cast<unsigned long long>(s.deadline_exceeded),
+        static_cast<unsigned long long>(s.stale_served),
         static_cast<unsigned long long>(engine->tracer().slow_queries()));
   }
   std::printf("\nreplayed %zu requests over %zu distinct queries\n\n",
@@ -263,6 +333,14 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(snapshot.strata_stolen),
       static_cast<unsigned long long>(snapshot.scout_warms),
       snapshot.sweep_p50_ms, snapshot.sweep_p95_ms);
+  std::printf(
+      "fault tolerance: %llu shed at admission, %llu client retries, %llu "
+      "dropped after backoff, %llu deadline-exceeded, %llu stale served\n",
+      static_cast<unsigned long long>(snapshot.shed),
+      static_cast<unsigned long long>(retried_counter->Value()),
+      static_cast<unsigned long long>(dropped_counter->Value()),
+      static_cast<unsigned long long>(snapshot.deadline_exceeded),
+      static_cast<unsigned long long>(snapshot.stale_served));
   if (engine->prebuilder() != nullptr) {
     std::printf(
         "generation prebuild: %llu requested, %llu built on %zu background "

@@ -1,5 +1,7 @@
 #include "engine/engine_stats.h"
 
+#include <string_view>
+
 #include "common/format.h"
 #include "common/timer.h"
 
@@ -21,6 +23,18 @@ EngineStats::EngineStats(obs::MetricsRegistry* registry) {
   executed_ = registry_->GetCounter("engine_executed_total");
   coalesced_ = registry_->GetCounter("engine_coalesced_total");
   failures_ = registry_->GetCounter("engine_failures_total");
+  shed_queue_full_ =
+      registry_->GetCounter("engine_shed_total", "reason", "queue_full");
+  shed_overload_ =
+      registry_->GetCounter("engine_shed_total", "reason", "overload");
+  deadline_exceeded_ =
+      registry_->GetCounter("engine_deadline_exceeded_total");
+  stale_served_ = registry_->GetCounter("engine_stale_served_total");
+  for (size_t i = 0; i < kNumFaultSites; ++i) {
+    fault_injected_[i] =
+        registry_->GetGauge("fault_injected_total", "site",
+                            FaultSiteName(static_cast<FaultSite>(i)));
+  }
   for (size_t i = 0; i < kNumWorkloadKinds; ++i) {
     workload_queries_[i] =
         registry_->GetCounter("engine_queries_total", "workload",
@@ -55,6 +69,18 @@ void EngineStats::RecordFailure(double seconds) {
   query_latency_ns_->RecordSeconds(seconds);
   failures_->Inc();
 }
+
+void EngineStats::RecordShed(const char* reason) {
+  if (reason != nullptr && std::string_view(reason) == "queue_full") {
+    shed_queue_full_->Inc();
+  } else {
+    shed_overload_->Inc();
+  }
+}
+
+void EngineStats::RecordDeadlineExceeded() { deadline_exceeded_->Inc(); }
+
+void EngineStats::RecordStaleServed() { stale_served_->Inc(); }
 
 void EngineStats::RecordSweepExecuted() { sweep_executed_->Inc(); }
 
@@ -114,6 +140,19 @@ EngineStatsSnapshot EngineStats::Snapshot(const ResultCache* cache,
   snapshot.executed = executed_->Value();
   snapshot.coalesced = coalesced_->Value();
   snapshot.failures = failures_->Value();
+  snapshot.shed = shed_queue_full_->Value() + shed_overload_->Value();
+  snapshot.deadline_exceeded = deadline_exceeded_->Value();
+  snapshot.stale_served = stale_served_->Value();
+  {
+    FaultInjector& injector = FaultInjector::Global();
+    uint64_t total = 0;
+    for (size_t i = 0; i < kNumFaultSites; ++i) {
+      const uint64_t n = injector.injected(static_cast<FaultSite>(i));
+      fault_injected_[i]->Set(static_cast<double>(n));
+      total += n;
+    }
+    snapshot.faults_injected = total;
+  }
   for (size_t i = 0; i < kNumWorkloadKinds; ++i) {
     snapshot.workload_queries[i] = workload_queries_[i]->Value();
   }
@@ -162,6 +201,10 @@ void EngineStats::Reset() {
   executed_->Reset();
   coalesced_->Reset();
   failures_->Reset();
+  shed_queue_full_->Reset();
+  shed_overload_->Reset();
+  deadline_exceeded_->Reset();
+  stale_served_->Reset();
   for (obs::Counter* counter : workload_queries_) counter->Reset();
   sweep_executed_->Reset();
   sweep_hits_->Reset();

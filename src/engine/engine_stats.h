@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/memory_tracker.h"
 #include "engine/generation_prebuilder.h"
 #include "engine/result_cache.h"
@@ -37,6 +38,25 @@ struct EngineStatsSnapshot {
   uint64_t coalesced = 0;
   /// Queries that finished with a non-OK per-query status.
   uint64_t failures = 0;
+  /// \name Fault tolerance (zeros when deadlines / shedding are off)
+  /// @{
+  /// Queries refused at admission (load shedding): returned kUnavailable
+  /// *before* entering the engine, so they do NOT count in `queries` and do
+  /// not disturb the executed+coalesced+failures+hits partition.
+  uint64_t shed = 0;
+  /// Queries that missed their deadline or were cancelled (these DO count:
+  /// they are a subset of `failures`).
+  uint64_t deadline_exceeded = 0;
+  /// Queries answered from a TTL-expired cache entry inside the stale
+  /// window. Orthogonal to the outcome partition: a stale result-cache hit
+  /// counts in cache hits, a query *derived* from a stale sweep counts in
+  /// executed / coalesced. The per-cache split is in `cache` /
+  /// `sweep_cache` stale_served.
+  uint64_t stale_served = 0;
+  /// Faults injected by the active FaultInjector plan (all sites summed;
+  /// zero in production where the injector is disabled).
+  uint64_t faults_injected = 0;
+  /// @}
   /// \name Sweep sharing (top-k / reliable-set over one per-source sweep)
   /// For *successful* sweep-kind queries that reached the compute path, the
   /// three counters partition them: each ran EstimateFromSource itself,
@@ -149,6 +169,19 @@ class EngineStats {
   /// Records one query that finished with a non-OK per-query status.
   void RecordFailure(double seconds);
 
+  /// Records one query refused at admission. `reason` labels
+  /// engine_shed_total ("queue_full" when the pool queue is at capacity,
+  /// "overload" for the predictive gate). Shed queries are NOT recorded as
+  /// queries — the caller never entered the engine.
+  void RecordShed(const char* reason);
+
+  /// Records one query that failed because its deadline elapsed or its
+  /// CancelToken fired (called alongside RecordFailure).
+  void RecordDeadlineExceeded();
+
+  /// Records one query answered stale (called alongside RecordCacheHit).
+  void RecordStaleServed();
+
   /// Classifies how one executed sweep-kind query obtained its per-source
   /// vector (called alongside RecordExecuted, at most once per query).
   void RecordSweepExecuted();
@@ -207,6 +240,10 @@ class EngineStats {
   obs::Counter* executed_;
   obs::Counter* coalesced_;
   obs::Counter* failures_;
+  obs::Counter* shed_queue_full_;
+  obs::Counter* shed_overload_;
+  obs::Counter* deadline_exceeded_;
+  obs::Counter* stale_served_;
   obs::Counter* workload_queries_[kNumWorkloadKinds];
   obs::Counter* sweep_executed_;
   obs::Counter* sweep_hits_;
@@ -218,6 +255,10 @@ class EngineStats {
   obs::Gauge* wall_seconds_;
   obs::Gauge* span_seconds_;
   obs::Gauge* peak_memory_bytes_;
+  /// Mirrors of FaultInjector::Global() per-site counts, synced by
+  /// Snapshot() so fault_injected_total{site} is scrapeable alongside the
+  /// engine's own instruments.
+  obs::Gauge* fault_injected_[kNumFaultSites];
 
   /// Min start / max end stamps across concurrent calls (CAS races resolve
   /// to the extremes whatever order the threads arrive in).

@@ -1,8 +1,10 @@
 #include "engine/query_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/format.h"
 #include "common/rng.h"
 #include "common/timer.h"
@@ -16,6 +18,18 @@ constexpr uint64_t kPrepareSeedTag = 0x707265ULL;  // "pre"
 /// Domain separator for per-source sweep seeds, so a sweep seed can never
 /// alias an st/distance query seed structurally.
 constexpr uint64_t kSweepSeedTag = 0x73776570ULL;  // "swep"
+
+/// How long a cancellable waiter sleeps between token polls while blocked on
+/// a flight. Purely a latency/CPU trade: the poll consumes no randomness and
+/// a completed flight still wakes waiters via notify_all immediately.
+constexpr std::chrono::milliseconds kCancelWaitSlice{5};
+
+/// True when `status` is the deadline/cancellation family — the failures
+/// that also count in engine_deadline_exceeded_total.
+bool IsCancellation(const Status& status) {
+  return status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kCancelled;
+}
 
 /// Scoped pipeline-stage recorder: always lands the elapsed nanoseconds in
 /// the stage histogram (when given), and additionally opens a matching span
@@ -361,21 +375,35 @@ void QueryEngine::FillFromValue(ResultCacheValue value, EngineResult* slot) {
 
 bool QueryEngine::TryServeWithoutCompute(
     const ResultCacheKey& key, EngineResult* slot,
-    std::shared_ptr<InFlight>* leader_flight, obs::TraceBuffer* trace,
-    uint32_t parent) {
+    std::shared_ptr<InFlight>* leader_flight, const CancelToken* cancel,
+    obs::TraceBuffer* trace, uint32_t parent) {
   // Fast path: lock-free-ish cache probe before touching the flight table.
+  // Deliberately NOT gated on the cancel token: a cache hit costs O(1) and
+  // an already-computed answer is strictly more useful than a deadline
+  // error, even to a late caller.
   if (cache_ != nullptr) {
     std::optional<ResultCacheValue> hit;
+    bool stale = false;
+    bool refresh_owner = false;
     {
       StageTimer probe(stage_cache_probe_, trace, obs::SpanKind::kCacheProbe,
                        parent, /*detail=*/0);
-      hit = cache_->Lookup(key);
+      if (options_.max_stale_seconds > 0.0) {
+        StaleLookupResult swr =
+            cache_->LookupStale(key, options_.max_stale_seconds);
+        hit = std::move(swr.value);
+        stale = swr.stale;
+        refresh_owner = swr.refresh_owner;
+      } else {
+        hit = cache_->Lookup(key);
+      }
     }
     if (hit) {
       const bool negative = hit->negative();
       FillFromValue(std::move(*hit), slot);
       slot->seconds = 0.0;
       slot->cache_hit = true;
+      slot->served_stale = stale;
       if (negative) {
         // Failure backoff: the cached error is served without recomputing.
         // Counted as a failure (and as a cache negative_hit), never as a
@@ -384,7 +412,9 @@ bool QueryEngine::TryServeWithoutCompute(
         stats_.RecordFailure(0.0);
       } else {
         stats_.RecordCacheHit();
+        if (stale) stats_.RecordStaleServed();
       }
+      if (refresh_owner) ScheduleResultRefresh(key);
       return true;
     }
   }
@@ -429,20 +459,47 @@ bool QueryEngine::TryServeWithoutCompute(
 
   // Follower: wait for the leader (always actively computing on another
   // worker — entries only exist while a leader runs, so this cannot
-  // deadlock) and copy its outcome.
+  // deadlock) and copy its outcome. A follower carrying a cancel token
+  // polls it between wait slices: on expiry it stops waiting and fails with
+  // the token's status — the leader's flight is untouched and completes
+  // normally for everyone else.
   Timer wait_timer;
+  bool expired = false;
   {
     obs::ScopedSpan wait_span(trace, obs::SpanKind::kCoalescedWait, parent);
     std::unique_lock<std::mutex> lock(flight->mutex);
-    flight->done.wait(lock, [&flight] { return flight->ready; });
-    FillFromValue(flight->value, slot);
+    if (cancel == nullptr) {
+      flight->done.wait(lock, [&flight] { return flight->ready; });
+    } else {
+      while (!flight->ready) {
+        if (cancel->Cancelled()) {
+          expired = true;
+          break;
+        }
+        flight->done.wait_for(lock, kCancelWaitSlice,
+                              [&flight] { return flight->ready; });
+      }
+    }
+    if (!expired) FillFromValue(flight->value, slot);
   }
   slot->seconds = wait_timer.ElapsedSeconds();
+  if (expired) {
+    // Not coalesced: this query shared nothing — it gave up. Transient
+    // status, so nothing here is negative-cached (the leader's own publish
+    // is independent and unaffected).
+    slot->status = cancel->ToStatus();
+    stats_.RecordFailure(slot->seconds);
+    stats_.RecordDeadlineExceeded();
+    return true;
+  }
   slot->coalesced = true;
   if (slot->status.ok()) {
     stats_.RecordCoalesced(slot->seconds);
   } else {
     stats_.RecordFailure(slot->seconds);
+    // The leader's deadline expired before computing: its waiters failed on
+    // the same deadline, and the classifier must agree with theirs.
+    if (IsCancellation(slot->status)) stats_.RecordDeadlineExceeded();
   }
   return true;
 }
@@ -452,7 +509,12 @@ void QueryEngine::PublishToCache(const ResultCacheKey& key,
   if (cache_ == nullptr) return;
   if (value.status.ok()) {
     cache_->Insert(key, value, options_.cache_ttl);
-  } else if (options_.negative_cache_ttl > 0.0) {
+  } else if (options_.negative_cache_ttl > 0.0 &&
+             !IsTransientStatusCode(value.status.code())) {
+    // Transient outcomes (deadline exceeded, cancelled, shed) describe the
+    // submission, not the answer — caching them would fail future queries
+    // that carry no deadline at all. Only genuine per-query failures
+    // (invalid argument, not supported, internal) are negative-cached.
     // Negative caching: keep only the status (the payload is meaningless),
     // under the short backoff TTL so the key retries after it elapses.
     ResultCacheValue negative;
@@ -524,8 +586,8 @@ Status QueryEngine::PrepareReplica(Estimator& estimator,
 
 Result<QueryEngine::SweepShare> QueryEngine::ComputeSweepSerial(
     size_t worker_id, const EngineQuery& query, const QueryPlan& plan,
-    uint64_t sweep_seed, const SweepCacheKey& key, obs::TraceBuffer* trace,
-    uint32_t parent) {
+    uint64_t sweep_seed, const SweepCacheKey& key, const CancelToken* cancel,
+    obs::TraceBuffer* trace, uint32_t parent) {
   // Coalescing-off path: one worker runs the whole stratified sweep
   // back-to-back. EstimateFromSource with the plan's num_strata merges
   // strata in index order — the exact merge the stratum scheduler replays —
@@ -534,6 +596,12 @@ Result<QueryEngine::SweepShare> QueryEngine::ComputeSweepSerial(
   MemoryTracker tracker;
   Timer timer;
   stats_.RecordSweepExecuted();
+  FaultInjector& injector = FaultInjector::Global();
+  if (injector.enabled()) {
+    injector.MaybeDelay(sweep_seed);
+    RELCOMP_RETURN_NOT_OK(injector.MaybeFail(FaultSite::kEstimatorFailure,
+                                             sweep_seed, "serial sweep"));
+  }
   {
     StageTimer prepare(stage_prepare_, trace, obs::SpanKind::kPrepare, parent);
     RELCOMP_RETURN_NOT_OK(PrepareReplica(
@@ -544,6 +612,7 @@ Result<QueryEngine::SweepShare> QueryEngine::ComputeSweepSerial(
   estimate_options.seed = sweep_seed;
   estimate_options.num_strata = plan.num_strata;
   estimate_options.memory = &tracker;
+  estimate_options.cancel = cancel;
   estimate_options.trace = trace;
   estimate_options.trace_parent = parent;
   RELCOMP_ASSIGN_OR_RETURN(
@@ -558,15 +627,17 @@ Result<QueryEngine::SweepShare> QueryEngine::ComputeSweepSerial(
   return share;
 }
 
-void QueryEngine::RunSweepFlight(size_t worker_id, NodeId source,
-                                 const QueryPlan& plan, uint64_t sweep_seed,
-                                 const SweepCacheKey& key,
-                                 const std::shared_ptr<SweepFlight>& flight,
-                                 bool leader, obs::TraceBuffer* trace,
-                                 uint32_t parent) {
+Status QueryEngine::RunSweepFlight(size_t worker_id, NodeId source,
+                                   const QueryPlan& plan, uint64_t sweep_seed,
+                                   const SweepCacheKey& key,
+                                   const std::shared_ptr<SweepFlight>& flight,
+                                   bool leader, const CancelToken* cancel,
+                                   obs::TraceBuffer* trace, uint32_t parent) {
   Estimator& estimator = ReplicaFor(plan.kind, worker_id);
+  FaultInjector& injector = FaultInjector::Global();
   MemoryTracker tracker;
   bool prepared = false;
+  bool abandoned = false;
   // Claim loop: leader and coalesced joiners alike pull unclaimed strata off
   // the shared work-list. Each stratum is a pure function of (sweep seed,
   // stratum index, S), so it does not matter who runs what.
@@ -574,6 +645,22 @@ void QueryEngine::RunSweepFlight(size_t worker_id, NodeId source,
     uint32_t stratum = 0;
     {
       std::lock_guard<std::mutex> lock(flight->mutex);
+      if (cancel != nullptr && cancel->Cancelled() && flight->status.ok() &&
+          !flight->ready) {
+        // This participant's deadline fired mid-flight. If it is the only
+        // participant and strata remain unclaimed, nobody else will drain
+        // the flight: fail it as a unit (first failure wins; joiners get the
+        // transient status and recompute deterministically later). If other
+        // participants are active — or every stratum is already claimed —
+        // the flight can finish without us: abandon it, leaving its state
+        // untouched, and fail only this query.
+        if (flight->active == 0 && flight->next_stratum < flight->num_strata) {
+          flight->status = cancel->ToStatus();
+        } else {
+          abandoned = true;
+        }
+        break;
+      }
       if (!flight->status.ok() ||
           flight->next_stratum >= flight->num_strata) {
         break;
@@ -582,7 +669,17 @@ void QueryEngine::RunSweepFlight(size_t worker_id, NodeId source,
       ++flight->active;
     }
     Status run = Status::OK();
-    if (!prepared) {
+    if (injector.enabled()) {
+      // Content-derived injection key: the stratum's own seed, identical at
+      // any thread count and for any claimant, so the set of injected
+      // strata is deterministic per plan.
+      const uint64_t stratum_key =
+          StratumSeed(sweep_seed, stratum, flight->num_strata);
+      injector.MaybeDelay(stratum_key);
+      run = injector.MaybeFail(FaultSite::kEstimatorFailure, stratum_key,
+                               "sweep stratum");
+    }
+    if (run.ok() && !prepared) {
       // H(sweep_seed, tag) == PrepareSeed(q) for every sweep-kind q over
       // this source — the derivation RequestPrebuild also uses, so prebuilt
       // generations match. Every participant ends up reading bit-identical
@@ -633,6 +730,7 @@ void QueryEngine::RunSweepFlight(size_t worker_id, NodeId source,
       estimate_options.seed = sweep_seed;
       estimate_options.num_strata = flight->num_strata;
       estimate_options.memory = &tracker;
+      estimate_options.cancel = cancel;
       estimate_options.trace = trace;
       estimate_options.trace_parent = stratum_stage.id();
       if (flight->whole_sweep) {
@@ -677,6 +775,16 @@ void QueryEngine::RunSweepFlight(size_t worker_id, NodeId source,
       }
     }
     if (!run.ok()) break;
+  }
+
+  if (abandoned) {
+    // The flight can drain without us (someone else is active, or every
+    // stratum is claimed): leave it untouched — its eventual finalizer
+    // publishes for the remaining participants — and fail only this query.
+    // Deliberately skips the finalize check below: an abandoning
+    // participant taking the finalizing token and then returning would
+    // strand the real participants waiting forever.
+    return cancel->ToStatus();
   }
 
   // Whoever observes the flight drained — all strata deposited, or failed
@@ -747,23 +855,37 @@ void QueryEngine::RunSweepFlight(size_t worker_id, NodeId source,
       flight->ready = true;
     }
     flight->done.notify_all();
-    return;
+    return Status::OK();
   }
   // Not the finalizer: some other participant is still executing a stratum
   // (or merging); wait for the publish. This terminates — the flight always
-  // has at least one active participant until ready.
+  // has at least one active participant until ready. A participant carrying
+  // a cancel token polls it between wait slices and abandons the flight on
+  // expiry (same contract as above: the flight itself is untouched).
   StageTimer wait_stage(stage_sweep_wait_, trace, obs::SpanKind::kSweepWait,
                         parent);
   std::unique_lock<std::mutex> lock(flight->mutex);
-  flight->done.wait(lock, [&flight] { return flight->ready; });
+  if (cancel == nullptr) {
+    flight->done.wait(lock, [&flight] { return flight->ready; });
+  } else {
+    while (!flight->ready) {
+      if (cancel->Cancelled()) return cancel->ToStatus();
+      flight->done.wait_for(lock, kCancelWaitSlice,
+                            [&flight] { return flight->ready; });
+    }
+  }
+  return Status::OK();
 }
 
 std::shared_ptr<QueryEngine::SweepFlight> QueryEngine::JoinOrCreateSweepFlight(
     size_t worker_id, const QueryPlan& plan, const SweepCacheKey& key,
     bool scout, bool* leader,
-    std::shared_ptr<const std::vector<double>>* cached) {
+    std::shared_ptr<const std::vector<double>>* cached, bool* stale,
+    bool* refresh_owner) {
   *leader = false;
   cached->reset();
+  if (stale != nullptr) *stale = false;
+  if (refresh_owner != nullptr) *refresh_owner = false;
   std::lock_guard<std::mutex> lock(sweep_inflight_mutex_);
   // Double-check under the flight lock (same protocol as the query-level
   // rendezvous): a sweep's finalizer publishes to the SweepCache *before*
@@ -776,8 +898,23 @@ std::shared_ptr<QueryEngine::SweepFlight> QueryEngine::JoinOrCreateSweepFlight(
   // coalescing without the result cache. Uncounted probe (callers decide
   // how to account it).
   if (sweep_cache_ != nullptr) {
-    if (std::shared_ptr<const std::vector<double>> vector =
-            sweep_cache_->Lookup(key, /*record_stats=*/false)) {
+    if (options_.max_stale_seconds > 0.0) {
+      // Stale-while-revalidate double-check: a TTL-expired vector inside
+      // the stale window still serves queries — but a refresh pass (the
+      // scout ScheduleSweepRefresh dispatched) must NOT be satisfied by the
+      // very entry it came to replace, so a scout observing a stale hit
+      // falls through and leads the replacing flight.
+      StaleSweepLookup probe =
+          sweep_cache_->LookupStale(key, options_.max_stale_seconds,
+                                    /*record_stats=*/false);
+      if (probe.sweep != nullptr && !(scout && probe.stale)) {
+        *cached = std::move(probe.sweep);
+        if (stale != nullptr) *stale = probe.stale;
+        if (refresh_owner != nullptr) *refresh_owner = probe.refresh_owner;
+        return nullptr;
+      }
+    } else if (std::shared_ptr<const std::vector<double>> vector =
+                   sweep_cache_->Lookup(key, /*record_stats=*/false)) {
       *cached = std::move(vector);
       return nullptr;
     }
@@ -805,36 +942,52 @@ std::shared_ptr<QueryEngine::SweepFlight> QueryEngine::JoinOrCreateSweepFlight(
 
 Result<QueryEngine::SweepShare> QueryEngine::GetSweepVector(
     size_t worker_id, const EngineQuery& query, const QueryPlan& plan,
-    uint64_t sweep_seed, obs::TraceBuffer* trace, uint32_t parent) {
+    uint64_t sweep_seed, const CancelToken* cancel, obs::TraceBuffer* trace,
+    uint32_t parent) {
   const SweepCacheKey key{plan.kind, query.source, plan.num_samples,
                           sweep_seed};
-  // Fast path: memoized sweep.
+  // Fast path: memoized sweep (with the stale window open, a TTL-expired
+  // vector still serves; the first stale observer owns kicking off the
+  // background re-warm).
   if (sweep_cache_ != nullptr) {
-    std::shared_ptr<const std::vector<double>> vector;
+    StaleSweepLookup probe;
     {
-      StageTimer probe(stage_cache_probe_, trace, obs::SpanKind::kCacheProbe,
-                       parent, /*detail=*/1);
-      vector = sweep_cache_->Lookup(key);
+      StageTimer probe_stage(stage_cache_probe_, trace,
+                             obs::SpanKind::kCacheProbe, parent, /*detail=*/1);
+      if (options_.max_stale_seconds > 0.0) {
+        probe = sweep_cache_->LookupStale(key, options_.max_stale_seconds);
+      } else {
+        probe.sweep = sweep_cache_->Lookup(key);
+      }
     }
-    if (vector != nullptr) {
+    if (probe.sweep != nullptr) {
       stats_.RecordSweepHit();
-      return SweepShare{std::move(vector), 0};
+      if (probe.refresh_owner) ScheduleSweepRefresh(key, query.source);
+      SweepShare share{std::move(probe.sweep), 0};
+      share.stale = probe.stale;
+      return share;
     }
   }
   if (!options_.enable_coalescing) {
-    return ComputeSweepSerial(worker_id, query, plan, sweep_seed, key, trace,
-                              parent);
+    return ComputeSweepSerial(worker_id, query, plan, sweep_seed, key, cancel,
+                              trace, parent);
   }
   bool leader = false;
+  bool stale = false;
+  bool refresh_owner = false;
   std::shared_ptr<const std::vector<double>> cached;
-  std::shared_ptr<SweepFlight> flight = JoinOrCreateSweepFlight(
-      worker_id, plan, key, /*scout=*/false, &leader, &cached);
+  std::shared_ptr<SweepFlight> flight =
+      JoinOrCreateSweepFlight(worker_id, plan, key, /*scout=*/false, &leader,
+                              &cached, &stale, &refresh_owner);
   if (flight == nullptr) {
     // The sweep finished between our fast-path miss and taking the flight
     // lock: this query shared its work (accounted as sweep_coalesced, not a
     // hit — the fast-path miss is already in the cache stats).
     stats_.RecordSweepCoalesced();
-    return SweepShare{std::move(cached), 0};
+    if (refresh_owner) ScheduleSweepRefresh(key, query.source);
+    SweepShare share{std::move(cached), 0};
+    share.stale = stale;
+    return share;
   }
   // One sweep_executed per sweep, recorded by its leader: the "<= 1
   // EstimateFromSource per distinct (source, generation)" gate currency.
@@ -842,8 +995,12 @@ Result<QueryEngine::SweepShare> QueryEngine::GetSweepVector(
   {
     obs::ScopedSpan flight_span(trace, obs::SpanKind::kSweepFlight, parent,
                                 leader ? 1 : 0);
-    RunSweepFlight(worker_id, query.source, plan, sweep_seed, key, flight,
-                   leader, trace, flight_span.id());
+    const Status flight_status =
+        RunSweepFlight(worker_id, query.source, plan, sweep_seed, key, flight,
+                       leader, cancel, trace, flight_span.id());
+    // Abandoned mid-flight (deadline): the flight publishes without us; do
+    // not read its fields — fail this query with the transient status.
+    if (!flight_status.ok()) return flight_status;
   }
 
   Status status;
@@ -903,8 +1060,10 @@ void QueryEngine::ScoutSweep(size_t worker_id, NodeId source) {
     buffer.Start(tracer_->NextQueryId(), static_cast<uint32_t>(worker_id));
     root = buffer.Begin(obs::SpanKind::kScout);
   }
-  RunSweepFlight(worker_id, source, plan, sweep_seed, key, flight,
-                 /*leader=*/true, trace, root);
+  // A scout carries no deadline (cancel=nullptr) and always drains its
+  // flight, so the OK status is discardable: failures live in the flight.
+  (void)RunSweepFlight(worker_id, source, plan, sweep_seed, key, flight,
+                       /*leader=*/true, /*cancel=*/nullptr, trace, root);
   if (trace != nullptr) {
     buffer.End(root);
     tracer_->Finish(buffer);
@@ -950,15 +1109,16 @@ void QueryEngine::ScoutBatch(const std::vector<EngineQuery>& queries) {
 
 Result<WorkloadResult> QueryEngine::ComputeWorkload(
     size_t worker_id, const EngineQuery& query, const QueryPlan& plan,
-    uint64_t query_seed, obs::TraceBuffer* trace, uint32_t parent) {
+    uint64_t query_seed, const CancelToken* cancel, obs::TraceBuffer* trace,
+    uint32_t parent) {
   Estimator& estimator = ReplicaFor(plan.kind, worker_id);
   if (IsSweepWorkload(query.workload) && estimator.SupportsSourceSweep()) {
     // Sweep sharing: obtain the per-source vector once (memoized, coalesced,
     // or computed) and derive this query's view of it. Bit-identical to a
     // direct dispatch because the seed is the same sweep seed either way.
     RELCOMP_ASSIGN_OR_RETURN(
-        SweepShare share,
-        GetSweepVector(worker_id, query, plan, query_seed, trace, parent));
+        SweepShare share, GetSweepVector(worker_id, query, plan, query_seed,
+                                         cancel, trace, parent));
     StageTimer derive_stage(stage_derive_, trace, obs::SpanKind::kDerive,
                             parent);
     WorkloadResult derived =
@@ -966,7 +1126,16 @@ Result<WorkloadResult> QueryEngine::ComputeWorkload(
     if (share.peak_memory_bytes > derived.peak_memory_bytes) {
       derived.peak_memory_bytes = share.peak_memory_bytes;
     }
+    derived.served_stale = share.stale;
     return derived;
+  }
+  FaultInjector& injector = FaultInjector::Global();
+  if (injector.enabled()) {
+    // Content-derived key (the query seed): the set of injected queries is
+    // the same at every thread count, so chaos runs are comparable.
+    injector.MaybeDelay(query_seed);
+    RELCOMP_RETURN_NOT_OK(injector.MaybeFail(FaultSite::kEstimatorFailure,
+                                             query_seed, "estimate"));
   }
   {
     StageTimer prepare_stage(stage_prepare_, trace, obs::SpanKind::kPrepare,
@@ -981,6 +1150,7 @@ Result<WorkloadResult> QueryEngine::ComputeWorkload(
   // s-t MC estimates split their budget the same canonical way sweeps do
   // (estimators without one ignore the knob).
   estimate_options.num_strata = plan.num_strata;
+  estimate_options.cancel = cancel;
   obs::ScopedSpan estimate_span(trace, obs::SpanKind::kEstimate, parent);
   estimate_options.trace = trace;
   estimate_options.trace_parent = estimate_span.id();
@@ -1013,9 +1183,44 @@ void QueryEngine::RunOne(size_t worker_id, const EngineQuery& query,
   slot->plan = plan;
   stats_.RecordWorkload(query.workload);
 
+  // Deadline: per-query override, else the engine default; 0 = none. The
+  // clock starts at Submit time (enqueue_ns), so queue wait counts against
+  // the budget — a query that starved in the queue is already expired when
+  // its worker picks it up. The token chains to any caller-provided handle,
+  // so either source of cancellation trips it.
+  const double deadline_ms =
+      query.deadline_ms > 0.0 ? query.deadline_ms : options_.default_deadline_ms;
+  const CancelToken token(
+      deadline_ms > 0.0
+          ? enqueue_ns + static_cast<uint64_t>(deadline_ms * 1e6)
+          : 0,
+      query.cancel);
+  const CancelToken* cancel =
+      (deadline_ms > 0.0 || query.cancel != nullptr) ? &token : nullptr;
+
   const ResultCacheKey key{query, plan.kind, plan.num_samples, query_seed};
   std::shared_ptr<InFlight> flight;
-  if (TryServeWithoutCompute(key, slot, &flight, trace, root)) {
+  if (TryServeWithoutCompute(key, slot, &flight, cancel, trace, root)) {
+    if (trace != nullptr) {
+      buffer.End(root);
+      tracer_->Finish(buffer);
+    }
+    return;
+  }
+
+  // Pre-compute deadline check: the query may have expired while it queued
+  // (or the caller cancelled before we got here). Fail it before burning an
+  // estimator on an answer nobody wants. A leader slot still retires its
+  // flight entry so waiters drain with the same transient status; the
+  // transient code keeps it out of the negative cache.
+  if (cancel != nullptr && cancel->Cancelled()) {
+    ResultCacheValue expired_value;
+    expired_value.status = cancel->ToStatus();
+    slot->status = expired_value.status;
+    slot->seconds = 0.0;
+    stats_.RecordFailure(0.0);
+    stats_.RecordDeadlineExceeded();
+    if (flight != nullptr) FinishFlight(key, flight, expired_value);
     if (trace != nullptr) {
       buffer.End(root);
       tracer_->Finish(buffer);
@@ -1027,7 +1232,7 @@ void QueryEngine::RunOne(size_t worker_id, const EngineQuery& query,
   Timer timer;
   ResultCacheValue value;
   Result<WorkloadResult> result =
-      ComputeWorkload(worker_id, query, plan, query_seed, trace, root);
+      ComputeWorkload(worker_id, query, plan, query_seed, cancel, trace, root);
   if (result.ok()) {
     value.reliability = result->reliability;
     value.num_samples = result->num_samples;
@@ -1035,8 +1240,10 @@ void QueryEngine::RunOne(size_t worker_id, const EngineQuery& query,
     slot->reliability = value.reliability;
     slot->num_samples = value.num_samples;
     slot->targets = value.targets;
+    slot->served_stale = result->served_stale;
     slot->seconds = timer.ElapsedSeconds();
     stats_.RecordExecuted(slot->seconds, result->peak_memory_bytes);
+    if (result->served_stale) stats_.RecordStaleServed();
     // Feed the fallback gate: one observation per estimator-executed routed
     // query (cache hits and coalesced waiters observed someone else's
     // latency and were filtered out above).
@@ -1046,6 +1253,7 @@ void QueryEngine::RunOne(size_t worker_id, const EngineQuery& query,
     slot->status = result.status();
     slot->seconds = timer.ElapsedSeconds();
     stats_.RecordFailure(slot->seconds);
+    if (IsCancellation(slot->status)) stats_.RecordDeadlineExceeded();
   }
   {
     StageTimer publish_stage(stage_publish_, trace, obs::SpanKind::kPublish,
@@ -1127,8 +1335,111 @@ Result<std::vector<EngineResult>> QueryEngine::RunBatch(
   return RunBatch(wrapped);
 }
 
+bool QueryEngine::ServableFromCache(const EngineQuery& query) const {
+  const QueryPlan plan = PlanFor(query);
+  const uint64_t query_seed = SeedForPlan(query, plan);
+  if (cache_ != nullptr &&
+      cache_->Contains(ResultCacheKey{query, plan.kind, plan.num_samples,
+                                      query_seed})) {
+    return true;
+  }
+  // A memoized sweep answers any k / eta over its source without an
+  // estimator — deriving is a rank/filter pass, cheap enough to admit.
+  if (sweep_cache_ != nullptr && IsSweepWorkload(query.workload) &&
+      sweep_cache_->Contains(SweepCacheKey{plan.kind, query.source,
+                                           plan.num_samples, query_seed})) {
+    return true;
+  }
+  return false;
+}
+
+Status QueryEngine::AdmitQuery(const EngineQuery& query) {
+  const size_t depth = pool_->queue_depth();
+  const char* reason = nullptr;
+  if (depth >= pool_->queue_capacity()) {
+    // Submit() would block the caller — under overload that converts the
+    // client into part of the queue. Shed instead: cheap for the client to
+    // retry, and the hint below tells it when.
+    reason = "queue_full";
+  } else if (options_.shed_queue_depth > 0 &&
+             depth >= options_.shed_queue_depth &&
+             !ServableFromCache(query)) {
+    // Predictive gate: past the threshold only cache-servable work — which
+    // occupies a worker for microseconds — is admitted. Compute-bound
+    // queries are cheap to retry *before* they are computed; that is the
+    // moment to refuse them.
+    reason = "overload";
+  }
+  if (reason == nullptr) return Status::OK();
+  stats_.RecordShed(reason);
+  // Retry-after hint: the backlog ahead of this query, paced by the p50
+  // query latency per worker. Floor of 1ms keeps the hint meaningful when
+  // the histogram is empty (cold engine).
+  const double p50_ms = static_cast<double>(
+      stats_.registry().GetHistogram("engine_query_latency_ns")
+          ->Snapshot()
+          .Quantile(0.5)) / 1e6;
+  const double waves =
+      static_cast<double>(depth) /
+      static_cast<double>(pool_->num_threads() == 0 ? 1 : pool_->num_threads());
+  const double retry_after_ms = std::max(1.0, waves * p50_ms);
+  return Status::Unavailable(
+      StrFormat("query shed (%s): queue depth %zu; retry after ~%.0f ms",
+                reason, depth, retry_after_ms));
+}
+
+void QueryEngine::ScheduleResultRefresh(const ResultCacheKey& key) {
+  const Status submitted = pool_->TrySubmit([this, key](size_t worker_id) {
+    // The plan is recomputed, not trusted from the key: a router may have
+    // drifted since the stale entry was cached. A refresh can only honor
+    // the *same* key it owns — on any mismatch it re-arms the entry and
+    // lets it age out at the stale deadline instead of publishing an
+    // answer under a key it does not match.
+    const QueryPlan plan = PlanFor(key.query);
+    if (plan.kind != key.kind || plan.num_samples != key.num_samples ||
+        SeedForPlan(key.query, plan) != key.seed) {
+      cache_->ClearRefreshPending(key);
+      return;
+    }
+    Result<WorkloadResult> result =
+        ComputeWorkload(worker_id, key.query, plan, key.seed,
+                        /*cancel=*/nullptr, /*trace=*/nullptr,
+                        obs::TraceBuffer::kNone);
+    if (!result.ok()) {
+      // A failed refresh must not mask the still-servable stale answer (and
+      // transient failures must not be cached at all): re-arm so a later
+      // stale hit elects a new owner.
+      cache_->ClearRefreshPending(key);
+      return;
+    }
+    ResultCacheValue value;
+    value.reliability = result->reliability;
+    value.num_samples = result->num_samples;
+    value.targets = std::move(result->targets);
+    cache_->Insert(key, value, options_.cache_ttl);
+  });
+  // Best-effort: a full pool means no refresh this episode — re-arm.
+  if (!submitted.ok()) cache_->ClearRefreshPending(key);
+}
+
+void QueryEngine::ScheduleSweepRefresh(const SweepCacheKey& key,
+                                       NodeId source) {
+  // The scout pass IS a sweep refresh: it leads a fresh flight for the
+  // source's current plan and publishes through the normal finalize path
+  // (whose Insert re-arms refresh_pending). JoinOrCreateSweepFlight
+  // deliberately refuses to serve the scout the stale entry it came to
+  // replace.
+  const Status submitted = pool_->TrySubmit([this, source](size_t worker_id) {
+    ScoutSweep(worker_id, source);
+  });
+  if (!submitted.ok()) sweep_cache_->ClearRefreshPending(key);
+}
+
 Status QueryEngine::Submit(const EngineQuery& query) {
   RELCOMP_RETURN_NOT_OK(ValidateWorkload(graph_, query));
+  if (options_.enable_load_shedding) {
+    RELCOMP_RETURN_NOT_OK(AdmitQuery(query));
+  }
   // Overlap: the builder resamples this query's generation while earlier
   // stream queries are still running their BFS on the workers.
   if (prebuilder_ != nullptr) RequestPrebuild(query);

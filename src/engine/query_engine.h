@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/timer.h"
 #include "engine/engine_stats.h"
 #include "engine/generation_prebuilder.h"
@@ -139,6 +140,37 @@ struct EngineOptions {
   /// the oldest are evicted when the pool exceeds the budget. The resident
   /// pool is reported in IndexMemoryReport::prebuilt_bytes.
   size_t prebuild_max_bytes = 0;
+  /// \name Fault tolerance & graceful degradation (see README "Failure
+  /// semantics & degraded modes")
+  /// @{
+  /// Deadline in milliseconds applied to every query that does not carry its
+  /// own EngineQuery::deadline_ms; 0 = no default deadline. The clock starts
+  /// at submission, so queue wait counts against it. An expired query fails
+  /// with kDeadlineExceeded — a transient status, never negative-cached —
+  /// and cancellation is cooperative and all-or-nothing: a query either
+  /// completes with its full bit-identical answer or returns no result at
+  /// all, so deadlines never change any completed answer.
+  double default_deadline_ms = 0.0;
+  /// Admission control on the stream path (Submit): refuse work up front
+  /// with kUnavailable (and a retry_after_ms hint in the message) instead of
+  /// queueing unboundedly. RunBatch is exempt by design — batches are
+  /// trusted pre-validated workloads whose caller already owns their size.
+  bool enable_load_shedding = false;
+  /// Queue depth at which the predictive gate starts shedding cheap-to-retry
+  /// work (queries no cache can serve); 0 = shed only when the queue is
+  /// completely full. Cache-servable queries are always admitted — they
+  /// resolve in O(1) without a worker.
+  size_t shed_queue_depth = 0;
+  /// Stale-while-revalidate window in seconds: a TTL-expired cache entry
+  /// (result or sweep) whose deadline elapsed less than this long ago is
+  /// served immediately — flagged in EngineResult::served_stale — while one
+  /// background task recomputes it through the normal single-flight
+  /// machinery. 0 (the default) disables SWR: expired entries are recomputed
+  /// synchronously, the pre-SWR behavior. Content-determinism makes a stale
+  /// entry byte-identical to its recomputation, so SWR trades only metadata
+  /// freshness (TTL bookkeeping), never answer correctness.
+  double max_stale_seconds = 0.0;
+  /// @}
   /// \name Observability (see src/obs/README.md)
   /// Tracing is never part of the determinism contract: answers are
   /// bit-identical with any sample rate, at any thread count.
@@ -206,6 +238,11 @@ struct EngineResult {
   /// True when this query shared an in-flight twin's computation instead of
   /// invoking an estimator itself (single-flight coalescing).
   bool coalesced = false;
+  /// True when the answer came from a TTL-expired cache entry served inside
+  /// the stale-while-revalidate window (EngineOptions::max_stale_seconds).
+  /// The payload is still bit-identical to a fresh recomputation — staleness
+  /// is a TTL-policy fact, surfaced so callers can observe degraded mode.
+  bool served_stale = false;
 
   bool ok() const { return status.ok(); }
 };
@@ -421,6 +458,9 @@ class QueryEngine {
     /// sweep's footprint is attributed to its queries even when the
     /// warm-ahead scout led it. 0 for SweepCache hits.
     size_t peak_memory_bytes = 0;
+    /// The vector came from a TTL-expired SweepCache entry served inside the
+    /// stale window (stale-while-revalidate).
+    bool stale = false;
   };
 
   /// Executes one query on `worker_id`'s replica (or serves it from cache /
@@ -436,10 +476,13 @@ class QueryEngine {
   /// Compute path of one query (after the cache / query-level flight said
   /// miss): sweep kinds go through the sweep-sharing layer, everything else
   /// through PrepareReplica + DispatchWorkload.
+  /// `cancel` (nullable) is the query's deadline/cancellation token, polled
+  /// cooperatively by the estimator loops and the flight machinery below.
   Result<WorkloadResult> ComputeWorkload(size_t worker_id,
                                          const EngineQuery& query,
                                          const QueryPlan& plan,
                                          uint64_t query_seed,
+                                         const CancelToken* cancel,
                                          obs::TraceBuffer* trace,
                                          uint32_t parent);
 
@@ -450,18 +493,34 @@ class QueryEngine {
   /// sweep_coalesced / sweep_executed per call.
   Result<SweepShare> GetSweepVector(size_t worker_id, const EngineQuery& query,
                                     const QueryPlan& plan, uint64_t sweep_seed,
+                                    const CancelToken* cancel,
                                     obs::TraceBuffer* trace, uint32_t parent);
 
   /// Participates in `flight`: claims and executes unclaimed strata on this
   /// worker's replica (preparing it once, on the first claim), deposits
   /// their hit counts, and — if this worker drains the last stratum —
   /// merges in stratum order, publishes to the SweepCache, retires the
-  /// flight entry, and wakes everyone. Returns only once the flight is
-  /// ready. `leader` controls the strata_stolen accounting.
-  void RunSweepFlight(size_t worker_id, NodeId source, const QueryPlan& plan,
-                      uint64_t sweep_seed, const SweepCacheKey& key,
-                      const std::shared_ptr<SweepFlight>& flight, bool leader,
-                      obs::TraceBuffer* trace, uint32_t parent);
+  /// flight entry, and wakes everyone. `leader` controls the strata_stolen
+  /// accounting.
+  ///
+  /// Cancellation (`cancel` non-null and tripped) has two deterministic
+  /// shapes, decided under the flight lock:
+  /// - other participants are still executing (or all strata are claimed):
+  ///   this participant *abandons* — returns its token's transient status
+  ///   without waiting; the flight lives on and completes normally for
+  ///   everyone else.
+  /// - this participant is the last active one and unclaimed strata remain:
+  ///   without it the flight could stall on waiters with no workers, so it
+  ///   fails the flight *as a unit* (flight->status = the token's status)
+  ///   and drains it through the normal finalize path — every waiter wakes
+  ///   with the same transient status, no torn vector is ever published.
+  /// OK means the flight reached `ready` (flight->status tells how it
+  /// ended); non-OK is the abandoning participant's own transient status.
+  Status RunSweepFlight(size_t worker_id, NodeId source, const QueryPlan& plan,
+                        uint64_t sweep_seed, const SweepCacheKey& key,
+                        const std::shared_ptr<SweepFlight>& flight, bool leader,
+                        const CancelToken* cancel, obs::TraceBuffer* trace,
+                        uint32_t parent);
 
   /// Serial sweep for the coalescing-off path: one EstimateFromSource with
   /// the engine's stratum count (bit-identical to a stolen-strata merge).
@@ -470,6 +529,7 @@ class QueryEngine {
                                         const QueryPlan& plan,
                                         uint64_t sweep_seed,
                                         const SweepCacheKey& key,
+                                        const CancelToken* cancel,
                                         obs::TraceBuffer* trace,
                                         uint32_t parent);
 
@@ -481,11 +541,15 @@ class QueryEngine {
   /// caller created it. Shared by the query path and the scout pass so the
   /// two can never drift in flight setup. `scout` marks a warm-ahead
   /// creation (flight starts scout_only, its publish carries the warm TTL);
-  /// a non-scout join clears the mark.
+  /// a non-scout join clears the mark. With stale-while-revalidate on, the
+  /// double-check serves stale entries to queries (`*stale` / `*refresh_owner`
+  /// report the episode, both nullable) — but never to the scout, which came
+  /// precisely to lead the flight that replaces the stale entry.
   std::shared_ptr<SweepFlight> JoinOrCreateSweepFlight(
       size_t worker_id, const QueryPlan& plan, const SweepCacheKey& key,
       bool scout, bool* leader,
-      std::shared_ptr<const std::vector<double>>* cached);
+      std::shared_ptr<const std::vector<double>>* cached,
+      bool* stale = nullptr, bool* refresh_owner = nullptr);
 
   /// Warm-ahead scout task for `source`: if its sweep is neither memoized
   /// nor in flight, leads a stratified sweep through the same single-flight
@@ -537,9 +601,32 @@ class QueryEngine {
   /// `slot` was fully served (cache hit — positive or negative — or
   /// coalesced); otherwise the caller is the leader (or coalescing is off)
   /// and must compute, then call FinishFlight with the outcome.
+  /// `cancel` (nullable) bounds the coalesced-follower wait: a follower
+  /// whose token trips stops waiting and fails with the token's transient
+  /// status (counted as a failure, not coalesced); the flight completes
+  /// normally for everyone else.
   bool TryServeWithoutCompute(const ResultCacheKey& key, EngineResult* slot,
                               std::shared_ptr<InFlight>* leader_flight,
+                              const CancelToken* cancel,
                               obs::TraceBuffer* trace, uint32_t parent);
+
+  /// Load-shedding admission gate for the stream path (Submit): OK admits;
+  /// kUnavailable (with a retry_after_ms hint) sheds. Shed queries never
+  /// enter the engine, so they are invisible to the query-partition
+  /// invariant (executed + coalesced + failures + cache hits == queries).
+  Status AdmitQuery(const EngineQuery& query);
+
+  /// True when `query` will resolve from the result or sweep cache without
+  /// occupying a worker — such queries are always admitted under overload.
+  bool ServableFromCache(const EngineQuery& query) const;
+
+  /// Kicks off the background stale-while-revalidate recompute this caller
+  /// owns (LookupStale handed it refresh_owner). Best-effort: a full pool
+  /// re-arms the entry instead (ClearRefreshPending). The refresh records
+  /// nothing into per-query stats — no query is behind it — mirroring how
+  /// scout warms stay outside the query partition.
+  void ScheduleResultRefresh(const ResultCacheKey& key);
+  void ScheduleSweepRefresh(const SweepCacheKey& key, NodeId source);
 
   /// Publishes the leader's outcome: inserts into the cache (successes under
   /// cache_ttl, failures under negative_cache_ttl when enabled), removes the

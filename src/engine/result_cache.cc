@@ -1,5 +1,6 @@
 #include "engine/result_cache.h"
 
+#include "common/fault_injection.h"
 #include "common/rng.h"
 #include "common/timer.h"
 
@@ -39,6 +40,8 @@ ResultCache::ResultCache(size_t capacity, size_t num_shards, size_t max_bytes,
   evictions_ = registry->GetCounter("result_cache_evictions_total");
   expired_ = registry->GetCounter("result_cache_expired_total");
   rejected_ = registry->GetCounter("result_cache_rejected_total");
+  stale_served_ = registry->GetCounter("cache_stale_served_total", "cache",
+                                       "result");
   bytes_gauge_ = registry->GetGauge("result_cache_bytes");
   num_shards = RoundUpToPowerOfTwo(num_shards == 0 ? 1 : num_shards);
   // No more shards than entries, or some shards could never hold anything.
@@ -103,6 +106,63 @@ std::optional<ResultCacheValue> ResultCache::Lookup(const ResultCacheKey& key,
   return it->second->value;
 }
 
+StaleLookupResult ResultCache::LookupStale(const ResultCacheKey& key,
+                                           double max_stale_seconds,
+                                           bool record_stats) {
+  StaleLookupResult result;
+  const HashedKey hashed{key, key.Hash()};
+  Shard& shard = ShardFor(hashed.hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(hashed);
+  if (it == shard.index.end()) {
+    if (record_stats) misses_->Inc();
+    return result;
+  }
+  Entry& entry = *it->second;
+  const bool ttl_elapsed =
+      entry.expires && StopwatchNs::Now() >= entry.deadline_ns;
+  if (ttl_elapsed) {
+    const uint64_t stale_deadline_ns =
+        entry.deadline_ns +
+        static_cast<uint64_t>(max_stale_seconds > 0.0 ? max_stale_seconds * 1e9
+                                                      : 0.0);
+    if (entry.value.negative() || max_stale_seconds <= 0.0 ||
+        StopwatchNs::Now() >= stale_deadline_ns) {
+      // Negative entries and entries past the stale window die exactly as in
+      // Lookup(): a cached failure must not outlive its backoff, and an
+      // entry too old to serve is dead weight.
+      RemoveEntry(shard, it);
+      expired_->Inc();
+      if (record_stats) misses_->Inc();
+      return result;
+    }
+    result.stale = true;
+    if (!entry.refresh_pending) {
+      entry.refresh_pending = true;
+      result.refresh_owner = true;
+    }
+    stale_served_->Inc();
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  if (record_stats) {
+    if (entry.value.negative()) {
+      negative_hits_->Inc();
+    } else {
+      hits_->Inc();
+    }
+  }
+  result.value = entry.value;
+  return result;
+}
+
+void ResultCache::ClearRefreshPending(const ResultCacheKey& key) {
+  const HashedKey hashed{key, key.Hash()};
+  Shard& shard = ShardFor(hashed.hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(hashed);
+  if (it != shard.index.end()) it->second->refresh_pending = false;
+}
+
 bool ResultCache::Contains(const ResultCacheKey& key) const {
   const HashedKey hashed{key, key.Hash()};
   Shard& shard = *shards_[hashed.hash & (shards_.size() - 1)];
@@ -117,7 +177,22 @@ bool ResultCache::Contains(const ResultCacheKey& key) const {
 
 void ResultCache::Insert(const ResultCacheKey& key,
                          const ResultCacheValue& value, double ttl_seconds) {
+  if (IsTransientStatusCode(value.status.code())) {
+    // A transient failure (deadline, cancellation, shed) says nothing about
+    // the key itself; negative-caching it would make a momentary condition
+    // sticky for the TTL. Refused here as well as at the engine layer so no
+    // future call path can reintroduce the bug.
+    return;
+  }
   const HashedKey hashed{key, key.Hash()};
+  if (FaultInjector::Global().enabled() &&
+      FaultInjector::Global().ShouldInject(FaultSite::kAllocFailure,
+                                           hashed.hash)) {
+    // Injected allocation failure: the insert is dropped, which the cache
+    // contract already allows (any entry may be evicted or rejected at any
+    // time), so correctness must be unaffected.
+    return;
+  }
   const size_t entry_bytes = EntryBytes(value);
   const bool expires = ttl_seconds > 0.0;
   const uint64_t deadline_ns =
@@ -146,12 +221,13 @@ void ResultCache::Insert(const ResultCacheKey& key,
     it->second->value = value;
     it->second->deadline_ns = deadline_ns;
     it->second->expires = expires;
+    it->second->refresh_pending = false;  // refresh landed; re-arm SWR
     it->second->bytes = entry_bytes;
     shard.bytes += entry_bytes;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   } else {
-    shard.lru.push_front(
-        Entry{hashed, value, deadline_ns, expires, entry_bytes});
+    shard.lru.push_front(Entry{hashed, value, deadline_ns, expires,
+                               /*refresh_pending=*/false, entry_bytes});
     shard.index.emplace(hashed, shard.lru.begin());
     shard.bytes += entry_bytes;
     bytes_gauge_->Add(static_cast<double>(entry_bytes));
@@ -188,6 +264,7 @@ ResultCacheStats ResultCache::Stats() const {
   stats.evictions = evictions_->Value();
   stats.expired = expired_->Value();
   stats.rejected = rejected_->Value();
+  stats.stale_served = stale_served_->Value();
   stats.bytes_in_use = bytes_in_use();
   return stats;
 }

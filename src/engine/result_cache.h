@@ -57,6 +57,19 @@ struct ResultCacheValue {
   bool negative() const { return !status.ok(); }
 };
 
+/// Outcome of a stale-tolerant lookup (LookupStale).
+struct StaleLookupResult {
+  /// The entry (fresh or stale); nullopt on a true miss.
+  std::optional<ResultCacheValue> value;
+  /// True when `value` is TTL-expired but within the stale window — the
+  /// caller should surface it flagged as stale.
+  bool stale = false;
+  /// True for exactly one caller per stale episode: that caller owns kicking
+  /// off the background refresh. Reset by the next Insert on the key, or by
+  /// ClearRefreshPending if the refresh could not run.
+  bool refresh_owner = false;
+};
+
 /// Monotonic counters; a snapshot type so callers can diff two points in
 /// time.
 struct ResultCacheStats {
@@ -67,6 +80,7 @@ struct ResultCacheStats {
   uint64_t evictions = 0;
   uint64_t expired = 0;   ///< entries dropped because their TTL elapsed
   uint64_t rejected = 0;  ///< entries larger than a whole shard's byte budget
+  uint64_t stale_served = 0;  ///< expired entries served inside a stale window
   size_t bytes_in_use = 0;  ///< charged bytes resident at snapshot time
 
   uint64_t lookups() const { return hits + negative_hits + misses; }
@@ -124,9 +138,31 @@ class ResultCache {
   /// engine deciding whether a query is worth prebuilding for.
   bool Contains(const ResultCacheKey& key) const;
 
+  /// Stale-while-revalidate lookup. Fresh entries behave exactly like
+  /// Lookup(). A TTL-expired *positive* entry whose deadline elapsed less
+  /// than `max_stale_seconds` ago is served anyway with `stale` set, and the
+  /// first such observer gets `refresh_owner` = true (the entry's pending
+  /// flag debounces the refresh to one owner per stale episode). Because
+  /// every cached payload is content-derived and immutable, a stale entry is
+  /// byte-identical to what recomputation would produce — staleness here is
+  /// purely a TTL-policy fact, not a data-freshness risk. Negative entries
+  /// are never stale-served (a cached failure must not outlive its backoff);
+  /// past the stale window the entry is dropped and the lookup is a miss.
+  StaleLookupResult LookupStale(const ResultCacheKey& key,
+                                double max_stale_seconds,
+                                bool record_stats = true);
+
+  /// Releases the refresh-pending flag on `key`, re-arming LookupStale to
+  /// elect a new refresh owner. For owners whose background refresh could
+  /// not be scheduled (pool saturated / shutting down).
+  void ClearRefreshPending(const ResultCacheKey& key);
+
   /// Inserts (or refreshes) `value` under `key`, evicting the shard's LRU
   /// entry if the shard is full. `ttl_seconds` > 0 puts a deadline on the
-  /// entry; 0 means it never expires.
+  /// entry; 0 means it never expires. Values carrying a *transient* failure
+  /// status (Unavailable / DeadlineExceeded / Cancelled) are refused:
+  /// caching "try again later" as a negative entry would convert a momentary
+  /// condition into a sticky failure.
   void Insert(const ResultCacheKey& key, const ResultCacheValue& value,
               double ttl_seconds = 0.0);
 
@@ -156,6 +192,8 @@ class ResultCache {
     /// meaningful only when `expires` is true.
     uint64_t deadline_ns = 0;
     bool expires = false;
+    /// A stale-while-revalidate refresh is already owned for this entry.
+    bool refresh_pending = false;
     /// Charged bytes (EntryBytes at insertion), subtracted on removal.
     size_t bytes = 0;
   };
@@ -201,6 +239,7 @@ class ResultCache {
   obs::Counter* evictions_;
   obs::Counter* expired_;
   obs::Counter* rejected_;
+  obs::Counter* stale_served_;
   /// Live charged-byte occupancy, mirrored for scrapes (the exact value is
   /// still summed from the shards in Stats()).
   obs::Gauge* bytes_gauge_;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/rng.h"
 
 namespace relcomp {
@@ -25,6 +26,8 @@ SweepCache::SweepCache(size_t max_bytes, obs::MetricsRegistry* registry)
   evictions_ = registry->GetCounter("sweep_cache_evictions_total");
   rejected_ = registry->GetCounter("sweep_cache_rejected_total");
   expired_ = registry->GetCounter("sweep_cache_expired_total");
+  stale_served_ =
+      registry->GetCounter("cache_stale_served_total", "cache", "sweep");
   bytes_gauge_ = registry->GetGauge("sweep_cache_bytes");
   entries_gauge_ = registry->GetGauge("sweep_cache_entries");
 }
@@ -61,6 +64,56 @@ std::shared_ptr<const std::vector<double>> SweepCache::Lookup(
   return it->second->sweep;
 }
 
+StaleSweepLookup SweepCache::LookupStale(const SweepCacheKey& key,
+                                         double max_stale_seconds,
+                                         bool record_stats) {
+  StaleSweepLookup result;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    if (record_stats) misses_->Inc();
+    return result;
+  }
+  Entry& entry = *it->second;
+  if (entry.expires && StopwatchNs::Now() >= entry.deadline_ns) {
+    const uint64_t stale_deadline_ns =
+        entry.deadline_ns +
+        static_cast<uint64_t>(max_stale_seconds > 0.0 ? max_stale_seconds * 1e9
+                                                      : 0.0);
+    if (max_stale_seconds <= 0.0 || StopwatchNs::Now() >= stale_deadline_ns) {
+      // Past the stale window: reap, exactly as Lookup() would.
+      bytes_in_use_ -= entry.bytes;
+      lru_.erase(it->second);
+      index_.erase(it);
+      expired_->Inc();
+      if (record_stats) misses_->Inc();
+      SyncGaugesLocked();
+      return result;
+    }
+    // Serve stale without promotion — the entry stays expired so the owned
+    // re-warm's Insert supersedes it rather than racing a promoted twin.
+    result.stale = true;
+    if (!entry.refresh_pending) {
+      entry.refresh_pending = true;
+      result.refresh_owner = true;
+    }
+    stale_served_->Inc();
+  } else {
+    // Live entry: promote-on-hit, as in Lookup().
+    entry.expires = false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  if (record_stats) hits_->Inc();
+  result.sweep = entry.sweep;
+  return result;
+}
+
+void SweepCache::ClearRefreshPending(const SweepCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) it->second->refresh_pending = false;
+}
+
 bool SweepCache::Contains(const SweepCacheKey& key) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = index_.find(key);
@@ -74,6 +127,13 @@ void SweepCache::Insert(const SweepCacheKey& key,
                         std::shared_ptr<const std::vector<double>> sweep,
                         double ttl_seconds) {
   if (sweep == nullptr) return;
+  if (FaultInjector::Global().enabled() &&
+      FaultInjector::Global().ShouldInject(FaultSite::kAllocFailure,
+                                           key.Hash())) {
+    // Injected allocation failure: dropping an insert is always legal (any
+    // entry may be rejected or evicted), so answers must be unaffected.
+    return;
+  }
   const size_t bytes = SweepBytes(*sweep);
   if (bytes > max_bytes_) {
     // Oversized: admitting it would flush the whole cache for one entry.
@@ -92,6 +152,7 @@ void SweepCache::Insert(const SweepCacheKey& key,
     it->second->bytes = bytes;
     it->second->expires = expires;
     it->second->deadline_ns = deadline_ns;
+    it->second->refresh_pending = false;  // re-warm landed; re-arm SWR
     bytes_in_use_ += bytes;
     lru_.splice(lru_.begin(), lru_, it->second);
   } else {
@@ -128,6 +189,7 @@ SweepCacheStats SweepCache::Stats() const {
   stats.evictions = evictions_->Value();
   stats.rejected = rejected_->Value();
   stats.expired = expired_->Value();
+  stats.stale_served = stale_served_->Value();
   std::lock_guard<std::mutex> lock(mutex_);
   stats.bytes_in_use = bytes_in_use_;
   stats.entries = lru_.size();

@@ -38,6 +38,17 @@ struct SweepCacheKey {
   uint64_t Hash() const;
 };
 
+/// Outcome of a stale-tolerant sweep lookup (LookupStale).
+struct StaleSweepLookup {
+  /// The sweep (fresh or stale); nullptr on a true miss.
+  std::shared_ptr<const std::vector<double>> sweep;
+  /// True when the sweep is TTL-expired but within the stale window.
+  bool stale = false;
+  /// True for exactly one caller per stale episode — that caller owns the
+  /// background re-warm. Reset by the next Insert on the key.
+  bool refresh_owner = false;
+};
+
 /// Monotonic counters plus point-in-time occupancy; a snapshot type.
 struct SweepCacheStats {
   uint64_t hits = 0;
@@ -48,6 +59,8 @@ struct SweepCacheStats {
   uint64_t rejected = 0;
   /// TTL'd warm entries dropped by the lookup that found them expired.
   uint64_t expired = 0;
+  /// Expired sweeps served inside a stale window (stale-while-revalidate).
+  uint64_t stale_served = 0;
   /// Occupancy at snapshot time.
   size_t bytes_in_use = 0;
   size_t entries = 0;
@@ -90,6 +103,22 @@ class SweepCache {
   std::shared_ptr<const std::vector<double>> Lookup(const SweepCacheKey& key,
                                                     bool record_stats = true);
 
+  /// Stale-while-revalidate lookup. Live entries behave exactly like
+  /// Lookup() (including promote-on-hit). A TTL-expired entry whose deadline
+  /// elapsed less than `max_stale_seconds` ago is served anyway with `stale`
+  /// set and *without* promotion (it stays expired so the refresh replaces
+  /// it); the first such observer gets `refresh_owner` = true. Sweep
+  /// payloads are content-derived, so a stale sweep is byte-identical to a
+  /// recomputed one — serving it cannot change any answer. Past the stale
+  /// window the entry is reaped and the lookup is a miss.
+  StaleSweepLookup LookupStale(const SweepCacheKey& key,
+                               double max_stale_seconds,
+                               bool record_stats = true);
+
+  /// Releases the refresh-pending flag on `key`, re-arming LookupStale to
+  /// elect a new refresh owner (for owners whose re-warm could not run).
+  void ClearRefreshPending(const SweepCacheKey& key);
+
   /// Admits (or refreshes) `sweep` under `key`, evicting LRU entries until
   /// the byte budget holds. Oversized sweeps are rejected (see class note).
   /// `ttl_seconds` > 0 marks the entry as a speculative warm that expires
@@ -129,6 +158,8 @@ class SweepCache {
     /// TTL state (see Insert): expired entries are reaped lazily by Lookup.
     bool expires = false;
     uint64_t deadline_ns = 0;
+    /// A stale-while-revalidate re-warm is already owned for this entry.
+    bool refresh_pending = false;
   };
   struct KeyHash {
     size_t operator()(const SweepCacheKey& key) const {
@@ -153,6 +184,7 @@ class SweepCache {
   obs::Counter* evictions_;
   obs::Counter* rejected_;
   obs::Counter* expired_;
+  obs::Counter* stale_served_;
   obs::Gauge* bytes_gauge_;
   obs::Gauge* entries_gauge_;
 };

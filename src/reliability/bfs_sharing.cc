@@ -327,6 +327,11 @@ Result<std::vector<uint32_t>> BfsSharingEstimator::EstimateSweepStratumHits(
         StrFormat("BFS Sharing: K=%u exceeds indexed worlds L=%u",
                   options.num_samples, shared_index()->num_samples()));
   }
+  // Cancellation point: one poll per world slice (the stratum boundary the
+  // engine's scheduler also polls at).
+  if (options.cancel != nullptr && options.cancel->Cancelled()) {
+    return options.cancel->ToStatus();
+  }
   // Stratum j owns the world slice [offset, offset + count) of the budget's
   // [0, K) range; slice counts sum exactly to the whole-range counts.
   obs::ScopedSpan bfs_span(options.trace, obs::SpanKind::kBfs,

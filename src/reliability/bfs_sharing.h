@@ -230,6 +230,13 @@ class BfsSharingEstimator : public Estimator {
   bool SupportsSourceSweep() const override { return true; }
   Result<std::vector<double>> EstimateFromSource(
       NodeId source, const EstimateOptions& options) override {
+    // Cancellation point: BFS Sharing's sweep is one bit-parallel BFS over
+    // the whole world range — short next to an MC sweep — so the poll sits
+    // at the call boundary (the engine's stratum scheduler polls between
+    // slices on top of this).
+    if (options.cancel != nullptr && options.cancel->Cancelled()) {
+      return options.cancel->ToStatus();
+    }
     obs::ScopedSpan bfs_span(options.trace, obs::SpanKind::kBfs,
                              options.trace_parent);
     return ReliabilityFromSource(source, options.num_samples, options.memory);

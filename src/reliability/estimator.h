@@ -4,6 +4,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/memory_tracker.h"
 #include "common/status.h"
 #include "graph/uncertain_graph.h"
@@ -52,6 +53,13 @@ struct EstimateOptions {
   /// Span id in `trace` the estimator's spans attach under
   /// (obs::TraceBuffer::kNone = root).
   uint32_t trace_parent = obs::TraceBuffer::kNone;
+  /// Optional cooperative-cancellation token (engine-owned, may be null).
+  /// Cores with long sample loops poll it at stratum boundaries (MC
+  /// additionally every few dozen samples) and return kDeadlineExceeded /
+  /// kCancelled instead of finishing. All-or-nothing: a cancelled call
+  /// never returns a partial estimate, so completed calls are bit-identical
+  /// with or without a token attached (polling consumes no randomness).
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Outcome of one estimation call.

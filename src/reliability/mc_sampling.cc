@@ -2,27 +2,40 @@
 
 #include <limits>
 
+#include "common/cancel.h"
 #include "common/rng.h"
 
 namespace relcomp {
 
 namespace {
 
+/// How many samples run between cooperative-cancellation polls. A poll is
+/// one predicted branch plus (rarely) a clock read; results are identical
+/// for any poll cadence because a cancelled call abandons everything.
+constexpr uint32_t kCancelPollStride = 64;
+
 /// One stratum of the sweep core: `num_samples` sampled worlds drawn from
 /// Rng(seed), one full BFS each, hits *accumulated* into `hit_count`
 /// (caller zeroes it once per sweep, then strata add in). Visited marks use
 /// absolute epochs (epoch_base + 1 .. epoch_base + num_samples), so a caller
 /// reusing `visit_epoch` across sweeps skips the O(n) clear; the RNG
-/// consumption — and thus the counts — is identical either way.
-void AccumulateSweepHits(const UncertainGraph& graph, NodeId source,
-                         uint32_t num_samples, uint64_t seed,
-                         std::vector<uint32_t>& hit_count,
-                         std::vector<uint32_t>& visit_epoch,
-                         std::vector<NodeId>& queue, uint32_t epoch_base) {
+/// consumption — and thus the counts — is identical either way. Polls
+/// `cancel` (may be null) every kCancelPollStride samples; a cancelled call
+/// leaves `hit_count` partially accumulated, so the caller must discard it.
+Status AccumulateSweepHits(const UncertainGraph& graph, NodeId source,
+                           uint32_t num_samples, uint64_t seed,
+                           std::vector<uint32_t>& hit_count,
+                           std::vector<uint32_t>& visit_epoch,
+                           std::vector<NodeId>& queue, uint32_t epoch_base,
+                           const CancelToken* cancel) {
   Rng rng(seed);
   visit_epoch.resize(graph.num_nodes(), 0);
   queue.reserve(graph.num_nodes());
   for (uint32_t i = 1; i <= num_samples; ++i) {
+    if (cancel != nullptr && (i % kCancelPollStride) == 1 &&
+        cancel->Cancelled()) {
+      return cancel->ToStatus();
+    }
     const uint32_t epoch = epoch_base + i;
     queue.clear();
     queue.push_back(source);
@@ -38,6 +51,7 @@ void AccumulateSweepHits(const UncertainGraph& graph, NodeId source,
       }
     }
   }
+  return Status::OK();
 }
 
 Status ValidateSweep(const UncertainGraph& graph, NodeId source,
@@ -53,27 +67,32 @@ Status ValidateSweep(const UncertainGraph& graph, NodeId source,
 }
 
 /// Full stratified sweep into `hit_count` (zeroed here): strata accumulate
-/// in index order, which is what the engine's stratum merge replays.
-void StratifiedSweepHits(const UncertainGraph& graph, NodeId source,
-                         uint32_t num_samples, uint64_t seed,
-                         uint32_t num_strata, std::vector<uint32_t>& hit_count,
-                         std::vector<uint32_t>& visit_epoch,
-                         std::vector<NodeId>& queue, uint32_t epoch_base) {
+/// in index order, which is what the engine's stratum merge replays. Polls
+/// `cancel` at every stratum boundary (and, inside AccumulateSweepHits,
+/// every few dozen samples); a cancelled sweep's counts must be discarded.
+Status StratifiedSweepHits(const UncertainGraph& graph, NodeId source,
+                           uint32_t num_samples, uint64_t seed,
+                           uint32_t num_strata,
+                           std::vector<uint32_t>& hit_count,
+                           std::vector<uint32_t>& visit_epoch,
+                           std::vector<NodeId>& queue, uint32_t epoch_base,
+                           const CancelToken* cancel) {
   hit_count.assign(graph.num_nodes(), 0);
   if (num_strata <= 1) {
-    AccumulateSweepHits(graph, source, num_samples, seed, hit_count,
-                        visit_epoch, queue, epoch_base);
-    return;
+    return AccumulateSweepHits(graph, source, num_samples, seed, hit_count,
+                               visit_epoch, queue, epoch_base, cancel);
   }
   uint32_t consumed = 0;
   for (uint32_t j = 0; j < num_strata; ++j) {
+    if (cancel != nullptr && cancel->Cancelled()) return cancel->ToStatus();
     const uint32_t samples = StratumSampleCount(num_samples, num_strata, j);
     if (samples == 0) continue;
-    AccumulateSweepHits(graph, source, samples,
-                        StratumSeed(seed, j, num_strata), hit_count,
-                        visit_epoch, queue, epoch_base + consumed);
+    RELCOMP_RETURN_NOT_OK(AccumulateSweepHits(
+        graph, source, samples, StratumSeed(seed, j, num_strata), hit_count,
+        visit_epoch, queue, epoch_base + consumed, cancel));
     consumed += samples;
   }
+  return Status::OK();
 }
 
 std::vector<double> HitsToReliability(const std::vector<uint32_t>& hit_count,
@@ -95,8 +114,10 @@ Result<std::vector<double>> MonteCarloReliabilityFromSource(
   std::vector<uint32_t> hit_count;
   std::vector<uint32_t> visit_epoch;
   std::vector<NodeId> queue;
-  StratifiedSweepHits(graph, source, num_samples, seed, num_strata, hit_count,
-                      visit_epoch, queue, /*epoch_base=*/0);
+  RELCOMP_RETURN_NOT_OK(StratifiedSweepHits(graph, source, num_samples, seed,
+                                            num_strata, hit_count, visit_epoch,
+                                            queue, /*epoch_base=*/0,
+                                            /*cancel=*/nullptr));
   return HitsToReliability(hit_count, num_samples);
 }
 
@@ -123,10 +144,15 @@ Result<std::vector<double>> MonteCarloEstimator::EstimateFromSource(
   // Trace the sampling loop itself (validation and scratch setup excluded).
   obs::ScopedSpan sample_span(options.trace, obs::SpanKind::kSample,
                               options.trace_parent, options.num_strata);
-  StratifiedSweepHits(graph_, source, options.num_samples, options.seed,
-                      options.num_strata, sweep_hits_, sweep_epoch_,
-                      sweep_queue_, sweep_epoch_base_);
+  const Status swept = StratifiedSweepHits(
+      graph_, source, options.num_samples, options.seed, options.num_strata,
+      sweep_hits_, sweep_epoch_, sweep_queue_, sweep_epoch_base_,
+      options.cancel);
+  // Epochs advance even for a cancelled sweep: the partially used epoch
+  // range must never be reused, or stale visit marks could leak into the
+  // next sweep's counts.
   sweep_epoch_base_ += options.num_samples;
+  RELCOMP_RETURN_NOT_OK(swept);
   return HitsToReliability(sweep_hits_, options.num_samples);
 }
 
@@ -147,10 +173,11 @@ Result<std::vector<uint32_t>> MonteCarloEstimator::EstimateSweepStratumHits(
     ReserveSweepEpochs(samples);
     obs::ScopedSpan sample_span(options.trace, obs::SpanKind::kSample,
                                 options.trace_parent, stratum);
-    AccumulateSweepHits(graph_, source, samples,
-                        StratumSeed(options.seed, stratum, num_strata), hits,
-                        sweep_epoch_, sweep_queue_, sweep_epoch_base_);
-    sweep_epoch_base_ += samples;
+    const Status run = AccumulateSweepHits(
+        graph_, source, samples, StratumSeed(options.seed, stratum, num_strata),
+        hits, sweep_epoch_, sweep_queue_, sweep_epoch_base_, options.cancel);
+    sweep_epoch_base_ += samples;  // never reuse a partially used epoch range
+    RELCOMP_RETURN_NOT_OK(run);
   }
   return hits;
 }
@@ -210,6 +237,10 @@ Result<double> MonteCarloEstimator::DoEstimate(const ReliabilityQuery& query,
         }
       }
       if (reached) ++hits;
+      if (options.cancel != nullptr && (i % 64) == 0 &&
+          options.cancel->Cancelled()) {
+        return options.cancel->ToStatus();
+      }
     }
   }
   return static_cast<double>(hits) / static_cast<double>(k);

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "reliability/estimator.h"
 #include "reliability/top_k.h"
@@ -55,6 +56,21 @@ struct EngineQuery {
   /// Distance only: the hop bound d.
   uint32_t max_hops = 0;
 
+  /// \name QoS (never part of identity)
+  /// Deadlines and cancellation describe *this submission*, not the answer —
+  /// equality and hashing ignore them (the tag-switched operator== below
+  /// never reads them), so a query with a deadline coalesces with, and is
+  /// served from the cache of, the same query without one.
+  /// @{
+  /// Per-query deadline in milliseconds from submission; 0 uses
+  /// EngineOptions::default_deadline_ms (which may itself be 0 = none).
+  double deadline_ms = 0.0;
+  /// Optional caller-owned cancellation handle; must outlive the engine call
+  /// that carries it. The engine copies queries into cache keys and flight
+  /// tables, but never dereferences this pointer after the call returns.
+  const CancelToken* cancel = nullptr;
+  /// @}
+
   EngineQuery() = default;
   /// Wraps a plain s-t query. Explicit so brace-initialized
   /// ReliabilityQuery literals keep resolving to the s-t overloads.
@@ -101,6 +117,10 @@ struct WorkloadResult {
   /// every kind (s-t via EstimateResult; sweeps and distance via the
   /// MemoryTracker plumbed through EstimateOptions::memory).
   size_t peak_memory_bytes = 0;
+  /// The answer was derived from a TTL-expired sweep served inside the
+  /// stale-while-revalidate window (engine sweep path only; DispatchWorkload
+  /// never sets it).
+  bool served_stale = false;
 };
 
 /// \brief Derives a sweep-kind query's answer from an already-computed

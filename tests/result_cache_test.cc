@@ -166,6 +166,83 @@ TEST(ResultCacheTest, CachesRankedTargetPayloads) {
   EXPECT_EQ(hit->targets[1].node, 7u);
 }
 
+TEST(ResultCacheTest, TransientStatusesAreNeverCached) {
+  // Regression: kUnavailable / kDeadlineExceeded / kCancelled describe the
+  // *submission* (shed, expired, cancelled), not the answer. Negative-caching
+  // one would fail future deadline-free queries for the whole backoff TTL.
+  ResultCache cache(8, 1);
+  for (const Status& transient :
+       {Status::Unavailable("shed"), Status::DeadlineExceeded("expired"),
+        Status::Cancelled("caller gave up")}) {
+    ResultCacheValue value;
+    value.status = transient;
+    cache.Insert(Key(0, 1), value, /*ttl_seconds=*/3600.0);
+    EXPECT_FALSE(cache.Lookup(Key(0, 1)).has_value())
+        << StatusCodeName(transient.code());
+  }
+  EXPECT_EQ(cache.Stats().insertions, 0u);
+  EXPECT_EQ(cache.size(), 0u);
+
+  // Genuine per-query failures still negative-cache (engine_workload_test
+  // depends on kInvalidArgument backoff).
+  ResultCacheValue invalid;
+  invalid.status = Status::InvalidArgument("K exceeds L");
+  cache.Insert(Key(0, 1), invalid, /*ttl_seconds=*/3600.0);
+  ASSERT_TRUE(cache.Lookup(Key(0, 1)).has_value());
+}
+
+TEST(ResultCacheTest, StaleWindowServesExpiredEntriesOnce) {
+  ResultCache cache(8, 1);
+  cache.Insert(Key(0, 1), {0.5, 10}, /*ttl_seconds=*/1e-9);  // already expired
+
+  // Plain Lookup reaps; LookupStale inside the window serves instead.
+  StaleLookupResult first = cache.LookupStale(Key(0, 1), /*max_stale=*/3600.0);
+  ASSERT_TRUE(first.value.has_value());
+  EXPECT_TRUE(first.stale);
+  EXPECT_TRUE(first.refresh_owner) << "first stale observer owns the refresh";
+  EXPECT_DOUBLE_EQ(first.value->reliability, 0.5);
+
+  // The refresh is debounced: later stale observers serve but do not own.
+  StaleLookupResult second = cache.LookupStale(Key(0, 1), 3600.0);
+  ASSERT_TRUE(second.value.has_value());
+  EXPECT_TRUE(second.stale);
+  EXPECT_FALSE(second.refresh_owner);
+
+  // A failed refresh re-arms the episode; the next observer owns again.
+  cache.ClearRefreshPending(Key(0, 1));
+  EXPECT_TRUE(cache.LookupStale(Key(0, 1), 3600.0).refresh_owner);
+
+  // A landed refresh resets everything: live entry, no stale flag.
+  cache.Insert(Key(0, 1), {0.5, 10}, /*ttl_seconds=*/3600.0);
+  StaleLookupResult fresh = cache.LookupStale(Key(0, 1), 3600.0);
+  ASSERT_TRUE(fresh.value.has_value());
+  EXPECT_FALSE(fresh.stale);
+  EXPECT_FALSE(fresh.refresh_owner);
+
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.stale_served, 3u);
+  EXPECT_EQ(stats.hits, 4u);  // stale serves still count as hits
+}
+
+TEST(ResultCacheTest, StaleWindowNeverServesNegativesOrAncientEntries) {
+  ResultCache cache(8, 1);
+  // Negative entries are a failure-backoff device: serving one stale would
+  // extend the backoff past its TTL. They reap exactly as without SWR.
+  ResultCacheValue failure;
+  failure.status = Status::InvalidArgument("bad K");
+  cache.Insert(Key(0, 1), failure, /*ttl_seconds=*/1e-9);
+  StaleLookupResult negative = cache.LookupStale(Key(0, 1), 3600.0);
+  EXPECT_FALSE(negative.value.has_value());
+  EXPECT_FALSE(negative.stale);
+
+  // Past the stale window the entry reaps too.
+  cache.Insert(Key(0, 2), {0.5, 10}, /*ttl_seconds=*/1e-9);
+  StaleLookupResult ancient = cache.LookupStale(Key(0, 2), /*max_stale=*/1e-9);
+  EXPECT_FALSE(ancient.value.has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Stats().expired, 2u);
+}
+
 TEST(ResultCacheTest, ConcurrentMixedWorkloadIsSafe) {
   ResultCache cache(256, 8);
   std::vector<std::thread> threads;
