@@ -2,7 +2,7 @@
 // QueryEngine at 1, 2, 4, ... worker threads, with the result cache off
 // (every query computes) and then on (repeats served from cache).
 //
-// The exit code enforces ten invariants — this bench is the CI smoke gate:
+// The exit code enforces eleven invariants — this bench is the CI smoke gate:
 //   1. every thread count returns bit-identical estimates;
 //   2. QueryEngine::Create(kBfsSharing, 8 threads) builds the edge
 //      bit-vector index exactly once (shared across replicas), and the
@@ -49,7 +49,16 @@
 //      load-shedding engine sheds at admission instead of queueing
 //      unboundedly: shed > 0, every admitted query still answers OK, the
 //      shed + drained counts partition the burst exactly, and the admitted
-//      p95 stays <= 2x the uncontended p95 (floor gated >= 8 hw threads).
+//      p95 stays <= 2x the uncontended p95 (floor gated >= 8 hw threads);
+//  11. persistence: with a published snapshot in EngineOptions::persist_dir,
+//      QueryEngine::Create cold-starts by mmapping the BFS-Sharing index
+//      >= 10x faster than the rebuild-from-source path (best of 3 each —
+//      always gated: the ratio compares an O(1) map against an O(L*m)
+//      index build, so it is scale-invariant), the restored engine reports
+//      snapshot_restored, a warm-restored engine replays the journaled
+//      result/sweep caches (first query a cache hit, > 0 entries of each
+//      kind), and every answer of the restored engines — at 1, 2, and 8
+//      threads — is bit-identical to the freshly-built reference.
 // Scaling (the 1-vs-4-thread speedup) is reported but not gated: it depends
 // on the host's real core count, and this bench must stay green on
 // single-core CI runners.
@@ -58,11 +67,14 @@
 // stats, per-stage latency breakdown, and gate outcomes as machine-readable
 // JSON (uploaded by CI as BENCH_engine_throughput.json). `--stats-json
 // <path>` writes one full MetricsRegistry::ExportJson() scrape of the traced
-// engine (uploaded by CI as STATS_engine.json).
+// engine (uploaded by CI as STATS_engine.json). `--persist-json <path>`
+// writes the persistence gate's measurements (cold-start timings, speedup,
+// warm-restore counts, verdict) standalone (uploaded as BENCH_persist.json).
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -142,6 +154,59 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+/// What the persistence gate measured: cold-start timings (rebuild vs mmap),
+/// the warm-restore counts of the restarted engine, and the verdict.
+struct PersistGateResults {
+  double rebuild_best_s = 0.0;  ///< best-of-3 Create, rebuild-from-source
+  double mmap_best_s = 0.0;     ///< best-of-3 Create, snapshot-mmap path
+  uint64_t warm_results = 0;    ///< result-cache entries replayed at restart
+  uint64_t warm_sweeps = 0;     ///< sweep-cache entries replayed at restart
+  uint64_t warm_skipped = 0;    ///< journal records refused (wrong config)
+  bool warm_first_query_hit = false;
+  bool ok = true;
+
+  double speedup() const {
+    return mmap_best_s > 0.0 ? rebuild_best_s / mmap_best_s : 0.0;
+  }
+};
+
+/// The "persist" JSON object shared by the main --json document and the
+/// standalone --persist-json file.
+std::string PersistJsonObject(const PersistGateResults& p) {
+  return StrFormat(
+      "{\"rebuild_cold_start_s\": %.6f, \"mmap_cold_start_s\": %.6f, "
+      "\"cold_start_speedup\": %.2f, \"warm_results_restored\": %llu, "
+      "\"warm_sweeps_restored\": %llu, \"warm_skipped\": %llu, "
+      "\"warm_first_query_hit\": %s, \"persist_ok\": %s}",
+      p.rebuild_best_s, p.mmap_best_s, p.speedup(),
+      static_cast<unsigned long long>(p.warm_results),
+      static_cast<unsigned long long>(p.warm_sweeps),
+      static_cast<unsigned long long>(p.warm_skipped),
+      p.warm_first_query_hit ? "true" : "false", p.ok ? "true" : "false");
+}
+
+/// Standalone persistence-gate document (uploaded by CI as
+/// BENCH_persist.json).
+bool WritePersistJson(const std::string& path, const std::string& dataset,
+                      const PersistGateResults& p) {
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "warning: cannot open %s for persist JSON export\n",
+                 path.c_str());
+    return false;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"engine_persist\",\n"
+               "  \"dataset\": \"%s\",\n"
+               "  \"persist\": %s\n"
+               "}\n",
+               JsonEscape(dataset).c_str(), PersistJsonObject(p).c_str());
+  const bool ok = std::ferror(out) == 0;
+  std::fclose(out);
+  return ok;
+}
+
 /// Machine-readable results: per-config rows, sweep-sharing stats, and the
 /// gate verdicts, for trend tracking across CI runs.
 bool WriteJson(const std::string& path, const std::string& dataset,
@@ -163,6 +228,7 @@ bool WriteJson(const std::string& path, const std::string& dataset,
                size_t burst_submitted, size_t burst_admitted,
                uint64_t burst_shed, double uncontended_p95_ms,
                double burst_p95_ms, bool robustness_gated,
+               const PersistGateResults& persist,
                const std::string& stages_json, bool identical,
                bool shared_index_ok, bool mixed_ok, bool sweep_ok,
                bool strata_ok, bool trace_ok, bool storage_ok,
@@ -184,12 +250,13 @@ bool WriteJson(const std::string& path, const std::string& dataset,
                "\"mixed_workload\": %s, \"sweep_sharing\": %s, "
                "\"stratified_parallel\": %s, \"tracing_overhead\": %s, "
                "\"storage\": %s, \"adaptive_router\": %s, "
-               "\"robustness\": %s},\n",
+               "\"robustness\": %s, \"persist\": %s},\n",
                identical ? "true" : "false",
                shared_index_ok ? "true" : "false", mixed_ok ? "true" : "false",
                sweep_ok ? "true" : "false", strata_ok ? "true" : "false",
                trace_ok ? "true" : "false", storage_ok ? "true" : "false",
-               router_ok ? "true" : "false", robustness_ok ? "true" : "false");
+               router_ok ? "true" : "false", robustness_ok ? "true" : "false",
+               persist.ok ? "true" : "false");
   std::fprintf(out,
                "  \"tracing\": {\"untraced_qps\": %.1f, \"traced_qps\": %.1f, "
                "\"overhead_ratio\": %.4f, \"floor_gated\": %s},\n",
@@ -237,6 +304,7 @@ bool WriteJson(const std::string& path, const std::string& dataset,
       burst_submitted, burst_admitted,
       static_cast<unsigned long long>(burst_shed), uncontended_p95_ms,
       burst_p95_ms, robustness_gated ? "true" : "false");
+  std::fprintf(out, "  \"persist\": %s,\n", PersistJsonObject(persist).c_str());
   std::fprintf(out, "  \"stages\": %s,\n",
                stages_json.empty() ? "{}" : stages_json.c_str());
   std::fprintf(
@@ -300,14 +368,18 @@ bool WriteJson(const std::string& path, const std::string& dataset,
 int main(int argc, char** argv) {
   std::string json_path;
   std::string stats_json_path;
+  std::string persist_json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--stats-json") == 0 && i + 1 < argc) {
       stats_json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--persist-json") == 0 && i + 1 < argc) {
+      persist_json_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--json out.json] [--stats-json stats.json]\n",
+                   "usage: %s [--json out.json] [--stats-json stats.json] "
+                   "[--persist-json persist.json]\n",
                    argv[0]);
       return 2;
     }
@@ -1164,6 +1236,139 @@ int main(int argc, char** argv) {
         robustness_ok ? "pass" : "FAIL — ROBUSTNESS REGRESSED");
   }
 
+  // Persistence gate: a published snapshot must make Create O(1) — the
+  // BFS-Sharing index is mmapped instead of rebuilt — and a restarted
+  // engine must serve yesterday's warm state. Four checks:
+  //   (a) rebuild-from-source Create, best of 3 (the reference, and the
+  //       first run's answers are the bit-identity reference);
+  //   (b) the first persistent engine (empty dir) rebuilds, auto-publishes
+  //       the snapshot, answers bit-identically, and journals its caches;
+  //   (c) Create against the published snapshot, best of 3, must report
+  //       snapshot_restored and run >= 10x faster than (a) — always gated:
+  //       the ratio compares an O(1) map against an O(L*m) index build,
+  //       so it holds on any host;
+  //   (d) warm-restored engines at 1/2/8 threads replay > 0 result and
+  //       sweep entries, serve the first query from the restored cache,
+  //       and answer the whole mix bit-identically to (a).
+  PersistGateResults persist;
+  {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const fs::path persist_dir =
+        fs::temp_directory_path(ec) / "relcomp_bench_persist";
+    fs::remove_all(persist_dir, ec);
+
+    EngineOptions options = base;
+    options.kind = EstimatorKind::kBfsSharing;
+    options.num_threads = max_threads;
+    options.num_samples = std::max(64u, std::min(256u, config.max_k));
+    // An expensive index (L sampled worlds per edge) widens the rebuild-
+    // vs-mmap margin: the mmap path never touches L at Create.
+    options.factory.bfs_sharing.index_samples = std::max(4000u, config.max_k);
+    options.enable_cache = true;
+    options.persist_flush_seconds = 0.0;  // flushes are explicit below
+
+    // The mix the warm restart must serve from its restored caches.
+    std::vector<EngineQuery> mix;
+    for (const ReliabilityQuery& pair : pairs) {
+      if (mix.size() >= 24) break;
+      mix.push_back(EngineQuery::TopK(pair.source, 5));
+      mix.push_back(EngineQuery::ReliableSet(pair.source, 0.2));
+      mix.push_back(EngineQuery::St(pair.source, pair.target));
+    }
+
+    // (a) Rebuild-from-source cold start; run 0 doubles as the reference.
+    std::vector<EngineResult> persist_reference;
+    for (int run = 0; run < 3; ++run) {
+      Timer wall;
+      auto engine = bench::Unwrap(QueryEngine::Create(dataset.graph, options),
+                                  "QueryEngine::Create(persist rebuild)");
+      const double seconds = wall.ElapsedSeconds();
+      persist.rebuild_best_s =
+          run == 0 ? seconds : std::min(persist.rebuild_best_s, seconds);
+      if (run == 0) {
+        persist_reference =
+            bench::Unwrap(engine->RunBatch(mix), "RunBatch(persist reference)");
+        persist.ok = persist.ok && AllOk(persist_reference);
+      }
+    }
+
+    // (b) Publish: rebuild into the empty dir, auto-snapshot, journal warm
+    // state (the destructor adds a final flush).
+    EngineOptions restart_options = options;
+    restart_options.persist_dir = persist_dir.string();
+    {
+      auto engine =
+          bench::Unwrap(QueryEngine::Create(dataset.graph, restart_options),
+                        "QueryEngine::Create(persist publish)");
+      persist.ok =
+          persist.ok && !engine->warm_restore_report().snapshot_restored;
+      const std::vector<EngineResult> results =
+          bench::Unwrap(engine->RunBatch(mix), "RunBatch(persist publish)");
+      persist.ok = persist.ok && AllOk(results) &&
+                   BitIdentical(persist_reference, results);
+      persist.ok = persist.ok && engine->FlushWarmState().ok();
+    }
+
+    // (c) Mmap cold start against the published snapshot, best of 3.
+    for (int run = 0; run < 3; ++run) {
+      Timer wall;
+      auto engine =
+          bench::Unwrap(QueryEngine::Create(dataset.graph, restart_options),
+                        "QueryEngine::Create(persist mmap)");
+      const double seconds = wall.ElapsedSeconds();
+      persist.mmap_best_s =
+          run == 0 ? seconds : std::min(persist.mmap_best_s, seconds);
+      persist.ok =
+          persist.ok && engine->warm_restore_report().snapshot_restored;
+    }
+
+    // (d) Warm-restored replay, 1/2/8 threads.
+    for (const uint32_t threads : {1u, 2u, 8u}) {
+      EngineOptions warm_options = restart_options;
+      warm_options.num_threads = threads;
+      auto engine =
+          bench::Unwrap(QueryEngine::Create(dataset.graph, warm_options),
+                        "QueryEngine::Create(persist warm)");
+      const QueryEngine::WarmRestoreReport& report =
+          engine->warm_restore_report();
+      persist.ok = persist.ok && report.attempted && report.snapshot_restored;
+      if (threads == 1) {
+        persist.warm_results = report.result_entries;
+        persist.warm_sweeps = report.sweep_entries;
+        persist.warm_skipped = report.skipped;
+      }
+      const std::vector<EngineResult> results =
+          bench::Unwrap(engine->RunBatch(mix), "RunBatch(persist warm)");
+      persist.ok = persist.ok && AllOk(results) &&
+                   BitIdentical(persist_reference, results);
+      if (threads == 1) {
+        persist.warm_first_query_hit =
+            !results.empty() && results.front().cache_hit;
+      }
+      if (threads == 8) {
+        rows.emplace_back("8 threads, warm-restored (persist)",
+                          engine->StatsSnapshot());
+      }
+    }
+    persist.ok = persist.ok && persist.warm_results > 0 &&
+                 persist.warm_sweeps > 0 && persist.warm_first_query_hit &&
+                 persist.speedup() >= 10.0;
+    fs::remove_all(persist_dir, ec);
+
+    std::printf(
+        "persistence gate: rebuild cold start %.3f s vs mmap %.4f s "
+        "(%.0fx, gated >= 10x); warm restore %llu results + %llu sweeps "
+        "(%llu skipped), first query %s: %s\n",
+        persist.rebuild_best_s, persist.mmap_best_s, persist.speedup(),
+        static_cast<unsigned long long>(persist.warm_results),
+        static_cast<unsigned long long>(persist.warm_sweeps),
+        static_cast<unsigned long long>(persist.warm_skipped),
+        persist.warm_first_query_hit ? "served from restored cache"
+                                     : "NOT A CACHE HIT",
+        persist.ok ? "pass" : "FAIL — PERSISTENCE REGRESSED");
+  }
+
   bench::PrintTable(EngineStatsTable(rows), "engine_throughput");
 
   if (!stats_json_path.empty()) {
@@ -1239,14 +1444,21 @@ int main(int argc, char** argv) {
                   router_snapshot.router_fallbacks, router_gated,
                   nodeadline_qps, deadline_qps, burst_submitted,
                   burst_admitted, burst_shed, uncontended_p95_ms, burst_p95_ms,
-                  robustness_gated, stages_json, identical, shared_index_ok,
-                  mixed_ok, sweep_ok, strata_ok, trace_ok, storage_ok,
-                  router_ok, robustness_ok)) {
+                  robustness_gated, persist, stages_json, identical,
+                  shared_index_ok, mixed_ok, sweep_ok, strata_ok, trace_ok,
+                  storage_ok, router_ok, robustness_ok)) {
       std::printf("JSON results written to %s\n", json_path.c_str());
     }
   }
+  if (!persist_json_path.empty()) {
+    if (WritePersistJson(persist_json_path, dataset.name, persist)) {
+      std::printf("persistence JSON written to %s\n",
+                  persist_json_path.c_str());
+    }
+  }
   return identical && shared_index_ok && mixed_ok && sweep_ok && strata_ok &&
-                 trace_ok && storage_ok && router_ok && robustness_ok
+                 trace_ok && storage_ok && router_ok && robustness_ok &&
+                 persist.ok
              ? 0
              : 1;
 }

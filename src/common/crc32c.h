@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace relcomp {
+
+/// \brief CRC32C (Castagnoli, reflected polynomial 0x82F63B78) — the
+/// block-checksum primitive of the persistence tier (src/persist/).
+///
+/// Chosen over plain CRC32 for its better error-detection properties on
+/// storage payloads and its hardware support (SSE4.2 crc32 instructions,
+/// used automatically when the build enables them; the software slicing
+/// path computes bit-identical values). Crc32c("123456789") == 0xE3069283.
+///
+/// `crc` chains partial computations: Crc32c(b, nb, Crc32c(a, na)) equals
+/// Crc32c over the concatenation of a and b. Pass 0 to start a new sum.
+uint32_t Crc32c(const void* data, size_t size, uint32_t crc = 0);
+
+}  // namespace relcomp

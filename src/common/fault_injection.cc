@@ -24,8 +24,27 @@ const char* FaultSiteName(FaultSite site) {
       return "alloc_failure";
     case FaultSite::kPoolReject:
       return "pool_reject";
+    case FaultSite::kFileShortWrite:
+      return "file_short_write";
+    case FaultSite::kFsyncFailure:
+      return "fsync_failure";
+    case FaultSite::kCrashPoint:
+      return "crash_point";
   }
   return "unknown";
+}
+
+uint64_t FileOpKey(std::string_view path, uint64_t ordinal) {
+  // Basename only: "/tmp/testXYZ/snapshot.relsnap" and a rerun's
+  // "/tmp/testABC/snapshot.relsnap" must produce the same injected set.
+  const size_t slash = path.find_last_of('/');
+  const std::string_view base =
+      slash == std::string_view::npos ? path : path.substr(slash + 1);
+  uint64_t h = 0x66696c65ULL;  // "file"
+  for (const char c : base) {
+    h = HashCombineSeed(h, static_cast<uint8_t>(c));
+  }
+  return HashCombineSeed(h, ordinal);
 }
 
 FaultInjector& FaultInjector::Global() {
@@ -42,6 +61,7 @@ void FaultInjector::Configure(const FaultPlan& plan) {
   for (std::atomic<uint64_t>& count : injected_) {
     count.store(0, std::memory_order_relaxed);
   }
+  crash_probes_.store(0, std::memory_order_relaxed);
   enabled_.store(true, std::memory_order_release);
 }
 
@@ -51,6 +71,16 @@ void FaultInjector::Disable() {
 
 bool FaultInjector::ShouldInject(FaultSite site, uint64_t key) {
   if (!enabled_.load(std::memory_order_relaxed)) return false;
+  if (site == FaultSite::kCrashPoint && plan_.crash_point_select >= 0) {
+    // Enumeration mode: trip exactly the select-th probe. Persist operations
+    // probe single-threaded in a fixed order, so the counter is as
+    // deterministic as the content keys.
+    const uint64_t n = crash_probes_.fetch_add(1, std::memory_order_relaxed);
+    if (n != static_cast<uint64_t>(plan_.crash_point_select)) return false;
+    injected_[static_cast<size_t>(site)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+    return true;
+  }
   const double probability = plan_.probability[static_cast<size_t>(site)];
   if (probability <= 0.0) return false;
   // hash(plan seed, site, key) -> uniform in [0, 1): pure content function,

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string_view>
 
 #include "common/status.h"
 
@@ -27,21 +28,54 @@ enum class FaultSite : uint32_t {
   /// (scout warms, background refreshes) and the load-shedding admission
   /// path; blocking Submit is never injected (it has no rejection surface).
   kPoolReject,
+  /// \name File-I/O sites (the persistence tier's crash matrix)
+  /// These three are keyed by FileOpKey(path, offset/ordinal) — derived from
+  /// file *content identity* (basename + position), never from temp-dir
+  /// names, thread ids, or wall clock — so the injected set is identical
+  /// across runs and thread counts.
+  /// @{
+  /// A file write persists only a prefix of the requested bytes and the
+  /// operation aborts where it stands (torn tmp file / torn journal tail) —
+  /// the shape a real partial write + crash leaves behind.
+  kFileShortWrite,
+  /// fsync reports failure; the publishing protocol must abort *before*
+  /// rename so the previous snapshot stays the live one.
+  kFsyncFailure,
+  /// A SIGKILL-style crash point: the file operation abandons everything
+  /// exactly where it is (no cleanup, no unlink, no rename). Tests enumerate
+  /// these via FaultPlan::crash_point_select to kill a publish/append at
+  /// every step and prove reopen recovers.
+  kCrashPoint,
+  /// @}
 };
 
-inline constexpr size_t kNumFaultSites = 4;
+inline constexpr size_t kNumFaultSites = 7;
 
 /// Short site name ("estimator_failure", "induced_latency", ...).
 const char* FaultSiteName(FaultSite site);
+
+/// Content-derived key for a file-I/O fault probe: hashes the basename of
+/// `path` (temp-dir prefixes must not change the injected set) with the
+/// operation's offset or ordinal. Deterministic across runs, machines, and
+/// thread counts.
+uint64_t FileOpKey(std::string_view path, uint64_t ordinal);
 
 /// One deterministic injection campaign: per-site probabilities plus the
 /// seed every injection decision derives from.
 struct FaultPlan {
   uint64_t seed = 0;
   /// Per-site injection probability in [0, 1] (index = FaultSite).
-  double probability[kNumFaultSites] = {0.0, 0.0, 0.0, 0.0};
+  double probability[kNumFaultSites] = {};
   /// Delay injected at kInducedLatency sites, in microseconds.
   uint32_t latency_us = 100;
+  /// Deterministic crash-point enumeration: when >= 0, the kCrashPoint site
+  /// ignores its probability and trips exactly on the select-th probe since
+  /// Configure (probes are counted process-wide). Persist operations probe
+  /// their crash points single-threaded in a fixed order, so looping select
+  /// = 0, 1, 2, ... kills a publish/append at every distinct step; an
+  /// iteration that completes with zero injections proves the enumeration
+  /// is exhausted. -1 (the default) uses the probability path.
+  int64_t crash_point_select = -1;
 };
 
 /// \brief Process-wide deterministic fault injector — compiled in, inert by
@@ -100,6 +134,8 @@ class FaultInjector {
   std::atomic<bool> enabled_{false};
   FaultPlan plan_;
   std::atomic<uint64_t> injected_[kNumFaultSites] = {};
+  /// kCrashPoint probes seen since Configure (crash_point_select mode).
+  std::atomic<uint64_t> crash_probes_{0};
 };
 
 }  // namespace relcomp

@@ -8,6 +8,8 @@
 #include "common/format.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "common/wire.h"
+#include "persist/journal.h"
 
 namespace relcomp {
 
@@ -70,17 +72,120 @@ class StageTimer {
   uint32_t span_;
   bool stopped_ = false;
 };
+
+/// \name Warm-journal record payloads (see src/persist/README.md)
+/// Records carry everything needed to re-derive the cache key on restore;
+/// the restoring engine validates kind / budget / seed against *its own*
+/// plans and skips mismatches, so a journal written under another
+/// configuration (or another master seed) can never resurface a wrong
+/// answer. Decoders return false on any truncation or shape violation.
+/// @{
+std::string EncodeSweepRecord(const SweepCacheExport& entry) {
+  std::string out;
+  WireWriter writer(&out);
+  writer.PutU8(static_cast<uint8_t>(entry.key.kind));
+  writer.PutU32(entry.key.source);
+  writer.PutU32(entry.key.num_samples);
+  writer.PutU64(entry.key.seed);
+  writer.PutF64(entry.ttl_seconds);
+  writer.PutU64(entry.sweep->size());
+  for (const double v : *entry.sweep) writer.PutF64(v);
+  return out;
+}
+
+bool DecodeSweepRecord(const std::string& payload, SweepCacheKey* key,
+                       std::vector<double>* sweep, double* ttl_seconds) {
+  WireReader reader(payload.data(), payload.size());
+  uint8_t kind = 0;
+  uint64_t n = 0;
+  if (!reader.ReadU8(&kind) || !reader.ReadU32(&key->source) ||
+      !reader.ReadU32(&key->num_samples) || !reader.ReadU64(&key->seed) ||
+      !reader.ReadF64(ttl_seconds) || !reader.ReadU64(&n)) {
+    return false;
+  }
+  key->kind = static_cast<EstimatorKind>(kind);
+  if (n != reader.remaining() / sizeof(double) ||
+      reader.remaining() % sizeof(double) != 0) {
+    return false;
+  }
+  sweep->resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!reader.ReadF64(&(*sweep)[i])) return false;
+  }
+  return true;
+}
+
+std::string EncodeResultRecord(const ResultCacheExport& entry) {
+  std::string out;
+  WireWriter writer(&out);
+  const EngineQuery& q = entry.key.query;
+  writer.PutU8(static_cast<uint8_t>(q.workload));
+  writer.PutU32(q.source);
+  writer.PutU32(q.target);
+  writer.PutU32(q.k);
+  writer.PutF64(q.eta);
+  writer.PutU32(q.max_hops);
+  writer.PutU8(static_cast<uint8_t>(entry.key.kind));
+  writer.PutU32(entry.key.num_samples);
+  writer.PutU64(entry.key.seed);
+  writer.PutF64(entry.ttl_seconds);
+  writer.PutF64(entry.value.reliability);
+  writer.PutU32(entry.value.num_samples);
+  writer.PutU64(entry.value.targets.size());
+  for (const ReliableTarget& target : entry.value.targets) {
+    writer.PutU32(target.node);
+    writer.PutF64(target.reliability);
+  }
+  return out;
+}
+
+bool DecodeResultRecord(const std::string& payload, ResultCacheKey* key,
+                        ResultCacheValue* value, double* ttl_seconds) {
+  WireReader reader(payload.data(), payload.size());
+  uint8_t workload = 0;
+  uint8_t kind = 0;
+  uint64_t num_targets = 0;
+  if (!reader.ReadU8(&workload) || !reader.ReadU32(&key->query.source) ||
+      !reader.ReadU32(&key->query.target) || !reader.ReadU32(&key->query.k) ||
+      !reader.ReadF64(&key->query.eta) ||
+      !reader.ReadU32(&key->query.max_hops) || !reader.ReadU8(&kind) ||
+      !reader.ReadU32(&key->num_samples) || !reader.ReadU64(&key->seed) ||
+      !reader.ReadF64(ttl_seconds) || !reader.ReadF64(&value->reliability) ||
+      !reader.ReadU32(&value->num_samples) || !reader.ReadU64(&num_targets)) {
+    return false;
+  }
+  if (workload >= kNumWorkloadKinds) return false;
+  key->query.workload = static_cast<WorkloadKind>(workload);
+  key->kind = static_cast<EstimatorKind>(kind);
+  constexpr size_t kTargetBytes = sizeof(uint32_t) + sizeof(double);
+  if (num_targets != reader.remaining() / kTargetBytes ||
+      reader.remaining() % kTargetBytes != 0) {
+    return false;
+  }
+  value->targets.resize(num_targets);
+  for (uint64_t i = 0; i < num_targets; ++i) {
+    if (!reader.ReadU32(&value->targets[i].node) ||
+        !reader.ReadF64(&value->targets[i].reliability)) {
+      return false;
+    }
+  }
+  return true;
+}
+/// @}
 }  // namespace
 
 QueryEngine::QueryEngine(const UncertainGraph& graph, EngineOptions options,
+                         std::unique_ptr<obs::MetricsRegistry> registry,
+                         std::unique_ptr<PersistentStore> store,
                          std::vector<std::unique_ptr<Estimator>> replicas,
                          std::vector<CandidateReplicas> extra_replicas)
     : graph_(graph),
       options_(std::move(options)),
-      registry_(std::make_unique<obs::MetricsRegistry>()),
+      registry_(std::move(registry)),
       tracer_(std::make_unique<obs::Tracer>(obs::TracerOptions{
           options_.trace_sample_rate, options_.slow_query_ms,
           options_.trace_ring_capacity})),
+      store_(std::move(store)),
       replicas_(std::move(replicas)),
       extra_replicas_(std::move(extra_replicas)),
       stats_(registry_.get()) {
@@ -121,10 +226,21 @@ QueryEngine::QueryEngine(const UncertainGraph& graph, EngineOptions options,
         options_.prebuild_threads, options_.prebuild_max_bytes,
         registry_.get());
   }
+  // Serving pool: exactly num_threads workers. replicas_ may hold more —
+  // the tail replicas belong to the auxiliary refresh lane below.
   pool_ = std::make_unique<ThreadPool>(
-      replicas_.size(), options_.queue_capacity,
+      options_.num_threads, options_.queue_capacity,
       registry_->GetHistogram("engine_stage_latency_ns", "stage",
                               "queue_wait"));
+  const size_t lane_width = RefreshLaneWidth();
+  if (lane_width > 0) {
+    aux_pool_ = std::make_unique<ThreadPool>(lane_width,
+                                             options_.queue_capacity);
+  }
+  refresh_lane_depth_ = registry_->GetGauge("refresh_lane_depth");
+  if (store_ != nullptr && options_.persist_flush_seconds > 0.0) {
+    flusher_ = std::thread([this] { FlusherLoop(); });
+  }
   // Storage-footprint gauges: actual resident bytes of the graph's selected
   // layout, labeled by layout so raw/compact engines are comparable side by
   // side in one exported snapshot.
@@ -140,7 +256,20 @@ QueryEngine::QueryEngine(const UncertainGraph& graph, EngineOptions options,
 }
 
 QueryEngine::~QueryEngine() {
+  if (flusher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(flusher_mutex_);
+      flusher_stop_ = true;
+    }
+    flusher_cv_.notify_all();
+    flusher_.join();
+  }
+  if (aux_pool_ != nullptr) aux_pool_->Shutdown();
   pool_->Shutdown();
+  // Clean-shutdown flush: both pools are quiescent, so this captures the
+  // final warm state (a crash instead simply loses what the last periodic
+  // flush missed — never more).
+  if (store_ != nullptr) (void)FlushWarmState();
   // Join the builder thread before any replica (its build prototype) dies.
   prebuilder_.reset();
 }
@@ -157,11 +286,43 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
       opts.scout_warm_ttl < 0.0) {
     return Status::InvalidArgument("EngineOptions TTLs must be >= 0");
   }
+  // The registry exists before anything else so the persistence tier's
+  // recovery counters capture the snapshot restore that happens *before*
+  // the engine object does.
+  auto registry = std::make_unique<obs::MetricsRegistry>();
+  std::unique_ptr<PersistentStore> store;
+  bool snapshot_restored = false;
+  if (!opts.persist_dir.empty()) {
+    RELCOMP_ASSIGN_OR_RETURN(store,
+                             PersistentStore::Open(opts.persist_dir,
+                                                   registry.get()));
+    // O(1) cold start: hand the factory the snapshot's artifacts so the
+    // replica build below maps instead of rebuilding. An absent, corrupt,
+    // version-refused, or mismatched snapshot leaves these null — the
+    // factory then rebuilds from source, bit-identically.
+    SnapshotArtifacts artifacts = store->OpenSnapshot(graph, opts.factory);
+    if (artifacts.valid) {
+      opts.factory.preloaded_bfs_index = std::move(artifacts.bfs_index);
+      opts.factory.preloaded_prob_tree = std::move(artifacts.prob_tree);
+      snapshot_restored = true;
+    } else {
+      store->CountRebuild();
+    }
+  }
+  // The refresh lane (when engaged) gets its own replicas appended after
+  // the serving set, so background refreshes never touch a serving
+  // worker's replica. Index-carrying kinds still share one index.
+  const size_t lane_width =
+      opts.refresh_lane_threads > 0 &&
+              (opts.max_stale_seconds > 0.0 || store != nullptr)
+          ? opts.refresh_lane_threads
+          : 0;
+  const size_t replica_count = opts.num_threads + lane_width;
   // One shared immutable index for all replicas of an index-carrying kind
   // (built inside the factory), private scratch per replica.
   RELCOMP_ASSIGN_OR_RETURN(
       std::vector<std::unique_ptr<Estimator>> replicas,
-      MakeEstimatorReplicas(opts.kind, graph, opts.num_threads, opts.factory));
+      MakeEstimatorReplicas(opts.kind, graph, replica_count, opts.factory));
   // Routing candidates: the static kind plus plain MC — the cheap,
   // capability-complete baseline every backend is measured against (and the
   // enabler for workloads the static kind cannot answer). Each candidate
@@ -171,16 +332,175 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
     RELCOMP_ASSIGN_OR_RETURN(
         std::vector<std::unique_ptr<Estimator>> mc_replicas,
         MakeEstimatorReplicas(EstimatorKind::kMonteCarlo, graph,
-                              opts.num_threads, opts.factory));
+                              replica_count, opts.factory));
     CandidateReplicas candidate;
     candidate.kind = EstimatorKind::kMonteCarlo;
     candidate.replicas = std::move(mc_replicas);
     extra.push_back(std::move(candidate));
   }
+  // The preloaded artifacts were consumed by the replica build; the engine
+  // keeps its options free of them (they pin the snapshot mapping).
+  const bool auto_snapshot = opts.persist_auto_snapshot;
+  const bool warm_restore = opts.warm_restore;
+  opts.factory.preloaded_bfs_index.reset();
+  opts.factory.preloaded_prob_tree.reset();
   std::unique_ptr<QueryEngine> engine(new QueryEngine(
-      graph, std::move(opts), std::move(replicas), std::move(extra)));
+      graph, std::move(opts), std::move(registry), std::move(store),
+      std::move(replicas), std::move(extra)));
   RELCOMP_RETURN_NOT_OK(engine->InitRouter());
+  if (engine->store_ != nullptr) {
+    engine->warm_report_.snapshot_restored = snapshot_restored;
+    if (!snapshot_restored && auto_snapshot) {
+      // Best effort: a failed snapshot write (disk full, injected fault)
+      // only costs the next restart its O(1) cold start.
+      (void)engine->PersistSnapshot();
+    }
+    if (warm_restore) engine->RestoreWarmState();
+  }
   return engine;
+}
+
+size_t QueryEngine::RefreshLaneWidth() const {
+  // The lane exists only when there is background work to put on it —
+  // stale-while-revalidate refreshes or journal flushes. Without either,
+  // configurations are byte-for-byte the pre-lane engine.
+  return options_.refresh_lane_threads > 0 &&
+                 (options_.max_stale_seconds > 0.0 || store_ != nullptr)
+             ? options_.refresh_lane_threads
+             : 0;
+}
+
+Status QueryEngine::SubmitRefreshTask(ThreadPool::Task task) {
+  if (aux_pool_ == nullptr) return pool_->TrySubmit(std::move(task));
+  refresh_lane_depth_->Add(1.0);
+  Status submitted = aux_pool_->TrySubmit(
+      [this, task = std::move(task)](size_t lane_worker) {
+        // Aux workers run on the appended replicas (never a serving one).
+        task(options_.num_threads + lane_worker);
+        refresh_lane_depth_->Add(-1.0);
+      });
+  if (!submitted.ok()) refresh_lane_depth_->Add(-1.0);
+  return submitted;
+}
+
+void QueryEngine::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(flusher_mutex_);
+  while (!flusher_stop_) {
+    flusher_cv_.wait_for(
+        lock, std::chrono::duration<double>(options_.persist_flush_seconds));
+    if (flusher_stop_) break;
+    lock.unlock();
+    const Status lane = SubmitRefreshTask([this](size_t) {
+      (void)FlushWarmState();
+    });
+    // Full lane: flush inline on this thread rather than skip the period
+    // (the flusher is itself off the serving pool).
+    if (!lane.ok()) (void)FlushWarmState();
+    lock.lock();
+  }
+}
+
+Status QueryEngine::PersistSnapshot() {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition("persistence is not configured");
+  }
+  const BfsSharingIndex* bfs_index = nullptr;
+  const ProbTreeIndex* prob_tree = nullptr;
+  if (const auto* bfs =
+          dynamic_cast<const BfsSharingEstimator*>(replicas_.front().get())) {
+    bfs_index = bfs->shared_index().get();
+  }
+  if (const auto* pt =
+          dynamic_cast<const ProbTreeEstimator*>(replicas_.front().get())) {
+    prob_tree = pt->shared_index().get();
+  }
+  return store_->WriteSnapshot(graph_, options_.factory, bfs_index, prob_tree);
+}
+
+Status QueryEngine::FlushWarmState() {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition("persistence is not configured");
+  }
+  std::lock_guard<std::mutex> lock(journal_mutex_);
+  size_t appended = 0;
+  if (sweep_cache_ != nullptr) {
+    for (const SweepCacheExport& entry : sweep_cache_->ExportEntries()) {
+      if (!journaled_sweeps_.insert(entry.key.Hash()).second) continue;
+      RELCOMP_RETURN_NOT_OK(
+          store_->AppendWarm(kJournalRecordSweep, EncodeSweepRecord(entry)));
+      ++appended;
+    }
+  }
+  if (cache_ != nullptr) {
+    for (const ResultCacheExport& entry : cache_->ExportEntries()) {
+      if (!journaled_results_.insert(entry.key.Hash()).second) continue;
+      RELCOMP_RETURN_NOT_OK(
+          store_->AppendWarm(kJournalRecordResult, EncodeResultRecord(entry)));
+      ++appended;
+    }
+  }
+  if (appended == 0) return Status::OK();
+  return store_->SyncJournal();
+}
+
+void QueryEngine::RestoreWarmState() {
+  warm_report_.attempted = true;
+  Result<JournalReplay> replayed = store_->ReplayWarm();
+  if (!replayed.ok()) return;  // unreadable journal: cold caches, not fatal
+  const JournalReplay replay = replayed.MoveValue();
+  warm_report_.torn_tail = replay.torn_tail;
+  uint64_t recovered = 0;
+  for (const JournalRecord& record : replay.records) {
+    if (record.type == kJournalRecordSweep && sweep_cache_ != nullptr) {
+      SweepCacheKey key;
+      auto sweep = std::make_shared<std::vector<double>>();
+      double ttl_seconds = 0.0;
+      if (!DecodeSweepRecord(record.payload, &key, sweep.get(),
+                             &ttl_seconds) ||
+          key.source >= graph_.num_nodes() ||
+          sweep->size() != graph_.num_nodes()) {
+        ++warm_report_.skipped;
+        continue;
+      }
+      // Re-derive the key this engine would use for the record's source: a
+      // record journaled under another kind, budget, master seed, or plan
+      // re-derives differently and is skipped — never served.
+      const QueryPlan plan = SweepPlan(key.source);
+      if (plan.kind != key.kind || plan.num_samples != key.num_samples ||
+          SweepSeedForPlan(key.source, plan) != key.seed) {
+        ++warm_report_.skipped;
+        continue;
+      }
+      sweep_cache_->Insert(key, std::move(sweep), ttl_seconds);
+      ++warm_report_.sweep_entries;
+      ++recovered;
+    } else if (record.type == kJournalRecordResult && cache_ != nullptr) {
+      ResultCacheKey key;
+      ResultCacheValue value;
+      double ttl_seconds = 0.0;
+      if (!DecodeResultRecord(record.payload, &key, &value, &ttl_seconds) ||
+          !ValidateWorkload(graph_, key.query).ok()) {
+        ++warm_report_.skipped;
+        continue;
+      }
+      const QueryPlan plan = PlanFor(key.query);
+      if (plan.kind != key.kind || plan.num_samples != key.num_samples ||
+          SeedForPlan(key.query, plan) != key.seed) {
+        ++warm_report_.skipped;
+        continue;
+      }
+      cache_->Insert(key, value, ttl_seconds);
+      ++warm_report_.result_entries;
+      ++recovered;
+    } else {
+      ++warm_report_.skipped;
+    }
+  }
+  if (recovered > 0) store_->CountJournalRecovered(recovered);
+  // The restored state is folded back in; truncate so the next flush
+  // re-journals it fresh (the journaled-key sets start empty, so the first
+  // flush after restore rewrites every live entry).
+  (void)store_->ResetJournal();
 }
 
 Status QueryEngine::InitRouter() {
@@ -234,7 +554,7 @@ Status QueryEngine::InitRouter() {
   static_config.num_strata = options_.num_strata;
   router_ = std::make_unique<EstimatorRouter>(
       std::move(model), options_.router, static_config, features,
-      std::move(candidates), replicas_.size(), registry_.get());
+      std::move(candidates), options_.num_threads, registry_.get());
   return Status::OK();
 }
 
@@ -1389,7 +1709,9 @@ Status QueryEngine::AdmitQuery(const EngineQuery& query) {
 }
 
 void QueryEngine::ScheduleResultRefresh(const ResultCacheKey& key) {
-  const Status submitted = pool_->TrySubmit([this, key](size_t worker_id) {
+  // Refreshes ride the dedicated low-priority lane when one exists, so a
+  // stale burst never competes with serving queries for the main pool.
+  const Status submitted = SubmitRefreshTask([this, key](size_t worker_id) {
     // The plan is recomputed, not trusted from the key: a router may have
     // drifted since the stale entry was cached. A refresh can only honor
     // the *same* key it owns — on any mismatch it re-arms the entry and
@@ -1418,7 +1740,7 @@ void QueryEngine::ScheduleResultRefresh(const ResultCacheKey& key) {
     value.targets = std::move(result->targets);
     cache_->Insert(key, value, options_.cache_ttl);
   });
-  // Best-effort: a full pool means no refresh this episode — re-arm.
+  // Best-effort: a full lane/pool means no refresh this episode — re-arm.
   if (!submitted.ok()) cache_->ClearRefreshPending(key);
 }
 
@@ -1429,7 +1751,7 @@ void QueryEngine::ScheduleSweepRefresh(const SweepCacheKey& key,
   // (whose Insert re-arms refresh_pending). JoinOrCreateSweepFlight
   // deliberately refuses to serve the scout the stale entry it came to
   // replace.
-  const Status submitted = pool_->TrySubmit([this, source](size_t worker_id) {
+  const Status submitted = SubmitRefreshTask([this, source](size_t worker_id) {
     ScoutSweep(worker_id, source);
   });
   if (!submitted.ok()) sweep_cache_->ClearRefreshPending(key);

@@ -5,7 +5,9 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/cancel.h"
@@ -19,6 +21,7 @@
 #include "graph/uncertain_graph.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "persist/store.h"
 #include "reliability/estimator_factory.h"
 #include "reliability/workload.h"
 
@@ -170,6 +173,39 @@ struct EngineOptions {
   /// entry byte-identical to its recomputation, so SWR trades only metadata
   /// freshness (TTL bookkeeping), never answer correctness.
   double max_stale_seconds = 0.0;
+  /// @}
+  /// \name Crash-safe persistence (src/persist/) & background refresh lane
+  /// (see src/engine/README.md, "Restart semantics")
+  /// @{
+  /// Directory for the checksummed snapshot + warm-state journal; empty (the
+  /// default) disables persistence entirely. With a valid snapshot present,
+  /// Create cold-starts in O(1) by mmapping the index sections instead of
+  /// rebuilding; a corrupt or mismatched snapshot degrades to
+  /// rebuild-from-source (detected, counted, never fatal). Answers are
+  /// bit-identical either way: restored artifacts feed the same
+  /// content-derived seed machinery as freshly built ones.
+  std::string persist_dir;
+  /// Replay the warm-state journal into the result and sweep caches at
+  /// Create (only with persist_dir set). Replayed entries re-derive their
+  /// cache keys from this engine's plans and seeds — a record journaled
+  /// under a different configuration is skipped, never served.
+  bool warm_restore = true;
+  /// Write a snapshot automatically when Create had to rebuild from source
+  /// (only with persist_dir set), so the *next* restart cold-starts O(1).
+  bool persist_auto_snapshot = true;
+  /// Period in seconds of the background warm-state flush (cache exports
+  /// appended to the journal, then fsynced); 0 disables the periodic flusher
+  /// (FlushWarmState can still be called manually). A final flush always
+  /// runs at engine destruction.
+  double persist_flush_seconds = 1.0;
+  /// Width of the dedicated low-priority refresh lane: an auxiliary pool
+  /// (with its own estimator replicas) that runs stale-while-revalidate
+  /// refreshes and journal flushes so background work never competes with
+  /// serving queries for the main pool. Engaged only when there is
+  /// background work to run (max_stale_seconds > 0 or persist_dir set);
+  /// 0 falls back to the serving pool (the pre-lane behavior). Queue +
+  /// in-flight depth is exported as the `refresh_lane_depth` gauge.
+  size_t refresh_lane_threads = 1;
   /// @}
   /// \name Observability (see src/obs/README.md)
   /// Tracing is never part of the determinism contract: answers are
@@ -370,6 +406,36 @@ class QueryEngine {
   /// The adaptive router; nullptr when enable_router is false.
   const EstimatorRouter* router() const { return router_.get(); }
 
+  /// \name Crash-safe persistence (EngineOptions::persist_dir)
+  /// @{
+  /// What Create recovered at startup; all-false/zero when persistence is
+  /// off. `snapshot_restored` means the index artifacts came from the mmap'd
+  /// snapshot (O(1) cold start) instead of a rebuild.
+  struct WarmRestoreReport {
+    bool attempted = false;         ///< persist_dir set and warm_restore on
+    bool snapshot_restored = false; ///< indexes restored from the snapshot
+    bool torn_tail = false;         ///< journal ended in a torn frame
+    uint64_t sweep_entries = 0;     ///< sweeps folded back into the cache
+    uint64_t result_entries = 0;    ///< results folded back into the cache
+    uint64_t skipped = 0;           ///< records for a different config/seed
+  };
+  const WarmRestoreReport& warm_restore_report() const { return warm_report_; }
+
+  /// Writes and atomically publishes a snapshot of the graph plus the
+  /// current shared index (if the estimator kind carries one).
+  /// FailedPrecondition without persist_dir.
+  Status PersistSnapshot();
+
+  /// Exports the warm caches into the journal and fsyncs it — the operation
+  /// the background flusher runs every persist_flush_seconds. Idempotent
+  /// per entry (already-journaled keys are skipped). FailedPrecondition
+  /// without persist_dir.
+  Status FlushWarmState();
+
+  /// nullptr when persistence is off.
+  const PersistentStore* persist_store() const { return store_.get(); }
+  /// @}
+
  private:
   /// One routing candidate's replica set: every candidate kind gets one
   /// replica per worker, exactly like the primary set (index-carrying kinds
@@ -379,7 +445,12 @@ class QueryEngine {
     std::vector<std::unique_ptr<Estimator>> replicas;
   };
 
+  /// `registry` and `store` are created in Create (the store needs the
+  /// registry for its recovery counters *before* replicas exist, so the
+  /// snapshot restore they feed into is counted).
   QueryEngine(const UncertainGraph& graph, EngineOptions options,
+              std::unique_ptr<obs::MetricsRegistry> registry,
+              std::unique_ptr<PersistentStore> store,
               std::vector<std::unique_ptr<Estimator>> replicas,
               std::vector<CandidateReplicas> extra_replicas);
 
@@ -628,6 +699,24 @@ class QueryEngine {
   void ScheduleResultRefresh(const ResultCacheKey& key);
   void ScheduleSweepRefresh(const SweepCacheKey& key, NodeId source);
 
+  /// Width of the auxiliary refresh lane this configuration runs (0 = no
+  /// lane; refreshes fall back to the serving pool).
+  size_t RefreshLaneWidth() const;
+
+  /// Routes a background task onto the refresh lane when one exists (the
+  /// task then runs with an aux-replica worker id, num_threads + lane slot,
+  /// and moves the refresh_lane_depth gauge), else TrySubmits to the serving
+  /// pool — the pre-lane behavior.
+  Status SubmitRefreshTask(ThreadPool::Task task);
+
+  /// Periodic flusher body: sleeps persist_flush_seconds between
+  /// FlushWarmState rounds (routed through the refresh lane) until shutdown.
+  void FlusherLoop();
+
+  /// Replays the warm journal into the caches (Create-time, after the
+  /// router exists — restored keys re-derive from this engine's plans).
+  void RestoreWarmState();
+
   /// Publishes the leader's outcome: inserts into the cache (successes under
   /// cache_ttl, failures under negative_cache_ttl when enabled), removes the
   /// in-flight entry, and wakes the waiters.
@@ -653,6 +742,10 @@ class QueryEngine {
   /// while the pool drains during shutdown.
   std::unique_ptr<obs::MetricsRegistry> registry_;
   std::unique_ptr<obs::Tracer> tracer_;
+  /// Crash-safe persistence root; nullptr when persist_dir is empty.
+  /// Declared right after the registry (its counters) and before everything
+  /// that may journal into it during shutdown.
+  std::unique_ptr<PersistentStore> store_;
   std::vector<std::unique_ptr<Estimator>> replicas_;
   /// Routing candidates beyond the static kind (empty when the router is
   /// off): one replica set per candidate kind, same per-worker discipline as
@@ -667,6 +760,12 @@ class QueryEngine {
   bool sweep_capable_ = false;
   std::unique_ptr<ResultCache> cache_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Dedicated low-priority refresh lane (SWR refreshes, journal flushes);
+  /// nullptr when RefreshLaneWidth() == 0. Its workers run on the aux
+  /// replicas replicas_[num_threads ..], never the serving replicas.
+  std::unique_ptr<ThreadPool> aux_pool_;
+  /// Queued + in-flight refresh-lane tasks (`refresh_lane_depth`).
+  obs::Gauge* refresh_lane_depth_ = nullptr;
   EngineStats stats_;
 
   /// Always-on stage latency histograms, one labeled family
@@ -714,6 +813,24 @@ class QueryEngine {
   /// Background generation builder; nullptr when off / unsupported. Declared
   /// after replicas_ so it is destroyed (thread joined) before they are.
   std::unique_ptr<GenerationPrebuilder> prebuilder_;
+
+  /// \name Warm-state journaling (guarded by journal_mutex_)
+  /// @{
+  std::mutex journal_mutex_;
+  /// Key hashes already appended to the journal this process lifetime —
+  /// the journal is append-only, so each warm entry is journaled once (a
+  /// later re-insert with a fresher TTL keeps its first-journaled TTL,
+  /// which can only shorten its restored life — conservative by design).
+  std::unordered_set<uint64_t> journaled_sweeps_;
+  std::unordered_set<uint64_t> journaled_results_;
+  WarmRestoreReport warm_report_;
+  /// Periodic flusher thread (persist_flush_seconds); stopped first in the
+  /// destructor, before either pool shuts down.
+  std::thread flusher_;
+  std::mutex flusher_mutex_;
+  std::condition_variable flusher_cv_;
+  bool flusher_stop_ = false;
+  /// @}
 
   std::mutex stream_mutex_;
   std::vector<std::unique_ptr<EngineResult>> stream_results_;

@@ -245,6 +245,24 @@ void ResultCache::Insert(const ResultCacheKey& key,
   }
 }
 
+std::vector<ResultCacheExport> ResultCache::ExportEntries() const {
+  std::vector<ResultCacheExport> out;
+  const uint64_t now_ns = StopwatchNs::Now();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const Entry& entry : shard->lru) {
+      if (entry.value.negative()) continue;  // failures never survive restart
+      double ttl_seconds = 0.0;
+      if (entry.expires) {
+        if (now_ns >= entry.deadline_ns) continue;
+        ttl_seconds = static_cast<double>(entry.deadline_ns - now_ns) * 1e-9;
+      }
+      out.push_back(ResultCacheExport{entry.key.key, entry.value, ttl_seconds});
+    }
+  }
+  return out;
+}
+
 void ResultCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);

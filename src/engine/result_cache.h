@@ -70,6 +70,16 @@ struct StaleLookupResult {
   bool refresh_owner = false;
 };
 
+/// One cached result as exported for the persistence journal: the full key,
+/// the value, and the TTL remaining at export time (0 = immortal). Negative
+/// entries and expired entries are never exported — a restart must not
+/// resurrect a cached failure or extend a deadline.
+struct ResultCacheExport {
+  ResultCacheKey key;
+  ResultCacheValue value;
+  double ttl_seconds = 0.0;
+};
+
 /// Monotonic counters; a snapshot type so callers can diff two points in
 /// time.
 struct ResultCacheStats {
@@ -165,6 +175,13 @@ class ResultCache {
   /// condition into a sticky failure.
   void Insert(const ResultCacheKey& key, const ResultCacheValue& value,
               double ttl_seconds = 0.0);
+
+  /// Snapshot of every live *positive* entry for the persistence journal
+  /// (shard by shard, most-recent first within a shard). Negative entries
+  /// (cached failures) are excluded — their backoff must not survive a
+  /// restart — and TTL'd entries carry their remaining TTL; entries past
+  /// their deadline are skipped (a const probe; nothing is reaped).
+  std::vector<ResultCacheExport> ExportEntries() const;
 
   /// Drops every entry (stats are kept).
   void Clear();

@@ -173,6 +173,22 @@ void SweepCache::Insert(const SweepCacheKey& key,
   SyncGaugesLocked();
 }
 
+std::vector<SweepCacheExport> SweepCache::ExportEntries() const {
+  std::vector<SweepCacheExport> out;
+  const uint64_t now_ns = StopwatchNs::Now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(lru_.size());
+  for (const Entry& entry : lru_) {
+    double ttl_seconds = 0.0;
+    if (entry.expires) {
+      if (now_ns >= entry.deadline_ns) continue;  // dead warm: never journal
+      ttl_seconds = static_cast<double>(entry.deadline_ns - now_ns) * 1e-9;
+    }
+    out.push_back(SweepCacheExport{entry.key, entry.sweep, ttl_seconds});
+  }
+  return out;
+}
+
 void SweepCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();

@@ -49,6 +49,15 @@ struct StaleSweepLookup {
   bool refresh_owner = false;
 };
 
+/// One warm sweep as exported for the persistence journal: the full cache
+/// key, the payload, and how much TTL it had left at export time
+/// (0 = immortal). Expired entries are never exported.
+struct SweepCacheExport {
+  SweepCacheKey key;
+  std::shared_ptr<const std::vector<double>> sweep;
+  double ttl_seconds = 0.0;
+};
+
 /// Monotonic counters plus point-in-time occupancy; a snapshot type.
 struct SweepCacheStats {
   uint64_t hits = 0;
@@ -136,6 +145,12 @@ class SweepCache {
   /// sweep-kind query is worth prebuilding a generation for (an expired
   /// warm is reported absent; the next Lookup reaps it).
   bool Contains(const SweepCacheKey& key) const;
+
+  /// Snapshot of every live entry for the persistence journal, most-recent
+  /// first. TTL'd entries carry their *remaining* TTL so a restart cannot
+  /// extend a warm's life; entries already past their deadline are skipped
+  /// (not reaped — this is a const probe like Contains).
+  std::vector<SweepCacheExport> ExportEntries() const;
 
   /// Drops every entry (stats are kept).
   void Clear();

@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "common/format.h"
+#include "common/rng.h"
+#include "common/wire.h"
 #include "graph/graph_builder.h"
 
 namespace relcomp {
@@ -142,6 +144,62 @@ Status SaveBinary(const UncertainGraph& graph, const std::string& path) {
   }
   if (!out.good()) return Status::IOError("write failed: " + path);
   return Status::OK();
+}
+
+void AppendGraphBlock(const UncertainGraph& graph, std::string* out) {
+  WireWriter writer(out);
+  writer.PutU64(graph.num_nodes());
+  writer.PutU64(graph.num_edges());
+  writer.PutU8(graph.layout() == StorageLayout::kCompact ? 1 : 0);
+  for (int i = 0; i < 7; ++i) writer.PutU8(0);  // pad
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const EdgeRecord rec = graph.edge(e);
+    writer.PutU32(rec.tail);
+    writer.PutU32(rec.head);
+    writer.PutF64(rec.prob);
+  }
+}
+
+Result<UncertainGraph> ParseGraphBlock(const void* data, size_t size) {
+  WireReader reader(data, size);
+  uint64_t n = 0, m = 0;
+  uint8_t layout = 0;
+  if (!reader.ReadU64(&n) || !reader.ReadU64(&m) || !reader.ReadU8(&layout) ||
+      !reader.Skip(7)) {
+    return Status::IOError("graph block: truncated header");
+  }
+  if (layout > 1 || reader.remaining() % 16 != 0 ||
+      m != reader.remaining() / 16) {
+    return Status::IOError("graph block: malformed header");
+  }
+  GraphBuilder builder(n);
+  builder.ReserveEdges(m);
+  for (uint64_t i = 0; i < m; ++i) {
+    uint32_t tail = 0, head = 0;
+    double prob = 0.0;
+    if (!reader.ReadU32(&tail) || !reader.ReadU32(&head) ||
+        !reader.ReadF64(&prob)) {
+      return Status::IOError(StrFormat("graph block: truncated at edge %llu",
+                                       static_cast<unsigned long long>(i)));
+    }
+    RELCOMP_RETURN_NOT_OK(builder.AddEdge(tail, head, prob));
+  }
+  return builder.Build(layout == 1 ? StorageLayout::kCompact
+                                   : StorageLayout::kRaw);
+}
+
+uint64_t GraphFingerprint(const UncertainGraph& graph) {
+  uint64_t h = HashCombineSeed(0x67726166ULL, graph.num_nodes());  // "graf"
+  h = HashCombineSeed(h, graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const EdgeRecord rec = graph.edge(e);
+    h = HashCombineSeed(h, rec.tail);
+    h = HashCombineSeed(h, rec.head);
+    uint64_t prob_bits = 0;
+    std::memcpy(&prob_bits, &rec.prob, sizeof(prob_bits));
+    h = HashCombineSeed(h, prob_bits);
+  }
+  return h;
 }
 
 }  // namespace relcomp

@@ -1,0 +1,193 @@
+#include "persist/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "common/fault_injection.h"
+#include "common/format.h"
+#include "common/wire.h"
+
+namespace relcomp {
+
+namespace {
+
+constexpr size_t kFrameHeaderSize = 12;  // len u32 + crc u32 + type u8 + pad[3]
+
+bool WriteAll(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<JournalWriter> JournalWriter::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IOError(
+        StrFormat("open journal %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    const Status status = Status::IOError(
+        StrFormat("lseek %s: %s", path.c_str(), std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  return JournalWriter(path, fd, static_cast<uint64_t>(end));
+}
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      offset_(other.offset_),
+      poisoned_(other.poisoned_) {
+  other.fd_ = -1;
+}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    offset_ = other.offset_;
+    poisoned_ = other.poisoned_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status JournalWriter::Append(uint8_t type, const std::string& payload) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("journal writer is closed");
+  }
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "journal writer poisoned by an earlier failed append; reopen to "
+        "resume");
+  }
+  // Frame body first so the CRC covers type + payload contiguously.
+  std::string body;
+  body.reserve(1 + payload.size());
+  body.push_back(static_cast<char>(type));
+  body.append(payload);
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  WireWriter writer(&frame);
+  writer.PutU32(static_cast<uint32_t>(payload.size()));
+  writer.PutU32(Crc32c(body.data(), body.size()));
+  writer.PutU8(type);
+  writer.PutU8(0);
+  writer.PutU8(0);
+  writer.PutU8(0);
+  writer.PutBytes(payload.data(), payload.size());
+
+  FaultInjector& injector = FaultInjector::Global();
+  if (injector.ShouldInject(FaultSite::kCrashPoint,
+                            FileOpKey(path_, offset_))) {
+    poisoned_ = true;
+    return Status::Internal("simulated crash (before journal append)");
+  }
+  if (injector.ShouldInject(FaultSite::kFileShortWrite,
+                            FileOpKey(path_, offset_))) {
+    // Persist a torn prefix of the frame, the way a crash mid-write would.
+    WriteAll(fd_, frame.data(), frame.size() / 2);
+    poisoned_ = true;
+    return Status::Internal("simulated crash (torn journal append)");
+  }
+  if (!WriteAll(fd_, frame.data(), frame.size())) {
+    poisoned_ = true;
+    return Status::IOError(
+        StrFormat("append %s: %s", path_.c_str(), std::strerror(errno)));
+  }
+  offset_ += frame.size();
+  return Status::OK();
+}
+
+Status JournalWriter::Sync() {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("journal writer is closed");
+  }
+  FaultInjector& injector = FaultInjector::Global();
+  if (injector.ShouldInject(FaultSite::kFsyncFailure,
+                            FileOpKey(path_, offset_))) {
+    return Status::IOError(
+        StrFormat("injected fsync failure for %s", path_.c_str()));
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::IOError(
+        StrFormat("fsync %s: %s", path_.c_str(), std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<JournalReplay> ReplayJournal(const std::string& path) {
+  JournalReplay replay;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return replay;  // no journal: zero records
+    return Status::IOError(
+        StrFormat("open journal %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  // Journals are bounded (periodic flushes of the warm caches), so a whole-
+  // file read keeps the frame scan trivial.
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Status::IOError(
+          StrFormat("read journal %s: %s", path.c_str(),
+                    std::strerror(errno)));
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    data.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  WireReader reader(data.data(), data.size());
+  while (!reader.exhausted()) {
+    uint32_t payload_len = 0, crc = 0;
+    uint8_t type = 0;
+    if (!reader.ReadU32(&payload_len) || !reader.ReadU32(&crc) ||
+        !reader.ReadU8(&type) || !reader.Skip(3) ||
+        reader.remaining() < payload_len) {
+      replay.torn_tail = true;  // short final frame: crash mid-append
+      break;
+    }
+    const uint8_t* payload = reader.cursor();
+    reader.Skip(payload_len);
+    // CRC covers type + payload; recompute with chaining over the two spans.
+    uint32_t actual = Crc32c(&type, 1);
+    actual = Crc32c(payload, payload_len, actual);
+    if (actual != crc) {
+      replay.torn_tail = true;  // torn or bit-flipped tail frame
+      break;
+    }
+    JournalRecord record;
+    record.type = type;
+    record.payload.assign(reinterpret_cast<const char*>(payload), payload_len);
+    replay.records.push_back(std::move(record));
+  }
+  return replay;
+}
+
+}  // namespace relcomp

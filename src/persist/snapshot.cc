@@ -1,0 +1,308 @@
+#include "persist/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "common/fault_injection.h"
+#include "common/format.h"
+#include "common/wire.h"
+
+namespace relcomp {
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'R', 'E', 'L', 'S', 'N', 'A', 'P', '1'};
+constexpr size_t kHeaderSize = 32;
+constexpr size_t kTableEntrySize = 32;
+constexpr size_t kPayloadAlign = 64;
+constexpr size_t kWriteChunk = 1 << 20;
+
+/// Ordinal namespace for the non-chunk fault probes of one Commit. Chunk
+/// writes use their byte offset as ordinal; protocol steps use these
+/// markers, far above any realistic file size.
+constexpr uint64_t kOrdinalCreate = 0xFFFF0000ULL;
+constexpr uint64_t kOrdinalBeforeFsync = 0xFFFF0001ULL;
+constexpr uint64_t kOrdinalFsync = 0xFFFF0002ULL;
+constexpr uint64_t kOrdinalBeforeRename = 0xFFFF0003ULL;
+constexpr uint64_t kOrdinalBeforeDirFsync = 0xFFFF0004ULL;
+
+size_t AlignUp(size_t v, size_t align) {
+  return (v + align - 1) / align * align;
+}
+
+/// write(2) until `size` bytes are on their way, retrying real short writes
+/// and EINTR. Returns false with errno set on a real error.
+bool WriteAll(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+Status SyncDirectory(const std::string& file_path) {
+  const size_t slash = file_path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : file_path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError(
+        StrFormat("open directory %s: %s", dir.c_str(), std::strerror(errno)));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError(
+        StrFormat("fsync directory %s: %s", dir.c_str(), std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status SimulatedCrash(int fd, const char* where) {
+  // A SIGKILL leaves the fd to be closed by the kernel with no further
+  // writes — mirror that: close and abandon everything (no unlink, no
+  // rename), so the on-disk state is exactly what a real crash leaves.
+  if (fd >= 0) ::close(fd);
+  return Status::Internal(StrFormat("simulated crash (%s)", where));
+}
+
+}  // namespace
+
+void SnapshotWriter::AddSection(uint32_t id, std::string payload) {
+  sections_.push_back(Pending{id, std::move(payload)});
+}
+
+Status SnapshotWriter::Commit(const std::string& path) const {
+  // Lay out the image: header, table, 64-byte-aligned payloads.
+  const size_t table_size = sections_.size() * kTableEntrySize;
+  size_t offset = AlignUp(kHeaderSize + table_size, kPayloadAlign);
+  std::string table;
+  WireWriter table_writer(&table);
+  std::vector<size_t> offsets;
+  offsets.reserve(sections_.size());
+  for (const Pending& section : sections_) {
+    offsets.push_back(offset);
+    table_writer.PutU32(section.id);
+    table_writer.PutU32(Crc32c(section.payload.data(), section.payload.size()));
+    table_writer.PutU64(offset);
+    table_writer.PutU64(section.payload.size());
+    table_writer.PutU64(0);  // reserved
+    offset = AlignUp(offset + section.payload.size(), kPayloadAlign);
+  }
+  const size_t file_size = offset;
+
+  std::string image;
+  image.reserve(file_size);
+  WireWriter header(&image);
+  header.PutBytes(kSnapshotMagic, sizeof(kSnapshotMagic));
+  header.PutU32(kSnapshotVersion);
+  header.PutU32(static_cast<uint32_t>(sections_.size()));
+  header.PutU64(file_size);
+  header.PutU32(Crc32c(table.data(), table.size()));
+  header.PutU32(Crc32c(image.data(), image.size()));  // header_crc over [0,28)
+  image.append(table);
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    image.resize(offsets[i], '\0');
+    image.append(sections_[i].payload);
+  }
+  image.resize(file_size, '\0');
+
+  FaultInjector& injector = FaultInjector::Global();
+  if (injector.ShouldInject(FaultSite::kCrashPoint,
+                            FileOpKey(path, kOrdinalCreate))) {
+    return SimulatedCrash(-1, "before tmp create");
+  }
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError(
+        StrFormat("create %s: %s", tmp.c_str(), std::strerror(errno)));
+  }
+
+  for (size_t pos = 0; pos < image.size(); pos += kWriteChunk) {
+    const size_t chunk = std::min(kWriteChunk, image.size() - pos);
+    if (injector.ShouldInject(FaultSite::kCrashPoint, FileOpKey(path, pos))) {
+      return SimulatedCrash(fd, "mid-write");
+    }
+    if (injector.ShouldInject(FaultSite::kFileShortWrite,
+                              FileOpKey(path, pos))) {
+      // Persist a prefix, then die — the torn tmp a real partial write
+      // leaves. The published snapshot is untouched.
+      WriteAll(fd, image.data() + pos, chunk / 2);
+      return SimulatedCrash(fd, "short write");
+    }
+    if (!WriteAll(fd, image.data() + pos, chunk)) {
+      const Status status = Status::IOError(
+          StrFormat("write %s: %s", tmp.c_str(), std::strerror(errno)));
+      ::close(fd);
+      return status;
+    }
+  }
+
+  if (injector.ShouldInject(FaultSite::kCrashPoint,
+                            FileOpKey(path, kOrdinalBeforeFsync))) {
+    return SimulatedCrash(fd, "before fsync");
+  }
+  if (injector.ShouldInject(FaultSite::kFsyncFailure,
+                            FileOpKey(path, kOrdinalFsync))) {
+    // fsync failed: the tmp file's durability is unknown, so the publish
+    // MUST abort before rename — the previous snapshot stays live.
+    ::close(fd);
+    return Status::IOError(
+        StrFormat("injected fsync failure for %s", tmp.c_str()));
+  }
+  if (::fsync(fd) != 0) {
+    const Status status = Status::IOError(
+        StrFormat("fsync %s: %s", tmp.c_str(), std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);
+
+  if (injector.ShouldInject(FaultSite::kCrashPoint,
+                            FileOpKey(path, kOrdinalBeforeRename))) {
+    return SimulatedCrash(-1, "after fsync, before rename");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError(StrFormat("rename %s -> %s: %s", tmp.c_str(),
+                                     path.c_str(), std::strerror(errno)));
+  }
+  if (injector.ShouldInject(FaultSite::kCrashPoint,
+                            FileOpKey(path, kOrdinalBeforeDirFsync))) {
+    // The rename happened but its durability isn't guaranteed yet; after a
+    // real crash here the reopen sees either old or new — both valid.
+    return SimulatedCrash(-1, "after rename, before dir fsync");
+  }
+  return SyncDirectory(path);
+}
+
+Result<std::unique_ptr<SnapshotReader>> SnapshotReader::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound(
+          StrFormat("snapshot %s does not exist", path.c_str()));
+    }
+    return Status::IOError(
+        StrFormat("open %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = Status::IOError(
+        StrFormat("fstat %s: %s", path.c_str(), std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  const size_t file_size = static_cast<size_t>(st.st_size);
+  if (file_size < kHeaderSize) {
+    ::close(fd);
+    return Status::IOError(StrFormat("snapshot %s truncated: %zu bytes",
+                                     path.c_str(), file_size));
+  }
+  void* map = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (map == MAP_FAILED) {
+    return Status::IOError(
+        StrFormat("mmap %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  std::shared_ptr<const void> backing(
+      map, [file_size](const void* p) {
+        ::munmap(const_cast<void*>(p), file_size);
+      });
+  const uint8_t* base = static_cast<const uint8_t*>(map);
+
+  WireReader header(base, kHeaderSize);
+  char magic[8];
+  uint32_t version = 0, section_count = 0, table_crc = 0, header_crc = 0;
+  uint64_t declared_size = 0;
+  header.ReadBytes(magic, sizeof(magic));
+  header.ReadU32(&version);
+  header.ReadU32(&section_count);
+  header.ReadU64(&declared_size);
+  header.ReadU32(&table_crc);
+  header.ReadU32(&header_crc);
+  if (std::memcmp(magic, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::IOError(
+        StrFormat("snapshot %s: bad magic", path.c_str()));
+  }
+  if (version != kSnapshotVersion) {
+    // Refusal, not corruption: a different format version is never parsed.
+    return Status::IOError(StrFormat("snapshot %s: unsupported version %u "
+                                     "(this build reads version %u)",
+                                     path.c_str(), version, kSnapshotVersion));
+  }
+  if (Crc32c(base, kHeaderSize - sizeof(uint32_t)) != header_crc) {
+    return Status::IOError(
+        StrFormat("snapshot %s: header checksum mismatch", path.c_str()));
+  }
+  if (declared_size != file_size) {
+    return Status::IOError(
+        StrFormat("snapshot %s: declared size %llu != file size %zu",
+                  path.c_str(),
+                  static_cast<unsigned long long>(declared_size), file_size));
+  }
+  const size_t table_size = size_t{section_count} * kTableEntrySize;
+  if (kHeaderSize + table_size > file_size) {
+    return Status::IOError(
+        StrFormat("snapshot %s: section table overruns file", path.c_str()));
+  }
+  if (Crc32c(base + kHeaderSize, table_size) != table_crc) {
+    return Status::IOError(
+        StrFormat("snapshot %s: section table checksum mismatch",
+                  path.c_str()));
+  }
+
+  std::unique_ptr<SnapshotReader> reader(new SnapshotReader());
+  reader->backing_ = std::move(backing);
+  reader->file_size_ = file_size;
+  reader->sections_.reserve(section_count);
+  WireReader table(base + kHeaderSize, table_size);
+  for (uint32_t i = 0; i < section_count; ++i) {
+    uint32_t id = 0, crc = 0;
+    uint64_t offset = 0, length = 0, reserved = 0;
+    table.ReadU32(&id);
+    table.ReadU32(&crc);
+    table.ReadU64(&offset);
+    table.ReadU64(&length);
+    table.ReadU64(&reserved);
+    if (offset > file_size || length > file_size - offset) {
+      return Status::IOError(
+          StrFormat("snapshot %s: section %u overruns file", path.c_str(), id));
+    }
+    if (Crc32c(base + offset, length) != crc) {
+      return Status::IOError(StrFormat(
+          "snapshot %s: section %u checksum mismatch", path.c_str(), id));
+    }
+    Section section;
+    section.id = id;
+    section.data = base + offset;
+    section.size = length;
+    section.file_offset = offset;
+    reader->sections_.push_back(section);
+  }
+  return reader;
+}
+
+const SnapshotReader::Section* SnapshotReader::Find(uint32_t id) const {
+  for (const Section& section : sections_) {
+    if (section.id == id) return &section;
+  }
+  return nullptr;
+}
+
+}  // namespace relcomp

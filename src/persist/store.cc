@@ -1,0 +1,332 @@
+#include "persist/store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/format.h"
+#include "common/wire.h"
+#include "graph/graph_io.h"
+#include "persist/snapshot.h"
+
+namespace relcomp {
+
+namespace {
+
+constexpr uint32_t kManifestFlagBfs = 1u << 0;
+constexpr uint32_t kManifestFlagProbTree = 1u << 1;
+
+/// The identity a snapshot was built for. A snapshot is applied only when
+/// every field matches the restarting engine's (graph, options) — anything
+/// else is a mismatch and the engine rebuilds from source.
+struct Manifest {
+  uint64_t fingerprint = 0;
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  uint64_t index_seed = 0;
+  uint32_t flags = 0;
+  uint32_t bfs_samples = 0;
+  uint32_t prob_tree_width = 0;
+  uint32_t prob_tree_max_distance = 0;
+  uint8_t prob_tree_distance_distributions = 0;
+};
+
+std::string SerializeManifest(const Manifest& m) {
+  std::string out;
+  WireWriter writer(&out);
+  writer.PutU64(m.fingerprint);
+  writer.PutU64(m.num_nodes);
+  writer.PutU64(m.num_edges);
+  writer.PutU64(m.index_seed);
+  writer.PutU32(m.flags);
+  writer.PutU32(m.bfs_samples);
+  writer.PutU32(m.prob_tree_width);
+  writer.PutU32(m.prob_tree_max_distance);
+  writer.PutU8(m.prob_tree_distance_distributions);
+  for (int i = 0; i < 7; ++i) writer.PutU8(0);  // pad
+  return out;
+}
+
+bool ParseManifest(const void* data, size_t size, Manifest* m) {
+  WireReader reader(data, size);
+  return reader.ReadU64(&m->fingerprint) && reader.ReadU64(&m->num_nodes) &&
+         reader.ReadU64(&m->num_edges) && reader.ReadU64(&m->index_seed) &&
+         reader.ReadU32(&m->flags) && reader.ReadU32(&m->bfs_samples) &&
+         reader.ReadU32(&m->prob_tree_width) &&
+         reader.ReadU32(&m->prob_tree_max_distance) &&
+         reader.ReadU8(&m->prob_tree_distance_distributions);
+}
+
+Manifest ManifestFor(const UncertainGraph& graph, const FactoryOptions& options,
+                     bool with_bfs, bool with_prob_tree) {
+  Manifest m;
+  m.fingerprint = GraphFingerprint(graph);
+  m.num_nodes = graph.num_nodes();
+  m.num_edges = graph.num_edges();
+  m.index_seed = options.index_seed;
+  m.flags = (with_bfs ? kManifestFlagBfs : 0) |
+            (with_prob_tree ? kManifestFlagProbTree : 0);
+  m.bfs_samples = with_bfs ? options.bfs_sharing.index_samples : 0;
+  m.prob_tree_width = with_prob_tree ? options.prob_tree.width : 0;
+  m.prob_tree_max_distance =
+      with_prob_tree ? options.prob_tree.max_distance : 0;
+  m.prob_tree_distance_distributions =
+      with_prob_tree && options.prob_tree.precompute_distance_distributions
+          ? 1
+          : 0;
+  return m;
+}
+
+bool ManifestMatches(const Manifest& have, const Manifest& want) {
+  return have.fingerprint == want.fingerprint &&
+         have.num_nodes == want.num_nodes &&
+         have.num_edges == want.num_edges &&
+         have.index_seed == want.index_seed &&
+         (have.flags & want.flags) == want.flags &&
+         (!(want.flags & kManifestFlagBfs) ||
+          have.bfs_samples == want.bfs_samples) &&
+         (!(want.flags & kManifestFlagProbTree) ||
+          (have.prob_tree_width == want.prob_tree_width &&
+           have.prob_tree_max_distance == want.prob_tree_max_distance &&
+           have.prob_tree_distance_distributions ==
+               want.prob_tree_distance_distributions));
+}
+
+}  // namespace
+
+PersistentStore::PersistentStore(std::string dir,
+                                 obs::MetricsRegistry* metrics)
+    : dir_(std::move(dir)),
+      snapshot_path_(dir_ + "/snapshot.relsnap"),
+      journal_path_(dir_ + "/warm.journal") {
+  if (metrics == nullptr) return;
+  corruption_detected_ =
+      metrics->GetCounter("persist_corruption_detected_total");
+  recovered_snapshot_ =
+      metrics->GetCounter("persist_recovered_total", "source", "snapshot");
+  recovered_journal_ =
+      metrics->GetCounter("persist_recovered_total", "source", "journal");
+  recovered_rebuild_ =
+      metrics->GetCounter("persist_recovered_total", "source", "rebuild");
+  snapshot_mismatch_ = metrics->GetCounter("persist_snapshot_mismatch_total");
+  journal_entries_ = metrics->GetCounter("persist_journal_entries_total");
+  journal_replayed_ = metrics->GetCounter("persist_journal_replayed_total");
+  journal_torn_ = metrics->GetCounter("persist_journal_torn_total");
+  snapshot_bytes_ = metrics->GetGauge("persist_snapshot_bytes");
+}
+
+void PersistentStore::Count(obs::Counter* counter, uint64_t delta) {
+  if (counter != nullptr && delta > 0) counter->Inc(delta);
+}
+
+Result<std::unique_ptr<PersistentStore>> PersistentStore::Open(
+    const std::string& dir, obs::MetricsRegistry* metrics) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("persistence directory must be non-empty");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError(StrFormat("create persistence directory %s: %s",
+                                     dir.c_str(), ec.message().c_str()));
+  }
+  return std::unique_ptr<PersistentStore>(new PersistentStore(dir, metrics));
+}
+
+Status PersistentStore::WriteSnapshot(const UncertainGraph& graph,
+                                      const FactoryOptions& options,
+                                      const BfsSharingIndex* bfs_index,
+                                      const ProbTreeIndex* prob_tree) {
+  const Manifest manifest = ManifestFor(graph, options, bfs_index != nullptr,
+                                        prob_tree != nullptr);
+  SnapshotWriter writer;
+  writer.AddSection(kSectionManifest, SerializeManifest(manifest));
+  {
+    std::string payload;
+    AppendGraphBlock(graph, &payload);
+    writer.AddSection(kSectionGraph, std::move(payload));
+  }
+  if (bfs_index != nullptr) {
+    std::string payload;
+    bfs_index->AppendBlock(&payload);
+    writer.AddSection(kSectionBfsIndex, std::move(payload));
+  }
+  if (prob_tree != nullptr) {
+    std::string payload;
+    prob_tree->AppendBlock(&payload);
+    writer.AddSection(kSectionProbTree, std::move(payload));
+  }
+  RELCOMP_RETURN_NOT_OK(writer.Commit(snapshot_path_));
+  if (snapshot_bytes_ != nullptr) {
+    struct stat st;
+    if (::stat(snapshot_path_.c_str(), &st) == 0) {
+      snapshot_bytes_->Set(static_cast<double>(st.st_size));
+    }
+  }
+  return Status::OK();
+}
+
+void PersistentStore::QuarantineSnapshot(const Status& why) {
+  Count(corruption_detected_);
+  // Move the bad file out of the open path (keeping the bytes for a
+  // post-mortem) so the next startup goes straight to rebuild instead of
+  // re-detecting the same corruption.
+  ::rename(snapshot_path_.c_str(), (snapshot_path_ + ".corrupt").c_str());
+  (void)why;
+}
+
+SnapshotArtifacts PersistentStore::OpenSnapshot(const UncertainGraph& graph,
+                                                const FactoryOptions& options) {
+  SnapshotArtifacts artifacts;
+  Result<std::unique_ptr<SnapshotReader>> opened =
+      SnapshotReader::Open(snapshot_path_);
+  if (!opened.ok()) {
+    if (opened.status().code() != StatusCode::kNotFound) {
+      // Truncation, bad magic, checksum mismatch, or version refusal — all
+      // detected before a single payload byte was trusted.
+      QuarantineSnapshot(opened.status());
+    }
+    return artifacts;
+  }
+  const std::unique_ptr<SnapshotReader> reader = opened.MoveValue();
+
+  const SnapshotReader::Section* manifest_section =
+      reader->Find(kSectionManifest);
+  Manifest manifest;
+  if (manifest_section == nullptr ||
+      !ParseManifest(manifest_section->data, manifest_section->size,
+                     &manifest)) {
+    QuarantineSnapshot(Status::IOError("snapshot manifest missing/malformed"));
+    return artifacts;
+  }
+  // Restore exactly the sections the snapshot carries, each validated
+  // against the caller's configuration for that section; graph identity and
+  // index seed must always match.
+  Manifest need = ManifestFor(graph, options, /*with_bfs=*/true,
+                              /*with_prob_tree=*/true);
+  need.flags = manifest.flags;
+  need.bfs_samples = (manifest.flags & kManifestFlagBfs)
+                         ? options.bfs_sharing.index_samples
+                         : 0;
+  need.prob_tree_width = (manifest.flags & kManifestFlagProbTree)
+                             ? options.prob_tree.width
+                             : 0;
+  need.prob_tree_max_distance = (manifest.flags & kManifestFlagProbTree)
+                                    ? options.prob_tree.max_distance
+                                    : 0;
+  need.prob_tree_distance_distributions =
+      (manifest.flags & kManifestFlagProbTree) &&
+              options.prob_tree.precompute_distance_distributions
+          ? 1
+          : 0;
+  if (!ManifestMatches(manifest, need)) {
+    // Built for a different graph or configuration: not corruption — the
+    // bytes are intact — so leave the file alone and rebuild from source.
+    Count(snapshot_mismatch_);
+    return artifacts;
+  }
+
+  if (manifest.flags & kManifestFlagBfs) {
+    const SnapshotReader::Section* section = reader->Find(kSectionBfsIndex);
+    if (section == nullptr) {
+      QuarantineSnapshot(Status::IOError("BFS section missing"));
+      return artifacts;
+    }
+    Result<std::shared_ptr<BfsSharingIndex>> index = BfsSharingIndex::FromBlock(
+        graph, section->data, section->size, reader->backing());
+    if (!index.ok()) {
+      QuarantineSnapshot(index.status());
+      return artifacts;
+    }
+    artifacts.bfs_index = index.MoveValue();
+  }
+  if (manifest.flags & kManifestFlagProbTree) {
+    const SnapshotReader::Section* section = reader->Find(kSectionProbTree);
+    if (section == nullptr) {
+      QuarantineSnapshot(Status::IOError("ProbTree section missing"));
+      return artifacts;
+    }
+    Result<ProbTreeIndex> index =
+        ProbTreeIndex::FromBlock(section->data, section->size);
+    if (!index.ok()) {
+      QuarantineSnapshot(index.status());
+      return artifacts;
+    }
+    artifacts.prob_tree =
+        std::make_shared<const ProbTreeIndex>(index.MoveValue());
+  }
+  artifacts.valid = true;
+  Count(recovered_snapshot_);
+  return artifacts;
+}
+
+Result<UncertainGraph> PersistentStore::LoadGraphFromSnapshot() {
+  RELCOMP_ASSIGN_OR_RETURN(std::unique_ptr<SnapshotReader> reader,
+                           SnapshotReader::Open(snapshot_path_));
+  const SnapshotReader::Section* section = reader->Find(kSectionGraph);
+  if (section == nullptr) {
+    return Status::NotFound("snapshot has no graph section");
+  }
+  return ParseGraphBlock(section->data, section->size);
+}
+
+Status PersistentStore::AppendWarm(uint8_t type, const std::string& payload) {
+  if (journal_.has_value() && journal_->poisoned()) {
+    // A failed append may have left a torn tail; anything appended after it
+    // would be unreachable to replay. Reopen so the next append lands in a
+    // fresh O_APPEND stream (replay still stops at the torn frame — the
+    // cache re-journals everything on the next full flush anyway).
+    journal_.reset();
+  }
+  if (!journal_.has_value()) {
+    RELCOMP_ASSIGN_OR_RETURN(JournalWriter writer,
+                             JournalWriter::Open(journal_path_));
+    journal_.emplace(std::move(writer));
+  }
+  RELCOMP_RETURN_NOT_OK(journal_->Append(type, payload));
+  Count(journal_entries_);
+  return Status::OK();
+}
+
+Status PersistentStore::SyncJournal() {
+  if (!journal_.has_value()) return Status::OK();
+  return journal_->Sync();
+}
+
+Result<JournalReplay> PersistentStore::ReplayWarm() {
+  RELCOMP_ASSIGN_OR_RETURN(JournalReplay replay,
+                           ReplayJournal(journal_path_));
+  if (replay.torn_tail) {
+    // The expected crash shape: a frame died mid-write. The intact prefix
+    // is still good; count the detection.
+    Count(journal_torn_);
+    Count(corruption_detected_);
+  }
+  return replay;
+}
+
+Status PersistentStore::ResetJournal() {
+  journal_.reset();
+  const int fd =
+      ::open(journal_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError(StrFormat("truncate journal %s: %s",
+                                     journal_path_.c_str(),
+                                     std::strerror(errno)));
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+void PersistentStore::CountRebuild() { Count(recovered_rebuild_); }
+
+void PersistentStore::CountJournalRecovered(uint64_t entries) {
+  Count(journal_replayed_, entries);
+  Count(recovered_journal_, entries);
+}
+
+}  // namespace relcomp

@@ -7,6 +7,7 @@
 #include "common/format.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "common/wire.h"
 
 namespace relcomp {
 
@@ -52,6 +53,8 @@ Result<std::shared_ptr<BfsSharingIndex>> BfsSharingIndex::Build(
   index->num_edges_ = graph.num_edges();
   index->words_per_edge_ = (options.index_samples + 63) / 64;
   index->words_.assign(index->num_edges_ * index->words_per_edge_, 0);
+  index->words_data_ = index->words_.data();
+  index->num_words_ = index->words_.size();
   index->Resample(graph, seed);
   build_count_.fetch_add(1, std::memory_order_relaxed);
   return index;
@@ -59,6 +62,16 @@ Result<std::shared_ptr<BfsSharingIndex>> BfsSharingIndex::Build(
 
 void BfsSharingIndex::Resample(const UncertainGraph& graph, uint64_t seed) {
   Timer timer;
+  // A mapped generation reads its words out of a read-only snapshot
+  // mapping; materialize a private copy before the first in-place refill.
+  // (The engine never takes this path — replicas over a shared mapped
+  // generation have no ownership and swap to fresh builds — but direct
+  // index users must not be able to scribble on the mapping.)
+  if (backing_ != nullptr) {
+    words_.assign(words_data_, words_data_ + num_words_);
+    words_data_ = words_.data();
+    backing_.reset();
+  }
   Rng rng(seed);
   // FillBernoulliWords consumes the identical RNG stream as the historical
   // per-edge BitVector fill, so generations stay bit-identical across the
@@ -72,7 +85,62 @@ void BfsSharingIndex::Resample(const UncertainGraph& graph, uint64_t seed) {
 }
 
 size_t BfsSharingIndex::MemoryBytes() const {
-  return words_.size() * sizeof(uint64_t);
+  return num_words_ * sizeof(uint64_t);
+}
+
+void BfsSharingIndex::AppendBlock(std::string* out) const {
+  WireWriter writer(out);
+  writer.PutU32(num_samples_);
+  writer.PutU32(0);  // pad: keeps the word block 8-byte aligned
+  writer.PutU64(num_edges_);
+  writer.PutBytes(words_data_, num_words_ * sizeof(uint64_t));
+}
+
+Result<std::shared_ptr<BfsSharingIndex>> BfsSharingIndex::FromBlock(
+    const UncertainGraph& graph, const void* data, size_t size,
+    std::shared_ptr<const void> backing) {
+  WireReader reader(data, size);
+  uint32_t l = 0, pad = 0;
+  uint64_t m = 0;
+  if (!reader.ReadU32(&l) || !reader.ReadU32(&pad) || !reader.ReadU64(&m)) {
+    return Status::IOError("BFS Sharing block: truncated header");
+  }
+  if (l == 0) {
+    return Status::IOError("BFS Sharing block: zero samples");
+  }
+  if (m != graph.num_edges()) {
+    return Status::InvalidArgument(
+        StrFormat("BFS Sharing block: index has %llu edges, graph has %zu",
+                  static_cast<unsigned long long>(m), graph.num_edges()));
+  }
+  const size_t words_per_edge = (l + 63) / 64;
+  const size_t num_words = static_cast<size_t>(m) * words_per_edge;
+  if (reader.remaining() != num_words * sizeof(uint64_t)) {
+    return Status::IOError(
+        StrFormat("BFS Sharing block: expected %zu word bytes, have %zu",
+                  num_words * sizeof(uint64_t), reader.remaining()));
+  }
+  Timer timer;
+  std::shared_ptr<BfsSharingIndex> index(new BfsSharingIndex());
+  index->num_samples_ = l;
+  index->num_edges_ = m;
+  index->words_per_edge_ = words_per_edge;
+  index->num_words_ = num_words;
+  const uint8_t* words = reader.cursor();
+  if (backing != nullptr &&
+      reinterpret_cast<uintptr_t>(words) % alignof(uint64_t) == 0) {
+    // Zero-copy: read the worlds straight out of the mapped block. This is
+    // the O(1) cold-start path — no word is touched until a BFS reads it.
+    index->words_data_ = reinterpret_cast<const uint64_t*>(words);
+    index->backing_ = std::move(backing);
+  } else {
+    index->words_.resize(num_words);
+    std::memcpy(index->words_.data(), words, num_words * sizeof(uint64_t));
+    index->words_data_ = index->words_.data();
+  }
+  index->build_seconds_ = timer.ElapsedSeconds();
+  build_count_.fetch_add(1, std::memory_order_relaxed);
+  return index;
 }
 
 Status BfsSharingIndex::SaveToFile(const std::string& path) const {
@@ -86,8 +154,8 @@ Status BfsSharingIndex::SaveToFile(const std::string& path) const {
   // The packed block IS the historical per-edge layout (ceil(L/64) words per
   // edge, edge-id order), so one bulk write preserves the on-disk format
   // byte for byte.
-  out.write(reinterpret_cast<const char*>(words_.data()),
-            static_cast<std::streamsize>(words_.size() * sizeof(uint64_t)));
+  out.write(reinterpret_cast<const char*>(words_data_),
+            static_cast<std::streamsize>(num_words_ * sizeof(uint64_t)));
   if (!out.good()) return Status::IOError("write failed: " + path);
   return Status::OK();
 }
@@ -119,6 +187,8 @@ Result<std::shared_ptr<BfsSharingIndex>> BfsSharingIndex::LoadFromFile(
   index->num_edges_ = m;
   index->words_per_edge_ = (l + 63) / 64;
   index->words_.assign(m * index->words_per_edge_, 0);
+  index->words_data_ = index->words_.data();
+  index->num_words_ = index->words_.size();
   in.read(reinterpret_cast<char*>(index->words_.data()),
           static_cast<std::streamsize>(index->words_.size() * sizeof(uint64_t)));
   if (!in.good()) return Status::IOError("truncated BFS Sharing index: " + path);

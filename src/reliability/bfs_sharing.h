@@ -42,6 +42,26 @@ class BfsSharingIndex {
   static Result<std::shared_ptr<BfsSharingIndex>> LoadFromFile(
       const UncertainGraph& graph, const std::string& path);
 
+  /// Serializes this generation as a snapshot-section payload: {L u32,
+  /// pad u32, m u64} then the packed words verbatim. The word block starts
+  /// 16 bytes in, so inside a 64-byte-aligned snapshot section it is 8-byte
+  /// aligned for the zero-copy FromBlock path.
+  void AppendBlock(std::string* out) const;
+
+  /// Reconstructs a generation from an AppendBlock payload — zero-copy when
+  /// `data` is 8-byte aligned: the generation reads the words directly out
+  /// of the (typically mmap'd) block and holds `backing` alive, which is
+  /// what makes snapshot cold-start O(1) instead of O(L m). A mapped
+  /// generation is never resampled through the block (Resample materializes
+  /// a private copy first), so the mapping stays read-only.
+  static Result<std::shared_ptr<BfsSharingIndex>> FromBlock(
+      const UncertainGraph& graph, const void* data, size_t size,
+      std::shared_ptr<const void> backing);
+
+  /// True when the words are read out of an external (mmap'd) block rather
+  /// than owned memory.
+  bool mapped() const { return backing_ != nullptr; }
+
   /// Refills every edge's worlds in place — bit-identical to a fresh
   /// Build(graph, options, seed) with this generation's L, but with zero
   /// allocation (the serving path's steady state: every query re-arms).
@@ -64,7 +84,7 @@ class BfsSharingIndex {
   /// the block tail (if L % 64 != 0) is kept zero so popcounts stay exact.
   size_t words_per_edge() const { return words_per_edge_; }
   const uint64_t* edge_words(EdgeId e) const {
-    return words_.data() + static_cast<size_t>(e) * words_per_edge_;
+    return words_data_ + static_cast<size_t>(e) * words_per_edge_;
   }
 
   /// Edge bit-vector bytes resident in memory.
@@ -88,8 +108,15 @@ class BfsSharingIndex {
   double build_seconds_ = 0.0;
   size_t num_edges_ = 0;
   size_t words_per_edge_ = 0;
-  /// num_edges * words_per_edge words, edge blocks back to back.
+  /// num_edges * words_per_edge words, edge blocks back to back — owned
+  /// storage for built/loaded generations, empty for mapped ones.
   std::vector<uint64_t> words_;
+  /// The words every reader goes through: words_.data() for owned
+  /// generations, a pointer into `backing_` for mapped ones.
+  const uint64_t* words_data_ = nullptr;
+  size_t num_words_ = 0;
+  /// Keeps a mapped generation's snapshot mapping alive (null when owned).
+  std::shared_ptr<const void> backing_;
   static std::atomic<uint64_t> build_count_;
 };
 

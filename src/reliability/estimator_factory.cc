@@ -107,12 +107,16 @@ Result<std::vector<std::unique_ptr<Estimator>>> MakeEstimatorReplicas(
   std::vector<std::unique_ptr<Estimator>> replicas;
   replicas.reserve(count);
   switch (kind) {
-    // Index-carrying kinds: build the immutable index once, share it.
+    // Index-carrying kinds: build the immutable index once, share it —
+    // unless the persistence tier preloaded one (snapshot cold-start).
     case EstimatorKind::kBfsSharing: {
-      RELCOMP_ASSIGN_OR_RETURN(
-          std::shared_ptr<const BfsSharingIndex> index,
-          BfsSharingIndex::Build(graph, options.bfs_sharing,
-                                 options.index_seed));
+      std::shared_ptr<const BfsSharingIndex> index =
+          options.preloaded_bfs_index;
+      if (index == nullptr) {
+        RELCOMP_ASSIGN_OR_RETURN(
+            index, BfsSharingIndex::Build(graph, options.bfs_sharing,
+                                          options.index_seed));
+      }
       for (size_t i = 0; i < count; ++i) {
         RELCOMP_ASSIGN_OR_RETURN(std::unique_ptr<BfsSharingEstimator> replica,
                                  BfsSharingEstimator::Create(graph, index));
@@ -124,9 +128,11 @@ Result<std::vector<std::unique_ptr<Estimator>>> MakeEstimatorReplicas(
     case EstimatorKind::kProbTreeLpPlus:
     case EstimatorKind::kProbTreeRhh:
     case EstimatorKind::kProbTreeRss: {
-      RELCOMP_ASSIGN_OR_RETURN(
-          std::shared_ptr<const ProbTreeIndex> index,
-          ProbTreeIndex::BuildShared(graph, options.prob_tree));
+      std::shared_ptr<const ProbTreeIndex> index = options.preloaded_prob_tree;
+      if (index == nullptr) {
+        RELCOMP_ASSIGN_OR_RETURN(
+            index, ProbTreeIndex::BuildShared(graph, options.prob_tree));
+      }
       for (size_t i = 0; i < count; ++i) {
         RELCOMP_ASSIGN_OR_RETURN(
             std::unique_ptr<ProbTreeEstimator> replica,

@@ -42,6 +42,17 @@ struct FactoryOptions {
   ProbTreeOptions prob_tree;           ///< w = 2 (lossless) [32]
   /// Seed for offline index sampling (BFS Sharing worlds).
   uint64_t index_seed = 0x5EED;
+
+  /// \name Preloaded indexes (persistence tier)
+  /// When set, MakeEstimatorReplicas hands every replica the preloaded
+  /// index instead of building one — the snapshot cold-start path. The
+  /// caller (PersistentStore) is responsible for having matched the index
+  /// against the graph and these options; the factory still validates
+  /// shapes. MakeEstimator (single instance) ignores these.
+  /// @{
+  std::shared_ptr<const BfsSharingIndex> preloaded_bfs_index;
+  std::shared_ptr<const ProbTreeIndex> preloaded_prob_tree;
+  /// @}
 };
 
 /// Builds an estimator of `kind` over `graph` (building any index it needs).

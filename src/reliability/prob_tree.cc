@@ -8,6 +8,7 @@
 
 #include "common/format.h"
 #include "common/timer.h"
+#include "common/wire.h"
 #include "graph/graph_builder.h"
 #include "reliability/lazy_propagation.h"
 #include "reliability/mc_sampling.h"
@@ -431,6 +432,84 @@ Result<ProbTreeIndex> ProbTreeIndex::LoadFromFile(const std::string& path) {
   index.stats_.root_edges = index.root_edges_.size();
   size_t covered = 0;
   for (int32_t c : index.covered_in_) covered += (c >= 0);
+  index.stats_.root_nodes = index.num_nodes_ - covered;
+  return index;
+}
+
+void ProbTreeIndex::AppendBlock(std::string* out) const {
+  WireWriter writer(out);
+  auto write_edges = [&writer](const std::vector<ProbTreeEdge>& edges) {
+    writer.PutU64(edges.size());
+    for (const ProbTreeEdge& e : edges) {
+      writer.PutU32(e.tail);
+      writer.PutU32(e.head);
+      writer.PutF64(e.prob);
+      writer.PutI32(e.origin);
+    }
+  };
+  writer.PutU64(num_nodes_);
+  writer.PutU64(bags_.size());
+  for (const Bag& bag : bags_) {
+    writer.PutU32(bag.covered);
+    writer.PutI32(bag.parent);
+    writer.PutU64(bag.boundary.size());
+    for (const NodeId u : bag.boundary) writer.PutU32(u);
+    write_edges(bag.edges);
+  }
+  write_edges(root_edges_);
+}
+
+Result<ProbTreeIndex> ProbTreeIndex::FromBlock(const void* data, size_t size) {
+  WireReader reader(data, size);
+  bool ok = true;
+  auto read_edges = [&reader, &ok](std::vector<ProbTreeEdge>& edges) {
+    uint64_t count = 0;
+    ok = ok && reader.ReadU64(&count);
+    // 20 bytes per serialized edge: a declared count beyond the remaining
+    // bytes is corruption, not a resize request.
+    if (!ok || count > reader.remaining() / 20) {
+      ok = false;
+      return;
+    }
+    edges.resize(count);
+    for (auto& e : edges) {
+      ok = ok && reader.ReadU32(&e.tail) && reader.ReadU32(&e.head) &&
+           reader.ReadF64(&e.prob) && reader.ReadI32(&e.origin);
+    }
+  };
+  ProbTreeIndex index;
+  uint64_t num_nodes = 0, num_bags = 0;
+  ok = reader.ReadU64(&num_nodes) && reader.ReadU64(&num_bags);
+  // Sanity bounds before the allocations they size.
+  if (!ok || num_bags > num_nodes || num_nodes > (size_t{1} << 40)) {
+    return Status::IOError("ProbTree block: malformed header");
+  }
+  index.num_nodes_ = num_nodes;
+  index.covered_in_.assign(num_nodes, -1);
+  index.bags_.resize(num_bags);
+  for (uint64_t b = 0; ok && b < num_bags; ++b) {
+    Bag& bag = index.bags_[b];
+    uint64_t boundary = 0;
+    ok = reader.ReadU32(&bag.covered) && reader.ReadI32(&bag.parent) &&
+         reader.ReadU64(&boundary);
+    if (!ok || boundary > reader.remaining() / sizeof(NodeId) ||
+        bag.covered >= num_nodes) {
+      ok = false;
+      break;
+    }
+    bag.boundary.resize(boundary);
+    for (auto& u : bag.boundary) ok = ok && reader.ReadU32(&u);
+    bag.nodes = bag.boundary;
+    bag.nodes.push_back(bag.covered);
+    read_edges(bag.edges);
+    if (ok) index.covered_in_[bag.covered] = static_cast<int32_t>(b);
+  }
+  if (ok) read_edges(index.root_edges_);
+  if (!ok) return Status::IOError("ProbTree block: truncated or malformed");
+  index.stats_.num_bags = index.bags_.size();
+  index.stats_.root_edges = index.root_edges_.size();
+  size_t covered = 0;
+  for (const int32_t c : index.covered_in_) covered += (c >= 0);
   index.stats_.root_nodes = index.num_nodes_ - covered;
   return index;
 }

@@ -82,6 +82,16 @@ class ProbTreeIndex {
   Status SaveToFile(const std::string& path) const;
   static Result<ProbTreeIndex> LoadFromFile(const std::string& path);
 
+  /// Serializes the index as a snapshot-section payload — the SaveToFile
+  /// byte stream without the file magic (the snapshot container supplies
+  /// identity and checksums). Distance distributions (survival vectors) are
+  /// not persisted, matching SaveToFile.
+  void AppendBlock(std::string* out) const;
+
+  /// Reconstructs an index from an AppendBlock payload. Bounds-checked;
+  /// a truncated or malformed payload returns kIOError.
+  static Result<ProbTreeIndex> FromBlock(const void* data, size_t size);
+
   /// Builds the equivalent query graph for (s, t) with remapped endpoints.
   Result<RootedGraph> ExtractQueryGraph(NodeId s, NodeId t) const;
 
